@@ -1,0 +1,48 @@
+//! Criterion benchmarks: one group per paper table/figure, measuring the
+//! wall-clock cost of regenerating that experiment (simulation + CPU
+//! baselines) at a reduced batch scale so iterations stay fast.
+//!
+//! The *simulated* GTX 280 numbers in each figure come from the `repro`
+//! binary; these benches track the harness's own performance and act as a
+//! regression net for the whole pipeline.
+
+use bench::{figures, ReproConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_cfg() -> ReproConfig {
+    ReproConfig { scale: 0.0625, cpu_reps: 1, ..Default::default() }
+}
+
+macro_rules! figure_bench {
+    ($fn_name:ident, $module:ident, $label:literal) => {
+        fn $fn_name(c: &mut Criterion) {
+            let cfg = bench_cfg();
+            c.bench_function($label, |b| {
+                b.iter(|| black_box(figures::$module::run(black_box(&cfg))))
+            });
+        }
+    };
+}
+
+figure_bench!(bench_table1, table1, "table1");
+figure_bench!(bench_fig6, fig6, "fig6");
+figure_bench!(bench_fig7, fig7, "fig7");
+figure_bench!(bench_fig8_10, fig8_10, "fig8_10");
+figure_bench!(bench_fig9, fig9, "fig9");
+figure_bench!(bench_fig11_12, fig11_12, "fig11_12");
+figure_bench!(bench_fig13_14, fig13_14, "fig13_14");
+figure_bench!(bench_fig15, fig15, "fig15");
+figure_bench!(bench_fig16, fig16, "fig16");
+figure_bench!(bench_fig17, fig17, "fig17");
+figure_bench!(bench_fig18, fig18, "fig18");
+figure_bench!(bench_ablations, ablations, "ablations");
+
+criterion_group! {
+    name = paper_figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_fig6, bench_fig7, bench_fig8_10, bench_fig9,
+        bench_fig11_12, bench_fig13_14, bench_fig15, bench_fig16, bench_fig17,
+        bench_fig18, bench_ablations
+}
+criterion_main!(paper_figures);

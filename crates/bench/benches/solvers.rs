@@ -1,0 +1,175 @@
+//! Criterion benchmarks of the solver implementations themselves:
+//! simulated-GPU solve pipelines (upload + simulate + download) and the
+//! real CPU baselines, across the paper's system sizes.
+
+use bench::ReproConfig;
+use cpu_solvers::{solve_batch_seq, Gep, MtSolver, Thomas};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_solvers::{solve_batch, GpuAlgorithm, RdMode};
+use std::hint::black_box;
+use tridiag_core::dominant_batch;
+
+/// Batch counts are scaled down so a criterion sample stays in the tens of
+/// milliseconds.
+const COUNT: usize = 32;
+
+fn gpu_solvers(c: &mut Criterion) {
+    let cfg = ReproConfig::default();
+    let mut group = c.benchmark_group("gpu_sim_solve");
+    for n in [64usize, 256, 512] {
+        let batch = dominant_batch::<f32>(cfg.seed, n, COUNT);
+        group.throughput(Throughput::Elements((n * COUNT) as u64));
+        for alg in [
+            GpuAlgorithm::Cr,
+            GpuAlgorithm::Pcr,
+            GpuAlgorithm::Rd(RdMode::Plain),
+            GpuAlgorithm::CrPcr { m: (n / 2).max(2) },
+            GpuAlgorithm::CrRd { m: (n / 4).max(2), mode: RdMode::Plain },
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(alg.name().replace(' ', "_"), n),
+                &batch,
+                |b, batch| {
+                    b.iter(|| black_box(solve_batch(&cfg.launcher, alg, black_box(batch))))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn cpu_solvers(c: &mut Criterion) {
+    let cfg = ReproConfig::default();
+    let mut group = c.benchmark_group("cpu_solve");
+    for n in [64usize, 256, 512] {
+        let batch = dominant_batch::<f32>(cfg.seed, n, COUNT);
+        group.throughput(Throughput::Elements((n * COUNT) as u64));
+        group.bench_with_input(BenchmarkId::new("GE", n), &batch, |b, batch| {
+            b.iter(|| black_box(solve_batch_seq(&Thomas, black_box(batch))))
+        });
+        group.bench_with_input(BenchmarkId::new("GEP", n), &batch, |b, batch| {
+            b.iter(|| black_box(solve_batch_seq(&Gep, black_box(batch))))
+        });
+        let mt = MtSolver::new(4);
+        group.bench_with_input(BenchmarkId::new("MT", n), &batch, |b, batch| {
+            b.iter(|| black_box(mt.solve_batch(&Thomas, black_box(batch))))
+        });
+    }
+    group.finish();
+}
+
+fn reference_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_reference");
+    let n = 512usize;
+    let batch = dominant_batch::<f64>(7, n, 1);
+    let sys = batch.system(0);
+    let mut x = vec![0.0f64; n];
+    group.bench_function("thomas", |b| {
+        b.iter(|| {
+            cpu_solvers::thomas::solve_into(
+                black_box(&sys.a),
+                &sys.b,
+                &sys.c,
+                &sys.d,
+                black_box(&mut x),
+            )
+        })
+    });
+    group.bench_function("cr_reference", |b| {
+        b.iter(|| {
+            cpu_solvers::reference::cr::solve_into(
+                black_box(&sys.a),
+                &sys.b,
+                &sys.c,
+                &sys.d,
+                black_box(&mut x),
+            )
+        })
+    });
+    group.bench_function("pcr_reference", |b| {
+        b.iter(|| {
+            cpu_solvers::reference::pcr::solve_into(
+                black_box(&sys.a),
+                &sys.b,
+                &sys.c,
+                &sys.d,
+                black_box(&mut x),
+            )
+        })
+    });
+    group.bench_function("rd_reference", |b| {
+        b.iter(|| {
+            cpu_solvers::reference::rd::solve_into(
+                black_box(&sys.a),
+                &sys.b,
+                &sys.c,
+                &sys.d,
+                black_box(&mut x),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn extension_solvers(c: &mut Criterion) {
+    let cfg = ReproConfig::default();
+    let mut group = c.benchmark_group("extensions");
+
+    // Coarse-grained thread-per-system Thomas (simulated pipeline).
+    let batch = dominant_batch::<f32>(cfg.seed, 512, COUNT);
+    group.bench_function("thomas_per_thread_512", |b| {
+        b.iter(|| black_box(gpu_solvers::solve_batch_coarse(&cfg.launcher, black_box(&batch))))
+    });
+
+    // Periodic batch via Sherman-Morrison.
+    let periodic: Vec<_> = (0..COUNT)
+        .map(|s| {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(s as u64);
+            let n = 256usize;
+            let mut a: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut cvec: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let b: Vec<f32> =
+                (0..n).map(|i| a[i].abs() + cvec[i].abs() + 1.0).collect();
+            let d: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            a[0] = rng.gen_range(-0.5..0.5);
+            cvec[n - 1] = rng.gen_range(-0.5..0.5);
+            tridiag_core::PeriodicTridiagonalSystem::new(a, b, cvec, d).unwrap()
+        })
+        .collect();
+    group.bench_function("periodic_crpcr_256", |b| {
+        b.iter(|| {
+            black_box(gpu_solvers::solve_periodic_batch(
+                &cfg.launcher,
+                GpuAlgorithm::CrPcr { m: 128 },
+                black_box(&periodic),
+            ))
+        })
+    });
+
+    // Block CR (2x2 blocks).
+    let blocks: Vec<_> = (0..8)
+        .map(|s| tridiag_core::BlockTridiagonalSystem::<f32>::random_dominant(s, 128))
+        .collect();
+    group.bench_function("block_cr_128", |b| {
+        b.iter(|| black_box(gpu_solvers::solve_block_batch(&cfg.launcher, black_box(&blocks))))
+    });
+
+    // Wang's partition method on one large system (real CPU wall time).
+    let big = tridiag_core::Generator::new(1)
+        .system::<f64>(tridiag_core::Workload::DiagonallyDominant, 1 << 16);
+    for p in [1usize, 2, 4, 8] {
+        group.bench_function(format!("partition_65536_p{p}"), |b| {
+            b.iter(|| black_box(cpu_solvers::partition::solve(black_box(&big), p)))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = solvers;
+    config = Criterion::default().sample_size(10);
+    targets = gpu_solvers, cpu_solvers, reference_algorithms, extension_solvers
+}
+criterion_main!(solvers);

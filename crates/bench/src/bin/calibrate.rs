@@ -1,0 +1,65 @@
+//! Cost-model calibration aid: prints simulated timings next to the
+//! paper's GTX 280 measurements so the constants in
+//! `gpu_sim::CostModel::gtx280()` can be tuned. Not part of the figure
+//! harness — see `repro` for that.
+
+use gpu_sim::Launcher;
+use gpu_solvers::{solve_batch, GpuAlgorithm, RdMode};
+use tridiag_core::dominant_batch;
+
+fn main() {
+    let launcher = Launcher::gtx280();
+
+    println!("=== 512x512 kernel times (paper: CR 1.066, PCR 0.534, RD 0.612, CR+PCR 0.422, CR+RD 0.488 ms)");
+    let batch = dominant_batch::<f32>(42, 512, 512);
+    let mut cr_parts = (0.0, 0.0, 0.0);
+    for (alg, paper) in [
+        (GpuAlgorithm::Cr, 1.066),
+        (GpuAlgorithm::Pcr, 0.534),
+        (GpuAlgorithm::Rd(RdMode::Plain), 0.612),
+        (GpuAlgorithm::CrPcr { m: 256 }, 0.422),
+        (GpuAlgorithm::CrRd { m: 128, mode: RdMode::Plain }, 0.488),
+    ] {
+        let r = solve_batch(&launcher, alg, &batch).unwrap();
+        let t = &r.timing;
+        println!(
+            "{:28} {:.3} ms (paper {:.3})  global {:.3} shared {:.3} compute {:.3} | sharedBW {:6.1} GB/s gflops {:6.1} | transfer {:.2} ms",
+            alg.name(), t.kernel_ms, paper, t.global_ms, t.shared_ms, t.compute_ms,
+            t.achieved_shared_gbps, t.gflops, t.transfer_ms
+        );
+        if alg == GpuAlgorithm::Cr {
+            cr_parts = (t.global_ms, t.shared_ms, t.compute_ms);
+        }
+    }
+    println!("paper CR breakdown: global 0.103 (10%), shared 0.689 (64%), compute 0.274 (26%)");
+    println!("ours  CR breakdown: global {:.3}, shared {:.3}, compute {:.3}", cr_parts.0, cr_parts.1, cr_parts.2);
+    println!("paper PCR breakdown: global 0.106/20%, shared 0.163/30% (883GB/s), compute 0.265/50% (101.9 GFLOPS)");
+    println!("paper RD  breakdown: global 0.109/18%, shared 0.262/43% (1095GB/s), compute 0.241/39% (186.7 GFLOPS)");
+
+    println!("\n=== size sweep, kernel ms (paper Fig 6 left approx: CR 0.15/0.25/0.45/1.07; PCR ~0.1/0.15/0.25/0.53)");
+    for (n, count) in [(64usize, 64usize), (128, 128), (256, 256), (512, 512)] {
+        let batch = dominant_batch::<f32>(1, n, count);
+        print!("{:9}", format!("{n}x{count}"));
+        for alg in GpuAlgorithm::paper_five(n) {
+            let r = solve_batch(&launcher, alg, &batch).unwrap();
+            print!("  {}={:.3}", alg.name(), r.timing.kernel_ms);
+        }
+        println!();
+    }
+
+    println!("\n=== CR per-step forward reduction (Fig 9; paper conflicted: ~0.04..0.13 ms rising; conflict-free flat ~0.013-0.02)");
+    let batch = dominant_batch::<f32>(42, 512, 512);
+    let r = solve_batch(&launcher, GpuAlgorithm::Cr, &batch).unwrap();
+    for st in r.timing.steps_in_phase(gpu_sim::Phase::ForwardReduction) {
+        println!(
+            "  threads {:4} conflict {:2}x: {:.4} ms (shared {:.4} compute+oh {:.4})",
+            st.active_threads, st.max_conflict_degree, st.ms, st.shared_ms, st.compute_ms
+        );
+    }
+
+    println!("\n=== hybrid sweep CR+PCR (Fig 17; paper: ~1.07 at m=2 falling to 0.42 at m=256, 0.53 at m=512)");
+    for m in [2usize, 4, 8, 16, 32, 64, 128, 256, 512] {
+        let r = solve_batch(&launcher, GpuAlgorithm::CrPcr { m }, &batch).unwrap();
+        println!("  m={m:3}  {:.3} ms", r.timing.kernel_ms);
+    }
+}

@@ -1,0 +1,50 @@
+//! Reproduction driver: regenerates every table and figure of the paper's
+//! evaluation section (plus the ablations).
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro            # everything
+//! cargo run --release -p bench --bin repro fig9 fig17 # a subset
+//! cargo run --release -p bench --bin repro --list     # available names
+//! ```
+
+use bench::{figures, ReproConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = figures::all();
+
+    if args.iter().any(|a| a == "--list" || a == "-l" || a == "--help") {
+        println!("available experiments:");
+        for (name, _) in &all {
+            println!("  {name}");
+        }
+        return;
+    }
+
+    let cfg = ReproConfig::default();
+    let selected: Vec<&bench::figures::Experiment> = if args.is_empty() {
+        all.iter().collect()
+    } else {
+        let mut picked = Vec::new();
+        for arg in &args {
+            match all.iter().find(|(name, _)| name == arg) {
+                Some(entry) => picked.push(entry),
+                None => {
+                    eprintln!("unknown experiment '{arg}' — use --list");
+                    std::process::exit(2);
+                }
+            }
+        }
+        picked
+    };
+
+    println!("# Fast Tridiagonal Solvers on the GPU — reproduction report");
+    println!("# device: {} | seed: {}", cfg.launcher.device.name, cfg.seed);
+    println!();
+    for (name, run) in selected {
+        eprintln!("[repro] running {name} ...");
+        for table in run(&cfg) {
+            println!("{table}");
+        }
+    }
+}

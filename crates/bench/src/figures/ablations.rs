@@ -1,0 +1,344 @@
+//! Ablations beyond the paper's figures, for the design choices DESIGN.md
+//! calls out:
+//!
+//! 1. **Bank-conflict-free CR (even/odd separation)** vs plain CR and the
+//!    hybrids — footnote 1 claims Göddeke & Strzodka's variant "achieves
+//!    similar performance as our hybrid CR+PCR solver, at the cost of 50%
+//!    more shared memory usage".
+//! 2. **Global-memory-only CR** — §4 claims "roughly 3x performance
+//!    degradation" for systems exceeding shared memory.
+//! 3. **RD rescaling overhead** — §5.4 warns the overflow remedy
+//!    "introduces a considerable amount of control overhead".
+//! 4. **Occupancy** — §5.2 attributes the 512x512 efficiency dip to
+//!    single-block residency.
+
+use crate::report::{ms, Table};
+use crate::ReproConfig;
+use gpu_solvers::{solve_batch, GpuAlgorithm, RdMode};
+use tridiag_core::dominant_batch;
+
+/// Runs all ablations.
+pub fn run(cfg: &ReproConfig) -> Vec<Table> {
+    let (n, count) = cfg.headline();
+    let batch = dominant_batch::<f32>(cfg.seed, n, count);
+
+    // 1. Conflict-free CR vs hybrid.
+    let mut t1 = Table::new(
+        "Ablation 1 (footnote 1): bank-conflict-free CR vs hybrids, 512x512",
+        &["solver", "kernel ms", "shared words/block", "max conflict"],
+    );
+    for alg in [
+        GpuAlgorithm::Cr,
+        GpuAlgorithm::CrEvenOdd,
+        GpuAlgorithm::CrPcr { m: 256 },
+        GpuAlgorithm::CrRd { m: 128, mode: RdMode::Plain },
+    ] {
+        let r = solve_batch(&cfg.launcher, alg, &batch).expect("solve");
+        t1.row(vec![
+            alg.name().to_string(),
+            ms(r.timing.kernel_ms),
+            r.stats.shared_words.to_string(),
+            format!("{}x", r.stats.max_conflict_degree()),
+        ]);
+    }
+    t1.note("footnote 1: the even/odd variant 'achieves similar performance as our hybrid CR+PCR solver, at the cost of 50% more shared memory usage'");
+
+    // 2. Global-only CR.
+    let mut t2 = Table::new(
+        "Ablation 2 (§4): global-memory-only CR vs shared-memory CR",
+        &["problem", "shared CR ms", "global-only CR ms", "slowdown"],
+    );
+    for (nn, cc) in [(256usize, 256usize), (512, 512)] {
+        let b = dominant_batch::<f32>(cfg.seed, nn, cc);
+        let shared = solve_batch(&cfg.launcher, GpuAlgorithm::Cr, &b).expect("solve");
+        let global = solve_batch(&cfg.launcher, GpuAlgorithm::CrGlobalOnly, &b).expect("solve");
+        t2.row(vec![
+            format!("{nn}x{cc}"),
+            ms(shared.timing.kernel_ms),
+            ms(global.timing.kernel_ms),
+            format!("{:.1}x", global.timing.kernel_ms / shared.timing.kernel_ms),
+        ]);
+    }
+    // Oversized case: only the global path works.
+    let big = dominant_batch::<f32>(cfg.seed, 2048, 64);
+    let global_big = solve_batch(&cfg.launcher, GpuAlgorithm::CrGlobalOnly, &big).expect("solve");
+    t2.row(vec![
+        "2048x64".into(),
+        "exceeds shared memory".into(),
+        ms(global_big.timing.kernel_ms),
+        "-".into(),
+    ]);
+    t2.note("paper: systems of more than 512 equations are supported 'at a cost of roughly 3x performance degradation by using global memory only'");
+
+    // 3. RD rescaling overhead.
+    let mut t3 = Table::new(
+        "Ablation 3 (§5.4): cost of the RD overflow-rescaling remedy, 512x512",
+        &["variant", "kernel ms", "ops/system", "overflows on dominant?"],
+    );
+    for mode in [RdMode::Plain, RdMode::Rescaled] {
+        let r = solve_batch(&cfg.launcher, GpuAlgorithm::Rd(mode), &batch).expect("solve");
+        t3.row(vec![
+            GpuAlgorithm::Rd(mode).name().to_string(),
+            ms(r.timing.kernel_ms),
+            r.stats.total_ops().to_string(),
+            if r.solutions.first_non_finite().is_some() { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    t3.note("paper: 'this method introduces a considerable amount of control overhead'");
+
+    // 4. Occupancy: per-unknown efficiency across the paper's problem
+    // sizes — the improvement from quadrupling the problem decelerates at
+    // 512x512, where only one block fits per SM.
+    let mut t4 = Table::new(
+        "Ablation 4 (§5.2): occupancy — per-unknown cost across problem sizes (CR)",
+        &["problem", "blocks/SM", "kernel ms", "ns per unknown", "improvement vs prev size"],
+    );
+    let mut prev_per_unknown: Option<f64> = None;
+    for (nn, cc) in cfg.problem_sizes() {
+        let b = dominant_batch::<f32>(cfg.seed, nn, cc);
+        let r = solve_batch(&cfg.launcher, GpuAlgorithm::Cr, &b).expect("solve");
+        let per_unknown_ns = r.timing.kernel_ms * 1e6 / (nn * cc) as f64;
+        let improvement = prev_per_unknown
+            .map(|p| format!("{:.2}x", p / per_unknown_ns))
+            .unwrap_or_else(|| "-".into());
+        prev_per_unknown = Some(per_unknown_ns);
+        t4.row(vec![
+            format!("{nn}x{cc}"),
+            r.timing.occupancy.blocks_per_sm.to_string(),
+            ms(r.timing.kernel_ms),
+            format!("{per_unknown_ns:.2}"),
+            improvement,
+        ]);
+    }
+    t4.note("paper: 'The relative performance on the 512x512 problem size is not as high as the 256x256 problem size because the system size is too large to fit multiple blocks running simultaneously on a GPU multiprocessor' — visible as the decelerating improvement in the last row");
+
+    // 5. Fine-grained (this paper) vs coarse-grained (thread-per-system
+    // Thomas, the later cuSPARSE gtsvStridedBatch approach): the crossover.
+    let mut t5 = Table::new(
+        "Ablation 5: fine-grained CR+PCR vs coarse-grained thread-per-system Thomas",
+        &["problem", "CR+PCR ms", "Thomas/thread ms", "winner"],
+    );
+    for (nn, cc) in [(512usize, 64usize), (512, 512), (64, 2048), (64, 16384)] {
+        let b = dominant_batch::<f32>(cfg.seed, nn, cc);
+        let fine = solve_batch(&cfg.launcher, GpuAlgorithm::CrPcr { m: (nn / 2).max(2) }, &b)
+            .expect("solve")
+            .timing
+            .kernel_ms;
+        let coarse = solve_batch(&cfg.launcher, GpuAlgorithm::ThomasPerThread, &b)
+            .expect("solve")
+            .timing
+            .kernel_ms;
+        t5.row(vec![
+            format!("{nn}x{cc}"),
+            ms(fine),
+            ms(coarse),
+            if fine < coarse { "fine-grained" } else { "coarse-grained" }.to_string(),
+        ]);
+    }
+    t5.note("paper §3: coarse-grained methods 'map larger amounts of work per thread' and were set aside; the serial recurrence makes them latency-bound, so they only win once the batch is large enough to bury the dependence chain");
+
+    // 6. Device sensitivity: do the paper's conclusions survive on a
+    // different vector architecture? (its own claim: the tradeoff "will be
+    // an issue on any vector architecture").
+    let mut t6 = Table::new(
+        "Ablation 6: solver ranking across device generations (512x512, kernel ms)",
+        &["solver", "GTX 280 (16 banks, 16 KB)", "Fermi-class (32 banks, 48 KB)"],
+    );
+    let fermi = gpu_sim::Launcher {
+        device: gpu_sim::DeviceConfig::fermi_like(),
+        cost: cfg.launcher.cost.clone(),
+    };
+    for alg in [
+        GpuAlgorithm::CrPcr { m: 256 },
+        GpuAlgorithm::CrRd { m: 128, mode: RdMode::Plain },
+        GpuAlgorithm::Pcr,
+        GpuAlgorithm::Rd(RdMode::Plain),
+        GpuAlgorithm::Cr,
+    ] {
+        let gtx = solve_batch(&cfg.launcher, alg, &batch).expect("solve").timing.kernel_ms;
+        let frm = solve_batch(&fermi, alg, &batch).expect("solve").timing.kernel_ms;
+        t6.row(vec![alg.name().to_string(), ms(gtx), ms(frm)]);
+    }
+    t6.note("the hybrid still wins on the Fermi-class device: more banks shrink CR's conflict degrees but the step-efficiency argument persists (paper §3)");
+    t6.note("48 KB of shared memory also admits n = 1024 systems that the GT200 must push to the global-memory path");
+
+    // 7. Mixed-precision iterative refinement (the Göddeke-Strzodka
+    // reference's theme): f32 GPU solves, f64 accuracy.
+    let mut t7 = Table::new(
+        "Ablation 7: mixed-precision refinement (f32 kernels on f64 systems, 256x64)",
+        &["refinement passes", "worst residual", "total simulated ms"],
+    );
+    let b64: tridiag_core::SystemBatch<f64> =
+        tridiag_core::Generator::new(cfg.seed).batch(
+            tridiag_core::Workload::DiagonallyDominant,
+            256,
+            64,
+        )
+        .expect("gen");
+    for iters in [0usize, 1, 2, 3] {
+        let r = gpu_solvers::solve_batch_refined(
+            &cfg.launcher,
+            GpuAlgorithm::CrPcr { m: 128 },
+            &b64,
+            iters,
+        )
+        .expect("refined solve");
+        t7.row(vec![
+            iters.to_string(),
+            format!("{:.2e}", r.residual_history.last().unwrap()),
+            ms(r.total_kernel_ms),
+        ]);
+    }
+    t7.note("each pass multiplies the error by O(eps_f32 * kappa); two f32 passes reach f64-level residuals while only ever running the fast single-precision kernels the paper evaluates");
+
+    // 8. PCR+pThomas (the later cuSPARSE-style hybrid) vs the paper's
+    // CR+PCR, sweeping the serial subsystem size.
+    let mut t8 = Table::new(
+        "Ablation 8: PCR+pThomas split sweep vs the paper's hybrid (512x512, kernel ms)",
+        &["solver", "kernel ms", "algorithmic steps"],
+    );
+    {
+        use gpu_solvers::{PcrThomasKernel, SystemHandles};
+        let reference = solve_batch(&cfg.launcher, GpuAlgorithm::CrPcr { m: 256 }, &batch)
+            .expect("solve");
+        for split in [4usize, 8, 16, 32, 64] {
+            let mut gmem = gpu_sim::GlobalMem::new();
+            let gm = SystemHandles::upload(&mut gmem, &batch);
+            let kernel = PcrThomasKernel { n, split, gm };
+            let r = cfg.launcher.launch(&kernel, count, &mut gmem).expect("launch");
+            let steps =
+                r.stats.steps.iter().filter(|s| !s.phase.is_straight_line()).count();
+            t8.row(vec![
+                format!("PCR+pThomas (split={split})"),
+                ms(r.timing.kernel_ms),
+                steps.to_string(),
+            ]);
+        }
+        let steps = reference
+            .stats
+            .steps
+            .iter()
+            .filter(|s| !s.phase.is_straight_line())
+            .count();
+        t8.row(vec![
+            "CR+PCR (m=256)".to_string(),
+            ms(reference.timing.kernel_ms),
+            steps.to_string(),
+        ]);
+    }
+    t8.note("the serial tail keeps the sweeps in registers and unit-stride across lanes; it trades the paper's bank-conflict problem for a long low-parallelism step — another point on the same work/step frontier");
+
+    vec![t1, t2, t3, t4, t5, t6, t7, t8]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_odd_performs_near_the_hybrid() {
+        // Footnote 1's claim, within a generous band.
+        let cfg = ReproConfig::default();
+        let (n, count) = cfg.headline();
+        let batch = dominant_batch::<f32>(cfg.seed, n, count);
+        let eo = solve_batch(&cfg.launcher, GpuAlgorithm::CrEvenOdd, &batch).unwrap();
+        let hy = solve_batch(&cfg.launcher, GpuAlgorithm::CrPcr { m: 256 }, &batch).unwrap();
+        let cr = solve_batch(&cfg.launcher, GpuAlgorithm::Cr, &batch).unwrap();
+        assert!(eo.timing.kernel_ms < cr.timing.kernel_ms, "even/odd must beat plain CR");
+        let ratio = eo.timing.kernel_ms / hy.timing.kernel_ms;
+        assert!((0.6..1.6).contains(&ratio), "even/odd vs hybrid ratio {ratio}");
+    }
+
+    #[test]
+    fn global_only_is_a_few_times_slower() {
+        let cfg = ReproConfig::default();
+        let b = dominant_batch::<f32>(cfg.seed, 512, 512);
+        let shared = solve_batch(&cfg.launcher, GpuAlgorithm::Cr, &b).unwrap();
+        let global = solve_batch(&cfg.launcher, GpuAlgorithm::CrGlobalOnly, &b).unwrap();
+        let slowdown = global.timing.kernel_ms / shared.timing.kernel_ms;
+        assert!((1.5..6.0).contains(&slowdown), "slowdown {slowdown}");
+    }
+
+    #[test]
+    fn rescaling_costs_time_but_prevents_overflow() {
+        let cfg = ReproConfig::default();
+        let b = dominant_batch::<f32>(cfg.seed, 512, 64);
+        let plain = solve_batch(&cfg.launcher, GpuAlgorithm::Rd(RdMode::Plain), &b).unwrap();
+        let rescaled =
+            solve_batch(&cfg.launcher, GpuAlgorithm::Rd(RdMode::Rescaled), &b).unwrap();
+        assert!(rescaled.timing.kernel_ms > plain.timing.kernel_ms);
+        assert!(rescaled.stats.total_ops() > plain.stats.total_ops());
+        assert!(plain.solutions.first_non_finite().is_some());
+        assert_eq!(rescaled.solutions.first_non_finite(), None);
+    }
+
+    #[test]
+    fn hybrid_still_wins_on_fermi_class_device() {
+        // The paper's portability claim, checked mechanically.
+        let cfg = ReproConfig::default();
+        let batch = dominant_batch::<f32>(cfg.seed, 512, 512);
+        let fermi = gpu_sim::Launcher {
+            device: gpu_sim::DeviceConfig::fermi_like(),
+            cost: cfg.launcher.cost.clone(),
+        };
+        let hybrid =
+            solve_batch(&fermi, GpuAlgorithm::CrPcr { m: 256 }, &batch).unwrap().timing.kernel_ms;
+        let pcr = solve_batch(&fermi, GpuAlgorithm::Pcr, &batch).unwrap().timing.kernel_ms;
+        let cr = solve_batch(&fermi, GpuAlgorithm::Cr, &batch).unwrap().timing.kernel_ms;
+        assert!(hybrid < pcr, "hybrid {hybrid} vs pcr {pcr}");
+        assert!(hybrid < cr, "hybrid {hybrid} vs cr {cr}");
+        // Fermi's 48 KB admits n = 1024 where GT200 cannot.
+        let big = dominant_batch::<f32>(cfg.seed, 1024, 64);
+        assert!(solve_batch(&fermi, GpuAlgorithm::Pcr, &big).is_ok());
+        assert!(solve_batch(&cfg.launcher, GpuAlgorithm::Pcr, &big).is_err());
+    }
+
+    #[test]
+    fn crossover_between_fine_and_coarse_exists() {
+        let cfg = ReproConfig::default();
+        // Paper regime: fine-grained wins.
+        let b = dominant_batch::<f32>(cfg.seed, 512, 512);
+        let fine = solve_batch(&cfg.launcher, GpuAlgorithm::CrPcr { m: 256 }, &b)
+            .unwrap()
+            .timing
+            .kernel_ms;
+        let coarse =
+            solve_batch(&cfg.launcher, GpuAlgorithm::ThomasPerThread, &b).unwrap().timing.kernel_ms;
+        assert!(fine < coarse);
+        // Huge batch of small systems: coarse-grained wins.
+        let b = dominant_batch::<f32>(cfg.seed, 64, 16384);
+        let fine = solve_batch(&cfg.launcher, GpuAlgorithm::CrPcr { m: 32 }, &b)
+            .unwrap()
+            .timing
+            .kernel_ms;
+        let coarse =
+            solve_batch(&cfg.launcher, GpuAlgorithm::ThomasPerThread, &b).unwrap().timing.kernel_ms;
+        assert!(coarse < fine);
+    }
+
+    #[test]
+    fn per_unknown_improvement_decelerates_at_512() {
+        // Paper §5.2: runtime grows far less than 4x per size step, but the
+        // improvement shrinks at 512x512 where residency drops to 1 block.
+        let cfg = ReproConfig::default();
+        let mut per_unknown = Vec::new();
+        let mut residency = Vec::new();
+        for (nn, cc) in cfg.problem_sizes() {
+            let b = dominant_batch::<f32>(cfg.seed, nn, cc);
+            let r = solve_batch(&cfg.launcher, GpuAlgorithm::Cr, &b).unwrap();
+            per_unknown.push(r.timing.kernel_ms * 1e6 / (nn * cc) as f64);
+            residency.push(r.timing.occupancy.blocks_per_sm);
+        }
+        // Residency drops to one block at 512.
+        assert_eq!(*residency.last().unwrap(), 1);
+        assert!(residency[2] > 1);
+        // Per-unknown cost improves monotonically...
+        for w in per_unknown.windows(2) {
+            assert!(w[1] < w[0], "{per_unknown:?}");
+        }
+        // ...but the 256->512 improvement is smaller than 128->256.
+        let imp_mid = per_unknown[1] / per_unknown[2];
+        let imp_last = per_unknown[2] / per_unknown[3];
+        assert!(imp_last < imp_mid, "improvements {imp_mid:.2} then {imp_last:.2}");
+    }
+}

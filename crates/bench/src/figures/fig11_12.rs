@@ -1,0 +1,101 @@
+//! Figures 11 and 12: PCR time breakdown at 512x512 — per phase and per
+//! resource.
+
+use crate::figures::{phase_breakdown_table, resource_breakdown_table};
+use crate::report::Table;
+use crate::ReproConfig;
+use gpu_solvers::{solve_batch, GpuAlgorithm};
+use tridiag_core::dominant_batch;
+
+/// Regenerates Figures 11 and 12.
+pub fn run(cfg: &ReproConfig) -> Vec<Table> {
+    let (n, count) = cfg.headline();
+    let batch = dominant_batch::<f32>(cfg.seed, n, count);
+    let r = solve_batch(&cfg.launcher, GpuAlgorithm::Pcr, &batch).expect("solve");
+
+    let mut fig11 = phase_breakdown_table(
+        &format!("Figure 11: time breakdown of PCR, {n}x{count} (ms)"),
+        &r.timing,
+    );
+    fig11.note("paper: global 0.106 (20%), fwd 8 steps 0.409 (76%, avg 0.051), solve-all-2-unknown 0.019 (4%), total 0.534");
+
+    let mut fig12 = resource_breakdown_table(
+        &format!("Figure 12: PCR resource breakdown, {n}x{count}"),
+        &r.timing,
+    );
+    fig12.note("paper: global 0.106/20% @47.2 GB/s, shared 0.163/30% @883 GB/s, compute 0.265/50% @101.9 GFLOPS");
+    fig12.note("the ~26x shared-bandwidth gap to CR combines the bank-conflict penalty and CR's sub-half-warp load/store utilization");
+
+    vec![fig11, fig12]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing(cfg: &ReproConfig, alg: GpuAlgorithm) -> gpu_sim::TimingReport {
+        let (n, count) = cfg.headline();
+        let batch = dominant_batch::<f32>(cfg.seed, n, count);
+        solve_batch(&cfg.launcher, alg, &batch).unwrap().timing
+    }
+
+    #[test]
+    fn pcr_takes_about_half_of_cr() {
+        let cfg = ReproConfig::default();
+        let pcr = timing(&cfg, GpuAlgorithm::Pcr);
+        let cr = timing(&cfg, GpuAlgorithm::Cr);
+        let ratio = cr.kernel_ms / pcr.kernel_ms;
+        assert!((1.5..2.5).contains(&ratio), "CR/PCR {ratio}");
+    }
+
+    #[test]
+    fn pcr_shared_bandwidth_an_order_of_magnitude_above_cr() {
+        // Paper: 883 GB/s vs 33 GB/s, "26 times the bandwidth achieved in
+        // the CR case".
+        let cfg = ReproConfig::default();
+        let pcr = timing(&cfg, GpuAlgorithm::Pcr);
+        let cr = timing(&cfg, GpuAlgorithm::Cr);
+        let factor = pcr.achieved_shared_gbps / cr.achieved_shared_gbps;
+        assert!(factor > 10.0, "bandwidth factor {factor}");
+        assert!((500.0..1200.0).contains(&pcr.achieved_shared_gbps));
+    }
+
+    #[test]
+    fn pcr_compute_rate_far_above_cr() {
+        // Paper: 101.9 vs 15.5 GFLOPS, thanks to full vector utilization.
+        let cfg = ReproConfig::default();
+        let pcr = timing(&cfg, GpuAlgorithm::Pcr);
+        let cr = timing(&cfg, GpuAlgorithm::Cr);
+        assert!(pcr.gflops > 3.0 * cr.gflops, "{} vs {}", pcr.gflops, cr.gflops);
+    }
+
+    #[test]
+    fn shared_fraction_is_small_for_pcr() {
+        // Paper: only 30% of PCR's time is shared access (vs CR's 64%).
+        let cfg = ReproConfig::default();
+        let pcr = timing(&cfg, GpuAlgorithm::Pcr);
+        let frac = pcr.shared_ms / pcr.kernel_ms;
+        assert!((0.15..0.45).contains(&frac), "shared fraction {frac}");
+    }
+
+    #[test]
+    fn average_pcr_step_cheaper_than_average_cr_forward_step() {
+        // Paper: "although PCR does more work during each forward reduction
+        // step than CR, the average step time is less than that of CR ...
+        // because PCR is free of bank conflicts".
+        let cfg = ReproConfig::default();
+        let pcr = timing(&cfg, GpuAlgorithm::Pcr);
+        let cr = timing(&cfg, GpuAlgorithm::Cr);
+        let pcr_avg = pcr
+            .steps_in_phase(gpu_sim::Phase::PcrReduction)
+            .map(|s| s.ms)
+            .sum::<f64>()
+            / 8.0;
+        let cr_avg = cr
+            .steps_in_phase(gpu_sim::Phase::ForwardReduction)
+            .map(|s| s.ms)
+            .sum::<f64>()
+            / 8.0;
+        assert!(pcr_avg < cr_avg, "pcr {pcr_avg} vs cr {cr_avg}");
+    }
+}

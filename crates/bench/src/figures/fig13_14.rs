@@ -1,0 +1,82 @@
+//! Figures 13 and 14: RD time breakdown at 512x512 — per phase and per
+//! resource.
+
+use crate::figures::{phase_breakdown_table, resource_breakdown_table};
+use crate::report::Table;
+use crate::ReproConfig;
+use gpu_solvers::{solve_batch, GpuAlgorithm, RdMode};
+use tridiag_core::dominant_batch;
+
+/// Regenerates Figures 13 and 14.
+pub fn run(cfg: &ReproConfig) -> Vec<Table> {
+    let (n, count) = cfg.headline();
+    let batch = dominant_batch::<f32>(cfg.seed, n, count);
+    let r = solve_batch(&cfg.launcher, GpuAlgorithm::Rd(RdMode::Plain), &batch).expect("solve");
+
+    let mut fig13 = phase_breakdown_table(
+        &format!("Figure 13: time breakdown of RD, {n}x{count} (ms)"),
+        &r.timing,
+    );
+    fig13.note("paper: global+matrix setup 0.109 (18%), scan 9 steps 0.484 (79%, avg 0.054), solution evaluation 0.019 (3%), total 0.612");
+    fig13.note("the solution on the dominant workload overflows in f32 (Figure 18) — timing is unaffected, the instruction stream is identical");
+
+    let mut fig14 = resource_breakdown_table(
+        &format!("Figure 14: RD resource breakdown, {n}x{count}"),
+        &r.timing,
+    );
+    fig14.note("paper: global 0.109/18% @45.9 GB/s, shared 0.262/43% @1095 GB/s, compute 0.241/39% @186.7 GFLOPS");
+    fig14.note("our scan issues 18 shared accesses per element-step vs the paper's 32nlog2n accounting, so the shared share is lower");
+
+    vec![fig13, fig14]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing(cfg: &ReproConfig, alg: GpuAlgorithm) -> gpu_sim::TimingReport {
+        let (n, count) = cfg.headline();
+        let batch = dominant_batch::<f32>(cfg.seed, n, count);
+        solve_batch(&cfg.launcher, alg, &batch).unwrap().timing
+    }
+
+    #[test]
+    fn rd_slightly_slower_than_pcr() {
+        // Paper: "RD takes slightly more time than PCR ... RD has two more
+        // steps than PCR".
+        let cfg = ReproConfig::default();
+        let rd = timing(&cfg, GpuAlgorithm::Rd(RdMode::Plain));
+        let pcr = timing(&cfg, GpuAlgorithm::Pcr);
+        assert!(rd.kernel_ms > pcr.kernel_ms);
+        assert!(rd.kernel_ms < 1.3 * pcr.kernel_ms, "{} vs {}", rd.kernel_ms, pcr.kernel_ms);
+    }
+
+    #[test]
+    fn rd_compute_rate_highest_of_all() {
+        // Paper: 186.7 GFLOPS — almost twice PCR's rate, because the scan
+        // has no divisions.
+        let cfg = ReproConfig::default();
+        let rd = timing(&cfg, GpuAlgorithm::Rd(RdMode::Plain));
+        let pcr = timing(&cfg, GpuAlgorithm::Pcr);
+        assert!(rd.gflops > pcr.gflops, "{} vs {}", rd.gflops, pcr.gflops);
+    }
+
+    #[test]
+    fn rd_shared_time_exceeds_pcr() {
+        // Paper: "The shared memory access time of RD is 1.6 times that of
+        // PCR" (ours is milder because of the access-count difference).
+        let cfg = ReproConfig::default();
+        let rd = timing(&cfg, GpuAlgorithm::Rd(RdMode::Plain));
+        let pcr = timing(&cfg, GpuAlgorithm::Pcr);
+        assert!(rd.shared_ms > pcr.shared_ms);
+    }
+
+    #[test]
+    fn scan_dominates_rd_time() {
+        // Paper: the 9 scan steps take 79% of the total.
+        let cfg = ReproConfig::default();
+        let rd = timing(&cfg, GpuAlgorithm::Rd(RdMode::Plain));
+        let scan_ms = rd.phase_ms(gpu_sim::Phase::Scan);
+        assert!(scan_ms / rd.kernel_ms > 0.5, "scan share {}", scan_ms / rd.kernel_ms);
+    }
+}

@@ -1,0 +1,85 @@
+//! Figure 15: time breakdown of hybrid CR+PCR (m = 256) at 512x512.
+
+use crate::figures::phase_breakdown_table;
+use crate::report::Table;
+use crate::ReproConfig;
+use gpu_solvers::{solve_batch, GpuAlgorithm};
+use tridiag_core::dominant_batch;
+
+/// Regenerates Figure 15.
+pub fn run(cfg: &ReproConfig) -> Vec<Table> {
+    let (n, count) = cfg.headline();
+    let batch = dominant_batch::<f32>(cfg.seed, n, count);
+    let r =
+        solve_batch(&cfg.launcher, GpuAlgorithm::CrPcr { m: 256 }, &batch).expect("solve");
+
+    let mut t = phase_breakdown_table(
+        &format!("Figure 15: time breakdown of CR+PCR (m=256), {n}x{count} (ms)"),
+        &r.timing,
+    );
+    t.note("paper: global 0.104 (25%), CR fwd 0.060 (14%), copy 0.009 (2%), PCR fwd 7 steps 0.200 (47%, avg 0.029), PCR solve 0.023 (6%), CR bwd 0.026 (6%), total 0.422");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Phase;
+
+    fn timing(cfg: &ReproConfig, alg: GpuAlgorithm) -> gpu_sim::TimingReport {
+        let (n, count) = cfg.headline();
+        let batch = dominant_batch::<f32>(cfg.seed, n, count);
+        solve_batch(&cfg.launcher, alg, &batch).unwrap().timing
+    }
+
+    #[test]
+    fn hybrid_beats_both_parents() {
+        // The headline claim: CR+PCR outperforms CR (61% in the paper) and
+        // PCR (21%).
+        let cfg = ReproConfig::default();
+        let hybrid = timing(&cfg, GpuAlgorithm::CrPcr { m: 256 });
+        let cr = timing(&cfg, GpuAlgorithm::Cr);
+        let pcr = timing(&cfg, GpuAlgorithm::Pcr);
+        assert!(hybrid.kernel_ms < pcr.kernel_ms);
+        assert!(hybrid.kernel_ms < cr.kernel_ms * 0.6);
+    }
+
+    #[test]
+    fn inner_pcr_steps_cost_about_half_of_full_pcr_steps() {
+        // Paper: "the size of the remaining (intermediate) system is reduced
+        // by half, and therefore takes almost half of the time per step".
+        let cfg = ReproConfig::default();
+        let hybrid = timing(&cfg, GpuAlgorithm::CrPcr { m: 256 });
+        let pcr = timing(&cfg, GpuAlgorithm::Pcr);
+        let inner_avg = hybrid
+            .steps_in_phase(Phase::PcrReduction)
+            .map(|s| s.ms)
+            .sum::<f64>()
+            / hybrid.steps_in_phase(Phase::PcrReduction).count() as f64;
+        let full_avg = pcr
+            .steps_in_phase(Phase::PcrReduction)
+            .map(|s| s.ms)
+            .sum::<f64>()
+            / pcr.steps_in_phase(Phase::PcrReduction).count() as f64;
+        let ratio = inner_avg / full_avg;
+        assert!((0.4..0.85).contains(&ratio), "inner/full step ratio {ratio}");
+    }
+
+    #[test]
+    fn copy_takes_little_time() {
+        // Paper: "The copy takes little time".
+        let cfg = ReproConfig::default();
+        let hybrid = timing(&cfg, GpuAlgorithm::CrPcr { m: 256 });
+        let copy = hybrid.phase_ms(Phase::CopyIntermediate);
+        assert!(copy / hybrid.kernel_ms < 0.1, "copy share {}", copy / hybrid.kernel_ms);
+    }
+
+    #[test]
+    fn only_mild_conflicts_remain() {
+        let cfg = ReproConfig::default();
+        let (n, count) = cfg.headline();
+        let batch = dominant_batch::<f32>(cfg.seed, n, count);
+        let r = solve_batch(&cfg.launcher, GpuAlgorithm::CrPcr { m: 256 }, &batch).unwrap();
+        assert!(r.stats.max_conflict_degree() <= 2);
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 16: time breakdown of hybrid CR+RD (m = 128) at 512x512.
+
+use crate::figures::phase_breakdown_table;
+use crate::report::Table;
+use crate::ReproConfig;
+use gpu_solvers::{solve_batch, GpuAlgorithm, RdMode};
+use tridiag_core::dominant_batch;
+
+/// Regenerates Figure 16.
+pub fn run(cfg: &ReproConfig) -> Vec<Table> {
+    let (n, count) = cfg.headline();
+    let batch = dominant_batch::<f32>(cfg.seed, n, count);
+    let r = solve_batch(
+        &cfg.launcher,
+        GpuAlgorithm::CrRd { m: 128, mode: RdMode::Plain },
+        &batch,
+    )
+    .expect("solve");
+
+    let mut t = phase_breakdown_table(
+        &format!("Figure 16: time breakdown of CR+RD (m=128), {n}x{count} (ms)"),
+        &r.timing,
+    );
+    t.note("paper: global 0.104 (21%), CR fwd 0.039 (8%), copy+setup 0.069 (14%), scan 7 steps 0.179 (37%, avg 0.026), eval 0.018 (4%), CR bwd 0.024+0.032 (12%), total 0.488");
+    t.note("deviation: the paper prices its two CR forward steps at 0.039 ms total while its Figure 15 prices one identical step at 0.060 ms; our model prices them consistently (~0.12 ms), so our CR+RD lands nearer RD than 20% below it");
+    t.note("the intermediate size is 128, not 256, 'due to the limit of shared memory size' — reproduced by the occupancy checker");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Phase;
+
+    fn timing(cfg: &ReproConfig, alg: GpuAlgorithm) -> gpu_sim::TimingReport {
+        let (n, count) = cfg.headline();
+        let batch = dominant_batch::<f32>(cfg.seed, n, count);
+        solve_batch(&cfg.launcher, alg, &batch).unwrap().timing
+    }
+
+    #[test]
+    fn cr_rd_beats_rd_and_cr() {
+        let cfg = ReproConfig::default();
+        let hybrid = timing(&cfg, GpuAlgorithm::CrRd { m: 128, mode: RdMode::Plain });
+        let rd = timing(&cfg, GpuAlgorithm::Rd(RdMode::Plain));
+        let cr = timing(&cfg, GpuAlgorithm::Cr);
+        assert!(hybrid.kernel_ms < rd.kernel_ms);
+        assert!(hybrid.kernel_ms < cr.kernel_ms);
+    }
+
+    #[test]
+    fn cr_rd_slightly_slower_than_cr_pcr() {
+        // Paper: "The CR+RD solver is slightly slower than the CR+PCR
+        // solver."
+        let cfg = ReproConfig::default();
+        let crrd = timing(&cfg, GpuAlgorithm::CrRd { m: 128, mode: RdMode::Plain });
+        let crpcr = timing(&cfg, GpuAlgorithm::CrPcr { m: 256 });
+        assert!(crrd.kernel_ms > crpcr.kernel_ms);
+        assert!(crrd.kernel_ms < 1.5 * crpcr.kernel_ms);
+    }
+
+    #[test]
+    fn inner_scan_steps_cheaper_than_full_rd_steps() {
+        // Paper: "Since the intermediate system is smaller, the average time
+        // per step is even more reduced."
+        let cfg = ReproConfig::default();
+        let hybrid = timing(&cfg, GpuAlgorithm::CrRd { m: 128, mode: RdMode::Plain });
+        let rd = timing(&cfg, GpuAlgorithm::Rd(RdMode::Plain));
+        let inner = hybrid.steps_in_phase(Phase::Scan).map(|s| s.ms).sum::<f64>()
+            / hybrid.steps_in_phase(Phase::Scan).count() as f64;
+        let full = rd.steps_in_phase(Phase::Scan).map(|s| s.ms).sum::<f64>()
+            / rd.steps_in_phase(Phase::Scan).count() as f64;
+        assert!(inner < full, "inner {inner} vs full {full}");
+    }
+
+    #[test]
+    fn table_mentions_m128() {
+        let cfg = ReproConfig::default();
+        let t = run(&cfg);
+        assert!(t[0].title.contains("m=128"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Figure 17: hybrid solver timings as a function of the intermediate
+//! (switch-point) system size, 512x512. Endpoints are the non-hybrid
+//! solvers: m = 2 behaves like pure CR, m = 512 is pure PCR/RD.
+
+use crate::report::{ms, Table};
+use crate::ReproConfig;
+use gpu_solvers::{solve_batch, GpuAlgorithm, RdMode};
+use tridiag_core::{dominant_batch, TridiagError};
+
+/// Sweep result: `(m, CR+PCR ms, CR+RD ms or None when it exceeds shared
+/// memory)`.
+pub fn measure(cfg: &ReproConfig) -> Vec<(usize, f64, Option<f64>)> {
+    let (n, count) = cfg.headline();
+    let batch = dominant_batch::<f32>(cfg.seed, n, count);
+    let mut out = Vec::new();
+    let mut m = 2usize;
+    while m <= n {
+        let crpcr = solve_batch(&cfg.launcher, GpuAlgorithm::CrPcr { m }, &batch)
+            .expect("CR+PCR fits at all m")
+            .timing
+            .kernel_ms;
+        let crrd = match solve_batch(
+            &cfg.launcher,
+            GpuAlgorithm::CrRd { m, mode: RdMode::Plain },
+            &batch,
+        ) {
+            Ok(r) => Some(r.timing.kernel_ms),
+            Err(TridiagError::SharedMemExceeded { .. }) => None,
+            Err(e) => panic!("unexpected error at m={m}: {e}"),
+        };
+        out.push((m, crpcr, crrd));
+        m *= 2;
+    }
+    out
+}
+
+/// Regenerates Figure 17.
+pub fn run(cfg: &ReproConfig) -> Vec<Table> {
+    let mut t = Table::new(
+        "Figure 17: hybrid timings vs intermediate system size, 512x512 (ms)",
+        &["intermediate size m", "CR+PCR", "CR+RD"],
+    );
+    for (m, crpcr, crrd) in measure(cfg) {
+        t.row(vec![
+            m.to_string(),
+            ms(crpcr),
+            crrd.map(ms).unwrap_or_else(|| "exceeds shared memory".into()),
+        ]);
+    }
+    t.note("paper: CR+PCR falls from ~1.07 ms (m=2, pure-CR behaviour) to 0.422 ms at m=256, rising to 0.534 at m=512 (pure PCR)");
+    t.note("the best switch point (256) is far larger than the warp size (32): switching early also avoids bank conflicts and step overhead, not just idle lanes");
+    t.note("CR+RD's copy+scan arrays exceed shared memory at m=256 (its best feasible switch point is 128, as in the paper); m=512 is pure RD, no copy");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_powers_of_two() {
+        let cfg = ReproConfig::default();
+        let sweep = measure(&cfg);
+        let ms: Vec<usize> = sweep.iter().map(|(m, _, _)| *m).collect();
+        assert_eq!(ms, vec![2, 4, 8, 16, 32, 64, 128, 256, 512]);
+    }
+
+    #[test]
+    fn cr_pcr_minimum_is_at_256() {
+        // Paper: "for size-512 systems, the hybrid solver performs best with
+        // size-256 intermediate systems".
+        let cfg = ReproConfig::default();
+        let sweep = measure(&cfg);
+        let (best_m, _, _) = sweep
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .copied()
+            .map(|(m, v, _)| (m, v, 0))
+            .unwrap();
+        assert_eq!(best_m, 256);
+    }
+
+    #[test]
+    fn curve_is_monotone_down_to_the_minimum_then_up() {
+        let cfg = ReproConfig::default();
+        let sweep = measure(&cfg);
+        let times: Vec<f64> = sweep.iter().map(|(_, v, _)| *v).collect();
+        for i in 0..times.len() - 2 {
+            assert!(times[i + 1] < times[i], "CR+PCR must fall until m=256 (i={i})");
+        }
+        // Endpoint m=512 (pure PCR) is worse than m=256.
+        assert!(times[times.len() - 1] > times[times.len() - 2]);
+    }
+
+    #[test]
+    fn cr_rd_is_infeasible_only_at_m256() {
+        let cfg = ReproConfig::default();
+        let sweep = measure(&cfg);
+        for (m, _, crrd) in &sweep {
+            if *m == 256 {
+                assert!(crrd.is_none(), "m=256 must exceed shared memory");
+            } else {
+                assert!(crrd.is_some(), "m={m} must fit");
+            }
+        }
+    }
+
+    #[test]
+    fn cr_rd_best_feasible_is_128() {
+        let cfg = ReproConfig::default();
+        let sweep = measure(&cfg);
+        let (best_m, _) = sweep
+            .iter()
+            .filter_map(|(m, _, v)| v.map(|v| (*m, v)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert_eq!(best_m, 128);
+    }
+}

@@ -1,0 +1,123 @@
+//! Figure 6: performance comparison of the five GPU solvers, without (left)
+//! and with (right) the CPU-GPU data transfer time.
+
+use crate::report::{ms, Table};
+use crate::ReproConfig;
+use gpu_solvers::{solve_batch, GpuAlgorithm};
+use tridiag_core::dominant_batch;
+
+/// The five solvers at a given system size, using the paper's best switch
+/// points scaled with n.
+pub fn paper_solvers(n: usize) -> [GpuAlgorithm; 5] {
+    GpuAlgorithm::paper_five(n)
+}
+
+/// Regenerates both panels of Figure 6.
+pub fn run(cfg: &ReproConfig) -> Vec<Table> {
+    let mut left = Table::new(
+        "Figure 6 (left): five GPU solvers, simulated kernel time (ms), no transfer",
+        &["problem", "CR+PCR", "CR+RD", "PCR", "RD", "CR"],
+    );
+    let mut right = Table::new(
+        "Figure 6 (right): five GPU solvers, with CPU-GPU data transfer (ms)",
+        &["problem", "transfer", "CR+PCR", "CR+RD", "PCR", "RD", "CR"],
+    );
+    for (n, count) in cfg.problem_sizes() {
+        let batch = dominant_batch::<f32>(cfg.seed, n, count);
+        let mut kernel_ms = Vec::new();
+        let mut total_ms = Vec::new();
+        let mut transfer = 0.0;
+        for alg in paper_solvers(n) {
+            let r = solve_batch(&cfg.launcher, alg, &batch).expect("solve");
+            kernel_ms.push(ms(r.timing.kernel_ms));
+            total_ms.push(ms(r.timing.total_ms()));
+            transfer = r.timing.transfer_ms;
+        }
+        let label = format!("{n}x{count}");
+        let mut lrow = vec![label.clone()];
+        lrow.extend(kernel_ms);
+        left.row(lrow);
+        let mut rrow = vec![label, ms(transfer)];
+        rrow.extend(total_ms);
+        right.row(rrow);
+    }
+    left.note("paper (512x512): CR+PCR 0.422, CR+RD 0.488, PCR 0.534, RD 0.612, CR 1.066 ms");
+    left.note("hybrid switch points scale with n: CR+PCR m=n/2, CR+RD m=n/4 (paper's 256/128 at n=512)");
+    right.note("paper: transfer dominates total time by 90-95%, equalizing all solvers");
+    vec![left, right]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn value(t: &Table, row: usize, col: usize) -> f64 {
+        t.rows[row][col].parse().unwrap()
+    }
+
+    #[test]
+    fn orderings_match_paper_at_512() {
+        let cfg = ReproConfig::default();
+        let tables = run(&cfg);
+        let left = &tables[0];
+        // Row 3 = 512x512; columns: 1 CR+PCR, 2 CR+RD, 3 PCR, 4 RD, 5 CR.
+        let crpcr = value(left, 3, 1);
+        let crrd = value(left, 3, 2);
+        let pcr = value(left, 3, 3);
+        let rd = value(left, 3, 4);
+        let cr = value(left, 3, 5);
+        assert!(crpcr < crrd, "CR+PCR fastest");
+        assert!(crrd < pcr, "CR+RD beats PCR");
+        assert!(pcr < rd, "PCR beats RD");
+        assert!(rd < cr, "CR slowest");
+        // Headline ratios: CR ~2x PCR; hybrid improves CR by ~60%.
+        assert!((1.5..2.5).contains(&(cr / pcr)), "CR/PCR {}", cr / pcr);
+        assert!(crpcr / cr < 0.6, "hybrid improvement {}", crpcr / cr);
+    }
+
+    #[test]
+    fn hybrids_lose_at_small_sizes() {
+        // Paper: hybrids "perform worse than RD and PCR for the 64x64 and
+        // 128x128 cases".
+        let cfg = ReproConfig::default();
+        let tables = run(&cfg);
+        let left = &tables[0];
+        for row in 0..2 {
+            let crpcr = value(left, row, 1);
+            let pcr = value(left, row, 3);
+            assert!(crpcr > pcr, "row {row}: hybrid should lose at small sizes");
+        }
+    }
+
+    #[test]
+    fn transfer_dominates_right_panel() {
+        let cfg = ReproConfig::default();
+        let tables = run(&cfg);
+        let right = &tables[1];
+        for row in 0..right.rows.len() {
+            let transfer = value(right, row, 1);
+            let slowest_total = value(right, row, 6);
+            // The 90-95% claim is for the larger sizes; the smallest size
+            // has proportionally more launch/overhead time.
+            let floor = if row == 0 { 0.6 } else { 0.72 };
+            assert!(
+                transfer / slowest_total > floor,
+                "row {row}: transfer {} of {}",
+                transfer,
+                slowest_total
+            );
+        }
+    }
+
+    #[test]
+    fn runtime_grows_sublinearly_with_problem_size() {
+        // Paper: "when the problem size increases by 4 times ... the runtime
+        // favorably increases far less than 4 times" (for the smaller sizes).
+        let cfg = ReproConfig::default();
+        let tables = run(&cfg);
+        let left = &tables[0];
+        let t64 = value(left, 0, 3);
+        let t128 = value(left, 1, 3);
+        assert!(t128 / t64 < 4.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Figures 8 and 10: cyclic reduction time breakdown at 512x512 —
+//! per algorithmic phase (Fig 8) and per resource with achieved rates
+//! (Fig 10).
+
+use crate::figures::{phase_breakdown_table, resource_breakdown_table};
+use crate::report::{ms, Table};
+use crate::ReproConfig;
+use gpu_solvers::{solve_batch, GpuAlgorithm};
+use tridiag_core::dominant_batch;
+
+/// Regenerates Figures 8 and 10.
+pub fn run(cfg: &ReproConfig) -> Vec<Table> {
+    let (n, count) = cfg.headline();
+    let batch = dominant_batch::<f32>(cfg.seed, n, count);
+    let r = solve_batch(&cfg.launcher, GpuAlgorithm::Cr, &batch).expect("solve");
+
+    let mut fig8 = phase_breakdown_table(
+        &format!("Figure 8: time breakdown of CR, {n}x{count} (ms)"),
+        &r.timing,
+    );
+    let fwd: f64 = r
+        .timing
+        .steps_in_phase(gpu_sim::Phase::ForwardReduction)
+        .map(|s| s.ms)
+        .sum();
+    let bwd: f64 = r
+        .timing
+        .steps_in_phase(gpu_sim::Phase::BackwardSubstitution)
+        .map(|s| s.ms)
+        .sum();
+    fig8.note(format!(
+        "forward reduction avg step {} ms, backward substitution avg step {} ms",
+        ms(fwd / 8.0),
+        ms(bwd / 8.0)
+    ));
+    fig8.note("paper: global 0.103 (10%), fwd 0.624 (59%, avg 0.078), 2-unknown 0.033 (3%), bwd 0.306 (29%, avg 0.038), total 1.066");
+
+    let mut fig10 = resource_breakdown_table(
+        &format!("Figure 10: CR resource breakdown, {n}x{count}"),
+        &r.timing,
+    );
+    fig10.note("paper: global 0.103/10% @48.5 GB/s, shared 0.689/64% @33 GB/s, compute 0.274/26% @15.5 GFLOPS");
+
+    vec![fig8, fig10]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_costs_about_twice_backward() {
+        // Paper: "Forward reduction takes about twice as much time as
+        // backward substitution".
+        let cfg = ReproConfig::default();
+        let (n, count) = cfg.headline();
+        let batch = dominant_batch::<f32>(cfg.seed, n, count);
+        let r = solve_batch(&cfg.launcher, GpuAlgorithm::Cr, &batch).unwrap();
+        let fwd: f64 =
+            r.timing.steps_in_phase(gpu_sim::Phase::ForwardReduction).map(|s| s.ms).sum();
+        let bwd: f64 =
+            r.timing.steps_in_phase(gpu_sim::Phase::BackwardSubstitution).map(|s| s.ms).sum();
+        let ratio = fwd / bwd;
+        assert!((1.5..3.0).contains(&ratio), "fwd/bwd {ratio}");
+    }
+
+    #[test]
+    fn shared_memory_dominates_cr() {
+        // Paper: "Shared memory accesses dominate the total execution time
+        // due to bank conflicts" (64%).
+        let cfg = ReproConfig::default();
+        let (n, count) = cfg.headline();
+        let batch = dominant_batch::<f32>(cfg.seed, n, count);
+        let r = solve_batch(&cfg.launcher, GpuAlgorithm::Cr, &batch).unwrap();
+        let frac = r.timing.shared_ms / r.timing.kernel_ms;
+        assert!((0.5..0.75).contains(&frac), "shared fraction {frac}");
+        // Achieved shared bandwidth collapses to tens of GB/s (paper: 33).
+        assert!(r.timing.achieved_shared_gbps < 100.0);
+        // Global stays near the coalesced rate (paper: 48.5).
+        assert!((30.0..60.0).contains(&r.timing.achieved_global_gbps));
+    }
+
+    #[test]
+    fn tables_render() {
+        let cfg = ReproConfig::default();
+        let tables = run(&cfg);
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].to_string().contains("CR: forward reduction"));
+        assert!(tables[1].to_string().contains("GFLOPS"));
+    }
+}

@@ -1,0 +1,94 @@
+//! One module per table/figure of the paper's evaluation section, plus the
+//! ablations DESIGN.md calls out.
+
+pub mod ablations;
+pub mod advisor;
+pub mod fig11_12;
+pub mod fig13_14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8_10;
+pub mod fig9;
+pub mod table1;
+
+use crate::{ReproConfig, Table};
+
+/// An experiment entry: CLI name plus the function regenerating its tables.
+pub type Experiment = (&'static str, fn(&ReproConfig) -> Vec<Table>);
+
+/// Every experiment the harness can regenerate, with its CLI name.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        ("table1", table1::run as fn(&ReproConfig) -> Vec<Table>),
+        ("fig6", fig6::run),
+        ("fig7", fig7::run),
+        ("fig8", fig8_10::run),
+        ("fig9", fig9::run),
+        ("fig11", fig11_12::run),
+        ("fig13", fig13_14::run),
+        ("fig15", fig15::run),
+        ("fig16", fig16::run),
+        ("fig17", fig17::run),
+        ("fig18", fig18::run),
+        ("ablations", ablations::run),
+        ("advisor", advisor::run),
+    ]
+}
+
+/// Helper shared by the per-phase breakdown figures: turns a timing report
+/// into the paper's pie-chart rows.
+pub(crate) fn phase_breakdown_table(
+    title: &str,
+    timing: &gpu_sim::TimingReport,
+) -> Table {
+    let mut t = Table::new(title, &["phase", "steps", "ms", "% of total"]);
+    let total: f64 = timing.kernel_ms;
+    for p in &timing.per_phase {
+        t.row(vec![
+            p.phase.label().to_string(),
+            p.steps.to_string(),
+            crate::report::ms(p.ms),
+            format!("{:.0}%", 100.0 * p.ms / total),
+        ]);
+    }
+    t.row(vec![
+        "total".to_string(),
+        timing.per_step.len().to_string(),
+        crate::report::ms(total),
+        "100%".to_string(),
+    ]);
+    t
+}
+
+/// Helper for the Figure 10/12/14-style resource breakdowns.
+pub(crate) fn resource_breakdown_table(
+    title: &str,
+    timing: &gpu_sim::TimingReport,
+) -> Table {
+    let total = timing.kernel_ms;
+    let mut t = Table::new(title, &["component", "ms", "% of total", "achieved rate"]);
+    t.row(vec![
+        "global memory access".into(),
+        crate::report::ms(timing.global_ms),
+        format!("{:.0}%", 100.0 * timing.global_ms / total),
+        format!("{:.1} GB/s", timing.achieved_global_gbps),
+    ]);
+    t.row(vec![
+        "shared memory access".into(),
+        crate::report::ms(timing.shared_ms),
+        format!("{:.0}%", 100.0 * timing.shared_ms / total),
+        format!("{:.1} GB/s", timing.achieved_shared_gbps),
+    ]);
+    t.row(vec![
+        "computation (incl. sync/control)".into(),
+        crate::report::ms(timing.compute_ms),
+        format!("{:.0}%", 100.0 * timing.compute_ms / total),
+        format!("{:.1} GFLOPS", timing.gflops),
+    ]);
+    t.row(vec!["total".into(), crate::report::ms(total), "100%".into(), String::new()]);
+    t
+}

@@ -1,0 +1,135 @@
+//! Plain-text tables for the reproduction reports.
+
+use core::fmt;
+use serde::Serialize;
+
+/// A titled table with aligned columns and optional footnotes — the output
+/// unit of every figure module.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Table {
+    /// Title, e.g. "Figure 6 (left): five GPU solvers, kernel time".
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of pre-formatted cells.
+    pub rows: Vec<Vec<String>>,
+    /// Footnotes (paper references, substitution notes).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in '{}'", self.title);
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a footnote.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Column widths for aligned printing.
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        let w = self.widths();
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut first = true;
+            for (i, cell) in cells.iter().enumerate() {
+                if !first {
+                    write!(f, "  ")?;
+                }
+                first = false;
+                write!(f, "{:>width$}", cell, width = w[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = w.iter().sum::<usize>() + 2 * (w.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  * {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats milliseconds with three decimals.
+pub fn ms(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a residual in scientific notation, or "overflow".
+pub fn residual(v: f64, overflowed: bool) -> String {
+    if overflowed {
+        "overflow".to_string()
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+/// Formats a speedup factor like the paper's "12.5x" labels.
+pub fn speedup(v: f64) -> String {
+    format!("{v:.1}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["name", "ms"]);
+        t.row(vec!["CR".into(), "1.066".into()]);
+        t.row(vec!["CR+PCR".into(), "0.422".into()]);
+        t.note("paper values");
+        let s = t.to_string();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("CR+PCR"));
+        assert!(s.contains("* paper values"));
+        // Right-aligned columns: header 'name' padded to 'CR+PCR' width.
+        assert!(s.lines().nth(1).unwrap().starts_with("  name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_checked() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ms(1.0664), "1.066");
+        assert_eq!(residual(1.5e-6, false), "1.50e-6");
+        assert_eq!(residual(0.0, true), "overflow");
+        assert_eq!(speedup(12.49), "12.5x");
+    }
+}

@@ -1,0 +1,122 @@
+//! Periodic (cyclic) tridiagonal solver on the CPU: Sherman–Morrison
+//! reduction to two ordinary Thomas solves (the classic approach, cf. the
+//! paper's reference to Sun & Zhang's Sherman–Morrison-based two-level
+//! hybrid).
+
+use tridiag_core::{PeriodicTridiagonalSystem, Real, Result, TridiagError};
+
+/// Solves one cyclic system into `x` with two Thomas solves.
+///
+/// # Errors
+/// Propagates [`TridiagError::ZeroPivot`] from the inner solves; also fails
+/// when `b[0] == 0` (the Sherman–Morrison pivot; reorder the equations in
+/// that case).
+pub fn solve_into<T: Real>(sys: &PeriodicTridiagonalSystem<T>, x: &mut [T]) -> Result<()> {
+    let n = sys.n();
+    debug_assert_eq!(x.len(), n);
+    if sys.b[0] == T::ZERO {
+        return Err(TridiagError::ZeroPivot { row: 0 });
+    }
+    let (modified, _gamma, _alpha, _beta) = sys.sherman_morrison_parts();
+    let u = sys.sherman_morrison_u();
+
+    let mut y = vec![T::ZERO; n];
+    let mut z = vec![T::ZERO; n];
+    crate::thomas::solve_into(&modified.a, &modified.b, &modified.c, &modified.d, &mut y)?;
+    crate::thomas::solve_into(&modified.a, &modified.b, &modified.c, &u, &mut z)?;
+    sys.sherman_morrison_combine(&y, &z, x);
+    Ok(())
+}
+
+/// Convenience wrapper returning a fresh solution vector.
+pub fn solve<T: Real>(sys: &PeriodicTridiagonalSystem<T>) -> Result<Vec<T>> {
+    let mut x = vec![T::ZERO; sys.n()];
+    solve_into(sys, &mut x)?;
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_dominant(seed: u64, n: usize) -> PeriodicTridiagonalSystem<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let c: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> =
+            (0..n).map(|i| a[i].abs() + c[i].abs() + rng.gen_range(0.5..1.5)).collect();
+        let d: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        PeriodicTridiagonalSystem::new(a, b, c, d).unwrap()
+    }
+
+    #[test]
+    fn residual_is_tiny_on_random_dominant() {
+        for seed in 0..10 {
+            let sys = random_dominant(seed, 64);
+            let x = solve(&sys).unwrap();
+            let r = sys.l2_residual(&x).unwrap();
+            assert!(r < 1e-11, "seed {seed}: residual {r}");
+        }
+    }
+
+    #[test]
+    fn circulant_constant_solution() {
+        // Row sum 1.5, constant rhs 3 -> x = 2 everywhere.
+        let sys =
+            PeriodicTridiagonalSystem::circulant(16, -0.5f64, 2.5, -0.5, 3.0).unwrap();
+        let x = solve(&sys).unwrap();
+        for &v in &x {
+            assert!((v - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn periodic_differs_from_open_chain() {
+        // Same coefficients, with vs without wrap-around, must give
+        // different solutions when the corners are nonzero.
+        let sys = random_dominant(3, 16);
+        let x_cyclic = solve(&sys).unwrap();
+        let mut a = sys.a.clone();
+        let mut c = sys.c.clone();
+        a[0] = 0.0;
+        c[15] = 0.0;
+        let open = tridiag_core::TridiagonalSystem { a, b: sys.b.clone(), c, d: sys.d.clone() };
+        let x_open = crate::thomas::solve(&open).unwrap();
+        let diff = tridiag_core::residual::max_abs_diff(&x_cyclic, &x_open);
+        assert!(diff > 1e-6, "wrap-around must matter: diff {diff}");
+    }
+
+    #[test]
+    fn zero_first_pivot_rejected() {
+        let mut sys = random_dominant(4, 8);
+        sys.b[0] = 0.0;
+        assert!(matches!(solve(&sys), Err(TridiagError::ZeroPivot { row: 0 })));
+    }
+
+    #[test]
+    fn eigenmode_of_circulant_poisson() {
+        // For the regularized periodic Poisson matrix [-1, 2+eps, -1], the
+        // mode cos(2 pi k j / n) is an eigenvector with eigenvalue
+        // eps + 4 sin^2(pi k / n).
+        let n = 32usize;
+        let eps = 0.3f64;
+        let k = 3usize;
+        let pi = std::f64::consts::PI;
+        let mode: Vec<f64> =
+            (0..n).map(|j| (2.0 * pi * k as f64 * j as f64 / n as f64).cos()).collect();
+        let lambda = eps + 4.0 * (pi * k as f64 / n as f64).sin().powi(2);
+        let d: Vec<f64> = mode.iter().map(|&m| lambda * m).collect();
+        let sys = PeriodicTridiagonalSystem::new(
+            vec![-1.0; n],
+            vec![2.0 + eps; n],
+            vec![-1.0; n],
+            d,
+        )
+        .unwrap();
+        let x = solve(&sys).unwrap();
+        for j in 0..n {
+            assert!((x[j] - mode[j]).abs() < 1e-11, "j={j}");
+        }
+    }
+}

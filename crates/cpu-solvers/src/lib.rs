@@ -1,0 +1,31 @@
+//! # cpu-solvers
+//!
+//! CPU baselines of the paper's evaluation plus sequential reference
+//! implementations of the parallel algorithms:
+//!
+//! * [`thomas`] — the Thomas algorithm (the "GE" baseline);
+//! * [`gep`] — Gaussian elimination with partial pivoting (LAPACK `sgtsv`
+//!   equivalent, the "GEP" baseline);
+//! * [`mt`] — the multi-threaded batch solver (the "MT" baseline, OpenMP in
+//!   the paper);
+//! * [`mod@reference`] — plain sequential CR / PCR / RD used to validate the
+//!   GPU kernels' algebra independently of the simulator.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod batch_soa;
+pub mod block_thomas;
+pub mod condest;
+pub mod cyclic;
+pub mod gep;
+pub mod mt;
+pub mod partition;
+pub mod reference;
+pub mod thomas;
+
+pub use batch::{solve_batch_seq, Gep, SystemSolver, Thomas};
+pub use batch_soa::solve_batch_soa;
+pub use condest::{condition_estimate, inverse_norm1_estimate, norm1};
+pub use mt::{MtSolver, Schedule};
+pub use reference::rd::RdVariant;

@@ -1,0 +1,201 @@
+//! The multi-threaded CPU baseline ("MT").
+//!
+//! The paper's MT solver is "an OpenMP implementation developed by us with
+//! multiple threads solving multiple systems simultaneously ... four threads
+//! with each thread running on one CPU core". Systems are independent, so
+//! the parallelization is embarrassingly simple; we provide OpenMP-style
+//! *static* scheduling (contiguous chunks, the default `schedule(static)`)
+//! and *dynamic* scheduling (a shared work queue, `schedule(dynamic)`).
+
+use crate::batch::SystemSolver;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tridiag_core::{Real, Result, SolutionBatch, SystemBatch, TridiagError};
+
+/// Work distribution strategy across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Contiguous chunk per thread (OpenMP `schedule(static)`).
+    Static,
+    /// Threads pull one system at a time from a shared counter
+    /// (OpenMP `schedule(dynamic,1)`).
+    Dynamic,
+}
+
+/// Multi-threaded batch solver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MtSolver {
+    /// Worker thread count (the paper uses 4, one per core).
+    pub threads: usize,
+    /// Scheduling policy.
+    pub schedule: Schedule,
+}
+
+impl Default for MtSolver {
+    fn default() -> Self {
+        Self { threads: 4, schedule: Schedule::Static }
+    }
+}
+
+impl MtSolver {
+    /// Solver with `threads` workers and static scheduling.
+    pub fn new(threads: usize) -> Self {
+        Self { threads, schedule: Schedule::Static }
+    }
+
+    /// Solves every system of `batch` using `solver` across the workers.
+    pub fn solve_batch<T: Real>(
+        &self,
+        solver: &impl SystemSolver<T>,
+        batch: &SystemBatch<T>,
+    ) -> Result<SolutionBatch<T>> {
+        if self.threads == 0 {
+            return Err(TridiagError::InvalidConfig { what: "thread count must be >= 1" });
+        }
+        let count = batch.count();
+        let n = batch.n();
+        let mut out = SolutionBatch::zeros_like(batch);
+        // Hand each worker a disjoint &mut window of the solution buffer.
+        let first_error: Mutex<Option<TridiagError>> = Mutex::new(None);
+
+        {
+            let x = &mut out.x[..];
+            match self.schedule {
+                Schedule::Static => {
+                    let chunk_systems = count.div_ceil(self.threads);
+                    std::thread::scope(|scope| {
+                        for (worker, slice) in x.chunks_mut(chunk_systems * n).enumerate() {
+                            let first_error = &first_error;
+                            scope.spawn(move || {
+                                let base = worker * chunk_systems;
+                                for (k, xs) in slice.chunks_mut(n).enumerate() {
+                                    let (a, b, c, d) = batch.system_slices(base + k);
+                                    if let Err(e) = solver.solve_into(a, b, c, d, xs) {
+                                        let mut slot = first_error.lock();
+                                        if slot.is_none() {
+                                            *slot = Some(e);
+                                        }
+                                        return;
+                                    }
+                                }
+                            });
+                        }
+                    });
+                }
+                Schedule::Dynamic => {
+                    let next = AtomicUsize::new(0);
+                    // Dynamic scheduling writes to arbitrary systems, so use
+                    // raw-pointer windows guarded by the disjointness of
+                    // system indices handed out by the atomic counter.
+                    let x_ptr = SendPtr(x.as_mut_ptr());
+                    std::thread::scope(|scope| {
+                        for _ in 0..self.threads {
+                            let next = &next;
+                            let first_error = &first_error;
+                            let x_ptr = &x_ptr;
+                            scope.spawn(move || loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= count {
+                                    return;
+                                }
+                                let (a, b, c, d) = batch.system_slices(i);
+                                // SAFETY: each system index is claimed by
+                                // exactly one worker, so the windows are
+                                // disjoint, and `out` outlives the scope.
+                                let xs = unsafe {
+                                    std::slice::from_raw_parts_mut(x_ptr.0.add(i * n), n)
+                                };
+                                if let Err(e) = solver.solve_into(a, b, c, d, xs) {
+                                    let mut slot = first_error.lock();
+                                    if slot.is_none() {
+                                        *slot = Some(e);
+                                    }
+                                    return;
+                                }
+                            });
+                        }
+                    });
+                }
+            }
+        }
+
+        match first_error.into_inner() {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+}
+
+/// Raw pointer wrapper that is `Sync` for the scoped, disjoint-window use
+/// above.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{solve_batch_seq, Thomas};
+    use tridiag_core::residual::{batch_residual, max_abs_diff};
+    use tridiag_core::{Generator, Workload};
+
+    fn batch(count: usize) -> SystemBatch<f64> {
+        Generator::new(17).batch(Workload::DiagonallyDominant, 64, count).unwrap()
+    }
+
+    #[test]
+    fn static_matches_sequential() {
+        let b = batch(37); // deliberately not divisible by thread count
+        let seq = solve_batch_seq(&Thomas, &b).unwrap();
+        let mt = MtSolver::new(4).solve_batch(&Thomas, &b).unwrap();
+        assert_eq!(max_abs_diff(&seq.x, &mt.x), 0.0);
+    }
+
+    #[test]
+    fn dynamic_matches_sequential() {
+        let b = batch(37);
+        let seq = solve_batch_seq(&Thomas, &b).unwrap();
+        let mt = MtSolver { threads: 4, schedule: Schedule::Dynamic };
+        let got = mt.solve_batch(&Thomas, &b).unwrap();
+        assert_eq!(max_abs_diff(&seq.x, &got.x), 0.0);
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let b = batch(5);
+        let got = MtSolver::new(1).solve_batch(&Thomas, &b).unwrap();
+        let r = batch_residual(&b, &got).unwrap();
+        assert!(r.max_l2 < 1e-10);
+    }
+
+    #[test]
+    fn more_threads_than_systems() {
+        let b = batch(3);
+        for schedule in [Schedule::Static, Schedule::Dynamic] {
+            let mt = MtSolver { threads: 8, schedule };
+            let got = mt.solve_batch(&Thomas, &b).unwrap();
+            let r = batch_residual(&b, &got).unwrap();
+            assert!(r.max_l2 < 1e-10);
+        }
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let b = batch(2);
+        assert!(MtSolver::new(0).solve_batch(&Thomas, &b).is_err());
+    }
+
+    #[test]
+    fn errors_propagate() {
+        // A batch whose third system has a hard zero pivot.
+        let mut systems: Vec<tridiag_core::TridiagonalSystem<f64>> = (0..4)
+            .map(|_| tridiag_core::TridiagonalSystem::toeplitz(8, -1.0, 4.0, -1.0, 1.0).unwrap())
+            .collect();
+        systems[2].b[0] = 0.0;
+        systems[2].c[0] = 0.0;
+        let b = SystemBatch::from_systems(&systems).unwrap();
+        for schedule in [Schedule::Static, Schedule::Dynamic] {
+            let mt = MtSolver { threads: 2, schedule };
+            assert!(mt.solve_batch(&Thomas, &b).is_err(), "{schedule:?}");
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Wang's partition method — the coarse-grained parallel algorithm the
+//! paper cites (reference 32, H. H. Wang, "A parallel method for tridiagonal
+//! equations") as better suited to multi-core CPUs than to GPUs.
+//!
+//! Unlike the MT baseline (which parallelizes across *systems*), the
+//! partition method parallelizes a **single large system** across cores:
+//!
+//! 1. split the rows into `p` chunks; in each chunk solve three local
+//!    tridiagonal systems (SPIKE-style): the chunk's particular solution
+//!    `y` and the responses `v`, `w` to its left/right coupling
+//!    coefficients — embarrassingly parallel;
+//! 2. stitch the chunks with a small *reduced system* in the `2(p-1)`
+//!    interface unknowns (banded, solved densely with partial pivoting —
+//!    it has at most a few dozen rows);
+//! 3. recover all interior unknowns in parallel:
+//!    `x = y - x_left * v - x_right * w`.
+//!
+//! The classic tradeoff applies: stage 1 performs ~3x the arithmetic of a
+//! single Thomas sweep, so the method only beats the serial solver once
+//! `p > 3` *and* the system is large enough to amortize thread spawn —
+//! exactly why the paper calls such coarse-grained methods a multi-core
+//! play rather than a GPU one. The criterion bench
+//! (`extensions/partition_65536_*`) records this crossover honestly.
+
+use tridiag_core::{Real, Result, TridiagError, TridiagonalSystem};
+
+/// Solves `sys` using `p` partitions (threads). `p = 1` degenerates to a
+/// single Thomas solve. `p` is clamped so every chunk has at least two
+/// rows.
+pub fn solve<T: Real>(sys: &TridiagonalSystem<T>, p: usize) -> Result<Vec<T>> {
+    let n = sys.n();
+    if p == 0 {
+        return Err(TridiagError::InvalidConfig { what: "partition count must be >= 1" });
+    }
+    let p = p.min(n / 2).max(1);
+    if p == 1 {
+        return crate::thomas::solve(sys);
+    }
+
+    // Chunk boundaries: chunk j covers [starts[j], starts[j+1]).
+    let starts: Vec<usize> = (0..=p).map(|j| j * n / p).collect();
+
+    // Stage 1: local solves, one thread per chunk.
+    struct ChunkSolution<T> {
+        y: Vec<T>,
+        v: Vec<T>,
+        w: Vec<T>,
+    }
+    let mut chunks: Vec<Option<ChunkSolution<T>>> = (0..p).map(|_| None).collect();
+    let mut first_error: Option<TridiagError> = None;
+    {
+        let results: Vec<std::result::Result<ChunkSolution<T>, TridiagError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..p)
+                    .map(|j| {
+                        let (lo, hi) = (starts[j], starts[j + 1]);
+                        scope.spawn(move || {
+                            let m = hi - lo;
+                            // Local chunk coefficients with detached ends.
+                            let mut a = sys.a[lo..hi].to_vec();
+                            let mut c = sys.c[lo..hi].to_vec();
+                            a[0] = T::ZERO;
+                            c[m - 1] = T::ZERO;
+                            let b = &sys.b[lo..hi];
+
+                            let mut y = vec![T::ZERO; m];
+                            crate::thomas::solve_into(&a, b, &c, &sys.d[lo..hi], &mut y)?;
+                            // Response to the left coupling a[lo] (absent
+                            // for chunk 0).
+                            let mut v = vec![T::ZERO; m];
+                            if lo > 0 {
+                                let mut rhs = vec![T::ZERO; m];
+                                rhs[0] = sys.a[lo];
+                                crate::thomas::solve_into(&a, b, &c, &rhs, &mut v)?;
+                            }
+                            // Response to the right coupling c[hi-1]
+                            // (absent for the last chunk).
+                            let mut w = vec![T::ZERO; m];
+                            if hi < n {
+                                let mut rhs = vec![T::ZERO; m];
+                                rhs[m - 1] = sys.c[hi - 1];
+                                crate::thomas::solve_into(&a, b, &c, &rhs, &mut w)?;
+                            }
+                            Ok(ChunkSolution { y, v, w })
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            });
+        for (j, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(cs) => chunks[j] = Some(cs),
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    let chunks: Vec<ChunkSolution<T>> = chunks.into_iter().map(Option::unwrap).collect();
+
+    // Stage 2: reduced system in the interface unknowns
+    // z = [last_0, first_1, last_1, first_2, ..., last_{p-2}, first_{p-1}]
+    // with relations  last_j + v_j[m-1] last_{j-1} + w_j[m-1] first_{j+1} = y_j[m-1]
+    //                 first_j + v_j[0] last_{j-1} + w_j[0] first_{j+1} = y_j[0].
+    let r = 2 * (p - 1);
+    let mut mat = vec![vec![T::ZERO; r]; r];
+    let mut rhs = vec![T::ZERO; r];
+    let pos_last = |j: usize| 2 * j; // j in 0..p-1
+    let pos_first = |j: usize| 2 * j - 1; // j in 1..p
+    for j in 0..p {
+        let m = starts[j + 1] - starts[j];
+        let ch = &chunks[j];
+        // Equation for last_j (only interface rows j < p-1).
+        if j < p - 1 {
+            let row = pos_last(j);
+            mat[row][pos_last(j)] = T::ONE;
+            if j > 0 {
+                mat[row][pos_last(j - 1)] = ch.v[m - 1];
+            }
+            mat[row][pos_first(j + 1)] = ch.w[m - 1];
+            rhs[row] = ch.y[m - 1];
+        }
+        // Equation for first_j (only j > 0).
+        if j > 0 {
+            let row = pos_first(j);
+            mat[row][pos_first(j)] = T::ONE;
+            mat[row][pos_last(j - 1)] = ch.v[0];
+            if j < p - 1 {
+                mat[row][pos_first(j + 1)] = ch.w[0];
+            }
+            rhs[row] = ch.y[0];
+        }
+    }
+    let z = dense_gepp(&mut mat, &mut rhs)?;
+
+    // Stage 3: recover interiors in parallel.
+    let mut x = vec![T::ZERO; n];
+    {
+        let x_chunks: Vec<&mut [T]> = {
+            let mut rest: &mut [T] = &mut x;
+            let mut out = Vec::with_capacity(p);
+            for j in 0..p {
+                let (head, tail) = rest.split_at_mut(starts[j + 1] - starts[j]);
+                out.push(head);
+                rest = tail;
+            }
+            out
+        };
+        std::thread::scope(|scope| {
+            for (j, xj) in x_chunks.into_iter().enumerate() {
+                let ch = &chunks[j];
+                let left = if j > 0 { z[pos_last(j - 1)] } else { T::ZERO };
+                let right = if j < p - 1 { z[pos_first(j + 1)] } else { T::ZERO };
+                scope.spawn(move || {
+                    for (i, xv) in xj.iter_mut().enumerate() {
+                        *xv = ch.y[i] - left * ch.v[i] - right * ch.w[i];
+                    }
+                });
+            }
+        });
+    }
+    Ok(x)
+}
+
+/// Tiny dense Gaussian elimination with partial pivoting for the reduced
+/// system (at most a few dozen unknowns).
+fn dense_gepp<T: Real>(mat: &mut [Vec<T>], rhs: &mut [T]) -> Result<Vec<T>> {
+    let r = rhs.len();
+    for col in 0..r {
+        let piv = (col..r)
+            .max_by(|&i, &j| {
+                mat[i][col].abs().partial_cmp(&mat[j][col].abs()).expect("finite pivots")
+            })
+            .expect("nonempty");
+        mat.swap(col, piv);
+        rhs.swap(col, piv);
+        if mat[col][col] == T::ZERO {
+            return Err(TridiagError::ZeroPivot { row: col });
+        }
+        for row in col + 1..r {
+            let f = mat[row][col] / mat[col][col];
+            if f != T::ZERO {
+                let (pivot_rows, elim_rows) = mat.split_at_mut(row);
+                for (rk, pk) in
+                    elim_rows[0][col..r].iter_mut().zip(&pivot_rows[col][col..r])
+                {
+                    *rk -= f * *pk;
+                }
+                let sub = f * rhs[col];
+                rhs[row] -= sub;
+            }
+        }
+    }
+    let mut z = vec![T::ZERO; r];
+    for row in (0..r).rev() {
+        let mut v = rhs[row];
+        for (mk, zk) in mat[row][row + 1..r].iter().zip(&z[row + 1..r]) {
+            v -= *mk * *zk;
+        }
+        z[row] = v / mat[row][row];
+    }
+    Ok(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tridiag_core::residual::max_abs_diff;
+    use tridiag_core::{Generator, Workload};
+
+    fn dominant(n: usize, seed: u64) -> TridiagonalSystem<f64> {
+        Generator::new(seed).system(Workload::DiagonallyDominant, n)
+    }
+
+    #[test]
+    fn matches_thomas_for_various_partition_counts() {
+        let sys = dominant(1000, 1);
+        let reference = crate::thomas::solve(&sys).unwrap();
+        for p in [1usize, 2, 3, 4, 7, 8, 16] {
+            let x = solve(&sys, p).unwrap();
+            let diff = max_abs_diff(&x, &reference);
+            assert!(diff < 1e-10, "p={p}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn handles_sizes_not_divisible_by_p() {
+        for n in [97usize, 101, 1023] {
+            let sys = dominant(n, 2);
+            let reference = crate::thomas::solve(&sys).unwrap();
+            let x = solve(&sys, 4).unwrap();
+            assert!(max_abs_diff(&x, &reference) < 1e-10, "n={n}");
+        }
+    }
+
+    #[test]
+    fn clamps_excessive_partition_counts() {
+        let sys = dominant(8, 3);
+        let reference = crate::thomas::solve(&sys).unwrap();
+        // p = 100 would make empty chunks; must clamp and still solve.
+        let x = solve(&sys, 100).unwrap();
+        assert!(max_abs_diff(&x, &reference) < 1e-12);
+    }
+
+    #[test]
+    fn rejects_zero_partitions() {
+        let sys = dominant(8, 4);
+        assert!(solve(&sys, 0).is_err());
+    }
+
+    #[test]
+    fn poisson_system_solves_exactly() {
+        let sys = tridiag_core::workload::poisson_system::<f64>(256);
+        let reference = crate::thomas::solve(&sys).unwrap();
+        let x = solve(&sys, 4).unwrap();
+        assert!(max_abs_diff(&x, &reference) < 1e-9);
+    }
+
+    #[test]
+    fn works_in_f32() {
+        let sys: TridiagonalSystem<f32> =
+            Generator::new(5).system(Workload::DiagonallyDominant, 512);
+        let reference = crate::thomas::solve(&sys).unwrap();
+        let x = solve(&sys, 4).unwrap();
+        assert!(max_abs_diff(&x, &reference) < 1e-4);
+    }
+}

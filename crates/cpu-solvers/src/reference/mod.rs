@@ -1,0 +1,11 @@
+//! Sequential reference implementations of the three parallel algorithms.
+//!
+//! These execute the *same arithmetic* as the GPU kernels (CR, PCR, RD) but
+//! as plain loops on the host, with explicit double buffering where the
+//! kernels rely on barrier semantics. They exist to validate the kernels'
+//! algebra independently of the simulator, and they double as CPU solvers
+//! in the accuracy study.
+
+pub mod cr;
+pub mod pcr;
+pub mod rd;

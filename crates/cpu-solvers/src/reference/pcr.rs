@@ -1,0 +1,149 @@
+//! Sequential parallel cyclic reduction (Hockney & Jesshope) — the
+//! reference for the PCR kernel.
+//!
+//! Every level reduces *each* equation against its `±delta` neighbours,
+//! splitting each system into two half-size systems, until `n/2` independent
+//! 2-unknown systems remain (`log2 n` steps total).
+
+use tridiag_core::{require_pow2, Real, Result};
+
+/// One PCR reduction level with neighbour distance `delta`, reading `old`
+/// and writing into `(a, b, c, d)`. Exposed for the hybrid reference.
+pub fn reduce_level<T: Real>(
+    old: (&[T], &[T], &[T], &[T]),
+    new: (&mut [T], &mut [T], &mut [T], &mut [T]),
+    delta: usize,
+) {
+    let (oa, ob, oc, od) = old;
+    let (na, nb, nc, nd) = new;
+    let n = ob.len();
+    for i in 0..n {
+        let mut aa = T::ZERO;
+        let mut bb = ob[i];
+        let mut cc = T::ZERO;
+        let mut dd = od[i];
+        if i >= delta {
+            let il = i - delta;
+            let k1 = oa[i] / ob[il];
+            bb -= oc[il] * k1;
+            dd -= od[il] * k1;
+            aa = -oa[il] * k1;
+        }
+        if i + delta < n {
+            let ir = i + delta;
+            let k2 = oc[i] / ob[ir];
+            bb -= oa[ir] * k2;
+            dd -= od[ir] * k2;
+            cc = -oc[ir] * k2;
+        }
+        na[i] = aa;
+        nb[i] = bb;
+        nc[i] = cc;
+        nd[i] = dd;
+    }
+}
+
+/// Solves the `n/2` 2-unknown systems `{i, i + n/2}` left after full
+/// reduction. Exposed for the hybrid reference.
+pub fn solve_pairs<T: Real>(a: &[T], b: &[T], c: &[T], d: &[T], x: &mut [T]) {
+    let n = b.len();
+    let half = n / 2;
+    for i in 0..half {
+        let j = i + half;
+        let det = b[i] * b[j] - c[i] * a[j];
+        x[i] = (d[i] * b[j] - c[i] * d[j]) / det;
+        x[j] = (b[i] * d[j] - a[j] * d[i]) / det;
+    }
+}
+
+/// Solves one system by full PCR. `n` must be a power of two.
+pub fn solve_into<T: Real>(a: &[T], b: &[T], c: &[T], d: &[T], x: &mut [T]) -> Result<()> {
+    let n = b.len();
+    require_pow2(n, 2)?;
+    let mut cur = (a.to_vec(), b.to_vec(), c.to_vec(), d.to_vec());
+    let mut nxt = cur.clone();
+    let levels = n.trailing_zeros() - 1;
+    let mut delta = 1usize;
+    for _ in 0..levels {
+        reduce_level(
+            (&cur.0, &cur.1, &cur.2, &cur.3),
+            (&mut nxt.0, &mut nxt.1, &mut nxt.2, &mut nxt.3),
+            delta,
+        );
+        core::mem::swap(&mut cur, &mut nxt);
+        delta *= 2;
+    }
+    debug_assert_eq!(delta, n / 2);
+    solve_pairs(&cur.0, &cur.1, &cur.2, &cur.3, x);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thomas;
+    use tridiag_core::residual::max_abs_diff;
+    use tridiag_core::{Generator, TridiagonalSystem, Workload};
+
+    fn solve_vec(s: &TridiagonalSystem<f64>) -> Vec<f64> {
+        let mut x = vec![0.0; s.n()];
+        solve_into(&s.a, &s.b, &s.c, &s.d, &mut x).unwrap();
+        x
+    }
+
+    #[test]
+    fn matches_thomas_across_sizes() {
+        let mut g = Generator::new(72);
+        for n in [2usize, 4, 8, 16, 64, 256, 512] {
+            let s: TridiagonalSystem<f64> = g.system(Workload::DiagonallyDominant, n);
+            let x_pcr = solve_vec(&s);
+            let x_th = thomas::solve(&s).unwrap();
+            assert!(max_abs_diff(&x_pcr, &x_th) < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn n2_is_a_single_pair_solve() {
+        let s = TridiagonalSystem::new(
+            vec![0.0f64, 1.0],
+            vec![4.0, 5.0],
+            vec![2.0, 0.0],
+            vec![6.0, 7.0],
+        )
+        .unwrap();
+        let x = solve_vec(&s);
+        let x_th = thomas::solve(&s).unwrap();
+        assert!(max_abs_diff(&x, &x_th) < 1e-12);
+    }
+
+    #[test]
+    fn one_level_splits_even_odd() {
+        // After the delta=1 level, equation i only couples to i±2.
+        let mut g = Generator::new(4);
+        let s: TridiagonalSystem<f64> = g.system(Workload::DiagonallyDominant, 8);
+        let x = thomas::solve(&s).unwrap();
+        let mut out = (vec![0.0; 8], vec![0.0; 8], vec![0.0; 8], vec![0.0; 8]);
+        reduce_level(
+            (&s.a, &s.b, &s.c, &s.d),
+            (&mut out.0, &mut out.1, &mut out.2, &mut out.3),
+            1,
+        );
+        for i in 0..8 {
+            let mut lhs = out.1[i] * x[i];
+            if i >= 2 {
+                lhs += out.0[i] * x[i - 2];
+            }
+            if i + 2 < 8 {
+                lhs += out.2[i] * x[i + 2];
+            }
+            assert!((lhs - out.3[i]).abs() < 1e-9, "eq {i}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_pow2() {
+        let s = TridiagonalSystem::<f64>::toeplitz(10, -1.0, 4.0, -1.0, 1.0).unwrap();
+        let mut x = vec![0.0; 10];
+        assert!(solve_into(&s.a, &s.b, &s.c, &s.d, &mut x).is_err());
+    }
+}

@@ -1,0 +1,251 @@
+//! Sequential recursive doubling (Stone, in the scan form of Eğecioğlu,
+//! Koç & Laub) — the reference for the RD kernel.
+//!
+//! Equation `i` (0-based) is rewritten as `X_{i+1} = B_i X_i` with
+//! `X_i = [x_i, x_{i-1}, 1]^T` and
+//!
+//! ```text
+//!        | -b_i/c_i  -a_i/c_i  d_i/c_i |
+//! B_i  = |    1         0         0    |
+//!        |    0         0         1    |
+//! ```
+//!
+//! A prefix product (scan) `S_i = B_i ... B_0` then yields every unknown
+//! from `x_0`, which follows from enforcing the fictitious `x_n = 0`
+//! (the last equation's `c` is replaced by 1). Only the first two rows of
+//! the matrices are stored — the third stays `[0 0 1]` under multiplication
+//! (the paper's "special matrices" optimization).
+//!
+//! The optional **rescaled** variant normalizes each partial product by its
+//! largest magnitude, carrying the scale in the homogeneous coordinate —
+//! the overflow remedy the paper sketches in §5.4.
+
+use tridiag_core::{require_pow2, Real, Result};
+
+/// First two rows of a scan matrix (third row is `[0, 0, s]` with `s = 1`
+/// unless rescaling is enabled).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanMat<T> {
+    /// Row 1.
+    pub r1: [T; 3],
+    /// Row 2.
+    pub r2: [T; 3],
+    /// Homogeneous scale (row 3 = `[0, 0, s]`).
+    pub s: T,
+}
+
+impl<T: Real> ScanMat<T> {
+    /// Builds `B_i` from the equation's coefficients. The caller passes
+    /// `c = 1` for the last equation.
+    pub fn from_equation(a: T, b: T, c: T, d: T) -> Self {
+        let inv = T::ONE / c;
+        Self { r1: [-b * inv, -a * inv, d * inv], r2: [T::ONE, T::ZERO, T::ZERO], s: T::ONE }
+    }
+
+    /// Matrix product `self * rhs` (both with implicit `[0, 0, s]` third
+    /// rows). Named like the scalar operation on purpose; this is not an
+    /// `std::ops::Mul` impl because it is only used internally.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, rhs: Self) -> Self {
+        let p = |r: [T; 3]| {
+            [
+                r[0] * rhs.r1[0] + r[1] * rhs.r2[0],
+                r[0] * rhs.r1[1] + r[1] * rhs.r2[1],
+                r[0] * rhs.r1[2] + r[1] * rhs.r2[2] + r[2] * rhs.s,
+            ]
+        };
+        Self { r1: p(self.r1), r2: p(self.r2), s: self.s * rhs.s }
+    }
+
+    /// Divides all entries (and the scale) by the largest magnitude if it
+    /// exceeds `threshold`, keeping the projective meaning intact.
+    pub fn rescale(&mut self, threshold: T) {
+        let mut m = self.s.abs();
+        for v in self.r1.iter().chain(self.r2.iter()) {
+            m = m.max(v.abs());
+        }
+        if m > threshold {
+            let inv = T::ONE / m;
+            for v in self.r1.iter_mut().chain(self.r2.iter_mut()) {
+                *v *= inv;
+            }
+            self.s *= inv;
+        }
+    }
+}
+
+/// Recursive-doubling variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RdVariant {
+    /// Plain scan — can overflow in `f32` for diagonally dominant systems
+    /// of size > 64 (paper §5.4).
+    #[default]
+    Plain,
+    /// Scan with per-element projective rescaling (the paper's suggested
+    /// overflow remedy, at the cost of extra control overhead).
+    Rescaled,
+}
+
+/// Solves one system by recursive doubling. `n` must be a power of two.
+///
+/// Overflow is *not* an error: like the GPU solver, non-finite values
+/// propagate into `x` so accuracy harnesses can report them (Figure 18).
+pub fn solve_into_variant<T: Real>(
+    a: &[T],
+    b: &[T],
+    c: &[T],
+    d: &[T],
+    x: &mut [T],
+    variant: RdVariant,
+) -> Result<()> {
+    let n = b.len();
+    require_pow2(n, 1)?;
+    let threshold = T::from_f64(1e18);
+
+    // Matrix setup (the last equation's c is replaced by 1 so that the
+    // fictitious x_n must come out 0).
+    let mut mats: Vec<ScanMat<T>> = (0..n)
+        .map(|i| {
+            let ci = if i == n - 1 { T::ONE } else { c[i] };
+            ScanMat::from_equation(a[i], b[i], ci, d[i])
+        })
+        .collect();
+
+    // Hillis-Steele scan: S_i = B_i ... B_0 (later matrix on the left).
+    let mut stride = 1usize;
+    let mut scratch = mats.clone();
+    while stride < n {
+        for i in stride..n {
+            scratch[i] = mats[i].mul(mats[i - stride]);
+            if variant == RdVariant::Rescaled {
+                scratch[i].rescale(threshold);
+            }
+        }
+        mats[stride..n].copy_from_slice(&scratch[stride..n]);
+        stride *= 2;
+    }
+
+    // Solution evaluation: x_0 from the full chain, the rest from prefixes.
+    let last = &mats[n - 1];
+    x[0] = -last.r1[2] / last.r1[0];
+    for i in 0..n - 1 {
+        let m = &mats[i];
+        let v = (m.r1[0] * x[0] + m.r1[2]) / m.s;
+        // Under rescaling, a scale that underflowed past the format's range
+        // means the true chain product overflowed by more than rescaling
+        // could absorb; saturate to zero instead of producing inf/NaN (the
+        // value is garbage either way, but stays finite — which is all the
+        // paper's remedy promises). The plain variant keeps the overflow
+        // visible, as on the GPU.
+        x[i + 1] = if variant == RdVariant::Rescaled && !v.is_finite() { T::ZERO } else { v };
+    }
+    Ok(())
+}
+
+/// Plain-variant convenience wrapper.
+pub fn solve_into<T: Real>(a: &[T], b: &[T], c: &[T], d: &[T], x: &mut [T]) -> Result<()> {
+    solve_into_variant(a, b, c, d, x, RdVariant::Plain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thomas;
+    use tridiag_core::residual::{l2_residual, max_abs_diff};
+    use tridiag_core::{Generator, TridiagonalSystem, Workload};
+
+    fn solve_vec(s: &TridiagonalSystem<f64>, v: RdVariant) -> Vec<f64> {
+        let mut x = vec![0.0; s.n()];
+        solve_into_variant(&s.a, &s.b, &s.c, &s.d, &mut x, v).unwrap();
+        x
+    }
+
+    #[test]
+    fn matches_thomas_in_f64_small_dominant() {
+        // RD's error grows with the prefix-product magnitude, which for
+        // dominant rows grows geometrically in n (the very instability the
+        // paper studies) — so exact agreement is only expected while the
+        // chain stays small.
+        let mut g = Generator::new(73);
+        for n in [1usize, 2, 4, 8] {
+            let s: TridiagonalSystem<f64> = g.system(Workload::DiagonallyDominant, n);
+            let x_rd = solve_vec(&s, RdVariant::Plain);
+            let x_th = thomas::solve(&s).unwrap();
+            assert!(max_abs_diff(&x_rd, &x_th) < 1e-7, "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_thomas_in_f64_close_values() {
+        // Close-values rows keep the scan matrices' entries near 1, so the
+        // chain does not grow and RD stays accurate at larger n.
+        let mut g = Generator::new(77);
+        for n in [32usize, 64, 128] {
+            let s: TridiagonalSystem<f64> = g.system(Workload::CloseValues, n);
+            let x_rd = solve_vec(&s, RdVariant::Plain);
+            let x_th = thomas::solve(&s).unwrap();
+            assert!(max_abs_diff(&x_rd, &x_th) < 1e-5, "n={n}");
+        }
+    }
+
+    #[test]
+    fn close_values_family_is_friendly() {
+        // The paper: "RD favors matrices with close values in rows".
+        let mut g = Generator::new(74);
+        let s: TridiagonalSystem<f64> = g.system(Workload::CloseValues, 256);
+        let x = solve_vec(&s, RdVariant::Plain);
+        assert!(x.iter().all(|v| v.is_finite()));
+        assert!(l2_residual(&s, &x).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn f32_overflows_on_large_dominant_systems() {
+        // Paper §5.4: "for the systems of size larger than 64, RD ...
+        // might overflow" in single precision on diagonally dominant input.
+        let mut g = Generator::new(75);
+        let s: TridiagonalSystem<f32> = g.system(Workload::DiagonallyDominant, 512);
+        let mut x = vec![0.0f32; 512];
+        solve_into(&s.a, &s.b, &s.c, &s.d, &mut x).unwrap();
+        assert!(x.iter().any(|v| !v.is_finite()), "expected overflow in f32 RD");
+    }
+
+    #[test]
+    fn rescaling_prevents_overflow() {
+        // The remedy the paper sketches only promises *finite* results — on
+        // strongly dominant systems the cancellation error remains (which is
+        // why the paper recommends CR/PCR there), so only finiteness is
+        // asserted.
+        let mut g = Generator::new(75);
+        let s: TridiagonalSystem<f32> = g.system(Workload::DiagonallyDominant, 512);
+        let mut x = vec![0.0f32; 512];
+        solve_into_variant(&s.a, &s.b, &s.c, &s.d, &mut x, RdVariant::Rescaled).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()), "rescaled RD must not overflow");
+    }
+
+    #[test]
+    fn rescaled_matches_plain_when_no_overflow() {
+        let mut g = Generator::new(76);
+        let s: TridiagonalSystem<f64> = g.system(Workload::CloseValues, 64);
+        let plain = solve_vec(&s, RdVariant::Plain);
+        let rescaled = solve_vec(&s, RdVariant::Rescaled);
+        assert!(max_abs_diff(&plain, &rescaled) < 1e-9);
+    }
+
+    #[test]
+    fn scan_matrix_product_matches_dense_3x3() {
+        let a = ScanMat::<f64> { r1: [1.0, 2.0, 3.0], r2: [4.0, 5.0, 6.0], s: 1.0 };
+        let b = ScanMat::<f64> { r1: [7.0, 8.0, 9.0], r2: [0.5, -1.0, 2.0], s: 1.0 };
+        let p = a.mul(b);
+        // Dense product rows.
+        assert_eq!(p.r1, [1.0 * 7.0 + 2.0 * 0.5, 1.0 * 8.0 + -2.0, 1.0 * 9.0 + 2.0 * 2.0 + 3.0]);
+        assert_eq!(p.r2, [4.0 * 7.0 + 5.0 * 0.5, 4.0 * 8.0 + -5.0, 4.0 * 9.0 + 5.0 * 2.0 + 6.0]);
+        assert_eq!(p.s, 1.0);
+    }
+
+    #[test]
+    fn single_equation() {
+        let s = TridiagonalSystem::new(vec![0.0f64], vec![4.0], vec![0.0], vec![8.0]).unwrap();
+        let x = solve_vec(&s, RdVariant::Plain);
+        assert!((x[0] - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,131 @@
+//! The Thomas algorithm — Gaussian elimination specialised to tridiagonal
+//! systems, *without* pivoting. This is the paper's sequential "GE" CPU
+//! baseline and the classic `2n`-step serial algorithm of §2.
+//!
+//! Forward elimination:
+//! ```text
+//! c'_1 = c_1 / b_1,    c'_i = c_i / (b_i - c'_{i-1} a_i)
+//! d'_1 = d_1 / b_1,    d'_i = (d_i - d'_{i-1} a_i) / (b_i - c'_{i-1} a_i)
+//! ```
+//! Backward substitution: `x_n = d'_n`, `x_i = d'_i - c'_i x_{i+1}`.
+
+use tridiag_core::{Real, Result, TridiagError};
+
+/// Solves one tridiagonal system in place of `x` using scratch space.
+///
+/// `a`, `b`, `c`, `d` follow the storage convention of
+/// [`tridiag_core::TridiagonalSystem`]. `x` receives the solution.
+///
+/// # Errors
+/// [`TridiagError::ZeroPivot`] when elimination hits an exactly-zero pivot
+/// (the algorithm has no pivoting; diagonally dominant inputs are safe).
+pub fn solve_into<T: Real>(a: &[T], b: &[T], c: &[T], d: &[T], x: &mut [T]) -> Result<()> {
+    let n = b.len();
+    debug_assert!(a.len() == n && c.len() == n && d.len() == n && x.len() == n);
+    if n == 0 {
+        return Err(TridiagError::SizeTooSmall { n: 0, min: 1 });
+    }
+    // Scratch: c' and d' (kept separate from inputs so callers can reuse
+    // their system arrays).
+    let mut cp = vec![T::ZERO; n];
+    let mut dp = vec![T::ZERO; n];
+
+    if b[0] == T::ZERO {
+        return Err(TridiagError::ZeroPivot { row: 0 });
+    }
+    cp[0] = c[0] / b[0];
+    dp[0] = d[0] / b[0];
+    for i in 1..n {
+        let denom = b[i] - cp[i - 1] * a[i];
+        if denom == T::ZERO {
+            return Err(TridiagError::ZeroPivot { row: i });
+        }
+        cp[i] = c[i] / denom;
+        dp[i] = (d[i] - dp[i - 1] * a[i]) / denom;
+    }
+
+    x[n - 1] = dp[n - 1];
+    for i in (0..n - 1).rev() {
+        x[i] = dp[i] - cp[i] * x[i + 1];
+    }
+    Ok(())
+}
+
+/// Convenience wrapper returning a fresh solution vector.
+pub fn solve<T: Real>(system: &tridiag_core::TridiagonalSystem<T>) -> Result<Vec<T>> {
+    let mut x = vec![T::ZERO; system.n()];
+    solve_into(&system.a, &system.b, &system.c, &system.d, &mut x)?;
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tridiag_core::residual::l2_residual;
+    use tridiag_core::{Generator, TridiagonalSystem, Workload};
+
+    #[test]
+    fn solves_identity() {
+        let s = TridiagonalSystem::new(
+            vec![0.0f64, 0.0, 0.0],
+            vec![1.0, 1.0, 1.0],
+            vec![0.0, 0.0, 0.0],
+            vec![3.0, -1.0, 2.5],
+        )
+        .unwrap();
+        assert_eq!(solve(&s).unwrap(), vec![3.0, -1.0, 2.5]);
+    }
+
+    #[test]
+    fn solves_poisson_exactly() {
+        // [-1,2,-1] with d = 1 has the closed form x_i = i(n+1-i)/2 (1-based).
+        let n = 16;
+        let s = tridiag_core::workload::poisson_system::<f64>(n);
+        let x = solve(&s).unwrap();
+        for i in 0..n {
+            let k = (i + 1) as f64;
+            let expect = k * ((n as f64) + 1.0 - k) / 2.0;
+            assert!((x[i] - expect).abs() < 1e-10, "i={i}: {} vs {expect}", x[i]);
+        }
+    }
+
+    #[test]
+    fn single_equation() {
+        let s = TridiagonalSystem::new(vec![0.0f32], vec![4.0], vec![0.0], vec![8.0]).unwrap();
+        assert_eq!(solve(&s).unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn residual_small_on_random_dominant() {
+        let mut g = Generator::new(11);
+        for _ in 0..20 {
+            let s: TridiagonalSystem<f64> = g.system(Workload::DiagonallyDominant, 128);
+            let x = solve(&s).unwrap();
+            assert!(l2_residual(&s, &x).unwrap() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_pivot_is_reported() {
+        let s = TridiagonalSystem::new(
+            vec![0.0f64, 1.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        )
+        .unwrap();
+        assert!(matches!(solve(&s), Err(TridiagError::ZeroPivot { row: 0 })));
+    }
+
+    #[test]
+    fn recovers_manufactured_solution() {
+        let mut g = Generator::new(5);
+        let x_exact: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin()).collect();
+        let s: TridiagonalSystem<f64> = g.system(Workload::DiagonallyDominant, 64);
+        let s = s.with_exact_solution(&x_exact).unwrap();
+        let x = solve(&s).unwrap();
+        for i in 0..64 {
+            assert!((x[i] - x_exact[i]).abs() < 1e-10);
+        }
+    }
+}

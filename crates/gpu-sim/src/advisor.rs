@@ -1,0 +1,396 @@
+//! Automatic performance analysis — the tool the paper asks for in its
+//! future work: *"develop tools that can automatically measure various
+//! algorithm characteristics' impact on performance, and thus help
+//! programmers to optimize their GPU applications. ... a comprehensive
+//! performance analysis to reveal the factors that have the most impact on
+//! performance."*
+//!
+//! Because the simulator prices every mechanism separately, each factor's
+//! impact can be quantified *counterfactually*: re-price the same counters
+//! with one mechanism idealized (no bank conflicts, full occupancy, zero
+//! step overhead, ...) and report the saving. Findings are ranked by
+//! estimated saving — the "prioritized tasks for optimizations" of §5.3.6.
+
+use crate::cost::CostModel;
+use crate::counters::KernelStats;
+use crate::device::DeviceConfig;
+use crate::profile::{time_launch_with_efficiency, TimingReport};
+use serde::Serialize;
+use tridiag_core::Result;
+
+/// One diagnosed performance factor.
+#[derive(Debug, Clone, Serialize)]
+pub struct Finding {
+    /// Which mechanism this finding concerns.
+    pub category: Category,
+    /// Estimated kernel-time saving if the factor were eliminated, ms.
+    pub estimated_saving_ms: f64,
+    /// Saving as a fraction of the current kernel time.
+    pub saving_fraction: f64,
+    /// Human-readable diagnosis.
+    pub message: String,
+    /// Actionable suggestion, phrased in the paper's vocabulary.
+    pub suggestion: String,
+}
+
+/// Performance factor categories the advisor distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Category {
+    /// Shared-memory bank-conflict serialization.
+    BankConflicts,
+    /// Fewer resident blocks per SM than the hardware allows.
+    LowOccupancy,
+    /// Steps whose active thread count is below a warp (idle lanes).
+    WarpUnderutilization,
+    /// Synchronization + loop-control overhead of many small steps.
+    StepOverhead,
+    /// Division-heavy arithmetic (SFU-serialized on GT200).
+    DivisionHeavy,
+    /// PCIe transfer dominating end-to-end time.
+    TransferBound,
+    /// Global memory traffic dominating kernel time.
+    GlobalTrafficBound,
+}
+
+impl Category {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::BankConflicts => "bank conflicts",
+            Category::LowOccupancy => "low occupancy",
+            Category::WarpUnderutilization => "warp underutilization",
+            Category::StepOverhead => "step overhead",
+            Category::DivisionHeavy => "division-heavy arithmetic",
+            Category::TransferBound => "PCIe transfer bound",
+            Category::GlobalTrafficBound => "global-memory bound",
+        }
+    }
+}
+
+/// Advisor output: findings sorted by estimated saving, largest first.
+#[derive(Debug, Clone, Serialize)]
+pub struct Advice {
+    /// Ranked findings (only factors with a non-trivial impact).
+    pub findings: Vec<Finding>,
+    /// The kernel time all savings are relative to, ms.
+    pub kernel_ms: f64,
+}
+
+impl Advice {
+    /// The highest-impact finding, if any.
+    pub fn top(&self) -> Option<&Finding> {
+        self.findings.first()
+    }
+
+    /// Finding for `category`, if it was significant.
+    pub fn finding(&self, category: Category) -> Option<&Finding> {
+        self.findings.iter().find(|f| f.category == category)
+    }
+}
+
+/// Minimum saving fraction for a finding to be reported.
+const SIGNIFICANCE: f64 = 0.03;
+
+/// Analyzes a kernel run and returns ranked, quantified findings.
+pub fn analyze(
+    device: &DeviceConfig,
+    cost: &CostModel,
+    stats: &KernelStats,
+    timing: &TimingReport,
+) -> Result<Advice> {
+    let blocks = timing.blocks;
+    let base_ms = timing.kernel_ms;
+    let mut findings = Vec::new();
+
+    // --- Bank conflicts: re-price with serialization removed.
+    {
+        let mut ideal = stats.clone();
+        for s in &mut ideal.steps {
+            s.serialized_shared_instructions = s.shared_instructions;
+            s.max_conflict_degree = 1;
+        }
+        let t = time_launch_with_efficiency(device, cost, &ideal, blocks, 1.0)?;
+        let saving = base_ms - t.kernel_ms;
+        if saving / base_ms > SIGNIFICANCE {
+            let worst = stats.max_conflict_degree();
+            findings.push(Finding {
+                category: Category::BankConflicts,
+                estimated_saving_ms: saving,
+                saving_fraction: saving / base_ms,
+                message: format!(
+                    "shared-memory bank conflicts (up to {worst}-way) serialize accesses; \
+                     removing them would save {saving:.3} ms ({:.0}%)",
+                    100.0 * saving / base_ms
+                ),
+                suggestion: "restructure shared-memory layout (pad arrays, de-interleave \
+                             even/odd equations) or switch algorithms before the access \
+                             stride reaches the bank count (hybrid CR+PCR/CR+RD)"
+                    .into(),
+            });
+        }
+    }
+
+    // --- Step overhead: re-price with zero per-step overhead.
+    {
+        let hypothetical = CostModel { step_overhead_cycles: 0.0, sync_only_cycles: 0.0, ..cost.clone() };
+        let t = time_launch_with_efficiency(device, &hypothetical, stats, blocks, 1.0)?;
+        let saving = base_ms - t.kernel_ms;
+        if saving / base_ms > SIGNIFICANCE {
+            findings.push(Finding {
+                category: Category::StepOverhead,
+                estimated_saving_ms: saving,
+                saving_fraction: saving / base_ms,
+                message: format!(
+                    "{} barrier-separated steps spend {saving:.3} ms ({:.0}%) in \
+                     synchronization and loop control",
+                    stats.num_steps(),
+                    100.0 * saving / base_ms
+                ),
+                suggestion: "prefer step-efficient algorithms (PCR/RD over CR) or switch \
+                             solvers mid-algorithm to cut the number of steps (the paper's \
+                             hybrid approach)"
+                    .into(),
+            });
+        }
+    }
+
+    // --- Warp underutilization: time spent in steps with < warp_size lanes.
+    {
+        let narrow_ms: f64 = timing
+            .per_step
+            .iter()
+            .filter(|s| s.active_threads < device.warp_size)
+            .map(|s| s.ms)
+            .sum();
+        // An idealized machine would overlap these with other work; treat
+        // everything beyond one step's overhead as recoverable.
+        if narrow_ms / base_ms > SIGNIFICANCE {
+            findings.push(Finding {
+                category: Category::WarpUnderutilization,
+                estimated_saving_ms: narrow_ms,
+                saving_fraction: narrow_ms / base_ms,
+                message: format!(
+                    "steps with fewer active threads than a warp ({}) account for \
+                     {narrow_ms:.3} ms ({:.0}%) — idle lanes still occupy issue slots",
+                    device.warp_size,
+                    100.0 * narrow_ms / base_ms
+                ),
+                suggestion: "a warp is the smallest unit of work: switch to an algorithm \
+                             with more parallelism once the active set shrinks below \
+                             warp width (the paper switches at far larger sizes because \
+                             of bank conflicts)"
+                    .into(),
+            });
+        }
+    }
+
+    // --- Low occupancy: only actionable when *shared memory* is the
+    // limiter (footprint can be reduced; the thread/slot caps cannot).
+    // Residency buys latency hiding, not extra throughput: the what-if is
+    // the fully-hidden overhead of an infinitely-resident SM.
+    {
+        let k = timing.occupancy.blocks_per_sm;
+        let cap = device
+            .max_blocks_per_sm
+            .min(device.max_threads_per_sm / stats.block_dim.max(1));
+        if timing.occupancy.limiter == crate::occupancy::Limiter::SharedMemory && k < cap {
+            let current_scale =
+                (1.0 - cost.hideable_fraction) + cost.hideable_fraction / k as f64;
+            let ideal_scale =
+                (1.0 - cost.hideable_fraction) + cost.hideable_fraction / cap as f64;
+            let saving = timing.overhead_ms * (1.0 - ideal_scale / current_scale);
+            if saving / base_ms > SIGNIFICANCE {
+                findings.push(Finding {
+                    category: Category::LowOccupancy,
+                    estimated_saving_ms: saving,
+                    saving_fraction: saving / base_ms,
+                    message: format!(
+                        "only {k} block(s) resident per SM (shared-memory limited); \
+                         block switching at full residency would hide about \
+                         {saving:.3} ms ({:.0}%) of sync/control stalls",
+                        100.0 * saving / base_ms
+                    ),
+                    suggestion: "reduce the per-block shared-memory footprint (smaller \
+                                 systems per block, reuse dead arrays) so the GPU can \
+                                 switch between blocks and hide latency"
+                        .into(),
+                });
+            }
+        }
+    }
+
+    // --- Division-heavy arithmetic: re-price divisions at mul/add cost.
+    {
+        let hypothetical = CostModel { div_extra_cycles_per_warp: 0.0, ..cost.clone() };
+        let t = time_launch_with_efficiency(device, &hypothetical, stats, blocks, 1.0)?;
+        let saving = base_ms - t.kernel_ms;
+        if saving / base_ms > SIGNIFICANCE {
+            findings.push(Finding {
+                category: Category::DivisionHeavy,
+                estimated_saving_ms: saving,
+                saving_fraction: saving / base_ms,
+                message: format!(
+                    "{} divisions per system cost an extra {saving:.3} ms ({:.0}%)",
+                    stats.total_divs(),
+                    100.0 * saving / base_ms
+                ),
+                suggestion: "precompute reciprocals where a denominator is reused, or \
+                             pick the division-free formulation (RD's scan has none)"
+                    .into(),
+            });
+        }
+    }
+
+    // --- Global-memory bound.
+    if timing.global_ms / base_ms > 0.4 {
+        findings.push(Finding {
+            category: Category::GlobalTrafficBound,
+            estimated_saving_ms: timing.global_ms,
+            saving_fraction: timing.global_ms / base_ms,
+            message: format!(
+                "global memory traffic takes {:.3} ms ({:.0}%) of the kernel",
+                timing.global_ms,
+                100.0 * timing.global_ms / base_ms
+            ),
+            suggestion: "stage data in shared memory (the paper's kernels touch global \
+                         memory only at the start and end) and keep accesses coalesced"
+                .into(),
+        });
+    }
+
+    // --- Transfer bound (end-to-end view).
+    if timing.transfer_ms > base_ms {
+        findings.push(Finding {
+            category: Category::TransferBound,
+            estimated_saving_ms: timing.transfer_ms,
+            saving_fraction: timing.transfer_ms / (base_ms + timing.transfer_ms),
+            message: format!(
+                "the PCIe transfer ({:.3} ms) exceeds the kernel itself ({base_ms:.3} ms)",
+                timing.transfer_ms
+            ),
+            suggestion: "use the solver as a component of a larger GPU computation so \
+                         the transfer is amortized (the paper's recommendation)"
+                .into(),
+        });
+    }
+
+    // Rank kernel-level factors by saving; the transfer finding is a
+    // deployment concern (amortize, don't optimize the kernel) and goes
+    // last regardless of magnitude.
+    findings.sort_by(|a, b| {
+        let rank = |f: &Finding| f.category == Category::TransferBound;
+        rank(a)
+            .cmp(&rank(b))
+            .then(b.estimated_saving_ms.partial_cmp(&a.estimated_saving_ms).unwrap())
+    });
+    Ok(Advice { findings, kernel_ms: base_ms })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{Phase, StepRecord};
+
+    fn step(
+        phase: Phase,
+        threads: usize,
+        instr: u64,
+        serialized: u64,
+        ops: u64,
+        divs: u64,
+    ) -> StepRecord {
+        StepRecord {
+            phase,
+            active_threads: threads,
+            warps: threads.div_ceil(32),
+            half_warps: threads.div_ceil(16),
+            shared_loads: instr * 16,
+            shared_stores: 0,
+            shared_instructions: instr,
+            serialized_shared_instructions: serialized,
+            max_conflict_degree: if serialized > instr { 8 } else { 1 },
+            ops: ops * threads as u64,
+            divs: divs * threads as u64,
+            warp_op_instructions: ops * threads.div_ceil(32) as u64,
+            warp_div_instructions: divs * threads.div_ceil(32) as u64,
+            global_loads: 0,
+            global_stores: 0,
+            max_dependent_chain: 0,
+        }
+    }
+
+    fn stats(steps: Vec<StepRecord>) -> KernelStats {
+        KernelStats {
+            steps,
+            shared_words: 2560,
+            element_bytes: 4,
+            block_dim: 256,
+            global_bytes_read: 8192,
+            global_bytes_written: 2048,
+            global_accesses: 2560,
+        }
+    }
+
+    fn advise(stats: &KernelStats, blocks: usize) -> Advice {
+        let device = DeviceConfig::gtx280();
+        let cost = CostModel::gtx280();
+        let timing = crate::profile::time_launch(&device, &cost, stats, blocks).unwrap();
+        analyze(&device, &cost, stats, &timing).unwrap()
+    }
+
+    #[test]
+    fn conflict_heavy_kernel_flags_bank_conflicts_first() {
+        let s = stats(vec![
+            step(Phase::ForwardReduction, 256, 200, 1600, 10, 2),
+            step(Phase::ForwardReduction, 128, 100, 800, 10, 2),
+        ]);
+        let advice = advise(&s, 512);
+        let top = advice.top().expect("has findings");
+        assert_eq!(top.category, Category::BankConflicts);
+        assert!(top.estimated_saving_ms > 0.0);
+        assert!(top.saving_fraction > 0.3);
+    }
+
+    #[test]
+    fn conflict_free_kernel_does_not_flag_conflicts() {
+        let s = stats(vec![step(Phase::PcrReduction, 256, 400, 400, 14, 2)]);
+        let advice = advise(&s, 512);
+        assert!(advice.finding(Category::BankConflicts).is_none());
+    }
+
+    #[test]
+    fn many_tiny_steps_flag_step_overhead() {
+        let steps: Vec<_> =
+            (0..30).map(|_| step(Phase::ForwardReduction, 4, 2, 2, 4, 1)).collect();
+        let advice = advise(&stats(steps), 512);
+        assert!(advice.finding(Category::StepOverhead).is_some());
+        assert!(advice.finding(Category::WarpUnderutilization).is_some());
+    }
+
+    #[test]
+    fn findings_are_ranked_by_saving() {
+        let s = stats(vec![
+            step(Phase::ForwardReduction, 256, 200, 1600, 10, 6),
+            step(Phase::ForwardReduction, 8, 10, 80, 10, 6),
+        ]);
+        let advice = advise(&s, 512);
+        for pair in advice.findings.windows(2) {
+            assert!(pair[0].estimated_saving_ms >= pair[1].estimated_saving_ms);
+        }
+    }
+
+    #[test]
+    fn category_labels_are_distinct() {
+        let cats = [
+            Category::BankConflicts,
+            Category::LowOccupancy,
+            Category::WarpUnderutilization,
+            Category::StepOverhead,
+            Category::DivisionHeavy,
+            Category::TransferBound,
+            Category::GlobalTrafficBound,
+        ];
+        let labels: std::collections::HashSet<_> = cats.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), cats.len());
+    }
+}

@@ -1,0 +1,242 @@
+//! The analytic cost model that converts counted work into simulated time.
+//!
+//! The paper decomposes kernel time into global memory access, shared memory
+//! access (dominated by bank conflicts for CR), computation, and per-step
+//! synchronization/control overhead. The model below mirrors that
+//! decomposition with one constant per mechanism. Defaults are calibrated so
+//! the GTX 280 measurements of §5.3 are reproduced in *shape* (orderings,
+//! ratios, breakdown percentages); see EXPERIMENTS.md for the calibration
+//! table.
+
+use serde::Serialize;
+
+/// Cycle/bandwidth constants of the simulated machine.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CostModel {
+    /// Throughput floor: cycles per conflict-free half-warp shared-memory
+    /// instruction when enough warps are in flight to hide its latency.
+    pub smem_base_cycles: f64,
+    /// Raw latency of a shared-memory instruction; with `w` active warps
+    /// the exposed cost is `max(base, latency / w)` — one warp exposes the
+    /// full latency, many warps pipeline down to the throughput floor.
+    pub smem_latency_cycles: f64,
+    /// Fixed cost of each additional serialized (bank-conflicted) access.
+    pub smem_replay_base_cycles: f64,
+    /// Latency component of a replay, hidden by warp parallelism like the
+    /// base latency: per-replay cost = `replay_base + replay_latency / w`.
+    pub smem_replay_latency_cycles: f64,
+    /// Cycles per warp arithmetic instruction (32 lanes over 8 SPs = 4).
+    pub op_cycles_per_warp: f64,
+    /// Extra cycles per warp division instruction (SFU-serviced on GT200).
+    pub div_extra_cycles_per_warp: f64,
+    /// Fixed cycles per superstep: `__syncthreads()` plus loop control.
+    pub step_overhead_cycles: f64,
+    /// Fixed cycles for a straight-line (non-loop) superstep such as the
+    /// initial global load: barrier only, no loop control.
+    pub sync_only_cycles: f64,
+    /// Fixed cycles per block: prologue/epilogue (index math, bounds).
+    pub block_overhead_cycles: f64,
+    /// Kernel launch latency in microseconds (driver + front-end).
+    pub kernel_launch_us: f64,
+    /// Fraction of the per-step overhead that can be hidden when more than
+    /// one block is resident on an SM (the paper's observation that
+    /// "running multiple blocks simultaneously enables the GPU to switch
+    /// between blocks ... and thus improve the hardware utilization").
+    pub hideable_fraction: f64,
+    /// Achieved global-to-shared memory bandwidth, GB/s (paper measures
+    /// 45.9–48.5 GB/s for the coalesced 5-array traffic).
+    pub global_bw_gbps: f64,
+    /// Latency of a dependent global-memory load, cycles (GT200: ~400-600).
+    /// Charged per link of a serial load chain (see
+    /// `ThreadCtx::load_global_dependent`); chains cannot be hidden by
+    /// parallelism — they bound the wall time of latency-bound kernels.
+    pub global_latency_cycles: f64,
+    /// Effective host-device PCIe bandwidth, GB/s (paper's transfers imply
+    /// ~1.1 GB/s effective for pageable memory on their system).
+    pub pcie_bw_gbps: f64,
+    /// One-way PCIe/driver latency per transfer batch, microseconds.
+    pub pcie_latency_us: f64,
+}
+
+impl CostModel {
+    /// Constants calibrated against the paper's GTX 280 measurements.
+    pub fn gtx280() -> Self {
+        Self {
+            smem_base_cycles: 2.7,
+            smem_latency_cycles: 30.0,
+            smem_replay_base_cycles: 4.0,
+            smem_replay_latency_cycles: 14.0,
+            op_cycles_per_warp: 4.0,
+            div_extra_cycles_per_warp: 22.0,
+            step_overhead_cycles: 700.0,
+            sync_only_cycles: 200.0,
+            block_overhead_cycles: 400.0,
+            kernel_launch_us: 3.5,
+            hideable_fraction: 0.35,
+            global_bw_gbps: 48.5,
+            global_latency_cycles: 450.0,
+            pcie_bw_gbps: 1.1,
+            pcie_latency_us: 15.0,
+        }
+    }
+
+    /// Seconds to move `bytes` over PCIe (one combined host<->device batch,
+    /// as the paper's "data transfer" bar).
+    pub fn pcie_seconds(&self, bytes: u64) -> f64 {
+        self.pcie_latency_us * 1e-6 + bytes as f64 / (self.pcie_bw_gbps * 1e9)
+    }
+
+    /// Seconds to move `bytes` between global memory and the SMs.
+    pub fn global_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.global_bw_gbps * 1e9)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::gtx280()
+    }
+}
+
+/// Per-superstep cycle cost, split by mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct StepCost {
+    /// Shared-memory access cycles (bank-conflict serialization included).
+    pub shared_cycles: f64,
+    /// Arithmetic cycles at warp granularity.
+    pub compute_cycles: f64,
+    /// Synchronization + control cycles (before occupancy hiding).
+    pub overhead_cycles: f64,
+    /// Exposed serial dependent-load latency (longest chain x latency) —
+    /// unhideable by warp or block parallelism.
+    pub latency_cycles: f64,
+}
+
+impl StepCost {
+    /// Total cycles of the step before occupancy-based hiding.
+    pub fn total(&self) -> f64 {
+        self.shared_cycles + self.compute_cycles + self.overhead_cycles + self.latency_cycles
+    }
+}
+
+impl CostModel {
+    /// Costs one superstep from its counters.
+    pub fn step_cost(&self, step: &crate::counters::StepRecord) -> StepCost {
+        let w = step.warps.max(1) as f64;
+        let lambda = (self.smem_latency_cycles / w).max(self.smem_base_cycles);
+        let replay = self.smem_replay_base_cycles + self.smem_replay_latency_cycles / w;
+        let conflict_extra =
+            step.serialized_shared_instructions.saturating_sub(step.shared_instructions);
+        StepCost {
+            shared_cycles: step.shared_instructions as f64 * lambda
+                + conflict_extra as f64 * replay,
+            compute_cycles: step.warp_op_instructions as f64 * self.op_cycles_per_warp
+                + step.warp_div_instructions as f64 * self.div_extra_cycles_per_warp,
+            latency_cycles: step.max_dependent_chain as f64 * self.global_latency_cycles,
+            overhead_cycles: if step.active_threads == 0 {
+                0.0
+            } else if step.phase.is_straight_line() {
+                self.sync_only_cycles
+            } else {
+                self.step_overhead_cycles
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{Phase, StepRecord};
+
+    fn step(instr: u64, serialized: u64, ops: u64, divs: u64) -> StepRecord {
+        StepRecord {
+            phase: Phase::ForwardReduction,
+            active_threads: 32,
+            warps: 1,
+            half_warps: 2,
+            shared_loads: 0,
+            shared_stores: 0,
+            shared_instructions: instr,
+            serialized_shared_instructions: serialized,
+            max_conflict_degree: if serialized > instr { 2 } else { 1 },
+            ops: 0,
+            divs: 0,
+            warp_op_instructions: ops,
+            warp_div_instructions: divs,
+            global_loads: 0,
+            global_stores: 0,
+            max_dependent_chain: 0,
+        }
+    }
+
+    #[test]
+    fn conflict_free_step_pays_exposed_latency() {
+        let m = CostModel::gtx280();
+        // One warp exposes the full shared latency per instruction.
+        let c = m.step_cost(&step(10, 10, 0, 0));
+        assert!((c.shared_cycles - 10.0 * m.smem_latency_cycles).abs() < 1e-9);
+        assert_eq!(c.compute_cycles, 0.0);
+        assert_eq!(c.overhead_cycles, m.step_overhead_cycles);
+    }
+
+    #[test]
+    fn many_warps_hit_the_throughput_floor() {
+        let m = CostModel::gtx280();
+        let mut s = step(10, 10, 0, 0);
+        s.warps = 16;
+        s.active_threads = 512;
+        let c = m.step_cost(&s);
+        assert!((c.shared_cycles - 10.0 * m.smem_base_cycles).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conflicts_add_serialization_cost() {
+        let m = CostModel::gtx280();
+        let free = m.step_cost(&step(10, 10, 0, 0));
+        let conflicted = m.step_cost(&step(10, 40, 0, 0));
+        assert!(conflicted.shared_cycles > free.shared_cycles);
+        let replay = m.smem_replay_base_cycles + m.smem_replay_latency_cycles; // 1 warp
+        let expected = 10.0 * m.smem_latency_cycles + 30.0 * replay;
+        assert!((conflicted.shared_cycles - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replays_get_cheaper_with_more_warps() {
+        let m = CostModel::gtx280();
+        let one_warp = m.step_cost(&step(10, 40, 0, 0));
+        let mut s = step(10, 40, 0, 0);
+        s.warps = 8;
+        s.active_threads = 256;
+        let eight_warps = m.step_cost(&s);
+        assert!(eight_warps.shared_cycles < one_warp.shared_cycles);
+    }
+
+    #[test]
+    fn divisions_cost_extra() {
+        let m = CostModel::gtx280();
+        let plain = m.step_cost(&step(0, 0, 12, 0));
+        let divs = m.step_cost(&step(0, 0, 12, 2));
+        assert!(divs.compute_cycles > plain.compute_cycles);
+        assert!((divs.compute_cycles - plain.compute_cycles
+            - 2.0 * m.div_extra_cycles_per_warp)
+            .abs()
+            < 1e-9);
+    }
+
+    #[test]
+    fn pcie_includes_latency() {
+        let m = CostModel::gtx280();
+        let t0 = m.pcie_seconds(0);
+        assert!((t0 - 15e-6).abs() < 1e-12);
+        let t = m.pcie_seconds(1_100_000_000);
+        assert!((t - (15e-6 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_cost_total_sums_components() {
+        let m = CostModel::gtx280();
+        let c = m.step_cost(&step(10, 20, 5, 1));
+        assert!((c.total() - (c.shared_cycles + c.compute_cycles + c.overhead_cycles)).abs() < 1e-12);
+    }
+}

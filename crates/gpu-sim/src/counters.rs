@@ -1,0 +1,243 @@
+//! Instrumentation records produced by a kernel run.
+//!
+//! Everything the paper's "differential method" measures on hardware, the
+//! simulator simply counts: per-superstep shared-memory accesses (before and
+//! after bank-conflict serialization), arithmetic operations (with divisions
+//! separated), warp-granular instruction counts, and global memory traffic.
+
+use serde::Serialize;
+
+/// Label for an algorithmic phase, used to aggregate the paper's
+/// time-breakdown pies (Figures 8, 11, 13, 15, 16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Phase {
+    /// Reading inputs from global memory (and, for RD, matrix setup).
+    GlobalLoad,
+    /// CR forward reduction steps.
+    ForwardReduction,
+    /// Solving the final 2-unknown system (CR).
+    SolveTwoUnknown,
+    /// CR backward substitution steps.
+    BackwardSubstitution,
+    /// PCR reduction steps.
+    PcrReduction,
+    /// PCR final step: solve all 2-unknown systems.
+    PcrSolveTwoUnknown,
+    /// Copying the intermediate system into fresh arrays (hybrids).
+    CopyIntermediate,
+    /// RD matrix setup.
+    MatrixSetup,
+    /// RD scan steps.
+    Scan,
+    /// RD solution evaluation.
+    SolutionEvaluation,
+    /// Writing results back to global memory.
+    GlobalStore,
+    /// Anything else (used by tests and auxiliary kernels).
+    Other(&'static str),
+}
+
+impl Phase {
+    /// `true` for prologue/epilogue copies executed as straight-line code
+    /// (one barrier, no per-step loop control) — they pay only the barrier
+    /// cost, not the full algorithmic-step overhead.
+    pub fn is_straight_line(self) -> bool {
+        matches!(self, Phase::GlobalLoad | Phase::GlobalStore | Phase::CopyIntermediate)
+    }
+
+    /// Human-readable label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::GlobalLoad => "global load",
+            Phase::ForwardReduction => "CR: forward reduction",
+            Phase::SolveTwoUnknown => "CR: solve 2-unknown system",
+            Phase::BackwardSubstitution => "CR: backward substitution",
+            Phase::PcrReduction => "PCR: forward reduction",
+            Phase::PcrSolveTwoUnknown => "PCR: solve all 2-unknown systems",
+            Phase::CopyIntermediate => "copy intermediate system",
+            Phase::MatrixSetup => "RD: matrix setup",
+            Phase::Scan => "RD: scan",
+            Phase::SolutionEvaluation => "RD: solution evaluation",
+            Phase::GlobalStore => "global store",
+            Phase::Other(s) => s,
+        }
+    }
+}
+
+/// Counters for one barrier-separated superstep of one block.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StepRecord {
+    /// Phase this step belongs to.
+    pub phase: Phase,
+    /// Number of active threads (always a contiguous prefix-aligned range,
+    /// as in the paper's kernels).
+    pub active_threads: usize,
+    /// Warps spanned by the active threads.
+    pub warps: usize,
+    /// Half-warps spanned by the active threads.
+    pub half_warps: usize,
+    /// Thread-level shared-memory loads.
+    pub shared_loads: u64,
+    /// Thread-level shared-memory stores.
+    pub shared_stores: u64,
+    /// Shared-memory instructions at half-warp granularity, before
+    /// serialization (distinct access slots x half-warps that issued them).
+    pub shared_instructions: u64,
+    /// Shared-memory instructions after bank-conflict serialization
+    /// (each slot costs its conflict degree).
+    pub serialized_shared_instructions: u64,
+    /// Worst conflict degree observed in this step (1 = conflict-free).
+    pub max_conflict_degree: u32,
+    /// Thread-level arithmetic operations (divisions included).
+    pub ops: u64,
+    /// Thread-level divisions (subset of `ops`).
+    pub divs: u64,
+    /// Warp-granular arithmetic instruction count: sum over warps of the
+    /// per-lane maximum (an idle lane still occupies its warp's issue slot).
+    pub warp_op_instructions: u64,
+    /// Warp-granular division instruction count.
+    pub warp_div_instructions: u64,
+    /// Thread-level global-memory element loads performed inside this step.
+    pub global_loads: u64,
+    /// Thread-level global-memory element stores performed inside this step.
+    pub global_stores: u64,
+    /// Longest per-thread chain of *dependent* global loads in the step
+    /// (each link pays the full memory latency; see the coarse-grained
+    /// kernels). 0 for the bulk-synchronous solvers.
+    pub max_dependent_chain: u64,
+}
+
+impl StepRecord {
+    /// Total thread-level shared accesses (loads + stores).
+    pub fn shared_accesses(&self) -> u64 {
+        self.shared_loads + self.shared_stores
+    }
+
+    /// `true` if any access slot in this step had a bank conflict.
+    pub fn has_conflicts(&self) -> bool {
+        self.max_conflict_degree > 1
+    }
+}
+
+/// Per-block counters for a full kernel run. All figures are *per block*;
+/// grid-level totals are obtained by scaling with the grid dimension
+/// (every block executes identical control flow in these solvers).
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct KernelStats {
+    /// One record per superstep, in execution order.
+    pub steps: Vec<StepRecord>,
+    /// Shared-memory footprint of the block, in 32-bit words.
+    pub shared_words: usize,
+    /// Size in bytes of one element (4 for f32, 8 for f64); used to convert
+    /// access counts into bandwidth figures.
+    pub element_bytes: usize,
+    /// Threads per block.
+    pub block_dim: usize,
+    /// Bytes read from global memory by the block.
+    pub global_bytes_read: u64,
+    /// Bytes written to global memory by the block.
+    pub global_bytes_written: u64,
+    /// Global memory element accesses (reads + writes) by the block.
+    pub global_accesses: u64,
+}
+
+impl KernelStats {
+    /// Number of supersteps executed.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Total thread-level shared accesses across the kernel.
+    pub fn total_shared_accesses(&self) -> u64 {
+        self.steps.iter().map(StepRecord::shared_accesses).sum()
+    }
+
+    /// Total thread-level arithmetic operations.
+    pub fn total_ops(&self) -> u64 {
+        self.steps.iter().map(|s| s.ops).sum()
+    }
+
+    /// Total thread-level divisions.
+    pub fn total_divs(&self) -> u64 {
+        self.steps.iter().map(|s| s.divs).sum()
+    }
+
+    /// Worst bank-conflict degree across the kernel.
+    pub fn max_conflict_degree(&self) -> u32 {
+        self.steps.iter().map(|s| s.max_conflict_degree).max().unwrap_or(1)
+    }
+
+    /// Steps belonging to `phase`, in order.
+    pub fn steps_in_phase(&self, phase: Phase) -> impl Iterator<Item = &StepRecord> {
+        self.steps.iter().filter(move |s| s.phase == phase)
+    }
+
+    /// Total global bytes moved (read + written).
+    pub fn global_bytes(&self) -> u64 {
+        self.global_bytes_read + self.global_bytes_written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(phase: Phase, conflicts: u32) -> StepRecord {
+        StepRecord {
+            phase,
+            active_threads: 32,
+            warps: 1,
+            half_warps: 2,
+            shared_loads: 10,
+            shared_stores: 4,
+            shared_instructions: 28,
+            serialized_shared_instructions: 28 * conflicts as u64,
+            max_conflict_degree: conflicts,
+            ops: 17,
+            divs: 2,
+            warp_op_instructions: 17,
+            warp_div_instructions: 2,
+            global_loads: 0,
+            global_stores: 0,
+            max_dependent_chain: 0,
+        }
+    }
+
+    #[test]
+    fn step_totals() {
+        let s = record(Phase::ForwardReduction, 4);
+        assert_eq!(s.shared_accesses(), 14);
+        assert!(s.has_conflicts());
+        assert!(!record(Phase::PcrReduction, 1).has_conflicts());
+    }
+
+    #[test]
+    fn kernel_aggregation() {
+        let stats = KernelStats {
+            steps: vec![
+                record(Phase::ForwardReduction, 2),
+                record(Phase::ForwardReduction, 16),
+                record(Phase::BackwardSubstitution, 1),
+            ],
+            shared_words: 2560,
+            element_bytes: 4,
+            block_dim: 256,
+            global_bytes_read: 4096,
+            global_bytes_written: 1024,
+            global_accesses: 1280,
+        };
+        assert_eq!(stats.num_steps(), 3);
+        assert_eq!(stats.total_shared_accesses(), 42);
+        assert_eq!(stats.total_ops(), 51);
+        assert_eq!(stats.total_divs(), 6);
+        assert_eq!(stats.max_conflict_degree(), 16);
+        assert_eq!(stats.steps_in_phase(Phase::ForwardReduction).count(), 2);
+        assert_eq!(stats.global_bytes(), 5120);
+    }
+
+    #[test]
+    fn phase_labels() {
+        assert_eq!(Phase::ForwardReduction.label(), "CR: forward reduction");
+        assert_eq!(Phase::Other("x").label(), "x");
+    }
+}

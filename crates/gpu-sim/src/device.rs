@@ -1,0 +1,141 @@
+//! Device model: the architectural parameters of the simulated GPU.
+//!
+//! Defaults describe the NVIDIA GTX 280 (GT200) used in the paper:
+//! 30 multiprocessors, 8 thread processors each, 16 KB shared memory per SM
+//! organised in 16 banks of 32-bit words, warps of 32 threads with shared
+//! memory serviced per *half-warp* of 16 threads.
+
+use serde::Serialize;
+
+/// Architectural parameters of the simulated device.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DeviceConfig {
+    /// Marketing name, for reports.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors (GTX 280: 30).
+    pub num_sms: usize,
+    /// Threads per warp (32) — the smallest unit of issued work.
+    pub warp_size: usize,
+    /// Threads per shared-memory service group (GT200: 16, a half-warp).
+    pub half_warp: usize,
+    /// Number of 32-bit shared memory banks (16).
+    pub banks: usize,
+    /// Shared memory per SM in bytes (16 KB).
+    pub shared_mem_per_sm: usize,
+    /// Shared memory consumed per block by kernel parameters and static
+    /// allocations (GT200 passes kernel arguments via shared memory).
+    pub shared_mem_reserved_per_block: usize,
+    /// Hardware cap on resident blocks per SM (8 on GT200).
+    pub max_blocks_per_sm: usize,
+    /// Hardware cap on resident threads per SM (1024 on GT200).
+    pub max_threads_per_sm: usize,
+    /// Maximum threads per block (512 on GT200).
+    pub max_threads_per_block: usize,
+    /// Shader (SP) clock in GHz (GTX 280: 1.296).
+    pub clock_ghz: f64,
+}
+
+impl DeviceConfig {
+    /// The paper's test device.
+    pub fn gtx280() -> Self {
+        Self {
+            name: "GeForce GTX 280 (simulated)",
+            num_sms: 30,
+            warp_size: 32,
+            half_warp: 16,
+            banks: 16,
+            shared_mem_per_sm: 16 * 1024,
+            shared_mem_reserved_per_block: 256,
+            max_blocks_per_sm: 8,
+            max_threads_per_sm: 1024,
+            max_threads_per_block: 512,
+            clock_ghz: 1.296,
+        }
+    }
+
+    /// A Fermi-generation-like device (GF100 class): twice the banks,
+    /// full-warp shared-memory service, triple the shared memory, fewer but
+    /// wider SMs. Used by the device-sensitivity ablation to test the
+    /// paper's claim that the work-efficiency / step-efficiency tradeoff
+    /// "will be an issue on any vector architecture".
+    pub fn fermi_like() -> Self {
+        Self {
+            name: "Fermi-class (simulated)",
+            num_sms: 16,
+            warp_size: 32,
+            half_warp: 32, // Fermi services a full warp per shared access
+            banks: 32,
+            shared_mem_per_sm: 48 * 1024,
+            shared_mem_reserved_per_block: 256,
+            max_blocks_per_sm: 8,
+            max_threads_per_sm: 1536,
+            max_threads_per_block: 1024,
+            clock_ghz: 1.15,
+        }
+    }
+
+    /// Warps needed to cover `threads` threads.
+    #[inline]
+    pub fn warps_for(&self, threads: usize) -> usize {
+        threads.div_ceil(self.warp_size)
+    }
+
+    /// Half-warps needed to cover `threads` threads.
+    #[inline]
+    pub fn half_warps_for(&self, threads: usize) -> usize {
+        threads.div_ceil(self.half_warp)
+    }
+
+    /// Cycles, at the device clock, corresponding to `us` microseconds.
+    #[inline]
+    pub fn cycles_from_us(&self, us: f64) -> f64 {
+        us * 1e3 * self.clock_ghz
+    }
+
+    /// Milliseconds corresponding to `cycles` at the device clock.
+    #[inline]
+    pub fn cycles_to_ms(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1e9) * 1e3
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::gtx280()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtx280_parameters() {
+        let d = DeviceConfig::gtx280();
+        assert_eq!(d.num_sms, 30);
+        assert_eq!(d.warp_size, 32);
+        assert_eq!(d.half_warp, 16);
+        assert_eq!(d.banks, 16);
+        assert_eq!(d.shared_mem_per_sm, 16384);
+        assert_eq!(d.max_threads_per_block, 512);
+    }
+
+    #[test]
+    fn warp_rounding() {
+        let d = DeviceConfig::gtx280();
+        assert_eq!(d.warps_for(1), 1);
+        assert_eq!(d.warps_for(32), 1);
+        assert_eq!(d.warps_for(33), 2);
+        assert_eq!(d.warps_for(256), 8);
+        assert_eq!(d.half_warps_for(16), 1);
+        assert_eq!(d.half_warps_for(17), 2);
+        assert_eq!(d.warps_for(0), 0);
+    }
+
+    #[test]
+    fn time_conversions_invert() {
+        let d = DeviceConfig::gtx280();
+        let cycles = d.cycles_from_us(1.0);
+        assert!((d.cycles_to_ms(cycles) - 1e-3).abs() < 1e-12);
+    }
+}

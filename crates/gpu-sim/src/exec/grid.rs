@@ -1,0 +1,202 @@
+//! Grid-level launches: run every block, instrument one.
+//!
+//! The solvers map "systems to blocks and equations to threads" (§4) and
+//! every block executes identical control flow on different data. The
+//! launcher therefore runs **all** blocks for numerical fidelity but records
+//! detailed counters only for block 0, then scales per-block counters by the
+//! grid dimension inside the timing model.
+
+use crate::cost::CostModel;
+use crate::counters::KernelStats;
+use crate::device::DeviceConfig;
+use crate::exec::block::BlockCtx;
+use crate::memory::global::GlobalMem;
+use crate::profile::{time_launch_with_efficiency, TimingReport};
+use tridiag_core::{Real, Result, TridiagError};
+
+/// A kernel launched over a 1-D grid of identical blocks.
+pub trait GridKernel<T: Real> {
+    /// Threads per block.
+    fn block_dim(&self) -> usize;
+    /// Declared shared-memory footprint in 32-bit words (checked against
+    /// the actual allocations of the instrumented block).
+    fn shared_words(&self) -> usize;
+    /// Fraction of peak global-memory bandwidth this kernel's access
+    /// pattern achieves (1.0 = fully coalesced; strided global-only
+    /// kernels waste most of each 32-byte segment).
+    fn global_efficiency(&self) -> f64 {
+        1.0
+    }
+    /// Body of one block.
+    fn run_block(&self, block_id: usize, ctx: &mut BlockCtx<'_, T>);
+}
+
+/// Result of a launch: per-block counters plus grid-level simulated timing.
+#[derive(Debug, Clone)]
+pub struct LaunchReport {
+    /// Counters of the representative block (all blocks are identical in
+    /// structure).
+    pub stats: KernelStats,
+    /// Simulated grid timing.
+    pub timing: TimingReport,
+}
+
+/// Executes kernels against a device and cost model.
+#[derive(Debug, Clone, Default)]
+pub struct Launcher {
+    /// Architectural parameters.
+    pub device: DeviceConfig,
+    /// Cycle-cost constants.
+    pub cost: CostModel,
+}
+
+impl Launcher {
+    /// Launcher for the paper's GTX 280.
+    pub fn gtx280() -> Self {
+        Self { device: DeviceConfig::gtx280(), cost: CostModel::gtx280() }
+    }
+
+    /// Runs `kernel` over `grid_dim` blocks against `global` memory.
+    ///
+    /// # Errors
+    /// Fails when the block shape violates device limits (too many threads,
+    /// shared memory exceeding the per-SM capacity) or `grid_dim == 0`.
+    pub fn launch<T: Real, K: GridKernel<T>>(
+        &self,
+        kernel: &K,
+        grid_dim: usize,
+        global: &mut GlobalMem<T>,
+    ) -> Result<LaunchReport> {
+        if grid_dim == 0 {
+            return Err(TridiagError::InvalidConfig { what: "grid dimension must be >= 1" });
+        }
+        let block_dim = kernel.block_dim();
+        if block_dim == 0 || block_dim > self.device.max_threads_per_block {
+            return Err(TridiagError::InvalidConfig { what: "block dimension out of range" });
+        }
+        let declared_bytes = kernel.shared_words() * 4;
+        if declared_bytes > self.device.shared_mem_per_sm {
+            return Err(TridiagError::SharedMemExceeded {
+                required_bytes: declared_bytes,
+                available_bytes: self.device.shared_mem_per_sm,
+            });
+        }
+
+        // Block 0: fully instrumented.
+        let stats = {
+            let mut ctx = BlockCtx::new(&self.device, global, block_dim, true);
+            kernel.run_block(0, &mut ctx);
+            ctx.finish()
+        };
+        assert_eq!(
+            stats.shared_words,
+            kernel.shared_words(),
+            "kernel declared a shared footprint of {} words but allocated {}",
+            kernel.shared_words(),
+            stats.shared_words
+        );
+
+        // Remaining blocks: numerics only.
+        for block_id in 1..grid_dim {
+            let mut ctx = BlockCtx::new(&self.device, global, block_dim, false);
+            kernel.run_block(block_id, &mut ctx);
+        }
+
+        let timing = time_launch_with_efficiency(
+            &self.device,
+            &self.cost,
+            &stats,
+            grid_dim,
+            kernel.global_efficiency(),
+        )?;
+        Ok(LaunchReport { stats, timing })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::Phase;
+    use crate::memory::global::GlobalArray;
+
+    /// Doubles each element of its block's slice.
+    struct DoubleKernel {
+        n: usize,
+        input: GlobalArray<f32>,
+        output: GlobalArray<f32>,
+    }
+
+    impl GridKernel<f32> for DoubleKernel {
+        fn block_dim(&self) -> usize {
+            self.n
+        }
+        fn shared_words(&self) -> usize {
+            self.n
+        }
+        fn run_block(&self, block_id: usize, ctx: &mut BlockCtx<'_, f32>) {
+            let buf = ctx.alloc(self.n);
+            let base = block_id * self.n;
+            ctx.step(Phase::GlobalLoad, 0..self.n, |t| {
+                let i = t.tid();
+                let v = t.load_global(self.input, base + i);
+                t.store(buf, i, v);
+            });
+            ctx.step(Phase::Other("double"), 0..self.n, |t| {
+                let i = t.tid();
+                let v = t.load(buf, i);
+                let v = t.mul(v, 2.0);
+                t.store(buf, i, v);
+            });
+            ctx.step(Phase::GlobalStore, 0..self.n, |t| {
+                let i = t.tid();
+                let v = t.load(buf, i);
+                t.store_global(self.output, base + i, v);
+            });
+        }
+    }
+
+    #[test]
+    fn launch_runs_all_blocks() {
+        let mut g = GlobalMem::new();
+        let input = g.upload((0..64).map(|i| i as f32).collect());
+        let output = g.alloc_zeroed(64);
+        let kernel = DoubleKernel { n: 16, input, output };
+        let report = Launcher::gtx280().launch(&kernel, 4, &mut g).unwrap();
+        let got = g.download(output);
+        let want: Vec<f32> = (0..64).map(|i| 2.0 * i as f32).collect();
+        assert_eq!(got, want);
+        assert_eq!(report.stats.steps.len(), 3);
+        assert!(report.timing.kernel_ms > 0.0);
+        assert_eq!(report.timing.blocks, 4);
+    }
+
+    #[test]
+    fn launch_rejects_zero_grid() {
+        let mut g = GlobalMem::new();
+        let input = g.upload(vec![0.0; 16]);
+        let output = g.alloc_zeroed(16);
+        let kernel = DoubleKernel { n: 16, input, output };
+        assert!(Launcher::gtx280().launch(&kernel, 0, &mut g).is_err());
+    }
+
+    #[test]
+    fn launch_rejects_oversized_block() {
+        let mut g = GlobalMem::new();
+        let input = g.upload(vec![0.0; 1024]);
+        let output = g.alloc_zeroed(1024);
+        let kernel = DoubleKernel { n: 1024, input, output };
+        let err = Launcher::gtx280().launch(&kernel, 1, &mut g).unwrap_err();
+        assert!(matches!(err, TridiagError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn global_traffic_matches_expectation() {
+        let mut g = GlobalMem::new();
+        let input = g.upload(vec![1.0; 32]);
+        let output = g.alloc_zeroed(32);
+        let kernel = DoubleKernel { n: 32, input, output };
+        let report = Launcher::gtx280().launch(&kernel, 1, &mut g).unwrap();
+        assert_eq!(report.stats.global_bytes_read, 32 * 4);
+        assert_eq!(report.stats.global_bytes_written, 32 * 4);
+    }
+}

@@ -1,0 +1,4 @@
+//! Kernel execution: per-block bulk-synchronous supersteps and grid launch.
+
+pub mod block;
+pub mod grid;

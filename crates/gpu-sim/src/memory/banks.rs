@@ -1,0 +1,141 @@
+//! Shared-memory bank-conflict analysis.
+//!
+//! GT200 shared memory maps sequential 32-bit words to sequential banks
+//! (16 banks) and services one *half-warp* (16 threads) per instruction.
+//! Threads of a half-warp that touch **distinct words in the same bank**
+//! serialize; all threads reading the *same* word are satisfied by a
+//! broadcast. The conflict degree of an instruction is therefore the
+//! maximum, over banks, of the number of distinct words addressed in that
+//! bank — exactly the `n-way bank conflict` annotation of the paper's
+//! Figure 9.
+
+/// Computes the conflict degree of one half-warp shared-memory instruction.
+///
+/// `words` are the 32-bit word addresses touched by the participating lanes
+/// (inactive lanes simply don't contribute). Returns 1 for a conflict-free
+/// (or broadcast) access; an empty slice yields 0 (no instruction issued).
+pub fn conflict_degree(words: &[u32], banks: usize) -> u32 {
+    if words.is_empty() {
+        return 0;
+    }
+    debug_assert!(banks.is_power_of_two() && banks <= 32);
+    // Distinct words per bank. Half-warps have at most 16 lanes, so a tiny
+    // fixed-size scratch table beats hashing.
+    let mut distinct: [heapless_set::WordSet; 32] = core::array::from_fn(|_| heapless_set::WordSet::new());
+    let mask = (banks - 1) as u32;
+    for &w in words {
+        distinct[(w & mask) as usize].insert(w);
+    }
+    distinct.iter().map(|s| s.len() as u32).max().unwrap_or(0).max(1)
+}
+
+/// A tiny fixed-capacity set of words (a half-warp has <= 16 lanes, so at
+/// most 16 distinct words can land in one bank).
+mod heapless_set {
+    pub struct WordSet {
+        items: [u32; 16],
+        len: usize,
+    }
+
+    impl WordSet {
+        pub const fn new() -> Self {
+            Self { items: [0; 16], len: 0 }
+        }
+
+        pub fn insert(&mut self, w: u32) {
+            if !self.items[..self.len].contains(&w) {
+                debug_assert!(self.len < 16, "more than 16 lanes in a half-warp?");
+                self.items[self.len] = w;
+                self.len += 1;
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.len
+        }
+    }
+}
+
+/// Conflict degree of a strided access pattern: lane `l` of `lanes` touches
+/// word `base + l * stride`. This is the pattern cyclic reduction generates
+/// (stride doubling each forward-reduction step). Exposed for tests and for
+/// the analytic Figure 9 annotations.
+pub fn strided_conflict_degree(lanes: usize, stride: usize, banks: usize) -> u32 {
+    let words: Vec<u32> = (0..lanes).map(|l| (l * stride) as u32).collect();
+    conflict_degree(&words, banks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_stride_is_conflict_free() {
+        assert_eq!(strided_conflict_degree(16, 1, 16), 1);
+        assert_eq!(strided_conflict_degree(8, 1, 16), 1);
+    }
+
+    #[test]
+    fn broadcast_is_conflict_free() {
+        let words = [5u32; 16];
+        assert_eq!(conflict_degree(&words, 16), 1);
+    }
+
+    #[test]
+    fn empty_access_is_zero() {
+        assert_eq!(conflict_degree(&[], 16), 0);
+    }
+
+    #[test]
+    fn paper_figure9_degrees() {
+        // Figure 9 annotates CR's forward reduction steps as
+        // (threads, warps, n-way bank conflicts):
+        // (256,8,2) (128,4,4) (64,2,8) (32,1,16) (16,1,16) (8,1,8) (4,1,4) (2,1,2)
+        // The access stride at step s is 2^(s+1).
+        let expect = [
+            (256usize, 2usize, 2u32),
+            (128, 4, 4),
+            (64, 8, 8),
+            (32, 16, 16),
+            (16, 32, 16),
+            (8, 64, 8),
+            (4, 128, 4),
+            (2, 256, 2),
+        ];
+        for (threads, stride, degree) in expect {
+            let lanes = threads.min(16); // one half-warp
+            assert_eq!(
+                strided_conflict_degree(lanes, stride, 16),
+                degree,
+                "threads={threads} stride={stride}"
+            );
+        }
+    }
+
+    #[test]
+    fn odd_strides_are_conflict_free() {
+        for stride in [1usize, 3, 5, 7, 15, 17] {
+            assert_eq!(strided_conflict_degree(16, stride, 16), 1, "stride {stride}");
+        }
+    }
+
+    #[test]
+    fn stride_two_with_full_halfwarp() {
+        // 16 lanes, stride 2 -> words 0,2,...,30 -> banks 0,2,...,14 twice.
+        assert_eq!(strided_conflict_degree(16, 2, 16), 2);
+    }
+
+    #[test]
+    fn partial_halfwarp_reduces_degree() {
+        // Only 4 lanes at stride 16: words 0,16,32,48 -> all bank 0 -> 4-way.
+        assert_eq!(strided_conflict_degree(4, 16, 16), 4);
+    }
+
+    #[test]
+    fn mixed_pattern() {
+        // Two lanes broadcast on word 0 plus words 16 and 32: bank 0 holds
+        // three distinct words -> 3-way conflict.
+        let words = [0u32, 0, 16, 32];
+        assert_eq!(conflict_degree(&words, 16), 3);
+    }
+}

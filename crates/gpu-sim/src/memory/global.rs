@@ -1,0 +1,95 @@
+//! Device "global memory": flat typed arrays shared by all blocks.
+//!
+//! The solvers only touch global memory at the very beginning and end of a
+//! kernel ("global memory communication only occurs at the beginning and end
+//! of all algorithms", §4), always with unit-stride, coalesced patterns, so
+//! the model is a simple bandwidth-bound arena — no transaction splitting.
+
+use core::marker::PhantomData;
+use tridiag_core::Real;
+
+/// Handle to a global-memory array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalArray<T> {
+    pub(crate) index: u32,
+    pub(crate) _marker: PhantomData<fn() -> T>,
+}
+
+/// Global memory of the simulated device.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalMem<T: Real> {
+    arrays: Vec<Vec<T>>,
+}
+
+impl<T: Real> GlobalMem<T> {
+    /// Empty global memory.
+    pub fn new() -> Self {
+        Self { arrays: Vec::new() }
+    }
+
+    /// Uploads `data` (think `cudaMemcpy` host-to-device) and returns the
+    /// device handle.
+    pub fn upload(&mut self, data: Vec<T>) -> GlobalArray<T> {
+        let index = self.arrays.len() as u32;
+        self.arrays.push(data);
+        GlobalArray { index, _marker: PhantomData }
+    }
+
+    /// Allocates a zero-filled output array.
+    pub fn alloc_zeroed(&mut self, len: usize) -> GlobalArray<T> {
+        self.upload(vec![T::ZERO; len])
+    }
+
+    /// Read-only view (host-side inspection after a launch).
+    pub fn view(&self, arr: GlobalArray<T>) -> &[T] {
+        &self.arrays[arr.index as usize]
+    }
+
+    /// Downloads an array back to the host, consuming the device copy's
+    /// contents (the handle stays valid but reads as empty).
+    pub fn download(&mut self, arr: GlobalArray<T>) -> Vec<T> {
+        core::mem::take(&mut self.arrays[arr.index as usize])
+    }
+
+    /// Element read used by kernels.
+    #[inline]
+    pub(crate) fn read(&self, arr: GlobalArray<T>, i: usize) -> T {
+        self.arrays[arr.index as usize][i]
+    }
+
+    /// Element write used by kernels.
+    #[inline]
+    pub(crate) fn write(&mut self, arr: GlobalArray<T>, i: usize, v: T) {
+        self.arrays[arr.index as usize][i] = v;
+    }
+
+    /// Length of an array.
+    pub fn len_of(&self, arr: GlobalArray<T>) -> usize {
+        self.arrays[arr.index as usize].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upload_view_download() {
+        let mut g = GlobalMem::<f32>::new();
+        let h = g.upload(vec![1.0, 2.0, 3.0]);
+        assert_eq!(g.view(h), &[1.0, 2.0, 3.0]);
+        assert_eq!(g.len_of(h), 3);
+        g.write(h, 1, 9.0);
+        assert_eq!(g.read(h, 1), 9.0);
+        let back = g.download(h);
+        assert_eq!(back, vec![1.0, 9.0, 3.0]);
+        assert!(g.view(h).is_empty());
+    }
+
+    #[test]
+    fn alloc_zeroed() {
+        let mut g = GlobalMem::<f64>::new();
+        let h = g.alloc_zeroed(4);
+        assert_eq!(g.view(h), &[0.0; 4]);
+    }
+}

@@ -1,0 +1,5 @@
+//! Memory models: banked shared memory and flat global memory.
+
+pub mod banks;
+pub mod global;
+pub mod shared;

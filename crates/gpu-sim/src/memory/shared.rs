@@ -1,0 +1,138 @@
+//! Per-block shared memory: a word-addressed arena of typed arrays.
+//!
+//! Kernels allocate arrays up front (mirroring `__shared__` declarations),
+//! then access elements through [`crate::exec::block::ThreadCtx`]. The arena tracks
+//! each array's base *word* offset so the bank of every element access is
+//! known — banking is word-based, so an `f64` element spans two banks and a
+//! second array's base shifts its elements' banks, exactly as on hardware.
+
+use core::marker::PhantomData;
+use tridiag_core::Real;
+
+/// Handle to a shared-memory array (a `__shared__ T arr[len]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shared<T> {
+    pub(crate) index: u32,
+    pub(crate) _marker: PhantomData<fn() -> T>,
+}
+
+/// The shared-memory arena of one block.
+#[derive(Debug, Clone)]
+pub struct SharedMem<T: Real> {
+    arrays: Vec<Vec<T>>,
+    base_words: Vec<usize>,
+    next_word: usize,
+}
+
+impl<T: Real> SharedMem<T> {
+    /// Empty arena.
+    pub fn new() -> Self {
+        Self { arrays: Vec::new(), base_words: Vec::new(), next_word: 0 }
+    }
+
+    /// Allocates a zero-initialized array of `len` elements and returns its
+    /// handle. Allocation order determines bank placement (as declaration
+    /// order does in CUDA).
+    pub fn alloc(&mut self, len: usize) -> Shared<T> {
+        let index = self.arrays.len() as u32;
+        self.base_words.push(self.next_word);
+        self.next_word += len * T::SHARED_WORDS;
+        self.arrays.push(vec![T::ZERO; len]);
+        Shared { index, _marker: PhantomData }
+    }
+
+    /// Total footprint in 32-bit words.
+    #[inline]
+    pub fn words_used(&self) -> usize {
+        self.next_word
+    }
+
+    /// Total footprint in bytes.
+    #[inline]
+    pub fn bytes_used(&self) -> usize {
+        self.next_word * 4
+    }
+
+    /// First 32-bit word address of element `i` of `arr` (drives banking).
+    #[inline]
+    pub fn word_of(&self, arr: Shared<T>, i: usize) -> u32 {
+        (self.base_words[arr.index as usize] + i * T::SHARED_WORDS) as u32
+    }
+
+    /// Reads element `i` of `arr`.
+    #[inline]
+    pub fn read(&self, arr: Shared<T>, i: usize) -> T {
+        self.arrays[arr.index as usize][i]
+    }
+
+    /// Writes element `i` of `arr` (used when applying buffered stores).
+    #[inline]
+    pub fn write(&mut self, arr: Shared<T>, i: usize, v: T) {
+        self.arrays[arr.index as usize][i] = v;
+    }
+
+    /// Length of `arr`.
+    #[inline]
+    pub fn len_of(&self, arr: Shared<T>) -> usize {
+        self.arrays[arr.index as usize].len()
+    }
+
+    /// Read-only view of a whole array (debugging / final copies).
+    pub fn as_slice(&self, arr: Shared<T>) -> &[T] {
+        &self.arrays[arr.index as usize]
+    }
+}
+
+impl<T: Real> Default for SharedMem<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A store buffered during a superstep and applied at its closing barrier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct PendingStore<T> {
+    pub array: u32,
+    pub index: usize,
+    pub value: T,
+    /// Thread that issued the store — only for race diagnostics.
+    pub tid: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_packs_words_sequentially() {
+        let mut m = SharedMem::<f32>::new();
+        let a = m.alloc(8);
+        let b = m.alloc(4);
+        assert_eq!(m.word_of(a, 0), 0);
+        assert_eq!(m.word_of(a, 7), 7);
+        assert_eq!(m.word_of(b, 0), 8);
+        assert_eq!(m.words_used(), 12);
+        assert_eq!(m.bytes_used(), 48);
+    }
+
+    #[test]
+    fn f64_elements_span_two_words() {
+        let mut m = SharedMem::<f64>::new();
+        let a = m.alloc(4);
+        let b = m.alloc(2);
+        assert_eq!(m.word_of(a, 1), 2);
+        assert_eq!(m.word_of(b, 0), 8);
+        assert_eq!(m.words_used(), 12);
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = SharedMem::<f32>::new();
+        let a = m.alloc(4);
+        m.write(a, 2, 7.5);
+        assert_eq!(m.read(a, 2), 7.5);
+        assert_eq!(m.read(a, 0), 0.0);
+        assert_eq!(m.len_of(a), 4);
+        assert_eq!(m.as_slice(a), &[0.0, 0.0, 7.5, 0.0]);
+    }
+}

@@ -1,0 +1,379 @@
+//! Turns per-block counters into grid-level simulated time — the analogue
+//! of the paper's differential timing plus its Figure 10/12/14 resource
+//! breakdowns.
+
+use crate::cost::CostModel;
+use crate::counters::{KernelStats, Phase};
+use crate::device::DeviceConfig;
+use crate::occupancy::{occupancy, waves, Occupancy};
+use serde::Serialize;
+use tridiag_core::Result;
+
+/// Simulated time of one superstep at grid level (all waves).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct StepTime {
+    /// Phase the step belongs to.
+    pub phase: Phase,
+    /// Total milliseconds attributed to this step across the launch.
+    pub ms: f64,
+    /// Shared-memory portion.
+    pub shared_ms: f64,
+    /// Arithmetic portion.
+    pub compute_ms: f64,
+    /// Synchronization/control portion (after occupancy hiding).
+    pub overhead_ms: f64,
+    /// Active threads in the step.
+    pub active_threads: usize,
+    /// Warps spanned by the active threads.
+    pub warps: usize,
+    /// Worst bank-conflict degree in the step.
+    pub max_conflict_degree: u32,
+}
+
+/// Milliseconds per phase (the paper's pie-chart entries).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PhaseTime {
+    /// Phase label.
+    pub phase: Phase,
+    /// Total milliseconds (includes this phase's share of global traffic).
+    pub ms: f64,
+    /// Number of supersteps in the phase.
+    pub steps: usize,
+}
+
+/// Full simulated timing of a kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TimingReport {
+    /// Kernel time in milliseconds (no PCIe transfer).
+    pub kernel_ms: f64,
+    /// PCIe transfer milliseconds (0 unless [`TimingReport::with_transfer`]
+    /// was applied).
+    pub transfer_ms: f64,
+    /// Global-memory access portion of `kernel_ms`.
+    pub global_ms: f64,
+    /// Shared-memory access portion of `kernel_ms`.
+    pub shared_ms: f64,
+    /// Computation portion *including* sync/control overhead — the paper
+    /// folds overhead into computation ("Control and synchronization
+    /// overhead is included in the computation time").
+    pub compute_ms: f64,
+    /// The sync/control overhead broken out of `compute_ms`.
+    pub overhead_ms: f64,
+    /// Exposed serial dependent-load latency (coarse-grained kernels);
+    /// included in `kernel_ms`, zero for the bulk-synchronous solvers.
+    pub latency_ms: f64,
+    /// Per-step grid-level times, in execution order.
+    pub per_step: Vec<StepTime>,
+    /// Per-phase aggregation (global phases include global traffic time).
+    pub per_phase: Vec<PhaseTime>,
+    /// Achieved global memory bandwidth, GB/s.
+    pub achieved_global_gbps: f64,
+    /// Achieved shared memory bandwidth (thread-level bytes / shared time),
+    /// GB/s — the paper's 33 GB/s (CR) vs 883 GB/s (PCR) comparison.
+    pub achieved_shared_gbps: f64,
+    /// Achieved computation rate, GFLOPS (ops / compute time incl. overhead).
+    pub gflops: f64,
+    /// Blocks in the launch.
+    pub blocks: usize,
+    /// Residency per SM.
+    pub occupancy: Occupancy,
+    /// Sequential *scheduling* waves of resident block sets
+    /// (`ceil(blocks / (SMs * blocks_per_sm))`) — informational; grid time
+    /// scales with blocks assigned per SM.
+    pub waves: usize,
+}
+
+impl TimingReport {
+    /// Total milliseconds including any PCIe transfer.
+    pub fn total_ms(&self) -> f64 {
+        self.kernel_ms + self.transfer_ms
+    }
+
+    /// Adds a PCIe transfer of `bytes` to the report (the paper's
+    /// "with data transfer" variant of Figures 6 and 7).
+    pub fn with_transfer(mut self, cost: &CostModel, bytes: u64) -> Self {
+        self.transfer_ms = cost.pcie_seconds(bytes) * 1e3;
+        self
+    }
+
+    /// Steps belonging to `phase`.
+    pub fn steps_in_phase(&self, phase: Phase) -> impl Iterator<Item = &StepTime> {
+        self.per_step.iter().filter(move |s| s.phase == phase)
+    }
+
+    /// Milliseconds of `phase` (0 if absent).
+    pub fn phase_ms(&self, phase: Phase) -> f64 {
+        self.per_phase.iter().find(|p| p.phase == phase).map_or(0.0, |p| p.ms)
+    }
+}
+
+/// Computes the grid-level timing of a launch of `blocks` identical blocks
+/// whose per-block counters are `stats`, at full global-memory coalescing.
+pub fn time_launch(
+    device: &DeviceConfig,
+    cost: &CostModel,
+    stats: &KernelStats,
+    blocks: usize,
+) -> Result<TimingReport> {
+    time_launch_with_efficiency(device, cost, stats, blocks, 1.0)
+}
+
+/// [`time_launch`] with an explicit global-memory coalescing efficiency
+/// (fraction of peak bandwidth the kernel's access pattern achieves).
+pub fn time_launch_with_efficiency(
+    device: &DeviceConfig,
+    cost: &CostModel,
+    stats: &KernelStats,
+    blocks: usize,
+    global_efficiency: f64,
+) -> Result<TimingReport> {
+    assert!(global_efficiency > 0.0 && global_efficiency <= 1.0);
+    let occ = occupancy(device, stats.shared_words * 4, stats.block_dim)?;
+    let n_waves = waves(device, occ, blocks);
+    let k = occ.blocks_per_sm as f64;
+    // Overhead partially hidden when several blocks are resident per SM.
+    let overhead_scale = (1.0 - cost.hideable_fraction) + cost.hideable_fraction / k;
+    // Throughput model: each SM executes its assigned blocks' work
+    // back-to-back (residency interleaves them but does not add compute
+    // throughput), so grid time scales with blocks-per-SM, not waves.
+    let wave_scale = blocks.div_ceil(device.num_sms) as f64;
+
+    let mut per_step = Vec::with_capacity(stats.steps.len());
+    let mut shared_cycles = 0.0;
+    let mut compute_cycles = 0.0;
+    let mut overhead_cycles = 0.0;
+    let mut latency_cycles = 0.0;
+    for step in &stats.steps {
+        let c = cost.step_cost(step);
+        let oh = c.overhead_cycles * overhead_scale;
+        shared_cycles += c.shared_cycles;
+        compute_cycles += c.compute_cycles;
+        overhead_cycles += oh;
+        latency_cycles += c.latency_cycles * n_waves as f64 / wave_scale.max(1.0);
+        // Dependent-load chains are latency-bound: resident blocks overlap
+        // them, so they scale with scheduling waves, not assigned blocks.
+        let lat = c.latency_cycles * n_waves as f64 / wave_scale.max(1.0);
+        per_step.push(StepTime {
+            phase: step.phase,
+            ms: device.cycles_to_ms(
+                (c.shared_cycles + c.compute_cycles + oh + lat) * wave_scale,
+            ),
+            shared_ms: device.cycles_to_ms(c.shared_cycles * wave_scale),
+            compute_ms: device.cycles_to_ms((c.compute_cycles + oh + lat) * wave_scale),
+            overhead_ms: device.cycles_to_ms(oh * wave_scale),
+            active_threads: step.active_threads,
+            warps: step.warps,
+            max_conflict_degree: step.max_conflict_degree,
+        });
+    }
+    overhead_cycles += cost.block_overhead_cycles * overhead_scale;
+
+    let shared_ms = device.cycles_to_ms(shared_cycles * wave_scale);
+    let compute_only_ms = device.cycles_to_ms(compute_cycles * wave_scale);
+    let overhead_ms = device.cycles_to_ms(overhead_cycles * wave_scale);
+    let latency_ms = device.cycles_to_ms(latency_cycles * wave_scale);
+    let launch_ms = cost.kernel_launch_us * 1e-3;
+
+    // Global traffic is bandwidth-bound across the whole grid.
+    let total_global_bytes = stats.global_bytes() * blocks as u64;
+    let global_ms = cost.global_seconds(total_global_bytes) * 1e3 / global_efficiency;
+
+    let compute_ms = compute_only_ms + overhead_ms + latency_ms + launch_ms;
+    let kernel_ms = shared_ms + compute_ms + global_ms;
+
+    // Attribute global time to the phases that touched global memory,
+    // proportionally to their element counts.
+    let mut per_phase: Vec<PhaseTime> = Vec::new();
+    let total_global_elems: u64 =
+        stats.steps.iter().map(|s| s.global_loads + s.global_stores).sum();
+    for (step, st) in stats.steps.iter().zip(&per_step) {
+        let global_share = if total_global_elems == 0 {
+            0.0
+        } else {
+            (step.global_loads + step.global_stores) as f64 / total_global_elems as f64
+        };
+        let ms = st.ms + global_share * global_ms;
+        match per_phase.iter_mut().find(|p| p.phase == step.phase) {
+            Some(p) => {
+                p.ms += ms;
+                p.steps += 1;
+            }
+            None => per_phase.push(PhaseTime { phase: step.phase, ms, steps: 1 }),
+        }
+    }
+
+    // Derived rates, guarding empty kernels.
+    let shared_bytes =
+        stats.total_shared_accesses() as f64 * stats.element_bytes as f64 * blocks as f64;
+    let achieved_shared_gbps =
+        if shared_ms > 0.0 { shared_bytes / (shared_ms * 1e-3) / 1e9 } else { 0.0 };
+    let achieved_global_gbps =
+        if global_ms > 0.0 { total_global_bytes as f64 / (global_ms * 1e-3) / 1e9 } else { 0.0 };
+    let flops = stats.total_ops() as f64 * blocks as f64;
+    let gflops = if compute_ms > 0.0 { flops / (compute_ms * 1e-3) / 1e9 } else { 0.0 };
+
+    Ok(TimingReport {
+        kernel_ms,
+        transfer_ms: 0.0,
+        global_ms,
+        shared_ms,
+        compute_ms,
+        overhead_ms,
+        latency_ms,
+        per_step,
+        per_phase,
+        achieved_global_gbps,
+        achieved_shared_gbps,
+        gflops,
+        blocks,
+        occupancy: occ,
+        waves: n_waves,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::StepRecord;
+
+    fn stats(conflict: bool) -> KernelStats {
+        let mut steps = Vec::new();
+        steps.push(StepRecord {
+            phase: Phase::GlobalLoad,
+            active_threads: 256,
+            warps: 8,
+            half_warps: 16,
+            shared_loads: 0,
+            shared_stores: 1024,
+            shared_instructions: 64,
+            serialized_shared_instructions: 64,
+            max_conflict_degree: 1,
+            ops: 0,
+            divs: 0,
+            warp_op_instructions: 16,
+            warp_div_instructions: 0,
+            global_loads: 1024,
+            global_stores: 0,
+            max_dependent_chain: 0,
+        });
+        steps.push(StepRecord {
+            phase: Phase::ForwardReduction,
+            active_threads: 256,
+            warps: 8,
+            half_warps: 16,
+            shared_loads: 2560,
+            shared_stores: 1024,
+            shared_instructions: 224,
+            serialized_shared_instructions: if conflict { 448 } else { 224 },
+            max_conflict_degree: if conflict { 2 } else { 1 },
+            ops: 3072,
+            divs: 512,
+            warp_op_instructions: 96,
+            warp_div_instructions: 16,
+            global_loads: 0,
+            global_stores: 0,
+            max_dependent_chain: 0,
+        });
+        steps.push(StepRecord {
+            phase: Phase::GlobalStore,
+            active_threads: 256,
+            warps: 8,
+            half_warps: 16,
+            shared_loads: 512,
+            shared_stores: 0,
+            shared_instructions: 32,
+            serialized_shared_instructions: 32,
+            max_conflict_degree: 1,
+            ops: 0,
+            divs: 0,
+            warp_op_instructions: 0,
+            warp_div_instructions: 0,
+            global_loads: 0,
+            global_stores: 512,
+            max_dependent_chain: 0,
+        });
+        KernelStats {
+            steps,
+            shared_words: 2560,
+            element_bytes: 4,
+            block_dim: 256,
+            global_bytes_read: 4096,
+            global_bytes_written: 2048,
+            global_accesses: 1536,
+        }
+    }
+
+    #[test]
+    fn timing_is_positive_and_consistent() {
+        let d = DeviceConfig::gtx280();
+        let c = CostModel::gtx280();
+        let t = time_launch(&d, &c, &stats(false), 512).unwrap();
+        assert!(t.kernel_ms > 0.0);
+        assert!(t.global_ms > 0.0);
+        assert!(t.shared_ms > 0.0);
+        assert!(t.compute_ms > 0.0);
+        let sum = t.global_ms + t.shared_ms + t.compute_ms;
+        assert!((t.kernel_ms - sum).abs() < 1e-9);
+        assert_eq!(t.per_step.len(), 3);
+        assert_eq!(t.per_phase.len(), 3);
+    }
+
+    #[test]
+    fn conflicts_slow_the_kernel() {
+        let d = DeviceConfig::gtx280();
+        let c = CostModel::gtx280();
+        let free = time_launch(&d, &c, &stats(false), 512).unwrap();
+        let conf = time_launch(&d, &c, &stats(true), 512).unwrap();
+        assert!(conf.kernel_ms > free.kernel_ms);
+        assert!(conf.shared_ms > free.shared_ms);
+        assert_eq!(conf.compute_ms, free.compute_ms);
+    }
+
+    #[test]
+    fn transfer_adds_time() {
+        let d = DeviceConfig::gtx280();
+        let c = CostModel::gtx280();
+        let t = time_launch(&d, &c, &stats(false), 512).unwrap();
+        let base = t.kernel_ms;
+        let t = t.with_transfer(&c, 5 * 512 * 512 * 4);
+        assert!(t.transfer_ms > 0.0);
+        assert!((t.total_ms() - (base + t.transfer_ms)).abs() < 1e-12);
+        // At the paper's sizes the transfer dominates (90-95%).
+        assert!(t.transfer_ms / t.total_ms() > 0.5);
+    }
+
+    #[test]
+    fn global_time_is_attributed_to_global_phases() {
+        let d = DeviceConfig::gtx280();
+        let c = CostModel::gtx280();
+        let t = time_launch(&d, &c, &stats(false), 512).unwrap();
+        let load = t.phase_ms(Phase::GlobalLoad);
+        let store = t.phase_ms(Phase::GlobalStore);
+        // Loads moved twice the elements of stores.
+        assert!(load > store);
+        let phase_sum: f64 = t.per_phase.iter().map(|p| p.ms).sum();
+        // Phases cover everything except launch and block overhead.
+        assert!(phase_sum <= t.kernel_ms);
+        assert!(phase_sum > 0.8 * t.kernel_ms);
+    }
+
+    #[test]
+    fn more_blocks_more_waves() {
+        let d = DeviceConfig::gtx280();
+        let c = CostModel::gtx280();
+        let small = time_launch(&d, &c, &stats(false), 30).unwrap();
+        let large = time_launch(&d, &c, &stats(false), 512).unwrap();
+        assert!(large.waves > small.waves);
+        assert!(large.kernel_ms > small.kernel_ms);
+    }
+
+    #[test]
+    fn rates_are_finite() {
+        let d = DeviceConfig::gtx280();
+        let c = CostModel::gtx280();
+        let t = time_launch(&d, &c, &stats(true), 64).unwrap();
+        assert!(t.achieved_shared_gbps.is_finite() && t.achieved_shared_gbps > 0.0);
+        assert!(t.achieved_global_gbps.is_finite() && t.achieved_global_gbps > 0.0);
+        assert!(t.gflops.is_finite() && t.gflops > 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Hillis–Steele inclusive scan on the simulator — the parallel primitive
+//! recursive doubling is built on (§2.3).
+//!
+//! The paper chooses Hillis–Steele over work-efficient scans "because we
+//! need a step-efficient algorithm": `log2 n` steps, with step `s` combining
+//! element `i - 2^s` into element `i` for every `i >= 2^s`. The combine
+//! operation is caller-supplied (RD multiplies 3×3 matrices stored as two
+//! rows); the buffered-store semantics of [`BlockCtx::step`] provide the
+//! double-buffering an in-place Hillis–Steele scan requires.
+
+use crate::counters::Phase;
+use crate::exec::block::{BlockCtx, ThreadCtx};
+use crate::memory::shared::Shared;
+use tridiag_core::Real;
+
+/// Runs an in-place inclusive Hillis–Steele scan of `n` elements.
+///
+/// `combine(t, i, j)` must read elements `i` and `j`, combine them
+/// (`elem[i] = elem[i] ∘ elem[j]`), and store the result at `i` via
+/// buffered stores. `n` must be a power of two (matching the kernels).
+/// Returns the number of scan steps executed (`log2 n`).
+pub fn hillis_steele<T: Real>(
+    ctx: &mut BlockCtx<'_, T>,
+    n: usize,
+    phase: Phase,
+    mut combine: impl FnMut(&mut ThreadCtx<'_, '_, T>, usize, usize),
+) -> usize {
+    debug_assert!(n.is_power_of_two());
+    let mut steps = 0;
+    let mut stride = 1;
+    while stride < n {
+        ctx.step(phase, stride..n, |t| {
+            let i = t.tid();
+            combine(t, i, i - stride);
+        });
+        stride *= 2;
+        steps += 1;
+    }
+    steps
+}
+
+/// Convenience: in-place inclusive **sum** scan of one shared array
+/// (used by tests and as a building block for auxiliary kernels).
+pub fn scan_add<T: Real>(ctx: &mut BlockCtx<'_, T>, arr: Shared<T>, n: usize, phase: Phase) -> usize {
+    hillis_steele(ctx, n, phase, |t, i, j| {
+        let x = t.load(arr, i);
+        let y = t.load(arr, j);
+        let s = t.add(x, y);
+        t.store(arr, i, s);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+    use crate::memory::global::GlobalMem;
+
+    fn run_scan(values: &[f32]) -> (Vec<f32>, usize) {
+        let n = values.len();
+        let mut g = GlobalMem::new();
+        let mut ctx = BlockCtx::new(&DeviceConfig::gtx280(), &mut g, n, true);
+        let arr = ctx.alloc(n);
+        ctx.step(Phase::Other("init"), 0..n, |t| {
+            t.store(arr, t.tid(), values[t.tid()]);
+        });
+        let steps = scan_add(&mut ctx, arr, n, Phase::Scan);
+        let out = ctx.shared_slice(arr).to_vec();
+        (out, steps)
+    }
+
+    #[test]
+    fn matches_sequential_prefix_sum() {
+        let values: Vec<f32> = (1..=16).map(|i| i as f32).collect();
+        let (scanned, steps) = run_scan(&values);
+        let mut expect = values.clone();
+        for i in 1..expect.len() {
+            expect[i] += expect[i - 1];
+        }
+        assert_eq!(scanned, expect);
+        assert_eq!(steps, 4);
+    }
+
+    #[test]
+    fn single_element_scan_is_identity() {
+        let (scanned, steps) = run_scan(&[42.0]);
+        assert_eq!(scanned, vec![42.0]);
+        assert_eq!(steps, 0);
+    }
+
+    #[test]
+    fn scan_of_ones_counts_indices() {
+        let (scanned, _) = run_scan(&[1.0; 64]);
+        let expect: Vec<f32> = (1..=64).map(|i| i as f32).collect();
+        assert_eq!(scanned, expect);
+    }
+
+    #[test]
+    fn noncommutative_combine_preserves_order() {
+        // Scan of 2x2 matrices under multiplication (stored as 4 arrays)
+        // must produce M[i] * M[i-1] * ... * M[0] with this orientation.
+        let n = 8usize;
+        let mut g = GlobalMem::<f64>::new();
+        let mut ctx = BlockCtx::new(&DeviceConfig::gtx280(), &mut g, n, true);
+        let (m00, m01, m10, m11) =
+            (ctx.alloc(n), ctx.alloc(n), ctx.alloc(n), ctx.alloc(n));
+        // M[i] = [[1, i+1], [0, 1]] — shear matrices commute, so also use a
+        // flip on odd indices to break commutativity.
+        let init: Vec<[f64; 4]> = (0..n)
+            .map(|i| if i % 2 == 0 { [1.0, (i + 1) as f64, 0.0, 1.0] } else { [0.0, 1.0, 1.0, (i + 1) as f64] })
+            .collect();
+        ctx.step(Phase::Other("init"), 0..n, |t| {
+            let i = t.tid();
+            t.store(m00, i, init[i][0]);
+            t.store(m01, i, init[i][1]);
+            t.store(m10, i, init[i][2]);
+            t.store(m11, i, init[i][3]);
+        });
+        hillis_steele(&mut ctx, n, Phase::Scan, |t, i, j| {
+            // C[i] = C[i] * C[j]  (later-index matrix on the left)
+            let (a00, a01, a10, a11) =
+                (t.load(m00, i), t.load(m01, i), t.load(m10, i), t.load(m11, i));
+            let (b00, b01, b10, b11) =
+                (t.load(m00, j), t.load(m01, j), t.load(m10, j), t.load(m11, j));
+            t.store(m00, i, a00 * b00 + a01 * b10);
+            t.store(m01, i, a00 * b01 + a01 * b11);
+            t.store(m10, i, a10 * b00 + a11 * b10);
+            t.store(m11, i, a10 * b01 + a11 * b11);
+        });
+        // Sequential reference.
+        let mut acc = [[1.0f64, 0.0], [0.0, 1.0]];
+        let mut expect = Vec::new();
+        for m in &init {
+            let b = acc;
+            let a = [[m[0], m[1]], [m[2], m[3]]];
+            acc = [
+                [a[0][0] * b[0][0] + a[0][1] * b[1][0], a[0][0] * b[0][1] + a[0][1] * b[1][1]],
+                [a[1][0] * b[0][0] + a[1][1] * b[1][0], a[1][0] * b[0][1] + a[1][1] * b[1][1]],
+            ];
+            expect.push(acc);
+        }
+        for i in 0..n {
+            assert!((ctx.shared_slice(m00)[i] - expect[i][0][0]).abs() < 1e-9, "i={i}");
+            assert!((ctx.shared_slice(m01)[i] - expect[i][0][1]).abs() < 1e-9);
+            assert!((ctx.shared_slice(m10)[i] - expect[i][1][0]).abs() < 1e-9);
+            assert!((ctx.shared_slice(m11)[i] - expect[i][1][1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scan_steps_are_conflict_free() {
+        let (_, _) = run_scan(&[1.0; 32]);
+        // Re-run with stats inspection.
+        let n = 32;
+        let mut g = GlobalMem::<f32>::new();
+        let mut ctx = BlockCtx::new(&DeviceConfig::gtx280(), &mut g, n, true);
+        let arr = ctx.alloc(n);
+        ctx.step(Phase::Other("init"), 0..n, |t| {
+            t.store(arr, t.tid(), 1.0);
+        });
+        scan_add(&mut ctx, arr, n, Phase::Scan);
+        let stats = ctx.finish();
+        for s in stats.steps_in_phase(Phase::Scan) {
+            assert_eq!(s.max_conflict_degree, 1, "scan must be bank-conflict free");
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Chrome-trace export: turn a [`TimingReport`] into a
+//! `chrome://tracing` / Perfetto JSON timeline — one lane for the kernel's
+//! supersteps, one for global memory, one for the PCIe transfer.
+//!
+//! ```no_run
+//! # let timing: gpu_sim::TimingReport = unimplemented!();
+//! std::fs::write("trace.json", gpu_sim::trace::to_chrome_trace(&timing, "CR")).unwrap();
+//! ```
+
+use crate::profile::TimingReport;
+use core::fmt::Write as _;
+
+/// Escapes a string for inclusion in a JSON literal.
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the report as Chrome Trace Event Format JSON (complete events,
+/// microsecond timestamps). The kernel's steps are laid out sequentially;
+/// the global-memory and transfer costs get their own rows.
+pub fn to_chrome_trace(timing: &TimingReport, kernel_name: &str) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut event = |out: &mut String,
+                     name: &str,
+                     tid: u32,
+                     ts_us: f64,
+                     dur_us: f64,
+                     args: &[(&str, String)]| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        write!(
+            out,
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}",
+            esc(name),
+            tid,
+            ts_us,
+            dur_us.max(0.001)
+        )
+        .unwrap();
+        if !args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (i, (k, v)) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write!(out, "\"{}\":{}", esc(k), v).unwrap();
+            }
+            out.push('}');
+        }
+        out.push('}');
+    };
+
+    // Lane 1: supersteps, laid out back-to-back.
+    let mut cursor = 0.0f64;
+    for (i, step) in timing.per_step.iter().enumerate() {
+        let dur = step.ms * 1e3;
+        event(
+            &mut out,
+            &format!("{} [{}]", step.phase.label(), i),
+            1,
+            cursor,
+            dur,
+            &[
+                ("active_threads", step.active_threads.to_string()),
+                ("warps", step.warps.to_string()),
+                ("conflict_degree", step.max_conflict_degree.to_string()),
+                ("shared_ms", format!("{:.6}", step.shared_ms)),
+                ("compute_ms", format!("{:.6}", step.compute_ms)),
+            ],
+        );
+        cursor += dur;
+    }
+    // Lane 2: global memory (modelled as bandwidth-bound, drawn alongside).
+    event(
+        &mut out,
+        &format!("{kernel_name}: global memory traffic"),
+        2,
+        0.0,
+        timing.global_ms * 1e3,
+        &[("achieved_gbps", format!("{:.1}", timing.achieved_global_gbps))],
+    );
+    // Lane 3: PCIe transfer, if present.
+    if timing.transfer_ms > 0.0 {
+        event(
+            &mut out,
+            "PCIe transfer",
+            3,
+            0.0,
+            timing.transfer_ms * 1e3,
+            &[],
+        );
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::counters::{KernelStats, Phase, StepRecord};
+    use crate::device::DeviceConfig;
+
+    fn report() -> TimingReport {
+        let stats = KernelStats {
+            steps: vec![StepRecord {
+                phase: Phase::ForwardReduction,
+                active_threads: 256,
+                warps: 8,
+                half_warps: 16,
+                shared_loads: 100,
+                shared_stores: 40,
+                shared_instructions: 140,
+                serialized_shared_instructions: 280,
+                max_conflict_degree: 2,
+                ops: 1000,
+                divs: 100,
+                warp_op_instructions: 96,
+                warp_div_instructions: 16,
+                global_loads: 0,
+                global_stores: 0,
+                max_dependent_chain: 0,
+            }],
+            shared_words: 2560,
+            element_bytes: 4,
+            block_dim: 256,
+            global_bytes_read: 4096,
+            global_bytes_written: 1024,
+            global_accesses: 1280,
+        };
+        crate::profile::time_launch(&DeviceConfig::gtx280(), &CostModel::gtx280(), &stats, 64)
+            .unwrap()
+            .with_transfer(&CostModel::gtx280(), 1 << 20)
+    }
+
+    #[test]
+    fn trace_is_structurally_sound_json() {
+        let json = to_chrome_trace(&report(), "CR");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with('}'));
+        // Balanced braces/brackets (no string content interferes here).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("CR: forward reduction [0]"));
+        assert!(json.contains("PCIe transfer"));
+        assert!(json.contains("\"conflict_degree\":2"));
+    }
+
+    #[test]
+    fn events_cover_all_steps() {
+        let json = to_chrome_trace(&report(), "CR");
+        let events = json.matches("\"ph\":\"X\"").count();
+        assert_eq!(events, 1 + 1 + 1); // steps + global + transfer
+    }
+
+    #[test]
+    fn escaping_handles_quotes() {
+        assert_eq!(esc("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests of the simulator's core invariants.
+
+use gpu_sim::{
+    occupancy, scan_add, BlockCtx, CostModel, DeviceConfig, GlobalMem, Phase, StepRecord,
+};
+use proptest::prelude::*;
+
+/// Analytic conflict degree of a full-half-warp strided access on 16 banks:
+/// `gcd`-based closed form for power-of-two strides.
+fn analytic_degree(lanes: usize, stride: usize) -> u32 {
+    // Words l*stride for l in 0..lanes. Bank of word w = w % 16.
+    // Count distinct words per bank directly (reference implementation).
+    use std::collections::HashMap;
+    let mut banks: HashMap<usize, std::collections::HashSet<usize>> = HashMap::new();
+    for l in 0..lanes {
+        let w = l * stride;
+        banks.entry(w % 16).or_default().insert(w);
+    }
+    banks.values().map(|s| s.len() as u32).max().unwrap_or(1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn recorded_conflicts_match_reference(
+        stride_exp in 0u32..7,
+        lanes in 1usize..17,
+    ) {
+        let stride = 1usize << stride_exp;
+        let len = lanes * stride + 1;
+        if len > 4096 { return Ok(()); }
+        let mut g = GlobalMem::<f32>::new();
+        let mut ctx = BlockCtx::new(&DeviceConfig::gtx280(), &mut g, 16, true);
+        let arr = ctx.alloc(len);
+        ctx.step(Phase::Other("strided"), 0..lanes, |t| {
+            t.store(arr, t.tid() * stride, 1.0);
+        });
+        let stats = ctx.finish();
+        prop_assert_eq!(
+            stats.steps[0].max_conflict_degree,
+            analytic_degree(lanes, stride)
+        );
+    }
+
+    #[test]
+    fn buffered_stores_match_host_reference(
+        values in prop::collection::vec(-10.0f32..10.0, 32),
+        offsets in prop::collection::vec(0usize..32, 32),
+    ) {
+        // Each thread i reads cell offsets[i] (pre-step state) and writes
+        // cell i. With buffered stores this must equal the host-computed
+        // gather regardless of the sequential thread order.
+        let mut g = GlobalMem::<f32>::new();
+        let mut ctx = BlockCtx::new(&DeviceConfig::gtx280(), &mut g, 32, true);
+        let arr = ctx.alloc(32);
+        let vals = values.clone();
+        ctx.step(Phase::Other("init"), 0..32, |t| {
+            t.store(arr, t.tid(), vals[t.tid()]);
+        });
+        let offs = offsets.clone();
+        ctx.step(Phase::Other("gather"), 0..32, |t| {
+            let v = t.load(arr, offs[t.tid()]);
+            t.store(arr, t.tid(), v);
+        });
+        let expect: Vec<f32> = (0..32).map(|i| values[offsets[i]]).collect();
+        prop_assert_eq!(ctx.shared_slice(arr), expect.as_slice());
+    }
+
+    #[test]
+    fn scan_matches_prefix_sums(
+        values in prop::collection::vec(-5.0f64..5.0, 1..9),
+    ) {
+        // Pad to the next power of two with zeros (scan requirement).
+        let n = values.len().next_power_of_two();
+        let mut padded = values.clone();
+        padded.resize(n, 0.0);
+        let mut g = GlobalMem::<f64>::new();
+        let mut ctx = BlockCtx::new(&DeviceConfig::gtx280(), &mut g, n, true);
+        let arr = ctx.alloc(n);
+        let p = padded.clone();
+        ctx.step(Phase::Other("init"), 0..n, |t| {
+            t.store(arr, t.tid(), p[t.tid()]);
+        });
+        scan_add(&mut ctx, arr, n, Phase::Scan);
+        let mut expect = padded;
+        for i in 1..n {
+            expect[i] += expect[i - 1];
+        }
+        for i in 0..n {
+            prop_assert!((ctx.shared_slice(arr)[i] - expect[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn occupancy_is_monotone_in_shared_usage(
+        base in 64usize..4096,
+        extra in 1usize..4096,
+    ) {
+        let d = DeviceConfig::gtx280();
+        let small = occupancy(&d, base, 64).unwrap();
+        let large = occupancy(&d, base + extra, 64);
+        if let Ok(large) = large {
+            prop_assert!(large.blocks_per_sm <= small.blocks_per_sm);
+        }
+    }
+
+    #[test]
+    fn step_cost_is_monotone(
+        instr in 1u64..1000,
+        extra_conflicts in 0u64..1000,
+        ops in 0u64..1000,
+        divs_extra in 0u64..50,
+    ) {
+        let cost = CostModel::gtx280();
+        let mk = |serialized: u64, warp_ops: u64, warp_divs: u64| StepRecord {
+            phase: Phase::ForwardReduction,
+            active_threads: 64,
+            warps: 2,
+            half_warps: 4,
+            shared_loads: 0,
+            shared_stores: 0,
+            shared_instructions: instr,
+            serialized_shared_instructions: serialized,
+            max_conflict_degree: 1,
+            ops: 0,
+            divs: 0,
+            warp_op_instructions: warp_ops,
+            warp_div_instructions: warp_divs,
+            global_loads: 0,
+            global_stores: 0,
+            max_dependent_chain: 0,
+        };
+        let base = cost.step_cost(&mk(instr, ops, 0));
+        let conflicted = cost.step_cost(&mk(instr + extra_conflicts, ops, 0));
+        prop_assert!(conflicted.shared_cycles >= base.shared_cycles);
+        let divy = cost.step_cost(&mk(instr, ops, divs_extra));
+        prop_assert!(divy.compute_cycles >= base.compute_cycles);
+    }
+
+    #[test]
+    fn grid_time_is_monotone_in_blocks(blocks in 1usize..2000) {
+        let d = DeviceConfig::gtx280();
+        let cost = CostModel::gtx280();
+        let stats = gpu_sim::KernelStats {
+            steps: vec![StepRecord {
+                phase: Phase::PcrReduction,
+                active_threads: 128,
+                warps: 4,
+                half_warps: 8,
+                shared_loads: 1024,
+                shared_stores: 512,
+                shared_instructions: 96,
+                serialized_shared_instructions: 96,
+                max_conflict_degree: 1,
+                ops: 2048,
+                divs: 128,
+                warp_op_instructions: 64,
+                warp_div_instructions: 8,
+                global_loads: 128,
+                global_stores: 0,
+                max_dependent_chain: 0,
+            }],
+            shared_words: 640,
+            element_bytes: 4,
+            block_dim: 128,
+            global_bytes_read: 512,
+            global_bytes_written: 0,
+            global_accesses: 128,
+        };
+        let t1 = gpu_sim::time_launch(&d, &cost, &stats, blocks).unwrap();
+        let t2 = gpu_sim::time_launch(&d, &cost, &stats, blocks + 30).unwrap();
+        prop_assert!(t2.kernel_ms >= t1.kernel_ms);
+    }
+}

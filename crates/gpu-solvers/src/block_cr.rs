@@ -1,0 +1,485 @@
+//! Block cyclic reduction on the GPU — the paper's future-work item #1
+//! ("generalize the solvers for block tridiagonal matrices"), for 2x2
+//! blocks.
+//!
+//! Structure mirrors the scalar CR kernel (one block-row per thread,
+//! in-place forward reduction / backward substitution, stride-doubling
+//! access pattern and its bank conflicts), with scalars replaced by 2x2
+//! blocks and divisions by *order-aware* block inverses:
+//!
+//! ```text
+//! K1 = A_i B_{i-1}^{-1}          K2 = C_i B_{i+1}^{-1}
+//! B'_i = B_i - K1 C_{i-1} - K2 A_{i+1}
+//! d'_i = d_i - K1 d_{i-1} - K2 d_{i+1}
+//! A'_i = -K1 A_{i-1}             C'_i = -K2 C_{i+1}
+//! ```
+//!
+//! Storage: 16 shared arrays of `n` (four per coefficient block, two each
+//! for `d` and `x`), so the largest f32 system per block is `n = 128`
+//! (16 KB limit) — block systems hit the capacity wall 3.2x earlier than
+//! scalar ones.
+
+use crate::common::log2;
+use gpu_sim::{BlockCtx, GlobalArray, GlobalMem, GridKernel, Launcher, Phase, Shared, ThreadCtx};
+use tridiag_core::block::{BlockTridiagonalSystem, Vec2};
+use tridiag_core::{require_pow2, Real, Result, TridiagError};
+
+/// Thread-local 2x2 block held in registers.
+type Blk<T> = [[T; 2]; 2];
+
+/// Device arrays for a batch of block systems: component-major flat
+/// layout — `a[r][c]` of block-row `i` of system `s` lives at
+/// `arrays.a[2*r + c][s * n + i]`.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockSystemHandles<T> {
+    /// Sub-diagonal block components.
+    pub a: [GlobalArray<T>; 4],
+    /// Diagonal block components.
+    pub b: [GlobalArray<T>; 4],
+    /// Super-diagonal block components.
+    pub c: [GlobalArray<T>; 4],
+    /// Right-hand-side components.
+    pub d: [GlobalArray<T>; 2],
+    /// Solution components.
+    pub x: [GlobalArray<T>; 2],
+}
+
+/// Shared-memory arrays of one block (16 arrays of `n`).
+struct SharedBlockSystem<T> {
+    a: [Shared<T>; 4],
+    b: [Shared<T>; 4],
+    c: [Shared<T>; 4],
+    d: [Shared<T>; 2],
+    x: [Shared<T>; 2],
+}
+
+impl<T: Real> SharedBlockSystem<T> {
+    fn alloc(ctx: &mut BlockCtx<'_, T>, n: usize) -> Self {
+        Self {
+            a: core::array::from_fn(|_| ctx.alloc(n)),
+            b: core::array::from_fn(|_| ctx.alloc(n)),
+            c: core::array::from_fn(|_| ctx.alloc(n)),
+            d: core::array::from_fn(|_| ctx.alloc(n)),
+            x: core::array::from_fn(|_| ctx.alloc(n)),
+        }
+    }
+}
+
+// --- counted 2x2 register algebra -----------------------------------------
+
+fn load_blk<T: Real>(t: &mut ThreadCtx<'_, '_, T>, arr: &[Shared<T>; 4], i: usize) -> Blk<T> {
+    [[t.load(arr[0], i), t.load(arr[1], i)], [t.load(arr[2], i), t.load(arr[3], i)]]
+}
+
+fn store_blk<T: Real>(t: &mut ThreadCtx<'_, '_, T>, arr: &[Shared<T>; 4], i: usize, m: Blk<T>) {
+    t.store(arr[0], i, m[0][0]);
+    t.store(arr[1], i, m[0][1]);
+    t.store(arr[2], i, m[1][0]);
+    t.store(arr[3], i, m[1][1]);
+}
+
+fn load_v2<T: Real>(t: &mut ThreadCtx<'_, '_, T>, arr: &[Shared<T>; 2], i: usize) -> Vec2<T> {
+    [t.load(arr[0], i), t.load(arr[1], i)]
+}
+
+fn store_v2<T: Real>(t: &mut ThreadCtx<'_, '_, T>, arr: &[Shared<T>; 2], i: usize, v: Vec2<T>) {
+    t.store(arr[0], i, v[0]);
+    t.store(arr[1], i, v[1]);
+}
+
+fn mul2<T: Real>(t: &mut ThreadCtx<'_, '_, T>, l: &Blk<T>, r: &Blk<T>) -> Blk<T> {
+    let mut out = [[T::ZERO; 2]; 2];
+    for i in 0..2 {
+        for j in 0..2 {
+            let p = t.mul(l[i][1], r[1][j]);
+            out[i][j] = t.fma(l[i][0], r[0][j], p);
+        }
+    }
+    out
+}
+
+fn sub2<T: Real>(t: &mut ThreadCtx<'_, '_, T>, l: &Blk<T>, r: &Blk<T>) -> Blk<T> {
+    let mut out = [[T::ZERO; 2]; 2];
+    for i in 0..2 {
+        for j in 0..2 {
+            out[i][j] = t.sub(l[i][j], r[i][j]);
+        }
+    }
+    out
+}
+
+fn neg2<T: Real>(t: &mut ThreadCtx<'_, '_, T>, m: &Blk<T>) -> Blk<T> {
+    let mut out = [[T::ZERO; 2]; 2];
+    for i in 0..2 {
+        for j in 0..2 {
+            out[i][j] = t.neg(m[i][j]);
+        }
+    }
+    out
+}
+
+/// Counted 2x2 inverse: one division (the reciprocal determinant).
+fn inv2<T: Real>(t: &mut ThreadCtx<'_, '_, T>, m: &Blk<T>) -> Blk<T> {
+    let p = t.mul(m[0][1], m[1][0]);
+    let q = t.mul(m[0][0], m[1][1]);
+    let det = t.sub(q, p);
+    let r = t.div(T::ONE, det);
+    let m00 = t.mul(m[1][1], r);
+    let m11 = t.mul(m[0][0], r);
+    let t01 = t.mul(m[0][1], r);
+    let m01 = t.neg(t01);
+    let t10 = t.mul(m[1][0], r);
+    let m10 = t.neg(t10);
+    [[m00, m01], [m10, m11]]
+}
+
+fn mulvec2<T: Real>(t: &mut ThreadCtx<'_, '_, T>, m: &Blk<T>, v: &Vec2<T>) -> Vec2<T> {
+    let p0 = t.mul(m[0][1], v[1]);
+    let p1 = t.mul(m[1][1], v[1]);
+    [t.fma(m[0][0], v[0], p0), t.fma(m[1][0], v[0], p1)]
+}
+
+fn subvec2<T: Real>(t: &mut ThreadCtx<'_, '_, T>, l: &Vec2<T>, r: &Vec2<T>) -> Vec2<T> {
+    [t.sub(l[0], r[0]), t.sub(l[1], r[1])]
+}
+
+// --- the kernel -------------------------------------------------------------
+
+/// Block cyclic reduction kernel (one block system per CUDA block).
+#[derive(Debug, Clone, Copy)]
+pub struct BlockCrKernel<T> {
+    /// Block rows per system (power of two, >= 2; at most 128 in f32).
+    pub n: usize,
+    /// Device arrays.
+    pub gm: BlockSystemHandles<T>,
+}
+
+impl<T: Real> GridKernel<T> for BlockCrKernel<T> {
+    fn block_dim(&self) -> usize {
+        (self.n / 2).max(1)
+    }
+
+    fn shared_words(&self) -> usize {
+        16 * self.n * T::SHARED_WORDS
+    }
+
+    fn run_block(&self, block_id: usize, ctx: &mut BlockCtx<'_, T>) {
+        let n = self.n;
+        let base = block_id * n;
+        let threads = self.block_dim();
+        let sh = SharedBlockSystem::alloc(ctx, n);
+        let gm = self.gm;
+
+        // Load: each thread fetches two block-rows (coalesced halves).
+        let per_thread = n / threads;
+        ctx.step(Phase::GlobalLoad, 0..threads, |t| {
+            for k in 0..per_thread {
+                let i = t.tid() + k * threads;
+                for comp in 0..4 {
+                    let v = t.load_global(gm.a[comp], base + i);
+                    t.store(sh.a[comp], i, v);
+                    let v = t.load_global(gm.b[comp], base + i);
+                    t.store(sh.b[comp], i, v);
+                    let v = t.load_global(gm.c[comp], base + i);
+                    t.store(sh.c[comp], i, v);
+                }
+                for comp in 0..2 {
+                    let v = t.load_global(gm.d[comp], base + i);
+                    t.store(sh.d[comp], i, v);
+                }
+            }
+        });
+
+        let levels = log2(n) - 1;
+        for level in 0..levels {
+            let stride = 1usize << (level + 1);
+            let half = stride / 2;
+            let active = n >> (level + 1);
+            ctx.step(Phase::ForwardReduction, 0..active, |t| {
+                let i = stride * (t.tid() + 1) - 1;
+                let il = i - half;
+                let ir = (i + half).min(n - 1); // branchless: C of last row is zero
+                let a_i = load_blk(t, &sh.a, i);
+                let b_il = load_blk(t, &sh.b, il);
+                let binv_l = inv2(t, &b_il);
+                let k1 = mul2(t, &a_i, &binv_l);
+                let c_i = load_blk(t, &sh.c, i);
+                let b_ir = load_blk(t, &sh.b, ir);
+                let binv_r = inv2(t, &b_ir);
+                let k2 = mul2(t, &c_i, &binv_r);
+
+                let a_il = load_blk(t, &sh.a, il);
+                let c_il = load_blk(t, &sh.c, il);
+                let d_il = load_v2(t, &sh.d, il);
+                let b_i = load_blk(t, &sh.b, i);
+                let d_i = load_v2(t, &sh.d, i);
+                let a_ir = load_blk(t, &sh.a, ir);
+                let c_ir = load_blk(t, &sh.c, ir);
+                let d_ir = load_v2(t, &sh.d, ir);
+
+                let p = mul2(t, &k1, &c_il);
+                let q = mul2(t, &k2, &a_ir);
+                let nb = {
+                    let s1 = sub2(t, &b_i, &p);
+                    sub2(t, &s1, &q)
+                };
+                let nd = {
+                    let p = mulvec2(t, &k1, &d_il);
+                    let q = mulvec2(t, &k2, &d_ir);
+                    let s1 = subvec2(t, &d_i, &p);
+                    subvec2(t, &s1, &q)
+                };
+                let na = {
+                    let p = mul2(t, &k1, &a_il);
+                    neg2(t, &p)
+                };
+                let nc = {
+                    let p = mul2(t, &k2, &c_ir);
+                    neg2(t, &p)
+                };
+                store_blk(t, &sh.a, i, na);
+                store_blk(t, &sh.b, i, nb);
+                store_blk(t, &sh.c, i, nc);
+                store_v2(t, &sh.d, i, nd);
+            });
+        }
+
+        // Solve the remaining 2 block-rows (a 4x4 system) with one thread.
+        ctx.step(Phase::SolveTwoUnknown, 0..1, |t| {
+            let i1 = n / 2 - 1;
+            let i2 = n - 1;
+            let b1 = load_blk(t, &sh.b, i1);
+            let c1 = load_blk(t, &sh.c, i1);
+            let d1 = load_v2(t, &sh.d, i1);
+            let a2 = load_blk(t, &sh.a, i2);
+            let b2 = load_blk(t, &sh.b, i2);
+            let d2 = load_v2(t, &sh.d, i2);
+            let b1inv = inv2(t, &b1);
+            // Schur complement: S = B2 - A2 B1^{-1} C1.
+            let a2b1inv = mul2(t, &a2, &b1inv);
+            let p = mul2(t, &a2b1inv, &c1);
+            let s = sub2(t, &b2, &p);
+            let sinv = inv2(t, &s);
+            let q = mulvec2(t, &a2b1inv, &d1);
+            let rhs2 = subvec2(t, &d2, &q);
+            let x2 = mulvec2(t, &sinv, &rhs2);
+            let q = mulvec2(t, &c1, &x2);
+            let rhs1 = subvec2(t, &d1, &q);
+            let x1 = mulvec2(t, &b1inv, &rhs1);
+            store_v2(t, &sh.x, i1, x1);
+            store_v2(t, &sh.x, i2, x2);
+        });
+
+        for level in (0..levels).rev() {
+            let stride = 1usize << (level + 1);
+            let half = stride / 2;
+            let active = n >> (level + 1);
+            ctx.step(Phase::BackwardSubstitution, 0..active, |t| {
+                let i = stride * t.tid() + half - 1;
+                let il = i.saturating_sub(half); // branchless: A of first row is zero
+                let d_i = load_v2(t, &sh.d, i);
+                let b_i = load_blk(t, &sh.b, i);
+                let a_i = load_blk(t, &sh.a, i);
+                let c_i = load_blk(t, &sh.c, i);
+                let x_l = load_v2(t, &sh.x, il);
+                let x_r = load_v2(t, &sh.x, i + half);
+                let p = mulvec2(t, &a_i, &x_l);
+                let q = mulvec2(t, &c_i, &x_r);
+                let s1 = subvec2(t, &d_i, &p);
+                let num = subvec2(t, &s1, &q);
+                let binv = inv2(t, &b_i);
+                let v = mulvec2(t, &binv, &num);
+                store_v2(t, &sh.x, i, v);
+            });
+        }
+
+        ctx.step(Phase::GlobalStore, 0..threads, |t| {
+            for k in 0..per_thread {
+                let i = t.tid() + k * threads;
+                for comp in 0..2 {
+                    let v = t.load(sh.x[comp], i);
+                    t.store_global(gm.x[comp], base + i, v);
+                }
+            }
+        });
+    }
+}
+
+/// Solve report for a block batch.
+#[derive(Debug, Clone)]
+pub struct BlockSolveReport<T: Real> {
+    /// Per-system solutions (block sub-vectors per row).
+    pub solutions: Vec<Vec<Vec2<T>>>,
+    /// Simulated timing of the launch.
+    pub timing: gpu_sim::TimingReport,
+    /// Per-block instrumentation.
+    pub stats: gpu_sim::KernelStats,
+}
+
+/// Solves a batch of equally-sized block-tridiagonal systems with block CR
+/// on the simulated GPU.
+pub fn solve_block_batch<T: Real>(
+    launcher: &Launcher,
+    systems: &[BlockTridiagonalSystem<T>],
+) -> Result<BlockSolveReport<T>> {
+    if systems.is_empty() {
+        return Err(TridiagError::SizeTooSmall { n: 0, min: 1 });
+    }
+    let n = systems[0].n();
+    require_pow2(n, 2)?;
+    let count = systems.len();
+    for sys in systems {
+        if sys.n() != n {
+            return Err(TridiagError::DimensionMismatch {
+                what: "block system size in batch",
+                expected: n,
+                got: sys.n(),
+            });
+        }
+    }
+
+    // Flatten component-major.
+    let mut gmem = GlobalMem::new();
+    let flat_blk = |pick: &dyn Fn(&BlockTridiagonalSystem<T>, usize) -> Blk<T>,
+                    r: usize,
+                    cix: usize|
+     -> Vec<T> {
+        let mut v = Vec::with_capacity(n * count);
+        for sys in systems {
+            for i in 0..n {
+                v.push(pick(sys, i)[r][cix]);
+            }
+        }
+        v
+    };
+    let comp = |k: usize| (k / 2, k % 2);
+    let gm = BlockSystemHandles {
+        a: core::array::from_fn(|k| {
+            let (r, c) = comp(k);
+            gmem.upload(flat_blk(&|s, i| s.a[i], r, c))
+        }),
+        b: core::array::from_fn(|k| {
+            let (r, c) = comp(k);
+            gmem.upload(flat_blk(&|s, i| s.b[i], r, c))
+        }),
+        c: core::array::from_fn(|k| {
+            let (r, c) = comp(k);
+            gmem.upload(flat_blk(&|s, i| s.c[i], r, c))
+        }),
+        d: core::array::from_fn(|k| {
+            let mut v = Vec::with_capacity(n * count);
+            for sys in systems {
+                for i in 0..n {
+                    v.push(sys.d[i][k]);
+                }
+            }
+            gmem.upload(v)
+        }),
+        x: core::array::from_fn(|_| gmem.alloc_zeroed(n * count)),
+    };
+
+    let kernel = BlockCrKernel { n, gm };
+    let report = launcher.launch(&kernel, count, &mut gmem)?;
+
+    let x0 = gmem.download(gm.x[0]);
+    let x1 = gmem.download(gm.x[1]);
+    let solutions = (0..count)
+        .map(|s| (0..n).map(|i| [x0[s * n + i], x1[s * n + i]]).collect())
+        .collect();
+    Ok(BlockSolveReport { solutions, timing: report.timing, stats: report.stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tridiag_core::TridiagonalSystem;
+
+    #[test]
+    fn matches_block_thomas() {
+        let launcher = Launcher::gtx280();
+        let systems: Vec<_> =
+            (0..4).map(|s| BlockTridiagonalSystem::<f64>::random_dominant(s, 64)).collect();
+        let report = solve_block_batch(&launcher, &systems).unwrap();
+        for (k, sys) in systems.iter().enumerate() {
+            let x_ref = cpu_solvers::block_thomas::solve(sys).unwrap();
+            for i in 0..64 {
+                for comp in 0..2 {
+                    assert!(
+                        (report.solutions[k][i][comp] - x_ref[i][comp]).abs() < 1e-9,
+                        "sys {k} row {i}.{comp}"
+                    );
+                }
+            }
+            assert!(sys.l2_residual(&report.solutions[k]).unwrap() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn decoupled_blocks_match_scalar_cr() {
+        // Diagonal blocks = two interleaved scalar systems; the block
+        // solver must agree with the scalar GPU CR solver on each.
+        let launcher = Launcher::gtx280();
+        let mut gen = tridiag_core::Generator::new(9);
+        let s0: TridiagonalSystem<f64> =
+            gen.system(tridiag_core::Workload::DiagonallyDominant, 32);
+        let s1: TridiagonalSystem<f64> =
+            gen.system(tridiag_core::Workload::DiagonallyDominant, 32);
+        let blk = BlockTridiagonalSystem::from_decoupled(&s0, &s1).unwrap();
+        let report = solve_block_batch(&launcher, &[blk]).unwrap();
+
+        let batch = tridiag_core::SystemBatch::from_systems(&[s0, s1]).unwrap();
+        let scalar = crate::solver::solve_batch(
+            &launcher,
+            crate::solver::GpuAlgorithm::Cr,
+            &batch,
+        )
+        .unwrap();
+        for i in 0..32 {
+            assert!((report.solutions[0][i][0] - scalar.solutions.system(0)[i]).abs() < 1e-10);
+            assert!((report.solutions[0][i][1] - scalar.solutions.system(1)[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn capacity_wall_is_128_for_f32() {
+        // 16 arrays x 4 B: n=128 -> 8 KB (fits); n=256 -> 16 KB + reserve
+        // (exceeds). Block systems hit the wall earlier than scalar ones.
+        let launcher = Launcher::gtx280();
+        let ok: Vec<_> =
+            (0..2).map(|s| BlockTridiagonalSystem::<f32>::random_dominant(s, 128)).collect();
+        assert!(solve_block_batch(&launcher, &ok).is_ok());
+        let too_big: Vec<_> =
+            (0..2).map(|s| BlockTridiagonalSystem::<f32>::random_dominant(s, 256)).collect();
+        assert!(matches!(
+            solve_block_batch(&launcher, &too_big),
+            Err(TridiagError::SharedMemExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn same_step_structure_as_scalar_cr() {
+        let launcher = Launcher::gtx280();
+        let systems: Vec<_> =
+            (0..1).map(|s| BlockTridiagonalSystem::<f32>::random_dominant(s, 128)).collect();
+        let report = solve_block_batch(&launcher, &systems).unwrap();
+        let algo_steps =
+            report.stats.steps.iter().filter(|s| !s.phase.is_straight_line()).count();
+        assert_eq!(algo_steps, 2 * 7 - 1); // 2 log2(128) - 1, like scalar CR
+        // Stride-doubling conflicts appear here too.
+        assert!(report.stats.max_conflict_degree() >= 8);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let launcher = Launcher::gtx280();
+        let empty: Vec<BlockTridiagonalSystem<f32>> = vec![];
+        assert!(solve_block_batch(&launcher, &empty).is_err());
+        let odd = vec![BlockTridiagonalSystem::<f32>::random_dominant(1, 24)];
+        assert!(solve_block_batch(&launcher, &odd).is_err());
+        let mixed = vec![
+            BlockTridiagonalSystem::<f32>::random_dominant(1, 32),
+            BlockTridiagonalSystem::<f32>::random_dominant(2, 64),
+        ];
+        assert!(solve_block_batch(&launcher, &mixed).is_err());
+    }
+}

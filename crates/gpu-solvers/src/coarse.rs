@@ -1,0 +1,244 @@
+//! Coarse-grained batched Thomas kernel: **one thread per system**.
+//!
+//! The paper sets these aside: "Other parallel approaches, such as the
+//! sub-structuring method and two-way Gaussian elimination, are
+//! coarse-grained methods that map larger amounts of work per thread.
+//! These methods would be more suitable to a multi-core CPU." This kernel
+//! implements the canonical GPU variant anyway (it later became cuSPARSE's
+//! `gtsvStridedBatch`) as an ablation: with an **interleaved layout**
+//! (element `i` of system `s` at `i * count + s`) every access is
+//! perfectly coalesced, but the recurrence makes each thread's loads a
+//! serial dependence chain — the kernel is latency-bound, so it only pays
+//! off when the batch is large enough to bury the chain in parallel work.
+
+use crate::solver::GpuSolveReport;
+use gpu_sim::{BlockCtx, GlobalArray, GlobalMem, GridKernel, Launcher, Phase};
+use tridiag_core::{require_pow2, Real, Result, SolutionBatch, SystemBatch};
+
+/// Threads per block for the coarse kernel (64 keeps many small blocks
+/// resident for latency hiding).
+const BLOCK_DIM: usize = 64;
+
+/// One-thread-per-system Thomas kernel over interleaved arrays.
+#[derive(Debug, Clone, Copy)]
+pub struct ThomasPerThreadKernel<T> {
+    /// System size.
+    pub n: usize,
+    /// Number of systems.
+    pub count: usize,
+    /// Interleaved inputs (element `i` of system `s` at `i * count + s`).
+    pub a: GlobalArray<T>,
+    /// Main diagonals (interleaved).
+    pub b: GlobalArray<T>,
+    /// Super-diagonals (interleaved).
+    pub c: GlobalArray<T>,
+    /// Right-hand sides (interleaved).
+    pub d: GlobalArray<T>,
+    /// Scratch for the forward-swept super-diagonal (interleaved).
+    pub cp: GlobalArray<T>,
+    /// Scratch for the forward-swept right-hand side (interleaved).
+    pub dp: GlobalArray<T>,
+    /// Solutions (interleaved).
+    pub x: GlobalArray<T>,
+}
+
+impl<T: Real> GridKernel<T> for ThomasPerThreadKernel<T> {
+    fn block_dim(&self) -> usize {
+        BLOCK_DIM.min(self.count)
+    }
+
+    fn shared_words(&self) -> usize {
+        0
+    }
+
+    fn run_block(&self, block_id: usize, ctx: &mut BlockCtx<'_, T>) {
+        let count = self.count;
+        let n = self.n;
+        let dim = self.block_dim();
+        let systems_here = dim.min(count - block_id * dim);
+        let k = *self;
+        // The whole solve is one superstep: the kernel has no barriers at
+        // all — each thread runs its own serial recurrence.
+        ctx.step(Phase::Other("thomas per-thread"), 0..systems_here, |t| {
+            let s = block_id * dim + t.tid();
+            let at = |i: usize| i * count + s;
+            // Forward elimination. The loads of b/c/d at row i are
+            // independent (prefetchable), but the recurrence on cp/dp makes
+            // each iteration depend on the last — charge one chain link per
+            // row.
+            let b0 = t.load_global_dependent(k.b, at(0));
+            let c0 = t.load_global(k.c, at(0));
+            let d0 = t.load_global(k.d, at(0));
+            let mut cp_prev = t.div(c0, b0);
+            let mut dp_prev = t.div(d0, b0);
+            t.store_global(k.cp, at(0), cp_prev);
+            t.store_global(k.dp, at(0), dp_prev);
+            for i in 1..n {
+                let ai = t.load_global_dependent(k.a, at(i));
+                let bi = t.load_global(k.b, at(i));
+                let ci = t.load_global(k.c, at(i));
+                let di = t.load_global(k.d, at(i));
+                let p = t.mul(cp_prev, ai);
+                let denom = t.sub(bi, p);
+                cp_prev = t.div(ci, denom);
+                let p = t.mul(dp_prev, ai);
+                let num = t.sub(di, p);
+                dp_prev = t.div(num, denom);
+                t.store_global(k.cp, at(i), cp_prev);
+                t.store_global(k.dp, at(i), dp_prev);
+            }
+            // Backward substitution — another dependent chain.
+            let mut x_next = dp_prev;
+            t.store_global(k.x, at(n - 1), x_next);
+            for i in (0..n - 1).rev() {
+                let cpi = t.load_global_dependent(k.cp, at(i));
+                let dpi = t.load_global(k.dp, at(i));
+                let p = t.mul(cpi, x_next);
+                x_next = t.sub(dpi, p);
+                t.store_global(k.x, at(i), x_next);
+            }
+        });
+    }
+}
+
+/// Transposes the batch's system-major arrays into the interleaved layout.
+fn interleave<T: Real>(data: &[T], n: usize, count: usize) -> Vec<T> {
+    let mut out = vec![T::ZERO; n * count];
+    for s in 0..count {
+        for i in 0..n {
+            out[i * count + s] = data[s * n + i];
+        }
+    }
+    out
+}
+
+/// Solves a batch with the coarse-grained per-thread Thomas kernel
+/// (any power-of-two system size; no shared-memory limits apply).
+pub fn solve_batch_coarse<T: Real>(
+    launcher: &Launcher,
+    batch: &SystemBatch<T>,
+) -> Result<GpuSolveReport<T>> {
+    let n = batch.n();
+    let count = batch.count();
+    require_pow2(n, 2)?;
+
+    let mut gmem = GlobalMem::new();
+    let kernel = ThomasPerThreadKernel {
+        n,
+        count,
+        a: gmem.upload(interleave(&batch.a, n, count)),
+        b: gmem.upload(interleave(&batch.b, n, count)),
+        c: gmem.upload(interleave(&batch.c, n, count)),
+        d: gmem.upload(interleave(&batch.d, n, count)),
+        cp: gmem.alloc_zeroed(n * count),
+        dp: gmem.alloc_zeroed(n * count),
+        x: gmem.alloc_zeroed(n * count),
+    };
+    let blocks = count.div_ceil(kernel.block_dim());
+    let report = launcher.launch(&kernel, blocks, &mut gmem)?;
+
+    // De-interleave the solutions.
+    let xi = gmem.download(kernel.x);
+    let mut x = vec![T::ZERO; n * count];
+    for s in 0..count {
+        for i in 0..n {
+            x[s * n + i] = xi[i * count + s];
+        }
+    }
+    let solutions = SolutionBatch::from_flat(n, count, x)?;
+    let timing = report.timing.with_transfer(&launcher.cost, batch.transfer_bytes() as u64);
+    Ok(GpuSolveReport {
+        algorithm: crate::solver::GpuAlgorithm::ThomasPerThread,
+        solutions,
+        stats: report.stats,
+        timing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpu_solvers::{solve_batch_seq, Thomas};
+    use tridiag_core::residual::max_abs_diff;
+    use tridiag_core::{dominant_batch, Generator, Workload};
+
+    #[test]
+    fn matches_cpu_thomas_exactly_in_f64() {
+        let launcher = Launcher::gtx280();
+        let batch: tridiag_core::SystemBatch<f64> =
+            Generator::new(5).batch(Workload::DiagonallyDominant, 64, 10).unwrap();
+        let gpu = solve_batch_coarse(&launcher, &batch).unwrap();
+        let cpu = solve_batch_seq(&Thomas, &batch).unwrap();
+        assert_eq!(max_abs_diff(&gpu.solutions.x, &cpu.x), 0.0, "same arithmetic order");
+    }
+
+    #[test]
+    fn handles_oversized_systems_and_odd_counts() {
+        let launcher = Launcher::gtx280();
+        // n = 2048 exceeds shared memory for the fine-grained kernels;
+        // count = 37 is not a multiple of the block size.
+        let batch = dominant_batch::<f32>(9, 2048, 37);
+        let r = solve_batch_coarse(&launcher, &batch).unwrap();
+        let res = tridiag_core::residual::batch_residual(&batch, &r.solutions).unwrap();
+        assert!(!res.has_overflow());
+        assert!(res.max_l2 < 1e-2, "{}", res.max_l2);
+    }
+
+    #[test]
+    fn is_latency_bound() {
+        // The dependent chain (2n links) dominates: kernel time is roughly
+        // chain_length x latency regardless of batch count (until the
+        // machine saturates).
+        let launcher = Launcher::gtx280();
+        let t_small = solve_batch_coarse(&launcher, &dominant_batch::<f32>(1, 512, 64))
+            .unwrap()
+            .timing
+            .kernel_ms;
+        let t_large = solve_batch_coarse(&launcher, &dominant_batch::<f32>(1, 512, 512))
+            .unwrap()
+            .timing
+            .kernel_ms;
+        // 8x the systems costs far less than 8x the time.
+        assert!(t_large < 3.0 * t_small, "small {t_small}, large {t_large}");
+        let chain_ms = 2.0 * 512.0 * launcher.cost.global_latency_cycles
+            / (launcher.device.clock_ghz * 1e9)
+            * 1e3;
+        assert!(t_small > chain_ms * 0.9, "must pay the chain: {t_small} vs {chain_ms}");
+    }
+
+    #[test]
+    fn fine_grained_wins_at_the_paper_sizes() {
+        // At 512x512 the fine-grained hybrid beats thread-per-system —
+        // the paper's premise for targeting fine-grained algorithms.
+        let launcher = Launcher::gtx280();
+        let batch = dominant_batch::<f32>(2, 512, 512);
+        let coarse = solve_batch_coarse(&launcher, &batch).unwrap().timing.kernel_ms;
+        let fine = crate::solver::solve_batch(
+            &launcher,
+            crate::solver::GpuAlgorithm::CrPcr { m: 256 },
+            &batch,
+        )
+        .unwrap()
+        .timing
+        .kernel_ms;
+        assert!(fine < coarse, "fine {fine} vs coarse {coarse}");
+    }
+
+    #[test]
+    fn coarse_wins_for_huge_batches_of_small_systems() {
+        // The crossover: tens of thousands of tiny systems favor the
+        // latency-bound-but-work-efficient coarse kernel.
+        let launcher = Launcher::gtx280();
+        let batch = dominant_batch::<f32>(3, 64, 16384);
+        let coarse = solve_batch_coarse(&launcher, &batch).unwrap().timing.kernel_ms;
+        let fine = crate::solver::solve_batch(
+            &launcher,
+            crate::solver::GpuAlgorithm::CrPcr { m: 32 },
+            &batch,
+        )
+        .unwrap()
+        .timing
+        .kernel_ms;
+        assert!(coarse < fine, "coarse {coarse} vs fine {fine}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Plumbing shared by every solver kernel: global-memory handles for the
+//! paper's five-array layout and batch upload/download helpers.
+
+use gpu_sim::{GlobalArray, GlobalMem};
+use tridiag_core::{Real, SolutionBatch, SystemBatch};
+
+/// Device-side handles to the five arrays of §4: "three for the matrix
+/// diagonals, one for the right-hand side, and one for the solution vector",
+/// each storing all systems contiguously.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemHandles<T> {
+    /// Sub-diagonals of every system.
+    pub a: GlobalArray<T>,
+    /// Main diagonals.
+    pub b: GlobalArray<T>,
+    /// Super-diagonals.
+    pub c: GlobalArray<T>,
+    /// Right-hand sides.
+    pub d: GlobalArray<T>,
+    /// Solutions (output).
+    pub x: GlobalArray<T>,
+}
+
+impl<T: Real> SystemHandles<T> {
+    /// Uploads a batch to device global memory.
+    pub fn upload(gmem: &mut GlobalMem<T>, batch: &SystemBatch<T>) -> Self {
+        Self {
+            a: gmem.upload(batch.a.clone()),
+            b: gmem.upload(batch.b.clone()),
+            c: gmem.upload(batch.c.clone()),
+            d: gmem.upload(batch.d.clone()),
+            x: gmem.alloc_zeroed(batch.total_len()),
+        }
+    }
+
+    /// Downloads the solution array as a [`SolutionBatch`].
+    pub fn download_solutions(
+        &self,
+        gmem: &mut GlobalMem<T>,
+        batch: &SystemBatch<T>,
+    ) -> SolutionBatch<T> {
+        SolutionBatch::from_flat(batch.n(), batch.count(), gmem.download(self.x))
+            .expect("solution array length matches batch by construction")
+    }
+}
+
+/// `log2` of a power-of-two size.
+#[inline]
+pub(crate) fn log2(n: usize) -> u32 {
+    debug_assert!(n.is_power_of_two());
+    n.trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tridiag_core::Generator;
+    use tridiag_core::Workload;
+
+    #[test]
+    fn upload_download_round_trip() {
+        let batch: SystemBatch<f32> =
+            Generator::new(1).batch(Workload::Poisson, 8, 3).unwrap();
+        let mut gmem = GlobalMem::new();
+        let h = SystemHandles::upload(&mut gmem, &batch);
+        assert_eq!(gmem.view(h.a), batch.a.as_slice());
+        assert_eq!(gmem.view(h.x), vec![0.0f32; 24].as_slice());
+        let sol = h.download_solutions(&mut gmem, &batch);
+        assert_eq!(sol.n(), 8);
+        assert_eq!(sol.count(), 3);
+    }
+
+    #[test]
+    fn log2_values() {
+        assert_eq!(log2(2), 1);
+        assert_eq!(log2(512), 9);
+    }
+}

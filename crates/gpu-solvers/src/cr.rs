@@ -1,0 +1,386 @@
+//! The cyclic reduction (CR) kernel — §2.1/§4 of the paper.
+//!
+//! One block solves one system of `n` unknowns with `n/2` threads. The
+//! five arrays live in shared memory; the reduction is performed **in
+//! place**, which saves shared memory (more resident blocks) at the price of
+//! the stride-doubling bank conflicts the paper analyses in Figure 9.
+//!
+//! Structure (each bullet is one barrier-separated superstep):
+//! * global load (each thread loads two elements per array, unit stride);
+//! * `log2(n) - 1` forward-reduction steps, halving the active threads;
+//! * one step solving the remaining 2-unknown system;
+//! * `log2(n) - 1` backward-substitution steps, doubling the active threads;
+//! * global store.
+
+use crate::common::{log2, SystemHandles};
+use gpu_sim::{BlockCtx, GridKernel, Phase, Shared, ThreadCtx};
+use tridiag_core::Real;
+
+/// Cyclic-reduction solver kernel (one system per block).
+#[derive(Debug, Clone, Copy)]
+pub struct CrKernel<T> {
+    /// System size (power of two, >= 2).
+    pub n: usize,
+    /// Device arrays.
+    pub gm: SystemHandles<T>,
+}
+
+/// The five shared arrays of one block.
+pub(crate) struct SharedSystem<T> {
+    pub a: Shared<T>,
+    pub b: Shared<T>,
+    pub c: Shared<T>,
+    pub d: Shared<T>,
+    pub x: Shared<T>,
+}
+
+impl<T: Real> SharedSystem<T> {
+    pub fn alloc(ctx: &mut BlockCtx<'_, T>, n: usize) -> Self {
+        Self {
+            a: ctx.alloc(n),
+            b: ctx.alloc(n),
+            c: ctx.alloc(n),
+            d: ctx.alloc(n),
+            x: ctx.alloc(n),
+        }
+    }
+}
+
+/// Global -> shared load of one block's system, two elements per thread
+/// (coalesced, conflict-free).
+pub(crate) fn load_system<T: Real>(
+    ctx: &mut BlockCtx<'_, T>,
+    sh: &SharedSystem<T>,
+    gm: &SystemHandles<T>,
+    base: usize,
+    n: usize,
+    threads: usize,
+) {
+    let per_thread = n / threads;
+    ctx.step(Phase::GlobalLoad, 0..threads, |t| {
+        for k in 0..per_thread {
+            // Two coalesced halves (i = tid + k*threads), not adjacent
+            // pairs — adjacent pairs would be a 2-way bank conflict.
+            let i = t.tid() + k * threads;
+            let v = t.load_global(gm.a, base + i);
+            t.store(sh.a, i, v);
+            let v = t.load_global(gm.b, base + i);
+            t.store(sh.b, i, v);
+            let v = t.load_global(gm.c, base + i);
+            t.store(sh.c, i, v);
+            let v = t.load_global(gm.d, base + i);
+            t.store(sh.d, i, v);
+        }
+    });
+}
+
+/// Shared -> global store of one block's solution.
+pub(crate) fn store_solution<T: Real>(
+    ctx: &mut BlockCtx<'_, T>,
+    sh: &SharedSystem<T>,
+    gm: &SystemHandles<T>,
+    base: usize,
+    n: usize,
+    threads: usize,
+) {
+    let per_thread = n / threads;
+    ctx.step(Phase::GlobalStore, 0..threads, |t| {
+        for k in 0..per_thread {
+            let i = t.tid() + k * threads;
+            let v = t.load(sh.x, i);
+            t.store_global(gm.x, base + i, v);
+        }
+    });
+}
+
+/// One CR forward-reduction update of equation `i` against its `±half`
+/// neighbours; shared by the plain, hybrid and conflict-free kernels.
+///
+/// Boundary handling is **branchless**: the last equation's right-neighbour
+/// index is clamped to itself, and its `c` coefficient is zero by invariant,
+/// so `k2 = c/b = 0` kills all right-hand terms. Branchless code keeps
+/// every lane's instruction stream identical — exactly what a warp executes
+/// — which also keeps the simulator's per-slot bank-conflict grouping
+/// faithful.
+#[inline]
+pub(crate) fn forward_update<T: Real>(
+    t: &mut ThreadCtx<'_, '_, T>,
+    sh: &SharedSystem<T>,
+    i: usize,
+    half: usize,
+    n: usize,
+) {
+    let ir = (i + half).min(n - 1);
+    forward_update_at(t, sh, i, i - half, ir);
+}
+
+/// [`forward_update`] with explicit access indices — lets the Figure 9
+/// stride-one timing variant perform the identical instruction sequence at
+/// compacted (bank-conflict-free, numerically wrong) addresses.
+#[inline]
+pub(crate) fn forward_update_at<T: Real>(
+    t: &mut ThreadCtx<'_, '_, T>,
+    sh: &SharedSystem<T>,
+    i: usize,
+    il: usize,
+    ir: usize,
+) {
+    let a_i = t.load(sh.a, i);
+    let b_il = t.load(sh.b, il);
+    let k1 = t.div(a_i, b_il);
+    let a_il = t.load(sh.a, il);
+    let c_il = t.load(sh.c, il);
+    let d_il = t.load(sh.d, il);
+    let b_i = t.load(sh.b, i);
+    let c_i = t.load(sh.c, i);
+    let d_i = t.load(sh.d, i);
+    let b_ir = t.load(sh.b, ir);
+    let k2 = t.div(c_i, b_ir);
+    let a_ir = t.load(sh.a, ir);
+    let c_ir = t.load(sh.c, ir);
+    let d_ir = t.load(sh.d, ir);
+    let na = {
+        let p = t.mul(a_il, k1);
+        t.neg(p)
+    };
+    let nb = {
+        let p1 = t.mul(c_il, k1);
+        let p2 = t.mul(a_ir, k2);
+        let s = t.sub(b_i, p1);
+        t.sub(s, p2)
+    };
+    let nd = {
+        let p1 = t.mul(d_il, k1);
+        let p2 = t.mul(d_ir, k2);
+        let s = t.sub(d_i, p1);
+        t.sub(s, p2)
+    };
+    let nc = {
+        let p = t.mul(c_ir, k2);
+        t.neg(p)
+    };
+    t.store(sh.a, i, na);
+    t.store(sh.b, i, nb);
+    t.store(sh.c, i, nc);
+    t.store(sh.d, i, nd);
+}
+
+/// Backward-substitution update solving `x[i]` from already-known
+/// neighbours; shared by the plain and hybrid kernels.
+///
+/// Branchless boundary handling: the first unknown's left index clamps to 0
+/// and its `a` coefficient is zero by invariant, so the left term vanishes.
+#[inline]
+pub(crate) fn backward_update<T: Real>(
+    t: &mut ThreadCtx<'_, '_, T>,
+    sh: &SharedSystem<T>,
+    i: usize,
+    half: usize,
+) {
+    let il = i.saturating_sub(half);
+    backward_update_at(t, sh, i, il, i + half);
+}
+
+/// [`backward_update`] with explicit access indices (see
+/// [`forward_update_at`]).
+#[inline]
+pub(crate) fn backward_update_at<T: Real>(
+    t: &mut ThreadCtx<'_, '_, T>,
+    sh: &SharedSystem<T>,
+    i: usize,
+    il: usize,
+    ir: usize,
+) {
+    let d_i = t.load(sh.d, i);
+    let b_i = t.load(sh.b, i);
+    let c_i = t.load(sh.c, i);
+    let x_r = t.load(sh.x, ir);
+    let a_i = t.load(sh.a, i);
+    let x_l = t.load(sh.x, il);
+    let num = {
+        let p1 = t.mul(a_i, x_l);
+        let p2 = t.mul(c_i, x_r);
+        let s = t.sub(d_i, p1);
+        t.sub(s, p2)
+    };
+    let v = t.div(num, b_i);
+    t.store(sh.x, i, v);
+}
+
+/// Solves the final 2-unknown system at indices `i1 = span/2 - 1` and
+/// `i2 = span - 1` (single-thread step, as in the CUDA kernel).
+pub(crate) fn solve_two_unknowns<T: Real>(
+    ctx: &mut BlockCtx<'_, T>,
+    sh: &SharedSystem<T>,
+    i1: usize,
+    i2: usize,
+) {
+    ctx.step(Phase::SolveTwoUnknown, 0..1, |t| {
+        let b1 = t.load(sh.b, i1);
+        let c1 = t.load(sh.c, i1);
+        let d1 = t.load(sh.d, i1);
+        let a2 = t.load(sh.a, i2);
+        let b2 = t.load(sh.b, i2);
+        let d2 = t.load(sh.d, i2);
+        let det = {
+            let p1 = t.mul(b1, b2);
+            let p2 = t.mul(c1, a2);
+            t.sub(p1, p2)
+        };
+        let x1 = {
+            let p1 = t.mul(d1, b2);
+            let p2 = t.mul(c1, d2);
+            let num = t.sub(p1, p2);
+            t.div(num, det)
+        };
+        let x2 = {
+            let p1 = t.mul(b1, d2);
+            let p2 = t.mul(d1, a2);
+            let num = t.sub(p1, p2);
+            t.div(num, det)
+        };
+        t.store(sh.x, i1, x1);
+        t.store(sh.x, i2, x2);
+    });
+}
+
+impl<T: Real> GridKernel<T> for CrKernel<T> {
+    fn block_dim(&self) -> usize {
+        (self.n / 2).max(1)
+    }
+
+    fn shared_words(&self) -> usize {
+        5 * self.n * T::SHARED_WORDS
+    }
+
+    fn run_block(&self, block_id: usize, ctx: &mut BlockCtx<'_, T>) {
+        let n = self.n;
+        let base = block_id * n;
+        let threads = self.block_dim();
+        let sh = SharedSystem::alloc(ctx, n);
+        load_system(ctx, &sh, &self.gm, base, n, threads);
+
+        let levels = log2(n) - 1;
+        for level in 0..levels {
+            let stride = 1usize << (level + 1);
+            let half = stride / 2;
+            let active = n >> (level + 1);
+            ctx.step(Phase::ForwardReduction, 0..active, |t| {
+                let i = stride * (t.tid() + 1) - 1;
+                forward_update(t, &sh, i, half, n);
+            });
+        }
+
+        solve_two_unknowns(ctx, &sh, n / 2 - 1, n - 1);
+
+        for level in (0..levels).rev() {
+            let stride = 1usize << (level + 1);
+            let half = stride / 2;
+            let active = n >> (level + 1);
+            ctx.step(Phase::BackwardSubstitution, 0..active, |t| {
+                let i = stride * t.tid() + half - 1;
+                backward_update(t, &sh, i, half);
+            });
+        }
+
+        store_solution(ctx, &sh, &self.gm, base, n, threads);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GlobalMem, Launcher};
+    use tridiag_core::residual::batch_residual;
+    use tridiag_core::{Generator, SystemBatch, Workload};
+
+    fn run(n: usize, count: usize) -> (SystemBatch<f32>, tridiag_core::SolutionBatch<f32>, gpu_sim::LaunchReport) {
+        let batch: SystemBatch<f32> =
+            Generator::new(42).batch(Workload::DiagonallyDominant, n, count).unwrap();
+        let mut gmem = GlobalMem::new();
+        let gm = SystemHandles::upload(&mut gmem, &batch);
+        let kernel = CrKernel { n, gm };
+        let report = Launcher::gtx280().launch(&kernel, count, &mut gmem).unwrap();
+        let sol = gm.download_solutions(&mut gmem, &batch);
+        (batch, sol, report)
+    }
+
+    #[test]
+    fn solves_batches_accurately() {
+        for n in [2usize, 4, 8, 64, 512] {
+            let (batch, sol, _) = run(n, 4);
+            let r = batch_residual(&batch, &sol).unwrap();
+            assert!(!r.has_overflow(), "n={n}");
+            assert!(r.max_l2 < 2e-4, "n={n}: residual {}", r.max_l2);
+        }
+    }
+
+    #[test]
+    fn step_count_matches_paper() {
+        // Table 1: 2 log2 n - 1 algorithmic steps (plus our explicit
+        // load/store supersteps).
+        let (_, _, report) = run(512, 1);
+        let algo_steps = report
+            .stats
+            .steps
+            .iter()
+            .filter(|s| !matches!(s.phase, Phase::GlobalLoad | Phase::GlobalStore))
+            .count();
+        assert_eq!(algo_steps, 2 * 9 - 1);
+    }
+
+    #[test]
+    fn forward_reduction_conflicts_grow_then_shrink() {
+        // Figure 9: conflict degrees 2,4,8,16,16,8,4,2 across the eight
+        // forward-reduction steps at n = 512.
+        let (_, _, report) = run(512, 1);
+        let degrees: Vec<u32> = report
+            .stats
+            .steps_in_phase(Phase::ForwardReduction)
+            .map(|s| s.max_conflict_degree)
+            .collect();
+        assert_eq!(degrees, vec![2, 4, 8, 16, 16, 8, 4, 2]);
+    }
+
+    #[test]
+    fn active_threads_halve_each_step() {
+        let (_, _, report) = run(512, 1);
+        let actives: Vec<usize> = report
+            .stats
+            .steps_in_phase(Phase::ForwardReduction)
+            .map(|s| s.active_threads)
+            .collect();
+        assert_eq!(actives, vec![256, 128, 64, 32, 16, 8, 4, 2]);
+    }
+
+    #[test]
+    fn shared_footprint_is_five_arrays() {
+        let (_, _, report) = run(512, 1);
+        assert_eq!(report.stats.shared_words, 5 * 512);
+        // 10240 B -> exactly one resident block per SM (paper §5.2).
+        assert_eq!(report.timing.occupancy.blocks_per_sm, 1);
+    }
+
+    #[test]
+    fn work_is_linear_in_n() {
+        // Table 1: CR is O(n) — ops(512)/ops(64) must be ~8, not ~12.
+        let (_, _, r64) = run(64, 1);
+        let (_, _, r512) = run(512, 1);
+        let ratio = r512.stats.total_ops() as f64 / r64.stats.total_ops() as f64;
+        assert!((7.0..9.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn division_count_matches_table1_scale() {
+        // Table 1: 3n divisions out of 17n ops.
+        let (_, _, r) = run(512, 1);
+        let divs = r.stats.total_divs();
+        assert!((2 * 512..=4 * 512).contains(&(divs as usize)), "divs={divs}");
+    }
+
+    #[test]
+    fn global_traffic_is_5n() {
+        let (_, _, r) = run(256, 1);
+        assert_eq!(r.stats.global_accesses, 5 * 256);
+    }
+}

@@ -1,0 +1,260 @@
+//! The parallel cyclic reduction (PCR) kernel — §2.2 of the paper.
+//!
+//! One block, one system, `n` threads, all active in every step. Each
+//! reduction step updates *every* equation against its `±delta` neighbours,
+//! splitting the system into independent half-size systems; after
+//! `log2(n) - 1` steps the final step solves `n/2` independent 2-unknown
+//! systems. Unit-stride accesses keep PCR bank-conflict free — the property
+//! driving its 883 GB/s shared bandwidth in Figure 12.
+
+use crate::common::{log2, SystemHandles};
+use crate::cr::{load_system, store_solution, SharedSystem};
+use gpu_sim::{BlockCtx, GridKernel, Phase, ThreadCtx};
+use tridiag_core::Real;
+
+/// Parallel cyclic reduction kernel (one system per block).
+#[derive(Debug, Clone, Copy)]
+pub struct PcrKernel<T> {
+    /// System size (power of two, >= 2).
+    pub n: usize,
+    /// Device arrays.
+    pub gm: SystemHandles<T>,
+}
+
+/// One PCR update of equation `i` with neighbour distance `delta` over the
+/// index window `[lo, hi)`. Shared with the hybrid kernel, which runs PCR on
+/// an intermediate system living in a sub-window of fresh arrays.
+///
+/// Branchless: boundary neighbour indices clamp into the window and the
+/// boundary-zero invariants (`a[lo] == 0` and, inductively, `a[i] == 0`
+/// for `i < lo + delta`; symmetrically for `c`) make `k1`/`k2` vanish, so
+/// every lane executes the identical instruction stream — the idiom the
+/// CUDA kernels use, and what keeps the per-slot conflict accounting exact.
+#[inline]
+pub(crate) fn pcr_update<T: Real>(
+    t: &mut ThreadCtx<'_, '_, T>,
+    sh: &SharedSystem<T>,
+    i: usize,
+    delta: usize,
+    lo: usize,
+    hi: usize,
+) {
+    let il = if i >= lo + delta { i - delta } else { lo };
+    let ir = if i + delta < hi { i + delta } else { hi - 1 };
+    let b_i = t.load(sh.b, i);
+    let d_i = t.load(sh.d, i);
+
+    let a_i = t.load(sh.a, i);
+    let b_il = t.load(sh.b, il);
+    let k1 = t.div(a_i, b_il);
+    let a_il = t.load(sh.a, il);
+    let c_il = t.load(sh.c, il);
+    let d_il = t.load(sh.d, il);
+
+    let c_i = t.load(sh.c, i);
+    let b_ir = t.load(sh.b, ir);
+    let k2 = t.div(c_i, b_ir);
+    let a_ir = t.load(sh.a, ir);
+    let c_ir = t.load(sh.c, ir);
+    let d_ir = t.load(sh.d, ir);
+
+    let nb = {
+        let p1 = t.mul(c_il, k1);
+        let p2 = t.mul(a_ir, k2);
+        let s = t.sub(b_i, p1);
+        t.sub(s, p2)
+    };
+    let nd = {
+        let p1 = t.mul(d_il, k1);
+        let p2 = t.mul(d_ir, k2);
+        let s = t.sub(d_i, p1);
+        t.sub(s, p2)
+    };
+    let na = {
+        let p = t.mul(a_il, k1);
+        t.neg(p)
+    };
+    let nc = {
+        let p = t.mul(c_ir, k2);
+        t.neg(p)
+    };
+    t.store(sh.a, i, na);
+    t.store(sh.b, i, nb);
+    t.store(sh.c, i, nc);
+    t.store(sh.d, i, nd);
+}
+
+/// Final PCR step: solve the 2-unknown system `{i, i + half}` and hand both
+/// unknowns to `write_x` (the plain kernel stores them at their own indices;
+/// the hybrid scatters them into the strided positions of the full system).
+#[inline]
+pub(crate) fn pcr_solve_pair<T: Real>(
+    t: &mut ThreadCtx<'_, '_, T>,
+    sh: &SharedSystem<T>,
+    i: usize,
+    half: usize,
+    mut write_x: impl FnMut(&mut ThreadCtx<'_, '_, T>, usize, T),
+) {
+    let j = i + half;
+    let b_i = t.load(sh.b, i);
+    let c_i = t.load(sh.c, i);
+    let d_i = t.load(sh.d, i);
+    let a_j = t.load(sh.a, j);
+    let b_j = t.load(sh.b, j);
+    let d_j = t.load(sh.d, j);
+    let det = {
+        let p1 = t.mul(b_i, b_j);
+        let p2 = t.mul(c_i, a_j);
+        t.sub(p1, p2)
+    };
+    let x_i = {
+        let p1 = t.mul(d_i, b_j);
+        let p2 = t.mul(c_i, d_j);
+        let num = t.sub(p1, p2);
+        t.div(num, det)
+    };
+    let x_j = {
+        let p1 = t.mul(b_i, d_j);
+        let p2 = t.mul(a_j, d_i);
+        let num = t.sub(p1, p2);
+        t.div(num, det)
+    };
+    write_x(t, i, x_i);
+    write_x(t, j, x_j);
+}
+
+impl<T: Real> GridKernel<T> for PcrKernel<T> {
+    fn block_dim(&self) -> usize {
+        self.n
+    }
+
+    fn shared_words(&self) -> usize {
+        5 * self.n * T::SHARED_WORDS
+    }
+
+    fn run_block(&self, block_id: usize, ctx: &mut BlockCtx<'_, T>) {
+        let n = self.n;
+        let base = block_id * n;
+        let sh = SharedSystem::alloc(ctx, n);
+        load_system(ctx, &sh, &self.gm, base, n, n);
+
+        let levels = log2(n) - 1;
+        let mut delta = 1usize;
+        for _ in 0..levels {
+            ctx.step(Phase::PcrReduction, 0..n, |t| {
+                pcr_update(t, &sh, t.tid(), delta, 0, n);
+            });
+            delta *= 2;
+        }
+        debug_assert_eq!(delta, n / 2);
+
+        let x = sh.x;
+        ctx.step(Phase::PcrSolveTwoUnknown, 0..n / 2, |t| {
+            pcr_solve_pair(t, &sh, t.tid(), n / 2, |t, k, v| t.store(x, k, v));
+        });
+
+        store_solution(ctx, &sh, &self.gm, base, n, n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GlobalMem, LaunchReport, Launcher};
+    use tridiag_core::residual::batch_residual;
+    use tridiag_core::{Generator, SolutionBatch, SystemBatch, Workload};
+
+    fn run(n: usize, count: usize) -> (SystemBatch<f32>, SolutionBatch<f32>, LaunchReport) {
+        let batch: SystemBatch<f32> =
+            Generator::new(42).batch(Workload::DiagonallyDominant, n, count).unwrap();
+        let mut gmem = GlobalMem::new();
+        let gm = SystemHandles::upload(&mut gmem, &batch);
+        let kernel = PcrKernel { n, gm };
+        let report = Launcher::gtx280().launch(&kernel, count, &mut gmem).unwrap();
+        let sol = gm.download_solutions(&mut gmem, &batch);
+        (batch, sol, report)
+    }
+
+    #[test]
+    fn solves_batches_accurately() {
+        for n in [2usize, 4, 16, 128, 512] {
+            let (batch, sol, _) = run(n, 4);
+            let r = batch_residual(&batch, &sol).unwrap();
+            assert!(!r.has_overflow(), "n={n}");
+            assert!(r.max_l2 < 2e-4, "n={n}: residual {}", r.max_l2);
+        }
+    }
+
+    #[test]
+    fn pcr_is_bank_conflict_free() {
+        // §4: "in-place PCR and RD do not suffer from bank conflicts".
+        let (_, _, report) = run(512, 1);
+        assert_eq!(report.stats.max_conflict_degree(), 1);
+    }
+
+    #[test]
+    fn step_count_matches_paper() {
+        // Table 1: log2 n algorithmic steps.
+        let (_, _, report) = run(512, 1);
+        let algo_steps = report
+            .stats
+            .steps
+            .iter()
+            .filter(|s| !matches!(s.phase, Phase::GlobalLoad | Phase::GlobalStore))
+            .count();
+        assert_eq!(algo_steps, 9);
+    }
+
+    #[test]
+    fn all_threads_active_every_reduction_step() {
+        let (_, _, report) = run(256, 1);
+        for s in report.stats.steps_in_phase(Phase::PcrReduction) {
+            assert_eq!(s.active_threads, 256);
+        }
+    }
+
+    #[test]
+    fn work_is_n_log_n() {
+        // ops(512)/ops(64): (512*9)/(64*6) = 12 for an n log n algorithm.
+        let (_, _, r64) = run(64, 1);
+        let (_, _, r512) = run(512, 1);
+        let ratio = r512.stats.total_ops() as f64 / r64.stats.total_ops() as f64;
+        assert!((10.0..14.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn pcr_does_more_work_but_fewer_steps_than_cr() {
+        let (_, _, pcr) = run(512, 1);
+        let batch: SystemBatch<f32> =
+            Generator::new(42).batch(Workload::DiagonallyDominant, 512, 1).unwrap();
+        let mut gmem = GlobalMem::new();
+        let gm = SystemHandles::upload(&mut gmem, &batch);
+        let cr = Launcher::gtx280()
+            .launch(&crate::cr::CrKernel { n: 512, gm }, 1, &mut gmem)
+            .unwrap();
+        assert!(pcr.stats.total_ops() > cr.stats.total_ops());
+        assert!(pcr.stats.num_steps() < cr.stats.num_steps());
+    }
+
+    #[test]
+    fn matches_reference_pcr_bitwise_modulo_order() {
+        // The kernel and the sequential reference implement the same
+        // update; on the same f64 data they agree to rounding.
+        let batch: SystemBatch<f64> =
+            Generator::new(7).batch(Workload::DiagonallyDominant, 64, 2).unwrap();
+        let mut gmem = GlobalMem::new();
+        let gm = SystemHandles::upload(&mut gmem, &batch);
+        let kernel = PcrKernel { n: 64, gm };
+        Launcher::gtx280().launch(&kernel, 2, &mut gmem).unwrap();
+        let sol = gm.download_solutions(&mut gmem, &batch);
+        for s in 0..2 {
+            let sys = batch.system(s);
+            let mut x_ref = vec![0.0f64; 64];
+            cpu_solvers::reference::pcr::solve_into(&sys.a, &sys.b, &sys.c, &sys.d, &mut x_ref)
+                .unwrap();
+            for i in 0..64 {
+                assert!((sol.system(s)[i] - x_ref[i]).abs() < 1e-12, "sys {s} i {i}");
+            }
+        }
+    }
+}

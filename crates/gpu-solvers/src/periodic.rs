@@ -1,0 +1,168 @@
+//! Periodic (cyclic) tridiagonal batches on the GPU.
+//!
+//! Sherman–Morrison turns each cyclic system into **two** ordinary
+//! tridiagonal solves against the same modified matrix (right-hand sides
+//! `d` and `u`). The batch therefore doubles: systems `2k` and `2k+1` of
+//! the device batch are the `(d, u)` pair of cyclic system `k`, solved in a
+//! single launch by any of the paper's kernels; the `O(n)` rank-one
+//! combination runs on the host (it is bandwidth-trivial next to the
+//! solve, and on real hardware would fold into the consuming kernel).
+
+use crate::solver::{solve_batch, GpuAlgorithm, GpuSolveReport};
+use gpu_sim::Launcher;
+use tridiag_core::{
+    PeriodicTridiagonalSystem, Real, Result, SolutionBatch, SystemBatch, TridiagError,
+};
+
+/// Result of a periodic batch solve.
+#[derive(Debug, Clone)]
+pub struct PeriodicSolveReport<T: Real> {
+    /// Cyclic solutions, one per input system.
+    pub solutions: SolutionBatch<T>,
+    /// The underlying (doubled-batch) GPU report: timing covers both
+    /// Sherman–Morrison solves.
+    pub inner: GpuSolveReport<T>,
+}
+
+/// Solves a batch of periodic systems with `algorithm` on the simulated
+/// GPU.
+///
+/// # Errors
+/// Same configuration errors as [`solve_batch`], plus
+/// [`TridiagError::ZeroPivot`] when a system's `b[0]` is zero (the
+/// Sherman–Morrison pivot).
+pub fn solve_periodic_batch<T: Real>(
+    launcher: &Launcher,
+    algorithm: GpuAlgorithm,
+    systems: &[PeriodicTridiagonalSystem<T>],
+) -> Result<PeriodicSolveReport<T>> {
+    if systems.is_empty() {
+        return Err(TridiagError::SizeTooSmall { n: 0, min: 1 });
+    }
+    let n = systems[0].n();
+
+    // Build the doubled batch of modified systems.
+    let mut doubled = Vec::with_capacity(systems.len() * 2);
+    for sys in systems {
+        if sys.n() != n {
+            return Err(TridiagError::DimensionMismatch {
+                what: "system size in periodic batch",
+                expected: n,
+                got: sys.n(),
+            });
+        }
+        if sys.b[0] == T::ZERO {
+            return Err(TridiagError::ZeroPivot { row: 0 });
+        }
+        let (modified, _, _, _) = sys.sherman_morrison_parts();
+        let u = sys.sherman_morrison_u();
+        let mut with_u = modified.clone();
+        with_u.d = u;
+        doubled.push(modified);
+        doubled.push(with_u);
+    }
+    let batch = SystemBatch::from_systems(&doubled)?;
+    let inner = solve_batch(launcher, algorithm, &batch)?;
+
+    // Host-side rank-one combination.
+    let mut solutions = SolutionBatch::from_flat(
+        n,
+        systems.len(),
+        vec![T::ZERO; n * systems.len()],
+    )?;
+    for (k, sys) in systems.iter().enumerate() {
+        let y = inner.solutions.system(2 * k);
+        let z = inner.solutions.system(2 * k + 1);
+        sys.sherman_morrison_combine(y, z, solutions.system_mut(k));
+    }
+    Ok(PeriodicSolveReport { solutions, inner })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_dominant(seed: u64, n: usize) -> PeriodicTridiagonalSystem<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let c: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> =
+            (0..n).map(|i| a[i].abs() + c[i].abs() + rng.gen_range(0.5..1.5)).collect();
+        let d: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        PeriodicTridiagonalSystem::new(a, b, c, d).unwrap()
+    }
+
+    #[test]
+    fn gpu_periodic_matches_cpu_cyclic() {
+        let launcher = Launcher::gtx280();
+        let systems: Vec<_> = (0..6).map(|s| random_dominant(s, 64)).collect();
+        for alg in [GpuAlgorithm::Cr, GpuAlgorithm::Pcr, GpuAlgorithm::CrPcr { m: 16 }] {
+            let report = solve_periodic_batch(&launcher, alg, &systems).unwrap();
+            for (k, sys) in systems.iter().enumerate() {
+                let x_cpu = cpu_solvers::cyclic::solve(sys).unwrap();
+                let x_gpu = report.solutions.system(k);
+                for i in 0..64 {
+                    assert!(
+                        (x_cpu[i] - x_gpu[i]).abs() < 1e-10,
+                        "{} sys {k} i {i}",
+                        alg.name()
+                    );
+                }
+                assert!(sys.l2_residual(x_gpu).unwrap() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn doubled_batch_shape_and_timing() {
+        let launcher = Launcher::gtx280();
+        let systems: Vec<_> = (0..4).map(|s| random_dominant(s + 10, 32)).collect();
+        let report =
+            solve_periodic_batch(&launcher, GpuAlgorithm::Pcr, &systems).unwrap();
+        assert_eq!(report.inner.timing.blocks, 8); // two solves per system
+        assert_eq!(report.solutions.count(), 4);
+        assert!(report.inner.timing.kernel_ms > 0.0);
+    }
+
+    #[test]
+    fn rejects_mixed_sizes_and_zero_pivot() {
+        let launcher = Launcher::gtx280();
+        let mut systems = vec![random_dominant(1, 32), random_dominant(2, 64)];
+        assert!(matches!(
+            solve_periodic_batch(&launcher, GpuAlgorithm::Cr, &systems),
+            Err(TridiagError::DimensionMismatch { .. })
+        ));
+        systems.truncate(1);
+        systems[0].b[0] = 0.0;
+        assert!(matches!(
+            solve_periodic_batch(&launcher, GpuAlgorithm::Cr, &systems),
+            Err(TridiagError::ZeroPivot { .. })
+        ));
+        let empty: Vec<PeriodicTridiagonalSystem<f64>> = vec![];
+        assert!(solve_periodic_batch(&launcher, GpuAlgorithm::Cr, &empty).is_err());
+    }
+
+    #[test]
+    fn f32_periodic_accuracy_is_reasonable() {
+        let launcher = Launcher::gtx280();
+        let systems: Vec<PeriodicTridiagonalSystem<f32>> = (0..4)
+            .map(|s| {
+                let d = random_dominant(s + 20, 128);
+                PeriodicTridiagonalSystem::new(
+                    d.a.iter().map(|&v| v as f32).collect(),
+                    d.b.iter().map(|&v| v as f32).collect(),
+                    d.c.iter().map(|&v| v as f32).collect(),
+                    d.d.iter().map(|&v| v as f32).collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let report =
+            solve_periodic_batch(&launcher, GpuAlgorithm::CrPcr { m: 32 }, &systems).unwrap();
+        for (k, sys) in systems.iter().enumerate() {
+            let r = sys.l2_residual(report.solutions.system(k)).unwrap();
+            assert!(r < 1e-4, "sys {k}: residual {r}");
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Block-tridiagonal systems with 2x2 blocks — the paper's future-work
+//! item #1: "generalize the solvers for block tridiagonal matrices".
+//!
+//! Block-tridiagonal systems arise when several coupled unknowns live at
+//! each grid point (e.g. velocity pairs in staggered fluid solvers, or
+//! line relaxation of systems of PDEs). All the reduction algorithms carry
+//! over with scalars replaced by 2x2 blocks and divisions by (order-aware)
+//! block inverses.
+
+use crate::error::{Result, TridiagError};
+use crate::real::Real;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A dense 2x2 block, row-major.
+pub type Block2<T> = [[T; 2]; 2];
+
+/// A length-2 sub-vector.
+pub type Vec2<T> = [T; 2];
+
+/// Zero block.
+pub fn zero<T: Real>() -> Block2<T> {
+    [[T::ZERO; 2]; 2]
+}
+
+/// Identity block.
+pub fn identity<T: Real>() -> Block2<T> {
+    [[T::ONE, T::ZERO], [T::ZERO, T::ONE]]
+}
+
+/// Block product `l * r`.
+pub fn mul<T: Real>(l: &Block2<T>, r: &Block2<T>) -> Block2<T> {
+    let mut out = zero();
+    for i in 0..2 {
+        for j in 0..2 {
+            out[i][j] = l[i][0] * r[0][j] + l[i][1] * r[1][j];
+        }
+    }
+    out
+}
+
+/// Block difference `l - r`.
+pub fn sub<T: Real>(l: &Block2<T>, r: &Block2<T>) -> Block2<T> {
+    let mut out = zero();
+    for i in 0..2 {
+        for j in 0..2 {
+            out[i][j] = l[i][j] - r[i][j];
+        }
+    }
+    out
+}
+
+/// Block negation.
+pub fn neg<T: Real>(m: &Block2<T>) -> Block2<T> {
+    sub(&zero(), m)
+}
+
+/// Block inverse; `None` when (numerically) singular.
+pub fn inv<T: Real>(m: &Block2<T>) -> Option<Block2<T>> {
+    let det = m[0][0] * m[1][1] - m[0][1] * m[1][0];
+    if det == T::ZERO || !det.is_finite() {
+        return None;
+    }
+    let r = T::ONE / det;
+    Some([[m[1][1] * r, -m[0][1] * r], [-m[1][0] * r, m[0][0] * r]])
+}
+
+/// Block-vector product `m * v`.
+pub fn mulvec<T: Real>(m: &Block2<T>, v: &Vec2<T>) -> Vec2<T> {
+    [m[0][0] * v[0] + m[0][1] * v[1], m[1][0] * v[0] + m[1][1] * v[1]]
+}
+
+/// Vector difference.
+pub fn subvec<T: Real>(l: &Vec2<T>, r: &Vec2<T>) -> Vec2<T> {
+    [l[0] - r[0], l[1] - r[1]]
+}
+
+/// Max-norm of a block (for dominance checks).
+pub fn norm_inf<T: Real>(m: &Block2<T>) -> f64 {
+    let r0 = m[0][0].abs().to_f64() + m[0][1].abs().to_f64();
+    let r1 = m[1][0].abs().to_f64() + m[1][1].abs().to_f64();
+    r0.max(r1)
+}
+
+/// A block-tridiagonal system of `n` block-rows (2n scalar unknowns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockTridiagonalSystem<T: Real> {
+    /// Sub-diagonal blocks; `a[0]` must be zero.
+    pub a: Vec<Block2<T>>,
+    /// Diagonal blocks.
+    pub b: Vec<Block2<T>>,
+    /// Super-diagonal blocks; `c[n-1]` must be zero.
+    pub c: Vec<Block2<T>>,
+    /// Right-hand-side sub-vectors.
+    pub d: Vec<Vec2<T>>,
+}
+
+impl<T: Real> BlockTridiagonalSystem<T> {
+    /// Builds a system, validating shapes and the boundary-zero convention.
+    pub fn new(
+        a: Vec<Block2<T>>,
+        b: Vec<Block2<T>>,
+        c: Vec<Block2<T>>,
+        d: Vec<Vec2<T>>,
+    ) -> Result<Self> {
+        let n = b.len();
+        if n == 0 {
+            return Err(TridiagError::SizeTooSmall { n: 0, min: 1 });
+        }
+        for (what, len) in [("a", a.len()), ("c", c.len()), ("d", d.len())] {
+            if len != n {
+                return Err(TridiagError::DimensionMismatch { what, expected: n, got: len });
+            }
+        }
+        if a[0] != zero() {
+            return Err(TridiagError::InvalidConfig { what: "a[0] must be the zero block" });
+        }
+        if c[n - 1] != zero() {
+            return Err(TridiagError::InvalidConfig { what: "c[n-1] must be the zero block" });
+        }
+        Ok(Self { a, b, c, d })
+    }
+
+    /// Number of block rows.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.b.len()
+    }
+
+    /// `A x` with `x` given as block sub-vectors.
+    pub fn matvec(&self, x: &[Vec2<T>]) -> Result<Vec<Vec2<T>>> {
+        let n = self.n();
+        if x.len() != n {
+            return Err(TridiagError::DimensionMismatch { what: "x", expected: n, got: x.len() });
+        }
+        let mut y = vec![[T::ZERO; 2]; n];
+        for i in 0..n {
+            let mut v = mulvec(&self.b[i], &x[i]);
+            if i > 0 {
+                let l = mulvec(&self.a[i], &x[i - 1]);
+                v = [v[0] + l[0], v[1] + l[1]];
+            }
+            if i + 1 < n {
+                let r = mulvec(&self.c[i], &x[i + 1]);
+                v = [v[0] + r[0], v[1] + r[1]];
+            }
+            y[i] = v;
+        }
+        Ok(y)
+    }
+
+    /// `||A x - d||_2` accumulated in f64.
+    pub fn l2_residual(&self, x: &[Vec2<T>]) -> Result<f64> {
+        let ax = self.matvec(x)?;
+        let mut sum = 0.0f64;
+        for (lhs, rhs) in ax.iter().zip(&self.d) {
+            for k in 0..2 {
+                let r = lhs[k].to_f64() - rhs[k].to_f64();
+                sum += r * r;
+            }
+        }
+        Ok(sum.sqrt())
+    }
+
+    /// Block-diagonally dominant random system: `||B_i||` exceeds
+    /// `||A_i|| + ||C_i||` by a healthy margin (sufficient for stable
+    /// pivoting-free block elimination).
+    pub fn random_dominant(seed: u64, n: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let off = Uniform::new_inclusive(-0.5f64, 0.5);
+        let rhs = Uniform::new_inclusive(-1.0f64, 1.0);
+        let mut rand_block = |scale: f64| -> Block2<T> {
+            let mut m = zero();
+            for row in m.iter_mut() {
+                for v in row.iter_mut() {
+                    *v = T::from_f64(off.sample(&mut rng) * scale);
+                }
+            }
+            m
+        };
+        let mut a: Vec<Block2<T>> = (0..n).map(|_| rand_block(1.0)).collect();
+        let mut c: Vec<Block2<T>> = (0..n).map(|_| rand_block(1.0)).collect();
+        a[0] = zero();
+        c[n - 1] = zero();
+        let b: Vec<Block2<T>> = (0..n)
+            .map(|i| {
+                // Off-diagonal noise plus a strongly dominant diagonal.
+                let mut m = rand_block(0.3);
+                let boost = norm_inf(&a[i]) + norm_inf(&c[i]) + 1.5;
+                m[0][0] += T::from_f64(boost);
+                m[1][1] += T::from_f64(boost);
+                m
+            })
+            .collect();
+        let d: Vec<Vec2<T>> = (0..n)
+            .map(|_| [T::from_f64(rhs.sample(&mut rng)), T::from_f64(rhs.sample(&mut rng))])
+            .collect();
+        Self { a, b, c, d }
+    }
+
+    /// Builds a block system from two *independent* scalar systems by
+    /// placing them on the block diagonal (component 0 = `s0`,
+    /// component 1 = `s1`). Used to cross-validate block solvers against
+    /// scalar ones.
+    pub fn from_decoupled(
+        s0: &crate::system::TridiagonalSystem<T>,
+        s1: &crate::system::TridiagonalSystem<T>,
+    ) -> Result<Self> {
+        let n = s0.n();
+        if s1.n() != n {
+            return Err(TridiagError::DimensionMismatch {
+                what: "decoupled pair",
+                expected: n,
+                got: s1.n(),
+            });
+        }
+        let diag2 = |p: T, q: T| -> Block2<T> { [[p, T::ZERO], [T::ZERO, q]] };
+        Ok(Self {
+            a: (0..n).map(|i| diag2(s0.a[i], s1.a[i])).collect(),
+            b: (0..n).map(|i| diag2(s0.b[i], s1.b[i])).collect(),
+            c: (0..n).map(|i| diag2(s0.c[i], s1.c[i])).collect(),
+            d: (0..n).map(|i| [s0.d[i], s1.d[i]]).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_algebra() {
+        let m: Block2<f64> = [[1.0, 2.0], [3.0, 4.0]];
+        let id = identity::<f64>();
+        assert_eq!(mul(&m, &id), m);
+        assert_eq!(mul(&id, &m), m);
+        let mi = inv(&m).unwrap();
+        let prod = mul(&m, &mi);
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[i][j] - expect).abs() < 1e-12);
+            }
+        }
+        assert!(inv(&[[1.0f64, 2.0], [2.0, 4.0]]).is_none());
+        assert_eq!(mulvec(&m, &[1.0, 1.0]), [3.0, 7.0]);
+        assert_eq!(neg(&id)[0][0], -1.0);
+        assert_eq!(norm_inf(&m), 7.0);
+    }
+
+    #[test]
+    fn construction_validates() {
+        let z = zero::<f64>();
+        let id = identity::<f64>();
+        assert!(BlockTridiagonalSystem::new(vec![id], vec![id], vec![z], vec![[1.0, 1.0]])
+            .is_err()); // a[0] nonzero
+        assert!(BlockTridiagonalSystem::new(vec![z], vec![id], vec![id], vec![[1.0, 1.0]])
+            .is_err()); // c[n-1] nonzero
+        assert!(BlockTridiagonalSystem::new(vec![z], vec![id], vec![z], vec![[1.0, 1.0]])
+            .is_ok());
+    }
+
+    #[test]
+    fn matvec_matches_expanded_dense() {
+        let sys = BlockTridiagonalSystem::<f64>::random_dominant(1, 5);
+        let x: Vec<Vec2<f64>> = (0..5).map(|i| [i as f64, -(i as f64) * 0.5]).collect();
+        let y = sys.matvec(&x).unwrap();
+        // Expand to a dense 10x10 and compare.
+        let n = 5;
+        let mut dense = vec![vec![0.0f64; 2 * n]; 2 * n];
+        let mut place = |bi: usize, bj: usize, blk: &Block2<f64>| {
+            for r in 0..2 {
+                for cc in 0..2 {
+                    dense[2 * bi + r][2 * bj + cc] = blk[r][cc];
+                }
+            }
+        };
+        for i in 0..n {
+            place(i, i, &sys.b[i]);
+            if i > 0 {
+                place(i, i - 1, &sys.a[i]);
+            }
+            if i + 1 < n {
+                place(i, i + 1, &sys.c[i]);
+            }
+        }
+        let xf: Vec<f64> = x.iter().flat_map(|v| v.iter().copied()).collect();
+        for i in 0..n {
+            for r in 0..2 {
+                let expect: f64 =
+                    (0..2 * n).map(|j| dense[2 * i + r][j] * xf[j]).sum();
+                assert!((y[i][r] - expect).abs() < 1e-12, "row {i}.{r}");
+            }
+        }
+    }
+
+    #[test]
+    fn decoupled_embedding_round_trips() {
+        let s0 = crate::system::TridiagonalSystem::<f64>::toeplitz(4, -1.0, 4.0, -1.0, 1.0)
+            .unwrap();
+        let s1 = crate::system::TridiagonalSystem::<f64>::toeplitz(4, -2.0, 6.0, -1.5, 2.0)
+            .unwrap();
+        let blk = BlockTridiagonalSystem::from_decoupled(&s0, &s1).unwrap();
+        assert_eq!(blk.n(), 4);
+        assert_eq!(blk.b[2][0][0], 4.0);
+        assert_eq!(blk.b[2][1][1], 6.0);
+        assert_eq!(blk.b[2][0][1], 0.0);
+        assert_eq!(blk.d[3], [1.0, 2.0]);
+    }
+
+    #[test]
+    fn random_dominant_is_block_dominant() {
+        let sys = BlockTridiagonalSystem::<f64>::random_dominant(7, 32);
+        for i in 0..32 {
+            let bnorm = norm_inf(&sys.b[i]);
+            let off = norm_inf(&sys.a[i]) + norm_inf(&sys.c[i]);
+            assert!(bnorm > off, "row {i}: {bnorm} vs {off}");
+        }
+    }
+}

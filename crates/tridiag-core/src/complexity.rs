@@ -1,0 +1,222 @@
+//! The paper's Table 1: analytic complexity of each algorithm on the GPU.
+//!
+//! | Algorithm | Shared accesses | Arithmetic ops | Steps | Global accesses |
+//! |-----------|-----------------|----------------|-------|-----------------|
+//! | CR        | 23n             | 17n (3n div)   | 2·log2 n − 1 | 5n |
+//! | PCR       | 16n·log2 n      | 12n·log2 n (2n·log2 n div) | log2 n | 5n |
+//! | RD        | 32n·log2 n      | 20n·log2 n (no div in scan) | log2 n + 2 | 5n |
+//! | CR+PCR    | 23(n−m) + 16m·log2 m | 17(n−m) + 12m·log2 m | 2·log2 n − log2 m − 1 | 5n |
+//! | CR+RD     | 23(n−m) + 32m·log2 m | 17(n−m) + 20m·log2 m | 2·log2 n − log2 m + 1 | 5n |
+//!
+//! These are *per system* with `n` the system size and `m` the intermediate
+//! (hybrid switch) size, both powers of two. The formulas are leading-order
+//! models, not exact instruction counts; the simulator's measured counters
+//! are validated against them to within a modest constant in the test suite.
+
+use crate::error::{require_pow2, Result, TridiagError};
+use serde::Serialize;
+
+/// The five GPU algorithms of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Algorithm {
+    /// Cyclic reduction.
+    Cr,
+    /// Parallel cyclic reduction.
+    Pcr,
+    /// Recursive doubling (scan formulation).
+    Rd,
+    /// Hybrid: CR forward reduction to size `m`, PCR on the intermediate
+    /// system, CR backward substitution.
+    CrPcr {
+        /// Intermediate system size.
+        m: usize,
+    },
+    /// Hybrid: CR forward reduction to size `m`, RD on the intermediate
+    /// system, CR backward substitution.
+    CrRd {
+        /// Intermediate system size.
+        m: usize,
+    },
+}
+
+impl Algorithm {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Cr => "CR",
+            Algorithm::Pcr => "PCR",
+            Algorithm::Rd => "RD",
+            Algorithm::CrPcr { .. } => "CR+PCR",
+            Algorithm::CrRd { .. } => "CR+RD",
+        }
+    }
+
+    /// Validates the algorithm against a system size.
+    pub fn validate(self, n: usize) -> Result<()> {
+        require_pow2(n, 2)?;
+        match self {
+            Algorithm::CrPcr { m } | Algorithm::CrRd { m } => {
+                if m < 2 || m > n || !m.is_power_of_two() {
+                    return Err(TridiagError::InvalidIntermediateSize { n, m });
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Table 1 row for a given algorithm and system size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ComplexityRow {
+    /// Per-system shared memory accesses.
+    pub shared_accesses: u64,
+    /// Per-system arithmetic operations.
+    pub arithmetic_ops: u64,
+    /// Of which divisions.
+    pub divisions: u64,
+    /// Algorithmic steps (barrier-separated supersteps).
+    pub steps: u64,
+    /// Per-system global memory accesses (4n in, n out = 5n).
+    pub global_accesses: u64,
+}
+
+fn log2(n: usize) -> u64 {
+    debug_assert!(n.is_power_of_two());
+    n.trailing_zeros() as u64
+}
+
+/// Evaluates the paper's Table 1 for `algorithm` at system size `n`.
+///
+/// # Errors
+/// Fails if `n` (or the hybrid's `m`) is not a valid power-of-two size.
+pub fn table1(algorithm: Algorithm, n: usize) -> Result<ComplexityRow> {
+    algorithm.validate(n)?;
+    let nn = n as u64;
+    let ln = log2(n);
+    let row = match algorithm {
+        Algorithm::Cr => ComplexityRow {
+            shared_accesses: 23 * nn,
+            arithmetic_ops: 17 * nn,
+            divisions: 3 * nn,
+            steps: 2 * ln - 1,
+            global_accesses: 5 * nn,
+        },
+        Algorithm::Pcr => ComplexityRow {
+            shared_accesses: 16 * nn * ln,
+            arithmetic_ops: 12 * nn * ln,
+            divisions: 2 * nn * ln,
+            steps: ln,
+            global_accesses: 5 * nn,
+        },
+        Algorithm::Rd => ComplexityRow {
+            shared_accesses: 32 * nn * ln,
+            arithmetic_ops: 20 * nn * ln,
+            divisions: 0,
+            steps: ln + 2,
+            global_accesses: 5 * nn,
+        },
+        Algorithm::CrPcr { m } => {
+            let mm = m as u64;
+            let lm = log2(m);
+            ComplexityRow {
+                shared_accesses: 23 * (nn - mm) + 16 * mm * lm,
+                arithmetic_ops: 17 * (nn - mm) + 12 * mm * lm,
+                divisions: 3 * (nn - mm) + 2 * mm * lm,
+                steps: 2 * ln - lm - 1,
+                global_accesses: 5 * nn,
+            }
+        }
+        Algorithm::CrRd { m } => {
+            let mm = m as u64;
+            let lm = log2(m);
+            ComplexityRow {
+                shared_accesses: 23 * (nn - mm) + 32 * mm * lm,
+                arithmetic_ops: 17 * (nn - mm) + 20 * mm * lm,
+                divisions: 3 * (nn - mm),
+                steps: 2 * ln - lm + 1,
+                global_accesses: 5 * nn,
+            }
+        }
+    };
+    Ok(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cr_512_matches_paper() {
+        let r = table1(Algorithm::Cr, 512).unwrap();
+        assert_eq!(r.shared_accesses, 23 * 512);
+        assert_eq!(r.arithmetic_ops, 17 * 512);
+        assert_eq!(r.divisions, 3 * 512);
+        assert_eq!(r.steps, 17); // 2*9 - 1
+        assert_eq!(r.global_accesses, 5 * 512);
+    }
+
+    #[test]
+    fn pcr_512_matches_paper() {
+        let r = table1(Algorithm::Pcr, 512).unwrap();
+        assert_eq!(r.shared_accesses, 16 * 512 * 9);
+        assert_eq!(r.arithmetic_ops, 12 * 512 * 9);
+        assert_eq!(r.divisions, 2 * 512 * 9);
+        assert_eq!(r.steps, 9);
+    }
+
+    #[test]
+    fn rd_512_matches_paper() {
+        let r = table1(Algorithm::Rd, 512).unwrap();
+        assert_eq!(r.shared_accesses, 32 * 512 * 9);
+        assert_eq!(r.arithmetic_ops, 20 * 512 * 9);
+        assert_eq!(r.divisions, 0);
+        assert_eq!(r.steps, 11); // log2(512) + 2
+    }
+
+    #[test]
+    fn hybrid_reduces_to_components() {
+        // At m = n, the CR term vanishes and only the inner solver remains.
+        let h = table1(Algorithm::CrPcr { m: 512 }, 512).unwrap();
+        let p = table1(Algorithm::Pcr, 512).unwrap();
+        assert_eq!(h.shared_accesses, p.shared_accesses);
+        assert_eq!(h.arithmetic_ops, p.arithmetic_ops);
+
+        let h = table1(Algorithm::CrRd { m: 512 }, 512).unwrap();
+        let r = table1(Algorithm::Rd, 512).unwrap();
+        assert_eq!(h.shared_accesses, r.shared_accesses);
+    }
+
+    #[test]
+    fn paper_best_switch_points() {
+        // Paper §5.3.4/§5.3.5: CR+PCR best at m=256, CR+RD limited to m=128.
+        let h256 = table1(Algorithm::CrPcr { m: 256 }, 512).unwrap();
+        assert_eq!(h256.steps, 2 * 9 - 8 - 1); // = 9
+        let h128 = table1(Algorithm::CrRd { m: 128 }, 512).unwrap();
+        assert_eq!(h128.steps, 2 * 9 - 7 + 1); // = 12
+    }
+
+    #[test]
+    fn hybrids_do_less_work_than_pcr_rd() {
+        let p = table1(Algorithm::Pcr, 512).unwrap();
+        let h = table1(Algorithm::CrPcr { m: 256 }, 512).unwrap();
+        assert!(h.shared_accesses < p.shared_accesses);
+        assert!(h.arithmetic_ops < p.arithmetic_ops);
+        assert!(h.steps == p.steps); // 9 steps both at m=256, but less work
+    }
+
+    #[test]
+    fn validation_rejects_bad_sizes() {
+        assert!(table1(Algorithm::Cr, 100).is_err());
+        assert!(table1(Algorithm::CrPcr { m: 3 }, 8).is_err());
+        assert!(table1(Algorithm::CrPcr { m: 16 }, 8).is_err());
+        assert!(table1(Algorithm::CrRd { m: 0 }, 8).is_err());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Algorithm::Cr.name(), "CR");
+        assert_eq!(Algorithm::CrPcr { m: 4 }.name(), "CR+PCR");
+        assert_eq!(Algorithm::CrRd { m: 4 }.name(), "CR+RD");
+    }
+}

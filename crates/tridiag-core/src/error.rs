@@ -1,0 +1,156 @@
+//! Error types shared by all solver crates.
+
+use core::fmt;
+
+/// Errors produced by solvers, generators and the simulator front-ends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TridiagError {
+    /// The GPU kernels in the paper only handle power-of-two system sizes
+    /// ("our solvers only handle a power-of-two system size, which makes
+    /// thread numbering and address calculation simpler").
+    NotPowerOfTwo {
+        /// Offending size.
+        n: usize,
+    },
+    /// System too small for the requested algorithm (CR needs n >= 2, the
+    /// hybrids need m <= n, ...).
+    SizeTooSmall {
+        /// Offending size.
+        n: usize,
+        /// Minimum supported size.
+        min: usize,
+    },
+    /// Array lengths in a system/batch disagree.
+    DimensionMismatch {
+        /// Which array/dimension disagreed.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// A zero (or numerically-zero) pivot was hit by a no-pivoting algorithm.
+    ZeroPivot {
+        /// Row where elimination broke down.
+        row: usize,
+    },
+    /// The solution contains NaN/Inf — recursive doubling is "prone to
+    /// arithmetic overflow" (paper §5.4); this is surfaced instead of
+    /// silently returning garbage.
+    NonFiniteSolution {
+        /// First non-finite solution index.
+        first_bad_index: usize,
+    },
+    /// Requested shared-memory footprint exceeds the per-SM capacity and no
+    /// fallback was allowed. The paper handles this case with a ~3x-slower
+    /// global-memory-only path.
+    SharedMemExceeded {
+        /// Bytes the kernel would need per block.
+        required_bytes: usize,
+        /// Bytes available per SM.
+        available_bytes: usize,
+    },
+    /// Invalid hybrid switch point (must be a power of two with
+    /// 2 <= m <= n).
+    InvalidIntermediateSize {
+        /// Full system size.
+        n: usize,
+        /// Offending intermediate size.
+        m: usize,
+    },
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Description of the offending setting.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for TridiagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TridiagError::NotPowerOfTwo { n } => {
+                write!(f, "system size {n} is not a power of two")
+            }
+            TridiagError::SizeTooSmall { n, min } => {
+                write!(f, "system size {n} is below the minimum {min}")
+            }
+            TridiagError::DimensionMismatch { what, expected, got } => {
+                write!(f, "dimension mismatch in {what}: expected {expected}, got {got}")
+            }
+            TridiagError::ZeroPivot { row } => {
+                write!(f, "zero pivot encountered at row {row} (algorithm has no pivoting)")
+            }
+            TridiagError::NonFiniteSolution { first_bad_index } => {
+                write!(
+                    f,
+                    "solution overflowed to non-finite values (first at index {first_bad_index})"
+                )
+            }
+            TridiagError::SharedMemExceeded { required_bytes, available_bytes } => {
+                write!(
+                    f,
+                    "kernel needs {required_bytes} B of shared memory but only \
+                     {available_bytes} B are available per SM"
+                )
+            }
+            TridiagError::InvalidIntermediateSize { n, m } => {
+                write!(
+                    f,
+                    "intermediate system size {m} is invalid for system size {n} \
+                     (must be a power of two with 2 <= m <= n)"
+                )
+            }
+            TridiagError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TridiagError {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = core::result::Result<T, TridiagError>;
+
+/// Returns `Ok(())` when `n` is a power of two and at least `min`.
+pub fn require_pow2(n: usize, min: usize) -> Result<()> {
+    if n < min {
+        return Err(TridiagError::SizeTooSmall { n, min });
+    }
+    if !n.is_power_of_two() {
+        return Err(TridiagError::NotPowerOfTwo { n });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_accepts_powers() {
+        for n in [2usize, 4, 8, 64, 512, 1024] {
+            assert!(require_pow2(n, 2).is_ok(), "{n}");
+        }
+    }
+
+    #[test]
+    fn pow2_rejects_non_powers() {
+        assert_eq!(require_pow2(6, 2), Err(TridiagError::NotPowerOfTwo { n: 6 }));
+        assert_eq!(require_pow2(1, 2), Err(TridiagError::SizeTooSmall { n: 1, min: 2 }));
+        assert_eq!(require_pow2(0, 2), Err(TridiagError::SizeTooSmall { n: 0, min: 2 }));
+    }
+
+    #[test]
+    fn errors_display() {
+        let msgs = [
+            TridiagError::NotPowerOfTwo { n: 3 }.to_string(),
+            TridiagError::ZeroPivot { row: 7 }.to_string(),
+            TridiagError::NonFiniteSolution { first_bad_index: 1 }.to_string(),
+            TridiagError::SharedMemExceeded { required_bytes: 20480, available_bytes: 16384 }
+                .to_string(),
+            TridiagError::InvalidIntermediateSize { n: 8, m: 16 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Floating-point abstraction used across the whole workspace.
+//!
+//! The paper evaluates single-precision solvers (GTX 280 double-precision
+//! throughput was poor), but explicitly notes the analysis "would apply
+//! equally well to double-precision solvers". Everything here is therefore
+//! generic over [`Real`], implemented for `f32` and `f64`.
+
+use core::fmt::{Debug, Display};
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A scalar type the solvers and the simulator can operate on.
+///
+/// This deliberately stays minimal: only the operations the kernels and the
+/// residual/accuracy machinery actually need.
+pub trait Real:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + PartialOrd
+    + PartialEq
+    + Default
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon of the type.
+    const EPSILON: Self;
+    /// Number of 32-bit shared-memory words one element occupies
+    /// (1 for `f32`, 2 for `f64`). Drives bank-conflict modelling.
+    const SHARED_WORDS: usize;
+    /// Size of the type in bytes (global-memory traffic accounting).
+    const BYTES: usize;
+    /// Human-readable name for reports ("f32" / "f64").
+    const NAME: &'static str;
+
+    /// Lossy conversion from `f64` (used by generators and tolerances).
+    fn from_f64(x: f64) -> Self;
+    /// Widening conversion to `f64` (used by residual accumulation).
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// `true` when neither NaN nor infinite.
+    fn is_finite(self) -> bool;
+    /// Larger of two values (NaN-propagating like `f32::max` is fine here).
+    fn max(self, other: Self) -> Self;
+    /// Smaller of two values.
+    fn min(self, other: Self) -> Self;
+    /// Fused or unfused multiply-add `self * b + c`; the kernels use this to
+    /// mirror the FLOP accounting of the paper (a MAD counts as 2 flops).
+    fn mul_add(self, b: Self, c: Self) -> Self;
+}
+
+macro_rules! impl_real {
+    ($t:ty, $words:expr, $name:literal) => {
+        impl Real for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const EPSILON: Self = <$t>::EPSILON;
+            const SHARED_WORDS: usize = $words;
+            const BYTES: usize = core::mem::size_of::<$t>();
+            const NAME: &'static str = $name;
+
+            #[inline]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+            #[inline]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline]
+            fn min(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline]
+            fn mul_add(self, b: Self, c: Self) -> Self {
+                // Plain multiply-add: the GT200 MAD unit did not fuse with
+                // extra precision, so an unfused product models it better.
+                self * b + c
+            }
+        }
+    };
+}
+
+impl_real!(f32, 1, "f32");
+impl_real!(f64, 2, "f64");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_constants() {
+        assert_eq!(f32::ZERO, 0.0);
+        assert_eq!(f32::ONE, 1.0);
+        assert_eq!(f32::SHARED_WORDS, 1);
+        assert_eq!(f32::BYTES, 4);
+        assert_eq!(f32::NAME, "f32");
+    }
+
+    #[test]
+    fn f64_constants() {
+        assert_eq!(f64::SHARED_WORDS, 2);
+        assert_eq!(f64::BYTES, 8);
+        assert_eq!(f64::NAME, "f64");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let x = 1.25f64;
+        assert_eq!(f32::from_f64(x).to_f64(), 1.25);
+        assert_eq!(f64::from_f64(x), 1.25);
+    }
+
+    #[test]
+    fn finite_checks() {
+        assert!(1.0f32.is_finite());
+        assert!(!(f32::INFINITY).is_finite());
+        assert!(!Real::is_finite(f32::NAN));
+    }
+
+    #[test]
+    fn mul_add_matches_expression() {
+        let (a, b, c) = (3.0f32, 4.0, 5.0);
+        assert_eq!(Real::mul_add(a, b, c), a * b + c);
+    }
+}

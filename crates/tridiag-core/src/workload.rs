@@ -1,0 +1,249 @@
+//! Workload generators for the paper's experiments.
+//!
+//! Two matrix families drive the accuracy study (§5.4):
+//!
+//! * **diagonally dominant** matrices "that arise from fluid simulation"
+//!   (Kass & Miller) — we synthesize them as implicit-diffusion stencils
+//!   with a guaranteed dominance margin;
+//! * **random matrices with close values in all rows** — the family RD
+//!   favors because the scan matrices have entries near 1.
+//!
+//! The performance figures use the diagonally dominant family.
+
+use crate::batch::SystemBatch;
+use crate::error::Result;
+use crate::real::Real;
+use crate::system::TridiagonalSystem;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The matrix families used in the paper's evaluation plus extras used by
+/// tests and examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Strictly diagonally dominant rows (fluid-simulation-like, §5.4 set 1).
+    DiagonallyDominant,
+    /// Rows whose three coefficients are close to each other (§5.4 set 2);
+    /// generally *not* diagonally dominant.
+    CloseValues,
+    /// The constant `[-1, 2, -1]` second-difference (Poisson) stencil —
+    /// symmetric positive definite, the spectral-Poisson-solver use case.
+    Poisson,
+    /// Unstructured random coefficients (stress test; no stability promise).
+    RandomGeneral,
+}
+
+impl Workload {
+    /// All generator kinds, for exhaustive sweeps in tests/benches.
+    pub const ALL: [Workload; 4] = [
+        Workload::DiagonallyDominant,
+        Workload::CloseValues,
+        Workload::Poisson,
+        Workload::RandomGeneral,
+    ];
+
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::DiagonallyDominant => "diagonally-dominant",
+            Workload::CloseValues => "close-values",
+            Workload::Poisson => "poisson",
+            Workload::RandomGeneral => "random-general",
+        }
+    }
+}
+
+/// Deterministic generator of single systems and batches.
+///
+/// Seeded so experiments are reproducible run-to-run.
+#[derive(Debug, Clone)]
+pub struct Generator {
+    rng: StdRng,
+}
+
+impl Generator {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Generates one system of size `n` from the given family.
+    pub fn system<T: Real>(&mut self, workload: Workload, n: usize) -> TridiagonalSystem<T> {
+        match workload {
+            Workload::DiagonallyDominant => self.diagonally_dominant(n),
+            Workload::CloseValues => self.close_values(n),
+            Workload::Poisson => poisson_system(n),
+            Workload::RandomGeneral => self.random_general(n),
+        }
+    }
+
+    /// Generates a batch of `count` systems of size `n`.
+    pub fn batch<T: Real>(
+        &mut self,
+        workload: Workload,
+        n: usize,
+        count: usize,
+    ) -> Result<SystemBatch<T>> {
+        SystemBatch::generate(count, |_| self.system(workload, n))
+    }
+
+    /// Strictly diagonally dominant rows: off-diagonals uniform in
+    /// `[-1, 1]`, diagonal `|a| + |c| + margin` with `margin` in `[0.5, 1.5]`,
+    /// right-hand side uniform in `[-1, 1]`.
+    fn diagonally_dominant<T: Real>(&mut self, n: usize) -> TridiagonalSystem<T> {
+        let off = Uniform::new_inclusive(-1.0f64, 1.0);
+        let margin = Uniform::new_inclusive(0.5f64, 1.5);
+        let rhs = Uniform::new_inclusive(-1.0f64, 1.0);
+        let mut a = Vec::with_capacity(n);
+        let mut b = Vec::with_capacity(n);
+        let mut c = Vec::with_capacity(n);
+        let mut d = Vec::with_capacity(n);
+        for i in 0..n {
+            let ai = if i == 0 { 0.0 } else { nonzero(&mut self.rng, off) };
+            let ci = if i == n - 1 { 0.0 } else { nonzero(&mut self.rng, off) };
+            let bi = ai.abs() + ci.abs() + margin.sample(&mut self.rng);
+            a.push(T::from_f64(ai));
+            b.push(T::from_f64(bi));
+            c.push(T::from_f64(ci));
+            d.push(T::from_f64(rhs.sample(&mut self.rng)));
+        }
+        TridiagonalSystem { a, b, c, d }
+    }
+
+    /// Rows with three near-equal coefficients: a common base value per row
+    /// plus a small (1%) perturbation. Keeps the RD scan matrices' entries
+    /// close to 1 (the paper's observation about why RD survives overflow on
+    /// this family).
+    fn close_values<T: Real>(&mut self, n: usize) -> TridiagonalSystem<T> {
+        let base_dist = Uniform::new_inclusive(0.5f64, 2.0);
+        let jitter = Uniform::new_inclusive(-0.01f64, 0.01);
+        let rhs = Uniform::new_inclusive(-1.0f64, 1.0);
+        let mut a = Vec::with_capacity(n);
+        let mut b = Vec::with_capacity(n);
+        let mut c = Vec::with_capacity(n);
+        let mut d = Vec::with_capacity(n);
+        for i in 0..n {
+            let base = base_dist.sample(&mut self.rng);
+            let ai = if i == 0 { 0.0 } else { base * (1.0 + jitter.sample(&mut self.rng)) };
+            let bi = base * (1.0 + jitter.sample(&mut self.rng));
+            let ci = if i == n - 1 { 0.0 } else { base * (1.0 + jitter.sample(&mut self.rng)) };
+            a.push(T::from_f64(ai));
+            b.push(T::from_f64(bi));
+            c.push(T::from_f64(ci));
+            d.push(T::from_f64(rhs.sample(&mut self.rng)));
+        }
+        TridiagonalSystem { a, b, c, d }
+    }
+
+    /// Fully random coefficients in `[-2, 2]` with nonzero diagonal.
+    fn random_general<T: Real>(&mut self, n: usize) -> TridiagonalSystem<T> {
+        let any = Uniform::new_inclusive(-2.0f64, 2.0);
+        let mut a = Vec::with_capacity(n);
+        let mut b = Vec::with_capacity(n);
+        let mut c = Vec::with_capacity(n);
+        let mut d = Vec::with_capacity(n);
+        for i in 0..n {
+            a.push(T::from_f64(if i == 0 { 0.0 } else { any.sample(&mut self.rng) }));
+            b.push(T::from_f64(nonzero(&mut self.rng, any)));
+            c.push(T::from_f64(if i == n - 1 { 0.0 } else { any.sample(&mut self.rng) }));
+            d.push(T::from_f64(any.sample(&mut self.rng)));
+        }
+        TridiagonalSystem { a, b, c, d }
+    }
+}
+
+/// Draws until the value is bounded away from zero (|v| >= 0.05), so
+/// pivoting-free algorithms aren't handed degenerate coefficients by chance.
+fn nonzero(rng: &mut StdRng, dist: Uniform<f64>) -> f64 {
+    loop {
+        let v = dist.sample(rng);
+        if v.abs() >= 0.05 {
+            return v;
+        }
+    }
+}
+
+/// The `[-1, 2, -1]` Poisson stencil with unit right-hand side.
+pub fn poisson_system<T: Real>(n: usize) -> TridiagonalSystem<T> {
+    let mut a = vec![T::from_f64(-1.0); n];
+    let mut c = vec![T::from_f64(-1.0); n];
+    a[0] = T::ZERO;
+    c[n - 1] = T::ZERO;
+    TridiagonalSystem { a, b: vec![T::from_f64(2.0); n], c, d: vec![T::ONE; n] }
+}
+
+/// Convenience: a seeded diagonally dominant batch, the workhorse input of
+/// the performance figures (e.g. "512 512-unknown systems").
+pub fn dominant_batch<T: Real>(seed: u64, n: usize, count: usize) -> SystemBatch<T> {
+    Generator::new(seed)
+        .batch(Workload::DiagonallyDominant, n, count)
+        .expect("batch generation cannot fail for count >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominant_systems_are_dominant() {
+        let mut g = Generator::new(42);
+        for _ in 0..10 {
+            let s: TridiagonalSystem<f64> = g.system(Workload::DiagonallyDominant, 64);
+            assert!(s.is_diagonally_dominant());
+            assert_eq!(s.a[0], 0.0);
+            assert_eq!(s.c[63], 0.0);
+        }
+    }
+
+    #[test]
+    fn close_values_rows_are_close() {
+        let mut g = Generator::new(7);
+        let s: TridiagonalSystem<f64> = g.system(Workload::CloseValues, 32);
+        for i in 1..31 {
+            let ratio = s.a[i] / s.b[i];
+            assert!((ratio - 1.0).abs() < 0.05, "row {i}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn close_values_not_dominant() {
+        let mut g = Generator::new(7);
+        let s: TridiagonalSystem<f64> = g.system(Workload::CloseValues, 64);
+        assert!(!s.is_diagonally_dominant());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let s1: TridiagonalSystem<f32> = Generator::new(1).system(Workload::RandomGeneral, 16);
+        let s2: TridiagonalSystem<f32> = Generator::new(1).system(Workload::RandomGeneral, 16);
+        assert_eq!(s1, s2);
+        let s3: TridiagonalSystem<f32> = Generator::new(2).system(Workload::RandomGeneral, 16);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn poisson_is_spd_stencil() {
+        let s = poisson_system::<f64>(8);
+        assert_eq!(s.b, vec![2.0; 8]);
+        assert_eq!(s.a[1], -1.0);
+        assert_eq!(s.a[0], 0.0);
+        assert_eq!(s.c[7], 0.0);
+    }
+
+    #[test]
+    fn batch_generation_works_for_all_workloads() {
+        let mut g = Generator::new(3);
+        for w in Workload::ALL {
+            let b: SystemBatch<f32> = g.batch(w, 8, 4).unwrap();
+            assert_eq!(b.n(), 8);
+            assert_eq!(b.count(), 4);
+        }
+    }
+
+    #[test]
+    fn workload_names_unique() {
+        let names: std::collections::HashSet<_> = Workload::ALL.iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), Workload::ALL.len());
+    }
+}

@@ -1,0 +1,146 @@
+//! Alternating-direction-implicit (ADI) heat diffusion — the paper's
+//! flagship application class ("The applications of tridiagonal solvers
+//! include alternating direction implicit (ADI) methods...").
+//!
+//! Solves `u_t = alpha (u_xx + u_yy)` on the unit square with homogeneous
+//! Dirichlet boundaries using the Peaceman-Rachford scheme: each half-step
+//! is implicit in one direction, turning into a **batch of independent
+//! tridiagonal systems** (one per row, then one per column) — exactly the
+//! many-small-systems workload the GPU solvers target.
+//!
+//! The initial condition `sin(pi x) sin(pi y)` is an eigenfunction of the
+//! discrete operators, so the per-step amplification factor is known in
+//! closed form; the simulation is validated against it.
+//!
+//! ```text
+//! cargo run --release --example adi_heat
+//! ```
+
+use gpu_sim::Launcher;
+use gpu_solvers::{solve_batch, GpuAlgorithm};
+use tridiag_core::{SystemBatch, TridiagonalSystem};
+
+/// Interior grid points per direction (power of two for the GPU kernels).
+const N: usize = 128;
+/// Diffusivity.
+const ALPHA: f64 = 1.0;
+/// Time step.
+const DT: f64 = 1e-5;
+/// Number of full ADI steps.
+const STEPS: usize = 20;
+
+/// Interior-point grid; `u[r][c]` at (x, y) = ((c+1)h, (r+1)h).
+type Grid = Vec<Vec<f32>>;
+
+fn h() -> f64 {
+    1.0 / (N as f64 + 1.0)
+}
+
+/// One implicit sweep along the rows of `u` (or columns if `transpose`):
+/// solves `(1 + r) v_i - r/2 (v_{i-1} + v_{i+1}) = rhs_i` per line on the
+/// simulated GPU, where `rhs` applies the explicit half of the operator in
+/// the other direction.
+fn half_step(launcher: &Launcher, u: &Grid, transpose: bool) -> Grid {
+    let r = ALPHA * DT / (h() * h());
+    let (rh, diag, off) = (r as f32 / 2.0, 1.0 + r as f32, -(r as f32) / 2.0);
+
+    let at = |row: usize, col: usize| -> f32 {
+        if transpose {
+            u[col][row]
+        } else {
+            u[row][col]
+        }
+    };
+
+    // Build one tridiagonal system per line; the RHS takes the explicit
+    // operator in the orthogonal direction (zero Dirichlet boundaries).
+    let systems: Vec<TridiagonalSystem<f32>> = (0..N)
+        .map(|line| {
+            let mut a = vec![off; N];
+            let mut c = vec![off; N];
+            a[0] = 0.0;
+            c[N - 1] = 0.0;
+            let b = vec![diag; N];
+            let d = (0..N)
+                .map(|i| {
+                    let center = at(line, i);
+                    let up = if line > 0 { at(line - 1, i) } else { 0.0 };
+                    let down = if line + 1 < N { at(line + 1, i) } else { 0.0 };
+                    (1.0 - 2.0 * rh) * center + rh * (up + down)
+                })
+                .collect();
+            TridiagonalSystem { a, b, c, d }
+        })
+        .collect();
+
+    let batch = SystemBatch::from_systems(&systems).expect("batch");
+    let report =
+        solve_batch(launcher, GpuAlgorithm::CrPcr { m: N / 2 }, &batch).expect("ADI sweep");
+
+    // Scatter back (transposed result if this was a column sweep).
+    let mut out = vec![vec![0.0f32; N]; N];
+    for line in 0..N {
+        let x = report.solutions.system(line);
+        for i in 0..N {
+            if transpose {
+                out[i][line] = x[i];
+            } else {
+                out[line][i] = x[i];
+            }
+        }
+    }
+    out
+}
+
+/// Closed-form per-full-step amplification of the `sin(pi x) sin(pi y)`
+/// mode under Peaceman-Rachford with the discrete Laplacian.
+fn expected_amplification() -> f64 {
+    let r = ALPHA * DT / (h() * h());
+    let lambda = 4.0 * (std::f64::consts::PI * h() / 2.0).sin().powi(2); // h^2-scaled
+    let g = (1.0 - r / 2.0 * lambda) / (1.0 + r / 2.0 * lambda);
+    g * g // two half-steps
+}
+
+fn main() {
+    let launcher = Launcher::gtx280();
+    let pi = std::f64::consts::PI;
+
+    // Eigenmode initial condition.
+    let mut u: Grid = (0..N)
+        .map(|row| {
+            (0..N)
+                .map(|col| {
+                    let x = (col as f64 + 1.0) * h();
+                    let y = (row as f64 + 1.0) * h();
+                    ((pi * x).sin() * (pi * y).sin()) as f32
+                })
+                .collect()
+        })
+        .collect();
+
+    let g = expected_amplification();
+    println!("ADI heat diffusion on a {N}x{N} interior grid (dt = {DT}, alpha = {ALPHA})");
+    println!("expected per-step eigenmode amplification: {g:.6}\n");
+    println!("{:>5} {:>12} {:>12} {:>10}", "step", "amplitude", "predicted", "rel err");
+
+    let amp0 = u[N / 2][N / 2] as f64;
+    let mut predicted = amp0;
+    let mut worst_rel_err = 0.0f64;
+    for step in 1..=STEPS {
+        let star = half_step(&launcher, &u, false); // implicit in x
+        u = half_step(&launcher, &star, true); // implicit in y
+        predicted *= g;
+        let amp = u[N / 2][N / 2] as f64;
+        let rel = ((amp - predicted) / predicted).abs();
+        worst_rel_err = worst_rel_err.max(rel);
+        if step % 5 == 0 || step == 1 {
+            println!("{step:>5} {amp:>12.6} {predicted:>12.6} {rel:>10.2e}");
+        }
+    }
+
+    assert!(
+        worst_rel_err < 1e-3,
+        "ADI drifted from the analytic eigen-decay: rel err {worst_rel_err:.2e}"
+    );
+    println!("\nOK: GPU-batched ADI matches the analytic eigenmode decay (worst rel err {worst_rel_err:.2e})");
+}

@@ -1,0 +1,117 @@
+//! Coupled two-species reaction-diffusion, implicit time stepping —
+//! a realistic use of the **block-tridiagonal** solver (the paper's
+//! future-work generalization).
+//!
+//! Two fields `(u, v)` on a 1-D line diffuse and react linearly:
+//!
+//! ```text
+//! u_t = Du u_xx + r11 u + r12 v
+//! v_t = Dv v_xx + r21 u + r22 v
+//! ```
+//!
+//! Backward-Euler couples the two unknowns at each grid point, producing a
+//! block-tridiagonal system with 2x2 blocks per step, solved by block CR
+//! on the simulated GPU. Validation: on a Fourier eigenmode the 2x2
+//! update matrix is known exactly, so the two amplitudes can be tracked in
+//! closed form.
+//!
+//! ```text
+//! cargo run --release --example coupled_reaction_diffusion
+//! ```
+
+use gpu_sim::Launcher;
+use gpu_solvers::solve_block_batch;
+use tridiag_core::block::{zero, Block2, BlockTridiagonalSystem, Vec2};
+
+/// Grid points (power of two; fits the block kernel's shared-memory cap).
+const N: usize = 128;
+const DU: f64 = 1.0e-3;
+const DV: f64 = 0.5e-3;
+/// Linear reaction matrix (damped rotation: species convert into each
+/// other while decaying).
+const R: [[f64; 2]; 2] = [[-0.4, 0.8], [-0.8, -0.4]];
+const DT: f64 = 0.01;
+const STEPS: usize = 10;
+
+fn h() -> f64 {
+    1.0 / (N as f64 + 1.0)
+}
+
+/// Builds the backward-Euler block system `(I - dt L) w^{n+1} = w^n`.
+fn implicit_system(w: &[Vec2<f32>]) -> BlockTridiagonalSystem<f32> {
+    let h2 = h() * h();
+    let diag = |du: f64, r: f64| 1.0 + DT * (2.0 * du / h2) - DT * r;
+    let b_block: Block2<f32> = [
+        [diag(DU, R[0][0]) as f32, (-DT * R[0][1]) as f32],
+        [(-DT * R[1][0]) as f32, diag(DV, R[1][1]) as f32],
+    ];
+    let off = |d: f64| (-DT * d / h2) as f32;
+    let off_block: Block2<f32> = [[off(DU), 0.0], [0.0, off(DV)]];
+
+    let mut a = vec![off_block; N];
+    let mut c = vec![off_block; N];
+    a[0] = zero();
+    c[N - 1] = zero();
+    BlockTridiagonalSystem { a, b: vec![b_block; N], c, d: w.to_vec() }
+}
+
+fn main() {
+    let launcher = Launcher::gtx280();
+    let pi = std::f64::consts::PI;
+
+    // Eigenmode IC: both species proportional to sin(pi x).
+    let mut w: Vec<Vec2<f32>> = (0..N)
+        .map(|i| {
+            let x = (i as f64 + 1.0) * h();
+            let s = (pi * x).sin();
+            [s as f32, (0.5 * s) as f32]
+        })
+        .collect();
+
+    // Closed-form per-step update of the mode amplitudes: on the sin(pi x)
+    // eigenvector the discrete Laplacian acts as -lambda with
+    // lambda = 4 sin^2(pi h / 2) / h^2, so
+    // amp^{n+1} = M^{-1} amp^n with M = I + dt (lambda D - R).
+    let lambda = 4.0 * (pi * h() / 2.0).sin().powi(2) / (h() * h());
+    let m = [
+        [1.0 + DT * (lambda * DU - R[0][0]), -DT * R[0][1]],
+        [-DT * R[1][0], 1.0 + DT * (lambda * DV - R[1][1])],
+    ];
+    let det = m[0][0] * m[1][1] - m[0][1] * m[1][0];
+    let minv =
+        [[m[1][1] / det, -m[0][1] / det], [-m[1][0] / det, m[0][0] / det]];
+
+    let probe = N / 2;
+    let scale = (pi * (probe as f64 + 1.0) * h()).sin();
+    let mut predicted = [w[probe][0] as f64 / scale, w[probe][1] as f64 / scale];
+
+    println!(
+        "coupled reaction-diffusion, {N} points, 2x2 blocks, block-CR on the simulated GPU"
+    );
+    let mut worst = 0.0f64;
+    for step in 1..=STEPS {
+        let sys = implicit_system(&w);
+        let report = solve_block_batch(&launcher, &[sys]).expect("block solve");
+        w = report.solutions[0].clone();
+        predicted = [
+            minv[0][0] * predicted[0] + minv[0][1] * predicted[1],
+            minv[1][0] * predicted[0] + minv[1][1] * predicted[1],
+        ];
+        for comp in 0..2 {
+            let got = w[probe][comp] as f64 / scale;
+            let rel = ((got - predicted[comp]) / predicted[comp].abs().max(1e-9)).abs();
+            worst = worst.max(rel);
+        }
+        if step % 2 == 0 {
+            println!(
+                "step {step:>3}: u,v at midpoint = {:+.5}, {:+.5} (predicted {:+.5}, {:+.5})",
+                w[probe][0],
+                w[probe][1],
+                predicted[0] * scale,
+                predicted[1] * scale
+            );
+        }
+    }
+    assert!(worst < 1e-3, "block ADI drifted from the closed form: {worst:.2e}");
+    println!("OK: block-CR time stepping matches the closed-form 2x2 mode update (worst rel err {worst:.2e})");
+}

@@ -1,0 +1,57 @@
+//! Tour of the performance tooling: per-phase breakdowns, the automatic
+//! advisor (the paper's future-work analysis tool), and Chrome-trace
+//! export of a kernel's superstep timeline.
+//!
+//! ```text
+//! cargo run --release --example performance_tour
+//! # then open target/trace_cr.json in chrome://tracing or Perfetto
+//! ```
+
+use gpu_sim::{analyze, trace, Launcher};
+use gpu_solvers::{solve_batch, GpuAlgorithm, RdMode};
+use tridiag_core::dominant_batch;
+
+fn main() {
+    let launcher = Launcher::gtx280();
+    let batch = dominant_batch::<f32>(7, 512, 512);
+
+    for alg in [
+        GpuAlgorithm::Cr,
+        GpuAlgorithm::Pcr,
+        GpuAlgorithm::Rd(RdMode::Plain),
+        GpuAlgorithm::CrPcr { m: 256 },
+    ] {
+        let report = solve_batch(&launcher, alg, &batch).expect("solve");
+        println!("=== {} — {:.3} ms simulated", alg.name(), report.timing.kernel_ms);
+        println!(
+            "    global {:.3} ms | shared {:.3} ms ({:.0} GB/s) | compute {:.3} ms ({:.0} GFLOPS)",
+            report.timing.global_ms,
+            report.timing.shared_ms,
+            report.timing.achieved_shared_gbps,
+            report.timing.compute_ms,
+            report.timing.gflops,
+        );
+        let advice = analyze(&launcher.device, &launcher.cost, &report.stats, &report.timing)
+            .expect("analyze");
+        match advice.top() {
+            Some(f) => println!(
+                "    advisor: #1 {} — save ~{:.3} ms ({:.0}%)\n             -> {}",
+                f.category.label(),
+                f.estimated_saving_ms,
+                100.0 * f.saving_fraction,
+                f.suggestion
+            ),
+            None => println!("    advisor: balanced kernel, no dominant factor"),
+        }
+        println!();
+    }
+
+    // Export CR's timeline for chrome://tracing.
+    let report = solve_batch(&launcher, GpuAlgorithm::Cr, &batch).expect("solve");
+    let json = trace::to_chrome_trace(&report.timing, "CR");
+    let path = "target/trace_cr.json";
+    std::fs::create_dir_all("target").ok();
+    std::fs::write(path, &json).expect("write trace");
+    println!("wrote {} ({} bytes) — open it in chrome://tracing", path, json.len());
+    assert!(json.contains("CR: forward reduction"));
+}

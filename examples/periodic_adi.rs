@@ -1,0 +1,136 @@
+//! ADI heat diffusion on a cylinder: periodic in x, Dirichlet walls in y.
+//!
+//! Periodic boundaries turn each x-line solve into a **cyclic** tridiagonal
+//! system — solved on the simulated GPU via the Sherman–Morrison doubled
+//! batch (`gpu_solvers::solve_periodic_batch`), while the y-line solves
+//! remain ordinary batches. Validation: the initial condition
+//! `cos(2 pi k x) sin(pi y)` is an exact eigenmode of both discrete
+//! operators, so the per-step amplification is known in closed form.
+//!
+//! ```text
+//! cargo run --release --example periodic_adi
+//! ```
+
+use gpu_sim::Launcher;
+use gpu_solvers::{solve_batch, solve_periodic_batch, GpuAlgorithm};
+use tridiag_core::{PeriodicTridiagonalSystem, SystemBatch, TridiagonalSystem};
+
+/// Periodic points in x (power of two).
+const NX: usize = 64;
+/// Interior points in y (power of two).
+const NY: usize = 64;
+/// Wavenumber of the x-mode.
+const K: usize = 3;
+const ALPHA: f64 = 1.0;
+const DT: f64 = 2e-5;
+const STEPS: usize = 12;
+
+fn hx() -> f64 {
+    1.0 / NX as f64 // periodic: N points cover [0, 1)
+}
+fn hy() -> f64 {
+    1.0 / (NY as f64 + 1.0)
+}
+
+/// Implicit sweep along x (periodic lines), explicit in y.
+fn sweep_x(launcher: &Launcher, u: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    let rx = (ALPHA * DT / (hx() * hx())) as f32;
+    let ry = (ALPHA * DT / (hy() * hy())) as f32;
+    let systems: Vec<PeriodicTridiagonalSystem<f32>> = (0..NY)
+        .map(|row| {
+            let a = vec![-rx / 2.0; NX];
+            let b = vec![1.0 + rx; NX];
+            let c = vec![-rx / 2.0; NX];
+            let d = (0..NX)
+                .map(|j| {
+                    let up = if row > 0 { u[row - 1][j] } else { 0.0 };
+                    let down = if row + 1 < NY { u[row + 1][j] } else { 0.0 };
+                    (1.0 - ry) * u[row][j] + ry / 2.0 * (up + down)
+                })
+                .collect();
+            PeriodicTridiagonalSystem::new(a, b, c, d).expect("periodic line")
+        })
+        .collect();
+    let report = solve_periodic_batch(launcher, GpuAlgorithm::CrPcr { m: NX / 2 }, &systems)
+        .expect("x sweep");
+    (0..NY).map(|row| report.solutions.system(row).to_vec()).collect()
+}
+
+/// Implicit sweep along y (ordinary Dirichlet lines), explicit in x
+/// (periodic neighbours).
+fn sweep_y(launcher: &Launcher, u: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    let rx = (ALPHA * DT / (hx() * hx())) as f32;
+    let ry = (ALPHA * DT / (hy() * hy())) as f32;
+    let systems: Vec<TridiagonalSystem<f32>> = (0..NX)
+        .map(|col| {
+            let mut a = vec![-ry / 2.0; NY];
+            let mut c = vec![-ry / 2.0; NY];
+            a[0] = 0.0;
+            c[NY - 1] = 0.0;
+            let b = vec![1.0 + ry; NY];
+            let d = (0..NY)
+                .map(|row| {
+                    let left = u[row][(col + NX - 1) % NX];
+                    let right = u[row][(col + 1) % NX];
+                    (1.0 - rx) * u[row][col] + rx / 2.0 * (left + right)
+                })
+                .collect();
+            TridiagonalSystem { a, b, c, d }
+        })
+        .collect();
+    let batch = SystemBatch::from_systems(&systems).expect("batch");
+    let report =
+        solve_batch(launcher, GpuAlgorithm::CrPcr { m: NY / 2 }, &batch).expect("y sweep");
+    let mut out = vec![vec![0.0f32; NX]; NY];
+    for col in 0..NX {
+        let x = report.solutions.system(col);
+        for row in 0..NY {
+            out[row][col] = x[row];
+        }
+    }
+    out
+}
+
+fn main() {
+    let launcher = Launcher::gtx280();
+    let pi = std::f64::consts::PI;
+
+    // Eigenmode IC: cos(2 pi K x) sin(pi y).
+    let mut u: Vec<Vec<f32>> = (0..NY)
+        .map(|row| {
+            let y = (row as f64 + 1.0) * hy();
+            (0..NX)
+                .map(|col| {
+                    let x = col as f64 * hx();
+                    ((2.0 * pi * K as f64 * x).cos() * (pi * y).sin()) as f32
+                })
+                .collect()
+        })
+        .collect();
+
+    // Closed-form per-full-step amplification (Peaceman-Rachford).
+    let rx = ALPHA * DT / (hx() * hx());
+    let ry = ALPHA * DT / (hy() * hy());
+    let lx = 4.0 * (pi * K as f64 / NX as f64).sin().powi(2); // hx^2-scaled
+    let ly = 4.0 * (pi * hy() / 2.0).sin().powi(2); // hy^2-scaled
+    let g = ((1.0 - rx * lx / 2.0) / (1.0 + rx * lx / 2.0))
+        * ((1.0 - ry * ly / 2.0) / (1.0 + ry * ly / 2.0));
+
+    println!("periodic-x ADI on {NX}x{NY}; mode k={K}; predicted amplification {g:.6}/step");
+    let probe = (NY / 2, 0usize);
+    let mut predicted = u[probe.0][probe.1] as f64;
+    let mut worst = 0.0f64;
+    for step in 1..=STEPS {
+        let star = sweep_x(&launcher, &u);
+        u = sweep_y(&launcher, &star);
+        predicted *= g;
+        let amp = u[probe.0][probe.1] as f64;
+        let rel = ((amp - predicted) / predicted).abs();
+        worst = worst.max(rel);
+        if step % 4 == 0 {
+            println!("step {step:>3}: amplitude {amp:.6}, predicted {predicted:.6}, rel err {rel:.2e}");
+        }
+    }
+    assert!(worst < 5e-3, "periodic ADI drifted: {worst:.2e}");
+    println!("OK: periodic ADI follows the analytic eigen-decay (worst rel err {worst:.2e})");
+}

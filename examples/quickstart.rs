@@ -1,0 +1,60 @@
+//! Quickstart: solve a batch of tridiagonal systems with every solver and
+//! compare simulated GPU timings and accuracy.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gpu_sim::Launcher;
+use gpu_solvers::{solve_batch, GpuAlgorithm, RdMode};
+use tridiag_core::residual::batch_residual;
+use tridiag_core::{dominant_batch, SystemBatch};
+
+fn main() {
+    // 512 diagonally dominant systems of 512 unknowns — the paper's
+    // headline problem size.
+    let batch: SystemBatch<f32> = dominant_batch(42, 512, 512);
+    let launcher = Launcher::gtx280();
+
+    println!(
+        "solving {} systems of {} unknowns on {}\n",
+        batch.count(),
+        batch.n(),
+        launcher.device.name
+    );
+    println!(
+        "{:<28} {:>10} {:>12} {:>14} {:>12}",
+        "solver", "kernel ms", "w/ transfer", "mean residual", "steps"
+    );
+
+    for alg in [
+        GpuAlgorithm::Cr,
+        GpuAlgorithm::Pcr,
+        GpuAlgorithm::Rd(RdMode::Plain),
+        GpuAlgorithm::CrPcr { m: 256 },
+        GpuAlgorithm::CrRd { m: 128, mode: RdMode::Plain },
+        GpuAlgorithm::CrEvenOdd,
+        GpuAlgorithm::CrGlobalOnly,
+    ] {
+        let report = solve_batch(&launcher, alg, &batch).expect("solve");
+        let res = batch_residual(&batch, &report.solutions).expect("residual");
+        let accuracy = if res.has_overflow() {
+            "overflow".to_string()
+        } else {
+            format!("{:.2e}", res.mean_l2)
+        };
+        println!(
+            "{:<28} {:>10.3} {:>12.3} {:>14} {:>12}",
+            alg.name(),
+            report.timing.kernel_ms,
+            report.timing.total_ms(),
+            accuracy,
+            report.stats.num_steps(),
+        );
+    }
+
+    println!(
+        "\nhint: run `cargo run --release -p bench --bin repro` for the full\n\
+         reproduction of the paper's tables and figures"
+    );
+}

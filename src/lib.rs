@@ -1,0 +1,42 @@
+//! # tridiag-suite
+//!
+//! A complete reproduction of **"Fast Tridiagonal Solvers on the GPU"**
+//! (Yao Zhang, Jonathan Cohen, John D. Owens — PPoPP 2010) in pure Rust:
+//! the five solver kernels (CR, PCR, RD, CR+PCR, CR+RD), the CPU baselines,
+//! the evaluation workloads, and a calibrated SIMT GPU simulator standing in
+//! for the paper's GTX 280.
+//!
+//! This crate is the facade: it re-exports the four library crates and
+//! hosts the runnable examples and the cross-crate integration tests.
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`tridiag_core`] | systems, batches, workloads, residuals, Table 1 model |
+//! | [`gpu_sim`] | SIMT simulator: warps, banks, occupancy, cost model |
+//! | [`gpu_solvers`] | the paper's kernels + ablation variants |
+//! | [`cpu_solvers`] | Thomas (GE), pivoting GEP, multi-threaded MT |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gpu_sim::Launcher;
+//! use gpu_solvers::{solve_batch, GpuAlgorithm};
+//! use tridiag_core::{dominant_batch, residual::batch_residual};
+//!
+//! // 64 diagonally dominant systems of 128 unknowns.
+//! let batch = dominant_batch::<f32>(7, 128, 64);
+//! // The paper's best solver: hybrid CR+PCR, switching at m = n/2.
+//! let report = solve_batch(&Launcher::gtx280(), GpuAlgorithm::CrPcr { m: 64 }, &batch).unwrap();
+//!
+//! let res = batch_residual(&batch, &report.solutions).unwrap();
+//! assert!(res.max_l2 < 1e-3);
+//! assert!(report.timing.kernel_ms > 0.0); // simulated GTX 280 time
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! per-experiment index, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use cpu_solvers;
+pub use gpu_sim;
+pub use gpu_solvers;
+pub use tridiag_core;

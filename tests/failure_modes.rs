@@ -1,0 +1,163 @@
+//! Failure injection across the public API: invalid shapes, resource
+//! exhaustion, numerical breakdowns — everything must fail loudly and
+//! specifically, never silently.
+
+use cpu_solvers::{solve_batch_seq, MtSolver, Thomas};
+use gpu_sim::{occupancy, DeviceConfig, Launcher};
+use gpu_solvers::{solve_batch, GpuAlgorithm, RdMode};
+use tridiag_core::{
+    dominant_batch, Generator, SystemBatch, TridiagError, TridiagonalSystem, Workload,
+};
+
+#[test]
+fn non_power_of_two_sizes_rejected_by_every_gpu_solver() {
+    let launcher = Launcher::gtx280();
+    let batch: SystemBatch<f32> =
+        Generator::new(1).batch(Workload::DiagonallyDominant, 48, 2).unwrap();
+    for alg in [
+        GpuAlgorithm::Cr,
+        GpuAlgorithm::Pcr,
+        GpuAlgorithm::Rd(RdMode::Plain),
+        GpuAlgorithm::CrPcr { m: 16 },
+        GpuAlgorithm::CrRd { m: 16, mode: RdMode::Plain },
+        GpuAlgorithm::CrEvenOdd,
+        GpuAlgorithm::CrGlobalOnly,
+    ] {
+        let err = solve_batch(&launcher, alg, &batch).unwrap_err();
+        assert!(
+            matches!(err, TridiagError::NotPowerOfTwo { n: 48 }),
+            "{}: {err:?}",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn invalid_switch_points_rejected() {
+    let launcher = Launcher::gtx280();
+    let batch = dominant_batch::<f32>(1, 64, 2);
+    for m in [0usize, 1, 3, 100, 128] {
+        for alg in [
+            GpuAlgorithm::CrPcr { m },
+            GpuAlgorithm::CrRd { m, mode: RdMode::Plain },
+        ] {
+            let err = solve_batch(&launcher, alg, &batch).unwrap_err();
+            assert!(
+                matches!(err, TridiagError::InvalidIntermediateSize { n: 64, .. }),
+                "{}: m={m} gave {err:?}",
+                alg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn oversized_systems_exceed_shared_memory_except_global_path() {
+    let launcher = Launcher::gtx280();
+    let batch = dominant_batch::<f32>(1, 2048, 2);
+    for alg in [GpuAlgorithm::Pcr, GpuAlgorithm::Rd(RdMode::Plain)] {
+        let err = solve_batch(&launcher, alg, &batch).unwrap_err();
+        // n = 2048 needs 2048 threads for PCR/RD (over the 512 cap) or
+        // 40 KB of shared memory — either limit is a valid refusal.
+        assert!(
+            matches!(
+                err,
+                TridiagError::SharedMemExceeded { .. } | TridiagError::InvalidConfig { .. }
+            ),
+            "{}: {err:?}",
+            alg.name()
+        );
+    }
+    // CR at n=2048: 1024 threads also exceeds the block cap.
+    assert!(solve_batch(&launcher, GpuAlgorithm::Cr, &batch).is_err());
+    // The global-memory path handles it.
+    let r = solve_batch(&launcher, GpuAlgorithm::CrGlobalOnly, &batch).unwrap();
+    assert_eq!(r.solutions.first_non_finite(), None);
+}
+
+#[test]
+fn f64_doubles_the_footprint_and_halves_the_max_size() {
+    let launcher = Launcher::gtx280();
+    // f32 at 512 fits...
+    let b32 = dominant_batch::<f32>(1, 512, 1);
+    assert!(solve_batch(&launcher, GpuAlgorithm::Cr, &b32).is_ok());
+    // ...f64 at 512 does not (20 KB > 16 KB)...
+    let b64 = dominant_batch::<f64>(1, 512, 1);
+    let err = solve_batch(&launcher, GpuAlgorithm::Cr, &b64).unwrap_err();
+    assert!(matches!(err, TridiagError::SharedMemExceeded { .. }));
+    // ...but 256 does.
+    let b64 = dominant_batch::<f64>(1, 256, 1);
+    assert!(solve_batch(&launcher, GpuAlgorithm::Cr, &b64).is_ok());
+}
+
+#[test]
+fn rd_overflow_is_detectable_not_silent() {
+    let launcher = Launcher::gtx280();
+    let batch = dominant_batch::<f32>(5, 512, 4);
+    let r = solve_batch(&launcher, GpuAlgorithm::Rd(RdMode::Plain), &batch).unwrap();
+    let bad = r.solutions.first_non_finite();
+    assert!(bad.is_some(), "RD must overflow on this input");
+    // The residual summary reports the same condition.
+    let res = tridiag_core::residual::batch_residual(&batch, &r.solutions).unwrap();
+    assert!(res.has_overflow());
+    assert!(res.overflowed_systems > 0);
+}
+
+#[test]
+fn zero_pivot_reported_with_row_index() {
+    let sys = TridiagonalSystem::<f64>::new(
+        vec![0.0, 1.0, 1.0, 0.0],
+        vec![1.0, 1.0, 0.0, 1.0],
+        vec![1.0, 1.0, 1.0, 0.0],
+        vec![1.0; 4],
+    )
+    .unwrap();
+    // Thomas breaks at row 1 (b[1] - c'[0] a[1] = 1 - 1 = 0).
+    match cpu_solvers::thomas::solve(&sys) {
+        Err(TridiagError::ZeroPivot { row }) => assert_eq!(row, 1),
+        other => panic!("expected zero pivot, got {other:?}"),
+    }
+}
+
+#[test]
+fn mt_solver_surfaces_worker_errors() {
+    let mut systems: Vec<TridiagonalSystem<f32>> =
+        (0..8).map(|_| TridiagonalSystem::toeplitz(8, -1.0, 4.0, -1.0, 1.0).unwrap()).collect();
+    systems[5].b[0] = 0.0;
+    systems[5].c[0] = 0.0;
+    let batch = SystemBatch::from_systems(&systems).unwrap();
+    let err = MtSolver::new(4).solve_batch(&Thomas, &batch).unwrap_err();
+    assert!(matches!(err, TridiagError::ZeroPivot { .. }));
+    // Sequential path reports the same error.
+    assert!(solve_batch_seq(&Thomas, &batch).is_err());
+}
+
+#[test]
+fn occupancy_validates_device_limits() {
+    let d = DeviceConfig::gtx280();
+    assert!(occupancy(&d, 64, 513).is_err());
+    assert!(occupancy(&d, 17 * 1024, 64).is_err());
+    let ok = occupancy(&d, 1024, 64).unwrap();
+    assert!(ok.blocks_per_sm >= 1);
+}
+
+#[test]
+fn empty_and_degenerate_inputs() {
+    assert!(SystemBatch::<f32>::from_systems(&[]).is_err());
+    assert!(TridiagonalSystem::<f32>::new(vec![], vec![], vec![], vec![]).is_err());
+    let launcher = Launcher::gtx280();
+    // n = 1 is not a power-of-two >= 2 for the kernels.
+    let one = TridiagonalSystem::<f32>::new(vec![0.0], vec![2.0], vec![0.0], vec![4.0]).unwrap();
+    let batch = SystemBatch::from_systems(&[one]).unwrap();
+    assert!(solve_batch(&launcher, GpuAlgorithm::Cr, &batch).is_err());
+}
+
+#[test]
+fn mismatched_solution_shapes_panic_loudly() {
+    let batch = dominant_batch::<f32>(1, 8, 2);
+    let sol = tridiag_core::SolutionBatch::zeros_like(&batch);
+    // Out-of-range system index panics (programming error, not a silent
+    // wrong answer).
+    let result = std::panic::catch_unwind(|| sol.system(2));
+    assert!(result.is_err());
+}

@@ -1,0 +1,294 @@
+//! Property-based tests (proptest) on the core invariants: random systems,
+//! random shapes, random switch points.
+
+use cpu_solvers::{solve_batch_seq, Gep, Thomas};
+use gpu_sim::Launcher;
+use gpu_solvers::{solve_batch, GpuAlgorithm};
+use proptest::prelude::*;
+use tridiag_core::residual::{l2_residual, max_abs_diff};
+use tridiag_core::{SolutionBatch, SystemBatch, TridiagonalSystem};
+
+/// Strategy: a random strictly diagonally dominant system of size `n`.
+fn dominant_system(n: usize) -> impl Strategy<Value = TridiagonalSystem<f64>> {
+    let off = prop::collection::vec(-1.0f64..1.0, n);
+    let margins = prop::collection::vec(0.2f64..2.0, n);
+    let rhs = prop::collection::vec(-10.0f64..10.0, n);
+    (off.clone(), off, margins, rhs).prop_map(move |(mut a, mut c, m, d)| {
+        a[0] = 0.0;
+        c[n - 1] = 0.0;
+        let b: Vec<f64> = (0..n).map(|i| (a[i].abs() + c[i].abs() + m[i]).copysign(1.0)).collect();
+        TridiagonalSystem { a, b, c, d }
+    })
+}
+
+/// Strategy: a power-of-two size in [2, 256].
+fn pow2_size() -> impl Strategy<Value = usize> {
+    (1u32..=8).prop_map(|e| 1usize << e)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn thomas_residual_is_tiny_on_dominant(sys in pow2_size().prop_flat_map(dominant_system)) {
+        let n = sys.n();
+        let x = cpu_solvers::thomas::solve(&sys).unwrap();
+        let r = l2_residual(&sys, &x).unwrap();
+        prop_assert!(r < 1e-9 * (n as f64), "residual {r}");
+    }
+
+    #[test]
+    fn gep_matches_thomas_on_dominant(sys in pow2_size().prop_flat_map(dominant_system)) {
+        let xt = cpu_solvers::thomas::solve(&sys).unwrap();
+        let xg = cpu_solvers::gep::solve(&sys).unwrap();
+        prop_assert!(max_abs_diff(&xt, &xg) < 1e-9);
+    }
+
+    #[test]
+    fn gpu_cr_and_pcr_match_thomas(sys in pow2_size().prop_flat_map(dominant_system)) {
+        let n = sys.n();
+        let batch = SystemBatch::from_systems(&[sys]).unwrap();
+        let reference = solve_batch_seq(&Thomas, &batch).unwrap();
+        let launcher = Launcher::gtx280();
+        for alg in [GpuAlgorithm::Cr, GpuAlgorithm::Pcr] {
+            let r = solve_batch(&launcher, alg, &batch).unwrap();
+            let diff = max_abs_diff(&r.solutions.x, &reference.x);
+            prop_assert!(diff < 1e-9, "{} n={n}: {diff}", alg.name());
+        }
+    }
+
+    #[test]
+    fn hybrid_matches_for_every_valid_switch_point(
+        sys in prop::sample::select(vec![8usize, 32, 64]).prop_flat_map(dominant_system),
+        m_exp in 1u32..=5,
+    ) {
+        let n = sys.n();
+        let m = (1usize << m_exp).min(n);
+        let batch = SystemBatch::from_systems(&[sys]).unwrap();
+        let reference = solve_batch_seq(&Thomas, &batch).unwrap();
+        let launcher = Launcher::gtx280();
+        let r = solve_batch(&launcher, GpuAlgorithm::CrPcr { m }, &batch).unwrap();
+        let diff = max_abs_diff(&r.solutions.x, &reference.x);
+        prop_assert!(diff < 1e-9, "n={n} m={m}: {diff}");
+    }
+
+    #[test]
+    fn pivoting_solver_handles_scrambled_rows(
+        n in prop::sample::select(vec![3usize, 5, 8, 13, 32]),
+        seed in any::<u64>(),
+    ) {
+        // Random permutation-ish systems with occasional zero diagonals
+        // that force interchanges; GEP must keep the residual tiny.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut a: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let mut c: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let b: Vec<f64> = (0..n)
+            .map(|_| if rng.gen_bool(0.25) { 0.0 } else { rng.gen_range(-2.0..2.0) })
+            .collect();
+        let d: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        a[0] = 0.0;
+        c[n - 1] = 0.0;
+        let sys = TridiagonalSystem { a, b, c, d };
+        match cpu_solvers::gep::solve(&sys) {
+            Ok(x) => {
+                let r = l2_residual(&sys, &x).unwrap();
+                // Pivoted elimination keeps the scaled residual small on
+                // any nonsingular input.
+                prop_assert!(r < 1e-6, "residual {r}");
+            }
+            // Exactly singular draws are legitimately rejected.
+            Err(tridiag_core::TridiagError::ZeroPivot { .. }) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+        }
+    }
+
+    #[test]
+    fn batch_layout_round_trips(
+        n in prop::sample::select(vec![2usize, 4, 16]),
+        count in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut gen = tridiag_core::Generator::new(seed);
+        let systems: Vec<TridiagonalSystem<f64>> =
+            (0..count).map(|_| gen.system(tridiag_core::Workload::DiagonallyDominant, n)).collect();
+        let batch = SystemBatch::from_systems(&systems).unwrap();
+        for (i, sys) in systems.iter().enumerate() {
+            prop_assert_eq!(&batch.system(i), sys);
+        }
+        let sol = SolutionBatch::zeros_like(&batch);
+        prop_assert_eq!(sol.x.len(), n * count);
+    }
+
+    #[test]
+    fn manufactured_solutions_are_recovered(
+        sys in prop::sample::select(vec![4usize, 16, 64]).prop_flat_map(dominant_system),
+        scale in 0.1f64..10.0,
+    ) {
+        let n = sys.n();
+        let x_exact: Vec<f64> = (0..n).map(|i| scale * ((i as f64) * 0.7).cos()).collect();
+        let sys = sys.with_exact_solution(&x_exact).unwrap();
+        let batch = SystemBatch::from_systems(&[sys]).unwrap();
+        let launcher = Launcher::gtx280();
+        let r = solve_batch(&launcher, GpuAlgorithm::Pcr, &batch).unwrap();
+        let diff = max_abs_diff(r.solutions.system(0), &x_exact);
+        prop_assert!(diff < 1e-8 * scale.max(1.0), "diff {diff}");
+    }
+
+    #[test]
+    fn gep_equals_dense_gaussian_elimination(n in 2usize..9, seed in any::<u64>()) {
+        // Cross-validate GEP against a dense partial-pivoting solve on
+        // small matrices.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut a: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let mut c: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..2.0)).collect();
+        let d: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        a[0] = 0.0;
+        c[n - 1] = 0.0;
+        let sys = TridiagonalSystem { a, b, c, d };
+
+        let mut dense = sys.to_dense();
+        let mut rhs = sys.d.clone();
+        // Dense Gaussian elimination with partial pivoting.
+        for col in 0..n {
+            let piv = (col..n).max_by(|&i, &j| {
+                dense[i][col].abs().partial_cmp(&dense[j][col].abs()).unwrap()
+            }).unwrap();
+            dense.swap(col, piv);
+            rhs.swap(col, piv);
+            prop_assume!(dense[col][col].abs() > 1e-12);
+            for row in col + 1..n {
+                let f = dense[row][col] / dense[col][col];
+                for k in col..n {
+                    dense[row][k] -= f * dense[col][k];
+                }
+                rhs[row] -= f * rhs[col];
+            }
+        }
+        let mut x_dense = vec![0.0f64; n];
+        for row in (0..n).rev() {
+            let mut v = rhs[row];
+            for k in row + 1..n {
+                v -= dense[row][k] * x_dense[k];
+            }
+            x_dense[row] = v / dense[row][row];
+        }
+
+        let x_gep = cpu_solvers::gep::solve(&sys).unwrap();
+        prop_assert!(max_abs_diff(&x_gep, &x_dense) < 1e-8);
+    }
+
+    #[test]
+    fn sequential_batch_matches_per_system_solves(
+        count in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut gen = tridiag_core::Generator::new(seed);
+        let batch: SystemBatch<f64> =
+            gen.batch(tridiag_core::Workload::DiagonallyDominant, 16, count).unwrap();
+        let all = solve_batch_seq(&Gep, &batch).unwrap();
+        for i in 0..count {
+            let sys = batch.system(i);
+            let x = cpu_solvers::gep::solve(&sys).unwrap();
+            prop_assert!(max_abs_diff(all.system(i), &x) == 0.0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Extension solvers: periodic and block systems.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn periodic_gpu_solutions_satisfy_the_cyclic_system(
+        n_exp in 2u32..7,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let n = 1usize << n_exp;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut a: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut c: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> =
+            (0..n).map(|i| a[i].abs() + c[i].abs() + rng.gen_range(0.5..1.5)).collect();
+        let d: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        a[0] = rng.gen_range(-0.5..0.5);
+        c[n - 1] = rng.gen_range(-0.5..0.5);
+        let sys = tridiag_core::PeriodicTridiagonalSystem::new(a, b, c, d).unwrap();
+
+        let launcher = Launcher::gtx280();
+        let report = gpu_solvers::solve_periodic_batch(
+            &launcher,
+            GpuAlgorithm::Pcr,
+            std::slice::from_ref(&sys),
+        )
+        .unwrap();
+        let r = sys.l2_residual(report.solutions.system(0)).unwrap();
+        prop_assert!(r < 1e-9, "residual {r}");
+        // And it matches the CPU cyclic solver.
+        let x_cpu = cpu_solvers::cyclic::solve(&sys).unwrap();
+        prop_assert!(max_abs_diff(report.solutions.system(0), &x_cpu) < 1e-9);
+    }
+
+    #[test]
+    fn block_cr_matches_block_thomas_on_random_dominant(
+        n_exp in 1u32..7,
+        seed in any::<u64>(),
+    ) {
+        let n = 1usize << n_exp;
+        let sys = tridiag_core::BlockTridiagonalSystem::<f64>::random_dominant(seed, n);
+        let launcher = Launcher::gtx280();
+        let report =
+            gpu_solvers::solve_block_batch(&launcher, std::slice::from_ref(&sys)).unwrap();
+        let x_ref = cpu_solvers::block_thomas::solve(&sys).unwrap();
+        for i in 0..n {
+            for comp in 0..2 {
+                prop_assert!(
+                    (report.solutions[0][i][comp] - x_ref[i][comp]).abs() < 1e-8,
+                    "row {i}.{comp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_method_matches_thomas(
+        n in 8usize..600,
+        p in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let mut gen = tridiag_core::Generator::new(seed);
+        let sys: TridiagonalSystem<f64> =
+            gen.system(tridiag_core::Workload::DiagonallyDominant, n);
+        let x_ref = cpu_solvers::thomas::solve(&sys).unwrap();
+        let x = cpu_solvers::partition::solve(&sys, p).unwrap();
+        prop_assert!(max_abs_diff(&x, &x_ref) < 1e-9);
+    }
+
+    #[test]
+    fn condition_estimate_never_exceeds_dense_truth(
+        n in 3usize..20,
+        seed in any::<u64>(),
+    ) {
+        let mut gen = tridiag_core::Generator::new(seed);
+        let sys: TridiagonalSystem<f64> =
+            gen.system(tridiag_core::Workload::DiagonallyDominant, n);
+        let est = cpu_solvers::inverse_norm1_estimate(&sys).unwrap();
+        // Exact by column solves.
+        let mut exact = 0.0f64;
+        for j in 0..n {
+            let mut probe = sys.clone();
+            probe.d = vec![0.0; n];
+            probe.d[j] = 1.0;
+            let col = cpu_solvers::gep::solve(&probe).unwrap();
+            exact = exact.max(col.iter().map(|v| v.abs()).sum());
+        }
+        prop_assert!(est <= exact * (1.0 + 1e-9), "est {est} > exact {exact}");
+        prop_assert!(est >= exact / 10.0, "est {est} too far below exact {exact}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Exhaustive small-size cross-validation: every solver in the workspace
+//! against a dense partial-pivoting reference, over many random systems.
+
+use cpu_solvers::{partition, solve_batch_seq, Gep, MtSolver, Thomas};
+use gpu_sim::Launcher;
+use gpu_solvers::{solve_batch, solve_batch_coarse, GpuAlgorithm, RdMode};
+use rand::{Rng, SeedableRng};
+use tridiag_core::{SystemBatch, TridiagonalSystem};
+
+/// Dense Gaussian elimination with partial pivoting — the oracle.
+fn dense_solve(sys: &TridiagonalSystem<f64>) -> Vec<f64> {
+    let n = sys.n();
+    let mut m = sys.to_dense();
+    let mut rhs = sys.d.clone();
+    for col in 0..n {
+        let piv = (col..n)
+            .max_by(|&i, &j| m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap())
+            .unwrap();
+        m.swap(col, piv);
+        rhs.swap(col, piv);
+        assert!(m[col][col].abs() > 1e-13, "oracle hit a singular draw");
+        for row in col + 1..n {
+            let f = m[row][col] / m[col][col];
+            for k in col..n {
+                m[row][k] -= f * m[col][k];
+            }
+            rhs[row] -= f * rhs[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut v = rhs[row];
+        for k in row + 1..n {
+            v -= m[row][k] * x[k];
+        }
+        x[row] = v / m[row][row];
+    }
+    x
+}
+
+fn random_dominant(rng: &mut rand::rngs::StdRng, n: usize) -> TridiagonalSystem<f64> {
+    let mut a: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut c: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    a[0] = 0.0;
+    c[n - 1] = 0.0;
+    let b: Vec<f64> =
+        (0..n).map(|i| (a[i].abs() + c[i].abs() + rng.gen_range(0.3..1.5)) * sign(rng)).collect();
+    let d: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+    TridiagonalSystem { a, b, c, d }
+}
+
+fn sign(rng: &mut rand::rngs::StdRng) -> f64 {
+    if rng.gen_bool(0.5) {
+        -1.0
+    } else {
+        1.0
+    }
+}
+
+fn close(x: &[f64], y: &[f64], tol: f64, label: &str) {
+    for (i, (p, q)) in x.iter().zip(y).enumerate() {
+        assert!((p - q).abs() < tol, "{label}: index {i}, {p} vs {q}");
+    }
+}
+
+#[test]
+fn every_solver_agrees_with_the_dense_oracle() {
+    let launcher = Launcher::gtx280();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xD1A60);
+    for n in [2usize, 4, 8, 16] {
+        for trial in 0..12 {
+            let sys = random_dominant(&mut rng, n);
+            let oracle = dense_solve(&sys);
+            let label = |s: &str| format!("{s} n={n} trial={trial}");
+
+            // CPU solvers.
+            close(&cpu_solvers::thomas::solve(&sys).unwrap(), &oracle, 1e-9, &label("thomas"));
+            close(&cpu_solvers::gep::solve(&sys).unwrap(), &oracle, 1e-9, &label("gep"));
+            if n >= 4 {
+                close(&partition::solve(&sys, 2).unwrap(), &oracle, 1e-9, &label("partition"));
+            }
+            // Sequential references of the parallel algorithms.
+            let mut x = vec![0.0; n];
+            cpu_solvers::reference::cr::solve_into(&sys.a, &sys.b, &sys.c, &sys.d, &mut x)
+                .unwrap();
+            close(&x, &oracle, 1e-8, &label("cr-ref"));
+            cpu_solvers::reference::pcr::solve_into(&sys.a, &sys.b, &sys.c, &sys.d, &mut x)
+                .unwrap();
+            close(&x, &oracle, 1e-8, &label("pcr-ref"));
+
+            // GPU solvers (f64 for a strict comparison).
+            let batch = SystemBatch::from_systems(std::slice::from_ref(&sys)).unwrap();
+            let mut algs = vec![GpuAlgorithm::Cr, GpuAlgorithm::Pcr, GpuAlgorithm::CrGlobalOnly];
+            if n >= 4 {
+                algs.push(GpuAlgorithm::CrPcr { m: n / 2 });
+                algs.push(GpuAlgorithm::CrEvenOdd);
+            }
+            for alg in algs {
+                let r = solve_batch(&launcher, alg, &batch).unwrap();
+                close(r.solutions.system(0), &oracle, 1e-8, &label(alg.name()));
+            }
+            let r = solve_batch_coarse(&launcher, &batch).unwrap();
+            close(r.solutions.system(0), &oracle, 1e-9, &label("coarse"));
+        }
+    }
+}
+
+#[test]
+fn rd_agrees_on_gentle_systems() {
+    // RD needs nonzero super-diagonals and bounded chain growth; use rows
+    // with comparable magnitudes.
+    let launcher = Launcher::gtx280();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF00D);
+    for n in [2usize, 4, 8, 16] {
+        for trial in 0..8 {
+            let base: Vec<f64> = (0..n).map(|_| rng.gen_range(0.8..1.2)).collect();
+            let mut a: Vec<f64> = base.iter().map(|&v| v * rng.gen_range(0.9..1.1)).collect();
+            let mut c: Vec<f64> = base.iter().map(|&v| v * rng.gen_range(0.9..1.1)).collect();
+            a[0] = 0.0;
+            c[n - 1] = 0.0;
+            let b: Vec<f64> = base.iter().map(|&v| 3.0 * v).collect();
+            let d: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let sys = TridiagonalSystem { a, b, c, d };
+            let oracle = dense_solve(&sys);
+            let batch = SystemBatch::from_systems(std::slice::from_ref(&sys)).unwrap();
+            for alg in [GpuAlgorithm::Rd(RdMode::Plain), GpuAlgorithm::Rd(RdMode::Rescaled)] {
+                let r = solve_batch(&launcher, alg, &batch).unwrap();
+                for (i, (p, q)) in r.solutions.system(0).iter().zip(&oracle).enumerate() {
+                    assert!(
+                        (p - q).abs() < 1e-7,
+                        "{} n={n} trial={trial} i={i}: {p} vs {q}",
+                        alg.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_drivers_agree_with_single_solves() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBEEF);
+    let systems: Vec<TridiagonalSystem<f64>> =
+        (0..9).map(|_| random_dominant(&mut rng, 16)).collect();
+    let batch = SystemBatch::from_systems(&systems).unwrap();
+    let seq = solve_batch_seq(&Thomas, &batch).unwrap();
+    let gep_seq = solve_batch_seq(&Gep, &batch).unwrap();
+    let mt = MtSolver::new(3).solve_batch(&Thomas, &batch).unwrap();
+    for (k, sys) in systems.iter().enumerate() {
+        let oracle = dense_solve(sys);
+        close(seq.system(k), &oracle, 1e-9, "seq batch");
+        close(gep_seq.system(k), &oracle, 1e-9, "gep batch");
+        close(mt.system(k), &oracle, 1e-9, "mt batch");
+    }
+}

@@ -1,0 +1,146 @@
+//! Cross-crate integration: every GPU solver agrees with the direct CPU
+//! solvers on workloads where it is numerically applicable.
+
+use cpu_solvers::{solve_batch_seq, Gep, MtSolver, Thomas};
+use gpu_sim::Launcher;
+use gpu_solvers::{solve_batch, GpuAlgorithm, RdMode};
+use tridiag_core::residual::max_abs_diff;
+use tridiag_core::{Generator, Real, SystemBatch, Workload};
+
+fn batch<T: Real>(seed: u64, workload: Workload, n: usize, count: usize) -> SystemBatch<T> {
+    Generator::new(seed).batch(workload, n, count).expect("gen")
+}
+
+/// Solvers that are stable on diagonally dominant systems (paper §5.4).
+fn dominant_safe(n: usize) -> Vec<GpuAlgorithm> {
+    let mut algs = vec![
+        GpuAlgorithm::Cr,
+        GpuAlgorithm::Pcr,
+        GpuAlgorithm::CrGlobalOnly,
+    ];
+    if n >= 4 {
+        algs.push(GpuAlgorithm::CrPcr { m: n / 2 });
+        algs.push(GpuAlgorithm::CrPcr { m: 2 });
+        algs.push(GpuAlgorithm::CrEvenOdd);
+    }
+    if n >= 16 {
+        algs.push(GpuAlgorithm::CrPcr { m: n / 4 });
+    }
+    algs
+}
+
+#[test]
+fn gpu_solvers_match_thomas_on_dominant_f32() {
+    let launcher = Launcher::gtx280();
+    for n in [2usize, 4, 8, 32, 128, 512] {
+        let b: SystemBatch<f32> = batch(11, Workload::DiagonallyDominant, n, 6);
+        let reference = solve_batch_seq(&Thomas, &b).expect("thomas");
+        for alg in dominant_safe(n) {
+            if matches!(alg, GpuAlgorithm::CrEvenOdd) && n < 4 {
+                continue;
+            }
+            let r = solve_batch(&launcher, alg, &b).expect("gpu solve");
+            let diff = max_abs_diff(&r.solutions.x, &reference.x);
+            assert!(diff < 5e-4, "{} at n={n}: diff {diff}", alg.name());
+        }
+    }
+}
+
+#[test]
+fn gpu_solvers_match_thomas_on_dominant_f64() {
+    let launcher = Launcher::gtx280();
+    // n = 256 is the largest f64 size fitting shared memory on GT200.
+    for n in [8usize, 64, 256] {
+        let b: SystemBatch<f64> = batch(13, Workload::DiagonallyDominant, n, 4);
+        let reference = solve_batch_seq(&Thomas, &b).expect("thomas");
+        for alg in dominant_safe(n) {
+            let r = solve_batch(&launcher, alg, &b).expect("gpu solve");
+            let diff = max_abs_diff(&r.solutions.x, &reference.x);
+            assert!(diff < 1e-10, "{} at n={n}: diff {diff}", alg.name());
+        }
+    }
+}
+
+#[test]
+fn rd_family_matches_on_close_values_f64() {
+    let launcher = Launcher::gtx280();
+    for n in [4usize, 32, 128] {
+        let b: SystemBatch<f64> = batch(17, Workload::CloseValues, n, 4);
+        let reference = solve_batch_seq(&Gep, &b).expect("gep");
+        for alg in [
+            GpuAlgorithm::Rd(RdMode::Plain),
+            GpuAlgorithm::Rd(RdMode::Rescaled),
+            GpuAlgorithm::CrRd { m: (n / 2).max(2), mode: RdMode::Plain },
+        ] {
+            if n < 4 && matches!(alg, GpuAlgorithm::CrRd { .. }) {
+                continue;
+            }
+            let r = solve_batch(&launcher, alg, &b).expect("gpu solve");
+            let diff = max_abs_diff(&r.solutions.x, &reference.x);
+            assert!(diff < 1e-6, "{} at n={n}: diff {diff}", alg.name());
+        }
+    }
+}
+
+#[test]
+fn poisson_stencil_solved_by_everyone_f64() {
+    // SPD: "the cyclic reduction algorithm is stable without pivoting for
+    // ... symmetric and positive definite matrices".
+    let launcher = Launcher::gtx280();
+    let n = 128usize;
+    let b: SystemBatch<f64> = batch(19, Workload::Poisson, n, 2);
+    let reference = solve_batch_seq(&Thomas, &b).expect("thomas");
+    for alg in [
+        GpuAlgorithm::Cr,
+        GpuAlgorithm::Pcr,
+        GpuAlgorithm::CrPcr { m: 32 },
+        GpuAlgorithm::Rd(RdMode::Plain),
+        GpuAlgorithm::CrRd { m: 32, mode: RdMode::Plain },
+        GpuAlgorithm::CrEvenOdd,
+        GpuAlgorithm::CrGlobalOnly,
+    ] {
+        let r = solve_batch(&launcher, alg, &b).expect("gpu solve");
+        let diff = max_abs_diff(&r.solutions.x, &reference.x);
+        assert!(diff < 1e-8, "{}: diff {diff}", alg.name());
+    }
+}
+
+#[test]
+fn mt_solver_bitwise_matches_sequential() {
+    let b: SystemBatch<f32> = batch(23, Workload::DiagonallyDominant, 64, 33);
+    let seq = solve_batch_seq(&Thomas, &b).expect("seq");
+    for threads in [1usize, 2, 4, 7] {
+        let mt = MtSolver::new(threads).solve_batch(&Thomas, &b).expect("mt");
+        assert_eq!(seq.x, mt.x, "threads={threads}");
+    }
+}
+
+#[test]
+fn hybrid_sweep_is_numerically_stable_across_switch_points() {
+    let launcher = Launcher::gtx280();
+    let n = 256usize;
+    let b: SystemBatch<f64> = batch(29, Workload::DiagonallyDominant, n, 2);
+    let reference = solve_batch_seq(&Thomas, &b).expect("thomas");
+    let mut m = 2usize;
+    while m <= n {
+        let r = solve_batch(&launcher, GpuAlgorithm::CrPcr { m }, &b).expect("solve");
+        let diff = max_abs_diff(&r.solutions.x, &reference.x);
+        assert!(diff < 1e-10, "m={m}: diff {diff}");
+        m *= 2;
+    }
+}
+
+#[test]
+fn every_solver_reports_consistent_batch_shapes() {
+    let launcher = Launcher::gtx280();
+    let b: SystemBatch<f32> = batch(31, Workload::DiagonallyDominant, 64, 5);
+    for alg in [GpuAlgorithm::Cr, GpuAlgorithm::Pcr, GpuAlgorithm::Rd(RdMode::Plain)] {
+        let r = solve_batch(&launcher, alg, &b).expect("solve");
+        assert_eq!(r.solutions.n(), 64);
+        assert_eq!(r.solutions.count(), 5);
+        assert_eq!(r.solutions.x.len(), 320);
+        assert_eq!(r.timing.blocks, 5);
+        assert!(r.timing.kernel_ms > 0.0);
+        assert!(r.timing.transfer_ms > 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Validates the simulator's measured counters against the paper's Table 1
+//! complexity model across system sizes — the strongest evidence the
+//! kernels implement the algorithms the paper describes.
+
+use gpu_sim::Launcher;
+use gpu_solvers::{solve_batch, GpuAlgorithm, RdMode};
+use tridiag_core::{dominant_batch, table1, ComplexityRow};
+
+fn measure(alg: GpuAlgorithm, n: usize) -> gpu_sim::KernelStats {
+    let launcher = Launcher::gtx280();
+    let batch = dominant_batch::<f32>(3, n, 1);
+    solve_batch(&launcher, alg, &batch).expect("solve").stats
+}
+
+fn analytic(alg: GpuAlgorithm, n: usize) -> ComplexityRow {
+    table1(alg.paper_algorithm().expect("paper algorithm"), n).expect("table1")
+}
+
+fn algo_steps(stats: &gpu_sim::KernelStats) -> u64 {
+    stats.steps.iter().filter(|s| !s.phase.is_straight_line()).count() as u64
+}
+
+#[test]
+fn cr_step_counts_exact() {
+    for n in [4usize, 16, 64, 256, 512] {
+        let stats = measure(GpuAlgorithm::Cr, n);
+        assert_eq!(algo_steps(&stats), analytic(GpuAlgorithm::Cr, n).steps, "n={n}");
+    }
+}
+
+#[test]
+fn pcr_step_counts_exact() {
+    for n in [4usize, 16, 64, 256, 512] {
+        let stats = measure(GpuAlgorithm::Pcr, n);
+        assert_eq!(algo_steps(&stats), analytic(GpuAlgorithm::Pcr, n).steps, "n={n}");
+    }
+}
+
+#[test]
+fn rd_step_counts_exact() {
+    for n in [4usize, 16, 64, 256, 512] {
+        let stats = measure(GpuAlgorithm::Rd(RdMode::Plain), n);
+        assert_eq!(
+            algo_steps(&stats),
+            analytic(GpuAlgorithm::Rd(RdMode::Plain), n).steps,
+            "n={n}"
+        );
+    }
+}
+
+#[test]
+fn hybrid_step_counts_within_one_of_paper_formula() {
+    // The paper's hybrid step formulas carry a +-1 bookkeeping offset (its
+    // own CR/PCR counts are inconsistent at the endpoints), so allow 1.
+    for (n, m) in [(64usize, 16usize), (256, 64), (512, 256)] {
+        let stats = measure(GpuAlgorithm::CrPcr { m }, n);
+        let expect = analytic(GpuAlgorithm::CrPcr { m }, n).steps;
+        let got = algo_steps(&stats);
+        assert!(got.abs_diff(expect) <= 1, "CR+PCR n={n} m={m}: {got} vs {expect}");
+    }
+    for (n, m) in [(64usize, 16usize), (256, 64), (512, 128)] {
+        let stats = measure(GpuAlgorithm::CrRd { m, mode: RdMode::Plain }, n);
+        let expect = analytic(GpuAlgorithm::CrRd { m, mode: RdMode::Plain }, n).steps;
+        let got = algo_steps(&stats);
+        assert!(got.abs_diff(expect) <= 1, "CR+RD n={n} m={m}: {got} vs {expect}");
+    }
+}
+
+#[test]
+fn global_accesses_exactly_5n() {
+    // "For all solvers, the global memory communication happens only twice
+    // for reading input data and writing output results" — 4n in + n out.
+    for n in [4usize, 64, 512] {
+        for alg in [
+            GpuAlgorithm::Cr,
+            GpuAlgorithm::Pcr,
+            GpuAlgorithm::Rd(RdMode::Plain),
+            GpuAlgorithm::CrPcr { m: (n / 2).max(2) },
+        ] {
+            let stats = measure(alg, n);
+            assert_eq!(stats.global_accesses, 5 * n as u64, "{} n={n}", alg.name());
+        }
+    }
+}
+
+#[test]
+fn work_scaling_matches_asymptotics() {
+    // CR is O(n): ops(4x n) ~ 4x. PCR/RD are O(n log n): ops(4x n) ~ 4x *
+    // (log 4n / log n).
+    let cr_small = measure(GpuAlgorithm::Cr, 128).total_ops() as f64;
+    let cr_large = measure(GpuAlgorithm::Cr, 512).total_ops() as f64;
+    let r = cr_large / cr_small;
+    assert!((3.5..4.6).contains(&r), "CR scaling {r}");
+
+    let pcr_small = measure(GpuAlgorithm::Pcr, 128).total_ops() as f64;
+    let pcr_large = measure(GpuAlgorithm::Pcr, 512).total_ops() as f64;
+    let r = pcr_large / pcr_small;
+    let expect = 4.0 * 9.0 / 7.0;
+    assert!((r / expect - 1.0).abs() < 0.25, "PCR scaling {r} vs {expect}");
+}
+
+#[test]
+fn op_counts_within_constant_of_table1() {
+    for n in [64usize, 256, 512] {
+        for alg in [
+            GpuAlgorithm::Cr,
+            GpuAlgorithm::Pcr,
+            GpuAlgorithm::Rd(RdMode::Plain),
+            GpuAlgorithm::CrPcr { m: n / 2 },
+        ] {
+            let stats = measure(alg, n);
+            let a = analytic(alg, n);
+            let ratio = stats.total_ops() as f64 / a.arithmetic_ops as f64;
+            assert!((0.6..1.6).contains(&ratio), "{} n={n}: ops ratio {ratio}", alg.name());
+            let ratio = stats.total_shared_accesses() as f64 / a.shared_accesses as f64;
+            assert!(
+                (0.4..1.6).contains(&ratio),
+                "{} n={n}: shared ratio {ratio}",
+                alg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn division_counts_track_table1() {
+    // CR: 3n divisions; PCR: 2n log2 n; RD: none in the scan (only setup
+    // and evaluation, which are O(n)).
+    let n = 256usize;
+    let cr = measure(GpuAlgorithm::Cr, n).total_divs() as f64;
+    assert!((cr / (3.0 * n as f64) - 1.0).abs() < 0.25, "CR divs {cr}");
+    let pcr = measure(GpuAlgorithm::Pcr, n).total_divs() as f64;
+    assert!((pcr / (2.0 * n as f64 * 8.0) - 1.0).abs() < 0.25, "PCR divs {pcr}");
+    let rd_stats = measure(GpuAlgorithm::Rd(RdMode::Plain), n);
+    for step in rd_stats.steps_in_phase(gpu_sim::Phase::Scan) {
+        assert_eq!(step.divs, 0, "RD scan must be division-free");
+    }
+    assert!(rd_stats.total_divs() <= 2 * n as u64);
+}
+
+#[test]
+fn conflict_profile_by_algorithm() {
+    let n = 512usize;
+    assert_eq!(measure(GpuAlgorithm::Cr, n).max_conflict_degree(), 16);
+    assert_eq!(measure(GpuAlgorithm::Pcr, n).max_conflict_degree(), 1);
+    assert_eq!(measure(GpuAlgorithm::Rd(RdMode::Plain), n).max_conflict_degree(), 1);
+    assert!(measure(GpuAlgorithm::CrPcr { m: 256 }, n).max_conflict_degree() <= 2);
+}
