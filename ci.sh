@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI gate for the workspace. Offline-safe: every external dependency
+# resolves to an in-tree shim (see shims/README.md), so no network or
+# registry access is needed — `cargo --offline` is enforced throughout.
+#
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release (tier-1)"
+cargo build --offline --release
+
+echo "==> cargo test (tier-1)"
+cargo test --offline -q
+
+echo "==> cargo test --release --workspace"
+cargo test --offline --release --workspace -q
+
+echo "==> CI green"

@@ -1,0 +1,79 @@
+//! Criterion bench: serving-layer throughput, batched vs batch-size-1.
+//!
+//! Measures end-to-end systems/s of a [`SolverService`] under an open-loop
+//! stream of mixed-size requests — the batched configuration amortizes
+//! kernel launches across coalesced size-class batches, the unbatched one
+//! pays a launch per request. `Throughput::Elements` makes criterion
+//! report the rate directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use solver_service::{ServiceConfig, ServiceError, SolverService};
+use std::time::Duration;
+use tridiag_core::{Generator, TridiagonalSystem, Workload};
+
+const SIZES: [usize; 3] = [64, 128, 256];
+const REQUESTS: usize = 240;
+
+fn stream(seed: u64) -> Vec<TridiagonalSystem<f32>> {
+    let mut generator = Generator::new(seed);
+    (0..REQUESTS)
+        .map(|i| generator.system(Workload::DiagonallyDominant, SIZES[i % SIZES.len()]))
+        .collect()
+}
+
+fn drive(config: &ServiceConfig, systems: &[TridiagonalSystem<f32>]) {
+    let service: SolverService<f32> = SolverService::start(config.clone());
+    let mut tickets = Vec::with_capacity(systems.len());
+    for system in systems {
+        loop {
+            match service.submit(system.clone()) {
+                Ok(t) => {
+                    tickets.push(t);
+                    break;
+                }
+                Err(ServiceError::QueueFull { .. }) => std::thread::yield_now(),
+                Err(e) => panic!("{e}"),
+            }
+        }
+    }
+    for ticket in tickets {
+        let response = ticket.wait();
+        assert!(response.residual.is_finite());
+    }
+    drop(service.shutdown());
+}
+
+fn bench_service(c: &mut Criterion) {
+    let systems = stream(20100109);
+    let mut group = c.benchmark_group("service");
+    group.throughput(Throughput::Elements(REQUESTS as u64));
+    group.sample_size(10);
+
+    let batched = ServiceConfig {
+        target_batch: 64,
+        max_linger: Duration::from_millis(2),
+        ..ServiceConfig::default()
+    };
+    group.bench_with_input(
+        BenchmarkId::new("open_loop", "batched_target64"),
+        &batched,
+        |b, cfg| b.iter(|| drive(cfg, &systems)),
+    );
+
+    let unbatched = ServiceConfig {
+        target_batch: 1,
+        min_gpu_batch: 1,
+        max_linger: Duration::from_millis(2),
+        ..ServiceConfig::default()
+    };
+    group.bench_with_input(
+        BenchmarkId::new("open_loop", "unbatched_target1"),
+        &unbatched,
+        |b, cfg| b.iter(|| drive(cfg, &systems)),
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

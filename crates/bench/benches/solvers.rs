@@ -29,9 +29,7 @@ fn gpu_solvers(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(alg.name().replace(' ', "_"), n),
                 &batch,
-                |b, batch| {
-                    b.iter(|| black_box(solve_batch(&cfg.launcher, alg, black_box(batch))))
-                },
+                |b, batch| b.iter(|| black_box(solve_batch(&cfg.launcher, alg, black_box(batch)))),
             );
         }
     }
@@ -129,8 +127,7 @@ fn extension_solvers(c: &mut Criterion) {
             let n = 256usize;
             let mut a: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
             let mut cvec: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-            let b: Vec<f32> =
-                (0..n).map(|i| a[i].abs() + cvec[i].abs() + 1.0).collect();
+            let b: Vec<f32> = (0..n).map(|i| a[i].abs() + cvec[i].abs() + 1.0).collect();
             let d: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
             a[0] = rng.gen_range(-0.5..0.5);
             cvec[n - 1] = rng.gen_range(-0.5..0.5);

@@ -32,7 +32,10 @@ fn main() {
         }
     }
     println!("paper CR breakdown: global 0.103 (10%), shared 0.689 (64%), compute 0.274 (26%)");
-    println!("ours  CR breakdown: global {:.3}, shared {:.3}, compute {:.3}", cr_parts.0, cr_parts.1, cr_parts.2);
+    println!(
+        "ours  CR breakdown: global {:.3}, shared {:.3}, compute {:.3}",
+        cr_parts.0, cr_parts.1, cr_parts.2
+    );
     println!("paper PCR breakdown: global 0.106/20%, shared 0.163/30% (883GB/s), compute 0.265/50% (101.9 GFLOPS)");
     println!("paper RD  breakdown: global 0.109/18%, shared 0.262/43% (1095GB/s), compute 0.241/39% (186.7 GFLOPS)");
 

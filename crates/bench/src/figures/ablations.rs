@@ -168,12 +168,8 @@ pub fn run(cfg: &ReproConfig) -> Vec<Table> {
         "Ablation 7: mixed-precision refinement (f32 kernels on f64 systems, 256x64)",
         &["refinement passes", "worst residual", "total simulated ms"],
     );
-    let b64: tridiag_core::SystemBatch<f64> =
-        tridiag_core::Generator::new(cfg.seed).batch(
-            tridiag_core::Workload::DiagonallyDominant,
-            256,
-            64,
-        )
+    let b64: tridiag_core::SystemBatch<f64> = tridiag_core::Generator::new(cfg.seed)
+        .batch(tridiag_core::Workload::DiagonallyDominant, 256, 64)
         .expect("gen");
     for iters in [0usize, 1, 2, 3] {
         let r = gpu_solvers::solve_batch_refined(
@@ -199,27 +195,21 @@ pub fn run(cfg: &ReproConfig) -> Vec<Table> {
     );
     {
         use gpu_solvers::{PcrThomasKernel, SystemHandles};
-        let reference = solve_batch(&cfg.launcher, GpuAlgorithm::CrPcr { m: 256 }, &batch)
-            .expect("solve");
+        let reference =
+            solve_batch(&cfg.launcher, GpuAlgorithm::CrPcr { m: 256 }, &batch).expect("solve");
         for split in [4usize, 8, 16, 32, 64] {
             let mut gmem = gpu_sim::GlobalMem::new();
             let gm = SystemHandles::upload(&mut gmem, &batch);
             let kernel = PcrThomasKernel { n, split, gm };
             let r = cfg.launcher.launch(&kernel, count, &mut gmem).expect("launch");
-            let steps =
-                r.stats.steps.iter().filter(|s| !s.phase.is_straight_line()).count();
+            let steps = r.stats.steps.iter().filter(|s| !s.phase.is_straight_line()).count();
             t8.row(vec![
                 format!("PCR+pThomas (split={split})"),
                 ms(r.timing.kernel_ms),
                 steps.to_string(),
             ]);
         }
-        let steps = reference
-            .stats
-            .steps
-            .iter()
-            .filter(|s| !s.phase.is_straight_line())
-            .count();
+        let steps = reference.stats.steps.iter().filter(|s| !s.phase.is_straight_line()).count();
         t8.row(vec![
             "CR+PCR (m=256)".to_string(),
             ms(reference.timing.kernel_ms),
@@ -264,8 +254,7 @@ mod tests {
         let cfg = ReproConfig::default();
         let b = dominant_batch::<f32>(cfg.seed, 512, 64);
         let plain = solve_batch(&cfg.launcher, GpuAlgorithm::Rd(RdMode::Plain), &b).unwrap();
-        let rescaled =
-            solve_batch(&cfg.launcher, GpuAlgorithm::Rd(RdMode::Rescaled), &b).unwrap();
+        let rescaled = solve_batch(&cfg.launcher, GpuAlgorithm::Rd(RdMode::Rescaled), &b).unwrap();
         assert!(rescaled.timing.kernel_ms > plain.timing.kernel_ms);
         assert!(rescaled.stats.total_ops() > plain.stats.total_ops());
         assert!(plain.solutions.first_non_finite().is_some());
@@ -307,10 +296,8 @@ mod tests {
         assert!(fine < coarse);
         // Huge batch of small systems: coarse-grained wins.
         let b = dominant_batch::<f32>(cfg.seed, 64, 16384);
-        let fine = solve_batch(&cfg.launcher, GpuAlgorithm::CrPcr { m: 32 }, &b)
-            .unwrap()
-            .timing
-            .kernel_ms;
+        let fine =
+            solve_batch(&cfg.launcher, GpuAlgorithm::CrPcr { m: 32 }, &b).unwrap().timing.kernel_ms;
         let coarse =
             solve_batch(&cfg.launcher, GpuAlgorithm::ThomasPerThread, &b).unwrap().timing.kernel_ms;
         assert!(coarse < fine);

@@ -86,16 +86,10 @@ mod tests {
         let cfg = ReproConfig::default();
         let pcr = timing(&cfg, GpuAlgorithm::Pcr);
         let cr = timing(&cfg, GpuAlgorithm::Cr);
-        let pcr_avg = pcr
-            .steps_in_phase(gpu_sim::Phase::PcrReduction)
-            .map(|s| s.ms)
-            .sum::<f64>()
-            / 8.0;
-        let cr_avg = cr
-            .steps_in_phase(gpu_sim::Phase::ForwardReduction)
-            .map(|s| s.ms)
-            .sum::<f64>()
-            / 8.0;
+        let pcr_avg =
+            pcr.steps_in_phase(gpu_sim::Phase::PcrReduction).map(|s| s.ms).sum::<f64>() / 8.0;
+        let cr_avg =
+            cr.steps_in_phase(gpu_sim::Phase::ForwardReduction).map(|s| s.ms).sum::<f64>() / 8.0;
         assert!(pcr_avg < cr_avg, "pcr {pcr_avg} vs cr {cr_avg}");
     }
 }

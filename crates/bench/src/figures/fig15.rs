@@ -10,8 +10,7 @@ use tridiag_core::dominant_batch;
 pub fn run(cfg: &ReproConfig) -> Vec<Table> {
     let (n, count) = cfg.headline();
     let batch = dominant_batch::<f32>(cfg.seed, n, count);
-    let r =
-        solve_batch(&cfg.launcher, GpuAlgorithm::CrPcr { m: 256 }, &batch).expect("solve");
+    let r = solve_batch(&cfg.launcher, GpuAlgorithm::CrPcr { m: 256 }, &batch).expect("solve");
 
     let mut t = phase_breakdown_table(
         &format!("Figure 15: time breakdown of CR+PCR (m=256), {n}x{count} (ms)"),
@@ -51,15 +50,9 @@ mod tests {
         let cfg = ReproConfig::default();
         let hybrid = timing(&cfg, GpuAlgorithm::CrPcr { m: 256 });
         let pcr = timing(&cfg, GpuAlgorithm::Pcr);
-        let inner_avg = hybrid
-            .steps_in_phase(Phase::PcrReduction)
-            .map(|s| s.ms)
-            .sum::<f64>()
+        let inner_avg = hybrid.steps_in_phase(Phase::PcrReduction).map(|s| s.ms).sum::<f64>()
             / hybrid.steps_in_phase(Phase::PcrReduction).count() as f64;
-        let full_avg = pcr
-            .steps_in_phase(Phase::PcrReduction)
-            .map(|s| s.ms)
-            .sum::<f64>()
+        let full_avg = pcr.steps_in_phase(Phase::PcrReduction).map(|s| s.ms).sum::<f64>()
             / pcr.steps_in_phase(Phase::PcrReduction).count() as f64;
         let ratio = inner_avg / full_avg;
         assert!((0.4..0.85).contains(&ratio), "inner/full step ratio {ratio}");

@@ -10,12 +10,8 @@ use tridiag_core::dominant_batch;
 pub fn run(cfg: &ReproConfig) -> Vec<Table> {
     let (n, count) = cfg.headline();
     let batch = dominant_batch::<f32>(cfg.seed, n, count);
-    let r = solve_batch(
-        &cfg.launcher,
-        GpuAlgorithm::CrRd { m: 128, mode: RdMode::Plain },
-        &batch,
-    )
-    .expect("solve");
+    let r = solve_batch(&cfg.launcher, GpuAlgorithm::CrRd { m: 128, mode: RdMode::Plain }, &batch)
+        .expect("solve");
 
     let mut t = phase_breakdown_table(
         &format!("Figure 16: time breakdown of CR+RD (m=128), {n}x{count} (ms)"),

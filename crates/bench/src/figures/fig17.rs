@@ -19,15 +19,13 @@ pub fn measure(cfg: &ReproConfig) -> Vec<(usize, f64, Option<f64>)> {
             .expect("CR+PCR fits at all m")
             .timing
             .kernel_ms;
-        let crrd = match solve_batch(
-            &cfg.launcher,
-            GpuAlgorithm::CrRd { m, mode: RdMode::Plain },
-            &batch,
-        ) {
-            Ok(r) => Some(r.timing.kernel_ms),
-            Err(TridiagError::SharedMemExceeded { .. }) => None,
-            Err(e) => panic!("unexpected error at m={m}: {e}"),
-        };
+        let crrd =
+            match solve_batch(&cfg.launcher, GpuAlgorithm::CrRd { m, mode: RdMode::Plain }, &batch)
+            {
+                Ok(r) => Some(r.timing.kernel_ms),
+                Err(TridiagError::SharedMemExceeded { .. }) => None,
+                Err(e) => panic!("unexpected error at m={m}: {e}"),
+            };
         out.push((m, crpcr, crrd));
         m *= 2;
     }

@@ -42,7 +42,9 @@ pub fn run(cfg: &ReproConfig) -> Vec<Table> {
         right.row(rrow);
     }
     left.note("paper (512x512): CR+PCR 0.422, CR+RD 0.488, PCR 0.534, RD 0.612, CR 1.066 ms");
-    left.note("hybrid switch points scale with n: CR+PCR m=n/2, CR+RD m=n/4 (paper's 256/128 at n=512)");
+    left.note(
+        "hybrid switch points scale with n: CR+PCR m=n/2, CR+RD m=n/4 (paper's 256/128 at n=512)",
+    );
     right.note("paper: transfer dominates total time by 90-95%, equalizing all solvers");
     vec![left, right]
 }

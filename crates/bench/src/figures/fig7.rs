@@ -82,7 +82,9 @@ pub fn run(cfg: &ReproConfig) -> Vec<Table> {
             speedup(best_cpu / r.gpu_total_ms),
         ]);
     }
-    left.note("paper speedups (vs best CPU, their 2.5 GHz Core 2 Q9300): 2.7x / 5.7x / 17.2x / 12.5x");
+    left.note(
+        "paper speedups (vs best CPU, their 2.5 GHz Core 2 Q9300): 2.7x / 5.7x / 17.2x / 12.5x",
+    );
     left.note("CPU times here are real wall-clock on this host; absolute speedups shift with host speed, the shape (GPU wins growing with size, dip at 512 from occupancy) is the reproduction target");
     right.note("paper: 0.1x / 0.3x / 1.5x / 1.2x — the PCI-Express transfer erases the GPU win");
     vec![left, right]

@@ -18,16 +18,9 @@ pub fn run(cfg: &ReproConfig) -> Vec<Table> {
         &format!("Figure 8: time breakdown of CR, {n}x{count} (ms)"),
         &r.timing,
     );
-    let fwd: f64 = r
-        .timing
-        .steps_in_phase(gpu_sim::Phase::ForwardReduction)
-        .map(|s| s.ms)
-        .sum();
-    let bwd: f64 = r
-        .timing
-        .steps_in_phase(gpu_sim::Phase::BackwardSubstitution)
-        .map(|s| s.ms)
-        .sum();
+    let fwd: f64 = r.timing.steps_in_phase(gpu_sim::Phase::ForwardReduction).map(|s| s.ms).sum();
+    let bwd: f64 =
+        r.timing.steps_in_phase(gpu_sim::Phase::BackwardSubstitution).map(|s| s.ms).sum();
     fig8.note(format!(
         "forward reduction avg step {} ms, backward substitution avg step {} ms",
         ms(fwd / 8.0),

@@ -18,22 +18,14 @@ pub fn measure(cfg: &ReproConfig) -> (Vec<StepTime>, Vec<StepTime>) {
         let mut gmem = GlobalMem::new();
         let gm = SystemHandles::upload(&mut gmem, &batch);
         let report = launcher.launch(&CrKernel { n, gm }, count, &mut gmem).expect("launch");
-        report
-            .timing
-            .steps_in_phase(Phase::ForwardReduction)
-            .copied()
-            .collect::<Vec<_>>()
+        report.timing.steps_in_phase(Phase::ForwardReduction).copied().collect::<Vec<_>>()
     };
     let without = {
         let mut gmem = GlobalMem::new();
         let gm = SystemHandles::upload(&mut gmem, &batch);
         let report =
             launcher.launch(&CrStrideOneKernel { n, gm }, count, &mut gmem).expect("launch");
-        report
-            .timing
-            .steps_in_phase(Phase::ForwardReduction)
-            .copied()
-            .collect::<Vec<_>>()
+        report.timing.steps_in_phase(Phase::ForwardReduction).copied().collect::<Vec<_>>()
     };
     (with, without)
 }
@@ -104,8 +96,7 @@ mod tests {
     fn penalties_in_paper_band() {
         let cfg = ReproConfig::default();
         let (with, without) = measure(&cfg);
-        let penalties: Vec<f64> =
-            with.iter().zip(&without).map(|(w, f)| w.ms / f.ms).collect();
+        let penalties: Vec<f64> = with.iter().zip(&without).map(|(w, f)| w.ms / f.ms).collect();
         // Worst penalty occurs at the 16-way steps and is severe (paper 4.8x).
         let worst = penalties.iter().cloned().fold(0.0f64, f64::max);
         assert!((3.0..8.0).contains(&worst), "worst {worst}");

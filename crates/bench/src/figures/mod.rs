@@ -13,6 +13,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8_10;
 pub mod fig9;
+pub mod service;
 pub mod table1;
 
 use crate::{ReproConfig, Table};
@@ -36,15 +37,13 @@ pub fn all() -> Vec<Experiment> {
         ("fig18", fig18::run),
         ("ablations", ablations::run),
         ("advisor", advisor::run),
+        ("service", service::run),
     ]
 }
 
 /// Helper shared by the per-phase breakdown figures: turns a timing report
 /// into the paper's pie-chart rows.
-pub(crate) fn phase_breakdown_table(
-    title: &str,
-    timing: &gpu_sim::TimingReport,
-) -> Table {
+pub(crate) fn phase_breakdown_table(title: &str, timing: &gpu_sim::TimingReport) -> Table {
     let mut t = Table::new(title, &["phase", "steps", "ms", "% of total"]);
     let total: f64 = timing.kernel_ms;
     for p in &timing.per_phase {
@@ -65,10 +64,7 @@ pub(crate) fn phase_breakdown_table(
 }
 
 /// Helper for the Figure 10/12/14-style resource breakdowns.
-pub(crate) fn resource_breakdown_table(
-    title: &str,
-    timing: &gpu_sim::TimingReport,
-) -> Table {
+pub(crate) fn resource_breakdown_table(title: &str, timing: &gpu_sim::TimingReport) -> Table {
     let total = timing.kernel_ms;
     let mut t = Table::new(title, &["component", "ms", "% of total", "achieved rate"]);
     t.row(vec![

@@ -13,7 +13,14 @@ pub fn run(cfg: &ReproConfig) -> Vec<Table> {
 
     let mut analytic = Table::new(
         "Table 1: complexity comparison (analytic, n = 512, m as in the paper)",
-        &["algorithm", "shared accesses", "arithmetic ops", "divisions", "steps", "global accesses"],
+        &[
+            "algorithm",
+            "shared accesses",
+            "arithmetic ops",
+            "divisions",
+            "steps",
+            "global accesses",
+        ],
     );
     let entries = [
         (Algorithm::Cr, "CR"),
@@ -37,7 +44,14 @@ pub fn run(cfg: &ReproConfig) -> Vec<Table> {
 
     let mut measured = Table::new(
         "Table 1 (measured): instrumented kernel counters, per system, n = 512",
-        &["algorithm", "shared accesses", "arithmetic ops", "divisions", "algorithmic steps", "global accesses"],
+        &[
+            "algorithm",
+            "shared accesses",
+            "arithmetic ops",
+            "divisions",
+            "algorithmic steps",
+            "global accesses",
+        ],
     );
     let batch = dominant_batch::<f32>(cfg.seed, n, 1);
     let kernels = [
@@ -49,12 +63,7 @@ pub fn run(cfg: &ReproConfig) -> Vec<Table> {
     ];
     for (alg, name) in kernels {
         let r = solve_batch(&cfg.launcher, alg, &batch).expect("solve");
-        let algo_steps = r
-            .stats
-            .steps
-            .iter()
-            .filter(|s| !s.phase.is_straight_line())
-            .count();
+        let algo_steps = r.stats.steps.iter().filter(|s| !s.phase.is_straight_line()).count();
         measured.row(vec![
             name.to_string(),
             r.stats.total_shared_accesses().to_string(),
@@ -106,10 +115,7 @@ mod tests {
             let analytic: f64 = tables[0].rows[i][2].parse().unwrap();
             let measured: f64 = tables[1].rows[i][2].parse().unwrap();
             let ratio = measured / analytic;
-            assert!(
-                (0.6..1.6).contains(&ratio),
-                "ops ratio out of band for row {i}: {ratio}"
-            );
+            assert!((0.6..1.6).contains(&ratio), "ops ratio out of band for row {i}: {ratio}");
         }
     }
 }

@@ -72,8 +72,7 @@ mod tests {
 
     #[test]
     fn helper_matches_manual_loop() {
-        let batch: SystemBatch<f32> =
-            Generator::new(9).batch(Workload::Poisson, 16, 4).unwrap();
+        let batch: SystemBatch<f32> = Generator::new(9).batch(Workload::Poisson, 16, 4).unwrap();
         let out = solve_batch_seq(&Thomas, &batch).unwrap();
         let r = batch_residual(&batch, &out).unwrap();
         assert!(r.max_l2 < 1e-4);

@@ -50,8 +50,7 @@ pub fn solve_batch_soa<T: Real>(batch: &SystemBatch<T>) -> Result<SolutionBatch<
                     return Err(TridiagError::ZeroPivot { row: i });
                 }
                 cp[i * width + lane] = c[i] / denom;
-                dp[i * width + lane] =
-                    (d[i] - dp[(i - 1) * width + lane] * a[i]) / denom;
+                dp[i * width + lane] = (d[i] - dp[(i - 1) * width + lane] * a[i]) / denom;
             }
         }
         // Backward sweep.
@@ -88,8 +87,7 @@ mod tests {
 
     #[test]
     fn f64_and_odd_sizes() {
-        let batch: SystemBatch<f64> =
-            Generator::new(9).batch(Workload::Poisson, 100, 13).unwrap();
+        let batch: SystemBatch<f64> = Generator::new(9).batch(Workload::Poisson, 100, 13).unwrap();
         let scalar = solve_batch_seq(&Thomas, &batch).unwrap();
         let soa = solve_batch_soa(&batch).unwrap();
         assert_eq!(scalar.x, soa.x);
@@ -103,9 +101,6 @@ mod tests {
         systems[1].b[0] = 0.0;
         systems[1].c[0] = 0.0;
         let batch = SystemBatch::from_systems(&systems).unwrap();
-        assert!(matches!(
-            solve_batch_soa(&batch),
-            Err(TridiagError::ZeroPivot { row: 0 })
-        ));
+        assert!(matches!(solve_batch_soa(&batch), Err(TridiagError::ZeroPivot { row: 0 })));
     }
 }

@@ -50,8 +50,7 @@ pub fn inverse_norm1_estimate<T: Real>(sys: &TridiagonalSystem<T>) -> Result<f64
         let y = crate::gep::solve(&probe)?;
         let new_est: f64 = y.iter().map(|v| v.abs().to_f64()).sum();
         // xi = sign(y); z = A^{-T} xi
-        let xi: Vec<T> =
-            y.iter().map(|&v| if v < T::ZERO { -T::ONE } else { T::ONE }).collect();
+        let xi: Vec<T> = y.iter().map(|&v| if v < T::ZERO { -T::ONE } else { T::ONE }).collect();
         let t = transpose(sys, xi);
         let z = crate::gep::solve(&t)?;
         let (j, z_inf) = z
@@ -137,8 +136,7 @@ mod tests {
         assert!(k_nice < 2.0, "{k_nice}");
         // Nearly singular: shrink the dominance margin to epsilon.
         let eps = 1e-8;
-        let bad =
-            TridiagonalSystem::<f64>::toeplitz(64, -1.0, 2.0 + eps, -1.0, 1.0).unwrap();
+        let bad = TridiagonalSystem::<f64>::toeplitz(64, -1.0, 2.0 + eps, -1.0, 1.0).unwrap();
         let k_bad = condition_estimate(&bad).unwrap();
         assert!(k_bad > 1e2, "{k_bad}");
         assert!(k_bad > 100.0 * k_nice);

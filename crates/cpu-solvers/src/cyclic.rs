@@ -63,8 +63,7 @@ mod tests {
     #[test]
     fn circulant_constant_solution() {
         // Row sum 1.5, constant rhs 3 -> x = 2 everywhere.
-        let sys =
-            PeriodicTridiagonalSystem::circulant(16, -0.5f64, 2.5, -0.5, 3.0).unwrap();
+        let sys = PeriodicTridiagonalSystem::circulant(16, -0.5f64, 2.5, -0.5, 3.0).unwrap();
         let x = solve(&sys).unwrap();
         for &v in &x {
             assert!((v - 2.0).abs() < 1e-12);
@@ -107,13 +106,9 @@ mod tests {
             (0..n).map(|j| (2.0 * pi * k as f64 * j as f64 / n as f64).cos()).collect();
         let lambda = eps + 4.0 * (pi * k as f64 / n as f64).sin().powi(2);
         let d: Vec<f64> = mode.iter().map(|&m| lambda * m).collect();
-        let sys = PeriodicTridiagonalSystem::new(
-            vec![-1.0; n],
-            vec![2.0 + eps; n],
-            vec![-1.0; n],
-            d,
-        )
-        .unwrap();
+        let sys =
+            PeriodicTridiagonalSystem::new(vec![-1.0; n], vec![2.0 + eps; n], vec![-1.0; n], d)
+                .unwrap();
         let x = solve(&sys).unwrap();
         for j in 0..n {
             assert!((x[j] - mode[j]).abs() < 1e-11, "j={j}");

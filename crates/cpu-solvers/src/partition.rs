@@ -186,9 +186,7 @@ fn dense_gepp<T: Real>(mat: &mut [Vec<T>], rhs: &mut [T]) -> Result<Vec<T>> {
             let f = mat[row][col] / mat[col][col];
             if f != T::ZERO {
                 let (pivot_rows, elim_rows) = mat.split_at_mut(row);
-                for (rk, pk) in
-                    elim_rows[0][col..r].iter_mut().zip(&pivot_rows[col][col..r])
-                {
+                for (rk, pk) in elim_rows[0][col..r].iter_mut().zip(&pivot_rows[col][col..r]) {
                     *rk -= f * *pk;
                 }
                 let sub = f * rhs[col];

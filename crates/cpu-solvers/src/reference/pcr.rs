@@ -123,11 +123,7 @@ mod tests {
         let s: TridiagonalSystem<f64> = g.system(Workload::DiagonallyDominant, 8);
         let x = thomas::solve(&s).unwrap();
         let mut out = (vec![0.0; 8], vec![0.0; 8], vec![0.0; 8], vec![0.0; 8]);
-        reduce_level(
-            (&s.a, &s.b, &s.c, &s.d),
-            (&mut out.0, &mut out.1, &mut out.2, &mut out.3),
-            1,
-        );
+        reduce_level((&s.a, &s.b, &s.c, &s.d), (&mut out.0, &mut out.1, &mut out.2, &mut out.3), 1);
         for i in 0..8 {
             let mut lhs = out.1[i] * x[i];
             if i >= 2 {

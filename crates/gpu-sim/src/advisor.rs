@@ -132,7 +132,8 @@ pub fn analyze(
 
     // --- Step overhead: re-price with zero per-step overhead.
     {
-        let hypothetical = CostModel { step_overhead_cycles: 0.0, sync_only_cycles: 0.0, ..cost.clone() };
+        let hypothetical =
+            CostModel { step_overhead_cycles: 0.0, sync_only_cycles: 0.0, ..cost.clone() };
         let t = time_launch_with_efficiency(device, &hypothetical, stats, blocks, 1.0)?;
         let saving = base_ms - t.kernel_ms;
         if saving / base_ms > SIGNIFICANCE {
@@ -190,14 +191,10 @@ pub fn analyze(
     // the fully-hidden overhead of an infinitely-resident SM.
     {
         let k = timing.occupancy.blocks_per_sm;
-        let cap = device
-            .max_blocks_per_sm
-            .min(device.max_threads_per_sm / stats.block_dim.max(1));
+        let cap = device.max_blocks_per_sm.min(device.max_threads_per_sm / stats.block_dim.max(1));
         if timing.occupancy.limiter == crate::occupancy::Limiter::SharedMemory && k < cap {
-            let current_scale =
-                (1.0 - cost.hideable_fraction) + cost.hideable_fraction / k as f64;
-            let ideal_scale =
-                (1.0 - cost.hideable_fraction) + cost.hideable_fraction / cap as f64;
+            let current_scale = (1.0 - cost.hideable_fraction) + cost.hideable_fraction / k as f64;
+            let ideal_scale = (1.0 - cost.hideable_fraction) + cost.hideable_fraction / cap as f64;
             let saving = timing.overhead_ms * (1.0 - ideal_scale / current_scale);
             if saving / base_ms > SIGNIFICANCE {
                 findings.push(Finding {
@@ -360,8 +357,7 @@ mod tests {
 
     #[test]
     fn many_tiny_steps_flag_step_overhead() {
-        let steps: Vec<_> =
-            (0..30).map(|_| step(Phase::ForwardReduction, 4, 2, 2, 4, 1)).collect();
+        let steps: Vec<_> = (0..30).map(|_| step(Phase::ForwardReduction, 4, 2, 2, 4, 1)).collect();
         let advice = advise(&stats(steps), 512);
         assert!(advice.finding(Category::StepOverhead).is_some());
         assert!(advice.finding(Category::WarpUnderutilization).is_some());

@@ -218,10 +218,10 @@ mod tests {
         let plain = m.step_cost(&step(0, 0, 12, 0));
         let divs = m.step_cost(&step(0, 0, 12, 2));
         assert!(divs.compute_cycles > plain.compute_cycles);
-        assert!((divs.compute_cycles - plain.compute_cycles
-            - 2.0 * m.div_extra_cycles_per_warp)
-            .abs()
-            < 1e-9);
+        assert!(
+            (divs.compute_cycles - plain.compute_cycles - 2.0 * m.div_extra_cycles_per_warp).abs()
+                < 1e-9
+        );
     }
 
     #[test]
@@ -237,6 +237,8 @@ mod tests {
     fn step_cost_total_sums_components() {
         let m = CostModel::gtx280();
         let c = m.step_cost(&step(10, 20, 5, 1));
-        assert!((c.total() - (c.shared_cycles + c.compute_cycles + c.overhead_cycles)).abs() < 1e-12);
+        assert!(
+            (c.total() - (c.shared_cycles + c.compute_cycles + c.overhead_cycles)).abs() < 1e-12
+        );
     }
 }

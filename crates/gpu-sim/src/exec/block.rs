@@ -290,7 +290,12 @@ impl<T: Real> ThreadCtx<'_, '_, T> {
     #[inline]
     pub fn store(&mut self, arr: Shared<T>, i: usize, v: T) {
         self.record_shared(arr, i, true);
-        self.block.pending.push(PendingStore { array: arr.index, index: i, value: v, tid: self.tid });
+        self.block.pending.push(PendingStore {
+            array: arr.index,
+            index: i,
+            value: v,
+            tid: self.tid,
+        });
     }
 
     #[inline]

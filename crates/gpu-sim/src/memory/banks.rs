@@ -21,7 +21,8 @@ pub fn conflict_degree(words: &[u32], banks: usize) -> u32 {
     debug_assert!(banks.is_power_of_two() && banks <= 32);
     // Distinct words per bank. Half-warps have at most 16 lanes, so a tiny
     // fixed-size scratch table beats hashing.
-    let mut distinct: [heapless_set::WordSet; 32] = core::array::from_fn(|_| heapless_set::WordSet::new());
+    let mut distinct: [heapless_set::WordSet; 32] =
+        core::array::from_fn(|_| heapless_set::WordSet::new());
     let mask = (banks - 1) as u32;
     for &w in words {
         distinct[(w & mask) as usize].insert(w);

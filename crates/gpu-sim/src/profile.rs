@@ -155,9 +155,7 @@ pub fn time_launch_with_efficiency(
         let lat = c.latency_cycles * n_waves as f64 / wave_scale.max(1.0);
         per_step.push(StepTime {
             phase: step.phase,
-            ms: device.cycles_to_ms(
-                (c.shared_cycles + c.compute_cycles + oh + lat) * wave_scale,
-            ),
+            ms: device.cycles_to_ms((c.shared_cycles + c.compute_cycles + oh + lat) * wave_scale),
             shared_ms: device.cycles_to_ms(c.shared_cycles * wave_scale),
             compute_ms: device.cycles_to_ms((c.compute_cycles + oh + lat) * wave_scale),
             overhead_ms: device.cycles_to_ms(oh * wave_scale),

@@ -41,7 +41,12 @@ pub fn hillis_steele<T: Real>(
 
 /// Convenience: in-place inclusive **sum** scan of one shared array
 /// (used by tests and as a building block for auxiliary kernels).
-pub fn scan_add<T: Real>(ctx: &mut BlockCtx<'_, T>, arr: Shared<T>, n: usize, phase: Phase) -> usize {
+pub fn scan_add<T: Real>(
+    ctx: &mut BlockCtx<'_, T>,
+    arr: Shared<T>,
+    n: usize,
+    phase: Phase,
+) -> usize {
     hillis_steele(ctx, n, phase, |t, i, j| {
         let x = t.load(arr, i);
         let y = t.load(arr, j);
@@ -102,12 +107,17 @@ mod tests {
         let n = 8usize;
         let mut g = GlobalMem::<f64>::new();
         let mut ctx = BlockCtx::new(&DeviceConfig::gtx280(), &mut g, n, true);
-        let (m00, m01, m10, m11) =
-            (ctx.alloc(n), ctx.alloc(n), ctx.alloc(n), ctx.alloc(n));
+        let (m00, m01, m10, m11) = (ctx.alloc(n), ctx.alloc(n), ctx.alloc(n), ctx.alloc(n));
         // M[i] = [[1, i+1], [0, 1]] — shear matrices commute, so also use a
         // flip on odd indices to break commutativity.
         let init: Vec<[f64; 4]> = (0..n)
-            .map(|i| if i % 2 == 0 { [1.0, (i + 1) as f64, 0.0, 1.0] } else { [0.0, 1.0, 1.0, (i + 1) as f64] })
+            .map(|i| {
+                if i % 2 == 0 {
+                    [1.0, (i + 1) as f64, 0.0, 1.0]
+                } else {
+                    [0.0, 1.0, 1.0, (i + 1) as f64]
+                }
+            })
             .collect();
         ctx.step(Phase::Other("init"), 0..n, |t| {
             let i = t.tid();

@@ -84,14 +84,7 @@ pub fn to_chrome_trace(timing: &TimingReport, kernel_name: &str) -> String {
     );
     // Lane 3: PCIe transfer, if present.
     if timing.transfer_ms > 0.0 {
-        event(
-            &mut out,
-            "PCIe transfer",
-            3,
-            0.0,
-            timing.transfer_ms * 1e3,
-            &[],
-        );
+        event(&mut out, "PCIe transfer", 3, 0.0, timing.transfer_ms * 1e3, &[]);
     }
     out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
     out

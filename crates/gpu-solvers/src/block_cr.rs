@@ -383,9 +383,8 @@ pub fn solve_block_batch<T: Real>(
 
     let x0 = gmem.download(gm.x[0]);
     let x1 = gmem.download(gm.x[1]);
-    let solutions = (0..count)
-        .map(|s| (0..n).map(|i| [x0[s * n + i], x1[s * n + i]]).collect())
-        .collect();
+    let solutions =
+        (0..count).map(|s| (0..n).map(|i| [x0[s * n + i], x1[s * n + i]]).collect()).collect();
     Ok(BlockSolveReport { solutions, timing: report.timing, stats: report.stats })
 }
 
@@ -420,20 +419,14 @@ mod tests {
         // solver must agree with the scalar GPU CR solver on each.
         let launcher = Launcher::gtx280();
         let mut gen = tridiag_core::Generator::new(9);
-        let s0: TridiagonalSystem<f64> =
-            gen.system(tridiag_core::Workload::DiagonallyDominant, 32);
-        let s1: TridiagonalSystem<f64> =
-            gen.system(tridiag_core::Workload::DiagonallyDominant, 32);
+        let s0: TridiagonalSystem<f64> = gen.system(tridiag_core::Workload::DiagonallyDominant, 32);
+        let s1: TridiagonalSystem<f64> = gen.system(tridiag_core::Workload::DiagonallyDominant, 32);
         let blk = BlockTridiagonalSystem::from_decoupled(&s0, &s1).unwrap();
         let report = solve_block_batch(&launcher, &[blk]).unwrap();
 
         let batch = tridiag_core::SystemBatch::from_systems(&[s0, s1]).unwrap();
-        let scalar = crate::solver::solve_batch(
-            &launcher,
-            crate::solver::GpuAlgorithm::Cr,
-            &batch,
-        )
-        .unwrap();
+        let scalar =
+            crate::solver::solve_batch(&launcher, crate::solver::GpuAlgorithm::Cr, &batch).unwrap();
         for i in 0..32 {
             assert!((report.solutions[0][i][0] - scalar.solutions.system(0)[i]).abs() < 1e-10);
             assert!((report.solutions[0][i][1] - scalar.solutions.system(1)[i]).abs() < 1e-10);
@@ -462,10 +455,9 @@ mod tests {
         let systems: Vec<_> =
             (0..1).map(|s| BlockTridiagonalSystem::<f32>::random_dominant(s, 128)).collect();
         let report = solve_block_batch(&launcher, &systems).unwrap();
-        let algo_steps =
-            report.stats.steps.iter().filter(|s| !s.phase.is_straight_line()).count();
+        let algo_steps = report.stats.steps.iter().filter(|s| !s.phase.is_straight_line()).count();
         assert_eq!(algo_steps, 2 * 7 - 1); // 2 log2(128) - 1, like scalar CR
-        // Stride-doubling conflicts appear here too.
+                                           // Stride-doubling conflicts appear here too.
         assert!(report.stats.max_conflict_degree() >= 8);
     }
 

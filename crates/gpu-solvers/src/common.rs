@@ -59,8 +59,7 @@ mod tests {
 
     #[test]
     fn upload_download_round_trip() {
-        let batch: SystemBatch<f32> =
-            Generator::new(1).batch(Workload::Poisson, 8, 3).unwrap();
+        let batch: SystemBatch<f32> = Generator::new(1).batch(Workload::Poisson, 8, 3).unwrap();
         let mut gmem = GlobalMem::new();
         let h = SystemHandles::upload(&mut gmem, &batch);
         assert_eq!(gmem.view(h.a), batch.a.as_slice());

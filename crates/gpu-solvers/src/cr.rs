@@ -36,13 +36,7 @@ pub(crate) struct SharedSystem<T> {
 
 impl<T: Real> SharedSystem<T> {
     pub fn alloc(ctx: &mut BlockCtx<'_, T>, n: usize) -> Self {
-        Self {
-            a: ctx.alloc(n),
-            b: ctx.alloc(n),
-            c: ctx.alloc(n),
-            d: ctx.alloc(n),
-            x: ctx.alloc(n),
-        }
+        Self { a: ctx.alloc(n), b: ctx.alloc(n), c: ctx.alloc(n), d: ctx.alloc(n), x: ctx.alloc(n) }
     }
 }
 
@@ -294,7 +288,10 @@ mod tests {
     use tridiag_core::residual::batch_residual;
     use tridiag_core::{Generator, SystemBatch, Workload};
 
-    fn run(n: usize, count: usize) -> (SystemBatch<f32>, tridiag_core::SolutionBatch<f32>, gpu_sim::LaunchReport) {
+    fn run(
+        n: usize,
+        count: usize,
+    ) -> (SystemBatch<f32>, tridiag_core::SolutionBatch<f32>, gpu_sim::LaunchReport) {
         let batch: SystemBatch<f32> =
             Generator::new(42).batch(Workload::DiagonallyDominant, n, count).unwrap();
         let mut gmem = GlobalMem::new();

@@ -348,7 +348,10 @@ mod tests {
     use tridiag_core::residual::batch_residual;
     use tridiag_core::{Generator, SystemBatch, Workload};
 
-    fn run_even_odd(n: usize, count: usize) -> (SystemBatch<f32>, LaunchReport, tridiag_core::SolutionBatch<f32>) {
+    fn run_even_odd(
+        n: usize,
+        count: usize,
+    ) -> (SystemBatch<f32>, LaunchReport, tridiag_core::SolutionBatch<f32>) {
         let batch: SystemBatch<f32> =
             Generator::new(42).batch(Workload::DiagonallyDominant, n, count).unwrap();
         let mut gmem = GlobalMem::new();
@@ -400,9 +403,8 @@ mod tests {
         let (batch, report, _) = run_even_odd(512, 1);
         let mut gmem = GlobalMem::new();
         let gm = SystemHandles::upload(&mut gmem, &batch);
-        let plain = Launcher::gtx280()
-            .launch(&crate::cr::CrKernel { n: 512, gm }, 1, &mut gmem)
-            .unwrap();
+        let plain =
+            Launcher::gtx280().launch(&crate::cr::CrKernel { n: 512, gm }, 1, &mut gmem).unwrap();
         assert_eq!(report.stats.num_steps(), plain.stats.num_steps());
     }
 
@@ -412,9 +414,8 @@ mod tests {
             Generator::new(42).batch(Workload::DiagonallyDominant, 512, 1).unwrap();
         let mut gmem = GlobalMem::new();
         let gm = SystemHandles::upload(&mut gmem, &batch);
-        let fake = Launcher::gtx280()
-            .launch(&CrStrideOneKernel { n: 512, gm }, 1, &mut gmem)
-            .unwrap();
+        let fake =
+            Launcher::gtx280().launch(&CrStrideOneKernel { n: 512, gm }, 1, &mut gmem).unwrap();
         let mut gmem2 = GlobalMem::new();
         let gm2 = SystemHandles::upload(&mut gmem2, &batch);
         let real = Launcher::gtx280()

@@ -191,7 +191,10 @@ mod tests {
     use tridiag_core::residual::batch_residual;
     use tridiag_core::{Generator, SystemBatch, Workload};
 
-    fn run(n: usize, count: usize) -> (SystemBatch<f32>, tridiag_core::SolutionBatch<f32>, gpu_sim::LaunchReport) {
+    fn run(
+        n: usize,
+        count: usize,
+    ) -> (SystemBatch<f32>, tridiag_core::SolutionBatch<f32>, gpu_sim::LaunchReport) {
         let batch: SystemBatch<f32> =
             Generator::new(42).batch(Workload::DiagonallyDominant, n, count).unwrap();
         let mut gmem = GlobalMem::new();
@@ -227,9 +230,8 @@ mod tests {
         let (batch, _, global) = run(512, 64);
         let mut gmem = GlobalMem::new();
         let gm = crate::common::SystemHandles::upload(&mut gmem, &batch);
-        let shared = Launcher::gtx280()
-            .launch(&crate::cr::CrKernel { n: 512, gm }, 64, &mut gmem)
-            .unwrap();
+        let shared =
+            Launcher::gtx280().launch(&crate::cr::CrKernel { n: 512, gm }, 64, &mut gmem).unwrap();
         let ratio = global.timing.kernel_ms / shared.timing.kernel_ms;
         assert!(
             (1.5..6.0).contains(&ratio),

@@ -14,9 +14,7 @@
 //! occupancy checker reproduces that limit.
 
 use crate::common::{log2, SystemHandles};
-use crate::cr::{
-    backward_update, forward_update, load_system, store_solution, SharedSystem,
-};
+use crate::cr::{backward_update, forward_update, load_system, store_solution, SharedSystem};
 use crate::pcr::{pcr_solve_pair, pcr_update};
 use crate::rd::{evaluate_solutions, scan_combine, setup_matrix, RdMode, ScanArrays};
 use gpu_sim::{hillis_steele, BlockCtx, GridKernel, Phase};
@@ -158,9 +156,7 @@ impl<T: Real> GridKernel<T> for HybridKernel<T> {
                     setup_matrix(t, &mats, k, a, b, c, d);
                 });
                 hillis_steele(ctx, m, Phase::Scan, |t, i, j| scan_combine(t, &mats, i, j));
-                evaluate_solutions(ctx, &mats, m, |t, k, v| {
-                    t.store(x, stride * (k + 1) - 1, v)
-                });
+                evaluate_solutions(ctx, &mats, m, |t, k, v| t.store(x, stride * (k + 1) - 1, v));
             }
         }
 
@@ -238,8 +234,7 @@ mod tests {
         // reduction shrinks the couplings geometrically, so the RD chain
         // matrices blow up regardless of the switch point.
         let (_, sol, _) =
-            run(512, 128, InnerSolver::Rd(RdMode::Plain), 4, Workload::DiagonallyDominant)
-                .unwrap();
+            run(512, 128, InnerSolver::Rd(RdMode::Plain), 4, Workload::DiagonallyDominant).unwrap();
         assert!(sol.first_non_finite().is_some(), "expected CR+RD overflow");
     }
 
@@ -254,10 +249,7 @@ mod tests {
             .steps
             .iter()
             .filter(|s| {
-                !matches!(
-                    s.phase,
-                    Phase::GlobalLoad | Phase::GlobalStore | Phase::CopyIntermediate
-                )
+                !matches!(s.phase, Phase::GlobalLoad | Phase::GlobalStore | Phase::CopyIntermediate)
             })
             .count();
         assert_eq!(algo_steps, 2 * 9 - 8 - 1 + 1); // fwd(1) + pcr(8) + bwd(1)
@@ -293,9 +285,7 @@ mod tests {
             run(64, 2, InnerSolver::Pcr, 2, Workload::DiagonallyDominant).unwrap();
         let mut gmem = GlobalMem::new();
         let gm = SystemHandles::upload(&mut gmem, &batch);
-        Launcher::gtx280()
-            .launch(&crate::cr::CrKernel { n: 64, gm }, 2, &mut gmem)
-            .unwrap();
+        Launcher::gtx280().launch(&crate::cr::CrKernel { n: 64, gm }, 2, &mut gmem).unwrap();
         let cr_sol = gm.download_solutions(&mut gmem, &batch);
         // The PCR inner solve on a 2-unknown system performs the same 2x2
         // solve as CR's middle step; results agree to rounding.
@@ -314,9 +304,8 @@ mod tests {
             Generator::new(42).batch(Workload::DiagonallyDominant, 512, 1).unwrap();
         let mut gmem = GlobalMem::new();
         let gm = SystemHandles::upload(&mut gmem, &batch);
-        let pcr = Launcher::gtx280()
-            .launch(&crate::pcr::PcrKernel { n: 512, gm }, 1, &mut gmem)
-            .unwrap();
+        let pcr =
+            Launcher::gtx280().launch(&crate::pcr::PcrKernel { n: 512, gm }, 1, &mut gmem).unwrap();
         assert!(hybrid.stats.total_ops() < pcr.stats.total_ops());
     }
 

@@ -53,4 +53,4 @@ pub use periodic::{solve_periodic_batch, PeriodicSolveReport};
 pub use rd::{RdKernel, RdMode};
 pub use refine::{solve_batch_refined, RefinedSolveReport};
 pub use robust::{solve_batch_robust, Repair, RepairReason, RobustOptions, RobustSolveReport};
-pub use solver::{solve_batch, GpuAlgorithm, GpuSolveReport};
+pub use solver::{solve_batch, GpuAlgorithm, GpuSolveReport, ParseGpuAlgorithmError};

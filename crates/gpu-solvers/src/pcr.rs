@@ -229,9 +229,8 @@ mod tests {
             Generator::new(42).batch(Workload::DiagonallyDominant, 512, 1).unwrap();
         let mut gmem = GlobalMem::new();
         let gm = SystemHandles::upload(&mut gmem, &batch);
-        let cr = Launcher::gtx280()
-            .launch(&crate::cr::CrKernel { n: 512, gm }, 1, &mut gmem)
-            .unwrap();
+        let cr =
+            Launcher::gtx280().launch(&crate::cr::CrKernel { n: 512, gm }, 1, &mut gmem).unwrap();
         assert!(pcr.stats.total_ops() > cr.stats.total_ops());
         assert!(pcr.stats.num_steps() < cr.stats.num_steps());
     }

@@ -157,8 +157,7 @@ mod tests {
     #[test]
     fn fewer_steps_than_pure_pcr() {
         let (_, _, report) = run(512, 16, 1);
-        let algo_steps =
-            report.stats.steps.iter().filter(|s| !s.phase.is_straight_line()).count();
+        let algo_steps = report.stats.steps.iter().filter(|s| !s.phase.is_straight_line()).count();
         // log2(512/16) PCR levels + 1 serial step = 6 (vs PCR's 9).
         assert_eq!(algo_steps, 6);
     }

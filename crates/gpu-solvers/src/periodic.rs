@@ -65,11 +65,8 @@ pub fn solve_periodic_batch<T: Real>(
     let inner = solve_batch(launcher, algorithm, &batch)?;
 
     // Host-side rank-one combination.
-    let mut solutions = SolutionBatch::from_flat(
-        n,
-        systems.len(),
-        vec![T::ZERO; n * systems.len()],
-    )?;
+    let mut solutions =
+        SolutionBatch::from_flat(n, systems.len(), vec![T::ZERO; n * systems.len()])?;
     for (k, sys) in systems.iter().enumerate() {
         let y = inner.solutions.system(2 * k);
         let z = inner.solutions.system(2 * k + 1);
@@ -103,11 +100,7 @@ mod tests {
                 let x_cpu = cpu_solvers::cyclic::solve(sys).unwrap();
                 let x_gpu = report.solutions.system(k);
                 for i in 0..64 {
-                    assert!(
-                        (x_cpu[i] - x_gpu[i]).abs() < 1e-10,
-                        "{} sys {k} i {i}",
-                        alg.name()
-                    );
+                    assert!((x_cpu[i] - x_gpu[i]).abs() < 1e-10, "{} sys {k} i {i}", alg.name());
                 }
                 assert!(sys.l2_residual(x_gpu).unwrap() < 1e-10);
             }
@@ -118,8 +111,7 @@ mod tests {
     fn doubled_batch_shape_and_timing() {
         let launcher = Launcher::gtx280();
         let systems: Vec<_> = (0..4).map(|s| random_dominant(s + 10, 32)).collect();
-        let report =
-            solve_periodic_batch(&launcher, GpuAlgorithm::Pcr, &systems).unwrap();
+        let report = solve_periodic_batch(&launcher, GpuAlgorithm::Pcr, &systems).unwrap();
         assert_eq!(report.inner.timing.blocks, 8); // two solves per system
         assert_eq!(report.solutions.count(), 4);
         assert!(report.inner.timing.kernel_ms > 0.0);

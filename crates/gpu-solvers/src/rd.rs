@@ -336,12 +336,8 @@ mod tests {
     fn step_count_matches_paper() {
         // Table 1: log2 n + 2 algorithmic steps (setup + scan + eval).
         let (_, _, report) = run(512, 1, Workload::CloseValues, RdMode::Plain);
-        let algo_steps = report
-            .stats
-            .steps
-            .iter()
-            .filter(|s| !matches!(s.phase, Phase::GlobalStore))
-            .count();
+        let algo_steps =
+            report.stats.steps.iter().filter(|s| !matches!(s.phase, Phase::GlobalStore)).count();
         assert_eq!(algo_steps, 9 + 2);
     }
 
@@ -350,11 +346,8 @@ mod tests {
         // §4: RD's active thread count starts at n and reduces toward half
         // during the scan.
         let (_, _, report) = run(64, 1, Workload::CloseValues, RdMode::Plain);
-        let actives: Vec<usize> = report
-            .stats
-            .steps_in_phase(Phase::Scan)
-            .map(|s| s.active_threads)
-            .collect();
+        let actives: Vec<usize> =
+            report.stats.steps_in_phase(Phase::Scan).map(|s| s.active_threads).collect();
         assert_eq!(actives, vec![63, 62, 60, 56, 48, 32]);
     }
 
@@ -366,9 +359,8 @@ mod tests {
             Generator::new(42).batch(Workload::CloseValues, 256, 1).unwrap();
         let mut gmem = GlobalMem::new();
         let gm = SystemHandles::upload(&mut gmem, &batch);
-        let pcr = Launcher::gtx280()
-            .launch(&crate::pcr::PcrKernel { n: 256, gm }, 1, &mut gmem)
-            .unwrap();
+        let pcr =
+            Launcher::gtx280().launch(&crate::pcr::PcrKernel { n: 256, gm }, 1, &mut gmem).unwrap();
         let ratio = rd.stats.total_ops() as f64 / pcr.stats.total_ops() as f64;
         assert!((1.2..2.3).contains(&ratio), "ratio {ratio}");
     }

@@ -78,11 +78,8 @@ pub fn solve_batch_refined(
     let f32_batch = downcast(batch);
     let first = solve_batch(launcher, algorithm, &f32_batch)?;
     let mut total_kernel_ms = first.timing.kernel_ms;
-    let mut x = SolutionBatch::from_flat(
-        n,
-        count,
-        first.solutions.x.iter().map(|&v| v as f64).collect(),
-    )?;
+    let mut x =
+        SolutionBatch::from_flat(n, count, first.solutions.x.iter().map(|&v| v as f64).collect())?;
     let mut residual_history = vec![worst_residual(batch, &x)?];
 
     for _ in 0..iterations {
@@ -134,8 +131,7 @@ mod tests {
     fn refinement_reaches_near_f64_accuracy() {
         let launcher = Launcher::gtx280();
         let b = batch(256, 8);
-        let r =
-            solve_batch_refined(&launcher, GpuAlgorithm::CrPcr { m: 128 }, &b, 3).unwrap();
+        let r = solve_batch_refined(&launcher, GpuAlgorithm::CrPcr { m: 128 }, &b, 3).unwrap();
         // Initial f32 residual ~1e-6; refined should approach f64 rounding.
         assert!(r.residual_history[0] > 1e-8, "f32 start: {:?}", r.residual_history);
         let last = *r.residual_history.last().unwrap();
@@ -148,11 +144,7 @@ mod tests {
         let b = batch(128, 4);
         let r = solve_batch_refined(&launcher, GpuAlgorithm::Pcr, &b, 4).unwrap();
         for w in r.residual_history.windows(2) {
-            assert!(
-                w[1] <= w[0] * 1.5 || w[1] < 1e-12,
-                "history {:?}",
-                r.residual_history
-            );
+            assert!(w[1] <= w[0] * 1.5 || w[1] < 1e-12, "history {:?}", r.residual_history);
         }
         // First step should contract strongly (eps_f32 * kappa << 1 here).
         assert!(r.residual_history[1] < r.residual_history[0] * 1e-2);
@@ -162,13 +154,9 @@ mod tests {
     fn matches_native_f64_solve() {
         let launcher = Launcher::gtx280();
         let b = batch(128, 4);
-        let refined =
-            solve_batch_refined(&launcher, GpuAlgorithm::Cr, &b, 3).unwrap();
+        let refined = solve_batch_refined(&launcher, GpuAlgorithm::Cr, &b, 3).unwrap();
         let native = solve_batch(&launcher, GpuAlgorithm::Cr, &b).unwrap();
-        let diff = tridiag_core::residual::max_abs_diff(
-            &refined.solutions.x,
-            &native.solutions.x,
-        );
+        let diff = tridiag_core::residual::max_abs_diff(&refined.solutions.x, &native.solutions.x);
         assert!(diff < 1e-9, "diff {diff}");
     }
 

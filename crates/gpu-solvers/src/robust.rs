@@ -157,13 +157,8 @@ mod tests {
         systems[3] = bad;
         let batch = SystemBatch::from_systems(&systems).unwrap();
 
-        let r = solve_batch_robust(
-            &launcher,
-            GpuAlgorithm::Cr,
-            &batch,
-            RobustOptions::default(),
-        )
-        .unwrap();
+        let r = solve_batch_robust(&launcher, GpuAlgorithm::Cr, &batch, RobustOptions::default())
+            .unwrap();
         assert_eq!(r.repaired.len(), 1);
         assert_eq!(r.repaired[0].system, 3);
         let res = batch_residual(&batch, &r.gpu.solutions).unwrap();
@@ -178,13 +173,8 @@ mod tests {
         let launcher = Launcher::gtx280();
         let batch: SystemBatch<f32> =
             Generator::new(4).batch(Workload::RandomGeneral, 64, 16).unwrap();
-        let r = solve_batch_robust(
-            &launcher,
-            GpuAlgorithm::Pcr,
-            &batch,
-            RobustOptions::default(),
-        )
-        .unwrap();
+        let r = solve_batch_robust(&launcher, GpuAlgorithm::Pcr, &batch, RobustOptions::default())
+            .unwrap();
         let res = batch_residual(&batch, &r.gpu.solutions).unwrap();
         assert!(!res.has_overflow());
         assert!(res.max_l2 < 1e-2, "{}", res.max_l2);

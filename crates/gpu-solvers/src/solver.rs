@@ -107,6 +107,102 @@ impl GpuAlgorithm {
             _ => Ok(()),
         }
     }
+
+    /// Per-block shared-memory bytes the in-shared-memory kernels need for
+    /// one system of size `n` (the paper's five arrays), or `None` when the
+    /// variant does not stage systems in shared memory.
+    pub fn shared_bytes_per_system(self, n: usize, element_bytes: usize) -> Option<usize> {
+        match self {
+            GpuAlgorithm::CrGlobalOnly | GpuAlgorithm::ThomasPerThread => None,
+            _ => Some(5 * n * element_bytes),
+        }
+    }
+
+    /// Whether a system of size `n` (elements of `element_bytes`) fits this
+    /// variant's shared-memory footprint on `device` — the planner's
+    /// admission rule for routing oversized systems to the global-memory
+    /// path instead.
+    pub fn fits_shared(
+        self,
+        n: usize,
+        element_bytes: usize,
+        device: &gpu_sim::DeviceConfig,
+    ) -> bool {
+        match self.shared_bytes_per_system(n, element_bytes) {
+            None => true,
+            Some(bytes) => bytes + device.shared_mem_reserved_per_block <= device.shared_mem_per_sm,
+        }
+    }
+}
+
+/// Canonical machine-readable spelling, round-trippable through
+/// [`FromStr`](core::str::FromStr): `cr`, `pcr`, `rd`, `rd-rescaled`,
+/// `cr+pcr@256`, `cr+rd@128`, `cr+rd-rescaled@128`, `cr-evenodd`,
+/// `cr-global`, `thomas-per-thread`.
+impl core::fmt::Display for GpuAlgorithm {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GpuAlgorithm::Cr => f.write_str("cr"),
+            GpuAlgorithm::Pcr => f.write_str("pcr"),
+            GpuAlgorithm::Rd(RdMode::Plain) => f.write_str("rd"),
+            GpuAlgorithm::Rd(RdMode::Rescaled) => f.write_str("rd-rescaled"),
+            GpuAlgorithm::CrPcr { m } => write!(f, "cr+pcr@{m}"),
+            GpuAlgorithm::CrRd { m, mode: RdMode::Plain } => write!(f, "cr+rd@{m}"),
+            GpuAlgorithm::CrRd { m, mode: RdMode::Rescaled } => {
+                write!(f, "cr+rd-rescaled@{m}")
+            }
+            GpuAlgorithm::CrEvenOdd => f.write_str("cr-evenodd"),
+            GpuAlgorithm::CrGlobalOnly => f.write_str("cr-global"),
+            GpuAlgorithm::ThomasPerThread => f.write_str("thomas-per-thread"),
+        }
+    }
+}
+
+/// Error parsing a [`GpuAlgorithm`] from its canonical spelling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGpuAlgorithmError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl core::fmt::Display for ParseGpuAlgorithmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "unknown GPU algorithm '{}' (expected cr, pcr, rd, rd-rescaled, cr+pcr@<m>, \
+             cr+rd@<m>, cr+rd-rescaled@<m>, cr-evenodd, cr-global, or thomas-per-thread)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseGpuAlgorithmError {}
+
+impl core::str::FromStr for GpuAlgorithm {
+    type Err = ParseGpuAlgorithmError;
+
+    fn from_str(s: &str) -> core::result::Result<Self, Self::Err> {
+        let err = || ParseGpuAlgorithmError { input: s.to_string() };
+        let lower = s.trim().to_ascii_lowercase();
+        match lower.as_str() {
+            "cr" => return Ok(GpuAlgorithm::Cr),
+            "pcr" => return Ok(GpuAlgorithm::Pcr),
+            "rd" => return Ok(GpuAlgorithm::Rd(RdMode::Plain)),
+            "rd-rescaled" => return Ok(GpuAlgorithm::Rd(RdMode::Rescaled)),
+            "cr-evenodd" => return Ok(GpuAlgorithm::CrEvenOdd),
+            "cr-global" => return Ok(GpuAlgorithm::CrGlobalOnly),
+            "thomas-per-thread" => return Ok(GpuAlgorithm::ThomasPerThread),
+            _ => {}
+        }
+        let (head, m) = lower.split_once('@').ok_or_else(err)?;
+        let m: usize = m.parse().map_err(|_| err())?;
+        match head {
+            "cr+pcr" => Ok(GpuAlgorithm::CrPcr { m }),
+            "cr+rd" => Ok(GpuAlgorithm::CrRd { m, mode: RdMode::Plain }),
+            "cr+rd-rescaled" => Ok(GpuAlgorithm::CrRd { m, mode: RdMode::Rescaled }),
+            _ => Err(err()),
+        }
+    }
 }
 
 /// Result of a GPU batch solve.
@@ -149,9 +245,7 @@ pub fn solve_batch<T: Real>(
     let report = match algorithm {
         GpuAlgorithm::Cr => launcher.launch(&CrKernel { n, gm }, count, &mut gmem)?,
         GpuAlgorithm::Pcr => launcher.launch(&PcrKernel { n, gm }, count, &mut gmem)?,
-        GpuAlgorithm::Rd(mode) => {
-            launcher.launch(&RdKernel { n, gm, mode }, count, &mut gmem)?
-        }
+        GpuAlgorithm::Rd(mode) => launcher.launch(&RdKernel { n, gm, mode }, count, &mut gmem)?,
         GpuAlgorithm::CrPcr { m } => {
             if m >= n {
                 launcher.launch(&PcrKernel { n, gm }, count, &mut gmem)?
@@ -170,9 +264,7 @@ pub fn solve_batch<T: Real>(
                 launcher.launch(&kernel, count, &mut gmem)?
             }
         }
-        GpuAlgorithm::CrEvenOdd => {
-            launcher.launch(&CrEvenOddKernel { n, gm }, count, &mut gmem)?
-        }
+        GpuAlgorithm::CrEvenOdd => launcher.launch(&CrEvenOddKernel { n, gm }, count, &mut gmem)?,
         GpuAlgorithm::CrGlobalOnly => {
             launcher.launch(&GlobalCrKernel::new(n, gm), count, &mut gmem)?
         }
@@ -218,8 +310,7 @@ mod tests {
     #[test]
     fn cr_rd_works_on_close_values() {
         let launcher = Launcher::gtx280();
-        let b: SystemBatch<f32> =
-            Generator::new(3).batch(Workload::CloseValues, 128, 4).unwrap();
+        let b: SystemBatch<f32> = Generator::new(3).batch(Workload::CloseValues, 128, 4).unwrap();
         let r =
             solve_batch(&launcher, GpuAlgorithm::CrRd { m: 32, mode: RdMode::Plain }, &b).unwrap();
         let res = batch_residual(&b, &r.solutions).unwrap();
@@ -240,8 +331,7 @@ mod tests {
     #[test]
     fn invalid_sizes_are_rejected() {
         let launcher = Launcher::gtx280();
-        let b: SystemBatch<f32> =
-            Generator::new(1).batch(Workload::Poisson, 48, 2).unwrap();
+        let b: SystemBatch<f32> = Generator::new(1).batch(Workload::Poisson, 48, 2).unwrap();
         assert!(matches!(
             solve_batch(&launcher, GpuAlgorithm::Cr, &b),
             Err(TridiagError::NotPowerOfTwo { n: 48 })
@@ -262,9 +352,58 @@ mod tests {
 
     #[test]
     fn paper_five_names() {
-        let names: Vec<_> =
-            GpuAlgorithm::paper_five(512).iter().map(|a| a.name()).collect();
+        let names: Vec<_> = GpuAlgorithm::paper_five(512).iter().map(|a| a.name()).collect();
         assert_eq!(names, vec!["CR+PCR", "CR+RD", "PCR", "RD", "CR"]);
+    }
+
+    #[test]
+    fn display_from_str_round_trips() {
+        let algs = [
+            GpuAlgorithm::Cr,
+            GpuAlgorithm::Pcr,
+            GpuAlgorithm::Rd(RdMode::Plain),
+            GpuAlgorithm::Rd(RdMode::Rescaled),
+            GpuAlgorithm::CrPcr { m: 256 },
+            GpuAlgorithm::CrRd { m: 128, mode: RdMode::Plain },
+            GpuAlgorithm::CrRd { m: 64, mode: RdMode::Rescaled },
+            GpuAlgorithm::CrEvenOdd,
+            GpuAlgorithm::CrGlobalOnly,
+            GpuAlgorithm::ThomasPerThread,
+        ];
+        for alg in algs {
+            let text = alg.to_string();
+            let parsed: GpuAlgorithm = text.parse().unwrap();
+            assert_eq!(parsed, alg, "{text}");
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_and_trimmed() {
+        assert_eq!(" CR ".parse::<GpuAlgorithm>().unwrap(), GpuAlgorithm::Cr);
+        assert_eq!(
+            "Cr+Rd@64".parse::<GpuAlgorithm>().unwrap(),
+            GpuAlgorithm::CrRd { m: 64, mode: RdMode::Plain }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "thomas", "cr+", "cr+pcr", "cr+pcr@", "cr+pcr@x", "pcr@8", "rd@4"] {
+            let e = bad.parse::<GpuAlgorithm>().unwrap_err();
+            assert_eq!(e.input, bad, "{bad}");
+        }
+    }
+
+    #[test]
+    fn fits_shared_matches_gtx280_limits() {
+        let device = Launcher::gtx280().device;
+        // f32, n = 512: 5*512*4 = 10240 B + reserve fits in 16 KiB.
+        assert!(GpuAlgorithm::Cr.fits_shared(512, 4, &device));
+        // f32, n = 1024: 5*1024*4 = 20480 B does not fit.
+        assert!(!GpuAlgorithm::Pcr.fits_shared(1024, 4, &device));
+        // The global-memory and coarse paths never stage in shared memory.
+        assert!(GpuAlgorithm::CrGlobalOnly.fits_shared(1 << 20, 4, &device));
+        assert!(GpuAlgorithm::ThomasPerThread.fits_shared(1 << 20, 4, &device));
     }
 
     #[test]

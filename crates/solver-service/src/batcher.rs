@@ -1,0 +1,243 @@
+//! Micro-batcher: groups admitted requests into size-class batches.
+//!
+//! The paper's solvers get their throughput from *batching* — one kernel
+//! launch solving hundreds of systems at once, a thread block per system.
+//! Individual callers submit one system at a time, so the service
+//! accumulates requests into per-`n` buckets (systems of different sizes
+//! can never share a launch: the kernels are compiled per size class and
+//! the batched layout is `n`-contiguous) and flushes a bucket when either
+//!
+//! * it reaches the **target batch size** (enough occupancy to saturate
+//!   the simulated SMs), or
+//! * the oldest request in it has waited **max linger** (bounding the
+//!   latency a lone request can be held hostage for), or
+//! * the service is shutting down (everything admitted gets served).
+//!
+//! The bucketing logic lives in the pure, thread-free [`BucketTable`] so
+//! the edge cases (lone-request linger flush, size-class isolation, flush
+//! ordering) are deterministically testable; the service wraps it in a
+//! thread that sleeps exactly until the earliest linger deadline.
+
+use crate::request::SolveRequest;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use tridiag_core::Real;
+
+/// Why a batch was flushed — carried through to the metrics so operators
+/// can see whether the service is running full (throughput mode) or
+/// lingering (latency mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The bucket reached the target batch size.
+    Full,
+    /// The oldest request hit the linger deadline.
+    Linger,
+    /// Service shutdown drained the bucket.
+    Shutdown,
+}
+
+impl FlushReason {
+    /// Stable lower-case label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlushReason::Full => "full",
+            FlushReason::Linger => "linger",
+            FlushReason::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A group of same-size requests ready for dispatch.
+#[derive(Debug)]
+pub struct FlushedBatch<T: Real> {
+    /// System size shared by every request in the batch.
+    pub n: usize,
+    /// The member requests (at least one).
+    pub requests: Vec<SolveRequest<T>>,
+    /// What triggered the flush.
+    pub reason: FlushReason,
+}
+
+struct Bucket<T: Real> {
+    requests: Vec<SolveRequest<T>>,
+    /// Admission time of the *oldest* member — linger is measured from the
+    /// first request so the bound holds even under a trickle of arrivals.
+    oldest: Instant,
+}
+
+/// Pure batching state machine: per-size buckets with target/linger flush.
+pub struct BucketTable<T: Real> {
+    buckets: HashMap<usize, Bucket<T>>,
+    target_batch: usize,
+    max_linger: Duration,
+}
+
+impl<T: Real> BucketTable<T> {
+    /// Creates an empty table flushing at `target_batch` requests or after
+    /// `max_linger` of the oldest member's wait, whichever comes first.
+    pub fn new(target_batch: usize, max_linger: Duration) -> Self {
+        assert!(target_batch >= 1, "target batch size must be >= 1");
+        Self { buckets: HashMap::new(), target_batch, max_linger }
+    }
+
+    /// Number of requests currently parked in buckets.
+    pub fn pending(&self) -> usize {
+        self.buckets.values().map(|b| b.requests.len()).sum()
+    }
+
+    /// Adds `request` to its size-class bucket; returns the batch when the
+    /// bucket reaches the target size.
+    pub fn insert(&mut self, request: SolveRequest<T>, now: Instant) -> Option<FlushedBatch<T>> {
+        let n = request.system.n();
+        let bucket =
+            self.buckets.entry(n).or_insert_with(|| Bucket { requests: Vec::new(), oldest: now });
+        if bucket.requests.is_empty() {
+            bucket.oldest = now;
+        }
+        bucket.requests.push(request);
+        if bucket.requests.len() >= self.target_batch {
+            let bucket = self.buckets.remove(&n).expect("bucket just touched");
+            return Some(FlushedBatch { n, requests: bucket.requests, reason: FlushReason::Full });
+        }
+        None
+    }
+
+    /// The earliest linger deadline across all buckets, or `None` when
+    /// everything is empty (the batcher thread sleeps on the queue alone).
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.buckets.values().map(|b| b.oldest + self.max_linger).min()
+    }
+
+    /// Flushes every bucket whose oldest member has waited `max_linger`.
+    pub fn flush_expired(&mut self, now: Instant) -> Vec<FlushedBatch<T>> {
+        let expired: Vec<usize> = self
+            .buckets
+            .iter()
+            .filter(|(_, b)| now >= b.oldest + self.max_linger)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut out = Vec::with_capacity(expired.len());
+        for n in expired {
+            let bucket = self.buckets.remove(&n).expect("listed above");
+            out.push(FlushedBatch { n, requests: bucket.requests, reason: FlushReason::Linger });
+        }
+        out
+    }
+
+    /// Flushes everything, regardless of size or age — shutdown drain.
+    pub fn flush_all(&mut self) -> Vec<FlushedBatch<T>> {
+        let mut sizes: Vec<usize> = self.buckets.keys().copied().collect();
+        sizes.sort_unstable(); // deterministic drain order
+        sizes
+            .into_iter()
+            .map(|n| {
+                let bucket = self.buckets.remove(&n).expect("listed above");
+                FlushedBatch { n, requests: bucket.requests, reason: FlushReason::Shutdown }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::make_request;
+    use tridiag_core::TridiagonalSystem;
+
+    fn req(id: u64, n: usize) -> SolveRequest<f32> {
+        let system = TridiagonalSystem::toeplitz(n, -1.0, 4.0, -1.0, 1.0).unwrap();
+        make_request(id, system).0
+    }
+
+    #[test]
+    fn bucket_flushes_exactly_at_target() {
+        let mut table = BucketTable::new(3, Duration::from_millis(100));
+        let now = Instant::now();
+        assert!(table.insert(req(0, 64), now).is_none());
+        assert!(table.insert(req(1, 64), now).is_none());
+        let flush = table.insert(req(2, 64), now).expect("third request fills the bucket");
+        assert_eq!(flush.n, 64);
+        assert_eq!(flush.reason, FlushReason::Full);
+        assert_eq!(flush.requests.len(), 3);
+        assert_eq!(table.pending(), 0);
+    }
+
+    #[test]
+    fn mixed_size_classes_are_never_co_batched() {
+        let mut table = BucketTable::new(2, Duration::from_millis(100));
+        let now = Instant::now();
+        assert!(table.insert(req(0, 64), now).is_none());
+        assert!(table.insert(req(1, 128), now).is_none());
+        // Each size class fills independently.
+        let f64_class = table.insert(req(2, 64), now).unwrap();
+        assert_eq!(f64_class.n, 64);
+        assert!(f64_class.requests.iter().all(|r| r.system.n() == 64));
+        let f128 = table.insert(req(3, 128), now).unwrap();
+        assert_eq!(f128.n, 128);
+        assert!(f128.requests.iter().all(|r| r.system.n() == 128));
+    }
+
+    #[test]
+    fn lone_request_flushes_on_linger_deadline() {
+        let mut table = BucketTable::new(64, Duration::from_millis(10));
+        let t0 = Instant::now();
+        assert!(table.insert(req(0, 32), t0).is_none());
+        // Before the deadline: nothing.
+        assert!(table.flush_expired(t0 + Duration::from_millis(5)).is_empty());
+        // At the deadline: the lone request is flushed rather than starved.
+        let flushed = table.flush_expired(t0 + Duration::from_millis(10));
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].reason, FlushReason::Linger);
+        assert_eq!(flushed[0].requests.len(), 1);
+    }
+
+    #[test]
+    fn linger_clock_starts_at_the_oldest_member() {
+        let mut table = BucketTable::new(64, Duration::from_millis(10));
+        let t0 = Instant::now();
+        table.insert(req(0, 32), t0);
+        // A later arrival must NOT reset the deadline.
+        table.insert(req(1, 32), t0 + Duration::from_millis(8));
+        assert_eq!(table.next_deadline(), Some(t0 + Duration::from_millis(10)));
+        let flushed = table.flush_expired(t0 + Duration::from_millis(10));
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].requests.len(), 2);
+    }
+
+    #[test]
+    fn deadline_is_the_minimum_across_buckets() {
+        let mut table = BucketTable::new(64, Duration::from_millis(10));
+        let t0 = Instant::now();
+        table.insert(req(0, 32), t0 + Duration::from_millis(3));
+        table.insert(req(1, 64), t0);
+        assert_eq!(table.next_deadline(), Some(t0 + Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn flush_all_drains_every_bucket_deterministically() {
+        let mut table = BucketTable::new(64, Duration::from_millis(100));
+        let now = Instant::now();
+        table.insert(req(0, 128), now);
+        table.insert(req(1, 32), now);
+        table.insert(req(2, 32), now);
+        let drained = table.flush_all();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].n, 32); // sorted by size
+        assert_eq!(drained[0].requests.len(), 2);
+        assert_eq!(drained[1].n, 128);
+        assert!(drained.iter().all(|f| f.reason == FlushReason::Shutdown));
+        assert_eq!(table.pending(), 0);
+        assert_eq!(table.next_deadline(), None);
+    }
+
+    #[test]
+    fn empty_bucket_reuse_resets_the_linger_clock() {
+        let mut table = BucketTable::new(2, Duration::from_millis(10));
+        let t0 = Instant::now();
+        table.insert(req(0, 32), t0);
+        table.insert(req(1, 32), t0); // flushes (target 2)
+                                      // New request in the same size class starts a fresh clock.
+        table.insert(req(2, 32), t0 + Duration::from_millis(50));
+        assert_eq!(table.next_deadline(), Some(t0 + Duration::from_millis(60)));
+    }
+}

@@ -1,0 +1,326 @@
+//! Dispatcher: executes a flushed batch on the planned engine, verifies
+//! every solution, repairs failures, and fulfils tickets.
+//!
+//! Routing policy, in order:
+//!
+//! 1. **Small flushes go to the CPU.** A linger-flushed batch of one or
+//!    two systems cannot amortize a kernel launch + PCIe round trip; below
+//!    `min_gpu_batch` the dispatcher overrides the cached plan with the
+//!    sequential Thomas solver.
+//! 2. **Otherwise the [`PlanCache`] decides** — autotuned once per size
+//!    class, O(1) afterwards.
+//! 3. **Every answer is verified.** GPU batches run through
+//!    [`solve_batch_robust`] (the repo's verify-and-repair wrapper); CPU
+//!    batches get the same residual acceptance test with per-system GEP
+//!    repair. The service never returns an unverified solution — the
+//!    paper's solvers are pivoting-free and may fail on general matrices,
+//!    so verification is what makes this a *service* rather than a kernel.
+
+use crate::batcher::FlushedBatch;
+use crate::metrics::ServiceMetrics;
+use crate::planner::{CpuEngine, Engine, PlanCache};
+use cpu_solvers::{gep, thomas};
+use gpu_sim::Launcher;
+use gpu_solvers::{solve_batch_robust, RobustOptions};
+use std::time::Instant;
+use tridiag_core::residual::l2_residual;
+use tridiag_core::{Real, SolutionBatch, SystemBatch, TridiagonalSystem};
+
+/// Dispatch-time knobs (a copy of the relevant service config).
+#[derive(Debug, Clone)]
+pub struct DispatchConfig {
+    /// Flushes smaller than this run on the CPU regardless of plan.
+    pub min_gpu_batch: usize,
+    /// Residual acceptance scale (see [`RobustOptions::threshold_scale`]).
+    pub threshold_scale: f64,
+    /// Probe batch size used when a plan-cache miss triggers autotune.
+    pub probe_count: usize,
+    /// When set, bypass the planner *and* the small-flush CPU override and
+    /// run every batch on this engine (benchmarking / A-B testing knob).
+    /// Verification and GEP repair still apply.
+    pub pin_engine: Option<Engine>,
+}
+
+/// Serves one flushed batch end to end: plan → execute → verify/repair →
+/// fulfil tickets → record metrics. Infallible by design: any engine
+/// error degrades to the per-system GEP path rather than dropping
+/// requests.
+pub fn serve_flush<T: Real>(
+    launcher: &Launcher,
+    plans: &PlanCache,
+    metrics: &ServiceMetrics,
+    cfg: &DispatchConfig,
+    flush: FlushedBatch<T>,
+) {
+    let FlushedBatch { n, requests, reason } = flush;
+    let occupancy = requests.len();
+    debug_assert!(occupancy > 0, "empty flush");
+
+    // Pinned engine wins outright; otherwise sub-critical flushes skip
+    // planning entirely (they go to the CPU, and tuning a size class the
+    // GPU may never see would waste the tournament).
+    let engine = match cfg.pin_engine {
+        Some(engine) => engine,
+        None if occupancy < cfg.min_gpu_batch => Engine::Cpu(CpuEngine::Thomas),
+        None => plans.plan_for::<T>(launcher, n, cfg.probe_count).engine,
+    };
+
+    let systems: Vec<TridiagonalSystem<T>> = requests.iter().map(|r| r.system.clone()).collect();
+    let outcome = execute(launcher, engine, &systems, cfg.threshold_scale);
+
+    metrics.on_batch_served(
+        &outcome.engine_label,
+        occupancy,
+        reason,
+        outcome.repairs,
+        outcome.engine_ms,
+    );
+
+    let now = Instant::now();
+    for (i, request) in requests.into_iter().enumerate() {
+        let latency = now.saturating_duration_since(request.submitted_at);
+        let id = request.id;
+        request.fulfil(crate::request::SolveResponse {
+            id,
+            x: outcome.solutions.system(i).to_vec(),
+            residual: outcome.residuals[i],
+            engine: outcome.engine_label.clone(),
+            repaired: outcome.repaired_flags[i],
+            batch_occupancy: occupancy,
+            latency,
+        });
+        metrics.on_complete(latency);
+    }
+}
+
+struct Outcome<T: Real> {
+    solutions: SolutionBatch<T>,
+    residuals: Vec<f64>,
+    repaired_flags: Vec<bool>,
+    repairs: usize,
+    engine_label: String,
+    /// Simulated device ms (GPU) or measured wall-clock ms (CPU).
+    engine_ms: f64,
+}
+
+/// Runs `systems` on `engine`, verifying and repairing every solution.
+fn execute<T: Real>(
+    launcher: &Launcher,
+    engine: Engine,
+    systems: &[TridiagonalSystem<T>],
+    threshold_scale: f64,
+) -> Outcome<T> {
+    let batch = SystemBatch::from_systems(systems).expect("flush holds >=1 same-size systems");
+    match engine {
+        Engine::Gpu(alg) => {
+            let options = RobustOptions { threshold_scale };
+            match solve_batch_robust(launcher, alg, &batch, options) {
+                Ok(report) => {
+                    let mut repaired_flags = vec![false; systems.len()];
+                    for repair in &report.repaired {
+                        repaired_flags[repair.system] = true;
+                    }
+                    let residuals = residuals_of(systems, &report.gpu.solutions);
+                    let engine_ms = report.gpu.timing.total_ms();
+                    Outcome {
+                        solutions: report.gpu.solutions,
+                        residuals,
+                        repairs: report.repaired.len(),
+                        repaired_flags,
+                        engine_label: engine.to_string(),
+                        engine_ms,
+                    }
+                }
+                // Launch-configuration failure (e.g. a device swap made the
+                // cached plan illegal): degrade to the CPU safety net.
+                Err(_) => cpu_execute(systems, &batch, CpuEngine::Gep, threshold_scale),
+            }
+        }
+        Engine::Cpu(cpu) => cpu_execute(systems, &batch, cpu, threshold_scale),
+    }
+}
+
+/// CPU path with the same acceptance rule as `solve_batch_robust`: accept
+/// when `||Ax − d||₂ ≤ scale · ||d||₂ · ε · n`, otherwise re-solve with
+/// partial pivoting.
+fn cpu_execute<T: Real>(
+    systems: &[TridiagonalSystem<T>],
+    batch: &SystemBatch<T>,
+    cpu: CpuEngine,
+    threshold_scale: f64,
+) -> Outcome<T> {
+    let n = batch.n();
+    let eps = T::EPSILON.to_f64();
+    let mut solutions = SolutionBatch::zeros_like(batch);
+    let mut residuals = vec![0.0f64; systems.len()];
+    let mut repaired_flags = vec![false; systems.len()];
+    let mut repairs = 0usize;
+    let started = std::time::Instant::now();
+
+    for (i, sys) in systems.iter().enumerate() {
+        let x = solutions.system_mut(i);
+        let primary_ok = match cpu {
+            CpuEngine::Thomas => thomas::solve_into(&sys.a, &sys.b, &sys.c, &sys.d, x).is_ok(),
+            CpuEngine::Gep => gep::solve_into(&sys.a, &sys.b, &sys.c, &sys.d, x).is_ok(),
+        };
+        let d_norm: f64 =
+            sys.d.iter().map(|&v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt().max(1e-30);
+        let threshold = threshold_scale * d_norm * eps * n as f64;
+        let accepted = primary_ok
+            && x.iter().all(|v| v.is_finite())
+            && l2_residual(sys, x).map(|r| r <= threshold).unwrap_or(false);
+        if !accepted && cpu != CpuEngine::Gep {
+            // Same repair path as the GPU robust wrapper.
+            let _ = gep::solve_into(&sys.a, &sys.b, &sys.c, &sys.d, x);
+            repaired_flags[i] = true;
+            repairs += 1;
+        }
+        residuals[i] = l2_residual(sys, x).unwrap_or(f64::INFINITY);
+    }
+
+    Outcome {
+        solutions,
+        residuals,
+        repairs,
+        repaired_flags,
+        engine_label: Engine::Cpu(cpu).to_string(),
+        engine_ms: started.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+fn residuals_of<T: Real>(
+    systems: &[TridiagonalSystem<T>],
+    solutions: &SolutionBatch<T>,
+) -> Vec<f64> {
+    systems
+        .iter()
+        .enumerate()
+        .map(|(i, sys)| l2_residual(sys, solutions.system(i)).unwrap_or(f64::INFINITY))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::FlushReason;
+    use crate::request::make_request;
+    use gpu_solvers::GpuAlgorithm;
+    use tridiag_core::{Generator, Workload};
+
+    fn cfg() -> DispatchConfig {
+        DispatchConfig {
+            min_gpu_batch: 4,
+            threshold_scale: 100.0,
+            probe_count: 4,
+            pin_engine: None,
+        }
+    }
+
+    fn flush_of(
+        n: usize,
+        count: usize,
+        seed: u64,
+    ) -> (FlushedBatch<f32>, Vec<crate::request::Ticket<f32>>) {
+        let mut generator = Generator::new(seed);
+        let mut requests = Vec::new();
+        let mut tickets = Vec::new();
+        for i in 0..count {
+            let (req, ticket) =
+                make_request(i as u64, generator.system(Workload::DiagonallyDominant, n));
+            requests.push(req);
+            tickets.push(ticket);
+        }
+        (FlushedBatch { n, requests, reason: FlushReason::Full }, tickets)
+    }
+
+    #[test]
+    fn served_flush_fulfils_every_ticket_accurately() {
+        let launcher = Launcher::gtx280();
+        let plans = PlanCache::new();
+        let metrics = ServiceMetrics::new();
+        let (flush, tickets) = flush_of(128, 8, 11);
+        serve_flush(&launcher, &plans, &metrics, &cfg(), flush);
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let resp = ticket.try_take().expect("synchronous serve fulfils immediately");
+            assert_eq!(resp.id, i as u64);
+            assert_eq!(resp.x.len(), 128);
+            assert_eq!(resp.batch_occupancy, 8);
+            assert!(resp.residual < 1e-2, "{}", resp.residual);
+        }
+        let snap = metrics.snapshot(0, plans.tunes(), plans.hits());
+        assert_eq!(snap.completed, 8);
+        assert_eq!(snap.dispatched_total(), 8);
+        assert_eq!(snap.occupancy_total(), 8);
+    }
+
+    #[test]
+    fn small_flushes_are_routed_to_the_cpu() {
+        let launcher = Launcher::gtx280();
+        let plans = PlanCache::new();
+        let metrics = ServiceMetrics::new();
+        let (flush, tickets) = flush_of(128, 2, 12); // below min_gpu_batch = 4
+        serve_flush(&launcher, &plans, &metrics, &cfg(), flush);
+        for ticket in tickets {
+            assert_eq!(ticket.try_take().unwrap().engine, "cpu-thomas");
+        }
+    }
+
+    #[test]
+    fn zero_pivot_systems_are_repaired_on_the_cpu_path() {
+        let launcher = Launcher::gtx280();
+        let plans = PlanCache::new();
+        let metrics = ServiceMetrics::new();
+        let mut generator = Generator::new(13);
+        let mut bad: TridiagonalSystem<f32> = generator.system(Workload::DiagonallyDominant, 64);
+        bad.b[0] = 0.0; // Thomas dies, GEP interchanges rows
+        let (req, ticket) = make_request(0, bad);
+        let flush = FlushedBatch { n: 64, requests: vec![req], reason: FlushReason::Linger };
+        serve_flush(&launcher, &plans, &metrics, &cfg(), flush);
+        let resp = ticket.try_take().unwrap();
+        assert!(resp.repaired, "zero pivot must trigger GEP repair");
+        assert!(resp.residual < 1e-2, "{}", resp.residual);
+        assert_eq!(metrics.snapshot(0, 0, 0).repaired, 1);
+    }
+
+    #[test]
+    fn pinned_engine_overrides_planner_and_small_flush_rule() {
+        let launcher = Launcher::gtx280();
+        let plans = PlanCache::new();
+        let metrics = ServiceMetrics::new();
+        let (flush, tickets) = flush_of(128, 2, 14); // small flush...
+        let pinned = DispatchConfig {
+            pin_engine: Some(Engine::Gpu(GpuAlgorithm::CrPcr { m: 32 })),
+            ..cfg()
+        };
+        serve_flush(&launcher, &plans, &metrics, &pinned, flush);
+        for ticket in tickets {
+            // ...but the pin forces the GPU engine anyway.
+            assert_eq!(ticket.try_take().unwrap().engine, "cr+pcr@32");
+        }
+        assert_eq!(plans.tunes(), 0, "pinning must not trigger autotune");
+        let snap = metrics.snapshot(0, 0, 0);
+        assert!(snap.engine_ms["cr+pcr@32"] > 0.0, "simulated device ms recorded");
+    }
+
+    #[test]
+    fn gpu_path_verifies_and_repairs_via_robust_wrapper() {
+        // Force a GPU plan by seeding the cache artificially through a
+        // large flush on a size where GPU wins is not guaranteed; instead
+        // exercise `execute` directly with a known-overflowing engine.
+        let launcher = Launcher::gtx280();
+        let systems: Vec<TridiagonalSystem<f32>> = {
+            let mut generator = Generator::new(2);
+            (0..8).map(|_| generator.system(Workload::DiagonallyDominant, 512)).collect()
+        };
+        // Plain RD overflows at n = 512 on dominant systems (Figure 18);
+        // the robust wrapper must hand back repaired, accurate answers.
+        let out = execute(
+            &launcher,
+            Engine::Gpu(GpuAlgorithm::Rd(gpu_solvers::RdMode::Plain)),
+            &systems,
+            100.0,
+        );
+        assert!(out.repairs > 0);
+        assert!(out.residuals.iter().all(|&r| r.is_finite() && r < 1e-2));
+    }
+}

@@ -1,0 +1,76 @@
+//! Typed service-level errors.
+//!
+//! The service distinguishes *backpressure* (queue full — retry later,
+//! nothing was enqueued) from *shutdown* (the service is draining and will
+//! never accept this request) from *malformed input* (the request itself is
+//! wrong and retrying cannot help). Callers branch on the variant; an
+//! open-loop client treats [`ServiceError::QueueFull`] as a signal to back
+//! off, exactly like an HTTP 429.
+
+use core::fmt;
+use tridiag_core::TridiagError;
+
+/// Why the service refused (or failed) a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The bounded admission queue is at capacity. Nothing was enqueued;
+    /// the caller should back off and retry. This is load shedding, not
+    /// failure — the alternative (blocking the submitter) would propagate
+    /// the stall upstream.
+    QueueFull {
+        /// Configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The service is shutting down and no longer admits work. In-flight
+    /// requests are still drained and completed.
+    ShuttingDown,
+    /// The request itself is invalid (e.g. a system smaller than 2
+    /// unknowns). Retrying the same request can never succeed.
+    InvalidRequest(TridiagError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity}); retry later")
+            }
+            ServiceError::ShuttingDown => f.write_str("service is shutting down"),
+            ServiceError::InvalidRequest(e) => write!(f, "invalid request: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::InvalidRequest(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TridiagError> for ServiceError {
+    fn from(e: TridiagError) -> Self {
+        ServiceError::InvalidRequest(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure_mode() {
+        let full = ServiceError::QueueFull { capacity: 8 }.to_string();
+        assert!(full.contains("capacity 8"), "{full}");
+        assert!(ServiceError::ShuttingDown.to_string().contains("shutting down"));
+    }
+
+    #[test]
+    fn invalid_request_wraps_the_domain_error() {
+        let e: ServiceError = TridiagError::NotPowerOfTwo { n: 48 }.into();
+        assert!(matches!(e, ServiceError::InvalidRequest(_)));
+        assert!(e.to_string().contains("invalid request"));
+    }
+}

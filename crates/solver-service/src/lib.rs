@@ -1,0 +1,56 @@
+//! # solver-service
+//!
+//! A dynamic-batching tridiagonal solve **service** on top of the repo's
+//! solvers — the serving layer the paper's library would need in
+//! production, structured like an inference server:
+//!
+//! 1. **Admission & backpressure** ([`queue`]): a bounded queue that
+//!    *rejects* when full ([`ServiceError::QueueFull`]) instead of
+//!    blocking submitters — load is shed at the edge.
+//! 2. **Micro-batching** ([`batcher`]): requests accumulate in per-size
+//!    buckets (systems of different `n` never share a kernel launch) and
+//!    flush at a target batch size or a max-linger deadline, whichever
+//!    comes first.
+//! 3. **Planning & dispatch** ([`planner`], [`dispatch`]): the first
+//!    flush of each `(n, element width, device)` key runs an autotune
+//!    tournament over [`gpu_solvers::GpuAlgorithm::paper_five`], the
+//!    global-memory fallback, and the CPU baseline; the winner is cached
+//!    in a [`PlanCache`] and reused in O(1). Every solution is verified
+//!    against a residual bound and repaired with pivoted Gaussian
+//!    elimination when needed — the service never returns an unverified
+//!    answer.
+//! 4. **Observability** ([`metrics`]): lock-cheap counters, a log2
+//!    latency histogram with p50/p95/p99, per-engine dispatch counts and
+//!    a batch-occupancy histogram, snapshot-able as JSON.
+//!
+//! ```
+//! use solver_service::{ServiceConfig, SolverService};
+//! use tridiag_core::{Generator, Workload};
+//!
+//! let service: SolverService<f32> = SolverService::start(ServiceConfig::default());
+//! let system = Generator::new(7).system(Workload::DiagonallyDominant, 128);
+//! let response = service.submit_wait(system).unwrap();
+//! assert!(response.residual < 1e-2);
+//! let report = service.shutdown();
+//! assert_eq!(report.completed, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod dispatch;
+pub mod error;
+pub mod metrics;
+pub mod planner;
+pub mod queue;
+pub mod request;
+pub mod service;
+
+pub use batcher::{BucketTable, FlushReason, FlushedBatch};
+pub use dispatch::{serve_flush, DispatchConfig};
+pub use error::ServiceError;
+pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use planner::{autotune, CpuEngine, Engine, Plan, PlanCache};
+pub use queue::{BoundedQueue, Pop, PushError};
+pub use request::{make_request, SolveRequest, SolveResponse, Ticket};
+pub use service::{ServiceConfig, SolverService};

@@ -1,0 +1,355 @@
+//! Service observability: counters, histograms, and a serializable report.
+//!
+//! The hot path touches only atomics and two small maps behind short-held
+//! mutexes (dispatch counts keyed by engine, occupancy keyed by batch
+//! size). [`MetricsSnapshot`] is a cheap, consistent-enough copy for
+//! dashboards and tests; `to_json` is hand-rolled because the build is
+//! offline and the in-tree `serde` shim provides derives but no
+//! serializer.
+//!
+//! **Conservation laws** the test suite holds the service to:
+//!
+//! * `sum(dispatch_counts.values()) == completed` — every completed
+//!   request was dispatched on exactly one engine;
+//! * `sum(occupancy.values() × key weighting) == completed` — the
+//!   occupancy histogram counts *systems* (not batches) per batch size, so
+//!   it partitions the same population;
+//! * `submitted == completed + in flight` at quiescence, with `rejected`
+//!   counted separately (rejected requests were never admitted).
+
+use crate::batcher::FlushReason;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of log2 latency buckets: bucket `i` holds latencies in
+/// `[2^i, 2^(i+1))` microseconds; 40 buckets cover ~12 days.
+const LATENCY_BUCKETS: usize = 40;
+
+/// Shared, thread-safe metric sinks. One instance per service.
+pub struct ServiceMetrics {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    repaired: AtomicU64,
+    flushes_full: AtomicU64,
+    flushes_linger: AtomicU64,
+    flushes_shutdown: AtomicU64,
+    latency_us: [AtomicU64; LATENCY_BUCKETS],
+    /// batch size → systems served in batches of that size.
+    occupancy: Mutex<BTreeMap<usize, u64>>,
+    /// engine spelling → systems served on that engine.
+    dispatch: Mutex<BTreeMap<String, u64>>,
+    /// engine spelling → engine milliseconds consumed (simulated device
+    /// time for GPU engines, wall-clock for CPU engines).
+    engine_ms: Mutex<BTreeMap<String, f64>>,
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            repaired: AtomicU64::new(0),
+            flushes_full: AtomicU64::new(0),
+            flushes_linger: AtomicU64::new(0),
+            flushes_shutdown: AtomicU64::new(0),
+            latency_us: core::array::from_fn(|_| AtomicU64::new(0)),
+            occupancy: Mutex::new(BTreeMap::new()),
+            dispatch: Mutex::new(BTreeMap::new()),
+            engine_ms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// One request admitted.
+    pub fn on_submit(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One request rejected at admission (queue full / shutting down).
+    pub fn on_reject(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One batch of `occupancy` systems flushed for `reason` and served on
+    /// `engine` in `engine_ms` milliseconds (simulated for GPU engines,
+    /// wall-clock for CPU); `repairs` of its systems needed the GEP
+    /// safety net.
+    pub fn on_batch_served(
+        &self,
+        engine: &str,
+        occupancy: usize,
+        reason: FlushReason,
+        repairs: usize,
+        engine_ms: f64,
+    ) {
+        match reason {
+            FlushReason::Full => &self.flushes_full,
+            FlushReason::Linger => &self.flushes_linger,
+            FlushReason::Shutdown => &self.flushes_shutdown,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.repaired.fetch_add(repairs as u64, Ordering::Relaxed);
+        *self.occupancy.lock().unwrap_or_else(|p| p.into_inner()).entry(occupancy).or_insert(0) +=
+            occupancy as u64;
+        *self
+            .dispatch
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .entry(engine.to_string())
+            .or_insert(0) += occupancy as u64;
+        *self
+            .engine_ms
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .entry(engine.to_string())
+            .or_insert(0.0) += engine_ms;
+    }
+
+    /// One request completed with end-to-end `latency`.
+    pub fn on_complete(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let us = latency.as_micros().max(1) as u64;
+        let bucket = (63 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.latency_us[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough copy of everything, plus the caller-supplied
+    /// instantaneous gauges.
+    pub fn snapshot(&self, queue_depth: usize, plan_tunes: u64, plan_hits: u64) -> MetricsSnapshot {
+        let latency: Vec<u64> = self.latency_us.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            repaired: self.repaired.load(Ordering::Relaxed),
+            flushes_full: self.flushes_full.load(Ordering::Relaxed),
+            flushes_linger: self.flushes_linger.load(Ordering::Relaxed),
+            flushes_shutdown: self.flushes_shutdown.load(Ordering::Relaxed),
+            queue_depth,
+            plan_tunes,
+            plan_hits,
+            latency_p50_us: percentile_us(&latency, 0.50),
+            latency_p95_us: percentile_us(&latency, 0.95),
+            latency_p99_us: percentile_us(&latency, 0.99),
+            occupancy_systems: self.occupancy.lock().unwrap_or_else(|p| p.into_inner()).clone(),
+            dispatch_systems: self.dispatch.lock().unwrap_or_else(|p| p.into_inner()).clone(),
+            engine_ms: self.engine_ms.lock().unwrap_or_else(|p| p.into_inner()).clone(),
+        }
+    }
+}
+
+/// Upper bound (in µs) of the log2 bucket containing quantile `q`, or 0
+/// when no samples were recorded.
+fn percentile_us(buckets: &[u64], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return 1u64 << (i + 1); // bucket upper bound
+        }
+    }
+    1u64 << buckets.len()
+}
+
+/// Point-in-time copy of the service's metrics — the service's
+/// machine-readable status report.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    /// Requests admitted to the queue.
+    pub submitted: u64,
+    /// Requests completed (ticket fulfilled).
+    pub completed: u64,
+    /// Requests rejected at admission (backpressure).
+    pub rejected: u64,
+    /// Systems re-solved by the GEP safety net.
+    pub repaired: u64,
+    /// Batches flushed because they reached the target size.
+    pub flushes_full: u64,
+    /// Batches flushed by the linger deadline.
+    pub flushes_linger: u64,
+    /// Batches flushed by shutdown drain.
+    pub flushes_shutdown: u64,
+    /// Admission queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Autotune tournaments run so far.
+    pub plan_tunes: u64,
+    /// Plans served from cache.
+    pub plan_hits: u64,
+    /// Median end-to-end latency (log2-bucket upper bound, µs).
+    pub latency_p50_us: u64,
+    /// 95th-percentile latency (µs).
+    pub latency_p95_us: u64,
+    /// 99th-percentile latency (µs).
+    pub latency_p99_us: u64,
+    /// Batch size → systems served in batches of that size.
+    pub occupancy_systems: BTreeMap<usize, u64>,
+    /// Engine spelling → systems served on that engine.
+    pub dispatch_systems: BTreeMap<String, u64>,
+    /// Engine spelling → engine milliseconds consumed (simulated device
+    /// time for GPU engines, wall-clock for CPU engines).
+    pub engine_ms: BTreeMap<String, f64>,
+}
+
+impl MetricsSnapshot {
+    /// Total systems accounted for by the dispatch counts.
+    pub fn dispatched_total(&self) -> u64 {
+        self.dispatch_systems.values().sum()
+    }
+
+    /// Total systems accounted for by the occupancy histogram.
+    pub fn occupancy_total(&self) -> u64 {
+        self.occupancy_systems.values().sum()
+    }
+
+    /// Total batches flushed, across all flush reasons.
+    pub fn flushes_total(&self) -> u64 {
+        self.flushes_full + self.flushes_linger + self.flushes_shutdown
+    }
+
+    /// Serializes the snapshot as a JSON object (hand-rolled: the offline
+    /// `serde` shim has no serializer).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        let scalars: [(&str, u64); 13] = [
+            ("submitted", self.submitted),
+            ("completed", self.completed),
+            ("rejected", self.rejected),
+            ("repaired", self.repaired),
+            ("flushes_full", self.flushes_full),
+            ("flushes_linger", self.flushes_linger),
+            ("flushes_shutdown", self.flushes_shutdown),
+            ("queue_depth", self.queue_depth as u64),
+            ("plan_tunes", self.plan_tunes),
+            ("plan_hits", self.plan_hits),
+            ("latency_p50_us", self.latency_p50_us),
+            ("latency_p95_us", self.latency_p95_us),
+            ("latency_p99_us", self.latency_p99_us),
+        ];
+        for (key, value) in scalars {
+            s.push_str(&format!("\"{key}\":{value},"));
+        }
+        s.push_str("\"occupancy_systems\":{");
+        for (i, (size, systems)) in self.occupancy_systems.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{size}\":{systems}"));
+        }
+        s.push_str("},\"dispatch_systems\":{");
+        for (i, (engine, systems)) in self.dispatch_systems.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{engine}\":{systems}"));
+        }
+        s.push_str("},\"engine_ms\":{");
+        for (i, (engine, ms)) in self.engine_ms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{engine}\":{ms:.3}"));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_between_dispatch_and_occupancy() {
+        let m = ServiceMetrics::new();
+        for _ in 0..10 {
+            m.on_submit();
+        }
+        m.on_batch_served("cr+pcr@32", 6, FlushReason::Full, 1, 0.25);
+        m.on_batch_served("cpu-thomas", 3, FlushReason::Linger, 0, 0.5);
+        m.on_batch_served("cpu-thomas", 1, FlushReason::Shutdown, 0, 0.25);
+        for _ in 0..10 {
+            m.on_complete(Duration::from_micros(300));
+        }
+        let snap = m.snapshot(0, 2, 1);
+        assert_eq!(snap.submitted, 10);
+        assert_eq!(snap.completed, 10);
+        assert_eq!(snap.dispatched_total(), 10);
+        assert_eq!(snap.occupancy_total(), 10);
+        assert_eq!(snap.flushes_total(), 3);
+        assert_eq!(snap.repaired, 1);
+        // 6 systems rode a size-6 batch, 3 a size-3, 1 alone.
+        assert_eq!(snap.occupancy_systems[&6], 6);
+        assert_eq!(snap.occupancy_systems[&3], 3);
+        assert_eq!(snap.occupancy_systems[&1], 1);
+        assert_eq!(snap.dispatch_systems["cpu-thomas"], 4);
+        assert_eq!(snap.engine_ms["cpu-thomas"], 0.75);
+        assert_eq!(snap.engine_ms["cr+pcr@32"], 0.25);
+    }
+
+    #[test]
+    fn percentiles_come_from_log2_buckets() {
+        let m = ServiceMetrics::new();
+        // 99 fast (≈100 µs) + 1 slow (≈100 ms).
+        for _ in 0..99 {
+            m.on_complete(Duration::from_micros(100));
+        }
+        m.on_complete(Duration::from_millis(100));
+        let snap = m.snapshot(0, 0, 0);
+        assert_eq!(snap.latency_p50_us, 128); // 100 µs lives in [64,128)
+        assert_eq!(snap.latency_p95_us, 128);
+        assert_eq!(snap.latency_p99_us, 128);
+        // The tail sample only surfaces at p100-ish ranks; verify it's
+        // recorded by pushing a second slow sample and checking p99 moves.
+        for _ in 0..5 {
+            m.on_complete(Duration::from_millis(100));
+        }
+        let snap = m.snapshot(0, 0, 0);
+        assert!(snap.latency_p99_us >= 1 << 17, "{}", snap.latency_p99_us); // ≈131 ms bucket
+    }
+
+    #[test]
+    fn empty_metrics_report_zero_percentiles() {
+        let snap = ServiceMetrics::new().snapshot(3, 0, 0);
+        assert_eq!(snap.latency_p50_us, 0);
+        assert_eq!(snap.queue_depth, 3);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let m = ServiceMetrics::new();
+        m.on_submit();
+        m.on_batch_served("pcr", 1, FlushReason::Linger, 0, 0.125);
+        m.on_complete(Duration::from_micros(50));
+        let json = m.snapshot(0, 1, 0).to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        for key in [
+            "\"submitted\":1",
+            "\"completed\":1",
+            "\"dispatch_systems\":{\"pcr\":1}",
+            "\"occupancy_systems\":{\"1\":1}",
+            "\"engine_ms\":{\"pcr\":0.125}",
+            "\"plan_tunes\":1",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Balanced braces (a cheap structural check without a parser).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -1,0 +1,196 @@
+//! Bounded admission queue with reject-on-full backpressure.
+//!
+//! The front door of the service. Unlike an unbounded channel, admission is
+//! capped: when the queue is at capacity [`BoundedQueue::push`] fails
+//! *immediately* instead of blocking the submitter — the service sheds load
+//! at the edge rather than letting latency grow without bound (the same
+//! policy as any production inference server's admission controller).
+//!
+//! The consumer side supports deadline-bounded popping
+//! ([`BoundedQueue::pop_until`]) so the batcher can sleep exactly until its
+//! earliest linger deadline, whichever of "new request" or "time to flush"
+//! comes first.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Outcome of a push attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; nothing was enqueued.
+    Full,
+    /// The queue has been closed; nothing was enqueued.
+    Closed,
+}
+
+/// Outcome of a deadline-bounded pop.
+#[derive(Debug)]
+pub enum Pop<R> {
+    /// An item was dequeued.
+    Item(R),
+    /// The deadline passed with the queue still empty.
+    TimedOut,
+    /// The queue is closed *and* fully drained — the consumer is done.
+    Drained,
+}
+
+struct State<R> {
+    items: VecDeque<R>,
+    closed: bool,
+}
+
+/// A multi-producer single-consumer bounded queue (`Mutex` + `Condvar`).
+pub struct BoundedQueue<R> {
+    state: Mutex<State<R>>,
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+impl<R> BoundedQueue<R> {
+    /// Creates a queue admitting at most `capacity` pending items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be >= 1");
+        Self {
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            nonempty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth (approximate the instant the lock is released).
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap_or_else(|p| p.into_inner()).items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempts to enqueue; never blocks.
+    pub fn push(&self, item: R) -> Result<(), PushError> {
+        let mut s = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if s.closed {
+            return Err(PushError::Closed);
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues one item, waiting until `deadline` (forever when `None`).
+    ///
+    /// Once closed, remaining items are still handed out in order;
+    /// [`Pop::Drained`] is only returned when closed *and* empty, so no
+    /// admitted request is ever dropped by shutdown.
+    pub fn pop_until(&self, deadline: Option<Instant>) -> Pop<R> {
+        let mut s = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Pop::Item(item);
+            }
+            if s.closed {
+                return Pop::Drained;
+            }
+            match deadline {
+                None => {
+                    s = self.nonempty.wait(s).unwrap_or_else(|p| p.into_inner());
+                }
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Pop::TimedOut;
+                    }
+                    let (guard, _timeout) =
+                        self.nonempty.wait_timeout(s, d - now).unwrap_or_else(|p| p.into_inner());
+                    s = guard;
+                }
+            }
+        }
+    }
+
+    /// Closes the queue: future pushes fail, the consumer drains what is
+    /// left and then observes [`Pop::Drained`].
+    pub fn close(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        s.closed = true;
+        drop(s);
+        self.nonempty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn push_rejects_instead_of_blocking_when_full() {
+        let q = BoundedQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        let start = Instant::now();
+        assert_eq!(q.push(3), Err(PushError::Full));
+        // Rejection is immediate — the hallmark of backpressure-by-shedding.
+        assert!(start.elapsed() < Duration::from_millis(50));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_honours_the_deadline() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        let deadline = Instant::now() + Duration::from_millis(10);
+        assert!(matches!(q.pop_until(Some(deadline)), Pop::TimedOut));
+        assert!(Instant::now() >= deadline);
+    }
+
+    #[test]
+    fn close_drains_remaining_items_before_reporting_drained() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(PushError::Closed));
+        assert!(matches!(q.pop_until(None), Pop::Item(1)));
+        assert!(matches!(q.pop_until(None), Pop::Item(2)));
+        assert!(matches!(q.pop_until(None), Pop::Drained));
+    }
+
+    #[test]
+    fn producer_consumer_hand_off_across_threads() {
+        let q = std::sync::Arc::new(BoundedQueue::new(8));
+        let q2 = q.clone();
+        let producer = std::thread::spawn(move || {
+            for i in 0..100u32 {
+                loop {
+                    match q2.push(i) {
+                        Ok(()) => break,
+                        Err(PushError::Full) => std::thread::yield_now(),
+                        Err(PushError::Closed) => panic!("closed early"),
+                    }
+                }
+            }
+            q2.close();
+        });
+        let mut got = Vec::new();
+        loop {
+            match q.pop_until(None) {
+                Pop::Item(i) => got.push(i),
+                Pop::Drained => break,
+                Pop::TimedOut => unreachable!("no deadline given"),
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,174 @@
+//! Request/response types and the one-shot completion ticket.
+//!
+//! A [`SolveRequest`] is one tridiagonal system plus the bookkeeping the
+//! service needs to route the answer back: a monotonically increasing id
+//! and a [`Ticket`] the submitter holds. The worker that eventually solves
+//! the system fulfils the ticket with a [`SolveResponse`]; the submitter
+//! blocks on [`Ticket::wait`] (or polls [`Ticket::try_take`]) without any
+//! shared channel — each request carries its own one-shot slot, so
+//! responses can never be cross-delivered or duplicated.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use tridiag_core::{Real, TridiagonalSystem};
+
+/// A single queued solve: one system plus completion plumbing.
+#[derive(Debug)]
+pub struct SolveRequest<T: Real> {
+    /// Service-assigned id, unique for the lifetime of the service.
+    pub id: u64,
+    /// The system to solve.
+    pub system: TridiagonalSystem<T>,
+    /// When the request was admitted (start of the latency clock).
+    pub submitted_at: Instant,
+    pub(crate) slot: Arc<OneShot<SolveResponse<T>>>,
+}
+
+impl<T: Real> SolveRequest<T> {
+    /// Fulfils the request's ticket. Called exactly once by the worker.
+    pub(crate) fn fulfil(self, response: SolveResponse<T>) {
+        self.slot.put(response);
+    }
+}
+
+/// The answer to one [`SolveRequest`].
+#[derive(Debug, Clone)]
+pub struct SolveResponse<T: Real> {
+    /// Echo of the request id.
+    pub id: u64,
+    /// The solution vector, length `n`.
+    pub x: Vec<T>,
+    /// Achieved `||Ax − d||₂` residual of the returned solution.
+    pub residual: f64,
+    /// Canonical spelling of the engine that produced the final answer
+    /// (e.g. `cr+pcr@256`, `cpu-thomas`).
+    pub engine: String,
+    /// Whether the GEP safety net had to re-solve this system after the
+    /// primary engine's answer failed verification.
+    pub repaired: bool,
+    /// How many systems shared the batch this request was served in.
+    pub batch_occupancy: usize,
+    /// Queue + batch + solve latency, admission to completion.
+    pub latency: Duration,
+}
+
+/// Submitter-side handle for one in-flight request.
+///
+/// Dropping the ticket abandons the response (the solve still happens and
+/// is still counted in the metrics).
+#[derive(Debug)]
+pub struct Ticket<T: Real> {
+    pub(crate) id: u64,
+    pub(crate) slot: Arc<OneShot<SolveResponse<T>>>,
+}
+
+impl<T: Real> Ticket<T> {
+    /// The id of the request this ticket tracks.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the response arrives and takes it.
+    pub fn wait(self) -> SolveResponse<T> {
+        self.slot.take_blocking()
+    }
+
+    /// Takes the response if it has already arrived.
+    pub fn try_take(&self) -> Option<SolveResponse<T>> {
+        self.slot.try_take()
+    }
+}
+
+/// A minimal one-shot rendezvous: one writer, one reader, built on
+/// `Mutex` + `Condvar` (the build is offline; no external oneshot crate).
+#[derive(Debug)]
+pub(crate) struct OneShot<V> {
+    value: Mutex<Option<V>>,
+    ready: Condvar,
+}
+
+impl<V> OneShot<V> {
+    pub(crate) fn new() -> Self {
+        Self { value: Mutex::new(None), ready: Condvar::new() }
+    }
+
+    /// Stores the value and wakes the waiter. Second puts are a logic
+    /// error upstream and are rejected loudly in debug builds.
+    pub(crate) fn put(&self, v: V) {
+        let mut slot = self.value.lock().unwrap_or_else(|p| p.into_inner());
+        debug_assert!(slot.is_none(), "one-shot fulfilled twice");
+        *slot = Some(v);
+        drop(slot);
+        self.ready.notify_all();
+    }
+
+    pub(crate) fn try_take(&self) -> Option<V> {
+        self.value.lock().unwrap_or_else(|p| p.into_inner()).take()
+    }
+
+    pub(crate) fn take_blocking(&self) -> V {
+        let mut slot = self.value.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(v) = slot.take() {
+                return v;
+            }
+            slot = self.ready.wait(slot).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+/// Builds a paired request + ticket for `system`.
+///
+/// Normally the service does this inside `submit`; it is public so
+/// embedders (and tests) can drive [`serve_flush`](crate::serve_flush)
+/// directly with hand-assembled flushes.
+pub fn make_request<T: Real>(
+    id: u64,
+    system: TridiagonalSystem<T>,
+) -> (SolveRequest<T>, Ticket<T>) {
+    let slot = Arc::new(OneShot::new());
+    let request = SolveRequest { id, system, submitted_at: Instant::now(), slot: slot.clone() };
+    (request, Ticket { id, slot })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tridiag_core::TridiagonalSystem;
+
+    fn sys() -> TridiagonalSystem<f32> {
+        TridiagonalSystem::toeplitz(4, -1.0, 4.0, -1.0, 1.0).unwrap()
+    }
+
+    fn response(id: u64) -> SolveResponse<f32> {
+        SolveResponse {
+            id,
+            x: vec![0.0; 4],
+            residual: 0.0,
+            engine: "cpu-thomas".into(),
+            repaired: false,
+            batch_occupancy: 1,
+            latency: Duration::from_micros(10),
+        }
+    }
+
+    #[test]
+    fn ticket_receives_the_fulfilled_response() {
+        let (req, ticket) = make_request(7, sys());
+        assert_eq!(ticket.id(), 7);
+        assert!(ticket.try_take().is_none());
+        req.fulfil(response(7));
+        assert_eq!(ticket.wait().id, 7);
+    }
+
+    #[test]
+    fn wait_blocks_until_a_worker_fulfils() {
+        let (req, ticket) = make_request(1, sys());
+        let worker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            req.fulfil(response(1));
+        });
+        assert_eq!(ticket.wait().id, 1);
+        worker.join().unwrap();
+    }
+}

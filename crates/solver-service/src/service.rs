@@ -1,0 +1,396 @@
+//! The service itself: admission → batcher thread → worker pool.
+//!
+//! Thread topology (all plain `std::thread`, no external runtime):
+//!
+//! ```text
+//!  submitters ──► BoundedQueue ──► batcher ──► mpsc ──► worker 0..W
+//!     (many)      (reject-full)   (1 thread)  channel   (serve_flush)
+//! ```
+//!
+//! * **Admission** validates the system, assigns an id, and pushes into
+//!   the bounded queue — failing fast with [`ServiceError::QueueFull`]
+//!   under overload.
+//! * **The batcher** owns the [`BucketTable`], sleeping exactly until its
+//!   earliest linger deadline, and forwards flushed batches to the worker
+//!   channel.
+//! * **Workers** share the receiver behind a mutex (work stealing by
+//!   contention — a batch goes to whichever worker grabs the lock first)
+//!   and run [`serve_flush`] to completion.
+//!
+//! Shutdown is a drain, not an abort: the queue closes (new submissions
+//! are rejected), the batcher pops everything already admitted, flushes
+//! all partial buckets with [`FlushReason::Shutdown`], and the workers
+//! finish every forwarded batch before joining. Every admitted request is
+//! always answered.
+
+use crate::batcher::BucketTable;
+use crate::dispatch::{serve_flush, DispatchConfig};
+use crate::error::ServiceError;
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::planner::PlanCache;
+use crate::queue::{BoundedQueue, Pop, PushError};
+use crate::request::{make_request, SolveRequest, SolveResponse, Ticket};
+use gpu_sim::Launcher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tridiag_core::{Real, TridiagError, TridiagonalSystem};
+
+#[cfg(doc)]
+use crate::batcher::FlushReason;
+
+/// Tunables for a [`SolverService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Admission queue capacity; pushes beyond this are rejected.
+    pub queue_capacity: usize,
+    /// Flush a size-class bucket when it holds this many requests.
+    pub target_batch: usize,
+    /// Flush a bucket when its oldest request has waited this long.
+    pub max_linger: Duration,
+    /// Worker threads executing flushed batches.
+    pub workers: usize,
+    /// Flushes smaller than this run on the CPU regardless of plan.
+    pub min_gpu_batch: usize,
+    /// Residual acceptance scale for verify-and-repair (see
+    /// `gpu_solvers::RobustOptions`).
+    pub threshold_scale: f64,
+    /// Probe batch size for autotune tournaments.
+    pub probe_count: usize,
+    /// When set, every batch runs on this engine — planner and small-flush
+    /// CPU override bypassed (A-B testing / benchmarking knob).
+    pub pin_engine: Option<crate::planner::Engine>,
+    /// The simulated device the GPU engines run on.
+    pub launcher: Launcher,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 1024,
+            target_batch: 64,
+            max_linger: Duration::from_millis(2),
+            workers: 4,
+            min_gpu_batch: 4,
+            threshold_scale: 100.0,
+            probe_count: 16,
+            pin_engine: None,
+            launcher: Launcher::gtx280(),
+        }
+    }
+}
+
+struct Shared<T: Real> {
+    queue: BoundedQueue<SolveRequest<T>>,
+    metrics: ServiceMetrics,
+    plans: PlanCache,
+    launcher: Launcher,
+    dispatch_cfg: DispatchConfig,
+}
+
+/// A running dynamic-batching solve service. Create with
+/// [`SolverService::start`], submit with [`SolverService::submit`], stop
+/// with [`SolverService::shutdown`] (or drop — the drain still happens).
+pub struct SolverService<T: Real> {
+    shared: Arc<Shared<T>>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl<T: Real> SolverService<T> {
+    /// Spawns the batcher and worker threads and opens admission.
+    pub fn start(config: ServiceConfig) -> Self {
+        assert!(config.workers >= 1, "need at least one worker");
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            metrics: ServiceMetrics::new(),
+            plans: PlanCache::new(),
+            launcher: config.launcher.clone(),
+            dispatch_cfg: DispatchConfig {
+                min_gpu_batch: config.min_gpu_batch,
+                threshold_scale: config.threshold_scale,
+                probe_count: config.probe_count,
+                pin_engine: config.pin_engine,
+            },
+        });
+
+        let (tx, rx) = mpsc::channel::<crate::batcher::FlushedBatch<T>>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let batcher = {
+            let shared = shared.clone();
+            let target = config.target_batch;
+            let linger = config.max_linger;
+            std::thread::Builder::new()
+                .name("solver-service-batcher".into())
+                .spawn(move || batcher_loop(shared, tx, target, linger))
+                .expect("spawn batcher")
+        };
+
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = shared.clone();
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("solver-service-worker-{i}"))
+                    .spawn(move || worker_loop(shared, rx))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        Self { shared, batcher: Some(batcher), workers, next_id: AtomicU64::new(0) }
+    }
+
+    /// Submits one system; returns a [`Ticket`] to wait on, or a typed
+    /// rejection ([`ServiceError::QueueFull`] under backpressure,
+    /// [`ServiceError::ShuttingDown`] after shutdown began).
+    pub fn submit(&self, system: TridiagonalSystem<T>) -> Result<Ticket<T>, ServiceError> {
+        let n = system.n();
+        if n < 2 {
+            return Err(ServiceError::InvalidRequest(TridiagError::SizeTooSmall { n, min: 2 }));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (request, ticket) = make_request(id, system);
+        match self.shared.queue.push(request) {
+            Ok(()) => {
+                self.shared.metrics.on_submit();
+                Ok(ticket)
+            }
+            Err(PushError::Full) => {
+                self.shared.metrics.on_reject();
+                Err(ServiceError::QueueFull { capacity: self.shared.queue.capacity() })
+            }
+            Err(PushError::Closed) => {
+                self.shared.metrics.on_reject();
+                Err(ServiceError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Convenience: submit and block for the answer (retrying is the
+    /// caller's job — a `QueueFull` here is returned as-is).
+    pub fn submit_wait(
+        &self,
+        system: TridiagonalSystem<T>,
+    ) -> Result<SolveResponse<T>, ServiceError> {
+        Ok(self.submit(system)?.wait())
+    }
+
+    /// Current metrics snapshot (queue depth and plan-cache stats are read
+    /// at call time).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot(
+            self.shared.queue.len(),
+            self.shared.plans.tunes(),
+            self.shared.plans.hits(),
+        )
+    }
+
+    /// Drains and stops the service: closes admission, serves everything
+    /// already admitted, joins all threads, and returns the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.shutdown_in_place();
+        self.metrics()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.queue.close();
+        if let Some(handle) = self.batcher.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<T: Real> Drop for SolverService<T> {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// The batcher thread: queue → buckets → flush → worker channel.
+fn batcher_loop<T: Real>(
+    shared: Arc<Shared<T>>,
+    tx: mpsc::Sender<crate::batcher::FlushedBatch<T>>,
+    target_batch: usize,
+    max_linger: Duration,
+) {
+    let mut table = BucketTable::new(target_batch, max_linger);
+    loop {
+        let deadline = table.next_deadline();
+        match shared.queue.pop_until(deadline) {
+            Pop::Item(request) => {
+                let now = Instant::now();
+                if let Some(flush) = table.insert(request, now) {
+                    let _ = tx.send(flush);
+                }
+                for flush in table.flush_expired(now) {
+                    let _ = tx.send(flush);
+                }
+            }
+            Pop::TimedOut => {
+                for flush in table.flush_expired(Instant::now()) {
+                    let _ = tx.send(flush);
+                }
+            }
+            Pop::Drained => {
+                // Shutdown: everything admitted has been popped; flush the
+                // partial buckets so no request is stranded.
+                for flush in table.flush_all() {
+                    let _ = tx.send(flush);
+                }
+                break;
+                // `tx` drops here; workers observe the closed channel and
+                // exit once the backlog is served.
+            }
+        }
+    }
+}
+
+/// A worker thread: pull a flushed batch, serve it, repeat until the
+/// channel closes and drains.
+fn worker_loop<T: Real>(
+    shared: Arc<Shared<T>>,
+    rx: Arc<Mutex<mpsc::Receiver<crate::batcher::FlushedBatch<T>>>>,
+) {
+    loop {
+        let message = {
+            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+            guard.recv()
+        };
+        match message {
+            Ok(flush) => serve_flush(
+                &shared.launcher,
+                &shared.plans,
+                &shared.metrics,
+                &shared.dispatch_cfg,
+                flush,
+            ),
+            Err(_) => break, // sender gone and channel drained
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tridiag_core::{Generator, Workload};
+
+    fn quick_config() -> ServiceConfig {
+        ServiceConfig {
+            queue_capacity: 64,
+            target_batch: 8,
+            max_linger: Duration::from_millis(1),
+            workers: 2,
+            min_gpu_batch: 4,
+            probe_count: 4,
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn round_trip_a_handful_of_requests() {
+        let service: SolverService<f32> = SolverService::start(quick_config());
+        let mut generator = Generator::new(1);
+        let tickets: Vec<_> = (0..16)
+            .map(|_| service.submit(generator.system(Workload::DiagonallyDominant, 64)).unwrap())
+            .collect();
+        for ticket in tickets {
+            let resp = ticket.wait();
+            assert_eq!(resp.x.len(), 64);
+            assert!(resp.residual < 1e-2, "{}", resp.residual);
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.submitted, 16);
+        assert_eq!(snap.completed, 16);
+        assert_eq!(snap.dispatched_total(), 16);
+        assert_eq!(snap.occupancy_total(), 16);
+    }
+
+    #[test]
+    fn lone_request_is_not_starved() {
+        let service: SolverService<f32> = SolverService::start(quick_config());
+        let system = Generator::new(2).system(Workload::Poisson, 32);
+        let resp = service.submit_wait(system).unwrap();
+        assert_eq!(resp.batch_occupancy, 1, "a lone request rides alone");
+        assert!(resp.residual < 1e-3);
+        let snap = service.shutdown();
+        assert!(snap.flushes_linger + snap.flushes_shutdown >= 1);
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_requests() {
+        // Long linger so the requests are still parked in buckets when
+        // shutdown begins — the drain must still answer them all.
+        let config = ServiceConfig {
+            max_linger: Duration::from_secs(60),
+            target_batch: 1000,
+            ..quick_config()
+        };
+        let service: SolverService<f32> = SolverService::start(config);
+        let mut generator = Generator::new(3);
+        let tickets: Vec<_> = (0..5)
+            .map(|_| service.submit(generator.system(Workload::DiagonallyDominant, 32)).unwrap())
+            .collect();
+        let snap = service.shutdown();
+        assert_eq!(snap.completed, 5);
+        assert_eq!(snap.flushes_shutdown, 1);
+        for ticket in tickets {
+            assert!(ticket.try_take().is_some(), "shutdown must fulfil parked requests");
+        }
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_rejected() {
+        let service: SolverService<f32> = SolverService::start(quick_config());
+        service.shared.queue.close();
+        let system = Generator::new(4).system(Workload::DiagonallyDominant, 32);
+        assert!(matches!(service.submit(system), Err(ServiceError::ShuttingDown)));
+    }
+
+    #[test]
+    fn undersized_systems_are_rejected_at_admission() {
+        let service: SolverService<f32> = SolverService::start(quick_config());
+        let one = TridiagonalSystem { a: vec![0.0], b: vec![2.0], c: vec![0.0], d: vec![1.0] };
+        assert!(matches!(service.submit(one), Err(ServiceError::InvalidRequest(_))));
+    }
+
+    #[test]
+    fn queue_full_rejects_with_typed_error() {
+        // One-slot queue, long linger, and a first request that parks in
+        // the batcher leaves the queue momentarily full for a burst.
+        let config = ServiceConfig {
+            queue_capacity: 1,
+            target_batch: 1000,
+            max_linger: Duration::from_secs(60),
+            workers: 1,
+            ..quick_config()
+        };
+        let service: SolverService<f32> = SolverService::start(config);
+        let mut generator = Generator::new(5);
+        let mut rejections = 0u64;
+        let mut attempts = 0u64;
+        // Burst until the 1-slot queue sheds load at least once (bounded so
+        // a pathological scheduler cannot hang the test).
+        while rejections == 0 && attempts < 10_000 {
+            attempts += 1;
+            match service.submit(generator.system(Workload::DiagonallyDominant, 32)) {
+                Ok(_) => {}
+                Err(ServiceError::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 1);
+                    rejections += 1;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(rejections > 0, "a burst into a 1-slot queue must shed load");
+        let snap = service.shutdown();
+        assert_eq!(snap.rejected, rejections);
+        assert_eq!(snap.submitted + snap.rejected, attempts);
+        assert_eq!(snap.completed, snap.submitted);
+    }
+}

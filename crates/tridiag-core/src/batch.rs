@@ -58,7 +58,10 @@ impl<T: Real> SystemBatch<T> {
     }
 
     /// Builds a batch by calling `make` once per system index.
-    pub fn generate(count: usize, mut make: impl FnMut(usize) -> TridiagonalSystem<T>) -> Result<Self> {
+    pub fn generate(
+        count: usize,
+        mut make: impl FnMut(usize) -> TridiagonalSystem<T>,
+    ) -> Result<Self> {
         let systems: Vec<_> = (0..count).map(&mut make).collect();
         Self::from_systems(&systems)
     }

@@ -253,12 +253,9 @@ mod tests {
     fn construction_validates() {
         let z = zero::<f64>();
         let id = identity::<f64>();
-        assert!(BlockTridiagonalSystem::new(vec![id], vec![id], vec![z], vec![[1.0, 1.0]])
-            .is_err()); // a[0] nonzero
-        assert!(BlockTridiagonalSystem::new(vec![z], vec![id], vec![id], vec![[1.0, 1.0]])
-            .is_err()); // c[n-1] nonzero
-        assert!(BlockTridiagonalSystem::new(vec![z], vec![id], vec![z], vec![[1.0, 1.0]])
-            .is_ok());
+        assert!(BlockTridiagonalSystem::new(vec![id], vec![id], vec![z], vec![[1.0, 1.0]]).is_err()); // a[0] nonzero
+        assert!(BlockTridiagonalSystem::new(vec![z], vec![id], vec![id], vec![[1.0, 1.0]]).is_err()); // c[n-1] nonzero
+        assert!(BlockTridiagonalSystem::new(vec![z], vec![id], vec![z], vec![[1.0, 1.0]]).is_ok());
     }
 
     #[test]
@@ -288,8 +285,7 @@ mod tests {
         let xf: Vec<f64> = x.iter().flat_map(|v| v.iter().copied()).collect();
         for i in 0..n {
             for r in 0..2 {
-                let expect: f64 =
-                    (0..2 * n).map(|j| dense[2 * i + r][j] * xf[j]).sum();
+                let expect: f64 = (0..2 * n).map(|j| dense[2 * i + r][j] * xf[j]).sum();
                 assert!((y[i][r] - expect).abs() < 1e-12, "row {i}.{r}");
             }
         }
@@ -297,10 +293,10 @@ mod tests {
 
     #[test]
     fn decoupled_embedding_round_trips() {
-        let s0 = crate::system::TridiagonalSystem::<f64>::toeplitz(4, -1.0, 4.0, -1.0, 1.0)
-            .unwrap();
-        let s1 = crate::system::TridiagonalSystem::<f64>::toeplitz(4, -2.0, 6.0, -1.5, 2.0)
-            .unwrap();
+        let s0 =
+            crate::system::TridiagonalSystem::<f64>::toeplitz(4, -1.0, 4.0, -1.0, 1.0).unwrap();
+        let s1 =
+            crate::system::TridiagonalSystem::<f64>::toeplitz(4, -2.0, 6.0, -1.5, 2.0).unwrap();
         let blk = BlockTridiagonalSystem::from_decoupled(&s0, &s1).unwrap();
         assert_eq!(blk.n(), 4);
         assert_eq!(blk.b[2][0][0], 4.0);

@@ -14,6 +14,7 @@
 //! are validated against them to within a modest constant in the test suite.
 
 use crate::error::{require_pow2, Result, TridiagError};
+use core::fmt;
 use serde::Serialize;
 
 /// The five GPU algorithms of the paper.
@@ -62,6 +63,62 @@ impl Algorithm {
                 Ok(())
             }
             _ => Ok(()),
+        }
+    }
+}
+
+/// Canonical machine-readable spelling, round-trippable through
+/// [`FromStr`](core::str::FromStr): `cr`, `pcr`, `rd`, `cr+pcr@256`,
+/// `cr+rd@128`.
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Algorithm::Cr => f.write_str("cr"),
+            Algorithm::Pcr => f.write_str("pcr"),
+            Algorithm::Rd => f.write_str("rd"),
+            Algorithm::CrPcr { m } => write!(f, "cr+pcr@{m}"),
+            Algorithm::CrRd { m } => write!(f, "cr+rd@{m}"),
+        }
+    }
+}
+
+/// Error parsing an [`Algorithm`] from its canonical spelling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAlgorithmError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseAlgorithmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown algorithm '{}' (expected cr, pcr, rd, cr+pcr@<m>, or cr+rd@<m>)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseAlgorithmError {}
+
+impl core::str::FromStr for Algorithm {
+    type Err = ParseAlgorithmError;
+
+    fn from_str(s: &str) -> core::result::Result<Self, Self::Err> {
+        let err = || ParseAlgorithmError { input: s.to_string() };
+        let lower = s.trim().to_ascii_lowercase();
+        match lower.as_str() {
+            "cr" => return Ok(Algorithm::Cr),
+            "pcr" => return Ok(Algorithm::Pcr),
+            "rd" => return Ok(Algorithm::Rd),
+            _ => {}
+        }
+        let (head, m) = lower.split_once('@').ok_or_else(err)?;
+        let m: usize = m.parse().map_err(|_| err())?;
+        match head {
+            "cr+pcr" => Ok(Algorithm::CrPcr { m }),
+            "cr+rd" => Ok(Algorithm::CrRd { m }),
+            _ => Err(err()),
         }
     }
 }
@@ -145,6 +202,36 @@ pub fn table1(algorithm: Algorithm, n: usize) -> Result<ComplexityRow> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn display_from_str_round_trips() {
+        let algs = [
+            Algorithm::Cr,
+            Algorithm::Pcr,
+            Algorithm::Rd,
+            Algorithm::CrPcr { m: 256 },
+            Algorithm::CrRd { m: 128 },
+        ];
+        for alg in algs {
+            let text = alg.to_string();
+            let parsed: Algorithm = text.parse().unwrap();
+            assert_eq!(parsed, alg, "{text}");
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_and_trimmed() {
+        assert_eq!(" CR ".parse::<Algorithm>().unwrap(), Algorithm::Cr);
+        assert_eq!("Cr+Pcr@64".parse::<Algorithm>().unwrap(), Algorithm::CrPcr { m: 64 });
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "thomas", "cr+", "cr+pcr", "cr+pcr@", "cr+pcr@x", "pcr@8"] {
+            let e = bad.parse::<Algorithm>().unwrap_err();
+            assert_eq!(e.input, bad, "{bad}");
+        }
+    }
 
     #[test]
     fn cr_512_matches_paper() {

@@ -25,7 +25,7 @@ pub mod workload;
 
 pub use batch::{SolutionBatch, SystemBatch};
 pub use block::BlockTridiagonalSystem;
-pub use complexity::{table1, Algorithm, ComplexityRow};
+pub use complexity::{table1, Algorithm, ComplexityRow, ParseAlgorithmError};
 pub use error::{require_pow2, Result, TridiagError};
 pub use periodic::PeriodicTridiagonalSystem;
 pub use real::Real;

@@ -155,9 +155,9 @@ mod tests {
             m[i][n] = sys.d[i];
         }
         for col in 0..n {
-            let piv = (col..n).max_by(|&p, &q| {
-                m[p][col].abs().partial_cmp(&m[q][col].abs()).unwrap()
-            }).unwrap();
+            let piv = (col..n)
+                .max_by(|&p, &q| m[p][col].abs().partial_cmp(&m[q][col].abs()).unwrap())
+                .unwrap();
             m.swap(col, piv);
             for row in col + 1..n {
                 let f = m[row][col] / m[col][col];
@@ -189,8 +189,20 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(PeriodicTridiagonalSystem::<f64>::new(vec![1.0; 2], vec![1.0; 2], vec![1.0; 2], vec![1.0; 2]).is_err());
-        assert!(PeriodicTridiagonalSystem::<f64>::new(vec![1.0; 3], vec![1.0; 4], vec![1.0; 4], vec![1.0; 4]).is_err());
+        assert!(PeriodicTridiagonalSystem::<f64>::new(
+            vec![1.0; 2],
+            vec![1.0; 2],
+            vec![1.0; 2],
+            vec![1.0; 2]
+        )
+        .is_err());
+        assert!(PeriodicTridiagonalSystem::<f64>::new(
+            vec![1.0; 3],
+            vec![1.0; 4],
+            vec![1.0; 4],
+            vec![1.0; 4]
+        )
+        .is_err());
     }
 
     #[test]

@@ -50,9 +50,7 @@ pub fn l2_residual<T: Real>(system: &TridiagonalSystem<T>, x: &[T]) -> Result<f6
 /// `||A x - d||_inf` for one system.
 pub fn linf_residual<T: Real>(system: &TridiagonalSystem<T>, x: &[T]) -> Result<f64> {
     check_len(system, x)?;
-    Ok((0..system.n())
-        .map(|i| residual_component(system, x, i).abs())
-        .fold(0.0f64, f64::max))
+    Ok((0..system.n()).map(|i| residual_component(system, x, i).abs()).fold(0.0f64, f64::max))
 }
 
 /// Residual normalized by `||d||_2` (scale-free comparison across families).
@@ -65,10 +63,7 @@ pub fn relative_l2_residual<T: Real>(system: &TridiagonalSystem<T>, x: &[T]) -> 
 /// Max absolute componentwise difference between two solutions.
 pub fn max_abs_diff<T: Real>(x: &[T], y: &[T]) -> f64 {
     assert_eq!(x.len(), y.len(), "solution length mismatch");
-    x.iter()
-        .zip(y)
-        .map(|(&p, &q)| (p.to_f64() - q.to_f64()).abs())
-        .fold(0.0f64, f64::max)
+    x.iter().zip(y).map(|(&p, &q)| (p.to_f64() - q.to_f64()).abs()).fold(0.0f64, f64::max)
 }
 
 /// Summary of residuals across a whole batch, as plotted in Figure 18
@@ -149,7 +144,7 @@ mod tests {
     fn perturbed_solution_has_expected_residual() {
         let s = sys();
         let x = vec![2.0, 3.0, 3.0, 2.0 + 1.0]; // perturb last unknown by 1
-        // A*e for e = (0,0,0,1): rows get (0, 0, -1, 2).
+                                                // A*e for e = (0,0,0,1): rows get (0, 0, -1, 2).
         let l2 = l2_residual(&s, &x).unwrap();
         assert!((l2 - (1.0f64 + 4.0).sqrt()).abs() < 1e-12);
         assert!((linf_residual(&s, &x).unwrap() - 2.0).abs() < 1e-12);
@@ -163,8 +158,7 @@ mod tests {
 
     #[test]
     fn batch_residual_counts_overflow() {
-        let batch =
-            SystemBatch::from_systems(&[sys(), sys()]).unwrap();
+        let batch = SystemBatch::from_systems(&[sys(), sys()]).unwrap();
         let mut sol = SolutionBatch::zeros_like(&batch);
         sol.system_mut(0).copy_from_slice(&[2.0, 3.0, 3.0, 2.0]);
         sol.system_mut(1).copy_from_slice(&[f64::NAN, 0.0, 0.0, 0.0]);

@@ -138,7 +138,8 @@ mod tests {
 
     #[test]
     fn new_validates_lengths() {
-        let err = TridiagonalSystem::new(vec![0.0f32], vec![1.0, 2.0], vec![0.0, 0.0], vec![1.0, 1.0]);
+        let err =
+            TridiagonalSystem::new(vec![0.0f32], vec![1.0, 2.0], vec![0.0, 0.0], vec![1.0, 1.0]);
         assert!(matches!(err, Err(TridiagError::DimensionMismatch { what: "a", .. })));
     }
 
@@ -192,13 +193,9 @@ mod tests {
     #[test]
     fn diagonal_dominance() {
         assert!(sys().is_diagonally_dominant());
-        let weak = TridiagonalSystem::new(
-            vec![0.0, 2.0],
-            vec![2.0, 2.0],
-            vec![2.0, 0.0],
-            vec![1.0, 1.0],
-        )
-        .unwrap();
+        let weak =
+            TridiagonalSystem::new(vec![0.0, 2.0], vec![2.0, 2.0], vec![2.0, 0.0], vec![1.0, 1.0])
+                .unwrap();
         assert!(!weak.is_diagonally_dominant());
     }
 

@@ -17,14 +17,11 @@ fn survey<T: Real>(launcher: &Launcher, n: usize, count: usize) {
         "{:<18} {:>22} {:>22} {:>22}",
         "solver", "diagonally-dominant", "poisson", "close-values"
     );
-    let batches: Vec<SystemBatch<T>> = [
-        Workload::DiagonallyDominant,
-        Workload::Poisson,
-        Workload::CloseValues,
-    ]
-    .iter()
-    .map(|w| Generator::new(7).batch(*w, n, count).expect("gen"))
-    .collect();
+    let batches: Vec<SystemBatch<T>> =
+        [Workload::DiagonallyDominant, Workload::Poisson, Workload::CloseValues]
+            .iter()
+            .map(|w| Generator::new(7).batch(*w, n, count).expect("gen"))
+            .collect();
 
     // GEP reference row first.
     let mut line = format!("{:<18}", "GEP (CPU)");

@@ -78,16 +78,13 @@ fn main() {
         [-DT * R[1][0], 1.0 + DT * (lambda * DV - R[1][1])],
     ];
     let det = m[0][0] * m[1][1] - m[0][1] * m[1][0];
-    let minv =
-        [[m[1][1] / det, -m[0][1] / det], [-m[1][0] / det, m[0][0] / det]];
+    let minv = [[m[1][1] / det, -m[0][1] / det], [-m[1][0] / det, m[0][0] / det]];
 
     let probe = N / 2;
     let scale = (pi * (probe as f64 + 1.0) * h()).sin();
     let mut predicted = [w[probe][0] as f64 / scale, w[probe][1] as f64 / scale];
 
-    println!(
-        "coupled reaction-diffusion, {N} points, 2x2 blocks, block-CR on the simulated GPU"
-    );
+    println!("coupled reaction-diffusion, {N} points, 2x2 blocks, block-CR on the simulated GPU");
     let mut worst = 0.0f64;
     for step in 1..=STEPS {
         let sys = implicit_system(&w);

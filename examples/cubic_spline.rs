@@ -52,8 +52,7 @@ fn main() {
         .collect();
     let batch = SystemBatch::from_systems(&systems).expect("batch");
 
-    let report =
-        solve_batch(&launcher, GpuAlgorithm::CrPcr { m: N / 2 }, &batch).expect("solve");
+    let report = solve_batch(&launcher, GpuAlgorithm::CrPcr { m: N / 2 }, &batch).expect("solve");
     println!(
         "fitted {CURVES} natural cubic splines ({N} interior knots each) in {:.3} ms simulated GPU time",
         report.timing.kernel_ms

@@ -79,8 +79,7 @@ fn sweep_y(launcher: &Launcher, u: &[Vec<f32>]) -> Vec<Vec<f32>> {
         })
         .collect();
     let batch = SystemBatch::from_systems(&systems).expect("batch");
-    let report =
-        solve_batch(launcher, GpuAlgorithm::CrPcr { m: NY / 2 }, &batch).expect("y sweep");
+    let report = solve_batch(launcher, GpuAlgorithm::CrPcr { m: NY / 2 }, &batch).expect("y sweep");
     let mut out = vec![vec![0.0f32; NX]; NY];
     for col in 0..NX {
         let x = report.solutions.system(col);
@@ -128,7 +127,9 @@ fn main() {
         let rel = ((amp - predicted) / predicted).abs();
         worst = worst.max(rel);
         if step % 4 == 0 {
-            println!("step {step:>3}: amplitude {amp:.6}, predicted {predicted:.6}, rel err {rel:.2e}");
+            println!(
+                "step {step:>3}: amplitude {amp:.6}, predicted {predicted:.6}, rel err {rel:.2e}"
+            );
         }
     }
     assert!(worst < 5e-3, "periodic ADI drifted: {worst:.2e}");

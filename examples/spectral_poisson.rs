@@ -43,8 +43,7 @@ fn main() {
 
     // f64 at n = 512 exceeds the GT200's shared memory, so this example
     // exercises the global-memory fallback path — the case §4 describes.
-    let report =
-        solve_batch(&launcher, GpuAlgorithm::CrGlobalOnly, &batch).expect("solve");
+    let report = solve_batch(&launcher, GpuAlgorithm::CrGlobalOnly, &batch).expect("solve");
     println!(
         "solved {MODES} Poisson systems of {N} unknowns (f64, global-memory path) \
          in {:.3} ms simulated GPU time",

@@ -1,0 +1,367 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment is fully offline, so the workspace replaces its
+//! external dependencies with small in-tree shims. This one provides the
+//! surface the repo actually uses:
+//!
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator seeded via
+//!   SplitMix64 (`SeedableRng::seed_from_u64`);
+//! * [`Rng::gen_range`] for float and integer ranges, [`Rng::gen_bool`];
+//! * [`distributions::Uniform`] + [`distributions::Distribution`].
+//!
+//! It is **not** a drop-in statistical replacement for the real crate: the
+//! stream of values differs, but every consumer in this workspace only needs
+//! determinism and rough uniformity, both of which hold.
+
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// Low-level entropy source: everything is derived from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (subset: only `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// The element type is a trait *parameter* (as in real rand) so that
+    /// untyped float literals like `-1.0..1.0` unify with the call site's
+    /// expected type (`f32` or `f64`) instead of defaulting to `f64`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Samples a value of a [`Standard`]-distributed type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+}
+
+impl<G: RngCore> Rng for G {}
+
+/// Types samplable by [`Rng::gen`] (the `Standard` distribution).
+pub trait Standard {
+    /// Draws one value from `rng`.
+    fn from_rng<G: RngCore>(rng: &mut G) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_rng<G: RngCore>(rng: &mut G) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn from_rng<G: RngCore>(rng: &mut G) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<G: RngCore>(rng: &mut G) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_rng<G: RngCore>(rng: &mut G) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for f32 {
+    fn from_rng<G: RngCore>(rng: &mut G) -> Self {
+        unit_f64(rng.next_u64()) as f32
+    }
+}
+
+/// Maps 64 random bits to a double in `[0, 1)` using the top 53 bits.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges that [`Rng::gen_range`] can sample a `T` from.
+pub trait SampleRange<T> {
+    /// Draws one uniformly distributed element.
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T;
+}
+
+macro_rules! float_range {
+    ($t:ty) => {
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<G: RngCore>(self, rng: &mut G) -> $t {
+                debug_assert!(self.start < self.end, "empty range");
+                self.start + (unit_f64(rng.next_u64()) as $t) * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<G: RngCore>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                debug_assert!(lo <= hi, "empty range");
+                // Inclusive endpoints matter little for floats; nudge the
+                // unit sample so `hi` is reachable.
+                let u = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                lo + (u as $t) * (hi - lo)
+            }
+        }
+    };
+}
+
+float_range!(f32);
+float_range!(f64);
+
+macro_rules! int_range {
+    ($t:ty) => {
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<G: RngCore>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = bounded_u128(rng, span);
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<G: RngCore>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = bounded_u128(rng, span);
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    };
+}
+
+int_range!(usize);
+int_range!(u64);
+int_range!(u32);
+int_range!(u16);
+int_range!(i64);
+int_range!(i32);
+
+/// Uniform draw in `[0, span)` by rejection to avoid modulo bias.
+fn bounded_u128<G: RngCore>(rng: &mut G, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span == 1 {
+        return 0;
+    }
+    let zone = u128::from(u64::MAX) - (u128::from(u64::MAX) + 1) % span;
+    loop {
+        let v = u128::from(rng.next_u64());
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators (only [`StdRng`]).
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator — the shim's `StdRng`.
+    ///
+    /// Not cryptographic (neither is it in this workspace's usage), but
+    /// fast, seedable, and with a long period.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod distributions {
+    //! Distribution types (only [`Uniform`]).
+
+    use super::{RngCore, SampleRange};
+    use core::ops::Range;
+
+    /// A distribution that can be sampled repeatedly.
+    pub trait Distribution<T> {
+        /// Draws one value from `rng`.
+        fn sample<G: RngCore>(&self, rng: &mut G) -> T;
+    }
+
+    /// Uniform distribution over a fixed interval.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<X> {
+        lo: X,
+        hi: X,
+        inclusive: bool,
+    }
+
+    impl<X: Copy> Uniform<X> {
+        /// Uniform over the half-open interval `[lo, hi)`.
+        pub fn new(lo: X, hi: X) -> Self {
+            Self { lo, hi, inclusive: false }
+        }
+
+        /// Uniform over the closed interval `[lo, hi]`.
+        pub fn new_inclusive(lo: X, hi: X) -> Self {
+            Self { lo, hi, inclusive: true }
+        }
+    }
+
+    macro_rules! uniform_impl {
+        ($t:ty) => {
+            impl Distribution<$t> for Uniform<$t> {
+                fn sample<G: RngCore>(&self, rng: &mut G) -> $t {
+                    if self.inclusive {
+                        (self.lo..=self.hi).sample_from(rng)
+                    } else {
+                        Range { start: self.lo, end: self.hi }.sample_from(rng)
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_impl!(f32);
+    uniform_impl!(f64);
+    uniform_impl!(usize);
+    uniform_impl!(u64);
+    uniform_impl!(u32);
+    uniform_impl!(i32);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let differs = (0..64).any(|_| a.gen_range(0u64..u64::MAX) != c.gen_range(0u64..u64::MAX));
+        assert!(differs);
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&v), "{v}");
+            let w: f32 = rng.gen_range(0.25f32..0.75);
+            assert!((0.25..0.75).contains(&w), "{w}");
+        }
+    }
+
+    #[test]
+    fn integer_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+        let mut seen_inc = [false; 4];
+        for _ in 0..500 {
+            seen_inc[rng.gen_range(2usize..=5) - 2] = true;
+        }
+        assert!(seen_inc.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "{frac}");
+    }
+
+    #[test]
+    fn uniform_distribution_matches_ranges() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let u = Uniform::new_inclusive(-0.5f64, 0.5);
+        for _ in 0..1000 {
+            let v = u.sample(&mut rng);
+            assert!((-0.5..=0.5).contains(&v));
+        }
+        let half_open = Uniform::new(0u32, 3);
+        let mut seen = [false; 3];
+        for _ in 0..300 {
+            seen[half_open.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_floats_cover_zero_to_one() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "lo={lo} hi={hi}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde for `#[derive(Serialize)]` annotations on
+//! report types; nothing actually drives a `Serializer` (JSON output, where
+//! needed, is rendered by hand — see `gpu_sim::trace` and
+//! `solver_service::metrics`). The traits here are therefore markers with
+//! blanket implementations, and the derives expand to nothing.
+
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    // Import both the trait and the derive under the same name, exactly as
+    // `use serde::Serialize;` resolves for downstream crates.
+    use super::Serialize;
+
+    #[derive(Serialize)]
+    struct Plain {
+        #[allow(dead_code)]
+        x: u32,
+    }
+
+    #[derive(Serialize)]
+    enum WithVariants {
+        #[allow(dead_code)]
+        A,
+        #[allow(dead_code)]
+        B(f64),
+    }
+
+    fn assert_serialize<T: Serialize>() {}
+
+    #[test]
+    fn derive_and_blanket_impl_coexist() {
+        assert_serialize::<Plain>();
+        assert_serialize::<WithVariants>();
+        assert_serialize::<Vec<String>>();
+    }
+}

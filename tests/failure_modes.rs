@@ -24,11 +24,7 @@ fn non_power_of_two_sizes_rejected_by_every_gpu_solver() {
         GpuAlgorithm::CrGlobalOnly,
     ] {
         let err = solve_batch(&launcher, alg, &batch).unwrap_err();
-        assert!(
-            matches!(err, TridiagError::NotPowerOfTwo { n: 48 }),
-            "{}: {err:?}",
-            alg.name()
-        );
+        assert!(matches!(err, TridiagError::NotPowerOfTwo { n: 48 }), "{}: {err:?}", alg.name());
     }
 }
 
@@ -37,10 +33,7 @@ fn invalid_switch_points_rejected() {
     let launcher = Launcher::gtx280();
     let batch = dominant_batch::<f32>(1, 64, 2);
     for m in [0usize, 1, 3, 100, 128] {
-        for alg in [
-            GpuAlgorithm::CrPcr { m },
-            GpuAlgorithm::CrRd { m, mode: RdMode::Plain },
-        ] {
+        for alg in [GpuAlgorithm::CrPcr { m }, GpuAlgorithm::CrRd { m, mode: RdMode::Plain }] {
             let err = solve_batch(&launcher, alg, &batch).unwrap_err();
             assert!(
                 matches!(err, TridiagError::InvalidIntermediateSize { n: 64, .. }),

@@ -81,8 +81,7 @@ fn every_solver_agrees_with_the_dense_oracle() {
             }
             // Sequential references of the parallel algorithms.
             let mut x = vec![0.0; n];
-            cpu_solvers::reference::cr::solve_into(&sys.a, &sys.b, &sys.c, &sys.d, &mut x)
-                .unwrap();
+            cpu_solvers::reference::cr::solve_into(&sys.a, &sys.b, &sys.c, &sys.d, &mut x).unwrap();
             close(&x, &oracle, 1e-8, &label("cr-ref"));
             cpu_solvers::reference::pcr::solve_into(&sys.a, &sys.b, &sys.c, &sys.d, &mut x)
                 .unwrap();

@@ -13,11 +13,7 @@ fn batch<T: Real>(seed: u64, workload: Workload, n: usize, count: usize) -> Syst
 
 /// Solvers that are stable on diagonally dominant systems (paper §5.4).
 fn dominant_safe(n: usize) -> Vec<GpuAlgorithm> {
-    let mut algs = vec![
-        GpuAlgorithm::Cr,
-        GpuAlgorithm::Pcr,
-        GpuAlgorithm::CrGlobalOnly,
-    ];
+    let mut algs = vec![GpuAlgorithm::Cr, GpuAlgorithm::Pcr, GpuAlgorithm::CrGlobalOnly];
     if n >= 4 {
         algs.push(GpuAlgorithm::CrPcr { m: n / 2 });
         algs.push(GpuAlgorithm::CrPcr { m: 2 });

@@ -40,11 +40,7 @@ fn pcr_step_counts_exact() {
 fn rd_step_counts_exact() {
     for n in [4usize, 16, 64, 256, 512] {
         let stats = measure(GpuAlgorithm::Rd(RdMode::Plain), n);
-        assert_eq!(
-            algo_steps(&stats),
-            analytic(GpuAlgorithm::Rd(RdMode::Plain), n).steps,
-            "n={n}"
-        );
+        assert_eq!(algo_steps(&stats), analytic(GpuAlgorithm::Rd(RdMode::Plain), n).steps, "n={n}");
     }
 }
 
@@ -113,11 +109,7 @@ fn op_counts_within_constant_of_table1() {
             let ratio = stats.total_ops() as f64 / a.arithmetic_ops as f64;
             assert!((0.6..1.6).contains(&ratio), "{} n={n}: ops ratio {ratio}", alg.name());
             let ratio = stats.total_shared_accesses() as f64 / a.shared_accesses as f64;
-            assert!(
-                (0.4..1.6).contains(&ratio),
-                "{} n={n}: shared ratio {ratio}",
-                alg.name()
-            );
+            assert!((0.4..1.6).contains(&ratio), "{} n={n}: shared ratio {ratio}", alg.name());
         }
     }
 }
