@@ -22,4 +22,7 @@ cargo test --offline -q
 echo "==> cargo test --release --workspace"
 cargo test --offline --release --workspace -q
 
+echo "==> kernel sanitizer gate (bench sanitize --quick)"
+cargo run --offline --release -p bench -- sanitize --quick
+
 echo "==> CI green"

@@ -5,12 +5,20 @@
 //! cargo run --release -p bench --bin repro            # everything
 //! cargo run --release -p bench --bin repro fig9 fig17 # a subset
 //! cargo run --release -p bench --bin repro --list     # available names
+//! cargo run --release -p bench -- sanitize --quick    # sanitizer gate
 //! ```
 
 use bench::{figures, ReproConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // The sanitizer gate is a subcommand, not an experiment: it returns a
+    // non-zero exit code when any solver trips an error-severity diagnostic.
+    if args.first().map(String::as_str) == Some("sanitize") {
+        std::process::exit(bench::sanitize::run(&args[1..]));
+    }
+
     let all = figures::all();
 
     if args.iter().any(|a| a == "--list" || a == "-l" || a == "--help") {

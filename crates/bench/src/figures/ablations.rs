@@ -147,6 +147,7 @@ pub fn run(cfg: &ReproConfig) -> Vec<Table> {
     let fermi = gpu_sim::Launcher {
         device: gpu_sim::DeviceConfig::fermi_like(),
         cost: cfg.launcher.cost.clone(),
+        sanitize: gpu_sim::SanitizeOptions::default(),
     };
     for alg in [
         GpuAlgorithm::CrPcr { m: 256 },
@@ -269,6 +270,7 @@ mod tests {
         let fermi = gpu_sim::Launcher {
             device: gpu_sim::DeviceConfig::fermi_like(),
             cost: cfg.launcher.cost.clone(),
+            sanitize: gpu_sim::SanitizeOptions::default(),
         };
         let hybrid =
             solve_batch(&fermi, GpuAlgorithm::CrPcr { m: 256 }, &batch).unwrap().timing.kernel_ms;

@@ -12,6 +12,7 @@
 
 pub mod figures;
 pub mod report;
+pub mod sanitize;
 pub mod timing;
 
 pub use report::Table;

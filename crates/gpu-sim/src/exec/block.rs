@@ -17,7 +17,9 @@ use crate::device::DeviceConfig;
 use crate::memory::banks::conflict_degree;
 use crate::memory::global::{GlobalArray, GlobalMem};
 use crate::memory::shared::{PendingStore, Shared, SharedMem};
+use crate::sanitize::{Diagnostic, SanitizeOptions, Sanitizer};
 use core::ops::Range;
+use core::panic::Location;
 use tridiag_core::Real;
 
 /// One recorded shared-memory access (representative block only).
@@ -26,6 +28,8 @@ struct AccessRec {
     tid: u32,
     slot: u16,
     word: u32,
+    /// Source location of the access (for the bank-conflict lint).
+    loc: &'static Location<'static>,
 }
 
 /// Per-thread arithmetic counters for the current step.
@@ -44,6 +48,8 @@ pub struct BlockCtx<'g, T: Real> {
     pending: Vec<PendingStore<T>>,
     block_dim: usize,
     recording: bool,
+    /// Hazard/race/overflow checker (all blocks when sanitizing is on).
+    sanitizer: Option<Box<Sanitizer>>,
     // Per-step scratch (recording only).
     accesses: Vec<AccessRec>,
     ops: Vec<OpCounts>,
@@ -74,6 +80,7 @@ impl<'g, T: Real> BlockCtx<'g, T> {
             pending: Vec::new(),
             block_dim,
             recording,
+            sanitizer: None,
             accesses: Vec::new(),
             ops: vec![OpCounts::default(); block_dim],
             step_shared_loads: 0,
@@ -84,6 +91,24 @@ impl<'g, T: Real> BlockCtx<'g, T> {
         }
     }
 
+    /// Creates a context carrying a [`Sanitizer`] when `opts.mode` is on.
+    /// `block_id` tags the diagnostics. Must be used *before* any shared
+    /// allocations so the shadow valid-bitmaps stay in sync.
+    pub fn sanitized(
+        device: &DeviceConfig,
+        global: &'g mut GlobalMem<T>,
+        block_dim: usize,
+        recording: bool,
+        opts: SanitizeOptions,
+        block_id: usize,
+    ) -> Self {
+        let mut ctx = Self::new(device, global, block_dim, recording);
+        if opts.mode.is_on() {
+            ctx.sanitizer = Some(Box::new(Sanitizer::new(opts, block_id)));
+        }
+        ctx
+    }
+
     /// Threads in the block.
     #[inline]
     pub fn block_dim(&self) -> usize {
@@ -92,6 +117,9 @@ impl<'g, T: Real> BlockCtx<'g, T> {
 
     /// Allocates a shared array of `len` elements (a `__shared__` buffer).
     pub fn alloc(&mut self, len: usize) -> Shared<T> {
+        if let Some(san) = self.sanitizer.as_mut() {
+            san.on_alloc(len);
+        }
         self.shared.alloc(len)
     }
 
@@ -121,6 +149,9 @@ impl<'g, T: Real> BlockCtx<'g, T> {
         if active.is_empty() {
             return;
         }
+        if let Some(san) = self.sanitizer.as_mut() {
+            san.begin_step(phase);
+        }
         if self.recording {
             self.accesses.clear();
             self.step_shared_loads = 0;
@@ -132,8 +163,16 @@ impl<'g, T: Real> BlockCtx<'g, T> {
             }
         }
         for tid in active.clone() {
-            let mut t =
-                ThreadCtx { block: self, tid, slot: 0, ops: 0, divs: 0, dependent_loads: 0 };
+            let pending_start = self.pending.len();
+            let mut t = ThreadCtx {
+                block: self,
+                tid,
+                slot: 0,
+                ops: 0,
+                divs: 0,
+                dependent_loads: 0,
+                pending_start,
+            };
             f(&mut t);
             let (ops, divs, dependent_loads) = (t.ops, t.divs, t.dependent_loads);
             if self.recording {
@@ -147,19 +186,31 @@ impl<'g, T: Real> BlockCtx<'g, T> {
     }
 
     /// Applies buffered stores at the step's closing barrier, detecting
-    /// intra-step write-write races in recording mode.
+    /// intra-step write-write races (a panic in legacy recording mode, a
+    /// [`Diagnostic`] when a sanitizer is attached).
     fn apply_pending(&mut self) {
-        if self.recording && self.pending.len() > 1 {
-            let mut targets: Vec<(u32, usize, usize)> =
-                self.pending.iter().map(|p| (p.array, p.index, p.tid)).collect();
-            targets.sort_unstable();
-            for w in targets.windows(2) {
-                if w[0].0 == w[1].0 && w[0].1 == w[1].1 {
-                    panic!(
-                        "intra-step write-write race: threads {} and {} both stored to \
-                         shared array {} element {}",
-                        w[0].2, w[1].2, w[0].0, w[0].1
-                    );
+        let sanitizing = self.sanitizer.is_some();
+        if (self.recording || sanitizing) && self.pending.len() > 1 {
+            let mut order: Vec<u32> = (0..self.pending.len() as u32).collect();
+            order.sort_unstable_by_key(|&k| {
+                let p = &self.pending[k as usize];
+                (p.array, p.index, p.tid)
+            });
+            for w in order.windows(2) {
+                let a = self.pending[w[0] as usize];
+                let b = self.pending[w[1] as usize];
+                if a.array == b.array && a.index == b.index {
+                    if let Some(san) = self.sanitizer.as_mut() {
+                        if a.tid != b.tid {
+                            san.note_race(a.tid, b.tid, a.array, a.index, a.loc, b.loc);
+                        }
+                    } else {
+                        panic!(
+                            "intra-step write-write race: threads {} and {} both stored to \
+                             shared array {} element {}",
+                            a.tid, b.tid, a.array, a.index
+                        );
+                    }
                 }
             }
         }
@@ -170,6 +221,9 @@ impl<'g, T: Real> BlockCtx<'g, T> {
                 p.index,
                 p.value,
             );
+            if let Some(san) = self.sanitizer.as_mut() {
+                san.mark_valid(p.array, p.index);
+            }
         }
         self.pending = pending;
         self.pending.clear();
@@ -187,8 +241,10 @@ impl<'g, T: Real> BlockCtx<'g, T> {
         let mut max_degree = 0u32;
         let mut i = 0;
         let mut words: Vec<u32> = Vec::with_capacity(hw);
+        let mut lint_sites: Vec<(u32, &'static Location<'static>)> = Vec::new();
         while i < self.accesses.len() {
             let key = (self.accesses[i].slot, self.accesses[i].tid / hw as u32);
+            let site = self.accesses[i].loc;
             words.clear();
             while i < self.accesses.len()
                 && (self.accesses[i].slot, self.accesses[i].tid / hw as u32) == key
@@ -200,6 +256,17 @@ impl<'g, T: Real> BlockCtx<'g, T> {
             shared_instructions += 1;
             serialized += deg as u64;
             max_degree = max_degree.max(deg);
+            if self.sanitizer.is_some() && deg > 1 {
+                lint_sites.push((deg, site));
+            }
+        }
+        if let Some(san) = self.sanitizer.as_mut() {
+            // Bank-conflict lint: attribute the worst degree to each source
+            // site (recording block only — all blocks execute identical
+            // control flow, so banking is identical across blocks).
+            for (deg, loc) in lint_sites {
+                san.note_bank_conflict(deg, loc);
+            }
         }
 
         // Warp-granular arithmetic: per warp, the slowest lane sets the
@@ -255,10 +322,17 @@ impl<'g, T: Real> BlockCtx<'g, T> {
     }
 
     /// Finalizes the block and returns its counters.
-    pub fn finish(mut self) -> KernelStats {
+    pub fn finish(self) -> KernelStats {
+        self.finish_with_diagnostics().0
+    }
+
+    /// Finalizes the block, returning counters plus any sanitizer findings
+    /// (empty when no sanitizer is attached).
+    pub fn finish_with_diagnostics(mut self) -> (KernelStats, Vec<Diagnostic>) {
         assert!(self.pending.is_empty(), "finish() called mid-step");
         self.stats.shared_words = self.shared.words_used();
-        self.stats
+        let diags = self.sanitizer.take().map(|s| s.into_diagnostics()).unwrap_or_default();
+        (self.stats, diags)
     }
 }
 
@@ -270,6 +344,10 @@ pub struct ThreadCtx<'b, 'g, T: Real> {
     ops: u32,
     divs: u32,
     dependent_loads: u32,
+    /// Index into `block.pending` where this thread's own buffered stores
+    /// begin (threads run sequentially within a step) — used for the
+    /// same-thread read-after-buffered-write hazard scan.
+    pending_start: usize,
 }
 
 impl<T: Real> ThreadCtx<'_, '_, T> {
@@ -281,25 +359,116 @@ impl<T: Real> ThreadCtx<'_, '_, T> {
 
     /// Reads shared memory — observes the *pre-step* state.
     #[inline]
+    #[track_caller]
     pub fn load(&mut self, arr: Shared<T>, i: usize) -> T {
-        self.record_shared(arr, i, false);
+        let loc = Location::caller();
+        if self.block.sanitizer.is_some() && !self.sanitize_shared(arr.index, i, false, loc) {
+            return T::ZERO;
+        }
+        self.record_shared(arr, i, false, loc);
         self.block.shared.read(arr, i)
     }
 
     /// Writes shared memory — buffered until the step's closing barrier.
     #[inline]
+    #[track_caller]
     pub fn store(&mut self, arr: Shared<T>, i: usize, v: T) {
-        self.record_shared(arr, i, true);
+        let loc = Location::caller();
+        if self.block.sanitizer.is_some() {
+            if !self.sanitize_shared(arr.index, i, true, loc) {
+                return;
+            }
+            if !v.is_finite() {
+                let tid = self.tid;
+                if let Some(san) = self.block.sanitizer.as_mut() {
+                    san.note_nonfinite(tid, loc);
+                }
+            }
+        }
+        self.record_shared(arr, i, true, loc);
         self.block.pending.push(PendingStore {
             array: arr.index,
             index: i,
             value: v,
             tid: self.tid,
+            loc,
         });
     }
 
+    /// Runs the sanitizer's shared-memory checks. Returns `false` when the
+    /// access must be suppressed (invalid handle or out of bounds) so the
+    /// storage layer is never reached with a bad address.
+    fn sanitize_shared(
+        &mut self,
+        array: u32,
+        i: usize,
+        store: bool,
+        loc: &'static Location<'static>,
+    ) -> bool {
+        let tid = self.tid;
+        let pending_start = self.pending_start;
+        // Disjoint field borrows of the block.
+        let block: &mut BlockCtx<'_, T> = self.block;
+        let san = block.sanitizer.as_mut().expect("sanitize_shared without sanitizer");
+        if !san.shared_handle_ok(array) {
+            san.note_invalid_handle(tid, array, true, loc);
+            return false;
+        }
+        let len = san.shared_len(array);
+        if i >= len {
+            san.note_shared_oob(tid, array, i, len, store, loc);
+            return false;
+        }
+        if !store {
+            // Same-thread store-then-load: the load observes the stale
+            // pre-step value, which the paper's read/sync/write compilation
+            // would not — report, then proceed (the simulator's semantics
+            // stay deterministic either way).
+            if let Some(p) =
+                block.pending[pending_start..].iter().find(|p| p.array == array && p.index == i)
+            {
+                let store_loc = p.loc;
+                san.note_hazard(tid, array, i, loc, store_loc);
+            }
+            if !san.is_valid(array, i) {
+                san.note_uninit(tid, array, i, loc);
+            }
+        }
+        true
+    }
+
+    /// Runs the sanitizer's global-memory checks; `false` suppresses the
+    /// access.
+    fn sanitize_global(
+        &mut self,
+        arr: GlobalArray<T>,
+        i: usize,
+        store: bool,
+        loc: &'static Location<'static>,
+    ) -> bool {
+        let tid = self.tid;
+        let block: &mut BlockCtx<'_, T> = self.block;
+        let san = block.sanitizer.as_mut().expect("sanitize_global without sanitizer");
+        if (arr.index as usize) >= block.global.num_arrays() {
+            san.note_invalid_handle(tid, arr.index, false, loc);
+            return false;
+        }
+        let len = block.global.len_of(arr);
+        if i >= len {
+            san.note_global_oob(tid, arr.index, i, len, store, loc);
+            return false;
+        }
+        true
+    }
+
     #[inline]
-    fn record_shared(&mut self, arr: Shared<T>, i: usize, store: bool) {
+    fn record_shared(
+        &mut self,
+        arr: Shared<T>,
+        i: usize,
+        store: bool,
+        loc: &'static Location<'static>,
+    ) {
         if self.block.recording {
             if store {
                 self.block.step_shared_stores += 1;
@@ -313,6 +482,7 @@ impl<T: Real> ThreadCtx<'_, '_, T> {
                     tid: self.tid as u32,
                     slot: self.slot,
                     word: base + w,
+                    loc,
                 });
                 self.slot += 1;
             }
@@ -323,7 +493,13 @@ impl<T: Real> ThreadCtx<'_, '_, T> {
 
     /// Reads an element from global memory (coalesced traffic accounting).
     #[inline]
+    #[track_caller]
     pub fn load_global(&mut self, arr: GlobalArray<T>, i: usize) -> T {
+        if self.block.sanitizer.is_some()
+            && !self.sanitize_global(arr, i, false, Location::caller())
+        {
+            return T::ZERO;
+        }
         if self.block.recording {
             self.block.step_global_loads += 1;
         }
@@ -336,7 +512,14 @@ impl<T: Real> ThreadCtx<'_, '_, T> {
     /// resident blocks can hide a chain, which is what makes
     /// thread-per-system (coarse-grained) kernels latency-bound.
     #[inline]
+    #[track_caller]
     pub fn load_global_dependent(&mut self, arr: GlobalArray<T>, i: usize) -> T {
+        if self.block.sanitizer.is_some()
+            && !self.sanitize_global(arr, i, false, Location::caller())
+        {
+            self.dependent_loads += 1;
+            return T::ZERO;
+        }
         if self.block.recording {
             self.block.step_global_loads += 1;
         }
@@ -347,7 +530,20 @@ impl<T: Real> ThreadCtx<'_, '_, T> {
     /// Writes an element to global memory (applied immediately; the solvers
     /// only write distinct result elements at kernel end).
     #[inline]
+    #[track_caller]
     pub fn store_global(&mut self, arr: GlobalArray<T>, i: usize, v: T) {
+        let loc = Location::caller();
+        if self.block.sanitizer.is_some() {
+            if !self.sanitize_global(arr, i, true, loc) {
+                return;
+            }
+            if !v.is_finite() {
+                let tid = self.tid;
+                if let Some(san) = self.block.sanitizer.as_mut() {
+                    san.note_nonfinite(tid, loc);
+                }
+            }
+        }
         if self.block.recording {
             self.block.step_global_stores += 1;
         }
@@ -551,6 +747,168 @@ mod tests {
         assert_eq!(stats.steps[0].warps, 2);
         assert_eq!(stats.steps[0].half_warps, 4);
         assert_eq!(stats.steps[0].active_threads, 64);
+    }
+
+    #[test]
+    fn sanitizer_reports_write_race_without_panicking() {
+        use crate::sanitize::{DiagnosticKind, SanitizeOptions};
+        let mut g = GlobalMem::new();
+        let mut b = BlockCtx::sanitized(
+            &DeviceConfig::gtx280(),
+            &mut g,
+            4,
+            true,
+            SanitizeOptions::record(),
+            0,
+        );
+        let arr = b.alloc(4);
+        b.step(Phase::Other("race"), 0..4, |t| {
+            t.store(arr, 0, t.tid() as f32);
+        });
+        let (_, diags) = b.finish_with_diagnostics();
+        let race: Vec<_> =
+            diags.iter().filter(|d| d.kind == DiagnosticKind::WriteWriteRace).collect();
+        assert_eq!(race.len(), 1);
+        assert!(race[0].related.is_some(), "both colliding locations reported");
+        assert_eq!(race[0].occurrences, 3, "4 threads -> 3 colliding pairs");
+    }
+
+    #[test]
+    fn sanitizer_reports_invalid_shared_handle() {
+        use crate::sanitize::{DiagnosticKind, SanitizeOptions};
+        let mut g = GlobalMem::new();
+        let mut b = BlockCtx::sanitized(
+            &DeviceConfig::gtx280(),
+            &mut g,
+            1,
+            true,
+            SanitizeOptions::record(),
+            0,
+        );
+        let _arr = b.alloc(4);
+        // A handle from "another context": index beyond this arena.
+        let foreign: Shared<f32> = Shared { index: 7, _marker: core::marker::PhantomData };
+        b.step(Phase::Other("bad-handle"), 0..1, |t| {
+            let v = t.load(foreign, 0);
+            assert_eq!(v, 0.0, "suppressed access reads as zero");
+            t.store(foreign, 1, 1.0);
+        });
+        let (_, diags) = b.finish_with_diagnostics();
+        assert!(diags
+            .iter()
+            .any(|d| d.kind == DiagnosticKind::InvalidHandle && d.array == Some(7)));
+    }
+
+    #[test]
+    fn sanitizer_reports_same_thread_store_then_load_hazard() {
+        use crate::sanitize::{DiagnosticKind, SanitizeOptions};
+        let mut g = GlobalMem::new();
+        let mut b = BlockCtx::sanitized(
+            &DeviceConfig::gtx280(),
+            &mut g,
+            2,
+            true,
+            SanitizeOptions::record(),
+            0,
+        );
+        let arr = b.alloc(2);
+        b.step(Phase::Other("init"), 0..2, |t| t.store(arr, t.tid(), 1.0));
+        b.step(Phase::Other("hazard"), 0..2, |t| {
+            let i = t.tid();
+            t.store(arr, i, 2.0);
+            let _ = t.load(arr, i); // observes stale pre-step value
+        });
+        let (_, diags) = b.finish_with_diagnostics();
+        let h: Vec<_> =
+            diags.iter().filter(|d| d.kind == DiagnosticKind::ReadWriteHazard).collect();
+        assert_eq!(h.len(), 1);
+        assert!(h[0].related.is_some(), "buffered store location attached");
+        assert_eq!(h[0].occurrences, 2);
+    }
+
+    #[test]
+    fn sanitizer_reports_uninitialized_read_and_oob() {
+        use crate::sanitize::{DiagnosticKind, SanitizeOptions};
+        let mut g = GlobalMem::<f32>::new();
+        let out = g.alloc_zeroed(2);
+        let mut b = BlockCtx::sanitized(
+            &DeviceConfig::gtx280(),
+            &mut g,
+            2,
+            true,
+            SanitizeOptions::record(),
+            0,
+        );
+        let arr = b.alloc(2);
+        let _other = b.alloc(2);
+        b.step(Phase::Other("bugs"), 0..2, |t| {
+            let i = t.tid();
+            let v = t.load(arr, i); // never written -> uninit
+            let w = t.load(arr, 2 + i); // OOB (would hit _other's words)
+            assert_eq!(w, 0.0);
+            t.store_global(out, 4 + i, v); // global OOB -> dropped
+        });
+        let (_, diags) = b.finish_with_diagnostics();
+        assert!(diags.iter().any(|d| d.kind == DiagnosticKind::UninitializedRead));
+        assert!(diags.iter().any(|d| d.kind == DiagnosticKind::SharedOutOfBounds));
+        assert!(diags.iter().any(|d| d.kind == DiagnosticKind::GlobalOutOfBounds));
+    }
+
+    #[test]
+    fn sanitizer_flags_nonfinite_origin_and_bank_conflicts() {
+        use crate::sanitize::{DiagnosticKind, SanitizeOptions};
+        let mut g = GlobalMem::new();
+        let mut b = BlockCtx::sanitized(
+            &DeviceConfig::gtx280(),
+            &mut g,
+            32,
+            true,
+            SanitizeOptions::record(),
+            0,
+        );
+        let arr = b.alloc(512);
+        b.step(Phase::Other("strided"), 0..32, |t| {
+            let i = t.tid() * 16; // 16-way conflict on 16 banks
+            let v = if t.tid() == 3 { f32::INFINITY } else { 1.0 };
+            t.store(arr, i, v);
+        });
+        let (_, diags) = b.finish_with_diagnostics();
+        let nf: Vec<_> =
+            diags.iter().filter(|d| d.kind == DiagnosticKind::NonFiniteOrigin).collect();
+        assert_eq!(nf.len(), 1);
+        assert_eq!(nf[0].tid, 3);
+        let bc: Vec<_> = diags.iter().filter(|d| d.kind == DiagnosticKind::BankConflict).collect();
+        assert_eq!(bc.len(), 1);
+        assert_eq!(bc[0].degree, Some(16));
+    }
+
+    #[test]
+    fn clean_kernel_yields_no_diagnostics_and_identical_counters() {
+        use crate::sanitize::SanitizeOptions;
+        let run = |opts: Option<SanitizeOptions>| {
+            let mut g = GlobalMem::new();
+            let input = g.upload((0..32).map(|i| i as f32).collect());
+            let output = g.alloc_zeroed(32);
+            let mut b = match opts {
+                Some(o) => BlockCtx::sanitized(&DeviceConfig::gtx280(), &mut g, 32, true, o, 0),
+                None => BlockCtx::new(&DeviceConfig::gtx280(), &mut g, 32, true),
+            };
+            let arr = b.alloc(32);
+            b.step(Phase::GlobalLoad, 0..32, |t| {
+                let v = t.load_global(input, t.tid());
+                t.store(arr, t.tid(), v);
+            });
+            b.step(Phase::GlobalStore, 0..32, |t| {
+                let v = t.load(arr, 31 - t.tid());
+                t.store_global(output, t.tid(), v);
+            });
+            b.finish_with_diagnostics()
+        };
+        let (plain, d0) = run(None);
+        let (sanitized, d1) = run(Some(SanitizeOptions::record()));
+        assert!(d0.is_empty());
+        assert!(d1.is_empty(), "clean kernel must produce no diagnostics: {d1:?}");
+        assert_eq!(plain, sanitized, "sanitizing must not perturb counters");
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::device::DeviceConfig;
 use crate::exec::block::BlockCtx;
 use crate::memory::global::GlobalMem;
 use crate::profile::{time_launch_with_efficiency, TimingReport};
+use crate::sanitize::{merge_diagnostics, Diagnostic, SanitizeMode, SanitizeOptions, Severity};
 use tridiag_core::{Real, Result, TridiagError};
 
 /// A kernel launched over a 1-D grid of identical blocks.
@@ -39,6 +40,21 @@ pub struct LaunchReport {
     pub stats: KernelStats,
     /// Simulated grid timing.
     pub timing: TimingReport,
+    /// Sanitizer findings across **all** blocks, merged by (kind, source
+    /// site, array). Empty when the launcher's sanitize mode is `Off`.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LaunchReport {
+    /// `Error`-severity diagnostics (correctness hazards).
+    pub fn sanitizer_errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// `Warning`-severity diagnostics (non-finite origin, bank lint).
+    pub fn sanitizer_warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning)
+    }
 }
 
 /// Executes kernels against a device and cost model.
@@ -48,12 +64,31 @@ pub struct Launcher {
     pub device: DeviceConfig,
     /// Cycle-cost constants.
     pub cost: CostModel,
+    /// Sanitizer configuration (default: `Off`, legacy behaviour).
+    pub sanitize: SanitizeOptions,
 }
 
 impl Launcher {
     /// Launcher for the paper's GTX 280.
     pub fn gtx280() -> Self {
-        Self { device: DeviceConfig::gtx280(), cost: CostModel::gtx280() }
+        Self {
+            device: DeviceConfig::gtx280(),
+            cost: CostModel::gtx280(),
+            sanitize: SanitizeOptions::default(),
+        }
+    }
+
+    /// Returns this launcher with the given sanitizer options.
+    pub fn with_sanitize(mut self, opts: SanitizeOptions) -> Self {
+        self.sanitize = opts;
+        self
+    }
+
+    /// Returns this launcher with the given sanitize mode (other options at
+    /// defaults).
+    pub fn with_sanitize_mode(mut self, mode: SanitizeMode) -> Self {
+        self.sanitize.mode = mode;
+        self
     }
 
     /// Runs `kernel` over `grid_dim` blocks against `global` memory.
@@ -82,11 +117,14 @@ impl Launcher {
             });
         }
 
-        // Block 0: fully instrumented.
-        let stats = {
-            let mut ctx = BlockCtx::new(&self.device, global, block_dim, true);
+        let sanitizing = self.sanitize.mode.is_on();
+
+        // Block 0: fully instrumented (and sanitized when enabled).
+        let (stats, mut diagnostics) = {
+            let mut ctx =
+                BlockCtx::sanitized(&self.device, global, block_dim, true, self.sanitize, 0);
             kernel.run_block(0, &mut ctx);
-            ctx.finish()
+            ctx.finish_with_diagnostics()
         };
         assert_eq!(
             stats.shared_words,
@@ -96,10 +134,41 @@ impl Launcher {
             stats.shared_words
         );
 
-        // Remaining blocks: numerics only.
+        // Remaining blocks: numerics only — plus sanitation when enabled
+        // (the sanitizer checks *all* blocks, not just the recorded one).
         for block_id in 1..grid_dim {
-            let mut ctx = BlockCtx::new(&self.device, global, block_dim, false);
+            let mut ctx = BlockCtx::sanitized(
+                &self.device,
+                global,
+                block_dim,
+                false,
+                self.sanitize,
+                block_id,
+            );
             kernel.run_block(block_id, &mut ctx);
+            if sanitizing {
+                let (_, d) = ctx.finish_with_diagnostics();
+                merge_diagnostics(&mut diagnostics, d);
+            }
+        }
+
+        if self.sanitize.mode == SanitizeMode::Enforce {
+            let errors: Vec<&Diagnostic> =
+                diagnostics.iter().filter(|d| d.severity == Severity::Error).collect();
+            if !errors.is_empty() {
+                let mut msg =
+                    format!("sanitizer: {} error diagnostic(s) in enforce mode:\n", errors.len());
+                for d in &errors {
+                    msg.push_str(&format!(
+                        "  [{}] {} at {} (x{})\n",
+                        d.kind.name(),
+                        d.message,
+                        d.site(),
+                        d.occurrences
+                    ));
+                }
+                panic!("{msg}");
+            }
         }
 
         let timing = time_launch_with_efficiency(
@@ -109,7 +178,7 @@ impl Launcher {
             grid_dim,
             kernel.global_efficiency(),
         )?;
-        Ok(LaunchReport { stats, timing })
+        Ok(LaunchReport { stats, timing, diagnostics })
     }
 }
 

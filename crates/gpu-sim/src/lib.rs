@@ -64,6 +64,7 @@ pub mod exec;
 pub mod memory;
 pub mod occupancy;
 pub mod profile;
+pub mod sanitize;
 pub mod scan;
 pub mod trace;
 
@@ -77,4 +78,7 @@ pub use memory::global::{GlobalArray, GlobalMem};
 pub use memory::shared::{Shared, SharedMem};
 pub use occupancy::{occupancy, waves, Limiter, Occupancy};
 pub use profile::{time_launch, time_launch_with_efficiency, PhaseTime, StepTime, TimingReport};
+pub use sanitize::{
+    diagnostics_to_json, Diagnostic, DiagnosticKind, SanitizeMode, SanitizeOptions, Severity,
+};
 pub use scan::{hillis_steele, scan_add};

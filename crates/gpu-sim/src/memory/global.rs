@@ -67,6 +67,12 @@ impl<T: Real> GlobalMem<T> {
     pub fn len_of(&self, arr: GlobalArray<T>) -> usize {
         self.arrays[arr.index as usize].len()
     }
+
+    /// Number of arrays allocated (used to validate handles).
+    #[inline]
+    pub fn num_arrays(&self) -> usize {
+        self.arrays.len()
+    }
 }
 
 #[cfg(test)]

@@ -5,8 +5,14 @@
 //! each array's base *word* offset so the bank of every element access is
 //! known — banking is word-based, so an `f64` element spans two banks and a
 //! second array's base shifts its elements' banks, exactly as on hardware.
+//!
+//! Storage is one flat element arena (like the hardware's single shared
+//! address space) with per-array `[base, base+len)` extents; element access
+//! bounds-checks against the owning array's extent in debug builds so an
+//! off-by-one cannot silently read a neighbouring array's words.
 
 use core::marker::PhantomData;
+use core::panic::Location;
 use tridiag_core::Real;
 
 /// Handle to a shared-memory array (a `__shared__ T arr[len]`).
@@ -16,29 +22,56 @@ pub struct Shared<T> {
     pub(crate) _marker: PhantomData<fn() -> T>,
 }
 
+/// Extent of one allocated array inside the flat arena.
+#[derive(Debug, Clone, Copy)]
+struct ArrayMeta {
+    /// First 32-bit word of the array (drives banking).
+    base_word: usize,
+    /// First element inside the flat `storage` arena.
+    base_elem: usize,
+    /// Number of elements.
+    len: usize,
+}
+
 /// The shared-memory arena of one block.
+///
+/// All arrays share one flat `Vec<T>` — exactly like `__shared__` buffers
+/// carved out of the block's single shared-memory segment. `read`/`write`
+/// assert `i < len` of the *owning* array in debug builds; release builds
+/// keep the raw arena indexing (a neighbouring-array read would be the
+/// silent hardware behaviour, which the sanitizer reports instead).
 #[derive(Debug, Clone)]
 pub struct SharedMem<T: Real> {
-    arrays: Vec<Vec<T>>,
-    base_words: Vec<usize>,
+    storage: Vec<T>,
+    metas: Vec<ArrayMeta>,
     next_word: usize,
 }
 
 impl<T: Real> SharedMem<T> {
     /// Empty arena.
     pub fn new() -> Self {
-        Self { arrays: Vec::new(), base_words: Vec::new(), next_word: 0 }
+        Self { storage: Vec::new(), metas: Vec::new(), next_word: 0 }
     }
 
     /// Allocates a zero-initialized array of `len` elements and returns its
     /// handle. Allocation order determines bank placement (as declaration
     /// order does in CUDA).
     pub fn alloc(&mut self, len: usize) -> Shared<T> {
-        let index = self.arrays.len() as u32;
-        self.base_words.push(self.next_word);
+        let index = self.metas.len() as u32;
+        self.metas.push(ArrayMeta {
+            base_word: self.next_word,
+            base_elem: self.storage.len(),
+            len,
+        });
         self.next_word += len * T::SHARED_WORDS;
-        self.arrays.push(vec![T::ZERO; len]);
+        self.storage.extend(core::iter::repeat_n(T::ZERO, len));
         Shared { index, _marker: PhantomData }
+    }
+
+    /// Number of arrays allocated so far.
+    #[inline]
+    pub fn num_arrays(&self) -> usize {
+        self.metas.len()
     }
 
     /// Total footprint in 32-bit words.
@@ -56,30 +89,47 @@ impl<T: Real> SharedMem<T> {
     /// First 32-bit word address of element `i` of `arr` (drives banking).
     #[inline]
     pub fn word_of(&self, arr: Shared<T>, i: usize) -> u32 {
-        (self.base_words[arr.index as usize] + i * T::SHARED_WORDS) as u32
+        (self.metas[arr.index as usize].base_word + i * T::SHARED_WORDS) as u32
     }
 
     /// Reads element `i` of `arr`.
     #[inline]
     pub fn read(&self, arr: Shared<T>, i: usize) -> T {
-        self.arrays[arr.index as usize][i]
+        let meta = self.metas[arr.index as usize];
+        debug_assert!(
+            i < meta.len,
+            "shared read out of bounds: array {} has {} elements, index {}",
+            arr.index,
+            meta.len,
+            i
+        );
+        self.storage[meta.base_elem + i]
     }
 
     /// Writes element `i` of `arr` (used when applying buffered stores).
     #[inline]
     pub fn write(&mut self, arr: Shared<T>, i: usize, v: T) {
-        self.arrays[arr.index as usize][i] = v;
+        let meta = self.metas[arr.index as usize];
+        debug_assert!(
+            i < meta.len,
+            "shared write out of bounds: array {} has {} elements, index {}",
+            arr.index,
+            meta.len,
+            i
+        );
+        self.storage[meta.base_elem + i] = v;
     }
 
     /// Length of `arr`.
     #[inline]
     pub fn len_of(&self, arr: Shared<T>) -> usize {
-        self.arrays[arr.index as usize].len()
+        self.metas[arr.index as usize].len
     }
 
     /// Read-only view of a whole array (debugging / final copies).
     pub fn as_slice(&self, arr: Shared<T>) -> &[T] {
-        &self.arrays[arr.index as usize]
+        let meta = self.metas[arr.index as usize];
+        &self.storage[meta.base_elem..meta.base_elem + meta.len]
     }
 }
 
@@ -97,6 +147,8 @@ pub(crate) struct PendingStore<T> {
     pub value: T,
     /// Thread that issued the store — only for race diagnostics.
     pub tid: usize,
+    /// Source location of the `store` call — only for diagnostics.
+    pub loc: &'static Location<'static>,
 }
 
 #[cfg(test)]
@@ -113,6 +165,7 @@ mod tests {
         assert_eq!(m.word_of(b, 0), 8);
         assert_eq!(m.words_used(), 12);
         assert_eq!(m.bytes_used(), 48);
+        assert_eq!(m.num_arrays(), 2);
     }
 
     #[test]
@@ -134,5 +187,27 @@ mod tests {
         assert_eq!(m.read(a, 0), 0.0);
         assert_eq!(m.len_of(a), 4);
         assert_eq!(m.as_slice(a), &[0.0, 0.0, 7.5, 0.0]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "shared read out of bounds")]
+    fn debug_read_checks_owning_array_len() {
+        let mut m = SharedMem::<f32>::new();
+        let a = m.alloc(4);
+        let _b = m.alloc(4);
+        // Index 4 is in the arena (array b's first element) but out of
+        // bounds for a — must not silently read the neighbour.
+        m.read(a, 4);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "shared write out of bounds")]
+    fn debug_write_checks_owning_array_len() {
+        let mut m = SharedMem::<f32>::new();
+        let a = m.alloc(2);
+        let _b = m.alloc(2);
+        m.write(a, 2, 1.0);
     }
 }

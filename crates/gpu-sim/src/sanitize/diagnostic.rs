@@ -1,0 +1,238 @@
+//! Structured sanitizer reports.
+//!
+//! Every finding is a [`Diagnostic`]: which check fired
+//! ([`DiagnosticKind`]), where in the kernel's execution it happened
+//! (block / step / phase / thread) and where in the *source* the offending
+//! access lives (`#[track_caller]` locations captured on every shared and
+//! global accessor). Diagnostics are plain data — JSON-serializable by hand
+//! (the in-tree `serde` shim is marker-only) so reports can cross the
+//! service boundary.
+
+use crate::counters::Phase;
+use core::panic::Location;
+
+/// How bad a finding is. `Error`s are correctness bugs (the kernel computes
+/// an unspecified result on real hardware); `Warning`s are numerical or
+/// performance observations that enforce mode tolerates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory: non-finite propagation, bank-conflict lint.
+    Warning,
+    /// Correctness hazard: races, barrier-discipline violations, OOB,
+    /// uninitialized reads, invalid handles.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name used in JSON and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// The class of bug a diagnostic reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagnosticKind {
+    /// Two distinct threads buffered stores to the same shared cell within
+    /// one superstep — the result on hardware depends on warp scheduling.
+    WriteWriteRace,
+    /// A thread loaded a shared cell *after* buffering a store to it in the
+    /// same superstep. The simulator's load observes the stale pre-step
+    /// value, but code compiled to the paper's `read / __syncthreads() /
+    /// write` discipline would not — exactly the bug class the barrier
+    /// discipline exists to prevent (a missing `__syncthreads()`).
+    ReadWriteHazard,
+    /// Shared-memory access outside the owning array's extent.
+    SharedOutOfBounds,
+    /// Global-memory access outside the array's extent.
+    GlobalOutOfBounds,
+    /// A `Shared`/`GlobalArray` handle that does not belong to this block's
+    /// arena (e.g. captured from a different launch).
+    InvalidHandle,
+    /// A load from a shared cell no barrier-committed store has written.
+    /// Real `__shared__` memory is uninitialized; the simulator zero-fills,
+    /// which would mask the bug without this shadow-bitmap check.
+    UninitializedRead,
+    /// First store of a non-finite value (Inf/NaN) in the block — pinpoints
+    /// where an overflow (e.g. RD's doubling recurrence, §5.2) originates.
+    NonFiniteOrigin,
+    /// A shared-memory access site whose worst half-warp conflict degree
+    /// reached the lint threshold.
+    BankConflict,
+}
+
+impl DiagnosticKind {
+    /// Snake-case name used in JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiagnosticKind::WriteWriteRace => "write_write_race",
+            DiagnosticKind::ReadWriteHazard => "read_write_hazard",
+            DiagnosticKind::SharedOutOfBounds => "shared_out_of_bounds",
+            DiagnosticKind::GlobalOutOfBounds => "global_out_of_bounds",
+            DiagnosticKind::InvalidHandle => "invalid_handle",
+            DiagnosticKind::UninitializedRead => "uninitialized_read",
+            DiagnosticKind::NonFiniteOrigin => "non_finite_origin",
+            DiagnosticKind::BankConflict => "bank_conflict",
+        }
+    }
+
+    /// Default severity of this kind.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagnosticKind::NonFiniteOrigin | DiagnosticKind::BankConflict => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+/// One sanitizer finding. Repeats of the same (kind, source site, array)
+/// are merged with `occurrences` counting how many times the site fired.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// What fired.
+    pub kind: DiagnosticKind,
+    /// `kind.severity()` (kept inline for filtering without re-deriving).
+    pub severity: Severity,
+    /// Block id the first occurrence was observed in.
+    pub block: usize,
+    /// Superstep index (0-based, counting every `step` call) of the first
+    /// occurrence.
+    pub step: u64,
+    /// Phase of that superstep.
+    pub phase: Phase,
+    /// Thread id of the first occurrence.
+    pub tid: usize,
+    /// Shared/global array handle index, when the finding concerns one.
+    pub array: Option<u32>,
+    /// Element index, when the finding concerns one.
+    pub index: Option<usize>,
+    /// Worst conflict degree (bank-conflict lint only).
+    pub degree: Option<u32>,
+    /// Source location of the offending access.
+    pub location: &'static Location<'static>,
+    /// Second source location for two-site findings (the colliding store of
+    /// a race, the buffered store of a read/write hazard).
+    pub related: Option<&'static Location<'static>>,
+    /// How many times this (kind, site, array) fired.
+    pub occurrences: u64,
+    /// Human-readable one-liner.
+    pub message: String,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Diagnostic {
+    /// `file:line:column` of the offending access.
+    pub fn site(&self) -> String {
+        format!("{}:{}:{}", self.location.file(), self.location.line(), self.location.column())
+    }
+
+    /// Hand-rolled JSON object (the serde shim provides no serialization).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(192);
+        s.push('{');
+        s.push_str(&format!("\"kind\":\"{}\"", self.kind.name()));
+        s.push_str(&format!(",\"severity\":\"{}\"", self.severity.name()));
+        s.push_str(&format!(",\"block\":{}", self.block));
+        s.push_str(&format!(",\"step\":{}", self.step));
+        s.push_str(&format!(",\"phase\":\"{}\"", json_escape(self.phase.label())));
+        s.push_str(&format!(",\"tid\":{}", self.tid));
+        if let Some(a) = self.array {
+            s.push_str(&format!(",\"array\":{a}"));
+        }
+        if let Some(i) = self.index {
+            s.push_str(&format!(",\"index\":{i}"));
+        }
+        if let Some(d) = self.degree {
+            s.push_str(&format!(",\"degree\":{d}"));
+        }
+        s.push_str(&format!(",\"location\":\"{}\"", json_escape(&self.site())));
+        if let Some(r) = self.related {
+            s.push_str(&format!(
+                ",\"related\":\"{}:{}:{}\"",
+                json_escape(r.file()),
+                r.line(),
+                r.column()
+            ));
+        }
+        s.push_str(&format!(",\"occurrences\":{}", self.occurrences));
+        s.push_str(&format!(",\"message\":\"{}\"", json_escape(&self.message)));
+        s.push('}');
+        s
+    }
+}
+
+/// JSON array of diagnostics.
+pub fn diagnostics_to_json(diags: &[Diagnostic]) -> String {
+    let mut s = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&d.to_json());
+    }
+    s.push(']');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_severity_split() {
+        assert_eq!(DiagnosticKind::WriteWriteRace.severity(), Severity::Error);
+        assert_eq!(DiagnosticKind::ReadWriteHazard.severity(), Severity::Error);
+        assert_eq!(DiagnosticKind::SharedOutOfBounds.severity(), Severity::Error);
+        assert_eq!(DiagnosticKind::GlobalOutOfBounds.severity(), Severity::Error);
+        assert_eq!(DiagnosticKind::InvalidHandle.severity(), Severity::Error);
+        assert_eq!(DiagnosticKind::UninitializedRead.severity(), Severity::Error);
+        assert_eq!(DiagnosticKind::NonFiniteOrigin.severity(), Severity::Warning);
+        assert_eq!(DiagnosticKind::BankConflict.severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn json_shape() {
+        let d = Diagnostic {
+            kind: DiagnosticKind::WriteWriteRace,
+            severity: Severity::Error,
+            block: 0,
+            step: 3,
+            phase: Phase::ForwardReduction,
+            tid: 5,
+            array: Some(2),
+            index: Some(17),
+            degree: None,
+            location: Location::caller(),
+            related: None,
+            occurrences: 4,
+            message: "two threads \"collided\"".into(),
+        };
+        let j = d.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"kind\":\"write_write_race\""), "{j}");
+        assert!(j.contains("\"severity\":\"error\""), "{j}");
+        assert!(j.contains("\"array\":2"), "{j}");
+        assert!(j.contains("\"occurrences\":4"), "{j}");
+        assert!(j.contains("\\\"collided\\\""), "{j}");
+        let arr = diagnostics_to_json(&[d.clone(), d]);
+        assert!(arr.starts_with('[') && arr.ends_with(']'));
+        assert_eq!(arr.matches("write_write_race").count(), 2);
+    }
+}

@@ -152,6 +152,7 @@ pub fn solve_batch_coarse<T: Real>(
         solutions,
         stats: report.stats,
         timing,
+        diagnostics: report.diagnostics,
     })
 }
 

@@ -162,8 +162,12 @@ pub(crate) fn forward_update_at<T: Real>(
 /// Backward-substitution update solving `x[i]` from already-known
 /// neighbours; shared by the plain and hybrid kernels.
 ///
-/// Branchless boundary handling: the first unknown's left index clamps to 0
-/// and its `a` coefficient is zero by invariant, so the left term vanishes.
+/// Branchless boundary handling: the first unknown has no left neighbour,
+/// and its `a` coefficient is zero by invariant, so the left term vanishes
+/// whatever is read. The clamp targets the *right* neighbour `x[i + half]`
+/// (always solved at this point) rather than `x[0]` (not yet solved until
+/// the last level — reading it would be an uninitialized read, which the
+/// sanitizer rightly flags).
 #[inline]
 pub(crate) fn backward_update<T: Real>(
     t: &mut ThreadCtx<'_, '_, T>,
@@ -171,8 +175,9 @@ pub(crate) fn backward_update<T: Real>(
     i: usize,
     half: usize,
 ) {
-    let il = i.saturating_sub(half);
-    backward_update_at(t, sh, i, il, i + half);
+    let ir = i + half;
+    let il = if i >= half { i - half } else { ir };
+    backward_update_at(t, sh, i, il, ir);
 }
 
 /// [`backward_update`] with explicit access indices (see

@@ -315,8 +315,10 @@ impl<T: Real> GridKernel<T> for CrEvenOddKernel<T> {
                 let x_r = t.load(x, o + s);
                 // Branchless first-unknown handling: a_e[0] is zero by
                 // invariant, so the clamped left read contributes nothing.
+                // Clamp to the (already-solved) right neighbour, not x[0],
+                // which is only written at the final level.
                 let a_i = t.load(ea, j);
-                let x_l = t.load(x, o.saturating_sub(s));
+                let x_l = t.load(x, if o >= s { o - s } else { o + s });
                 let num = {
                     let p1 = t.mul(a_i, x_l);
                     let p2 = t.mul(c_i, x_r);

@@ -30,6 +30,7 @@ pub mod coarse;
 pub mod common;
 pub mod cr;
 pub mod cr_variants;
+pub mod fixtures;
 pub mod global_only;
 pub mod hybrid;
 pub mod pcr;

@@ -220,6 +220,21 @@ pub struct GpuSolveReport<T: Real> {
     /// "without transfer" (`kernel_ms`) or "with transfer" (`total_ms()`)
     /// variant of Figures 6 and 7.
     pub timing: TimingReport,
+    /// Sanitizer findings across all blocks (empty unless the launcher's
+    /// sanitize mode is on — see [`gpu_sim::SanitizeOptions`]).
+    pub diagnostics: Vec<gpu_sim::Diagnostic>,
+}
+
+impl<T: Real> GpuSolveReport<T> {
+    /// Number of `Error`-severity sanitizer diagnostics.
+    pub fn sanitizer_error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == gpu_sim::Severity::Error).count()
+    }
+
+    /// Number of `Warning`-severity sanitizer diagnostics.
+    pub fn sanitizer_warning_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == gpu_sim::Severity::Warning).count()
+    }
 }
 
 /// Solves every system of `batch` with `algorithm` on the simulated GPU.
@@ -273,7 +288,13 @@ pub fn solve_batch<T: Real>(
 
     let solutions = gm.download_solutions(&mut gmem, batch);
     let timing = report.timing.with_transfer(&launcher.cost, batch.transfer_bytes() as u64);
-    Ok(GpuSolveReport { algorithm, solutions, stats: report.stats, timing })
+    Ok(GpuSolveReport {
+        algorithm,
+        solutions,
+        stats: report.stats,
+        timing,
+        diagnostics: report.diagnostics,
+    })
 }
 
 #[cfg(test)]

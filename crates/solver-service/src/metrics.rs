@@ -37,6 +37,9 @@ pub struct ServiceMetrics {
     flushes_full: AtomicU64,
     flushes_linger: AtomicU64,
     flushes_shutdown: AtomicU64,
+    sanitized_flushes: AtomicU64,
+    sanitizer_errors: AtomicU64,
+    sanitizer_warnings: AtomicU64,
     latency_us: [AtomicU64; LATENCY_BUCKETS],
     /// batch size → systems served in batches of that size.
     occupancy: Mutex<BTreeMap<usize, u64>>,
@@ -64,6 +67,9 @@ impl ServiceMetrics {
             flushes_full: AtomicU64::new(0),
             flushes_linger: AtomicU64::new(0),
             flushes_shutdown: AtomicU64::new(0),
+            sanitized_flushes: AtomicU64::new(0),
+            sanitizer_errors: AtomicU64::new(0),
+            sanitizer_warnings: AtomicU64::new(0),
             latency_us: core::array::from_fn(|_| AtomicU64::new(0)),
             occupancy: Mutex::new(BTreeMap::new()),
             dispatch: Mutex::new(BTreeMap::new()),
@@ -116,6 +122,15 @@ impl ServiceMetrics {
             .or_insert(0.0) += engine_ms;
     }
 
+    /// One flush ran under the kernel sanitizer (the first GPU flush of its
+    /// plan-cache size class), finding `errors` error-severity and
+    /// `warnings` warning-severity diagnostic sites.
+    pub fn on_flush_sanitized(&self, errors: u64, warnings: u64) {
+        self.sanitized_flushes.fetch_add(1, Ordering::Relaxed);
+        self.sanitizer_errors.fetch_add(errors, Ordering::Relaxed);
+        self.sanitizer_warnings.fetch_add(warnings, Ordering::Relaxed);
+    }
+
     /// One request completed with end-to-end `latency`.
     pub fn on_complete(&self, latency: Duration) {
         self.completed.fetch_add(1, Ordering::Relaxed);
@@ -136,6 +151,9 @@ impl ServiceMetrics {
             flushes_full: self.flushes_full.load(Ordering::Relaxed),
             flushes_linger: self.flushes_linger.load(Ordering::Relaxed),
             flushes_shutdown: self.flushes_shutdown.load(Ordering::Relaxed),
+            sanitized_flushes: self.sanitized_flushes.load(Ordering::Relaxed),
+            sanitizer_errors: self.sanitizer_errors.load(Ordering::Relaxed),
+            sanitizer_warnings: self.sanitizer_warnings.load(Ordering::Relaxed),
             queue_depth,
             plan_tunes,
             plan_hits,
@@ -185,6 +203,14 @@ pub struct MetricsSnapshot {
     pub flushes_linger: u64,
     /// Batches flushed by shutdown drain.
     pub flushes_shutdown: u64,
+    /// Flushes that ran under the kernel sanitizer (first GPU flush of
+    /// each plan-cache size class).
+    pub sanitized_flushes: u64,
+    /// Error-severity sanitizer diagnostic sites found on serving traffic.
+    pub sanitizer_errors: u64,
+    /// Warning-severity sanitizer diagnostic sites (bank conflicts,
+    /// non-finite origins) found on serving traffic.
+    pub sanitizer_warnings: u64,
     /// Admission queue depth at snapshot time.
     pub queue_depth: usize,
     /// Autotune tournaments run so far.
@@ -227,7 +253,7 @@ impl MetricsSnapshot {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(512);
         s.push('{');
-        let scalars: [(&str, u64); 13] = [
+        let scalars: [(&str, u64); 16] = [
             ("submitted", self.submitted),
             ("completed", self.completed),
             ("rejected", self.rejected),
@@ -235,6 +261,9 @@ impl MetricsSnapshot {
             ("flushes_full", self.flushes_full),
             ("flushes_linger", self.flushes_linger),
             ("flushes_shutdown", self.flushes_shutdown),
+            ("sanitized_flushes", self.sanitized_flushes),
+            ("sanitizer_errors", self.sanitizer_errors),
+            ("sanitizer_warnings", self.sanitizer_warnings),
             ("queue_depth", self.queue_depth as u64),
             ("plan_tunes", self.plan_tunes),
             ("plan_hits", self.plan_hits),

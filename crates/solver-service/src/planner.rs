@@ -18,7 +18,7 @@
 
 use gpu_sim::Launcher;
 use gpu_solvers::{solve_batch, GpuAlgorithm};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -77,6 +77,9 @@ type PlanKey = (usize, usize, &'static str);
 /// hits — each key is tuned at most once.
 pub struct PlanCache {
     plans: Mutex<HashMap<PlanKey, Plan>>,
+    /// Keys whose first GPU flush has (started) running under the kernel
+    /// sanitizer — see [`PlanCache::begin_sanitize`].
+    sanitized: Mutex<HashSet<PlanKey>>,
     hits: AtomicU64,
     tunes: AtomicU64,
 }
@@ -92,9 +95,20 @@ impl PlanCache {
     pub fn new() -> Self {
         Self {
             plans: Mutex::new(HashMap::new()),
+            sanitized: Mutex::new(HashSet::new()),
             hits: AtomicU64::new(0),
             tunes: AtomicU64::new(0),
         }
+    }
+
+    /// Claims the one-time sanitize token for the `(n, width, device)` size
+    /// class: returns `true` exactly once per key. The caller that wins the
+    /// token runs that flush with the kernel sanitizer recording, so every
+    /// size class the service ever serves on the GPU gets checked for
+    /// races/hazards/OOB at least once on real traffic.
+    pub fn begin_sanitize<T: Real>(&self, launcher: &Launcher, n: usize) -> bool {
+        let key: PlanKey = (n, T::BYTES, launcher.device.name);
+        self.sanitized.lock().unwrap_or_else(|p| p.into_inner()).insert(key)
     }
 
     /// Plans served from cache without re-tuning.

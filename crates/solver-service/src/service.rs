@@ -61,6 +61,10 @@ pub struct ServiceConfig {
     /// When set, every batch runs on this engine — planner and small-flush
     /// CPU override bypassed (A-B testing / benchmarking knob).
     pub pin_engine: Option<crate::planner::Engine>,
+    /// Run the first GPU flush of each plan-cache size class with the
+    /// kernel sanitizer recording; findings land in the metrics and an
+    /// error-severity finding demotes that flush to the CPU safety net.
+    pub sanitize_first_flush: bool,
     /// The simulated device the GPU engines run on.
     pub launcher: Launcher,
 }
@@ -76,6 +80,7 @@ impl Default for ServiceConfig {
             threshold_scale: 100.0,
             probe_count: 16,
             pin_engine: None,
+            sanitize_first_flush: true,
             launcher: Launcher::gtx280(),
         }
     }
@@ -113,6 +118,7 @@ impl<T: Real> SolverService<T> {
                 threshold_scale: config.threshold_scale,
                 probe_count: config.probe_count,
                 pin_engine: config.pin_engine,
+                sanitize_first_flush: config.sanitize_first_flush,
             },
         });
 

@@ -39,7 +39,13 @@ fn dominant_flush() -> impl Strategy<Value = Vec<TridiagonalSystem<f32>>> {
 }
 
 fn dispatch_cfg() -> DispatchConfig {
-    DispatchConfig { min_gpu_batch: 4, threshold_scale: 100.0, probe_count: 4, pin_engine: None }
+    DispatchConfig {
+        min_gpu_batch: 4,
+        threshold_scale: 100.0,
+        probe_count: 4,
+        pin_engine: None,
+        sanitize_first_flush: true,
+    }
 }
 
 /// Serves `systems` through the full plan→dispatch→verify pipeline and

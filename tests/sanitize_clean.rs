@@ -1,0 +1,96 @@
+//! Property test: every production solver is sanitizer-clean.
+//!
+//! Enforce-mode launches panic on any `Error`-severity diagnostic (races,
+//! hazards, OOB, uninitialized reads), so simply solving under an enforce
+//! launcher is the assertion. Warnings (bank conflicts, RD's non-finite
+//! overflow) are *expected* for some algorithms and must not trip enforce.
+
+use gpu_sim::{Launcher, SanitizeOptions};
+use gpu_solvers::{solve_batch, GpuAlgorithm, RdMode};
+use proptest::prelude::*;
+use tridiag_core::{SystemBatch, TridiagonalSystem};
+
+/// Strategy: a random strictly diagonally dominant system of size `n`.
+fn dominant_system(n: usize) -> impl Strategy<Value = TridiagonalSystem<f64>> {
+    let off = prop::collection::vec(-1.0f64..1.0, n);
+    let margins = prop::collection::vec(0.2f64..2.0, n);
+    let rhs = prop::collection::vec(-10.0f64..10.0, n);
+    (off.clone(), off, margins, rhs).prop_map(move |(mut a, mut c, m, d)| {
+        a[0] = 0.0;
+        c[n - 1] = 0.0;
+        let b: Vec<f64> = (0..n).map(|i| (a[i].abs() + c[i].abs() + m[i]).copysign(1.0)).collect();
+        TridiagonalSystem { a, b, c, d }
+    })
+}
+
+/// Power-of-two size in [4, 256] (256 is the largest f64 system whose five
+/// shared arrays fit the GTX 280's 16 KB of shared memory).
+fn pow2_size() -> impl Strategy<Value = usize> {
+    (2u32..=8).prop_map(|e| 1usize << e)
+}
+
+fn production_algorithms(n: usize) -> Vec<GpuAlgorithm> {
+    let m = (n / 2).max(2);
+    vec![
+        GpuAlgorithm::Cr,
+        GpuAlgorithm::Pcr,
+        GpuAlgorithm::Rd(RdMode::Plain),
+        GpuAlgorithm::Rd(RdMode::Rescaled),
+        GpuAlgorithm::CrPcr { m },
+        GpuAlgorithm::CrRd { m, mode: RdMode::Plain },
+        GpuAlgorithm::CrGlobalOnly,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn production_solvers_report_zero_errors_under_enforce(
+        sys in pow2_size().prop_flat_map(dominant_system)
+    ) {
+        let n = sys.n();
+        // Two identical systems -> two blocks, so cross-block sanitation is
+        // exercised too.
+        let batch = SystemBatch::from_systems(&[sys.clone(), sys]).unwrap();
+        let launcher = Launcher::gtx280().with_sanitize(SanitizeOptions::enforce());
+        for alg in production_algorithms(n) {
+            // Enforce mode panics on any Error diagnostic — reaching the
+            // assert below already proves cleanliness; the count makes the
+            // property explicit.
+            let report = match solve_batch(&launcher, alg, &batch) {
+                Ok(r) => r,
+                // Some f64 configurations legitimately exceed the GTX 280's
+                // 16 KB of shared memory (e.g. rescaled RD at n = 256) —
+                // that is a config error, not a sanitizer finding.
+                Err(tridiag_core::TridiagError::SharedMemExceeded { .. }) => continue,
+                Err(e) => return Err(TestCaseError::fail(format!("{}: {e:?}", alg.name()))),
+            };
+            prop_assert!(
+                report.sanitizer_error_count() == 0,
+                "{} n={}: {:?}",
+                alg.name(),
+                n,
+                report.diagnostics
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_five_clean_at_full_block_size_f32() {
+    // The paper's headline configuration: 512-unknown f32 systems.
+    let batch = tridiag_core::dominant_batch::<f32>(5, 512, 4);
+    let launcher = Launcher::gtx280().with_sanitize(SanitizeOptions::enforce());
+    for alg in [
+        GpuAlgorithm::Cr,
+        GpuAlgorithm::Pcr,
+        GpuAlgorithm::Rd(RdMode::Plain),
+        GpuAlgorithm::CrPcr { m: 64 },
+        GpuAlgorithm::CrRd { m: 64, mode: RdMode::Plain },
+        GpuAlgorithm::CrGlobalOnly,
+    ] {
+        let report = solve_batch(&launcher, alg, &batch).unwrap();
+        assert_eq!(report.sanitizer_error_count(), 0, "{}: {:?}", alg.name(), report.diagnostics);
+    }
+}
