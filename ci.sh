@@ -25,4 +25,7 @@ cargo test --offline --release --workspace -q
 echo "==> kernel sanitizer gate (bench sanitize --quick)"
 cargo run --offline --release -p bench -- sanitize --quick
 
+echo "==> chaos gate (bench chaos --quick)"
+cargo run --offline --release -p bench -- chaos --quick
+
 echo "==> CI green"

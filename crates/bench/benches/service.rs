@@ -31,6 +31,10 @@ fn drive(config: &ServiceConfig, systems: &[TridiagonalSystem<f32>]) {
                     tickets.push(t);
                     break;
                 }
+                // Honor the service's drain-rate hint when it has one.
+                Err(ServiceError::QueueFull { retry_after: Some(hint), .. }) => {
+                    std::thread::sleep(hint)
+                }
                 Err(ServiceError::QueueFull { .. }) => std::thread::yield_now(),
                 Err(e) => panic!("{e}"),
             }

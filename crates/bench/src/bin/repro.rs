@@ -6,6 +6,7 @@
 //! cargo run --release -p bench --bin repro fig9 fig17 # a subset
 //! cargo run --release -p bench --bin repro --list     # available names
 //! cargo run --release -p bench -- sanitize --quick    # sanitizer gate
+//! cargo run --release -p bench -- chaos --quick       # fault-injection gate
 //! ```
 
 use bench::{figures, ReproConfig};
@@ -17,6 +18,13 @@ fn main() {
     // non-zero exit code when any solver trips an error-severity diagnostic.
     if args.first().map(String::as_str) == Some("sanitize") {
         std::process::exit(bench::sanitize::run(&args[1..]));
+    }
+
+    // The chaos gate drives the solve service on a fault-injected device:
+    // non-zero exit iff any answer escapes verification or availability
+    // drops below 99%.
+    if args.first().map(String::as_str) == Some("chaos") {
+        std::process::exit(bench::chaos::run(&args[1..]));
     }
 
     let all = figures::all();

@@ -148,6 +148,7 @@ pub fn run(cfg: &ReproConfig) -> Vec<Table> {
         device: gpu_sim::DeviceConfig::fermi_like(),
         cost: cfg.launcher.cost.clone(),
         sanitize: gpu_sim::SanitizeOptions::default(),
+        fault: None,
     };
     for alg in [
         GpuAlgorithm::CrPcr { m: 256 },
@@ -271,6 +272,7 @@ mod tests {
             device: gpu_sim::DeviceConfig::fermi_like(),
             cost: cfg.launcher.cost.clone(),
             sanitize: gpu_sim::SanitizeOptions::default(),
+            fault: None,
         };
         let hybrid =
             solve_batch(&fermi, GpuAlgorithm::CrPcr { m: 256 }, &batch).unwrap().timing.kernel_ms;

@@ -114,9 +114,13 @@ fn drive(seed: u64, config: ServiceConfig, total: usize) -> Outcome {
                     tickets.push(ticket);
                     break;
                 }
-                Err(ServiceError::QueueFull { .. }) => {
-                    // Open-loop backoff: yield and retry the same request.
-                    std::thread::yield_now();
+                Err(ServiceError::QueueFull { retry_after, .. }) => {
+                    // Open-loop backoff: honor the service's drain-rate
+                    // hint when it has one, else just yield and retry.
+                    match retry_after {
+                        Some(hint) => std::thread::sleep(hint),
+                        None => std::thread::yield_now(),
+                    }
                 }
                 Err(e) => panic!("service refused a valid request: {e}"),
             }

@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod figures;
 pub mod report;
 pub mod sanitize;

@@ -10,9 +10,11 @@ use crate::cost::CostModel;
 use crate::counters::KernelStats;
 use crate::device::DeviceConfig;
 use crate::exec::block::BlockCtx;
+use crate::fault::{corrupt_draw, FailKind, FaultPlan, InjectedFault, LaunchDecision};
 use crate::memory::global::GlobalMem;
 use crate::profile::{time_launch_with_efficiency, TimingReport};
 use crate::sanitize::{merge_diagnostics, Diagnostic, SanitizeMode, SanitizeOptions, Severity};
+use std::sync::Arc;
 use tridiag_core::{Real, Result, TridiagError};
 
 /// A kernel launched over a 1-D grid of identical blocks.
@@ -43,6 +45,10 @@ pub struct LaunchReport {
     /// Sanitizer findings across **all** blocks, merged by (kind, source
     /// site, array). Empty when the launcher's sanitize mode is `Off`.
     pub diagnostics: Vec<Diagnostic>,
+    /// Faults the fault plan actually applied to this launch (corruptions
+    /// and stalls; failures surface as launch errors). Always empty when
+    /// no plan is installed.
+    pub injected_faults: Vec<InjectedFault>,
 }
 
 impl LaunchReport {
@@ -66,6 +72,9 @@ pub struct Launcher {
     pub cost: CostModel,
     /// Sanitizer configuration (default: `Off`, legacy behaviour).
     pub sanitize: SanitizeOptions,
+    /// Fault-injection plan (default: `None`, a perfect device). Shared via
+    /// `Arc` so launcher clones draw launch indices from one counter.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Launcher {
@@ -75,6 +84,7 @@ impl Launcher {
             device: DeviceConfig::gtx280(),
             cost: CostModel::gtx280(),
             sanitize: SanitizeOptions::default(),
+            fault: None,
         }
     }
 
@@ -88,6 +98,12 @@ impl Launcher {
     /// defaults).
     pub fn with_sanitize_mode(mut self, mode: SanitizeMode) -> Self {
         self.sanitize.mode = mode;
+        self
+    }
+
+    /// Returns this launcher with the given fault plan installed.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault = Some(plan);
         self
     }
 
@@ -116,6 +132,27 @@ impl Launcher {
                 available_bytes: self.device.shared_mem_per_sm,
             });
         }
+
+        // Adjudicate the launch against the fault plan (if any) *after*
+        // configuration validation: a malformed launch is a caller bug, not
+        // device adversity. A failed launch still consumes a launch index.
+        let fault: Option<(&FaultPlan, u64, LaunchDecision)> = match &self.fault {
+            Some(plan) => {
+                let (launch, decision) = plan.begin_launch();
+                match decision.fail {
+                    Some(FailKind::Transient) => {
+                        return Err(TridiagError::DeviceFault { launch });
+                    }
+                    Some(FailKind::Lost) => return Err(TridiagError::DeviceLost),
+                    None => {}
+                }
+                // Track which arrays this kernel writes so corruption only
+                // targets launch outputs.
+                global.clear_dirty();
+                Some((plan.as_ref(), launch, decision))
+            }
+            None => None,
+        };
 
         let sanitizing = self.sanitize.mode.is_on();
 
@@ -171,15 +208,67 @@ impl Launcher {
             }
         }
 
-        let timing = time_launch_with_efficiency(
+        let mut timing = time_launch_with_efficiency(
             &self.device,
             &self.cost,
             &stats,
             grid_dim,
             kernel.global_efficiency(),
         )?;
-        Ok(LaunchReport { stats, timing, diagnostics })
+
+        // Post-kernel adversity: corrupt launch outputs (simulated ECC
+        // misses) and/or stretch the launch's simulated time (straggler).
+        let mut injected_faults = Vec::new();
+        if let Some((plan, launch, decision)) = fault {
+            if decision.bit_flips > 0 || decision.nan_poisons > 0 {
+                let dirty = global.dirty_arrays();
+                if !dirty.is_empty() {
+                    let seed = plan.config().seed;
+                    let mut event = 0u64;
+                    for _ in 0..decision.bit_flips {
+                        let (array, index) = pick_element(global, &dirty, seed, launch, event);
+                        event += 1;
+                        let v = global.read_raw(array, index).to_f64();
+                        // Flip the top exponent bit: the value changes by
+                        // many orders of magnitude (or to NaN/Inf), so the
+                        // residual check downstream is guaranteed to see it.
+                        let flipped = f64::from_bits(v.to_bits() ^ (1u64 << 62));
+                        global.write_raw(array, index, T::from_f64(flipped));
+                        injected_faults.push(InjectedFault::BitFlip { array, index });
+                    }
+                    for _ in 0..decision.nan_poisons {
+                        let (array, index) = pick_element(global, &dirty, seed, launch, event);
+                        event += 1;
+                        global.write_raw(array, index, T::from_f64(f64::NAN));
+                        injected_faults.push(InjectedFault::NanPoison { array, index });
+                    }
+                }
+            }
+            if let Some(multiplier) = decision.stall {
+                timing = timing.scaled(multiplier);
+                injected_faults.push(InjectedFault::Stall { multiplier });
+            }
+            plan.record_applied(&injected_faults);
+        }
+
+        Ok(LaunchReport { stats, timing, diagnostics, injected_faults })
     }
+}
+
+/// Picks a (dirty array, element) pair for corruption event `event` of
+/// launch `launch` — deterministic in (seed, launch, event).
+fn pick_element<T: Real>(
+    global: &GlobalMem<T>,
+    dirty: &[u32],
+    seed: u64,
+    launch: u64,
+    event: u64,
+) -> (u32, usize) {
+    let r = corrupt_draw(seed, launch, event);
+    let array = dirty[(r % dirty.len() as u64) as usize];
+    let len = global.len_raw(array);
+    let index = ((r >> 20) % len.max(1) as u64) as usize;
+    (array, index)
 }
 
 #[cfg(test)]
@@ -267,5 +356,129 @@ mod tests {
         let report = Launcher::gtx280().launch(&kernel, 1, &mut g).unwrap();
         assert_eq!(report.stats.global_bytes_read, 32 * 4);
         assert_eq!(report.stats.global_bytes_written, 32 * 4);
+    }
+
+    use crate::fault::{FaultConfig, FaultPlan};
+    use std::sync::Arc;
+
+    fn run_double(launcher: &Launcher) -> (Result<LaunchReport>, Vec<f32>) {
+        let mut g = GlobalMem::new();
+        let input = g.upload((0..64).map(|i| i as f32).collect());
+        let output = g.alloc_zeroed(64);
+        let kernel = DoubleKernel { n: 16, input, output };
+        let report = launcher.launch(&kernel, 4, &mut g);
+        (report, g.download(output))
+    }
+
+    #[test]
+    fn quiet_fault_plan_is_counter_neutral() {
+        let baseline = Launcher::gtx280();
+        let quiet =
+            Launcher::gtx280().with_fault_plan(Arc::new(FaultPlan::new(FaultConfig::quiet(99))));
+        let (a, xa) = run_double(&baseline);
+        let (b, xb) = run_double(&quiet);
+        let (a, b) = (a.unwrap(), b.unwrap());
+        assert_eq!(xa, xb);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.timing, b.timing);
+        assert!(b.injected_faults.is_empty());
+    }
+
+    #[test]
+    fn burst_launches_fail_then_recover() {
+        let plan = Arc::new(FaultPlan::new(FaultConfig {
+            seed: 5,
+            launch_fault_burst: 2,
+            ..Default::default()
+        }));
+        let launcher = Launcher::gtx280().with_fault_plan(Arc::clone(&plan));
+        assert!(matches!(run_double(&launcher).0, Err(TridiagError::DeviceFault { launch: 0 })));
+        assert!(matches!(run_double(&launcher).0, Err(TridiagError::DeviceFault { launch: 1 })));
+        let (ok, x) = run_double(&launcher);
+        assert!(ok.is_ok());
+        assert_eq!(x, (0..64).map(|i| 2.0 * i as f32).collect::<Vec<_>>());
+        assert_eq!(plan.stats().launch_failures, 2);
+        assert_eq!(plan.stats().launches, 3);
+    }
+
+    #[test]
+    fn device_lost_is_sticky_across_launches() {
+        let launcher = Launcher::gtx280().with_fault_plan(Arc::new(FaultPlan::new(FaultConfig {
+            seed: 5,
+            device_lost_after: Some(1),
+            ..Default::default()
+        })));
+        assert!(run_double(&launcher).0.is_ok());
+        for _ in 0..3 {
+            assert!(matches!(run_double(&launcher).0, Err(TridiagError::DeviceLost)));
+        }
+    }
+
+    #[test]
+    fn bit_flip_corrupts_only_the_written_array() {
+        let plan = Arc::new(FaultPlan::new(FaultConfig {
+            seed: 11,
+            bit_flip_rate: 1.0,
+            ..Default::default()
+        }));
+        let launcher = Launcher::gtx280().with_fault_plan(Arc::clone(&plan));
+        let mut g = GlobalMem::new();
+        let input_data: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let input = g.upload(input_data.clone());
+        let output = g.alloc_zeroed(64);
+        let kernel = DoubleKernel { n: 16, input, output };
+        let report = launcher.launch(&kernel, 4, &mut g).unwrap();
+        assert_eq!(report.injected_faults.len(), 1);
+        let InjectedFault::BitFlip { array, index } = report.injected_faults[0] else {
+            panic!("expected a bit flip, got {:?}", report.injected_faults[0]);
+        };
+        assert_eq!(array, output.index, "corruption must target the written array");
+        // Input is untouched; exactly one output element deviates, wildly.
+        assert_eq!(g.view(input), &input_data[..]);
+        let x = g.download(output);
+        for (i, (&got, want)) in x.iter().zip((0..64).map(|i| 2.0 * i as f32)).enumerate() {
+            if i == index {
+                assert!(
+                    !got.is_finite() || (got - want).abs() > 1.0,
+                    "flip at {i} too subtle: {got} vs {want}"
+                );
+            } else {
+                assert_eq!(got, want, "element {i} should be untouched");
+            }
+        }
+        assert_eq!(plan.stats().bit_flips, 1);
+    }
+
+    #[test]
+    fn nan_poison_lands_in_output() {
+        let launcher = Launcher::gtx280().with_fault_plan(Arc::new(FaultPlan::new(FaultConfig {
+            seed: 2,
+            nan_poison_rate: 1.0,
+            ..Default::default()
+        })));
+        let (report, x) = run_double(&launcher);
+        let report = report.unwrap();
+        assert_eq!(report.injected_faults.len(), 1);
+        assert!(matches!(report.injected_faults[0], InjectedFault::NanPoison { .. }));
+        assert_eq!(x.iter().filter(|v| v.is_nan()).count(), 1);
+    }
+
+    #[test]
+    fn stall_inflates_timing_but_not_numerics() {
+        let clean = run_double(&Launcher::gtx280());
+        let stalled = run_double(&Launcher::gtx280().with_fault_plan(Arc::new(FaultPlan::new(
+            FaultConfig { seed: 2, stall_rate: 1.0, stall_multiplier: 4.0, ..Default::default() },
+        ))));
+        let (clean_rep, clean_x) = (clean.0.unwrap(), clean.1);
+        let (stall_rep, stall_x) = (stalled.0.unwrap(), stalled.1);
+        assert_eq!(clean_x, stall_x);
+        assert_eq!(clean_rep.stats, stall_rep.stats);
+        assert!(
+            (stall_rep.timing.kernel_ms - 4.0 * clean_rep.timing.kernel_ms).abs() < 1e-12,
+            "stall must stretch simulated time 4x"
+        );
+        assert!(
+            matches!(stall_rep.injected_faults[0], InjectedFault::Stall { multiplier } if multiplier == 4.0)
+        );
     }
 }

@@ -61,6 +61,7 @@ pub mod cost;
 pub mod counters;
 pub mod device;
 pub mod exec;
+pub mod fault;
 pub mod memory;
 pub mod occupancy;
 pub mod profile;
@@ -74,6 +75,7 @@ pub use counters::{KernelStats, Phase, StepRecord};
 pub use device::DeviceConfig;
 pub use exec::block::{BlockCtx, ThreadCtx};
 pub use exec::grid::{GridKernel, LaunchReport, Launcher};
+pub use fault::{FailKind, FaultConfig, FaultPlan, FaultStats, InjectedFault, LaunchDecision};
 pub use memory::global::{GlobalArray, GlobalMem};
 pub use memory::shared::{Shared, SharedMem};
 pub use occupancy::{occupancy, waves, Limiter, Occupancy};

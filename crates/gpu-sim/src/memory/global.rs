@@ -19,12 +19,17 @@ pub struct GlobalArray<T> {
 #[derive(Debug, Clone, Default)]
 pub struct GlobalMem<T: Real> {
     arrays: Vec<Vec<T>>,
+    /// One flag per array: set by kernel-side [`GlobalMem::write`] since the
+    /// last [`GlobalMem::clear_dirty`]. The fault layer uses this to target
+    /// corruption at launch *outputs* only (an ECC miss on data the kernel
+    /// never touched would be invisible to the run anyway).
+    dirty: Vec<bool>,
 }
 
 impl<T: Real> GlobalMem<T> {
     /// Empty global memory.
     pub fn new() -> Self {
-        Self { arrays: Vec::new() }
+        Self { arrays: Vec::new(), dirty: Vec::new() }
     }
 
     /// Uploads `data` (think `cudaMemcpy` host-to-device) and returns the
@@ -32,6 +37,7 @@ impl<T: Real> GlobalMem<T> {
     pub fn upload(&mut self, data: Vec<T>) -> GlobalArray<T> {
         let index = self.arrays.len() as u32;
         self.arrays.push(data);
+        self.dirty.push(false);
         GlobalArray { index, _marker: PhantomData }
     }
 
@@ -61,6 +67,45 @@ impl<T: Real> GlobalMem<T> {
     #[inline]
     pub(crate) fn write(&mut self, arr: GlobalArray<T>, i: usize, v: T) {
         self.arrays[arr.index as usize][i] = v;
+        self.dirty[arr.index as usize] = true;
+    }
+
+    /// Clears all dirty flags (called by the launcher before a kernel runs
+    /// when a fault plan is installed).
+    pub(crate) fn clear_dirty(&mut self) {
+        for d in &mut self.dirty {
+            *d = false;
+        }
+    }
+
+    /// Indices of arrays written since the last [`GlobalMem::clear_dirty`],
+    /// restricted to non-empty arrays.
+    pub(crate) fn dirty_arrays(&self) -> Vec<u32> {
+        self.dirty
+            .iter()
+            .enumerate()
+            .filter(|&(i, &d)| d && !self.arrays[i].is_empty())
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Raw element read by array index (fault-injection path; no handle).
+    #[inline]
+    pub(crate) fn read_raw(&self, array: u32, i: usize) -> T {
+        self.arrays[array as usize][i]
+    }
+
+    /// Raw element write by array index (fault-injection path; does not
+    /// mark the array dirty — corruption is not kernel output).
+    #[inline]
+    pub(crate) fn write_raw(&mut self, array: u32, i: usize, v: T) {
+        self.arrays[array as usize][i] = v;
+    }
+
+    /// Length of an array by raw index (fault-injection path).
+    #[inline]
+    pub(crate) fn len_raw(&self, array: u32) -> usize {
+        self.arrays[array as usize].len()
     }
 
     /// Length of an array.
@@ -97,5 +142,22 @@ mod tests {
         let mut g = GlobalMem::<f64>::new();
         let h = g.alloc_zeroed(4);
         assert_eq!(g.view(h), &[0.0; 4]);
+    }
+
+    #[test]
+    fn dirty_tracking_marks_kernel_writes_only() {
+        let mut g = GlobalMem::<f32>::new();
+        let a = g.upload(vec![1.0, 2.0]);
+        let b = g.alloc_zeroed(2);
+        assert!(g.dirty_arrays().is_empty());
+        g.write(b, 0, 5.0);
+        assert_eq!(g.dirty_arrays(), vec![b.index]);
+        g.clear_dirty();
+        assert!(g.dirty_arrays().is_empty());
+        // Raw writes (corruption) do not mark dirty.
+        g.write_raw(a.index, 0, 9.0);
+        assert!(g.dirty_arrays().is_empty());
+        assert_eq!(g.read_raw(a.index, 0), 9.0);
+        assert_eq!(g.len_raw(b.index), 2);
     }
 }

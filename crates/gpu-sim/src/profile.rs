@@ -105,6 +105,34 @@ impl TimingReport {
     pub fn phase_ms(&self, phase: Phase) -> f64 {
         self.per_phase.iter().find(|p| p.phase == phase).map_or(0.0, |p| p.ms)
     }
+
+    /// Uniformly stretches the launch by `factor` (>= 1): every time field is
+    /// multiplied and every achieved rate divided. Used by the fault layer to
+    /// model an SM straggler inflating one launch's wall-clock without
+    /// changing *what* the kernel did (counters are untouched).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "stall factor must be positive");
+        self.kernel_ms *= factor;
+        self.transfer_ms *= factor;
+        self.global_ms *= factor;
+        self.shared_ms *= factor;
+        self.compute_ms *= factor;
+        self.overhead_ms *= factor;
+        self.latency_ms *= factor;
+        for s in &mut self.per_step {
+            s.ms *= factor;
+            s.shared_ms *= factor;
+            s.compute_ms *= factor;
+            s.overhead_ms *= factor;
+        }
+        for p in &mut self.per_phase {
+            p.ms *= factor;
+        }
+        self.achieved_global_gbps /= factor;
+        self.achieved_shared_gbps /= factor;
+        self.gflops /= factor;
+        self
+    }
 }
 
 /// Computes the grid-level timing of a launch of `blocks` identical blocks
@@ -363,6 +391,22 @@ mod tests {
         let large = time_launch(&d, &c, &stats(false), 512).unwrap();
         assert!(large.waves > small.waves);
         assert!(large.kernel_ms > small.kernel_ms);
+    }
+
+    #[test]
+    fn scaled_stretches_time_and_divides_rates() {
+        let d = DeviceConfig::gtx280();
+        let c = CostModel::gtx280();
+        let base = time_launch(&d, &c, &stats(false), 512).unwrap();
+        let slow = base.clone().scaled(3.0);
+        assert!((slow.kernel_ms - 3.0 * base.kernel_ms).abs() < 1e-12);
+        assert!((slow.gflops - base.gflops / 3.0).abs() < 1e-12);
+        assert!((slow.achieved_global_gbps - base.achieved_global_gbps / 3.0).abs() < 1e-12);
+        let step_sum: f64 = slow.per_step.iter().map(|s| s.ms).sum();
+        let base_sum: f64 = base.per_step.iter().map(|s| s.ms).sum();
+        assert!((step_sum - 3.0 * base_sum).abs() < 1e-9);
+        // Identity scaling is byte-identical (counter-neutrality).
+        assert_eq!(base.clone().scaled(1.0), base);
     }
 
     #[test]

@@ -153,6 +153,7 @@ pub fn solve_batch_coarse<T: Real>(
         stats: report.stats,
         timing,
         diagnostics: report.diagnostics,
+        injected_faults: report.injected_faults,
     })
 }
 

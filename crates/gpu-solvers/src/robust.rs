@@ -181,6 +181,37 @@ mod tests {
     }
 
     #[test]
+    fn injected_corruption_is_caught_and_repaired() {
+        // An ECC-style bit flip in the downloaded solution must never
+        // survive the robust wrapper: verify flags it, GEP repairs it.
+        use gpu_sim::{FaultConfig, FaultPlan};
+        use std::sync::Arc;
+        for seed in 0..8u64 {
+            let plan = Arc::new(FaultPlan::new(FaultConfig {
+                seed,
+                bit_flip_rate: 1.0,
+                ..Default::default()
+            }));
+            let launcher = Launcher::gtx280().with_fault_plan(Arc::clone(&plan));
+            let batch: SystemBatch<f64> =
+                Generator::new(seed).batch(Workload::DiagonallyDominant, 128, 8).unwrap();
+            let r = solve_batch_robust(
+                &launcher,
+                GpuAlgorithm::CrPcr { m: 32 },
+                &batch,
+                RobustOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(r.gpu.corruption_count(), 1, "seed {seed}");
+            assert_eq!(plan.stats().bit_flips, 1, "seed {seed}");
+            assert!(!r.repaired.is_empty(), "seed {seed}: flip not caught");
+            let res = batch_residual(&batch, &r.gpu.solutions).unwrap();
+            assert!(!res.has_overflow(), "seed {seed}");
+            assert!(res.max_l2 <= r.threshold, "seed {seed}: {}", res.max_l2);
+        }
+    }
+
+    #[test]
     fn tighter_threshold_repairs_more() {
         let launcher = Launcher::gtx280();
         let batch: SystemBatch<f32> =

@@ -223,6 +223,10 @@ pub struct GpuSolveReport<T: Real> {
     /// Sanitizer findings across all blocks (empty unless the launcher's
     /// sanitize mode is on — see [`gpu_sim::SanitizeOptions`]).
     pub diagnostics: Vec<gpu_sim::Diagnostic>,
+    /// Faults the launcher's fault plan injected into this solve
+    /// (corruptions of the downloaded solutions, stalls). Always empty when
+    /// no [`gpu_sim::FaultPlan`] is installed.
+    pub injected_faults: Vec<gpu_sim::InjectedFault>,
 }
 
 impl<T: Real> GpuSolveReport<T> {
@@ -234,6 +238,21 @@ impl<T: Real> GpuSolveReport<T> {
     /// Number of `Warning`-severity sanitizer diagnostics.
     pub fn sanitizer_warning_count(&self) -> usize {
         self.diagnostics.iter().filter(|d| d.severity == gpu_sim::Severity::Warning).count()
+    }
+
+    /// Number of injected output corruptions (bit flips + NaN poisonings) —
+    /// nonzero only under an active fault plan.
+    pub fn corruption_count(&self) -> usize {
+        self.injected_faults
+            .iter()
+            .filter(|f| {
+                matches!(
+                    f,
+                    gpu_sim::InjectedFault::BitFlip { .. }
+                        | gpu_sim::InjectedFault::NanPoison { .. }
+                )
+            })
+            .count()
     }
 }
 
@@ -294,6 +313,7 @@ pub fn solve_batch<T: Real>(
         stats: report.stats,
         timing,
         diagnostics: report.diagnostics,
+        injected_faults: report.injected_faults,
     })
 }
 

@@ -11,6 +11,10 @@
 //!   the simulated SMs), or
 //! * the oldest request in it has waited **max linger** (bounding the
 //!   latency a lone request can be held hostage for), or
+//! * a member's **deadline** would not survive the remaining linger
+//!   window — the bucket flushes early (minus a configurable slack that
+//!   leaves time for the solve itself), trading occupancy for the
+//!   deadline, or
 //! * the service is shutting down (everything admitted gets served).
 //!
 //! The bucketing logic lives in the pure, thread-free [`BucketTable`] so
@@ -32,6 +36,9 @@ pub enum FlushReason {
     Full,
     /// The oldest request hit the linger deadline.
     Linger,
+    /// A member request's completion deadline forced an early flush
+    /// (deadline − slack arrived before the linger window closed).
+    Deadline,
     /// Service shutdown drained the bucket.
     Shutdown,
 }
@@ -42,6 +49,7 @@ impl FlushReason {
         match self {
             FlushReason::Full => "full",
             FlushReason::Linger => "linger",
+            FlushReason::Deadline => "deadline",
             FlushReason::Shutdown => "shutdown",
         }
     }
@@ -63,21 +71,65 @@ struct Bucket<T: Real> {
     /// Admission time of the *oldest* member — linger is measured from the
     /// first request so the bound holds even under a trickle of arrivals.
     oldest: Instant,
+    /// Earliest completion deadline among members carrying one.
+    earliest_deadline: Option<Instant>,
 }
 
-/// Pure batching state machine: per-size buckets with target/linger flush.
+impl<T: Real> Bucket<T> {
+    /// When this bucket must flush: the linger deadline, pulled earlier by
+    /// the most urgent member deadline (minus `slack` to leave time for
+    /// the solve itself).
+    fn flush_at(&self, max_linger: Duration, slack: Duration) -> Instant {
+        let linger_at = self.oldest + max_linger;
+        match self.earliest_deadline {
+            Some(d) => {
+                let deadline_at = d.checked_sub(slack).unwrap_or(self.oldest);
+                linger_at.min(deadline_at)
+            }
+            None => linger_at,
+        }
+    }
+
+    /// Attributes a flush at `now`: `Linger` when the linger window is
+    /// closed anyway, `Deadline` when a member deadline forced it early.
+    fn flush_reason(&self, now: Instant, max_linger: Duration) -> FlushReason {
+        if now >= self.oldest + max_linger {
+            FlushReason::Linger
+        } else {
+            FlushReason::Deadline
+        }
+    }
+}
+
+/// Pure batching state machine: per-size buckets with target/linger flush
+/// and deadline-aware early flushing.
 pub struct BucketTable<T: Real> {
     buckets: HashMap<usize, Bucket<T>>,
     target_batch: usize,
     max_linger: Duration,
+    deadline_slack: Duration,
 }
 
 impl<T: Real> BucketTable<T> {
     /// Creates an empty table flushing at `target_batch` requests or after
     /// `max_linger` of the oldest member's wait, whichever comes first.
+    /// Deadline slack defaults to 500 µs; see
+    /// [`BucketTable::with_deadline_slack`].
     pub fn new(target_batch: usize, max_linger: Duration) -> Self {
         assert!(target_batch >= 1, "target batch size must be >= 1");
-        Self { buckets: HashMap::new(), target_batch, max_linger }
+        Self {
+            buckets: HashMap::new(),
+            target_batch,
+            max_linger,
+            deadline_slack: Duration::from_micros(500),
+        }
+    }
+
+    /// Sets how much earlier than a member's deadline its bucket flushes
+    /// (headroom for the dispatch + solve itself).
+    pub fn with_deadline_slack(mut self, slack: Duration) -> Self {
+        self.deadline_slack = slack;
+        self
     }
 
     /// Number of requests currently parked in buckets.
@@ -89,10 +141,18 @@ impl<T: Real> BucketTable<T> {
     /// bucket reaches the target size.
     pub fn insert(&mut self, request: SolveRequest<T>, now: Instant) -> Option<FlushedBatch<T>> {
         let n = request.system.n();
-        let bucket =
-            self.buckets.entry(n).or_insert_with(|| Bucket { requests: Vec::new(), oldest: now });
+        let bucket = self.buckets.entry(n).or_insert_with(|| Bucket {
+            requests: Vec::new(),
+            oldest: now,
+            earliest_deadline: None,
+        });
         if bucket.requests.is_empty() {
             bucket.oldest = now;
+            bucket.earliest_deadline = None;
+        }
+        if let Some(d) = request.deadline {
+            bucket.earliest_deadline =
+                Some(bucket.earliest_deadline.map_or(d, |existing| existing.min(d)));
         }
         bucket.requests.push(request);
         if bucket.requests.len() >= self.target_batch {
@@ -102,24 +162,28 @@ impl<T: Real> BucketTable<T> {
         None
     }
 
-    /// The earliest linger deadline across all buckets, or `None` when
-    /// everything is empty (the batcher thread sleeps on the queue alone).
+    /// The earliest flush point across all buckets (linger deadline pulled
+    /// earlier by member deadlines), or `None` when everything is empty
+    /// (the batcher thread sleeps on the queue alone).
     pub fn next_deadline(&self) -> Option<Instant> {
-        self.buckets.values().map(|b| b.oldest + self.max_linger).min()
+        self.buckets.values().map(|b| b.flush_at(self.max_linger, self.deadline_slack)).min()
     }
 
-    /// Flushes every bucket whose oldest member has waited `max_linger`.
+    /// Flushes every bucket whose flush point has arrived — because its
+    /// oldest member has waited `max_linger`, or because a member deadline
+    /// (minus slack) would not survive more lingering.
     pub fn flush_expired(&mut self, now: Instant) -> Vec<FlushedBatch<T>> {
         let expired: Vec<usize> = self
             .buckets
             .iter()
-            .filter(|(_, b)| now >= b.oldest + self.max_linger)
+            .filter(|(_, b)| now >= b.flush_at(self.max_linger, self.deadline_slack))
             .map(|(&n, _)| n)
             .collect();
         let mut out = Vec::with_capacity(expired.len());
         for n in expired {
             let bucket = self.buckets.remove(&n).expect("listed above");
-            out.push(FlushedBatch { n, requests: bucket.requests, reason: FlushReason::Linger });
+            let reason = bucket.flush_reason(now, self.max_linger);
+            out.push(FlushedBatch { n, requests: bucket.requests, reason });
         }
         out
     }

@@ -1,0 +1,308 @@
+//! Per-engine circuit breakers: stop hammering an engine that keeps
+//! faulting, probe it after a cooldown, close again on success.
+//!
+//! The dispatcher's retry loop handles *transient* device faults; a
+//! breaker handles *persistent* ones. Each engine label (e.g.
+//! `cr+pcr@256`) gets an independent state machine:
+//!
+//! ```text
+//!            consecutive faults >= threshold
+//!   Closed ───────────────────────────────────► Open
+//!     ▲                                          │ cooldown elapses
+//!     │ probe flush succeeds                     ▼
+//!     └───────────────────────────────────── HalfOpen
+//!                 (probe faults → back to Open, cooldown restarts)
+//! ```
+//!
+//! While a breaker is `Open` (and not yet cooled down), flushes planned
+//! for that engine are *denied* and demoted to the CPU GEP safety net —
+//! graceful degradation instead of guaranteed-to-fail launches. The first
+//! flush after the cooldown is admitted as a **probe** (`HalfOpen`): its
+//! outcome decides whether the engine is trusted again.
+//!
+//! All transitions are counted so the degradation is observable in the
+//! service metrics, never silent.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive faults on an engine that trip its breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker waits before admitting a half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self { failure_threshold: 3, cooldown: Duration::from_millis(10) }
+    }
+}
+
+/// Observable state of one engine's breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: flushes dispatch normally.
+    Closed,
+    /// Tripped: flushes are denied (demoted to the CPU safety net) until
+    /// the cooldown admits a probe.
+    Open,
+    /// A probe flush is in flight; its outcome closes or re-opens.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lower-case label for metrics/JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Admission verdict for one flush on one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Breaker closed: dispatch normally.
+    Allow,
+    /// Breaker was open and cooled down: this flush is the half-open probe.
+    Probe,
+    /// Breaker open (or a probe already in flight): do not use this engine.
+    Deny,
+}
+
+#[derive(Debug)]
+enum Entry {
+    Closed { consecutive_faults: u32 },
+    Open { since: Instant },
+    HalfOpen,
+}
+
+/// The full set of per-engine breakers for one service.
+pub struct CircuitBreakers {
+    cfg: BreakerConfig,
+    entries: Mutex<HashMap<String, Entry>>,
+    /// Closed→Open trips.
+    opened: AtomicU64,
+    /// HalfOpen→Closed recoveries.
+    closed: AtomicU64,
+    /// Flushes denied while open.
+    denials: AtomicU64,
+}
+
+impl Default for CircuitBreakers {
+    fn default() -> Self {
+        Self::new(BreakerConfig::default())
+    }
+}
+
+impl CircuitBreakers {
+    /// Creates breakers with `cfg`; every engine starts `Closed`.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg,
+            entries: Mutex::new(HashMap::new()),
+            opened: AtomicU64::new(0),
+            closed: AtomicU64::new(0),
+            denials: AtomicU64::new(0),
+        }
+    }
+
+    /// Adjudicates one flush on `engine`. `Deny` verdicts are counted.
+    pub fn admit(&self, engine: &str) -> Admission {
+        let mut entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        let entry =
+            entries.entry(engine.to_string()).or_insert(Entry::Closed { consecutive_faults: 0 });
+        let verdict = match entry {
+            Entry::Closed { .. } => Admission::Allow,
+            Entry::Open { since } => {
+                if since.elapsed() >= self.cfg.cooldown {
+                    *entry = Entry::HalfOpen;
+                    Admission::Probe
+                } else {
+                    Admission::Deny
+                }
+            }
+            // One probe at a time: concurrent flushes wait it out on the CPU.
+            Entry::HalfOpen => Admission::Deny,
+        };
+        if verdict == Admission::Deny {
+            self.denials.fetch_add(1, Ordering::Relaxed);
+        }
+        verdict
+    }
+
+    /// Records a successful (non-faulting) flush on `engine`.
+    pub fn on_success(&self, engine: &str) {
+        let mut entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        match entries.get_mut(engine) {
+            Some(entry @ Entry::HalfOpen) => {
+                *entry = Entry::Closed { consecutive_faults: 0 };
+                self.closed.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(Entry::Closed { consecutive_faults }) => *consecutive_faults = 0,
+            _ => {}
+        }
+    }
+
+    /// Records a device fault on `engine`; may trip the breaker open.
+    pub fn on_fault(&self, engine: &str) {
+        let mut entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        let entry =
+            entries.entry(engine.to_string()).or_insert(Entry::Closed { consecutive_faults: 0 });
+        match entry {
+            Entry::Closed { consecutive_faults } => {
+                *consecutive_faults += 1;
+                if *consecutive_faults >= self.cfg.failure_threshold {
+                    *entry = Entry::Open { since: Instant::now() };
+                    self.opened.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Entry::HalfOpen => {
+                // The probe failed: back to open, cooldown restarts.
+                *entry = Entry::Open { since: Instant::now() };
+                self.opened.fetch_add(1, Ordering::Relaxed);
+            }
+            Entry::Open { .. } => {}
+        }
+    }
+
+    /// Current state of `engine`'s breaker (engines never seen are Closed).
+    pub fn state(&self, engine: &str) -> BreakerState {
+        match self.entries.lock().unwrap_or_else(|p| p.into_inner()).get(engine) {
+            None | Some(Entry::Closed { .. }) => BreakerState::Closed,
+            Some(Entry::Open { .. }) => BreakerState::Open,
+            Some(Entry::HalfOpen) => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Engine → state label, for the metrics snapshot (only engines that
+    /// have been touched appear).
+    pub fn states(&self) -> BTreeMap<String, String> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(engine, entry)| {
+                let state = match entry {
+                    Entry::Closed { .. } => BreakerState::Closed,
+                    Entry::Open { .. } => BreakerState::Open,
+                    Entry::HalfOpen => BreakerState::HalfOpen,
+                };
+                (engine.clone(), state.label().to_string())
+            })
+            .collect()
+    }
+
+    /// Closed→Open trips so far.
+    pub fn opened_total(&self) -> u64 {
+        self.opened.load(Ordering::Relaxed)
+    }
+
+    /// HalfOpen→Closed recoveries so far.
+    pub fn closed_total(&self) -> u64 {
+        self.closed.load(Ordering::Relaxed)
+    }
+
+    /// Flushes denied by an open breaker so far.
+    pub fn denials_total(&self) -> u64 {
+        self.denials.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> CircuitBreakers {
+        CircuitBreakers::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(5),
+        })
+    }
+
+    #[test]
+    fn stays_closed_below_threshold() {
+        let b = fast();
+        b.on_fault("cr");
+        b.on_fault("cr");
+        assert_eq!(b.state("cr"), BreakerState::Closed);
+        assert_eq!(b.admit("cr"), Admission::Allow);
+        assert_eq!(b.opened_total(), 0);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let b = fast();
+        b.on_fault("cr");
+        b.on_fault("cr");
+        b.on_success("cr");
+        b.on_fault("cr");
+        b.on_fault("cr");
+        assert_eq!(b.state("cr"), BreakerState::Closed, "count must reset on success");
+    }
+
+    #[test]
+    fn trips_open_at_threshold_and_denies() {
+        let b = fast();
+        for _ in 0..3 {
+            b.on_fault("cr");
+        }
+        assert_eq!(b.state("cr"), BreakerState::Open);
+        assert_eq!(b.opened_total(), 1);
+        assert_eq!(b.admit("cr"), Admission::Deny);
+        assert_eq!(b.denials_total(), 1);
+    }
+
+    #[test]
+    fn open_close_round_trip_via_half_open_probe() {
+        let b = fast();
+        for _ in 0..3 {
+            b.on_fault("cr");
+        }
+        assert_eq!(b.admit("cr"), Admission::Deny);
+        std::thread::sleep(Duration::from_millis(6));
+        // Cooldown elapsed: exactly one probe is admitted.
+        assert_eq!(b.admit("cr"), Admission::Probe);
+        assert_eq!(b.state("cr"), BreakerState::HalfOpen);
+        assert_eq!(b.admit("cr"), Admission::Deny, "only one probe in flight");
+        b.on_success("cr");
+        assert_eq!(b.state("cr"), BreakerState::Closed);
+        assert_eq!(b.closed_total(), 1);
+        assert_eq!(b.admit("cr"), Admission::Allow);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = fast();
+        for _ in 0..3 {
+            b.on_fault("cr");
+        }
+        std::thread::sleep(Duration::from_millis(6));
+        assert_eq!(b.admit("cr"), Admission::Probe);
+        b.on_fault("cr");
+        assert_eq!(b.state("cr"), BreakerState::Open);
+        assert_eq!(b.opened_total(), 2);
+        assert_eq!(b.admit("cr"), Admission::Deny, "cooldown restarted");
+    }
+
+    #[test]
+    fn breakers_are_independent_per_engine() {
+        let b = fast();
+        for _ in 0..3 {
+            b.on_fault("cr");
+        }
+        assert_eq!(b.state("cr"), BreakerState::Open);
+        assert_eq!(b.state("pcr"), BreakerState::Closed);
+        assert_eq!(b.admit("pcr"), Admission::Allow);
+        let states = b.states();
+        assert_eq!(states["cr"], "open");
+        assert!(!states.contains_key("pcr") || states["pcr"] == "closed");
+    }
+}

@@ -22,16 +22,29 @@
 //!    uninitialized reads found on real serving traffic are counted into
 //!    [`ServiceMetrics`], and a flush whose kernel trips an error-severity
 //!    diagnostic is re-solved on the CPU GEP path rather than trusted.
+//! 5. **Device faults are retried, then degraded — never surfaced.** A
+//!    transient [`TridiagError::DeviceFault`] re-dispatches the same
+//!    engine with exponential backoff (up to
+//!    [`DispatchConfig::max_attempts_per_engine`]); an engine that keeps
+//!    faulting is excluded and the next-best candidate from the autotune
+//!    ranking takes over; [`TridiagError::DeviceLost`] or exhausting
+//!    [`DispatchConfig::max_total_attempts`] demotes the flush to the CPU
+//!    GEP safety net. An engine's per-engine **circuit breaker**
+//!    (see [`CircuitBreakers`]) short-circuits this ladder while the
+//!    engine is known-bad, re-probing it after a cooldown. Every retry,
+//!    fault, and degradation is counted into the metrics — degradation is
+//!    observable, never silent.
 
 use crate::batcher::FlushedBatch;
+use crate::breaker::{Admission, CircuitBreakers};
 use crate::metrics::ServiceMetrics;
 use crate::planner::{CpuEngine, Engine, PlanCache};
 use cpu_solvers::{gep, thomas};
 use gpu_sim::Launcher;
-use gpu_solvers::{solve_batch_robust, RobustOptions};
-use std::time::Instant;
+use gpu_solvers::{solve_batch_robust, GpuAlgorithm, RobustOptions};
+use std::time::{Duration, Instant};
 use tridiag_core::residual::l2_residual;
-use tridiag_core::{Real, SolutionBatch, SystemBatch, TridiagonalSystem};
+use tridiag_core::{Real, SolutionBatch, SystemBatch, TridiagError, TridiagonalSystem};
 
 /// Dispatch-time knobs (a copy of the relevant service config).
 #[derive(Debug, Clone)]
@@ -50,6 +63,34 @@ pub struct DispatchConfig {
     /// kernel sanitizer recording (admission-time correctness check on
     /// real traffic; later flushes of the same class run unsanitized).
     pub sanitize_first_flush: bool,
+    /// How many times one engine is tried per flush before it is excluded
+    /// (first attempt + retries). Transient device faults between attempts
+    /// back off exponentially.
+    pub max_attempts_per_engine: usize,
+    /// Total engine dispatch attempts per flush across all candidates;
+    /// exhausting this demotes the flush to the CPU GEP safety net.
+    pub max_total_attempts: usize,
+    /// First retry backoff; doubles per subsequent attempt (plus a small
+    /// deterministic jitter so colliding workers de-synchronize).
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+}
+
+impl Default for DispatchConfig {
+    fn default() -> Self {
+        Self {
+            min_gpu_batch: 4,
+            threshold_scale: 100.0,
+            probe_count: 16,
+            pin_engine: None,
+            sanitize_first_flush: true,
+            max_attempts_per_engine: 2,
+            max_total_attempts: 4,
+            backoff_base: Duration::from_micros(50),
+            backoff_max: Duration::from_millis(2),
+        }
+    }
 }
 
 /// Serves one flushed batch end to end: plan → execute → verify/repair →
@@ -59,6 +100,7 @@ pub struct DispatchConfig {
 pub fn serve_flush<T: Real>(
     launcher: &Launcher,
     plans: &PlanCache,
+    breakers: &CircuitBreakers,
     metrics: &ServiceMetrics,
     cfg: &DispatchConfig,
     flush: FlushedBatch<T>,
@@ -76,6 +118,14 @@ pub fn serve_flush<T: Real>(
         None => plans.plan_for::<T>(launcher, n, cfg.probe_count).engine,
     };
 
+    // Retry ladder: when the planned engine keeps faulting, the dispatcher
+    // walks the autotune ranking to the next-best GPU candidate. A pinned
+    // engine has no ladder — the pin is an explicit override.
+    let fallbacks: Vec<Engine> = match (cfg.pin_engine, engine) {
+        (None, Engine::Gpu(_)) => plans.ranking_for::<T>(launcher, n, cfg.probe_count),
+        _ => Vec::new(),
+    };
+
     // First GPU flush of this size class? Claim the one-time token and run
     // it under the sanitizer — the admission correctness check.
     let sanitize = cfg.sanitize_first_flush
@@ -83,7 +133,7 @@ pub fn serve_flush<T: Real>(
         && plans.begin_sanitize::<T>(launcher, n);
 
     let systems: Vec<TridiagonalSystem<T>> = requests.iter().map(|r| r.system.clone()).collect();
-    let outcome = execute(launcher, engine, &systems, cfg.threshold_scale, sanitize);
+    let outcome = execute(launcher, engine, &fallbacks, breakers, &systems, cfg, sanitize);
 
     if let Some((errors, warnings)) = outcome.sanitizer_findings {
         metrics.on_flush_sanitized(errors, warnings);
@@ -95,10 +145,20 @@ pub fn serve_flush<T: Real>(
         outcome.repairs,
         outcome.engine_ms,
     );
+    metrics.on_degradation(
+        outcome.retries,
+        outcome.device_faults,
+        outcome.corruptions,
+        outcome.degraded,
+    );
 
     let now = Instant::now();
     for (i, request) in requests.into_iter().enumerate() {
         let latency = now.saturating_duration_since(request.submitted_at);
+        let deadline_missed = request.deadline.is_some_and(|d| now > d);
+        if deadline_missed {
+            metrics.on_deadline_miss();
+        }
         let id = request.id;
         request.fulfil(crate::request::SolveResponse {
             id,
@@ -108,6 +168,7 @@ pub fn serve_flush<T: Real>(
             repaired: outcome.repaired_flags[i],
             batch_occupancy: occupancy,
             latency,
+            deadline_missed,
         });
         metrics.on_complete(latency);
     }
@@ -124,25 +185,93 @@ struct Outcome<T: Real> {
     /// `(error_sites, warning_sites)` when the flush ran under the
     /// sanitizer; `None` for unsanitized flushes and CPU engines.
     sanitizer_findings: Option<(u64, u64)>,
+    /// Engine dispatch attempts beyond the first (fault recoveries).
+    retries: u64,
+    /// Device faults observed while serving this flush.
+    device_faults: u64,
+    /// Memory corruptions the verify step caught (and GEP repaired).
+    corruptions: u64,
+    /// `true` when the final answer came from an engine other than the
+    /// planned one (breaker denial, retry exhaustion, or device loss).
+    degraded: bool,
+}
+
+/// Deterministic exponential backoff with a small jitter derived from the
+/// attempt index (no RNG on the dispatch path): `base · 2^(attempt−1)`,
+/// capped at `max`, plus up to a quarter-`base` of de-synchronization.
+fn backoff_delay(cfg: &DispatchConfig, attempt: usize) -> Duration {
+    let doubled = cfg
+        .backoff_base
+        .checked_mul(1u32 << (attempt.saturating_sub(1)).min(10) as u32)
+        .unwrap_or(cfg.backoff_max);
+    let jitter_us =
+        (attempt as u64).wrapping_mul(7919) % (cfg.backoff_base.as_micros().max(4) as u64 / 4 + 1);
+    doubled.min(cfg.backoff_max) + Duration::from_micros(jitter_us)
 }
 
 /// Runs `systems` on `engine`, verifying and repairing every solution.
-/// With `sanitize` set, GPU engines run with the kernel sanitizer
-/// recording; error-severity findings demote the flush to the CPU GEP
-/// safety net (an unsound kernel's answers are not trusted, even if their
-/// residuals happen to pass).
+///
+/// * With `sanitize` set, the first GPU attempt runs with the kernel
+///   sanitizer recording; error-severity findings demote the flush to the
+///   CPU GEP safety net (an unsound kernel's answers are not trusted,
+///   even if their residuals happen to pass).
+/// * GPU engines sit behind their circuit breaker: a denied engine is
+///   skipped, a cooled-down one gets a half-open probe whose outcome is
+///   reported back.
+/// * Transient device faults retry the same engine with backoff, then
+///   walk `fallbacks` (the autotune ranking) to the next-best GPU
+///   candidate; device loss or attempt exhaustion lands on the CPU GEP
+///   safety net. The flush is **never** dropped.
 fn execute<T: Real>(
     launcher: &Launcher,
     engine: Engine,
+    fallbacks: &[Engine],
+    breakers: &CircuitBreakers,
     systems: &[TridiagonalSystem<T>],
-    threshold_scale: f64,
+    cfg: &DispatchConfig,
     sanitize: bool,
 ) -> Outcome<T> {
     let batch = SystemBatch::from_systems(systems).expect("flush holds >=1 same-size systems");
-    match engine {
-        Engine::Gpu(alg) => {
+    let threshold_scale = cfg.threshold_scale;
+    let first = match engine {
+        Engine::Cpu(cpu) => return cpu_execute(systems, &batch, cpu, threshold_scale),
+        Engine::Gpu(alg) => alg,
+    };
+
+    // The candidate ladder: planned engine first, then every lower-ranked
+    // GPU candidate from the tournament (CPU entries are implicit — the
+    // ladder always ends at the GEP safety net below).
+    let mut candidates: Vec<GpuAlgorithm> = vec![first];
+    candidates.extend(fallbacks.iter().filter_map(|e| match e {
+        Engine::Gpu(alg) if *alg != first => Some(*alg),
+        _ => None,
+    }));
+
+    let mut retries = 0u64;
+    let mut device_faults = 0u64;
+    let mut total_attempts = 0usize;
+
+    'ladder: for (rank, alg) in candidates.iter().enumerate() {
+        let gpu_engine = Engine::Gpu(*alg);
+        let label = gpu_engine.to_string();
+        match breakers.admit(&label) {
+            Admission::Deny => continue 'ladder, // known-bad: next candidate
+            Admission::Allow | Admission::Probe => {}
+        }
+        let mut engine_attempts = 0usize;
+        while engine_attempts < cfg.max_attempts_per_engine
+            && total_attempts < cfg.max_total_attempts
+        {
+            engine_attempts += 1;
+            total_attempts += 1;
+            if total_attempts > 1 {
+                retries += 1;
+                std::thread::sleep(backoff_delay(cfg, total_attempts - 1));
+            }
+            // Sanitize exactly one kernel run: the very first attempt.
+            let sanitize_this = sanitize && total_attempts == 1;
             let sanitizing_launcher;
-            let launcher = if sanitize {
+            let attempt_launcher = if sanitize_this {
                 sanitizing_launcher =
                     launcher.clone().with_sanitize(gpu_sim::SanitizeOptions::record());
                 &sanitizing_launcher
@@ -150,9 +279,10 @@ fn execute<T: Real>(
                 launcher
             };
             let options = RobustOptions { threshold_scale };
-            match solve_batch_robust(launcher, alg, &batch, options) {
+            match solve_batch_robust(attempt_launcher, *alg, &batch, options) {
                 Ok(report) => {
-                    let findings = sanitize.then(|| {
+                    breakers.on_success(&label);
+                    let findings = sanitize_this.then(|| {
                         (
                             report.gpu.sanitizer_error_count() as u64,
                             report.gpu.sanitizer_warning_count() as u64,
@@ -165,6 +295,9 @@ fn execute<T: Real>(
                             let mut out =
                                 cpu_execute(systems, &batch, CpuEngine::Gep, threshold_scale);
                             out.sanitizer_findings = findings;
+                            out.retries = retries;
+                            out.device_faults = device_faults;
+                            out.degraded = true;
                             return out;
                         }
                     }
@@ -174,23 +307,51 @@ fn execute<T: Real>(
                     }
                     let residuals = residuals_of(systems, &report.gpu.solutions);
                     let engine_ms = report.gpu.timing.total_ms();
-                    Outcome {
+                    let corruptions = report.gpu.corruption_count() as u64;
+                    return Outcome {
                         solutions: report.gpu.solutions,
                         residuals,
                         repairs: report.repaired.len(),
                         repaired_flags,
-                        engine_label: engine.to_string(),
+                        engine_label: label,
                         engine_ms,
                         sanitizer_findings: findings,
+                        retries,
+                        device_faults,
+                        corruptions,
+                        degraded: rank > 0,
+                    };
+                }
+                Err(e) if e.is_device_fault() => {
+                    device_faults += 1;
+                    breakers.on_fault(&label);
+                    if matches!(e, TridiagError::DeviceLost) {
+                        // The whole device is gone: no GPU candidate can
+                        // serve this flush. Straight to the CPU.
+                        break 'ladder;
                     }
+                    // Transient: loop retries this engine (with backoff)
+                    // until its per-engine budget runs out, then the
+                    // ladder moves to the next candidate.
                 }
                 // Launch-configuration failure (e.g. a device swap made the
-                // cached plan illegal): degrade to the CPU safety net.
-                Err(_) => cpu_execute(systems, &batch, CpuEngine::Gep, threshold_scale),
+                // cached plan illegal): retrying cannot help this engine.
+                Err(_) => break 'ladder,
             }
         }
-        Engine::Cpu(cpu) => cpu_execute(systems, &batch, cpu, threshold_scale),
+        if total_attempts >= cfg.max_total_attempts {
+            break 'ladder;
+        }
     }
+
+    // Every GPU avenue is exhausted (or denied): the pivoted CPU safety
+    // net serves the flush. This is the graceful-degradation terminal —
+    // correct answers, observable cost.
+    let mut out = cpu_execute(systems, &batch, CpuEngine::Gep, threshold_scale);
+    out.retries = retries;
+    out.device_faults = device_faults;
+    out.degraded = true;
+    out
 }
 
 /// CPU path with the same acceptance rule as `solve_batch_robust`: accept
@@ -239,6 +400,10 @@ fn cpu_execute<T: Real>(
         engine_label: Engine::Cpu(cpu).to_string(),
         engine_ms: started.elapsed().as_secs_f64() * 1e3,
         sanitizer_findings: None,
+        retries: 0,
+        device_faults: 0,
+        corruptions: 0,
+        degraded: false,
     }
 }
 
@@ -264,10 +429,9 @@ mod tests {
     fn cfg() -> DispatchConfig {
         DispatchConfig {
             min_gpu_batch: 4,
-            threshold_scale: 100.0,
             probe_count: 4,
-            pin_engine: None,
-            sanitize_first_flush: true,
+            backoff_base: Duration::from_micros(10), // keep tests fast
+            ..DispatchConfig::default()
         }
     }
 
@@ -294,7 +458,7 @@ mod tests {
         let plans = PlanCache::new();
         let metrics = ServiceMetrics::new();
         let (flush, tickets) = flush_of(128, 8, 11);
-        serve_flush(&launcher, &plans, &metrics, &cfg(), flush);
+        serve_flush(&launcher, &plans, &CircuitBreakers::default(), &metrics, &cfg(), flush);
         for (i, ticket) in tickets.into_iter().enumerate() {
             let resp = ticket.try_take().expect("synchronous serve fulfils immediately");
             assert_eq!(resp.id, i as u64);
@@ -314,7 +478,7 @@ mod tests {
         let plans = PlanCache::new();
         let metrics = ServiceMetrics::new();
         let (flush, tickets) = flush_of(128, 2, 12); // below min_gpu_batch = 4
-        serve_flush(&launcher, &plans, &metrics, &cfg(), flush);
+        serve_flush(&launcher, &plans, &CircuitBreakers::default(), &metrics, &cfg(), flush);
         for ticket in tickets {
             assert_eq!(ticket.try_take().unwrap().engine, "cpu-thomas");
         }
@@ -330,7 +494,7 @@ mod tests {
         bad.b[0] = 0.0; // Thomas dies, GEP interchanges rows
         let (req, ticket) = make_request(0, bad);
         let flush = FlushedBatch { n: 64, requests: vec![req], reason: FlushReason::Linger };
-        serve_flush(&launcher, &plans, &metrics, &cfg(), flush);
+        serve_flush(&launcher, &plans, &CircuitBreakers::default(), &metrics, &cfg(), flush);
         let resp = ticket.try_take().unwrap();
         assert!(resp.repaired, "zero pivot must trigger GEP repair");
         assert!(resp.residual < 1e-2, "{}", resp.residual);
@@ -347,7 +511,7 @@ mod tests {
             pin_engine: Some(Engine::Gpu(GpuAlgorithm::CrPcr { m: 32 })),
             ..cfg()
         };
-        serve_flush(&launcher, &plans, &metrics, &pinned, flush);
+        serve_flush(&launcher, &plans, &CircuitBreakers::default(), &metrics, &pinned, flush);
         for ticket in tickets {
             // ...but the pin forces the GPU engine anyway.
             assert_eq!(ticket.try_take().unwrap().engine, "cr+pcr@32");
@@ -372,8 +536,10 @@ mod tests {
         let out = execute(
             &launcher,
             Engine::Gpu(GpuAlgorithm::Rd(gpu_solvers::RdMode::Plain)),
+            &[],
+            &CircuitBreakers::default(),
             &systems,
-            100.0,
+            &cfg(),
             false,
         );
         assert!(out.repairs > 0);
@@ -394,7 +560,7 @@ mod tests {
         // of n = 128 (a new size class, sanitized again).
         for (n, seed) in [(64usize, 21u64), (64, 22), (128, 23)] {
             let (flush, tickets) = flush_of(n, 8, seed);
-            serve_flush(&launcher, &plans, &metrics, &pinned, flush);
+            serve_flush(&launcher, &plans, &CircuitBreakers::default(), &metrics, &pinned, flush);
             for ticket in tickets {
                 let resp = ticket.try_take().unwrap();
                 assert!(resp.residual < 1e-2, "{}", resp.residual);
@@ -417,7 +583,7 @@ mod tests {
         {
             let plans = PlanCache::new();
             let (flush, _tickets) = flush_of(64, 2, 31); // below min_gpu_batch
-            serve_flush(&launcher, &plans, &metrics, &cfg(), flush);
+            serve_flush(&launcher, &plans, &CircuitBreakers::default(), &metrics, &cfg(), flush);
         }
         // GPU-pinned flush with the hook disabled.
         {
@@ -428,7 +594,7 @@ mod tests {
                 ..cfg()
             };
             let (flush, _tickets) = flush_of(64, 8, 32);
-            serve_flush(&launcher, &plans, &metrics, &disabled, flush);
+            serve_flush(&launcher, &plans, &CircuitBreakers::default(), &metrics, &disabled, flush);
         }
         assert_eq!(metrics.snapshot(0, 0, 0).sanitized_flushes, 0);
     }
@@ -445,9 +611,162 @@ mod tests {
             let mut generator = Generator::new(33);
             (0..8).map(|_| generator.system(Workload::DiagonallyDominant, 64)).collect()
         };
-        let out = execute(&launcher, Engine::Gpu(GpuAlgorithm::Cr), &systems, 100.0, true);
+        let out = execute(
+            &launcher,
+            Engine::Gpu(GpuAlgorithm::Cr),
+            &[],
+            &CircuitBreakers::default(),
+            &systems,
+            &cfg(),
+            true,
+        );
         assert_eq!(out.engine_label, "cr");
         let (errors, _warnings) = out.sanitizer_findings.expect("sanitized flush reports findings");
         assert_eq!(errors, 0);
+    }
+
+    // ── resilience: retries, breakers, graceful degradation ──────────
+
+    use gpu_sim::{FaultConfig, FaultPlan};
+    use std::sync::Arc;
+
+    fn faulty_launcher(cfg: FaultConfig) -> (Launcher, Arc<FaultPlan>) {
+        let plan = Arc::new(FaultPlan::new(cfg));
+        (Launcher::gtx280().with_fault_plan(Arc::clone(&plan)), plan)
+    }
+
+    #[test]
+    fn transient_fault_is_retried_on_the_same_engine() {
+        // Launch 0 faults (burst of 1); the retry (launch 1) succeeds.
+        let (launcher, plan) =
+            faulty_launcher(FaultConfig { launch_fault_burst: 1, ..FaultConfig::quiet(7) });
+        let plans = PlanCache::new();
+        let breakers = CircuitBreakers::default();
+        let metrics = ServiceMetrics::new();
+        let pinned = DispatchConfig {
+            pin_engine: Some(Engine::Gpu(GpuAlgorithm::CrPcr { m: 32 })),
+            ..cfg()
+        };
+        let (flush, tickets) = flush_of(64, 8, 41);
+        serve_flush(&launcher, &plans, &breakers, &metrics, &pinned, flush);
+        for ticket in tickets {
+            let resp = ticket.try_take().expect("retry must still answer");
+            assert_eq!(resp.engine, "cr+pcr@32", "retry stays on the planned engine");
+            assert!(resp.residual < 1e-2, "{}", resp.residual);
+        }
+        let d = metrics.snapshot(0, 0, 0).degradation;
+        assert_eq!(d.device_faults, 1);
+        assert_eq!(d.retries, 1);
+        assert_eq!(d.degraded_flushes, 0, "a successful retry is not degradation");
+        assert_eq!(plan.stats().launch_failures, 1);
+        assert_eq!(breakers.state("cr+pcr@32"), crate::breaker::BreakerState::Closed);
+    }
+
+    #[test]
+    fn device_loss_degrades_to_the_cpu_safety_net() {
+        let (launcher, _plan) = faulty_launcher(FaultConfig {
+            device_lost_after: Some(0), // every launch: device lost
+            ..FaultConfig::quiet(8)
+        });
+        let plans = PlanCache::new();
+        let breakers = CircuitBreakers::default();
+        let metrics = ServiceMetrics::new();
+        let pinned = DispatchConfig {
+            pin_engine: Some(Engine::Gpu(GpuAlgorithm::CrPcr { m: 32 })),
+            ..cfg()
+        };
+        let (flush, tickets) = flush_of(64, 8, 42);
+        serve_flush(&launcher, &plans, &breakers, &metrics, &pinned, flush);
+        for ticket in tickets {
+            let resp = ticket.try_take().expect("degradation must still answer");
+            assert_eq!(resp.engine, "cpu-gep", "device loss lands on the safety net");
+            assert!(resp.residual < 1e-2, "{}", resp.residual);
+        }
+        let d = metrics.snapshot(0, 0, 0).degradation;
+        assert_eq!(d.device_faults, 1, "device loss aborts the ladder immediately");
+        assert_eq!(d.degraded_flushes, 1);
+    }
+
+    #[test]
+    fn persistent_faults_walk_the_ranking_to_the_next_candidate() {
+        // Every launch faults transiently: the planned engine exhausts its
+        // per-engine budget, the ladder walks the fallback, and with
+        // max_total_attempts = 4 everything runs out → CPU GEP.
+        let (launcher, plan) =
+            faulty_launcher(FaultConfig { launch_fault_burst: u64::MAX, ..FaultConfig::quiet(9) });
+        let breakers = CircuitBreakers::default();
+        let systems: Vec<TridiagonalSystem<f32>> = {
+            let mut generator = Generator::new(43);
+            (0..8).map(|_| generator.system(Workload::DiagonallyDominant, 64)).collect()
+        };
+        let fallbacks =
+            vec![Engine::Gpu(GpuAlgorithm::CrPcr { m: 32 }), Engine::Gpu(GpuAlgorithm::Pcr)];
+        let out = execute(
+            &launcher,
+            Engine::Gpu(GpuAlgorithm::CrPcr { m: 32 }),
+            &fallbacks,
+            &breakers,
+            &systems,
+            &cfg(),
+            false,
+        );
+        assert_eq!(out.engine_label, "cpu-gep");
+        assert!(out.degraded);
+        assert_eq!(out.device_faults, 4, "max_total_attempts bounds the faults");
+        assert_eq!(out.retries, 3);
+        assert!(out.residuals.iter().all(|&r| r.is_finite() && r < 1e-2));
+        // Two faults each on two engines (per-engine budget = 2).
+        assert_eq!(plan.stats().launch_failures, 4);
+    }
+
+    #[test]
+    fn open_breaker_demotes_the_flush_without_touching_the_engine() {
+        let launcher = Launcher::gtx280(); // healthy device
+        let plans = PlanCache::new();
+        let breakers = CircuitBreakers::default();
+        let metrics = ServiceMetrics::new();
+        // Trip the breaker for the pinned engine by hand.
+        for _ in 0..3 {
+            breakers.on_fault("cr+pcr@32");
+        }
+        let pinned = DispatchConfig {
+            pin_engine: Some(Engine::Gpu(GpuAlgorithm::CrPcr { m: 32 })),
+            ..cfg()
+        };
+        let (flush, tickets) = flush_of(64, 8, 44);
+        serve_flush(&launcher, &plans, &breakers, &metrics, &pinned, flush);
+        for ticket in tickets {
+            let resp = ticket.try_take().unwrap();
+            assert_eq!(resp.engine, "cpu-gep", "open breaker demotes to the safety net");
+            assert!(resp.residual < 1e-2, "{}", resp.residual);
+        }
+        assert!(breakers.denials_total() >= 1);
+        let d = metrics.snapshot(0, 0, 0).degradation;
+        assert_eq!(d.degraded_flushes, 1);
+        assert_eq!(d.device_faults, 0, "the engine was never launched");
+    }
+
+    #[test]
+    fn deadline_misses_are_flagged_and_counted() {
+        let launcher = Launcher::gtx280();
+        let plans = PlanCache::new();
+        let breakers = CircuitBreakers::default();
+        let metrics = ServiceMetrics::new();
+        let mut generator = Generator::new(45);
+        // A deadline already in the past: served anyway, flagged as missed.
+        let system: TridiagonalSystem<f32> = generator.system(Workload::DiagonallyDominant, 64);
+        let (req, ticket) = crate::request::make_request_with_deadline(
+            0,
+            system,
+            Some(Instant::now() - Duration::from_millis(1)),
+        );
+        let flush = FlushedBatch { n: 64, requests: vec![req], reason: FlushReason::Deadline };
+        serve_flush(&launcher, &plans, &breakers, &metrics, &cfg(), flush);
+        let resp = ticket.try_take().expect("missed deadlines still get answers");
+        assert!(resp.deadline_missed);
+        assert!(resp.residual < 1e-2, "{}", resp.residual);
+        let snap = metrics.snapshot(0, 0, 0);
+        assert_eq!(snap.degradation.deadline_misses, 1);
+        assert_eq!(snap.flushes_deadline, 1);
     }
 }

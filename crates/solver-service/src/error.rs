@@ -8,6 +8,7 @@
 //! off, exactly like an HTTP 429.
 
 use core::fmt;
+use std::time::Duration;
 use tridiag_core::TridiagError;
 
 /// Why the service refused (or failed) a request.
@@ -20,6 +21,17 @@ pub enum ServiceError {
     QueueFull {
         /// Configured queue capacity that was hit.
         capacity: usize,
+        /// Suggested back-off before retrying, derived from the service's
+        /// observed drain rate (`None` before any request has completed).
+        /// The analogue of HTTP 429's `Retry-After` header.
+        retry_after: Option<Duration>,
+    },
+    /// The request's deadline is already unmeetable at admission time
+    /// (zero, or shorter than the time a solve could possibly take).
+    /// Nothing was enqueued; retrying with the same deadline cannot help.
+    DeadlineExceeded {
+        /// The deadline budget the caller asked for.
+        deadline: Duration,
     },
     /// The service is shutting down and no longer admits work. In-flight
     /// requests are still drained and completed.
@@ -32,8 +44,19 @@ pub enum ServiceError {
 impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServiceError::QueueFull { capacity } => {
-                write!(f, "admission queue full (capacity {capacity}); retry later")
+            ServiceError::QueueFull { capacity, retry_after } => {
+                write!(f, "admission queue full (capacity {capacity}); retry ")?;
+                match retry_after {
+                    Some(hint) => write!(f, "in ~{} us", hint.as_micros()),
+                    None => f.write_str("later"),
+                }
+            }
+            ServiceError::DeadlineExceeded { deadline } => {
+                write!(
+                    f,
+                    "deadline of {} us is already unmeetable at admission",
+                    deadline.as_micros()
+                )
             }
             ServiceError::ShuttingDown => f.write_str("service is shutting down"),
             ServiceError::InvalidRequest(e) => write!(f, "invalid request: {e}"),
@@ -62,8 +85,16 @@ mod tests {
 
     #[test]
     fn display_names_the_failure_mode() {
-        let full = ServiceError::QueueFull { capacity: 8 }.to_string();
+        let full = ServiceError::QueueFull { capacity: 8, retry_after: None }.to_string();
         assert!(full.contains("capacity 8"), "{full}");
+        assert!(full.contains("retry later"), "{full}");
+        let hinted =
+            ServiceError::QueueFull { capacity: 8, retry_after: Some(Duration::from_micros(250)) }
+                .to_string();
+        assert!(hinted.contains("250 us"), "{hinted}");
+        let late =
+            ServiceError::DeadlineExceeded { deadline: Duration::from_micros(5) }.to_string();
+        assert!(late.contains("deadline") && late.contains("5 us"), "{late}");
         assert!(ServiceError::ShuttingDown.to_string().contains("shutting down"));
     }
 

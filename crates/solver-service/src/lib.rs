@@ -22,6 +22,15 @@
 //! 4. **Observability** ([`metrics`]): lock-cheap counters, a log2
 //!    latency histogram with p50/p95/p99, per-engine dispatch counts and
 //!    a batch-occupancy histogram, snapshot-able as JSON.
+//! 5. **Resilience** ([`breaker`], plus deadline/retry plumbing in
+//!    [`batcher`] and [`dispatch`]): per-request completion deadlines pull
+//!    bucket flushes forward; transient device faults retry with
+//!    exponential backoff and walk the autotune ranking to the next-best
+//!    engine; per-engine circuit breakers stop hammering a persistently
+//!    faulting engine and demote its traffic to the pivoted CPU safety
+//!    net until a half-open probe succeeds. Every answer is still
+//!    verified; every degradation is visible in
+//!    [`metrics::DegradationState`].
 //!
 //! ```
 //! use solver_service::{ServiceConfig, SolverService};
@@ -38,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod batcher;
+pub mod breaker;
 pub mod dispatch;
 pub mod error;
 pub mod metrics;
@@ -47,10 +57,11 @@ pub mod request;
 pub mod service;
 
 pub use batcher::{BucketTable, FlushReason, FlushedBatch};
+pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreakers};
 pub use dispatch::{serve_flush, DispatchConfig};
 pub use error::ServiceError;
-pub use metrics::{MetricsSnapshot, ServiceMetrics};
-pub use planner::{autotune, CpuEngine, Engine, Plan, PlanCache};
+pub use metrics::{DegradationState, MetricsSnapshot, ServiceMetrics};
+pub use planner::{autotune, autotune_ranked, CpuEngine, Engine, Plan, PlanCache};
 pub use queue::{BoundedQueue, Pop, PushError};
-pub use request::{make_request, SolveRequest, SolveResponse, Ticket};
+pub use request::{make_request, make_request_with_deadline, SolveRequest, SolveResponse, Ticket};
 pub use service::{ServiceConfig, SolverService};

@@ -36,8 +36,14 @@ pub struct ServiceMetrics {
     repaired: AtomicU64,
     flushes_full: AtomicU64,
     flushes_linger: AtomicU64,
+    flushes_deadline: AtomicU64,
     flushes_shutdown: AtomicU64,
     sanitized_flushes: AtomicU64,
+    retries: AtomicU64,
+    device_faults: AtomicU64,
+    corruptions_caught: AtomicU64,
+    degraded_flushes: AtomicU64,
+    deadline_misses: AtomicU64,
     sanitizer_errors: AtomicU64,
     sanitizer_warnings: AtomicU64,
     latency_us: [AtomicU64; LATENCY_BUCKETS],
@@ -66,8 +72,14 @@ impl ServiceMetrics {
             repaired: AtomicU64::new(0),
             flushes_full: AtomicU64::new(0),
             flushes_linger: AtomicU64::new(0),
+            flushes_deadline: AtomicU64::new(0),
             flushes_shutdown: AtomicU64::new(0),
             sanitized_flushes: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            device_faults: AtomicU64::new(0),
+            corruptions_caught: AtomicU64::new(0),
+            degraded_flushes: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
             sanitizer_errors: AtomicU64::new(0),
             sanitizer_warnings: AtomicU64::new(0),
             latency_us: core::array::from_fn(|_| AtomicU64::new(0)),
@@ -102,6 +114,7 @@ impl ServiceMetrics {
         match reason {
             FlushReason::Full => &self.flushes_full,
             FlushReason::Linger => &self.flushes_linger,
+            FlushReason::Deadline => &self.flushes_deadline,
             FlushReason::Shutdown => &self.flushes_shutdown,
         }
         .fetch_add(1, Ordering::Relaxed);
@@ -122,6 +135,32 @@ impl ServiceMetrics {
             .or_insert(0.0) += engine_ms;
     }
 
+    /// Degradation accounting for one served flush: `retries` engine
+    /// re-dispatches, `device_faults` launches aborted by the device,
+    /// `corruptions` memory corruptions caught by verification, and
+    /// whether the flush was ultimately `degraded` to an engine other
+    /// than the one the planner chose (CPU safety net or a lower-ranked
+    /// GPU candidate).
+    pub fn on_degradation(
+        &self,
+        retries: u64,
+        device_faults: u64,
+        corruptions: u64,
+        degraded: bool,
+    ) {
+        self.retries.fetch_add(retries, Ordering::Relaxed);
+        self.device_faults.fetch_add(device_faults, Ordering::Relaxed);
+        self.corruptions_caught.fetch_add(corruptions, Ordering::Relaxed);
+        if degraded {
+            self.degraded_flushes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One request whose response was delivered after its deadline.
+    pub fn on_deadline_miss(&self) {
+        self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// One flush ran under the kernel sanitizer (the first GPU flush of its
     /// plan-cache size class), finding `errors` error-severity and
     /// `warnings` warning-severity diagnostic sites.
@@ -139,6 +178,12 @@ impl ServiceMetrics {
         self.latency_us[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Requests completed so far (drain-rate input for the
+    /// `QueueFull::retry_after` hint).
+    pub fn completed_total(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
     /// Consistent-enough copy of everything, plus the caller-supplied
     /// instantaneous gauges.
     pub fn snapshot(&self, queue_depth: usize, plan_tunes: u64, plan_hits: u64) -> MetricsSnapshot {
@@ -150,8 +195,20 @@ impl ServiceMetrics {
             repaired: self.repaired.load(Ordering::Relaxed),
             flushes_full: self.flushes_full.load(Ordering::Relaxed),
             flushes_linger: self.flushes_linger.load(Ordering::Relaxed),
+            flushes_deadline: self.flushes_deadline.load(Ordering::Relaxed),
             flushes_shutdown: self.flushes_shutdown.load(Ordering::Relaxed),
             sanitized_flushes: self.sanitized_flushes.load(Ordering::Relaxed),
+            degradation: DegradationState {
+                retries: self.retries.load(Ordering::Relaxed),
+                device_faults: self.device_faults.load(Ordering::Relaxed),
+                corruptions_caught: self.corruptions_caught.load(Ordering::Relaxed),
+                degraded_flushes: self.degraded_flushes.load(Ordering::Relaxed),
+                deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+                breaker_opened: 0,
+                breaker_closed: 0,
+                breaker_denials: 0,
+                breaker_states: BTreeMap::new(),
+            },
             sanitizer_errors: self.sanitizer_errors.load(Ordering::Relaxed),
             sanitizer_warnings: self.sanitizer_warnings.load(Ordering::Relaxed),
             queue_depth,
@@ -185,6 +242,48 @@ fn percentile_us(buckets: &[u64], q: f64) -> u64 {
     1u64 << buckets.len()
 }
 
+/// Point-in-time view of the service's resilience machinery: how often it
+/// retried, degraded, or missed deadlines, and what the per-engine circuit
+/// breakers are doing. All-zero on a healthy, fault-free service — the
+/// contract the counter-neutrality tests pin down.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DegradationState {
+    /// Engine re-dispatches after a transient device fault.
+    pub retries: u64,
+    /// Launches aborted by an (injected or real) device fault.
+    pub device_faults: u64,
+    /// Memory corruptions caught by verification and repaired.
+    pub corruptions_caught: u64,
+    /// Flushes served on a different engine than planned (CPU safety net
+    /// or a lower-ranked GPU candidate).
+    pub degraded_flushes: u64,
+    /// Responses delivered after their caller-set deadline.
+    pub deadline_misses: u64,
+    /// Circuit breakers tripped Closed→Open.
+    pub breaker_opened: u64,
+    /// Circuit breakers recovered HalfOpen→Closed.
+    pub breaker_closed: u64,
+    /// Flushes denied an engine by an open breaker.
+    pub breaker_denials: u64,
+    /// Engine → breaker state label ("closed" / "open" / "half-open").
+    pub breaker_states: BTreeMap<String, String>,
+}
+
+impl DegradationState {
+    /// `true` when nothing degraded: the state a fault-free run must show.
+    pub fn is_quiet(&self) -> bool {
+        self.retries == 0
+            && self.device_faults == 0
+            && self.corruptions_caught == 0
+            && self.degraded_flushes == 0
+            && self.deadline_misses == 0
+            && self.breaker_opened == 0
+            && self.breaker_closed == 0
+            && self.breaker_denials == 0
+            && self.breaker_states.values().all(|s| s == "closed")
+    }
+}
+
 /// Point-in-time copy of the service's metrics — the service's
 /// machine-readable status report.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -201,8 +300,13 @@ pub struct MetricsSnapshot {
     pub flushes_full: u64,
     /// Batches flushed by the linger deadline.
     pub flushes_linger: u64,
+    /// Batches flushed early because a member's completion deadline would
+    /// not survive the remaining linger window.
+    pub flushes_deadline: u64,
     /// Batches flushed by shutdown drain.
     pub flushes_shutdown: u64,
+    /// Resilience counters and breaker states (all-zero when healthy).
+    pub degradation: DegradationState,
     /// Flushes that ran under the kernel sanitizer (first GPU flush of
     /// each plan-cache size class).
     pub sanitized_flushes: u64,
@@ -245,7 +349,7 @@ impl MetricsSnapshot {
 
     /// Total batches flushed, across all flush reasons.
     pub fn flushes_total(&self) -> u64 {
-        self.flushes_full + self.flushes_linger + self.flushes_shutdown
+        self.flushes_full + self.flushes_linger + self.flushes_deadline + self.flushes_shutdown
     }
 
     /// Serializes the snapshot as a JSON object (hand-rolled: the offline
@@ -253,13 +357,14 @@ impl MetricsSnapshot {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(512);
         s.push('{');
-        let scalars: [(&str, u64); 16] = [
+        let scalars: [(&str, u64); 17] = [
             ("submitted", self.submitted),
             ("completed", self.completed),
             ("rejected", self.rejected),
             ("repaired", self.repaired),
             ("flushes_full", self.flushes_full),
             ("flushes_linger", self.flushes_linger),
+            ("flushes_deadline", self.flushes_deadline),
             ("flushes_shutdown", self.flushes_shutdown),
             ("sanitized_flushes", self.sanitized_flushes),
             ("sanitizer_errors", self.sanitizer_errors),
@@ -274,6 +379,29 @@ impl MetricsSnapshot {
         for (key, value) in scalars {
             s.push_str(&format!("\"{key}\":{value},"));
         }
+        s.push_str("\"degradation\":{");
+        let d = &self.degradation;
+        let degradation_scalars: [(&str, u64); 8] = [
+            ("retries", d.retries),
+            ("device_faults", d.device_faults),
+            ("corruptions_caught", d.corruptions_caught),
+            ("degraded_flushes", d.degraded_flushes),
+            ("deadline_misses", d.deadline_misses),
+            ("breaker_opened", d.breaker_opened),
+            ("breaker_closed", d.breaker_closed),
+            ("breaker_denials", d.breaker_denials),
+        ];
+        for (key, value) in degradation_scalars {
+            s.push_str(&format!("\"{key}\":{value},"));
+        }
+        s.push_str("\"breaker_states\":{");
+        for (i, (engine, state)) in d.breaker_states.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{engine}\":\"{state}\""));
+        }
+        s.push_str("}},");
         s.push_str("\"occupancy_systems\":{");
         for (i, (size, systems)) in self.occupancy_systems.iter().enumerate() {
             if i > 0 {
@@ -358,6 +486,31 @@ mod tests {
         let snap = ServiceMetrics::new().snapshot(3, 0, 0);
         assert_eq!(snap.latency_p50_us, 0);
         assert_eq!(snap.queue_depth, 3);
+    }
+
+    #[test]
+    fn degradation_state_is_quiet_until_faults_happen() {
+        let m = ServiceMetrics::new();
+        assert!(m.snapshot(0, 0, 0).degradation.is_quiet(), "fresh metrics are quiet");
+        m.on_degradation(2, 3, 1, true);
+        m.on_degradation(0, 0, 0, false); // a clean flush adds nothing
+        m.on_deadline_miss();
+        m.on_batch_served("cr", 4, FlushReason::Deadline, 0, 0.1);
+        let snap = m.snapshot(0, 0, 0);
+        let d = &snap.degradation;
+        assert!(!d.is_quiet());
+        assert_eq!(d.retries, 2);
+        assert_eq!(d.device_faults, 3);
+        assert_eq!(d.corruptions_caught, 1);
+        assert_eq!(d.degraded_flushes, 1);
+        assert_eq!(d.deadline_misses, 1);
+        assert_eq!(snap.flushes_deadline, 1);
+        assert_eq!(snap.flushes_total(), 1);
+        let json = snap.to_json();
+        assert!(json.contains("\"degradation\":{\"retries\":2"), "{json}");
+        assert!(json.contains("\"flushes_deadline\":1"), "{json}");
+        assert!(json.contains("\"breaker_states\":{}"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -74,9 +74,12 @@ type PlanKey = (usize, usize, &'static str);
 ///
 /// Tuning is serialized per cache (a `Mutex` around the map): if two
 /// workers miss on the same key simultaneously, the second waits and then
-/// hits — each key is tuned at most once.
+/// hits — each key is tuned at most once. Alongside the winning [`Plan`]
+/// the cache keeps the full tournament **ranking** (every admissible
+/// engine, best score first) so the dispatcher's retry loop can exclude a
+/// faulting engine and fall to the next-best candidate without re-tuning.
 pub struct PlanCache {
-    plans: Mutex<HashMap<PlanKey, Plan>>,
+    plans: Mutex<HashMap<PlanKey, (Plan, Vec<Engine>)>>,
     /// Keys whose first GPU flush has (started) running under the kernel
     /// sanitizer — see [`PlanCache::begin_sanitize`].
     sanitized: Mutex<HashSet<PlanKey>>,
@@ -126,20 +129,40 @@ impl PlanCache {
     pub fn plan_for<T: Real>(&self, launcher: &Launcher, n: usize, probe_count: usize) -> Plan {
         let key: PlanKey = (n, T::BYTES, launcher.device.name);
         let mut plans = self.plans.lock().unwrap_or_else(|p| p.into_inner());
-        if let Some(plan) = plans.get(&key) {
+        if let Some((plan, _)) = plans.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return *plan;
         }
-        let plan = autotune::<T>(launcher, n, probe_count);
+        let (plan, ranking) = autotune_ranked::<T>(launcher, n, probe_count);
         self.tunes.fetch_add(1, Ordering::Relaxed);
-        plans.insert(key, plan);
+        plans.insert(key, (plan, ranking));
         plan
+    }
+
+    /// The full tournament ranking (best engine first) for size `n`,
+    /// tuning on first use exactly like [`PlanCache::plan_for`]. The
+    /// dispatcher walks this list when an engine keeps faulting.
+    pub fn ranking_for<T: Real>(
+        &self,
+        launcher: &Launcher,
+        n: usize,
+        probe_count: usize,
+    ) -> Vec<Engine> {
+        let key: PlanKey = (n, T::BYTES, launcher.device.name);
+        let mut plans = self.plans.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some((_, ranking)) = plans.get(&key) {
+            return ranking.clone();
+        }
+        let (plan, ranking) = autotune_ranked::<T>(launcher, n, probe_count);
+        self.tunes.fetch_add(1, Ordering::Relaxed);
+        plans.insert(key, (plan, ranking.clone()));
+        ranking
     }
 
     /// Read-only peek, never tunes. For tests and introspection.
     pub fn peek<T: Real>(&self, launcher: &Launcher, n: usize) -> Option<Plan> {
         let key: PlanKey = (n, T::BYTES, launcher.device.name);
-        self.plans.lock().unwrap_or_else(|p| p.into_inner()).get(&key).copied()
+        self.plans.lock().unwrap_or_else(|p| p.into_inner()).get(&key).map(|(p, _)| *p)
     }
 }
 
@@ -156,13 +179,27 @@ impl PlanCache {
 /// admission rule missed) or return non-finite solutions (RD overflow on
 /// dominant systems, Figure 18) are disqualified rather than crowned.
 pub fn autotune<T: Real>(launcher: &Launcher, n: usize, probe_count: usize) -> Plan {
+    autotune_ranked::<T>(launcher, n, probe_count).0
+}
+
+/// [`autotune`], but also returning the **full ranking**: every candidate
+/// that survived the tournament (no probe error, finite solutions), sorted
+/// by score ascending. The CPU Thomas baseline is always present, so the
+/// ranking is never empty and always ends in an engine that cannot
+/// device-fault — the dispatcher's retry ladder terminates.
+pub fn autotune_ranked<T: Real>(
+    launcher: &Launcher,
+    n: usize,
+    probe_count: usize,
+) -> (Plan, Vec<Engine>) {
     let probe_count = probe_count.max(1);
     if n < 2 || !n.is_power_of_two() {
         // No GPU kernel accepts this size; measure the CPU so the score is
         // still meaningful.
         let probe = cpu_probe::<T>(n, probe_count);
         let ms = probe.as_ref().map(|b| time_cpu_thomas(b)).unwrap_or(f64::INFINITY);
-        return Plan { engine: Engine::Cpu(CpuEngine::Thomas), predicted_ms: ms, probe_count };
+        let plan = Plan { engine: Engine::Cpu(CpuEngine::Thomas), predicted_ms: ms, probe_count };
+        return (plan, vec![plan.engine]);
     }
 
     let probe: SystemBatch<T> = Generator::new(0x5EED_CAFE)
@@ -176,25 +213,20 @@ pub fn autotune<T: Real>(launcher: &Launcher, n: usize, probe_count: usize) -> P
         .collect();
     candidates.push(GpuAlgorithm::CrGlobalOnly);
 
-    let mut best: Option<(Engine, f64)> = None;
+    let mut scored: Vec<(Engine, f64)> = Vec::with_capacity(candidates.len() + 1);
     for alg in candidates {
         let Ok(report) = solve_batch(launcher, alg, &probe) else { continue };
         if report.solutions.first_non_finite().is_some() {
             continue; // overflowed on the probe — unfit to serve
         }
-        let ms = report.timing.total_ms();
-        if best.is_none_or(|(_, b)| ms < b) {
-            best = Some((Engine::Gpu(alg), ms));
-        }
+        scored.push((Engine::Gpu(alg), report.timing.total_ms()));
     }
+    scored.push((Engine::Cpu(CpuEngine::Thomas), time_cpu_thomas(&probe)));
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(core::cmp::Ordering::Equal));
 
-    let cpu_ms = time_cpu_thomas(&probe);
-    if best.is_none_or(|(_, b)| cpu_ms < b) {
-        best = Some((Engine::Cpu(CpuEngine::Thomas), cpu_ms));
-    }
-
-    let (engine, predicted_ms) = best.expect("CPU baseline always produces a score");
-    Plan { engine, predicted_ms, probe_count }
+    let (engine, predicted_ms) = scored[0];
+    let ranking = scored.into_iter().map(|(e, _)| e).collect();
+    (Plan { engine, predicted_ms, probe_count }, ranking)
 }
 
 fn cpu_probe<T: Real>(n: usize, count: usize) -> Option<SystemBatch<T>> {
@@ -290,6 +322,35 @@ mod tests {
                 assert!(alg.fits_shared(n, 4, &launcher.device), "n={n} {alg}");
             }
         }
+    }
+
+    #[test]
+    fn ranking_is_sorted_always_contains_cpu_and_shares_the_tune() {
+        let launcher = Launcher::gtx280();
+        let cache = PlanCache::new();
+        let ranking = cache.ranking_for::<f32>(&launcher, 256, 4);
+        assert_eq!(cache.tunes(), 1);
+        assert!(!ranking.is_empty());
+        // The winner heads the list and matches the cached plan.
+        let plan = cache.plan_for::<f32>(&launcher, 256, 4);
+        assert_eq!(cache.tunes(), 1, "ranking and plan share one tournament");
+        assert_eq!(ranking[0], plan.engine);
+        // The ladder always terminates in an engine that cannot fault.
+        assert!(
+            ranking.contains(&Engine::Cpu(CpuEngine::Thomas)),
+            "CPU baseline must always be ranked: {ranking:?}"
+        );
+        // Several GPU candidates fit at n = 256, so retries have somewhere
+        // to go before the CPU.
+        assert!(ranking.iter().filter(|e| matches!(e, Engine::Gpu(_))).count() >= 2, "{ranking:?}");
+    }
+
+    #[test]
+    fn non_pow2_ranking_is_cpu_only() {
+        let launcher = Launcher::gtx280();
+        let (plan, ranking) = autotune_ranked::<f32>(&launcher, 100, 4);
+        assert_eq!(plan.engine, Engine::Cpu(CpuEngine::Thomas));
+        assert_eq!(ranking, vec![Engine::Cpu(CpuEngine::Thomas)]);
     }
 
     #[test]

@@ -21,6 +21,11 @@ pub struct SolveRequest<T: Real> {
     pub system: TridiagonalSystem<T>,
     /// When the request was admitted (start of the latency clock).
     pub submitted_at: Instant,
+    /// Absolute completion deadline, if the caller set one. The batcher
+    /// flushes a bucket early rather than linger past a member's deadline;
+    /// a missed deadline is *reported* (metrics + response flag), never
+    /// dropped — the answer is still delivered.
+    pub deadline: Option<Instant>,
     pub(crate) slot: Arc<OneShot<SolveResponse<T>>>,
 }
 
@@ -50,6 +55,10 @@ pub struct SolveResponse<T: Real> {
     pub batch_occupancy: usize,
     /// Queue + batch + solve latency, admission to completion.
     pub latency: Duration,
+    /// `true` when the request carried a deadline and the response was
+    /// delivered after it (the answer is still correct and verified —
+    /// deadline misses degrade latency, never correctness).
+    pub deadline_missed: bool,
 }
 
 /// Submitter-side handle for one in-flight request.
@@ -126,8 +135,20 @@ pub fn make_request<T: Real>(
     id: u64,
     system: TridiagonalSystem<T>,
 ) -> (SolveRequest<T>, Ticket<T>) {
+    make_request_with_deadline(id, system, None)
+}
+
+/// [`make_request`] with an absolute completion deadline. The deadline is
+/// advisory: the batcher flushes early to try to meet it, and the response
+/// reports whether it was met — the request is never dropped.
+pub fn make_request_with_deadline<T: Real>(
+    id: u64,
+    system: TridiagonalSystem<T>,
+    deadline: Option<Instant>,
+) -> (SolveRequest<T>, Ticket<T>) {
     let slot = Arc::new(OneShot::new());
-    let request = SolveRequest { id, system, submitted_at: Instant::now(), slot: slot.clone() };
+    let request =
+        SolveRequest { id, system, submitted_at: Instant::now(), deadline, slot: slot.clone() };
     (request, Ticket { id, slot })
 }
 
@@ -149,6 +170,7 @@ mod tests {
             repaired: false,
             batch_occupancy: 1,
             latency: Duration::from_micros(10),
+            deadline_missed: false,
         }
     }
 
@@ -159,6 +181,15 @@ mod tests {
         assert!(ticket.try_take().is_none());
         req.fulfil(response(7));
         assert_eq!(ticket.wait().id, 7);
+    }
+
+    #[test]
+    fn deadline_rides_the_request() {
+        let (req, _ticket) = make_request(0, sys());
+        assert!(req.deadline.is_none(), "plain requests carry no deadline");
+        let deadline = Instant::now() + Duration::from_millis(3);
+        let (req, _ticket) = make_request_with_deadline(1, sys(), Some(deadline));
+        assert_eq!(req.deadline, Some(deadline));
     }
 
     #[test]

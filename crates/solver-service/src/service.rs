@@ -24,12 +24,13 @@
 //! always answered.
 
 use crate::batcher::BucketTable;
+use crate::breaker::{BreakerConfig, CircuitBreakers};
 use crate::dispatch::{serve_flush, DispatchConfig};
 use crate::error::ServiceError;
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::planner::PlanCache;
 use crate::queue::{BoundedQueue, Pop, PushError};
-use crate::request::{make_request, SolveRequest, SolveResponse, Ticket};
+use crate::request::{make_request_with_deadline, SolveRequest, SolveResponse, Ticket};
 use gpu_sim::Launcher;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -65,6 +66,23 @@ pub struct ServiceConfig {
     /// kernel sanitizer recording; findings land in the metrics and an
     /// error-severity finding demotes that flush to the CPU safety net.
     pub sanitize_first_flush: bool,
+    /// How much earlier than a member's completion deadline its bucket
+    /// flushes (headroom for dispatch + solve).
+    pub deadline_slack: Duration,
+    /// Per-engine circuit breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Attempts per engine before the retry ladder excludes it.
+    pub max_attempts_per_engine: usize,
+    /// Total engine attempts per flush before CPU GEP demotion.
+    pub max_total_attempts: usize,
+    /// First retry backoff (doubles per attempt, deterministic jitter).
+    pub backoff_base: Duration,
+    /// Retry backoff ceiling.
+    pub backoff_max: Duration,
+    /// When `true`, [`SolverService::submit_wait`] honors a
+    /// `QueueFull::retry_after` hint with one bounded client-side retry
+    /// before surfacing the rejection.
+    pub client_retry: bool,
     /// The simulated device the GPU engines run on.
     pub launcher: Launcher,
 }
@@ -81,6 +99,13 @@ impl Default for ServiceConfig {
             probe_count: 16,
             pin_engine: None,
             sanitize_first_flush: true,
+            deadline_slack: Duration::from_micros(500),
+            breaker: BreakerConfig::default(),
+            max_attempts_per_engine: 2,
+            max_total_attempts: 4,
+            backoff_base: Duration::from_micros(50),
+            backoff_max: Duration::from_millis(2),
+            client_retry: true,
             launcher: Launcher::gtx280(),
         }
     }
@@ -90,8 +115,10 @@ struct Shared<T: Real> {
     queue: BoundedQueue<SolveRequest<T>>,
     metrics: ServiceMetrics,
     plans: PlanCache,
+    breakers: CircuitBreakers,
     launcher: Launcher,
     dispatch_cfg: DispatchConfig,
+    started_at: Instant,
 }
 
 /// A running dynamic-batching solve service. Create with
@@ -102,6 +129,7 @@ pub struct SolverService<T: Real> {
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
+    client_retry: bool,
 }
 
 impl<T: Real> SolverService<T> {
@@ -112,6 +140,7 @@ impl<T: Real> SolverService<T> {
             queue: BoundedQueue::new(config.queue_capacity),
             metrics: ServiceMetrics::new(),
             plans: PlanCache::new(),
+            breakers: CircuitBreakers::new(config.breaker),
             launcher: config.launcher.clone(),
             dispatch_cfg: DispatchConfig {
                 min_gpu_batch: config.min_gpu_batch,
@@ -119,7 +148,12 @@ impl<T: Real> SolverService<T> {
                 probe_count: config.probe_count,
                 pin_engine: config.pin_engine,
                 sanitize_first_flush: config.sanitize_first_flush,
+                max_attempts_per_engine: config.max_attempts_per_engine,
+                max_total_attempts: config.max_total_attempts,
+                backoff_base: config.backoff_base,
+                backoff_max: config.backoff_max,
             },
+            started_at: Instant::now(),
         });
 
         let (tx, rx) = mpsc::channel::<crate::batcher::FlushedBatch<T>>();
@@ -129,9 +163,10 @@ impl<T: Real> SolverService<T> {
             let shared = shared.clone();
             let target = config.target_batch;
             let linger = config.max_linger;
+            let slack = config.deadline_slack;
             std::thread::Builder::new()
                 .name("solver-service-batcher".into())
-                .spawn(move || batcher_loop(shared, tx, target, linger))
+                .spawn(move || batcher_loop(shared, tx, target, linger, slack))
                 .expect("spawn batcher")
         };
 
@@ -146,19 +181,63 @@ impl<T: Real> SolverService<T> {
             })
             .collect();
 
-        Self { shared, batcher: Some(batcher), workers, next_id: AtomicU64::new(0) }
+        Self {
+            shared,
+            batcher: Some(batcher),
+            workers,
+            next_id: AtomicU64::new(0),
+            client_retry: config.client_retry,
+        }
+    }
+
+    /// Suggested back-off before retrying a rejected submission, derived
+    /// from the observed drain rate (completions per unit uptime). `None`
+    /// until the first completion — there is no rate to derive from.
+    fn retry_after_hint(&self) -> Option<Duration> {
+        let completed = self.shared.metrics.completed_total();
+        if completed == 0 {
+            return None;
+        }
+        let per_request = self.shared.started_at.elapsed().div_f64(completed as f64);
+        // One queue slot frees after ~one request drains; clamp to sane
+        // bounds so a cold service cannot suggest minutes.
+        Some(per_request.clamp(Duration::from_micros(20), Duration::from_millis(50)))
     }
 
     /// Submits one system; returns a [`Ticket`] to wait on, or a typed
     /// rejection ([`ServiceError::QueueFull`] under backpressure,
     /// [`ServiceError::ShuttingDown`] after shutdown began).
     pub fn submit(&self, system: TridiagonalSystem<T>) -> Result<Ticket<T>, ServiceError> {
+        self.submit_with_deadline(system, None)
+    }
+
+    /// [`SolverService::submit`] with an absolute completion deadline.
+    ///
+    /// A deadline already in the past (or sub-slack close) is rejected at
+    /// admission with [`ServiceError::DeadlineExceeded`] — retrying the
+    /// same deadline cannot help. An admitted deadline is *advisory*: the
+    /// batcher flushes the request's bucket early to try to meet it, and
+    /// [`SolveResponse::deadline_missed`] reports the verdict. Admitted
+    /// requests are never dropped.
+    pub fn submit_with_deadline(
+        &self,
+        system: TridiagonalSystem<T>,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket<T>, ServiceError> {
         let n = system.n();
         if n < 2 {
             return Err(ServiceError::InvalidRequest(TridiagError::SizeTooSmall { n, min: 2 }));
         }
+        if let Some(d) = deadline {
+            let now = Instant::now();
+            if d <= now {
+                return Err(ServiceError::DeadlineExceeded {
+                    deadline: d.saturating_duration_since(now),
+                });
+            }
+        }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let (request, ticket) = make_request(id, system);
+        let (request, ticket) = make_request_with_deadline(id, system, deadline);
         match self.shared.queue.push(request) {
             Ok(()) => {
                 self.shared.metrics.on_submit();
@@ -166,7 +245,10 @@ impl<T: Real> SolverService<T> {
             }
             Err(PushError::Full) => {
                 self.shared.metrics.on_reject();
-                Err(ServiceError::QueueFull { capacity: self.shared.queue.capacity() })
+                Err(ServiceError::QueueFull {
+                    capacity: self.shared.queue.capacity(),
+                    retry_after: self.retry_after_hint(),
+                })
             }
             Err(PushError::Closed) => {
                 self.shared.metrics.on_reject();
@@ -175,23 +257,38 @@ impl<T: Real> SolverService<T> {
         }
     }
 
-    /// Convenience: submit and block for the answer (retrying is the
-    /// caller's job — a `QueueFull` here is returned as-is).
+    /// Convenience: submit and block for the answer. When the queue is
+    /// full and carries a `retry_after` hint (and
+    /// [`ServiceConfig::client_retry`] is on), backs off once for the
+    /// hinted duration and retries before surfacing the rejection —
+    /// exactly one bounded retry, never a loop.
     pub fn submit_wait(
         &self,
         system: TridiagonalSystem<T>,
     ) -> Result<SolveResponse<T>, ServiceError> {
-        Ok(self.submit(system)?.wait())
+        match self.submit(system.clone()) {
+            Ok(ticket) => Ok(ticket.wait()),
+            Err(ServiceError::QueueFull { retry_after: Some(hint), .. }) if self.client_retry => {
+                std::thread::sleep(hint);
+                Ok(self.submit(system)?.wait())
+            }
+            Err(e) => Err(e),
+        }
     }
 
-    /// Current metrics snapshot (queue depth and plan-cache stats are read
-    /// at call time).
+    /// Current metrics snapshot (queue depth, plan-cache stats, and
+    /// breaker states are read at call time).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot(
+        let mut snap = self.shared.metrics.snapshot(
             self.shared.queue.len(),
             self.shared.plans.tunes(),
             self.shared.plans.hits(),
-        )
+        );
+        snap.degradation.breaker_opened = self.shared.breakers.opened_total();
+        snap.degradation.breaker_closed = self.shared.breakers.closed_total();
+        snap.degradation.breaker_denials = self.shared.breakers.denials_total();
+        snap.degradation.breaker_states = self.shared.breakers.states();
+        snap
     }
 
     /// Drains and stops the service: closes admission, serves everything
@@ -224,8 +321,9 @@ fn batcher_loop<T: Real>(
     tx: mpsc::Sender<crate::batcher::FlushedBatch<T>>,
     target_batch: usize,
     max_linger: Duration,
+    deadline_slack: Duration,
 ) {
-    let mut table = BucketTable::new(target_batch, max_linger);
+    let mut table = BucketTable::new(target_batch, max_linger).with_deadline_slack(deadline_slack);
     loop {
         let deadline = table.next_deadline();
         match shared.queue.pop_until(deadline) {
@@ -272,6 +370,7 @@ fn worker_loop<T: Real>(
             Ok(flush) => serve_flush(
                 &shared.launcher,
                 &shared.plans,
+                &shared.breakers,
                 &shared.metrics,
                 &shared.dispatch_cfg,
                 flush,
@@ -386,8 +485,12 @@ mod tests {
             attempts += 1;
             match service.submit(generator.system(Workload::DiagonallyDominant, 32)) {
                 Ok(_) => {}
-                Err(ServiceError::QueueFull { capacity }) => {
+                Err(ServiceError::QueueFull { capacity, retry_after }) => {
                     assert_eq!(capacity, 1);
+                    if let Some(hint) = retry_after {
+                        assert!(hint >= Duration::from_micros(20));
+                        assert!(hint <= Duration::from_millis(50));
+                    }
                     rejections += 1;
                 }
                 Err(e) => panic!("unexpected error: {e}"),
@@ -398,5 +501,64 @@ mod tests {
         assert_eq!(snap.rejected, rejections);
         assert_eq!(snap.submitted + snap.rejected, attempts);
         assert_eq!(snap.completed, snap.submitted);
+    }
+
+    #[test]
+    fn past_deadlines_are_rejected_at_admission() {
+        let service: SolverService<f32> = SolverService::start(quick_config());
+        let system = Generator::new(6).system(Workload::DiagonallyDominant, 32);
+        let past = Instant::now() - Duration::from_millis(1);
+        match service.submit_with_deadline(system, Some(past)) {
+            Err(ServiceError::DeadlineExceeded { deadline }) => {
+                assert_eq!(deadline, Duration::ZERO, "past deadlines have zero budget left");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.submitted, 0, "rejected requests are never admitted");
+    }
+
+    #[test]
+    fn deadline_forces_an_early_flush_long_before_linger() {
+        // Linger is 60 s: without deadline-aware flushing this request
+        // would be answered only at shutdown. Its 20 ms deadline must pull
+        // the flush forward.
+        let config = ServiceConfig {
+            max_linger: Duration::from_secs(60),
+            target_batch: 1000,
+            ..quick_config()
+        };
+        let service: SolverService<f32> = SolverService::start(config);
+        let system = Generator::new(7).system(Workload::DiagonallyDominant, 32);
+        let deadline = Instant::now() + Duration::from_millis(20);
+        let started = Instant::now();
+        let ticket = service.submit_with_deadline(system, Some(deadline)).unwrap();
+        let resp = ticket.wait();
+        let waited = started.elapsed();
+        assert!(
+            waited < Duration::from_secs(10),
+            "deadline must beat the 60 s linger, waited {waited:?}"
+        );
+        assert!(resp.residual < 1e-2, "{}", resp.residual);
+        let snap = service.shutdown();
+        assert_eq!(snap.flushes_deadline, 1, "the deadline triggered the flush");
+        assert_eq!(snap.completed, 1);
+    }
+
+    #[test]
+    fn healthy_service_reports_a_quiet_degradation_state() {
+        let service: SolverService<f32> = SolverService::start(quick_config());
+        let mut generator = Generator::new(8);
+        for _ in 0..8 {
+            let resp =
+                service.submit_wait(generator.system(Workload::DiagonallyDominant, 64)).unwrap();
+            assert!(!resp.deadline_missed, "no deadline was set");
+        }
+        let snap = service.shutdown();
+        assert!(
+            snap.degradation.is_quiet(),
+            "fault-free run must not degrade: {:?}",
+            snap.degradation
+        );
     }
 }

@@ -13,7 +13,8 @@
 use gpu_sim::Launcher;
 use proptest::prelude::*;
 use solver_service::{
-    serve_flush, BucketTable, DispatchConfig, FlushReason, FlushedBatch, PlanCache, ServiceMetrics,
+    serve_flush, BucketTable, CircuitBreakers, DispatchConfig, FlushReason, FlushedBatch,
+    PlanCache, ServiceMetrics,
 };
 use std::time::{Duration, Instant};
 use tridiag_core::residual::max_abs_diff;
@@ -39,13 +40,7 @@ fn dominant_flush() -> impl Strategy<Value = Vec<TridiagonalSystem<f32>>> {
 }
 
 fn dispatch_cfg() -> DispatchConfig {
-    DispatchConfig {
-        min_gpu_batch: 4,
-        threshold_scale: 100.0,
-        probe_count: 4,
-        pin_engine: None,
-        sanitize_first_flush: true,
-    }
+    DispatchConfig { min_gpu_batch: 4, probe_count: 4, ..DispatchConfig::default() }
 }
 
 /// Serves `systems` through the full plan→dispatch→verify pipeline and
@@ -64,7 +59,7 @@ fn serve(
         tickets.push(ticket);
     }
     let flush = FlushedBatch { n: systems[0].n(), requests, reason: FlushReason::Full };
-    serve_flush(&launcher, plans, &metrics, &dispatch_cfg(), flush);
+    serve_flush(&launcher, plans, &CircuitBreakers::default(), &metrics, &dispatch_cfg(), flush);
     tickets.into_iter().map(|t| t.try_take().expect("synchronous serve")).collect()
 }
 

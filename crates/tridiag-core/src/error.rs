@@ -63,6 +63,27 @@ pub enum TridiagError {
         /// Description of the offending setting.
         what: &'static str,
     },
+    /// A transient device fault aborted the launch (injected by the
+    /// simulator's fault plan, or — on real hardware — an ECC/launch
+    /// failure). Retrying the same launch may succeed.
+    DeviceFault {
+        /// Zero-based index of the faulted launch on its device.
+        launch: u64,
+    },
+    /// The device is lost: every subsequent launch on it will fail.
+    /// Retrying on the *same* device cannot help; callers must fail over
+    /// (another device or the CPU safety net).
+    DeviceLost,
+}
+
+impl TridiagError {
+    /// `true` for errors that describe *device adversity* (transient fault
+    /// or lost device) rather than a misconfigured or malformed launch.
+    /// Dispatchers use this to route to retry/failover instead of
+    /// treating the launch configuration as invalid.
+    pub fn is_device_fault(&self) -> bool {
+        matches!(self, TridiagError::DeviceFault { .. } | TridiagError::DeviceLost)
+    }
 }
 
 impl fmt::Display for TridiagError {
@@ -101,6 +122,12 @@ impl fmt::Display for TridiagError {
                 )
             }
             TridiagError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            TridiagError::DeviceFault { launch } => {
+                write!(f, "transient device fault aborted launch {launch} (retry may succeed)")
+            }
+            TridiagError::DeviceLost => {
+                f.write_str("device lost: all further launches on this device will fail")
+            }
         }
     }
 }
@@ -148,9 +175,20 @@ mod tests {
             TridiagError::SharedMemExceeded { required_bytes: 20480, available_bytes: 16384 }
                 .to_string(),
             TridiagError::InvalidIntermediateSize { n: 8, m: 16 }.to_string(),
+            TridiagError::DeviceFault { launch: 3 }.to_string(),
+            TridiagError::DeviceLost.to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());
         }
+    }
+
+    #[test]
+    fn device_adversity_is_distinguished_from_config_errors() {
+        assert!(TridiagError::DeviceFault { launch: 0 }.is_device_fault());
+        assert!(TridiagError::DeviceLost.is_device_fault());
+        assert!(!TridiagError::NotPowerOfTwo { n: 3 }.is_device_fault());
+        assert!(!TridiagError::InvalidConfig { what: "x" }.is_device_fault());
+        assert!(!TridiagError::ZeroPivot { row: 1 }.is_device_fault());
     }
 }

@@ -1,0 +1,335 @@
+//! Chaos tests: the serving layer on a fault-injected device.
+//!
+//! The contract under test — the whole point of the resilience layer — is
+//! that injected device misbehaviour (transient launch failures, memory
+//! bit-flips) costs *latency and engine choice*, never *correctness or
+//! completeness*:
+//!
+//! * a 1000-request open-loop stream at 5% launch faults + 1% bit flips
+//!   loses no ticket and returns no wrong answer;
+//! * a burst of launch faults trips the per-engine circuit breaker
+//!   Closed→Open, and a clean half-open probe closes it again — the full
+//!   round trip, observable in the metrics;
+//! * injected bit-flips are *always* caught by residual verification and
+//!   repaired by the GEP safety net (property-tested over random seeds);
+//! * the fault schedule is a pure function of the seed: two identical runs
+//!   produce identical answers, identical injected-fault statistics, and
+//!   identical service counters;
+//! * a quiet fault plan (all rates zero) is counter-neutral: byte-identical
+//!   solutions and identical counters to running with no plan at all.
+
+use gpu_sim::{FaultConfig, FaultPlan, Launcher};
+use gpu_solvers::GpuAlgorithm;
+use proptest::prelude::*;
+use solver_service::{
+    make_request, serve_flush, CircuitBreakers, DispatchConfig, Engine, FlushReason, FlushedBatch,
+    MetricsSnapshot, PlanCache, ServiceConfig, ServiceError, ServiceMetrics, SolverService, Ticket,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+use tridiag_core::residual::l2_residual;
+use tridiag_core::{Generator, TridiagonalSystem, Workload};
+
+/// The acceptance bound the service property tests hold f32 responses to.
+const RESIDUAL_BOUND: f64 = 1e-2;
+
+fn faulty_launcher(cfg: FaultConfig) -> (Launcher, Arc<FaultPlan>) {
+    let plan = Arc::new(FaultPlan::new(cfg));
+    (Launcher::gtx280().with_fault_plan(Arc::clone(&plan)), plan)
+}
+
+/// Open-loop submit with backpressure retries honoring the drain hint.
+fn submit_retrying<T: tridiag_core::Real>(
+    service: &SolverService<T>,
+    system: &TridiagonalSystem<T>,
+) -> Ticket<T> {
+    loop {
+        match service.submit(system.clone()) {
+            Ok(ticket) => return ticket,
+            Err(ServiceError::QueueFull { retry_after: Some(hint), .. }) => {
+                std::thread::sleep(hint)
+            }
+            Err(ServiceError::QueueFull { .. }) => std::thread::yield_now(),
+            Err(e) => panic!("service refused a valid request: {e}"),
+        }
+    }
+}
+
+/// The ISSUE's headline chaos scenario: 1000 mixed-size requests at 5%
+/// transient launch faults + 1% bit flips. Zero lost tickets, zero wrong
+/// answers, and every caught corruption accounted for in the metrics.
+#[test]
+fn chaos_stream_no_lost_tickets_no_wrong_answers() {
+    const TOTAL: usize = 1000;
+    const SIZES: [usize; 3] = [64, 128, 256];
+
+    let (launcher, plan) = faulty_launcher(FaultConfig::chaos(0xCA05_2026, 0.05, 0.01));
+    let config = ServiceConfig {
+        // Small batches multiply kernel launches, and a pinned GPU engine
+        // keeps every flush on the device — otherwise the autotuner routes
+        // these small batches to the CPU and the 5%/1% rates have almost
+        // no launches to bite (the planner is its own fault-avoidance
+        // layer; here we want maximum fault exposure).
+        target_batch: 8,
+        min_gpu_batch: 1,
+        max_linger: Duration::from_millis(1),
+        launcher,
+        pin_engine: Some(Engine::Gpu(GpuAlgorithm::CrPcr { m: 32 })),
+        ..ServiceConfig::default()
+    };
+    let service: SolverService<f32> = SolverService::start(config);
+    let mut generator = Generator::new(0xCA05_2026);
+
+    let mut tickets: Vec<Ticket<f32>> = Vec::with_capacity(TOTAL);
+    let mut systems: BTreeMap<u64, TridiagonalSystem<f32>> = BTreeMap::new();
+    for i in 0..TOTAL {
+        let n = SIZES[i % SIZES.len()];
+        let system = generator.system(Workload::DiagonallyDominant, n);
+        let ticket = submit_retrying(&service, &system);
+        assert!(systems.insert(ticket.id(), system).is_none(), "duplicate ticket id");
+        tickets.push(ticket);
+    }
+
+    // Every ticket resolves; every answer re-verifies independently.
+    let mut seen = 0usize;
+    for ticket in tickets {
+        let id = ticket.id();
+        let response = ticket.wait();
+        assert_eq!(response.id, id, "response delivered to the wrong ticket");
+        let system = systems.remove(&id).expect("response for unknown id");
+        let recomputed = l2_residual(&system, &response.x).expect("finite solution");
+        assert!(
+            recomputed < RESIDUAL_BOUND,
+            "wrong answer escaped the service: id={id} n={} engine={} residual={recomputed}",
+            system.n(),
+            response.engine
+        );
+        seen += 1;
+    }
+    assert_eq!(seen, TOTAL, "lost tickets");
+    assert!(systems.is_empty());
+
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.completed, TOTAL as u64);
+
+    // The device really did misbehave, and the books say so: dispatch saw
+    // at most the injected faults (autotune probes absorb the rest), and
+    // every flip that landed on served output was caught and repaired.
+    let stats = plan.stats();
+    assert!(
+        stats.launch_failures + stats.bit_flips > 0,
+        "chaos rates injected nothing over {TOTAL} requests: {stats:?}"
+    );
+    let deg = &snapshot.degradation;
+    assert!(
+        deg.device_faults <= stats.launch_failures,
+        "dispatch counted more faults ({}) than were injected ({})",
+        deg.device_faults,
+        stats.launch_failures
+    );
+    assert!(
+        deg.corruptions_caught <= stats.bit_flips + stats.nan_poisons,
+        "caught more corruptions ({}) than were injected",
+        deg.corruptions_caught
+    );
+    assert!(snapshot.repaired >= deg.corruptions_caught.min(1), "corruption caught but no repair");
+}
+
+/// Burst faults trip the breaker Closed→Open; once the burst passes, a
+/// half-open probe closes it again. The full round trip is visible in the
+/// degradation gauges, and no answer is lost or wrong along the way.
+#[test]
+fn breaker_round_trips_open_and_closed_under_a_fault_burst() {
+    // Find a seed whose very first fault event lands within the first few
+    // launches — `FaultPlan::schedule` is the deterministic oracle, so the
+    // test never depends on luck.
+    let cfg_for = |seed: u64| FaultConfig {
+        seed,
+        launch_failure_rate: 0.02,
+        launch_fault_burst: 6,
+        ..FaultConfig::default()
+    };
+    let seed = (0..5000u64)
+        .find(|&s| {
+            let schedule = FaultPlan::schedule(&cfg_for(s), 40);
+            // A burst starting in the first handful of launches, and a
+            // clean tail long enough for the recovery probe.
+            schedule[..4].iter().any(|d| d.fail.is_some())
+                && schedule[12..].iter().all(|d| d.fail.is_none())
+        })
+        .expect("no seed with an early burst in 5000 tries");
+
+    let (launcher, plan) = faulty_launcher(cfg_for(seed));
+    let service: SolverService<f32> = SolverService::start(ServiceConfig {
+        target_batch: 4,
+        min_gpu_batch: 1,
+        max_linger: Duration::from_micros(200),
+        launcher,
+        // Pin one engine so every fault lands on a single breaker, and
+        // allow enough same-engine attempts that one burst can cross the
+        // breaker's failure threshold quickly.
+        pin_engine: Some(Engine::Gpu(GpuAlgorithm::CrPcr { m: 32 })),
+        max_attempts_per_engine: 4,
+        max_total_attempts: 4,
+        ..ServiceConfig::default()
+    });
+
+    let mut generator = Generator::new(42);
+    // Trickle requests so traffic spans several breaker cooldown windows:
+    // the burst opens the breaker early, later flushes fund the half-open
+    // probes that eventually succeed and close it.
+    for wave in 0..12 {
+        let tickets: Vec<Ticket<f32>> = (0..8)
+            .map(|_| {
+                let system = generator.system(Workload::DiagonallyDominant, 64);
+                submit_retrying(&service, &system)
+            })
+            .collect();
+        for ticket in tickets {
+            let response = ticket.wait();
+            assert!(response.residual < RESIDUAL_BOUND, "wave {wave}: {}", response.residual);
+        }
+        std::thread::sleep(Duration::from_millis(4));
+    }
+
+    let snapshot = service.shutdown();
+    let deg = &snapshot.degradation;
+    assert!(plan.stats().launch_failures >= 3, "burst never fired: {:?}", plan.stats());
+    assert!(deg.breaker_opened >= 1, "breaker never opened: {deg:?}");
+    assert!(deg.breaker_closed >= 1, "breaker never recovered: {deg:?}");
+    // (Open-breaker flush demotion is pinned deterministically by the
+    // dispatch unit tests; here concurrent workers may absorb the whole
+    // burst with same-engine retries, so we don't assert it.)
+    assert_eq!(snapshot.completed, 96);
+    // After recovery every breaker rests closed.
+    assert!(deg.breaker_states.values().all(|s| s == "closed"), "{:?}", deg.breaker_states);
+}
+
+/// Serves one batch of `count` systems of size `n` through the synchronous
+/// pipeline and returns (solutions, snapshot) — deterministic by design.
+fn serve_once(
+    launcher: &Launcher,
+    seed: u64,
+    n: usize,
+    count: usize,
+) -> (Vec<Vec<f32>>, MetricsSnapshot) {
+    let plans = PlanCache::new();
+    let metrics = ServiceMetrics::new();
+    let breakers = CircuitBreakers::default();
+    let cfg = DispatchConfig {
+        min_gpu_batch: 1,
+        pin_engine: Some(Engine::Gpu(GpuAlgorithm::CrPcr { m: 16 })),
+        sanitize_first_flush: false,
+        ..DispatchConfig::default()
+    };
+    let mut generator = Generator::new(seed);
+    let mut requests = Vec::new();
+    let mut tickets = Vec::new();
+    for i in 0..count {
+        let (req, ticket) =
+            make_request(i as u64, generator.system(Workload::DiagonallyDominant, n));
+        requests.push(req);
+        tickets.push(ticket);
+    }
+    serve_flush(
+        launcher,
+        &plans,
+        &breakers,
+        &metrics,
+        &cfg,
+        FlushedBatch { n, requests, reason: FlushReason::Full },
+    );
+    let solutions = tickets
+        .into_iter()
+        .map(|t| {
+            let response = t.try_take().expect("synchronous serve");
+            assert!(response.residual < RESIDUAL_BOUND, "residual {}", response.residual);
+            response.x
+        })
+        .collect();
+    (solutions, metrics.snapshot(0, plans.tunes(), plans.hits()))
+}
+
+/// Same fault seed ⇒ identical schedule, identical answers, identical
+/// counters. The whole fault layer is replayable.
+#[test]
+fn same_fault_seed_replays_identically() {
+    let cfg = FaultConfig::chaos(77, 0.3, 0.3);
+    assert_eq!(FaultPlan::schedule(&cfg, 64), FaultPlan::schedule(&cfg, 64));
+
+    let run = || {
+        let (launcher, plan) = faulty_launcher(cfg);
+        let (solutions, snapshot) = serve_once(&launcher, 9, 64, 6);
+        (solutions, snapshot, plan.stats())
+    };
+    let (x1, snap1, stats1) = run();
+    let (x2, snap2, stats2) = run();
+
+    assert_eq!(stats1, stats2, "injected-fault statistics diverged");
+    assert!(stats1.launch_failures + stats1.bit_flips > 0, "nothing injected: {stats1:?}");
+    assert_eq!(x1, x2, "answers diverged across identical runs");
+    let d1 = &snap1.degradation;
+    let d2 = &snap2.degradation;
+    assert_eq!(
+        (d1.retries, d1.device_faults, d1.corruptions_caught, d1.degraded_flushes),
+        (d2.retries, d2.device_faults, d2.corruptions_caught, d2.degraded_flushes),
+        "degradation counters diverged"
+    );
+    assert_eq!(snap1.repaired, snap2.repaired);
+    assert_eq!(snap1.dispatch_systems, snap2.dispatch_systems);
+}
+
+/// A quiet plan (every rate zero) must be indistinguishable from no plan:
+/// byte-identical solutions, identical counters, quiet degradation state.
+#[test]
+fn quiet_fault_plan_is_counter_neutral() {
+    let bare = Launcher::gtx280();
+    let (quiet, plan) = faulty_launcher(FaultConfig::quiet(123));
+
+    let (x_bare, snap_bare) = serve_once(&bare, 5, 128, 5);
+    let (x_quiet, snap_quiet) = serve_once(&quiet, 5, 128, 5);
+
+    assert_eq!(x_bare, x_quiet, "a quiet plan changed the answers");
+    let stats = plan.stats();
+    assert_eq!(stats.launch_failures + stats.bit_flips + stats.nan_poisons + stats.stalls, 0);
+    assert!(snap_bare.degradation.is_quiet() && snap_quiet.degradation.is_quiet());
+    assert_eq!(snap_bare.repaired, snap_quiet.repaired);
+    assert_eq!(snap_bare.dispatch_systems, snap_quiet.dispatch_systems);
+    assert_eq!(snap_bare.engine_ms, snap_quiet.engine_ms, "simulated device time diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Injected bit-flips are *always* caught by residual verification and
+    /// repaired — whatever the seed, size, or batch shape. (`serve_once`
+    /// asserts every response's residual internally.)
+    #[test]
+    fn bit_flips_are_always_caught_and_repaired(
+        seed in 0u64..1_000_000,
+        n in prop::sample::select(vec![32usize, 64, 128]),
+        count in 2usize..8,
+    ) {
+        let (launcher, plan) = faulty_launcher(FaultConfig {
+            seed,
+            bit_flip_rate: 1.0,
+            flips_per_event: 1,
+            ..FaultConfig::default()
+        });
+        let (solutions, snapshot) = serve_once(&launcher, seed ^ 1, n, count);
+        prop_assert_eq!(solutions.len(), count);
+        let stats = plan.stats();
+        prop_assert!(stats.bit_flips >= 1, "rate 1.0 but no flip injected");
+        let deg = &snapshot.degradation;
+        prop_assert!(
+            deg.corruptions_caught >= 1,
+            "flip injected but never caught: {:?}",
+            stats
+        );
+        prop_assert!(
+            snapshot.repaired >= 1,
+            "corruption caught but nothing repaired"
+        );
+    }
+}

@@ -154,3 +154,71 @@ fn mismatched_solution_shapes_panic_loudly() {
     let result = std::panic::catch_unwind(|| sol.system(2));
     assert!(result.is_err());
 }
+
+// ---------------------------------------------------------------------------
+// Device-fault and service-rejection failure modes (the resilience layer).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn injected_device_faults_surface_as_typed_errors() {
+    use gpu_sim::{FaultConfig, FaultPlan};
+    use std::sync::Arc;
+
+    // Every launch fails: the raw solver path must report DeviceFault with
+    // the launch index, classified as retryable.
+    let always = FaultConfig { seed: 1, launch_failure_rate: 1.0, ..FaultConfig::default() };
+    let launcher = Launcher::gtx280().with_fault_plan(Arc::new(FaultPlan::new(always)));
+    let batch = dominant_batch::<f32>(1, 64, 4);
+    let err = solve_batch(&launcher, GpuAlgorithm::CrPcr { m: 16 }, &batch).unwrap_err();
+    assert!(matches!(err, TridiagError::DeviceFault { .. }), "{err:?}");
+    assert!(err.is_device_fault());
+    assert!(err.to_string().contains("launch"), "{err}");
+
+    // Device loss is sticky: every launch after the threshold fails, and
+    // the error says so in so many words.
+    let lost = FaultConfig { seed: 1, device_lost_after: Some(0), ..FaultConfig::default() };
+    let launcher = Launcher::gtx280().with_fault_plan(Arc::new(FaultPlan::new(lost)));
+    for _ in 0..2 {
+        let err = solve_batch(&launcher, GpuAlgorithm::CrPcr { m: 16 }, &batch).unwrap_err();
+        assert!(matches!(err, TridiagError::DeviceLost), "{err:?}");
+        assert!(err.is_device_fault());
+        assert!(err.to_string().contains("device lost"), "{err}");
+    }
+
+    // Non-device errors are not retryable device faults.
+    assert!(!TridiagError::NotPowerOfTwo { n: 48 }.is_device_fault());
+}
+
+#[test]
+fn past_deadlines_rejected_at_admission_with_a_specific_error() {
+    use solver_service::{ServiceConfig, ServiceError, SolverService};
+    use std::time::Instant;
+
+    let service: SolverService<f32> = SolverService::start(ServiceConfig::default());
+    let system = Generator::new(3).system(Workload::DiagonallyDominant, 64);
+    let err = service.submit_with_deadline(system, Some(Instant::now())).unwrap_err();
+    assert!(matches!(err, ServiceError::DeadlineExceeded { .. }), "{err:?}");
+    assert!(err.to_string().contains("unmeetable"), "{err}");
+    drop(service.shutdown());
+}
+
+#[test]
+fn queue_full_display_round_trips_the_drain_hint() {
+    use solver_service::ServiceError;
+    use std::time::Duration;
+
+    // With a hint: the message carries the back-off in microseconds, the
+    // analogue of HTTP 429's Retry-After.
+    let hinted =
+        ServiceError::QueueFull { capacity: 16, retry_after: Some(Duration::from_micros(750)) };
+    let text = hinted.to_string();
+    assert!(text.contains("capacity 16"), "{text}");
+    assert!(text.contains("750 us"), "{text}");
+
+    // Cold start (nothing completed yet): no hint, generic advice.
+    let cold = ServiceError::QueueFull { capacity: 16, retry_after: None };
+    assert!(cold.to_string().contains("retry later"), "{cold}");
+
+    // Variants compare structurally — clients can match on them.
+    assert_ne!(hinted, cold);
+}

@@ -52,6 +52,11 @@ fn open_loop_stream_serves_every_request_exactly_once() {
         let ticket = loop {
             match service.submit(system.clone()) {
                 Ok(ticket) => break ticket,
+                // Back off by the service's own drain-rate hint when it
+                // offers one; yield otherwise (cold start, nothing done yet).
+                Err(ServiceError::QueueFull { retry_after: Some(hint), .. }) => {
+                    std::thread::sleep(hint)
+                }
                 Err(ServiceError::QueueFull { .. }) => std::thread::yield_now(),
                 Err(e) => panic!("service refused a valid request: {e}"),
             }
