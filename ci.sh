@@ -28,4 +28,7 @@ cargo run --offline --release -p bench -- sanitize --quick
 echo "==> chaos gate (bench chaos --quick)"
 cargo run --offline --release -p bench -- chaos --quick
 
+echo "==> pool gate (bench pool --quick)"
+cargo run --offline --release -p bench -- pool --quick
+
 echo "==> CI green"

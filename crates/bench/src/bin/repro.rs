@@ -7,6 +7,7 @@
 //! cargo run --release -p bench --bin repro --list     # available names
 //! cargo run --release -p bench -- sanitize --quick    # sanitizer gate
 //! cargo run --release -p bench -- chaos --quick       # fault-injection gate
+//! cargo run --release -p bench -- pool --quick        # multi-device gate
 //! ```
 
 use bench::{figures, ReproConfig};
@@ -25,6 +26,13 @@ fn main() {
     // drops below 99%.
     if args.first().map(String::as_str) == Some("chaos") {
         std::process::exit(bench::chaos::run(&args[1..]));
+    }
+
+    // The pool gate drives the multi-device layer: throughput scaling
+    // across 1..8 simulated devices, a mid-stream device-loss failover
+    // cell, and large-n partitioned solves verified against CPU GEP.
+    if args.first().map(String::as_str) == Some("pool") {
+        std::process::exit(bench::pool::run(&args[1..]));
     }
 
     let all = figures::all();

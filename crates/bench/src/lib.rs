@@ -12,6 +12,7 @@
 
 pub mod chaos;
 pub mod figures;
+pub mod pool;
 pub mod report;
 pub mod sanitize;
 pub mod timing;

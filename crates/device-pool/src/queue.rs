@@ -1,0 +1,240 @@
+//! Per-device work queues with stealing.
+//!
+//! Each device owns a FIFO of jobs routed to it. A worker normally pops
+//! its own queue; when that is empty (and stealing is allowed) it takes
+//! the *oldest* job from the longest other queue **with a backlog of at
+//! least two** — a lone queued job is left for its owner, who is about to
+//! serve it, so an idle thief never races the owner's wake-up for it.
+//! Thefts are counted per thief. A worker whose device has died pops with
+//! stealing disabled so it only drains work already routed to the dead
+//! device — healthy workers steal the rest of any backlog.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Result of a blocking [`StealQueues::pop`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Pop<J> {
+    /// A job, plus the id of the queue it came from (`from != dev` means
+    /// it was stolen).
+    Job {
+        /// The job itself.
+        job: J,
+        /// Queue the job was taken from.
+        from: usize,
+    },
+    /// The queues are closed and no job was available to this caller.
+    Closed,
+}
+
+struct Inner<J> {
+    queues: Vec<VecDeque<J>>,
+    closed: bool,
+}
+
+/// A set of per-device FIFOs with blocking pop and work-stealing.
+pub struct StealQueues<J> {
+    inner: Mutex<Inner<J>>,
+    cv: Condvar,
+    steals: Vec<AtomicU64>,
+}
+
+impl<J> StealQueues<J> {
+    /// Creates `n` empty queues.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one queue");
+        Self {
+            inner: Mutex::new(Inner {
+                queues: (0..n).map(|_| VecDeque::new()).collect(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            steals: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of queues.
+    pub fn len(&self) -> usize {
+        self.steals.len()
+    }
+
+    /// `true` iff there are no queues (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.steals.is_empty()
+    }
+
+    /// Appends `job` to device `dev`'s queue and wakes a waiting worker.
+    /// Jobs pushed after [`close`](Self::close) are still delivered (the
+    /// queues drain fully before `Closed` is reported).
+    pub fn push(&self, dev: usize, job: J) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.queues[dev].push_back(job);
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until a job is available to this worker or the queues are
+    /// closed *and* drained (from this worker's point of view).
+    ///
+    /// Own queue first; otherwise, when `allow_steal`, the oldest job of
+    /// the longest other queue with at least two entries is stolen
+    /// (counted against `dev`). A queue holding a single job is never
+    /// robbed: its owner is presumed about to serve it, and leaving it
+    /// alone keeps lone jobs from ping-ponging to whichever idle worker
+    /// wins the wake-up race. With `allow_steal == false` only `dev`'s
+    /// own queue is served — the drain mode used by a dead device's
+    /// worker.
+    pub fn pop(&self, dev: usize, allow_steal: bool) -> Pop<J> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(job) = inner.queues[dev].pop_front() {
+                return Pop::Job { job, from: dev };
+            }
+            if allow_steal {
+                let victim = (0..inner.queues.len())
+                    .filter(|&q| q != dev && inner.queues[q].len() >= 2)
+                    .max_by_key(|&q| inner.queues[q].len());
+                if let Some(victim) = victim {
+                    let job = inner.queues[victim].pop_front().expect("victim is non-empty");
+                    self.steals[dev].fetch_add(1, Ordering::Relaxed);
+                    return Pop::Job { job, from: victim };
+                }
+            }
+            if inner.closed {
+                return Pop::Closed;
+            }
+            inner = self.cv.wait(inner).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Removes and returns every job currently queued on `dev` (used to
+    /// re-route a dead device's backlog).
+    pub fn drain(&self, dev: usize) -> Vec<J> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.queues[dev].drain(..).collect()
+    }
+
+    /// Closes the queues: blocked workers wake, drain what remains, and
+    /// then observe [`Pop::Closed`].
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.closed = true;
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Jobs stolen *by* device `dev`'s worker so far.
+    pub fn steal_count(&self, dev: usize) -> u64 {
+        self.steals[dev].load(Ordering::Relaxed)
+    }
+
+    /// Current queue depths, id order.
+    pub fn depths(&self) -> Vec<usize> {
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.queues.iter().map(VecDeque::len).collect()
+    }
+}
+
+impl<J> core::fmt::Debug for StealQueues<J> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("StealQueues")
+            .field("depths", &self.depths())
+            .field(
+                "steals",
+                &self.steals.iter().map(|s| s.load(Ordering::Relaxed)).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn own_queue_is_fifo_and_preferred() {
+        let q = StealQueues::new(2);
+        q.push(0, 'a');
+        q.push(0, 'b');
+        q.push(1, 'z');
+        assert_eq!(q.pop(0, true), Pop::Job { job: 'a', from: 0 });
+        assert_eq!(q.pop(0, true), Pop::Job { job: 'b', from: 0 });
+        assert_eq!(q.steal_count(0), 0, "own pops are not steals");
+    }
+
+    #[test]
+    fn steals_oldest_job_of_longest_queue_and_counts_it() {
+        let q = StealQueues::new(3);
+        q.push(1, 10);
+        q.push(2, 20);
+        q.push(2, 21);
+        assert_eq!(q.pop(0, true), Pop::Job { job: 20, from: 2 }, "longest queue loses its head");
+        assert_eq!(q.steal_count(0), 1);
+        assert_eq!(q.depths(), vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn no_steal_mode_only_drains_own_queue() {
+        let q = StealQueues::new(2);
+        q.push(1, 5);
+        q.close();
+        assert_eq!(q.pop(0, false), Pop::<i32>::Closed, "dev 0 must not touch dev 1's jobs");
+        assert_eq!(q.pop(1, false), Pop::Job { job: 5, from: 1 });
+        assert_eq!(q.pop(1, false), Pop::<i32>::Closed);
+    }
+
+    #[test]
+    fn close_drains_before_reporting_closed() {
+        let q = StealQueues::new(1);
+        q.push(0, 1);
+        q.push(0, 2);
+        q.close();
+        assert_eq!(q.pop(0, true), Pop::Job { job: 1, from: 0 });
+        assert_eq!(q.pop(0, true), Pop::Job { job: 2, from: 0 });
+        assert_eq!(q.pop(0, true), Pop::<i32>::Closed);
+    }
+
+    #[test]
+    fn drain_empties_one_queue_for_rerouting() {
+        let q = StealQueues::new(2);
+        q.push(0, 1);
+        q.push(0, 2);
+        q.push(1, 3);
+        assert_eq!(q.drain(0), vec![1, 2]);
+        assert_eq!(q.depths(), vec![0, 1]);
+    }
+
+    #[test]
+    fn blocked_worker_wakes_on_push_and_on_close() {
+        let q = Arc::new(StealQueues::new(2));
+        let qa = q.clone();
+        let h = std::thread::spawn(move || qa.pop(0, true));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        // A lone job on queue 1 belongs to its owner; a *backlog* is
+        // stealable, so the blocked worker 0 wakes for the second push.
+        q.push(1, 7);
+        q.push(1, 8);
+        assert_eq!(h.join().unwrap(), Pop::Job { job: 7, from: 1 });
+        assert_eq!(q.pop(1, true), Pop::Job { job: 8, from: 1 });
+
+        let qb = q.clone();
+        let h = std::thread::spawn(move || qb.pop(1, true));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(h.join().unwrap(), Pop::<i32>::Closed);
+    }
+
+    #[test]
+    fn lone_job_is_left_for_its_owner() {
+        let q = StealQueues::new(2);
+        q.push(1, 9);
+        q.close();
+        // Worker 0 may not rob the single queued job even though its own
+        // queue is empty — owner 1 is presumed about to serve it.
+        assert_eq!(q.pop(0, true), Pop::<i32>::Closed);
+        assert_eq!(q.pop(1, true), Pop::Job { job: 9, from: 1 });
+        assert_eq!(q.pop(1, true), Pop::<i32>::Closed);
+    }
+}

@@ -1,0 +1,102 @@
+//! Routing policies for the [`DevicePool`](crate::DevicePool) scheduler.
+//!
+//! A policy decides which healthy device a unit of work (a size-class
+//! flush, a partitioned-solve phase) is dispatched to. All three policies
+//! are deterministic given the same sequence of routing calls and the same
+//! set of healthy devices, which keeps whole-pool chaos runs replayable.
+
+use core::fmt;
+use core::str::FromStr;
+
+/// How the pool picks a device for the next unit of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoutingPolicy {
+    /// Cycle through healthy devices in id order — the fairness baseline.
+    #[default]
+    RoundRobin,
+    /// Pick the healthy device with the fewest queued-but-unserved jobs
+    /// (ties broken by lowest id). Adapts to stragglers and skewed
+    /// size-class mixes.
+    LeastLoaded,
+    /// Hash the system size `n` to a device, so repeats of one size class
+    /// land on the same device — the layout that maximises warm plan/tune
+    /// state per device on real hardware.
+    PlanAffinity,
+}
+
+impl RoutingPolicy {
+    /// All policies, in display order (useful for CLI help and sweeps).
+    pub const ALL: [RoutingPolicy; 3] =
+        [RoutingPolicy::RoundRobin, RoutingPolicy::LeastLoaded, RoutingPolicy::PlanAffinity];
+}
+
+impl fmt::Display for RoutingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RoutingPolicy::RoundRobin => "round-robin",
+            RoutingPolicy::LeastLoaded => "least-loaded",
+            RoutingPolicy::PlanAffinity => "plan-affinity",
+        })
+    }
+}
+
+/// Error returned when parsing an unknown routing-policy name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRoutingPolicyError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseRoutingPolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown routing policy '{}' (expected round-robin, least-loaded, or plan-affinity)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseRoutingPolicyError {}
+
+impl FromStr for RoutingPolicy {
+    type Err = ParseRoutingPolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "round-robin" => Ok(RoutingPolicy::RoundRobin),
+            "least-loaded" => Ok(RoutingPolicy::LeastLoaded),
+            "plan-affinity" => Ok(RoutingPolicy::PlanAffinity),
+            _ => Err(ParseRoutingPolicyError { input: s.to_string() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_from_str_round_trips_every_policy() {
+        for policy in RoutingPolicy::ALL {
+            let text = policy.to_string();
+            let back: RoutingPolicy = text.parse().unwrap();
+            assert_eq!(back, policy, "{text} must round-trip");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_miscased_names() {
+        for bad in ["roundrobin", "Round-Robin", "least_loaded", "affinity", "", "rr"] {
+            let err = bad.parse::<RoutingPolicy>().unwrap_err();
+            assert_eq!(err.input, bad);
+            assert!(err.to_string().contains("round-robin"), "help text lists valid names");
+        }
+    }
+
+    #[test]
+    fn default_is_round_robin() {
+        assert_eq!(RoutingPolicy::default(), RoutingPolicy::RoundRobin);
+        assert_eq!(RoutingPolicy::ALL.len(), 3);
+    }
+}

@@ -268,6 +268,31 @@ fn decide(cfg: &FaultConfig, launch: u64) -> LaunchDecision {
     decision
 }
 
+/// Derives the fault-plan seed for one device of a multi-device pool as a
+/// **pure function** of `(pool_seed, device_index)` — no shared RNG, no
+/// ordering dependence. Two pools built from the same pool seed therefore
+/// replay byte-identical per-device fault schedules regardless of how many
+/// devices exist, which device spins up first, or what any other device
+/// does: whole-pool chaos runs are reproducible cell by cell.
+///
+/// Distinct devices draw distinct seeds (the index is mixed through
+/// SplitMix64 twice), and device 0's seed differs from the raw pool seed so
+/// a single-device pool is *also* decorrelated from a bare launcher using
+/// the pool seed directly.
+#[inline]
+pub fn derive_device_seed(pool_seed: u64, device_index: u64) -> u64 {
+    splitmix64(pool_seed ^ splitmix64(device_index.wrapping_mul(0xA076_1D64_78BD_642F) ^ 0xDE71CE))
+}
+
+impl FaultConfig {
+    /// This configuration re-keyed for device `device_index` of a pool
+    /// seeded with `pool_seed`: every rate and knob is kept, only the seed
+    /// is replaced by [`derive_device_seed`].
+    pub fn for_device(self, pool_seed: u64, device_index: u64) -> Self {
+        Self { seed: derive_device_seed(pool_seed, device_index), ..self }
+    }
+}
+
 /// SplitMix64 finalizer — the same mixer the offline `rand` shim seeds
 /// with, reimplemented here so `gpu-sim` stays dependency-free.
 #[inline]
@@ -364,6 +389,34 @@ mod tests {
         assert_eq!(stats.launches, 5);
         assert_eq!(stats.launch_failures, 2);
         assert_eq!(stats.device_lost_failures, 0);
+    }
+
+    #[test]
+    fn device_seeds_are_pure_distinct_and_decorrelated() {
+        // Pure function: same inputs, same seed — across calls and pools.
+        assert_eq!(derive_device_seed(42, 3), derive_device_seed(42, 3));
+        // Distinct devices draw distinct seeds, and none equals the raw
+        // pool seed (device 0 included).
+        let seeds: Vec<u64> = (0..16).map(|i| derive_device_seed(42, i)).collect();
+        for (i, &a) in seeds.iter().enumerate() {
+            assert_ne!(a, 42, "device {i} must not reuse the pool seed");
+            for (j, &b) in seeds.iter().enumerate().skip(i + 1) {
+                assert_ne!(a, b, "devices {i} and {j} collided");
+            }
+        }
+        // Different pool seeds shift every device.
+        assert_ne!(derive_device_seed(42, 0), derive_device_seed(43, 0));
+    }
+
+    #[test]
+    fn for_device_rekeys_but_keeps_the_rates() {
+        let base = FaultConfig { seed: 7, launch_failure_rate: 0.25, ..Default::default() };
+        let derived = base.for_device(99, 2);
+        assert_eq!(derived.seed, derive_device_seed(99, 2));
+        assert_eq!(derived.launch_failure_rate, 0.25);
+        // The derived schedule is exactly the schedule of the derived seed.
+        let direct = FaultConfig { seed: derive_device_seed(99, 2), ..base };
+        assert_eq!(FaultPlan::schedule(&derived, 128), FaultPlan::schedule(&direct, 128));
     }
 
     #[test]

@@ -75,7 +75,9 @@ pub use counters::{KernelStats, Phase, StepRecord};
 pub use device::DeviceConfig;
 pub use exec::block::{BlockCtx, ThreadCtx};
 pub use exec::grid::{GridKernel, LaunchReport, Launcher};
-pub use fault::{FailKind, FaultConfig, FaultPlan, FaultStats, InjectedFault, LaunchDecision};
+pub use fault::{
+    derive_device_seed, FailKind, FaultConfig, FaultPlan, FaultStats, InjectedFault, LaunchDecision,
+};
 pub use memory::global::{GlobalArray, GlobalMem};
 pub use memory::shared::{Shared, SharedMem};
 pub use occupancy::{occupancy, waves, Limiter, Occupancy};

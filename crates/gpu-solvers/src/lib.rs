@@ -33,6 +33,7 @@ pub mod cr_variants;
 pub mod fixtures;
 pub mod global_only;
 pub mod hybrid;
+pub mod partitioned;
 pub mod pcr;
 pub mod pcr_thomas;
 pub mod periodic;
@@ -48,6 +49,11 @@ pub use cr::CrKernel;
 pub use cr_variants::{CrEvenOddKernel, CrStrideOneKernel};
 pub use global_only::GlobalCrKernel;
 pub use hybrid::{HybridKernel, InnerSolver};
+pub use partitioned::{
+    back_substitute, even_offsets, local_reduce, solve_interface, solve_partitioned_single,
+    solve_partitioned_single_with_offsets, BackSubstKernel, InterfaceSystem, LocalPhase,
+    LocalReduceKernel, PartitionedReport, PartitionedTiming, MIN_CHUNK,
+};
 pub use pcr::PcrKernel;
 pub use pcr_thomas::PcrThomasKernel;
 pub use periodic::{solve_periodic_batch, PeriodicSolveReport};

@@ -173,6 +173,21 @@ impl CircuitBreakers {
         }
     }
 
+    /// Forces `engine`'s breaker open immediately, bypassing the
+    /// consecutive-fault count. Used when the *device* behind the engine
+    /// is lost: counting up to the threshold would only schedule more
+    /// guaranteed-to-fail launches. Counts as one Closed→Open trip unless
+    /// the breaker is already open.
+    pub fn trip(&self, engine: &str) {
+        let mut entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        let entry =
+            entries.entry(engine.to_string()).or_insert(Entry::Closed { consecutive_faults: 0 });
+        if !matches!(entry, Entry::Open { .. }) {
+            *entry = Entry::Open { since: Instant::now() };
+            self.opened.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Current state of `engine`'s breaker (engines never seen are Closed).
     pub fn state(&self, engine: &str) -> BreakerState {
         match self.entries.lock().unwrap_or_else(|p| p.into_inner()).get(engine) {
@@ -290,6 +305,18 @@ mod tests {
         assert_eq!(b.state("cr"), BreakerState::Open);
         assert_eq!(b.opened_total(), 2);
         assert_eq!(b.admit("cr"), Admission::Deny, "cooldown restarted");
+    }
+
+    #[test]
+    fn trip_opens_immediately_and_is_idempotent() {
+        let b = fast();
+        assert_eq!(b.state("dev1:cr"), BreakerState::Closed);
+        b.trip("dev1:cr");
+        assert_eq!(b.state("dev1:cr"), BreakerState::Open);
+        assert_eq!(b.opened_total(), 1);
+        b.trip("dev1:cr");
+        assert_eq!(b.opened_total(), 1, "re-tripping an open breaker is a no-op");
+        assert_eq!(b.admit("dev1:cr"), Admission::Deny);
     }
 
     #[test]

@@ -40,6 +40,7 @@ use crate::breaker::{Admission, CircuitBreakers};
 use crate::metrics::ServiceMetrics;
 use crate::planner::{CpuEngine, Engine, PlanCache};
 use cpu_solvers::{gep, thomas};
+use device_pool::DevicePool;
 use gpu_sim::Launcher;
 use gpu_solvers::{solve_batch_robust, GpuAlgorithm, RobustOptions};
 use std::time::{Duration, Instant};
@@ -93,18 +94,64 @@ impl Default for DispatchConfig {
     }
 }
 
+/// The device a flush is served on: its launcher, its pool identity, and
+/// (when the service runs on a multi-device pool) a handle back to the
+/// pool so dispatch can mark the device lost and account its busy time.
+///
+/// Breaker keys are **per device**: engine `cr+pcr@32` on device 2 keys
+/// breaker `dev2:cr+pcr@32`, so a sticky fault on one device opens only
+/// that device's breakers — traffic re-routes instead of the whole
+/// service demoting to the CPU.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceCtx<'a> {
+    /// The launcher executing this flush's kernels.
+    pub launcher: &'a Launcher,
+    /// Pool id of the device (0 for a solo launcher).
+    pub device_id: usize,
+    /// The pool the device belongs to, if any. `None` for direct callers
+    /// (tests, benches) running a standalone launcher.
+    pub pool: Option<&'a DevicePool>,
+}
+
+impl<'a> DeviceCtx<'a> {
+    /// Wraps a standalone launcher as device 0 with no pool attached.
+    pub fn solo(launcher: &'a Launcher) -> Self {
+        Self { launcher, device_id: 0, pool: None }
+    }
+
+    /// The per-device breaker key for `engine_label`.
+    fn breaker_key(&self, engine_label: &str) -> String {
+        format!("dev{}:{engine_label}", self.device_id)
+    }
+
+    /// Marks this device lost in its pool (no-op for solo devices).
+    fn mark_lost(&self) {
+        if let Some(pool) = self.pool {
+            pool.mark_lost(self.device_id);
+        }
+    }
+
+    /// Accounts one served flush's simulated busy time to this device.
+    fn note_dispatched(&self, engine_ms: f64) {
+        if let Some(pool) = self.pool {
+            pool.device(self.device_id).note_dispatched(engine_ms);
+        }
+    }
+}
+
 /// Serves one flushed batch end to end: plan → execute → verify/repair →
 /// fulfil tickets → record metrics. Infallible by design: any engine
 /// error degrades to the per-system GEP path rather than dropping
 /// requests.
 pub fn serve_flush<T: Real>(
-    launcher: &Launcher,
+    device: DeviceCtx<'_>,
     plans: &PlanCache,
     breakers: &CircuitBreakers,
     metrics: &ServiceMetrics,
     cfg: &DispatchConfig,
     flush: FlushedBatch<T>,
 ) {
+    let launcher = device.launcher;
     let FlushedBatch { n, requests, reason } = flush;
     let occupancy = requests.len();
     debug_assert!(occupancy > 0, "empty flush");
@@ -133,7 +180,14 @@ pub fn serve_flush<T: Real>(
         && plans.begin_sanitize::<T>(launcher, n);
 
     let systems: Vec<TridiagonalSystem<T>> = requests.iter().map(|r| r.system.clone()).collect();
-    let outcome = execute(launcher, engine, &fallbacks, breakers, &systems, cfg, sanitize);
+    let outcome = execute(&device, engine, &fallbacks, breakers, &systems, cfg, sanitize);
+
+    // Per-device accounting: GPU-served flushes accrue simulated busy time
+    // on the device that ran them (CPU-demoted flushes cost the device
+    // nothing).
+    if !outcome.engine_label.starts_with("cpu") {
+        device.note_dispatched(outcome.engine_ms);
+    }
 
     if let Some((errors, warnings)) = outcome.sanitizer_findings {
         metrics.on_flush_sanitized(errors, warnings);
@@ -223,7 +277,7 @@ fn backoff_delay(cfg: &DispatchConfig, attempt: usize) -> Duration {
 ///   candidate; device loss or attempt exhaustion lands on the CPU GEP
 ///   safety net. The flush is **never** dropped.
 fn execute<T: Real>(
-    launcher: &Launcher,
+    device: &DeviceCtx<'_>,
     engine: Engine,
     fallbacks: &[Engine],
     breakers: &CircuitBreakers,
@@ -231,6 +285,7 @@ fn execute<T: Real>(
     cfg: &DispatchConfig,
     sanitize: bool,
 ) -> Outcome<T> {
+    let launcher = device.launcher;
     let batch = SystemBatch::from_systems(systems).expect("flush holds >=1 same-size systems");
     let threshold_scale = cfg.threshold_scale;
     let first = match engine {
@@ -254,7 +309,8 @@ fn execute<T: Real>(
     'ladder: for (rank, alg) in candidates.iter().enumerate() {
         let gpu_engine = Engine::Gpu(*alg);
         let label = gpu_engine.to_string();
-        match breakers.admit(&label) {
+        let key = device.breaker_key(&label);
+        match breakers.admit(&key) {
             Admission::Deny => continue 'ladder, // known-bad: next candidate
             Admission::Allow | Admission::Probe => {}
         }
@@ -281,7 +337,7 @@ fn execute<T: Real>(
             let options = RobustOptions { threshold_scale };
             match solve_batch_robust(attempt_launcher, *alg, &batch, options) {
                 Ok(report) => {
-                    breakers.on_success(&label);
+                    breakers.on_success(&key);
                     let findings = sanitize_this.then(|| {
                         (
                             report.gpu.sanitizer_error_count() as u64,
@@ -324,12 +380,18 @@ fn execute<T: Real>(
                 }
                 Err(e) if e.is_device_fault() => {
                     device_faults += 1;
-                    breakers.on_fault(&label);
                     if matches!(e, TridiagError::DeviceLost) {
-                        // The whole device is gone: no GPU candidate can
-                        // serve this flush. Straight to the CPU.
+                        // The whole device is gone: no GPU candidate on
+                        // *this* device can serve the flush. Trip the
+                        // breaker straight open, mark the device lost in
+                        // its pool (the worker drains and re-routes its
+                        // queue), and take the CPU safety net for this
+                        // flush.
+                        breakers.trip(&key);
+                        device.mark_lost();
                         break 'ladder;
                     }
+                    breakers.on_fault(&key);
                     // Transient: loop retries this engine (with backoff)
                     // until its per-engine budget runs out, then the
                     // ladder moves to the next candidate.
@@ -458,7 +520,14 @@ mod tests {
         let plans = PlanCache::new();
         let metrics = ServiceMetrics::new();
         let (flush, tickets) = flush_of(128, 8, 11);
-        serve_flush(&launcher, &plans, &CircuitBreakers::default(), &metrics, &cfg(), flush);
+        serve_flush(
+            DeviceCtx::solo(&launcher),
+            &plans,
+            &CircuitBreakers::default(),
+            &metrics,
+            &cfg(),
+            flush,
+        );
         for (i, ticket) in tickets.into_iter().enumerate() {
             let resp = ticket.try_take().expect("synchronous serve fulfils immediately");
             assert_eq!(resp.id, i as u64);
@@ -478,7 +547,14 @@ mod tests {
         let plans = PlanCache::new();
         let metrics = ServiceMetrics::new();
         let (flush, tickets) = flush_of(128, 2, 12); // below min_gpu_batch = 4
-        serve_flush(&launcher, &plans, &CircuitBreakers::default(), &metrics, &cfg(), flush);
+        serve_flush(
+            DeviceCtx::solo(&launcher),
+            &plans,
+            &CircuitBreakers::default(),
+            &metrics,
+            &cfg(),
+            flush,
+        );
         for ticket in tickets {
             assert_eq!(ticket.try_take().unwrap().engine, "cpu-thomas");
         }
@@ -494,7 +570,14 @@ mod tests {
         bad.b[0] = 0.0; // Thomas dies, GEP interchanges rows
         let (req, ticket) = make_request(0, bad);
         let flush = FlushedBatch { n: 64, requests: vec![req], reason: FlushReason::Linger };
-        serve_flush(&launcher, &plans, &CircuitBreakers::default(), &metrics, &cfg(), flush);
+        serve_flush(
+            DeviceCtx::solo(&launcher),
+            &plans,
+            &CircuitBreakers::default(),
+            &metrics,
+            &cfg(),
+            flush,
+        );
         let resp = ticket.try_take().unwrap();
         assert!(resp.repaired, "zero pivot must trigger GEP repair");
         assert!(resp.residual < 1e-2, "{}", resp.residual);
@@ -511,7 +594,14 @@ mod tests {
             pin_engine: Some(Engine::Gpu(GpuAlgorithm::CrPcr { m: 32 })),
             ..cfg()
         };
-        serve_flush(&launcher, &plans, &CircuitBreakers::default(), &metrics, &pinned, flush);
+        serve_flush(
+            DeviceCtx::solo(&launcher),
+            &plans,
+            &CircuitBreakers::default(),
+            &metrics,
+            &pinned,
+            flush,
+        );
         for ticket in tickets {
             // ...but the pin forces the GPU engine anyway.
             assert_eq!(ticket.try_take().unwrap().engine, "cr+pcr@32");
@@ -534,7 +624,7 @@ mod tests {
         // Plain RD overflows at n = 512 on dominant systems (Figure 18);
         // the robust wrapper must hand back repaired, accurate answers.
         let out = execute(
-            &launcher,
+            &DeviceCtx::solo(&launcher),
             Engine::Gpu(GpuAlgorithm::Rd(gpu_solvers::RdMode::Plain)),
             &[],
             &CircuitBreakers::default(),
@@ -560,7 +650,14 @@ mod tests {
         // of n = 128 (a new size class, sanitized again).
         for (n, seed) in [(64usize, 21u64), (64, 22), (128, 23)] {
             let (flush, tickets) = flush_of(n, 8, seed);
-            serve_flush(&launcher, &plans, &CircuitBreakers::default(), &metrics, &pinned, flush);
+            serve_flush(
+                DeviceCtx::solo(&launcher),
+                &plans,
+                &CircuitBreakers::default(),
+                &metrics,
+                &pinned,
+                flush,
+            );
             for ticket in tickets {
                 let resp = ticket.try_take().unwrap();
                 assert!(resp.residual < 1e-2, "{}", resp.residual);
@@ -583,7 +680,14 @@ mod tests {
         {
             let plans = PlanCache::new();
             let (flush, _tickets) = flush_of(64, 2, 31); // below min_gpu_batch
-            serve_flush(&launcher, &plans, &CircuitBreakers::default(), &metrics, &cfg(), flush);
+            serve_flush(
+                DeviceCtx::solo(&launcher),
+                &plans,
+                &CircuitBreakers::default(),
+                &metrics,
+                &cfg(),
+                flush,
+            );
         }
         // GPU-pinned flush with the hook disabled.
         {
@@ -594,7 +698,14 @@ mod tests {
                 ..cfg()
             };
             let (flush, _tickets) = flush_of(64, 8, 32);
-            serve_flush(&launcher, &plans, &CircuitBreakers::default(), &metrics, &disabled, flush);
+            serve_flush(
+                DeviceCtx::solo(&launcher),
+                &plans,
+                &CircuitBreakers::default(),
+                &metrics,
+                &disabled,
+                flush,
+            );
         }
         assert_eq!(metrics.snapshot(0, 0, 0).sanitized_flushes, 0);
     }
@@ -612,7 +723,7 @@ mod tests {
             (0..8).map(|_| generator.system(Workload::DiagonallyDominant, 64)).collect()
         };
         let out = execute(
-            &launcher,
+            &DeviceCtx::solo(&launcher),
             Engine::Gpu(GpuAlgorithm::Cr),
             &[],
             &CircuitBreakers::default(),
@@ -648,7 +759,7 @@ mod tests {
             ..cfg()
         };
         let (flush, tickets) = flush_of(64, 8, 41);
-        serve_flush(&launcher, &plans, &breakers, &metrics, &pinned, flush);
+        serve_flush(DeviceCtx::solo(&launcher), &plans, &breakers, &metrics, &pinned, flush);
         for ticket in tickets {
             let resp = ticket.try_take().expect("retry must still answer");
             assert_eq!(resp.engine, "cr+pcr@32", "retry stays on the planned engine");
@@ -659,7 +770,7 @@ mod tests {
         assert_eq!(d.retries, 1);
         assert_eq!(d.degraded_flushes, 0, "a successful retry is not degradation");
         assert_eq!(plan.stats().launch_failures, 1);
-        assert_eq!(breakers.state("cr+pcr@32"), crate::breaker::BreakerState::Closed);
+        assert_eq!(breakers.state("dev0:cr+pcr@32"), crate::breaker::BreakerState::Closed);
     }
 
     #[test]
@@ -676,7 +787,7 @@ mod tests {
             ..cfg()
         };
         let (flush, tickets) = flush_of(64, 8, 42);
-        serve_flush(&launcher, &plans, &breakers, &metrics, &pinned, flush);
+        serve_flush(DeviceCtx::solo(&launcher), &plans, &breakers, &metrics, &pinned, flush);
         for ticket in tickets {
             let resp = ticket.try_take().expect("degradation must still answer");
             assert_eq!(resp.engine, "cpu-gep", "device loss lands on the safety net");
@@ -702,7 +813,7 @@ mod tests {
         let fallbacks =
             vec![Engine::Gpu(GpuAlgorithm::CrPcr { m: 32 }), Engine::Gpu(GpuAlgorithm::Pcr)];
         let out = execute(
-            &launcher,
+            &DeviceCtx::solo(&launcher),
             Engine::Gpu(GpuAlgorithm::CrPcr { m: 32 }),
             &fallbacks,
             &breakers,
@@ -727,14 +838,14 @@ mod tests {
         let metrics = ServiceMetrics::new();
         // Trip the breaker for the pinned engine by hand.
         for _ in 0..3 {
-            breakers.on_fault("cr+pcr@32");
+            breakers.on_fault("dev0:cr+pcr@32");
         }
         let pinned = DispatchConfig {
             pin_engine: Some(Engine::Gpu(GpuAlgorithm::CrPcr { m: 32 })),
             ..cfg()
         };
         let (flush, tickets) = flush_of(64, 8, 44);
-        serve_flush(&launcher, &plans, &breakers, &metrics, &pinned, flush);
+        serve_flush(DeviceCtx::solo(&launcher), &plans, &breakers, &metrics, &pinned, flush);
         for ticket in tickets {
             let resp = ticket.try_take().unwrap();
             assert_eq!(resp.engine, "cpu-gep", "open breaker demotes to the safety net");
@@ -761,7 +872,7 @@ mod tests {
             Some(Instant::now() - Duration::from_millis(1)),
         );
         let flush = FlushedBatch { n: 64, requests: vec![req], reason: FlushReason::Deadline };
-        serve_flush(&launcher, &plans, &breakers, &metrics, &cfg(), flush);
+        serve_flush(DeviceCtx::solo(&launcher), &plans, &breakers, &metrics, &cfg(), flush);
         let resp = ticket.try_take().expect("missed deadlines still get answers");
         assert!(resp.deadline_missed);
         assert!(resp.residual < 1e-2, "{}", resp.residual);

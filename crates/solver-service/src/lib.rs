@@ -58,9 +58,9 @@ pub mod service;
 
 pub use batcher::{BucketTable, FlushReason, FlushedBatch};
 pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreakers};
-pub use dispatch::{serve_flush, DispatchConfig};
+pub use dispatch::{serve_flush, DeviceCtx, DispatchConfig};
 pub use error::ServiceError;
-pub use metrics::{DegradationState, MetricsSnapshot, ServiceMetrics};
+pub use metrics::{DegradationState, DeviceSnapshot, MetricsSnapshot, ServiceMetrics};
 pub use planner::{autotune, autotune_ranked, CpuEngine, Engine, Plan, PlanCache};
 pub use queue::{BoundedQueue, Pop, PushError};
 pub use request::{make_request, make_request_with_deadline, SolveRequest, SolveResponse, Ticket};

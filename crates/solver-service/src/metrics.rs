@@ -220,6 +220,7 @@ impl ServiceMetrics {
             occupancy_systems: self.occupancy.lock().unwrap_or_else(|p| p.into_inner()).clone(),
             dispatch_systems: self.dispatch.lock().unwrap_or_else(|p| p.into_inner()).clone(),
             engine_ms: self.engine_ms.lock().unwrap_or_else(|p| p.into_inner()).clone(),
+            devices: Vec::new(),
         }
     }
 }
@@ -284,6 +285,26 @@ impl DegradationState {
     }
 }
 
+/// Per-device gauges for the metrics snapshot: one entry per pool device,
+/// id order, filled by `SolverService::metrics` from the device pool and
+/// the `dev{id}:`-prefixed breaker keys.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DeviceSnapshot {
+    /// Device id within the pool (also its queue index).
+    pub id: usize,
+    /// Batches dispatched on this device (GPU engines only).
+    pub dispatched: u64,
+    /// Simulated device milliseconds consumed by those batches.
+    pub device_ms: f64,
+    /// Batches this device's worker stole from other devices' queues.
+    pub steals: u64,
+    /// Whether the pool has marked the device lost (sticky).
+    pub lost: bool,
+    /// Worst breaker state across this device's engines
+    /// ("closed" / "half-open" / "open").
+    pub breaker: String,
+}
+
 /// Point-in-time copy of the service's metrics — the service's
 /// machine-readable status report.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -334,6 +355,10 @@ pub struct MetricsSnapshot {
     /// Engine spelling → engine milliseconds consumed (simulated device
     /// time for GPU engines, wall-clock for CPU engines).
     pub engine_ms: BTreeMap<String, f64>,
+    /// Per-device gauges, pool id order. Empty in a bare
+    /// [`ServiceMetrics::snapshot`]; `SolverService::metrics` fills it
+    /// from the device pool.
+    pub devices: Vec<DeviceSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -423,7 +448,18 @@ impl MetricsSnapshot {
             }
             s.push_str(&format!("\"{engine}\":{ms:.3}"));
         }
-        s.push_str("}}");
+        s.push_str("},\"devices\":[");
+        for (i, dev) in self.devices.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"id\":{},\"dispatched\":{},\"device_ms\":{:.3},\"steals\":{},\
+                 \"lost\":{},\"breaker\":\"{}\"}}",
+                dev.id, dev.dispatched, dev.device_ms, dev.steals, dev.lost, dev.breaker
+            ));
+        }
+        s.push_str("]}");
         s
     }
 }
@@ -533,5 +569,44 @@ mod tests {
         }
         // Balanced braces (a cheap structural check without a parser).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Bare snapshots carry an empty device block — the service fills it.
+        assert!(json.ends_with("\"devices\":[]}"), "{json}");
+    }
+
+    #[test]
+    fn devices_block_serializes_per_device_gauges() {
+        let m = ServiceMetrics::new();
+        m.on_batch_served("cr+pcr@32", 2, FlushReason::Full, 0, 0.5);
+        let mut snap = m.snapshot(0, 0, 0);
+        snap.devices = vec![
+            DeviceSnapshot {
+                id: 0,
+                dispatched: 3,
+                device_ms: 0.5,
+                steals: 1,
+                lost: false,
+                breaker: "closed".to_string(),
+            },
+            DeviceSnapshot {
+                id: 1,
+                dispatched: 0,
+                device_ms: 0.0,
+                steals: 0,
+                lost: true,
+                breaker: "open".to_string(),
+            },
+        ];
+        let json = snap.to_json();
+        assert!(
+            json.contains(
+                "\"devices\":[{\"id\":0,\"dispatched\":3,\"device_ms\":0.500,\"steals\":1,\
+                 \"lost\":false,\"breaker\":\"closed\"}"
+            ),
+            "{json}"
+        );
+        assert!(json.contains("{\"id\":1,"), "{json}");
+        assert!(json.contains("\"lost\":true,\"breaker\":\"open\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

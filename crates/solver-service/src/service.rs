@@ -1,39 +1,43 @@
-//! The service itself: admission → batcher thread → worker pool.
+//! The service itself: admission → batcher thread → sharded worker pool.
 //!
 //! Thread topology (all plain `std::thread`, no external runtime):
 //!
 //! ```text
-//!  submitters ──► BoundedQueue ──► batcher ──► mpsc ──► worker 0..W
-//!     (many)      (reject-full)   (1 thread)  channel   (serve_flush)
+//!  submitters ──► BoundedQueue ──► batcher ──► StealQueues ──► worker/device 0..D
+//!     (many)      (reject-full)   (1 thread)  (routing +       (serve_flush on
+//!                                              work stealing)    its own device)
 //! ```
 //!
 //! * **Admission** validates the system, assigns an id, and pushes into
 //!   the bounded queue — failing fast with [`ServiceError::QueueFull`]
 //!   under overload.
 //! * **The batcher** owns the [`BucketTable`], sleeping exactly until its
-//!   earliest linger deadline, and forwards flushed batches to the worker
-//!   channel.
-//! * **Workers** share the receiver behind a mutex (work stealing by
-//!   contention — a batch goes to whichever worker grabs the lock first)
-//!   and run [`serve_flush`] to completion.
+//!   earliest linger deadline, and routes each flushed batch to a device
+//!   queue via the pool's [`RoutingPolicy`](device_pool::RoutingPolicy).
+//! * **Workers** are pinned one-per-device (or share device 0 when the
+//!   service runs single-device). An idle worker steals batches from the
+//!   longest other queue; a worker whose device is lost re-routes its
+//!   backlog to survivors and falls back to the CPU safety net only when
+//!   no healthy device remains.
 //!
 //! Shutdown is a drain, not an abort: the queue closes (new submissions
 //! are rejected), the batcher pops everything already admitted, flushes
 //! all partial buckets with [`FlushReason::Shutdown`], and the workers
-//! finish every forwarded batch before joining. Every admitted request is
+//! finish every routed batch before joining. Every admitted request is
 //! always answered.
 
-use crate::batcher::BucketTable;
+use crate::batcher::{BucketTable, FlushedBatch};
 use crate::breaker::{BreakerConfig, CircuitBreakers};
-use crate::dispatch::{serve_flush, DispatchConfig};
+use crate::dispatch::{serve_flush, DeviceCtx, DispatchConfig};
 use crate::error::ServiceError;
-use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::metrics::{DeviceSnapshot, MetricsSnapshot, ServiceMetrics};
 use crate::planner::PlanCache;
 use crate::queue::{BoundedQueue, Pop, PushError};
 use crate::request::{make_request_with_deadline, SolveRequest, SolveResponse, Ticket};
+use device_pool::{DevicePool, PoolConfig, Pop as DevicePop, StealQueues};
 use gpu_sim::Launcher;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tridiag_core::{Real, TridiagError, TridiagonalSystem};
@@ -83,8 +87,15 @@ pub struct ServiceConfig {
     /// `QueueFull::retry_after` hint with one bounded client-side retry
     /// before surfacing the rejection.
     pub client_retry: bool,
-    /// The simulated device the GPU engines run on.
+    /// The simulated device the GPU engines run on when no
+    /// [`pool`](Self::pool) is configured.
     pub launcher: Launcher,
+    /// Multi-device pool configuration. `None` (the default) wraps
+    /// [`launcher`](Self::launcher) — fault plan and all — as a
+    /// single-device pool, preserving single-GPU behaviour. `Some` builds
+    /// an N-device pool with per-device seed-derived fault plans and
+    /// shards flushed batches across its healthy devices.
+    pub pool: Option<PoolConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -107,6 +118,7 @@ impl Default for ServiceConfig {
             backoff_max: Duration::from_millis(2),
             client_retry: true,
             launcher: Launcher::gtx280(),
+            pool: None,
         }
     }
 }
@@ -116,9 +128,33 @@ struct Shared<T: Real> {
     metrics: ServiceMetrics,
     plans: PlanCache,
     breakers: CircuitBreakers,
-    launcher: Launcher,
+    pool: DevicePool,
+    queues: StealQueues<FlushedBatch<T>>,
     dispatch_cfg: DispatchConfig,
     started_at: Instant,
+}
+
+impl<T: Real> Shared<T> {
+    /// Routes one flushed batch onto a healthy device's queue. With no
+    /// healthy device left the batch still lands on queue 0: its worker
+    /// serves it through the dead-device context, which the dispatch
+    /// ladder demotes to the CPU safety net.
+    fn route_flush(&self, flush: FlushedBatch<T>) {
+        let dev = self.pool.route(flush.n).unwrap_or(0);
+        self.pool.note_enqueued(dev);
+        self.queues.push(dev, flush);
+    }
+
+    /// Serves one batch on `device_id`'s launcher, with the pool wired in
+    /// so device loss and busy-time land in the pool's books.
+    fn serve_on(&self, device_id: usize, flush: FlushedBatch<T>) {
+        let ctx = DeviceCtx {
+            launcher: &self.pool.device(device_id).launcher,
+            device_id,
+            pool: Some(&self.pool),
+        };
+        serve_flush(ctx, &self.plans, &self.breakers, &self.metrics, &self.dispatch_cfg, flush);
+    }
 }
 
 /// A running dynamic-batching solve service. Create with
@@ -136,12 +172,18 @@ impl<T: Real> SolverService<T> {
     /// Spawns the batcher and worker threads and opens admission.
     pub fn start(config: ServiceConfig) -> Self {
         assert!(config.workers >= 1, "need at least one worker");
+        let pool = match config.pool {
+            Some(pool_cfg) => DevicePool::new(pool_cfg),
+            None => DevicePool::single(config.launcher.clone()),
+        };
+        let queues = StealQueues::new(pool.len());
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             metrics: ServiceMetrics::new(),
             plans: PlanCache::new(),
             breakers: CircuitBreakers::new(config.breaker),
-            launcher: config.launcher.clone(),
+            pool,
+            queues,
             dispatch_cfg: DispatchConfig {
                 min_gpu_batch: config.min_gpu_batch,
                 threshold_scale: config.threshold_scale,
@@ -156,9 +198,6 @@ impl<T: Real> SolverService<T> {
             started_at: Instant::now(),
         });
 
-        let (tx, rx) = mpsc::channel::<crate::batcher::FlushedBatch<T>>();
-        let rx = Arc::new(Mutex::new(rx));
-
         let batcher = {
             let shared = shared.clone();
             let target = config.target_batch;
@@ -166,17 +205,26 @@ impl<T: Real> SolverService<T> {
             let slack = config.deadline_slack;
             std::thread::Builder::new()
                 .name("solver-service-batcher".into())
-                .spawn(move || batcher_loop(shared, tx, target, linger, slack))
+                .spawn(move || batcher_loop(shared, target, linger, slack))
                 .expect("spawn batcher")
         };
 
-        let workers = (0..config.workers)
-            .map(|i| {
+        // Single-device pools keep the configured worker count (all pinned
+        // to device 0, contending on its queue); multi-device pools pin one
+        // worker per device so every device drains independently.
+        let worker_devices: Vec<usize> = if shared.pool.len() == 1 {
+            vec![0; config.workers]
+        } else {
+            (0..shared.pool.len()).collect()
+        };
+        let workers = worker_devices
+            .into_iter()
+            .enumerate()
+            .map(|(i, device_id)| {
                 let shared = shared.clone();
-                let rx = rx.clone();
                 std::thread::Builder::new()
-                    .name(format!("solver-service-worker-{i}"))
-                    .spawn(move || worker_loop(shared, rx))
+                    .name(format!("solver-service-worker-{i}-dev{device_id}"))
+                    .spawn(move || worker_loop(shared, device_id))
                     .expect("spawn worker")
             })
             .collect();
@@ -288,6 +336,21 @@ impl<T: Real> SolverService<T> {
         snap.degradation.breaker_closed = self.shared.breakers.closed_total();
         snap.degradation.breaker_denials = self.shared.breakers.denials_total();
         snap.degradation.breaker_states = self.shared.breakers.states();
+        let states = &snap.degradation.breaker_states;
+        snap.devices = self
+            .shared
+            .pool
+            .stats()
+            .into_iter()
+            .map(|d| DeviceSnapshot {
+                id: d.id,
+                dispatched: d.dispatched,
+                device_ms: d.busy_ms,
+                steals: d.steals,
+                lost: d.lost,
+                breaker: worst_breaker_state(states, d.id).to_string(),
+            })
+            .collect();
         snap
     }
 
@@ -315,10 +378,27 @@ impl<T: Real> Drop for SolverService<T> {
     }
 }
 
-/// The batcher thread: queue → buckets → flush → worker channel.
+/// Worst breaker state among `dev{id}:`-prefixed engines: any `open`
+/// dominates, then `half-open`; untouched engines count as `closed`.
+fn worst_breaker_state(states: &std::collections::BTreeMap<String, String>, id: usize) -> &str {
+    let prefix = format!("dev{id}:");
+    let mut worst = "closed";
+    for (key, state) in states {
+        if !key.starts_with(&prefix) {
+            continue;
+        }
+        worst = match (worst, state.as_str()) {
+            ("open", _) | (_, "open") => "open",
+            ("half-open", _) | (_, "half-open") => "half-open",
+            _ => "closed",
+        };
+    }
+    worst
+}
+
+/// The batcher thread: queue → buckets → flush → routed device queue.
 fn batcher_loop<T: Real>(
     shared: Arc<Shared<T>>,
-    tx: mpsc::Sender<crate::batcher::FlushedBatch<T>>,
     target_batch: usize,
     max_linger: Duration,
     deadline_slack: Duration,
@@ -330,52 +410,67 @@ fn batcher_loop<T: Real>(
             Pop::Item(request) => {
                 let now = Instant::now();
                 if let Some(flush) = table.insert(request, now) {
-                    let _ = tx.send(flush);
+                    shared.route_flush(flush);
                 }
                 for flush in table.flush_expired(now) {
-                    let _ = tx.send(flush);
+                    shared.route_flush(flush);
                 }
             }
             Pop::TimedOut => {
                 for flush in table.flush_expired(Instant::now()) {
-                    let _ = tx.send(flush);
+                    shared.route_flush(flush);
                 }
             }
             Pop::Drained => {
                 // Shutdown: everything admitted has been popped; flush the
-                // partial buckets so no request is stranded.
+                // partial buckets so no request is stranded, then close the
+                // device queues — workers exit once their backlog is served.
                 for flush in table.flush_all() {
-                    let _ = tx.send(flush);
+                    shared.route_flush(flush);
                 }
+                shared.queues.close();
                 break;
-                // `tx` drops here; workers observe the closed channel and
-                // exit once the backlog is served.
             }
         }
     }
 }
 
-/// A worker thread: pull a flushed batch, serve it, repeat until the
-/// channel closes and drains.
-fn worker_loop<T: Real>(
-    shared: Arc<Shared<T>>,
-    rx: Arc<Mutex<mpsc::Receiver<crate::batcher::FlushedBatch<T>>>>,
-) {
+/// A worker thread pinned to one device: pop that device's queue (stealing
+/// from the longest other queue when idle), serve the batch, and — if its
+/// device was lost mid-batch — re-route the dead device's backlog onto
+/// survivors. Exits when the queues close and its backlog drains.
+fn worker_loop<T: Real>(shared: Arc<Shared<T>>, device_id: usize) {
     loop {
-        let message = {
-            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
-            guard.recv()
-        };
-        match message {
-            Ok(flush) => serve_flush(
-                &shared.launcher,
-                &shared.plans,
-                &shared.breakers,
-                &shared.metrics,
-                &shared.dispatch_cfg,
-                flush,
-            ),
-            Err(_) => break, // sender gone and channel drained
+        // A lost device must not steal healthy devices' work — it would
+        // serve every batch through the CPU safety net. It still drains
+        // batches already routed to it (re-routing them below).
+        let allow_steal = !shared.pool.is_lost(device_id);
+        match shared.queues.pop(device_id, allow_steal) {
+            DevicePop::Closed => break,
+            DevicePop::Job { job, from } => {
+                shared.pool.note_dequeued(from);
+                if from != device_id {
+                    shared.pool.device(device_id).note_steal();
+                }
+                shared.serve_on(device_id, job);
+                if shared.pool.is_lost(device_id) {
+                    // The device died under this batch: drain its queue and
+                    // re-route the stranded batches to healthy devices so
+                    // they are not served through guaranteed-dead launches.
+                    for stranded in shared.queues.drain(device_id) {
+                        shared.pool.note_dequeued(device_id);
+                        match shared.pool.route(stranded.n) {
+                            Some(target) => {
+                                shared.pool.note_enqueued(target);
+                                shared.queues.push(target, stranded);
+                            }
+                            // No healthy device left: the dead context's
+                            // ladder demotes straight to CPU GEP.
+                            None => shared.serve_on(device_id, stranded),
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -543,6 +638,60 @@ mod tests {
         let snap = service.shutdown();
         assert_eq!(snap.flushes_deadline, 1, "the deadline triggered the flush");
         assert_eq!(snap.completed, 1);
+    }
+
+    #[test]
+    fn pooled_service_shards_flushes_across_devices() {
+        // Four devices, single-flush batches: the metrics devices block
+        // must show all four devices and the dispatched work sharded
+        // across more than one of them.
+        let config = ServiceConfig {
+            pool: Some(device_pool::PoolConfig::new(4)),
+            target_batch: 4,
+            min_gpu_batch: 1,
+            pin_engine: Some(crate::planner::Engine::Gpu(gpu_solvers::GpuAlgorithm::CrPcr {
+                m: 16,
+            })),
+            sanitize_first_flush: false,
+            ..quick_config()
+        };
+        let service: SolverService<f32> = SolverService::start(config);
+        let mut generator = Generator::new(21);
+        let tickets: Vec<_> = (0..64)
+            .map(|_| service.submit(generator.system(Workload::DiagonallyDominant, 64)).unwrap())
+            .collect();
+        for ticket in tickets {
+            let resp = ticket.wait();
+            assert!(resp.residual < 1e-2, "{}", resp.residual);
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.completed, 64);
+        assert_eq!(snap.devices.len(), 4, "one gauge block per pool device");
+        for dev in &snap.devices {
+            assert!(!dev.lost);
+            assert_eq!(dev.breaker, "closed");
+        }
+        let active = snap.devices.iter().filter(|d| d.dispatched > 0).count();
+        assert!(active >= 2, "work must shard across devices: {:?}", snap.devices);
+        let total_ms: f64 = snap.devices.iter().map(|d| d.device_ms).sum();
+        assert!(total_ms > 0.0, "GPU batches must accrue device time");
+        assert!(snap.degradation.is_quiet(), "fault-free pool stays quiet");
+    }
+
+    #[test]
+    fn single_device_pool_preserves_solo_behaviour() {
+        // No pool configured: exactly one device gauge, pinned to the
+        // configured launcher, and all work lands on it.
+        let service: SolverService<f32> = SolverService::start(quick_config());
+        let mut generator = Generator::new(22);
+        for _ in 0..8 {
+            service.submit_wait(generator.system(Workload::DiagonallyDominant, 64)).unwrap();
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.devices.len(), 1);
+        assert_eq!(snap.devices[0].id, 0);
+        assert!(!snap.devices[0].lost);
+        assert_eq!(snap.devices[0].steals, 0, "one queue, nothing to steal");
     }
 
     #[test]

@@ -13,8 +13,8 @@
 use gpu_sim::Launcher;
 use proptest::prelude::*;
 use solver_service::{
-    serve_flush, BucketTable, CircuitBreakers, DispatchConfig, FlushReason, FlushedBatch,
-    PlanCache, ServiceMetrics,
+    serve_flush, BucketTable, CircuitBreakers, DeviceCtx, DispatchConfig, FlushReason,
+    FlushedBatch, PlanCache, ServiceMetrics,
 };
 use std::time::{Duration, Instant};
 use tridiag_core::residual::max_abs_diff;
@@ -59,7 +59,14 @@ fn serve(
         tickets.push(ticket);
     }
     let flush = FlushedBatch { n: systems[0].n(), requests, reason: FlushReason::Full };
-    serve_flush(&launcher, plans, &CircuitBreakers::default(), &metrics, &dispatch_cfg(), flush);
+    serve_flush(
+        DeviceCtx::solo(&launcher),
+        plans,
+        &CircuitBreakers::default(),
+        &metrics,
+        &dispatch_cfg(),
+        flush,
+    );
     tickets.into_iter().map(|t| t.try_take().expect("synchronous serve")).collect()
 }
 

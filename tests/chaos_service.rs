@@ -22,8 +22,9 @@ use gpu_sim::{FaultConfig, FaultPlan, Launcher};
 use gpu_solvers::GpuAlgorithm;
 use proptest::prelude::*;
 use solver_service::{
-    make_request, serve_flush, CircuitBreakers, DispatchConfig, Engine, FlushReason, FlushedBatch,
-    MetricsSnapshot, PlanCache, ServiceConfig, ServiceError, ServiceMetrics, SolverService, Ticket,
+    make_request, serve_flush, CircuitBreakers, DeviceCtx, DispatchConfig, Engine, FlushReason,
+    FlushedBatch, MetricsSnapshot, PlanCache, ServiceConfig, ServiceError, ServiceMetrics,
+    SolverService, Ticket,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -233,7 +234,7 @@ fn serve_once(
         tickets.push(ticket);
     }
     serve_flush(
-        launcher,
+        DeviceCtx::solo(launcher),
         &plans,
         &breakers,
         &metrics,
@@ -297,6 +298,106 @@ fn quiet_fault_plan_is_counter_neutral() {
     assert_eq!(snap_bare.repaired, snap_quiet.repaired);
     assert_eq!(snap_bare.dispatch_systems, snap_quiet.dispatch_systems);
     assert_eq!(snap_bare.engine_ms, snap_quiet.engine_ms, "simulated device time diverged");
+}
+
+/// The multi-device failover scenario: a 4-device pool where one device
+/// dies sticky (`DeviceLost`) a few launches into the stream. The pool
+/// must absorb the loss — the dead device drains and its queue re-routes
+/// to survivors — with zero lost tickets, zero wrong answers, only the
+/// dead device's breaker open, and the three survivors still dispatching.
+#[test]
+fn pool_survives_one_device_dying_mid_stream() {
+    const TOTAL: usize = 300;
+    const SIZES: [usize; 3] = [64, 128, 256];
+    const DEAD: usize = 2;
+
+    let mut pool_cfg = device_pool::PoolConfig::new(4);
+    // Device 2 is lost for good on its 4th launch; everyone else is quiet.
+    pool_cfg.fault_overrides =
+        vec![(DEAD, FaultConfig { device_lost_after: Some(3), ..FaultConfig::quiet(0) })];
+    let config = ServiceConfig {
+        target_batch: 8,
+        min_gpu_batch: 1,
+        max_linger: Duration::from_millis(1),
+        pin_engine: Some(Engine::Gpu(GpuAlgorithm::CrPcr { m: 32 })),
+        pool: Some(pool_cfg),
+        ..ServiceConfig::default()
+    };
+    let service: SolverService<f32> = SolverService::start(config);
+    let mut generator = Generator::new(0x0DEA_D0DE);
+
+    let mut tickets: Vec<Ticket<f32>> = Vec::with_capacity(TOTAL);
+    let mut systems: BTreeMap<u64, TridiagonalSystem<f32>> = BTreeMap::new();
+    let mut submit_one =
+        |i: usize,
+         tickets: &mut Vec<Ticket<f32>>,
+         systems: &mut BTreeMap<u64, TridiagonalSystem<f32>>| {
+            let n = SIZES[i % SIZES.len()];
+            let system = generator.system(Workload::DiagonallyDominant, n);
+            let ticket = submit_retrying(&service, &system);
+            assert!(systems.insert(ticket.id(), system).is_none(), "duplicate ticket id");
+            tickets.push(ticket);
+        };
+    // Pace the stream in small waves until device 2 has actually tripped,
+    // so survivors can't steal every flush routed to it before its worker
+    // launches a kernel; then pour in the remainder in one burst.
+    let mut submitted = 0usize;
+    while submitted < TOTAL {
+        for _ in 0..8.min(TOTAL - submitted) {
+            submit_one(submitted, &mut tickets, &mut systems);
+            submitted += 1;
+        }
+        if service.metrics().devices.iter().any(|d| d.id == DEAD && d.lost) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    for i in submitted..TOTAL {
+        submit_one(i, &mut tickets, &mut systems);
+    }
+
+    // Zero lost tickets, zero wrong answers — the loss is invisible to
+    // callers except as latency.
+    for ticket in tickets {
+        let id = ticket.id();
+        let response = ticket.wait();
+        let system = systems.remove(&id).expect("response for unknown id");
+        let recomputed = l2_residual(&system, &response.x).expect("finite solution");
+        assert!(
+            recomputed < RESIDUAL_BOUND,
+            "wrong answer after device loss: id={id} engine={} residual={recomputed}",
+            response.engine
+        );
+    }
+    assert!(systems.is_empty(), "lost tickets");
+
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.completed, TOTAL as u64);
+    assert_eq!(snapshot.devices.len(), 4);
+
+    // Only the dead device is lost, and only its breaker is open.
+    for dev in &snapshot.devices {
+        if dev.id == DEAD {
+            assert!(dev.lost, "device {DEAD} must be marked lost: {dev:?}");
+            assert_eq!(dev.breaker, "open", "dead device's breaker must be open: {dev:?}");
+        } else {
+            assert!(!dev.lost, "survivor {} wrongly marked lost", dev.id);
+            assert_eq!(dev.breaker, "closed", "survivor {} breaker: {dev:?}", dev.id);
+        }
+    }
+    // The survivors carried the stream.
+    let survivor_work: u64 =
+        snapshot.devices.iter().filter(|d| d.id != DEAD).map(|d| d.dispatched).sum();
+    assert!(survivor_work > 0, "survivors dispatched nothing: {:?}", snapshot.devices);
+    // The loss is on the books: the lost launch surfaced as a device fault
+    // and the breaker tripped open exactly once for the dead device.
+    let deg = &snapshot.degradation;
+    assert!(deg.breaker_opened >= 1, "loss never tripped a breaker: {deg:?}");
+    assert!(
+        deg.breaker_states.iter().all(|(k, s)| k.starts_with("dev2:") || s == "closed"),
+        "a survivor's breaker left closed state: {:?}",
+        deg.breaker_states
+    );
 }
 
 proptest! {
