@@ -31,4 +31,17 @@ cargo run --offline --release -p bench -- chaos --quick
 echo "==> pool gate (bench pool --quick)"
 cargo run --offline --release -p bench -- pool --quick
 
+echo "==> replay gate (bench replay --quick)"
+cargo run --offline --release -p bench -- replay --quick
+
+echo "==> load-lab gate (bench loadlab --quick)"
+cargo run --offline --release -p bench -- loadlab --quick
+
+# Surface the perf artifacts the gates above just wrote (canonical copies
+# stay under target/repro/; the repo-root copies are gitignored and exist
+# for CI artifact upload).
+cp "${CARGO_TARGET_DIR:-target}"/repro/BENCH_*.json .
+echo "==> BENCH artifacts:"
+ls -1 BENCH_*.json
+
 echo "==> CI green"

@@ -8,7 +8,13 @@
 //! cargo run --release -p bench -- sanitize --quick    # sanitizer gate
 //! cargo run --release -p bench -- chaos --quick       # fault-injection gate
 //! cargo run --release -p bench -- pool --quick        # multi-device gate
+//! cargo run --release -p bench -- replay --quick      # bit-identical replay gate
+//! cargo run --release -p bench -- replay t.trace      # verify a trace file
+//! cargo run --release -p bench -- loadlab --quick     # load-lab SLO gate
 //! ```
+//!
+//! Every gate shares one flag grammar (`--quick`, `--json`, whitelisted
+//! extras) and one exit-code vocabulary — see [`bench::cli`].
 
 use bench::{figures, ReproConfig};
 
@@ -33,6 +39,19 @@ fn main() {
     // cell, and large-n partitioned solves verified against CPU GEP.
     if args.first().map(String::as_str) == Some("pool") {
         std::process::exit(bench::pool::run(&args[1..]));
+    }
+
+    // The replay gate captures a fault-injected chaos run under the
+    // deterministic trace-lab harness and demands a second run (and a
+    // round-trip through the trace file) be bit-identical.
+    if args.first().map(String::as_str) == Some("replay") {
+        std::process::exit(bench::replay::run(&args[1..]));
+    }
+
+    // The load lab drives the open-loop workload matrix on the virtual
+    // clock and gates each cell's SLO against checked-in baselines.
+    if args.first().map(String::as_str) == Some("loadlab") {
+        std::process::exit(bench::loadlab::run(&args[1..]));
     }
 
     let all = figures::all();

@@ -227,11 +227,11 @@ fn json_row(cell: &Cell, out: &CellOutcome) -> String {
 
 /// Runs the chaos sweep; returns the process exit code.
 pub fn run(args: &[String]) -> i32 {
-    let quick = args.iter().any(|a| a == "--quick");
-    if let Some(bad) = args.iter().find(|a| a.as_str() != "--quick") {
-        eprintln!("unknown chaos flag '{bad}' (expected --quick)");
-        return 2;
-    }
+    let parsed = match crate::cli::parse("chaos", args, &[], 0) {
+        Ok(parsed) => parsed,
+        Err(code) => return code,
+    };
+    let quick = parsed.quick;
     let total = if quick { 150 } else { 1000 };
     let seed = 20100109;
 
@@ -284,16 +284,18 @@ pub fn run(args: &[String]) -> i32 {
     table.note("wrong = responses whose residual escapes the verify bound (must be 0 by design)");
     table.note("degraded = flushes served off-plan (lower-ranked engine or CPU safety net)");
     println!("{table}");
-    for line in &json {
-        println!("{line}");
+    if parsed.json {
+        for line in &json {
+            println!("{line}");
+        }
     }
 
     if failures > 0 {
         eprintln!("[chaos] FAIL: {failures} cell(s) broke the availability/correctness gate");
-        1
+        crate::cli::EXIT_GATE_FAIL
     } else {
         println!("[chaos] PASS: every answer verified, availability ≥ 99% in all cells");
-        0
+        crate::cli::EXIT_PASS
     }
 }
 

@@ -11,8 +11,11 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod cli;
 pub mod figures;
+pub mod loadlab;
 pub mod pool;
+pub mod replay;
 pub mod report;
 pub mod sanitize;
 pub mod timing;

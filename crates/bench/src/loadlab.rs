@@ -1,0 +1,215 @@
+//! The `loadlab` subcommand: the replay-driven load lab and its SLO gate.
+//!
+//! ```text
+//! cargo run --release -p bench -- loadlab            # full matrix (2000 req/cell)
+//! cargo run --release -p bench -- loadlab --quick    # CI-sized (400 req/cell)
+//! ```
+//!
+//! Runs every cell of [`trace_lab::loadlab::standard_cells`] under the
+//! deterministic harness, prints the matrix, writes the canonical
+//! `target/repro/BENCH_loadlab.json`, and gates twice:
+//!
+//! 1. **SLO** — each cell must clear its own availability/p99/correctness
+//!    objective.
+//! 2. **Baseline** — in `--quick` mode (the CI shape), each cell is also
+//!    compared against the checked-in `baselines/loadlab.json`:
+//!    availability may not drop more than 0.5 % below the recorded value
+//!    and p99 may not exceed 1.5x the recorded value. The lab is
+//!    deterministic, so a baseline miss is a real behaviour change, not
+//!    noise.
+
+use crate::cli::{self, EXIT_GATE_FAIL, EXIT_PASS};
+use crate::report::Table;
+use trace_lab::loadlab::{run_cell, standard_cells};
+use trace_lab::LabOutcome;
+
+/// Availability may drop at most this far below the baseline (ppm).
+const AVAILABILITY_SLACK_PPM: u64 = 5_000;
+
+/// p99 may grow to at most baseline x 3/2.
+const P99_GROWTH_NUM: u64 = 3;
+/// Denominator of the p99 growth bound.
+const P99_GROWTH_DEN: u64 = 2;
+
+fn json_row(out: &LabOutcome) -> String {
+    format!(
+        concat!(
+            "{{\"name\":\"{}\",\"offered\":{},\"served\":{},\"rejected\":{},",
+            "\"availability_ppm\":{},\"p50_ns\":{},\"p99_ns\":{},",
+            "\"throughput_rps\":{},\"repairs\":{},\"wrong\":{},",
+            "\"makespan_ns\":{},\"pass\":{}}}"
+        ),
+        out.name,
+        out.offered,
+        out.served,
+        out.rejected,
+        out.availability_ppm,
+        out.p50_ns,
+        out.p99_ns,
+        out.throughput_rps,
+        out.repairs,
+        out.wrong,
+        out.makespan_ns,
+        out.pass(),
+    )
+}
+
+/// Compares one cell against its baseline row; returns failure clauses.
+fn baseline_failures(out: &LabOutcome, baselines: &str) -> Vec<String> {
+    let Some(row) = cli::json_object_with(baselines, "name", &out.name) else {
+        return vec![format!("{}: no baseline row", out.name)];
+    };
+    let mut failures = Vec::new();
+    match cli::json_u64(row, "availability_ppm") {
+        Some(base) => {
+            let floor = base.saturating_sub(AVAILABILITY_SLACK_PPM);
+            if out.availability_ppm < floor {
+                failures.push(format!(
+                    "{}: availability {} ppm < baseline floor {} ppm (recorded {})",
+                    out.name, out.availability_ppm, floor, base
+                ));
+            }
+        }
+        None => failures.push(format!("{}: baseline row lacks availability_ppm", out.name)),
+    }
+    match cli::json_u64(row, "p99_ns") {
+        Some(base) => {
+            let ceiling = base.saturating_mul(P99_GROWTH_NUM) / P99_GROWTH_DEN;
+            if out.p99_ns > ceiling {
+                failures.push(format!(
+                    "{}: p99 {} ns > baseline ceiling {} ns (recorded {})",
+                    out.name, out.p99_ns, ceiling, base
+                ));
+            }
+        }
+        None => failures.push(format!("{}: baseline row lacks p99_ns", out.name)),
+    }
+    failures
+}
+
+/// Runs the load lab; returns the process exit code.
+pub fn run(args: &[String]) -> i32 {
+    let parsed = match cli::parse("loadlab", args, &[], 0) {
+        Ok(parsed) => parsed,
+        Err(code) => return code,
+    };
+    let cells = standard_cells(parsed.quick);
+    let requests = cells[0].scenario.requests;
+
+    let mut table = Table::new(
+        format!(
+            "Load lab: {requests} open-loop requests/cell on the deterministic \
+             virtual-clock harness (latencies are simulated ns)"
+        ),
+        &[
+            "cell", "offered", "served", "shed", "avail %", "p50 µs", "p99 µs", "req/s", "repairs",
+            "wrong", "gate",
+        ],
+    );
+    let mut json = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    let mut outcomes = Vec::new();
+    for cell in &cells {
+        eprintln!("[loadlab] {} ...", cell.scenario.name);
+        let out = run_cell(cell);
+        failures.extend(out.failures.iter().map(|f| format!("{}: {f}", out.name)));
+        table.row(vec![
+            out.name.clone(),
+            out.offered.to_string(),
+            out.served.to_string(),
+            out.rejected.to_string(),
+            format!("{:.2}", out.availability_ppm as f64 / 1e4),
+            format!("{:.1}", out.p50_ns as f64 / 1e3),
+            format!("{:.1}", out.p99_ns as f64 / 1e3),
+            out.throughput_rps.to_string(),
+            out.repairs.to_string(),
+            out.wrong.to_string(),
+            if out.pass() { "pass".into() } else { "FAIL".into() },
+        ]);
+        json.push(json_row(&out));
+        outcomes.push(out);
+    }
+    table.note("gate: per-cell SLO (availability floor, p99 ceiling, zero wrong answers)");
+    table.note("adversarial-small-n is expected to shed: its SLO asserts graceful rejection");
+    println!("{table}");
+    if parsed.json {
+        for line in &json {
+            println!("{line}");
+        }
+    }
+
+    let bench = format!(
+        "{{\"bench\":\"loadlab\",\"quick\":{},\"rows\":[{}]}}\n",
+        parsed.quick,
+        json.join(",")
+    );
+    match cli::write_bench("BENCH_loadlab.json", &bench) {
+        Ok(path) => eprintln!("[loadlab] wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("[loadlab] FAIL: writing BENCH_loadlab.json: {e}");
+            return EXIT_GATE_FAIL;
+        }
+    }
+
+    // Baseline regression gate — the baseline records the --quick shape CI
+    // runs; full-size runs are gated by SLO only.
+    if parsed.quick {
+        match cli::baseline_path("loadlab.json").map(std::fs::read_to_string) {
+            Some(Ok(baselines)) => {
+                for out in &outcomes {
+                    failures.extend(baseline_failures(out, &baselines));
+                }
+            }
+            Some(Err(e)) => failures.push(format!("baselines/loadlab.json unreadable: {e}")),
+            None => failures.push("baselines/loadlab.json missing".to_string()),
+        }
+    } else {
+        eprintln!("[loadlab] baseline compare skipped (baselines record the --quick shape)");
+    }
+
+    if failures.is_empty() {
+        println!("[loadlab] PASS: {} cell(s) cleared SLO and baseline", outcomes.len());
+        EXIT_PASS
+    } else {
+        for f in &failures {
+            eprintln!("[loadlab] FAIL: {f}");
+        }
+        EXIT_GATE_FAIL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_lab::loadlab::standard_cells;
+
+    #[test]
+    fn quick_lab_passes_slo_and_baseline() {
+        assert_eq!(run(&["--quick".to_string()]), EXIT_PASS);
+    }
+
+    #[test]
+    fn baseline_comparison_flags_regressions() {
+        let out = run_cell(&standard_cells(true)[0]);
+        let baselines = format!(
+            "{{\"rows\":[{{\"name\":\"steady\",\"availability_ppm\":1000000,\"p99_ns\":{}}}]}}",
+            out.p99_ns / 10
+        );
+        let failures = baseline_failures(&out, &baselines);
+        assert!(
+            failures.iter().any(|f| f.contains("p99")),
+            "a 10x p99 regression went unflagged: {failures:?}"
+        );
+    }
+
+    #[test]
+    fn missing_baseline_row_is_a_failure() {
+        let out = run_cell(&standard_cells(true)[0]);
+        assert!(!baseline_failures(&out, "{\"rows\":[]}").is_empty());
+    }
+
+    #[test]
+    fn unknown_flags_are_usage_errors() {
+        assert_eq!(run(&["--cells=9".to_string()]), cli::EXIT_USAGE);
+    }
+}

@@ -20,6 +20,7 @@
 //!    2^20 in the full sweep) on every pool size, verified against the
 //!    CPU GEP reference. Gate: every row verifies.
 
+use crate::cli::{self, EXIT_GATE_FAIL, EXIT_PASS};
 use crate::report::Table;
 use device_pool::{solve_partitioned, PoolConfig};
 use gpu_sim::FaultConfig;
@@ -326,13 +327,59 @@ fn json_partitioned(cell: &PartitionedCell) -> String {
     )
 }
 
+/// Checks the measured scaling/failover numbers against the checked-in
+/// `baselines/pool.json` thresholds; returns failure clauses.
+fn baseline_failures(
+    gate_speedup: Option<f64>,
+    gate_throughput: Option<f64>,
+    availability: f64,
+) -> Vec<String> {
+    let baselines = match cli::baseline_path("pool.json").map(std::fs::read_to_string) {
+        Some(Ok(text)) => text,
+        Some(Err(e)) => return vec![format!("baselines/pool.json unreadable: {e}")],
+        None => return vec!["baselines/pool.json missing".to_string()],
+    };
+    let mut failures = Vec::new();
+    match cli::json_object_with(&baselines, "name", "scaling-4dev") {
+        Some(row) => {
+            if let (Some(min), Some(got)) = (cli::json_f64(row, "min_speedup"), gate_speedup) {
+                if got < min {
+                    failures.push(format!("scaling: 4-device speedup {got:.2} < baseline {min}"));
+                }
+            }
+            if let (Some(min), Some(got)) =
+                (cli::json_f64(row, "min_throughput_per_ms"), gate_throughput)
+            {
+                if got < min {
+                    failures.push(format!(
+                        "scaling: 4-device throughput {got:.2}/ms < baseline {min}/ms"
+                    ));
+                }
+            }
+        }
+        None => failures.push("baselines/pool.json lacks a scaling-4dev row".to_string()),
+    }
+    match cli::json_object_with(&baselines, "name", "failover") {
+        Some(row) => {
+            if let Some(min) = cli::json_f64(row, "min_availability") {
+                if availability < min {
+                    failures
+                        .push(format!("failover: availability {availability:.4} < baseline {min}"));
+                }
+            }
+        }
+        None => failures.push("baselines/pool.json lacks a failover row".to_string()),
+    }
+    failures
+}
+
 /// Runs the pool sweep; returns the process exit code.
 pub fn run(args: &[String]) -> i32 {
-    let quick = args.iter().any(|a| a == "--quick");
-    if let Some(bad) = args.iter().find(|a| a.as_str() != "--quick") {
-        eprintln!("unknown pool flag '{bad}' (expected --quick)");
-        return 2;
-    }
+    let parsed = match cli::parse("pool", args, &[], 0) {
+        Ok(parsed) => parsed,
+        Err(code) => return code,
+    };
+    let quick = parsed.quick;
     let seed = 20100109;
     let total = if quick { 192 } else { 512 };
     let device_counts: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
@@ -349,6 +396,7 @@ pub fn run(args: &[String]) -> i32 {
     );
     let mut baseline: Option<f64> = None;
     let mut gate_speedup: Option<f64> = None;
+    let mut gate_throughput: Option<f64> = None;
     for &devices in device_counts {
         eprintln!("[pool] scaling @ {devices} device(s) ...");
         let cell = drive_scaling(seed, devices, total);
@@ -361,6 +409,7 @@ pub fn run(args: &[String]) -> i32 {
         };
         if devices == GATE_DEVICES {
             gate_speedup = Some(speedup);
+            gate_throughput = Some(cell.throughput);
         }
         if cell.wrong > 0 {
             failures += 1;
@@ -471,19 +520,35 @@ pub fn run(args: &[String]) -> i32 {
     ptable.note("gate: element-wise rel err < 1e-9 vs GEP (2^16) and l2 residual < 1e-6");
     println!("{ptable}");
 
-    for line in &json {
-        println!("{line}");
+    if parsed.json {
+        for line in &json {
+            println!("{line}");
+        }
+    }
+
+    let bench = format!("{{\"bench\":\"pool\",\"quick\":{quick},\"rows\":[{}]}}\n", json.join(","));
+    match cli::write_bench("BENCH_pool.json", &bench) {
+        Ok(path) => eprintln!("[pool] wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("[pool] FAIL: writing BENCH_pool.json: {e}");
+            failures += 1;
+        }
+    }
+
+    for clause in baseline_failures(gate_speedup, gate_throughput, failover.availability) {
+        eprintln!("[pool] FAIL: {clause}");
+        failures += 1;
     }
 
     if failures > 0 {
         eprintln!("[pool] FAIL: {failures} gate(s) broke");
-        1
+        EXIT_GATE_FAIL
     } else {
         println!(
             "[pool] PASS: scaling >= {GATE_SPEEDUP:.0}x at {GATE_DEVICES} devices, \
-             failover lossless, all partitioned solves verified"
+             failover lossless, all partitioned solves verified, baselines held"
         );
-        0
+        EXIT_PASS
     }
 }
 

@@ -1,0 +1,177 @@
+//! The `replay` subcommand: the bit-identical determinism gate.
+//!
+//! ```text
+//! cargo run --release -p bench -- replay            # capture + replay, 1000-request chaos cell
+//! cargo run --release -p bench -- replay --quick    # CI-sized (300 requests)
+//! cargo run --release -p bench -- replay t.trace    # verify an existing trace file
+//! ```
+//!
+//! Without an operand the gate runs the acceptance loop: capture the
+//! 5%-fault chaos scenario **twice**, demand the two serialized traces be
+//! byte-identical, round-trip one through `target/repro/chaos.trace`, and
+//! replay-verify the loaded copy event-by-event. With a trace operand it
+//! re-runs that file's embedded scenario and verifies against the recorded
+//! stream — exit 1 on the first divergence.
+
+use crate::cli::{self, EXIT_GATE_FAIL, EXIT_PASS};
+use crate::report::Table;
+use trace_lab::{replay, RunStats, Scenario, TraceFile};
+
+fn json_row(trace: &TraceFile, stats: &RunStats, identical: bool) -> String {
+    format!(
+        concat!(
+            "{{\"experiment\":\"replay\",\"scenario\":\"{}\",\"seed\":{},",
+            "\"config_hash\":\"{:#018x}\",\"requests\":{},\"events\":{},",
+            "\"served\":{},\"rejected\":{},\"repairs\":{},\"wrong\":{},",
+            "\"makespan_ns\":{},\"identical\":{}}}"
+        ),
+        trace.scenario.name,
+        trace.seed,
+        trace.config_hash,
+        trace.scenario.requests,
+        trace.events.len(),
+        stats.served,
+        stats.rejected,
+        stats.repairs,
+        stats.wrong,
+        stats.final_tick,
+        identical,
+    )
+}
+
+fn summary_table(trace: &TraceFile, stats: &RunStats, verdict: &str) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Replay gate: scenario '{}' (seed {:#x}, config hash {:#018x}, captured @ {})",
+            trace.scenario.name, trace.seed, trace.config_hash, trace.git_rev
+        ),
+        &["requests", "events", "served", "rejected", "repairs", "wrong", "makespan ms", "verdict"],
+    );
+    table.row(vec![
+        trace.scenario.requests.to_string(),
+        trace.events.len().to_string(),
+        stats.served.to_string(),
+        stats.rejected.to_string(),
+        stats.repairs.to_string(),
+        stats.wrong.to_string(),
+        format!("{:.3}", stats.final_tick as f64 / 1e6),
+        verdict.to_string(),
+    ]);
+    table.note("verdict 'bit-identical' = every event, timestamps included, matched the trace");
+    table
+}
+
+/// The no-operand acceptance loop. Returns the exit code.
+fn self_gate(quick: bool, json: bool) -> i32 {
+    let requests = if quick { 300 } else { 1000 };
+    let scenario = Scenario::chaos(requests);
+    eprintln!("[replay] capturing '{}' x2 ({requests} requests) ...", scenario.name);
+    let (trace_a, stats_a) = replay::capture(&scenario);
+    let (trace_b, _) = replay::capture(&scenario);
+
+    let bytes_a = trace_a.to_bytes();
+    if bytes_a != trace_b.to_bytes() {
+        eprintln!("[replay] FAIL: two captures of the same scenario serialized differently");
+        return EXIT_GATE_FAIL;
+    }
+
+    let path = cli::repro_dir().join("chaos.trace");
+    if let Err(e) = trace_a.write(&path) {
+        eprintln!("[replay] FAIL: writing {}: {e}", path.display());
+        return EXIT_GATE_FAIL;
+    }
+    let loaded = match TraceFile::read(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("[replay] FAIL: reading back {}: {e}", path.display());
+            return EXIT_GATE_FAIL;
+        }
+    };
+
+    eprintln!("[replay] verifying the round-tripped trace ...");
+    match replay::verify(&loaded) {
+        Ok(replay_stats) if replay_stats == stats_a => {
+            println!("{}", summary_table(&loaded, &stats_a, "bit-identical"));
+            if json {
+                println!("{}", json_row(&loaded, &stats_a, true));
+            }
+            println!(
+                "[replay] PASS: {} events bit-identical across two runs (trace: {})",
+                loaded.events.len(),
+                path.display()
+            );
+            EXIT_PASS
+        }
+        Ok(_) => {
+            eprintln!("[replay] FAIL: events matched but run stats diverged");
+            EXIT_GATE_FAIL
+        }
+        Err(divergence) => {
+            eprintln!("[replay] FAIL: {divergence}");
+            EXIT_GATE_FAIL
+        }
+    }
+}
+
+/// Verifies an existing trace file. Returns the exit code.
+fn verify_file(path: &str, json: bool) -> i32 {
+    let trace = match TraceFile::read(std::path::Path::new(path)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("[replay] FAIL: {path}: {e}");
+            return EXIT_GATE_FAIL;
+        }
+    };
+    eprintln!(
+        "[replay] replaying '{}' ({} events, captured @ {}) ...",
+        trace.scenario.name,
+        trace.events.len(),
+        trace.git_rev
+    );
+    match replay::verify(&trace) {
+        Ok(stats) => {
+            println!("{}", summary_table(&trace, &stats, "bit-identical"));
+            if json {
+                println!("{}", json_row(&trace, &stats, true));
+            }
+            println!("[replay] PASS: replay matched {} recorded events", trace.events.len());
+            EXIT_PASS
+        }
+        Err(divergence) => {
+            eprintln!("[replay] FAIL: {divergence}");
+            EXIT_GATE_FAIL
+        }
+    }
+}
+
+/// Runs the replay gate; returns the process exit code.
+pub fn run(args: &[String]) -> i32 {
+    let parsed = match cli::parse("replay", args, &[], 1) {
+        Ok(parsed) => parsed,
+        Err(code) => return code,
+    };
+    match parsed.operands.first() {
+        Some(path) => verify_file(path, parsed.json),
+        None => self_gate(parsed.quick, parsed.json),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_quick_self_gate_passes() {
+        assert_eq!(run(&["--quick".to_string()]), EXIT_PASS);
+    }
+
+    #[test]
+    fn a_missing_trace_operand_fails_the_gate_not_usage() {
+        assert_eq!(run(&["/nonexistent/x.trace".to_string()]), EXIT_GATE_FAIL);
+    }
+
+    #[test]
+    fn unknown_flags_are_usage_errors() {
+        assert_eq!(run(&["--frobnicate".to_string()]), cli::EXIT_USAGE);
+    }
+}

@@ -131,18 +131,17 @@ fn sweep_type<T: Real>(
 
 /// Runs the sanitizer sweep; returns the process exit code.
 pub fn run(args: &[String]) -> i32 {
-    let quick = args.iter().any(|a| a == "--quick");
-    let overhead = args.iter().any(|a| a == "--overhead");
-    if let Some(bad) = args.iter().find(|a| !matches!(a.as_str(), "--quick" | "--overhead")) {
-        eprintln!("unknown sanitize flag '{bad}' (expected --quick and/or --overhead)");
-        return 2;
-    }
-    if overhead {
+    let parsed = match crate::cli::parse("sanitize", args, &["overhead"], 0) {
+        Ok(parsed) => parsed,
+        Err(code) => return code,
+    };
+    let quick = parsed.quick;
+    if parsed.has("overhead") {
         println!("{}", overhead_table());
         if quick {
             // fall through to the sweep too
         } else {
-            return 0;
+            return crate::cli::EXIT_PASS;
         }
     }
 
@@ -171,12 +170,20 @@ pub fn run(args: &[String]) -> i32 {
     );
     println!("{table}");
 
+    if parsed.json {
+        println!(
+            "{{\"experiment\":\"sanitize\",\"quick\":{quick},\"errors\":{errors},\
+             \"pass\":{}}}",
+            errors == 0
+        );
+    }
+
     if errors > 0 {
         eprintln!("[sanitize] FAIL: {errors} error-severity diagnostic(s)");
-        1
+        crate::cli::EXIT_GATE_FAIL
     } else {
         println!("[sanitize] PASS: no error-severity diagnostics");
-        0
+        crate::cli::EXIT_PASS
     }
 }
 

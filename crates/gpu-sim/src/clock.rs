@@ -1,0 +1,222 @@
+//! Virtual time: one clock abstraction for the whole serving stack.
+//!
+//! Everything above the kernels that *waits* — batcher linger deadlines,
+//! retry backoff, breaker cool-downs, steal-queue backup detection — reads
+//! time through a [`Clock`] instead of calling [`Instant::now`] directly.
+//! Two implementations share the handle:
+//!
+//! * **Real** ([`Clock::real`]): wall time relative to the clock's
+//!   creation; `sleep` parks the thread. Production behaviour, unchanged.
+//! * **Simulated** ([`Clock::sim`]): a shared virtual-nanosecond counter.
+//!   `sleep` *advances the counter* instead of parking, so a test (or the
+//!   trace-lab replay harness) covers hours of linger/cool-down behaviour
+//!   in microseconds of host time — and, driven from a single thread, the
+//!   entire service becomes a deterministic function of its inputs.
+//!
+//! Time is a [`Tick`]: nanoseconds since the clock's epoch. Ticks are
+//! plain `u64`s so they can ride in trace events and replay byte-for-byte
+//! (an [`Instant`] is opaque and process-local; a tick is portable).
+//!
+//! ## Invariants (the virtual-clock contract)
+//!
+//! 1. `now()` is monotone non-decreasing on every handle.
+//! 2. A simulated clock only moves when someone *asks* it to (`sleep`,
+//!    `advance`, `advance_to`, `work`) — there is no background drift, so
+//!    a single-threaded driver sees a fully deterministic timeline.
+//! 3. `work(d)` charges the duration of *computed* work: a no-op on the
+//!    real clock (wall time already elapsed while computing) and an
+//!    `advance(d)` on the simulated one. Dispatch uses it to convert
+//!    simulated device-milliseconds into simulated latency.
+//! 4. Cloned handles share the same timeline (real handles share an
+//!    epoch; simulated handles share the counter).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A point in time: nanoseconds since the owning clock's epoch.
+pub type Tick = u64;
+
+/// Converts a tick difference into a [`Duration`] (saturating at zero).
+pub fn tick_duration(from: Tick, to: Tick) -> Duration {
+    Duration::from_nanos(to.saturating_sub(from))
+}
+
+#[derive(Debug, Clone)]
+enum Inner {
+    Real { epoch: Instant },
+    Sim { nanos: Arc<AtomicU64> },
+}
+
+/// A cloneable clock handle: real wall time or shared simulated time.
+#[derive(Debug, Clone)]
+pub struct Clock {
+    inner: Inner,
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Self::real()
+    }
+}
+
+impl Clock {
+    /// A real clock: ticks are nanoseconds since this call; `sleep` parks.
+    pub fn real() -> Self {
+        Self { inner: Inner::Real { epoch: Instant::now() } }
+    }
+
+    /// A simulated clock starting at tick 0; `sleep` advances it.
+    pub fn sim() -> Self {
+        Self { inner: Inner::Sim { nanos: Arc::new(AtomicU64::new(0)) } }
+    }
+
+    /// `true` for simulated clocks.
+    pub fn is_sim(&self) -> bool {
+        matches!(self.inner, Inner::Sim { .. })
+    }
+
+    /// Current tick.
+    pub fn now(&self) -> Tick {
+        match &self.inner {
+            Inner::Real { epoch } => epoch.elapsed().as_nanos() as u64,
+            Inner::Sim { nanos } => nanos.load(Ordering::SeqCst),
+        }
+    }
+
+    /// The tick `d` from now.
+    pub fn tick_after(&self, d: Duration) -> Tick {
+        self.now().saturating_add(d.as_nanos().min(u64::MAX as u128) as u64)
+    }
+
+    /// Sleeps for `d`: parks the thread (real) or advances time (sim).
+    pub fn sleep(&self, d: Duration) {
+        match &self.inner {
+            Inner::Real { .. } => std::thread::sleep(d),
+            Inner::Sim { .. } => self.advance(d),
+        }
+    }
+
+    /// Advances a simulated clock by `d`. No-op on a real clock (wall time
+    /// cannot be pushed; callers use this only for sim-specific pacing).
+    pub fn advance(&self, d: Duration) {
+        if let Inner::Sim { nanos } = &self.inner {
+            nanos.fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::SeqCst);
+        }
+    }
+
+    /// Advances a simulated clock *to* `t` (never backwards — invariant 1).
+    /// No-op on a real clock.
+    pub fn advance_to(&self, t: Tick) {
+        if let Inner::Sim { nanos } = &self.inner {
+            nanos.fetch_max(t, Ordering::SeqCst);
+        }
+    }
+
+    /// Charges the duration of computed work: `advance(d)` on a simulated
+    /// clock, no-op on a real one (the wall already paid it).
+    pub fn work(&self, d: Duration) {
+        if self.is_sim() {
+            self.advance(d);
+        }
+    }
+
+    /// How long a waiter should actually park for a virtual `deadline`:
+    /// `Some(remaining)` on a real clock, or the polling quantum on a
+    /// simulated clock (a blocked thread cannot observe another thread's
+    /// `advance` through a foreign condvar, so it re-checks periodically —
+    /// single-threaded sim drivers never block at all). `None` means the
+    /// deadline has already passed.
+    pub fn park_budget(&self, deadline: Tick) -> Option<Duration> {
+        let now = self.now();
+        if now >= deadline {
+            return None;
+        }
+        match &self.inner {
+            Inner::Real { .. } => Some(Duration::from_nanos(deadline - now)),
+            Inner::Sim { .. } => Some(SIM_POLL_QUANTUM),
+        }
+    }
+}
+
+/// How long threaded waiters park between simulated-time re-checks. Only
+/// multi-threaded tests under a sim clock ever pay this; the deterministic
+/// replay harness is single-threaded and never parks.
+pub const SIM_POLL_QUANTUM: Duration = Duration::from_micros(500);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_starts_at_zero_and_only_moves_on_request() {
+        let c = Clock::sim();
+        assert!(c.is_sim());
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.now(), 0, "no background drift");
+        c.advance(Duration::from_micros(3));
+        assert_eq!(c.now(), 3_000);
+    }
+
+    #[test]
+    fn sim_sleep_advances_instead_of_parking() {
+        let c = Clock::sim();
+        let wall = Instant::now();
+        c.sleep(Duration::from_secs(3600));
+        assert_eq!(c.now(), 3_600_000_000_000);
+        assert!(wall.elapsed() < Duration::from_millis(100), "sim sleep must not park");
+    }
+
+    #[test]
+    fn cloned_sim_handles_share_the_timeline() {
+        let a = Clock::sim();
+        let b = a.clone();
+        a.advance(Duration::from_nanos(7));
+        assert_eq!(b.now(), 7);
+        b.advance_to(100);
+        assert_eq!(a.now(), 100);
+    }
+
+    #[test]
+    fn advance_to_never_moves_backwards() {
+        let c = Clock::sim();
+        c.advance_to(50);
+        c.advance_to(10);
+        assert_eq!(c.now(), 50);
+    }
+
+    #[test]
+    fn real_clock_is_monotone_and_work_is_free() {
+        let c = Clock::real();
+        let t0 = c.now();
+        c.work(Duration::from_secs(3600)); // no-op on real clocks
+        let t1 = c.now();
+        assert!(t1 >= t0);
+        assert!(t1 - t0 < 1_000_000_000, "work() must not advance a real clock");
+    }
+
+    #[test]
+    fn sim_work_charges_the_duration() {
+        let c = Clock::sim();
+        c.work(Duration::from_micros(42));
+        assert_eq!(c.now(), 42_000);
+    }
+
+    #[test]
+    fn park_budget_reports_remaining_or_elapsed() {
+        let c = Clock::sim();
+        assert_eq!(c.park_budget(0), None, "deadline at now has passed");
+        assert_eq!(c.park_budget(1_000), Some(SIM_POLL_QUANTUM));
+        let r = Clock::real();
+        let d = r.tick_after(Duration::from_secs(10));
+        let budget = r.park_budget(d).expect("future deadline");
+        assert!(budget <= Duration::from_secs(10));
+        assert!(budget > Duration::from_secs(9));
+    }
+
+    #[test]
+    fn tick_duration_saturates() {
+        assert_eq!(tick_duration(5, 9), Duration::from_nanos(4));
+        assert_eq!(tick_duration(9, 5), Duration::ZERO);
+    }
+}

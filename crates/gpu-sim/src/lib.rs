@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod advisor;
+pub mod clock;
 pub mod cost;
 pub mod counters;
 pub mod device;
@@ -70,6 +71,7 @@ pub mod scan;
 pub mod trace;
 
 pub use advisor::{analyze, Advice, Category, Finding};
+pub use clock::{tick_duration, Clock, Tick};
 pub use cost::{CostModel, StepCost};
 pub use counters::{KernelStats, Phase, StepRecord};
 pub use device::DeviceConfig;

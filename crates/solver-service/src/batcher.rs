@@ -23,8 +23,9 @@
 //! thread that sleeps exactly until the earliest linger deadline.
 
 use crate::request::SolveRequest;
-use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use gpu_sim::Tick;
+use std::collections::BTreeMap;
+use std::time::Duration;
 use tridiag_core::Real;
 
 /// Why a batch was flushed — carried through to the metrics so operators
@@ -68,22 +69,22 @@ pub struct FlushedBatch<T: Real> {
 
 struct Bucket<T: Real> {
     requests: Vec<SolveRequest<T>>,
-    /// Admission time of the *oldest* member — linger is measured from the
+    /// Admission tick of the *oldest* member — linger is measured from the
     /// first request so the bound holds even under a trickle of arrivals.
-    oldest: Instant,
+    oldest: Tick,
     /// Earliest completion deadline among members carrying one.
-    earliest_deadline: Option<Instant>,
+    earliest_deadline: Option<Tick>,
 }
 
 impl<T: Real> Bucket<T> {
     /// When this bucket must flush: the linger deadline, pulled earlier by
     /// the most urgent member deadline (minus `slack` to leave time for
     /// the solve itself).
-    fn flush_at(&self, max_linger: Duration, slack: Duration) -> Instant {
-        let linger_at = self.oldest + max_linger;
+    fn flush_at(&self, max_linger: Tick, slack: Tick) -> Tick {
+        let linger_at = self.oldest.saturating_add(max_linger);
         match self.earliest_deadline {
             Some(d) => {
-                let deadline_at = d.checked_sub(slack).unwrap_or(self.oldest);
+                let deadline_at = d.saturating_sub(slack).max(self.oldest);
                 linger_at.min(deadline_at)
             }
             None => linger_at,
@@ -92,8 +93,8 @@ impl<T: Real> Bucket<T> {
 
     /// Attributes a flush at `now`: `Linger` when the linger window is
     /// closed anyway, `Deadline` when a member deadline forced it early.
-    fn flush_reason(&self, now: Instant, max_linger: Duration) -> FlushReason {
-        if now >= self.oldest + max_linger {
+    fn flush_reason(&self, now: Tick, max_linger: Tick) -> FlushReason {
+        if now >= self.oldest.saturating_add(max_linger) {
             FlushReason::Linger
         } else {
             FlushReason::Deadline
@@ -103,11 +104,17 @@ impl<T: Real> Bucket<T> {
 
 /// Pure batching state machine: per-size buckets with target/linger flush
 /// and deadline-aware early flushing.
+///
+/// All time is in [`Tick`]s from the service clock, and the buckets live
+/// in a `BTreeMap`: when several buckets expire on the same tick they
+/// flush in ascending size order, every run — a `HashMap` here would make
+/// the flush order (and therefore a captured decision trace) depend on
+/// the process's hash seed.
 pub struct BucketTable<T: Real> {
-    buckets: HashMap<usize, Bucket<T>>,
+    buckets: BTreeMap<usize, Bucket<T>>,
     target_batch: usize,
-    max_linger: Duration,
-    deadline_slack: Duration,
+    max_linger: Tick,
+    deadline_slack: Tick,
 }
 
 impl<T: Real> BucketTable<T> {
@@ -118,17 +125,17 @@ impl<T: Real> BucketTable<T> {
     pub fn new(target_batch: usize, max_linger: Duration) -> Self {
         assert!(target_batch >= 1, "target batch size must be >= 1");
         Self {
-            buckets: HashMap::new(),
+            buckets: BTreeMap::new(),
             target_batch,
-            max_linger,
-            deadline_slack: Duration::from_micros(500),
+            max_linger: max_linger.as_nanos().min(u64::MAX as u128) as u64,
+            deadline_slack: 500_000,
         }
     }
 
     /// Sets how much earlier than a member's deadline its bucket flushes
     /// (headroom for the dispatch + solve itself).
     pub fn with_deadline_slack(mut self, slack: Duration) -> Self {
-        self.deadline_slack = slack;
+        self.deadline_slack = slack.as_nanos().min(u64::MAX as u128) as u64;
         self
     }
 
@@ -139,7 +146,7 @@ impl<T: Real> BucketTable<T> {
 
     /// Adds `request` to its size-class bucket; returns the batch when the
     /// bucket reaches the target size.
-    pub fn insert(&mut self, request: SolveRequest<T>, now: Instant) -> Option<FlushedBatch<T>> {
+    pub fn insert(&mut self, request: SolveRequest<T>, now: Tick) -> Option<FlushedBatch<T>> {
         let n = request.system.n();
         let bucket = self.buckets.entry(n).or_insert_with(|| Bucket {
             requests: Vec::new(),
@@ -165,14 +172,14 @@ impl<T: Real> BucketTable<T> {
     /// The earliest flush point across all buckets (linger deadline pulled
     /// earlier by member deadlines), or `None` when everything is empty
     /// (the batcher thread sleeps on the queue alone).
-    pub fn next_deadline(&self) -> Option<Instant> {
+    pub fn next_deadline(&self) -> Option<Tick> {
         self.buckets.values().map(|b| b.flush_at(self.max_linger, self.deadline_slack)).min()
     }
 
     /// Flushes every bucket whose flush point has arrived — because its
     /// oldest member has waited `max_linger`, or because a member deadline
     /// (minus slack) would not survive more lingering.
-    pub fn flush_expired(&mut self, now: Instant) -> Vec<FlushedBatch<T>> {
+    pub fn flush_expired(&mut self, now: Tick) -> Vec<FlushedBatch<T>> {
         let expired: Vec<usize> = self
             .buckets
             .iter()
@@ -213,13 +220,18 @@ mod tests {
         make_request(id, system).0
     }
 
+    /// Milliseconds → ticks; the tests run on a purely virtual timeline
+    /// starting at tick 0, no wall clock involved.
+    fn ms(v: u64) -> Tick {
+        v * 1_000_000
+    }
+
     #[test]
     fn bucket_flushes_exactly_at_target() {
         let mut table = BucketTable::new(3, Duration::from_millis(100));
-        let now = Instant::now();
-        assert!(table.insert(req(0, 64), now).is_none());
-        assert!(table.insert(req(1, 64), now).is_none());
-        let flush = table.insert(req(2, 64), now).expect("third request fills the bucket");
+        assert!(table.insert(req(0, 64), 0).is_none());
+        assert!(table.insert(req(1, 64), 0).is_none());
+        let flush = table.insert(req(2, 64), 0).expect("third request fills the bucket");
         assert_eq!(flush.n, 64);
         assert_eq!(flush.reason, FlushReason::Full);
         assert_eq!(flush.requests.len(), 3);
@@ -229,14 +241,13 @@ mod tests {
     #[test]
     fn mixed_size_classes_are_never_co_batched() {
         let mut table = BucketTable::new(2, Duration::from_millis(100));
-        let now = Instant::now();
-        assert!(table.insert(req(0, 64), now).is_none());
-        assert!(table.insert(req(1, 128), now).is_none());
+        assert!(table.insert(req(0, 64), 0).is_none());
+        assert!(table.insert(req(1, 128), 0).is_none());
         // Each size class fills independently.
-        let f64_class = table.insert(req(2, 64), now).unwrap();
+        let f64_class = table.insert(req(2, 64), 0).unwrap();
         assert_eq!(f64_class.n, 64);
         assert!(f64_class.requests.iter().all(|r| r.system.n() == 64));
-        let f128 = table.insert(req(3, 128), now).unwrap();
+        let f128 = table.insert(req(3, 128), 0).unwrap();
         assert_eq!(f128.n, 128);
         assert!(f128.requests.iter().all(|r| r.system.n() == 128));
     }
@@ -244,12 +255,11 @@ mod tests {
     #[test]
     fn lone_request_flushes_on_linger_deadline() {
         let mut table = BucketTable::new(64, Duration::from_millis(10));
-        let t0 = Instant::now();
-        assert!(table.insert(req(0, 32), t0).is_none());
+        assert!(table.insert(req(0, 32), 0).is_none());
         // Before the deadline: nothing.
-        assert!(table.flush_expired(t0 + Duration::from_millis(5)).is_empty());
+        assert!(table.flush_expired(ms(5)).is_empty());
         // At the deadline: the lone request is flushed rather than starved.
-        let flushed = table.flush_expired(t0 + Duration::from_millis(10));
+        let flushed = table.flush_expired(ms(10));
         assert_eq!(flushed.len(), 1);
         assert_eq!(flushed[0].reason, FlushReason::Linger);
         assert_eq!(flushed[0].requests.len(), 1);
@@ -258,12 +268,11 @@ mod tests {
     #[test]
     fn linger_clock_starts_at_the_oldest_member() {
         let mut table = BucketTable::new(64, Duration::from_millis(10));
-        let t0 = Instant::now();
-        table.insert(req(0, 32), t0);
+        table.insert(req(0, 32), 0);
         // A later arrival must NOT reset the deadline.
-        table.insert(req(1, 32), t0 + Duration::from_millis(8));
-        assert_eq!(table.next_deadline(), Some(t0 + Duration::from_millis(10)));
-        let flushed = table.flush_expired(t0 + Duration::from_millis(10));
+        table.insert(req(1, 32), ms(8));
+        assert_eq!(table.next_deadline(), Some(ms(10)));
+        let flushed = table.flush_expired(ms(10));
         assert_eq!(flushed.len(), 1);
         assert_eq!(flushed[0].requests.len(), 2);
     }
@@ -271,19 +280,17 @@ mod tests {
     #[test]
     fn deadline_is_the_minimum_across_buckets() {
         let mut table = BucketTable::new(64, Duration::from_millis(10));
-        let t0 = Instant::now();
-        table.insert(req(0, 32), t0 + Duration::from_millis(3));
-        table.insert(req(1, 64), t0);
-        assert_eq!(table.next_deadline(), Some(t0 + Duration::from_millis(10)));
+        table.insert(req(0, 32), ms(3));
+        table.insert(req(1, 64), 0);
+        assert_eq!(table.next_deadline(), Some(ms(10)));
     }
 
     #[test]
     fn flush_all_drains_every_bucket_deterministically() {
         let mut table = BucketTable::new(64, Duration::from_millis(100));
-        let now = Instant::now();
-        table.insert(req(0, 128), now);
-        table.insert(req(1, 32), now);
-        table.insert(req(2, 32), now);
+        table.insert(req(0, 128), 0);
+        table.insert(req(1, 32), 0);
+        table.insert(req(2, 32), 0);
         let drained = table.flush_all();
         assert_eq!(drained.len(), 2);
         assert_eq!(drained[0].n, 32); // sorted by size
@@ -297,11 +304,40 @@ mod tests {
     #[test]
     fn empty_bucket_reuse_resets_the_linger_clock() {
         let mut table = BucketTable::new(2, Duration::from_millis(10));
-        let t0 = Instant::now();
-        table.insert(req(0, 32), t0);
-        table.insert(req(1, 32), t0); // flushes (target 2)
-                                      // New request in the same size class starts a fresh clock.
-        table.insert(req(2, 32), t0 + Duration::from_millis(50));
-        assert_eq!(table.next_deadline(), Some(t0 + Duration::from_millis(60)));
+        table.insert(req(0, 32), 0);
+        table.insert(req(1, 32), 0); // flushes (target 2)
+                                     // New request in the same size class starts a fresh clock.
+        table.insert(req(2, 32), ms(50));
+        assert_eq!(table.next_deadline(), Some(ms(60)));
+    }
+
+    #[test]
+    fn member_deadline_pulls_the_flush_forward_and_labels_it() {
+        let mut table =
+            BucketTable::new(64, Duration::from_millis(10)).with_deadline_slack(Duration::ZERO);
+        let (req_d, _ticket) = crate::request::make_request_at(
+            0,
+            TridiagonalSystem::toeplitz(32, -1.0, 4.0, -1.0, 1.0).unwrap(),
+            0,
+            Some(ms(4)),
+        );
+        table.insert(req_d, 0);
+        assert_eq!(table.next_deadline(), Some(ms(4)), "deadline beats the 10 ms linger");
+        let flushed = table.flush_expired(ms(4));
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].reason, FlushReason::Deadline);
+    }
+
+    #[test]
+    fn same_tick_expiry_flushes_in_ascending_size_order() {
+        // The determinism hook: three buckets expiring together must come
+        // out in one fixed order (BTreeMap), not hash order.
+        let mut table = BucketTable::new(64, Duration::from_millis(1));
+        table.insert(req(0, 128), 0);
+        table.insert(req(1, 32), 0);
+        table.insert(req(2, 512), 0);
+        let flushed = table.flush_expired(ms(1));
+        let sizes: Vec<usize> = flushed.iter().map(|f| f.n).collect();
+        assert_eq!(sizes, vec![32, 128, 512]);
     }
 }

@@ -23,10 +23,12 @@
 //! All transitions are counted so the degradation is observable in the
 //! service metrics, never silent.
 
+use crate::trace::{TraceEvent, TraceHandle};
+use gpu_sim::{Clock, Tick};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Breaker tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,13 +82,20 @@ pub enum Admission {
 #[derive(Debug)]
 enum Entry {
     Closed { consecutive_faults: u32 },
-    Open { since: Instant },
+    Open { since: Tick },
     HalfOpen,
 }
 
 /// The full set of per-engine breakers for one service.
+///
+/// Cooldowns are measured on the service [`Clock`], so under a simulated
+/// clock an open breaker's re-probe point is reached by *advancing
+/// virtual time* — no real waiting, and fully deterministic. Every state
+/// transition is emitted on the attached [`TraceHandle`].
 pub struct CircuitBreakers {
     cfg: BreakerConfig,
+    clock: Clock,
+    trace: TraceHandle,
     entries: Mutex<HashMap<String, Entry>>,
     /// Closed→Open trips.
     opened: AtomicU64,
@@ -103,15 +112,37 @@ impl Default for CircuitBreakers {
 }
 
 impl CircuitBreakers {
-    /// Creates breakers with `cfg`; every engine starts `Closed`.
+    /// Creates breakers with `cfg` on a real clock; every engine starts
+    /// `Closed`.
     pub fn new(cfg: BreakerConfig) -> Self {
+        Self::with_clock(cfg, Clock::real())
+    }
+
+    /// Creates breakers measuring cooldowns on `clock`.
+    pub fn with_clock(cfg: BreakerConfig, clock: Clock) -> Self {
         Self {
             cfg,
+            clock,
+            trace: TraceHandle::disabled(),
             entries: Mutex::new(HashMap::new()),
             opened: AtomicU64::new(0),
             closed: AtomicU64::new(0),
             denials: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches a trace handle; state transitions are emitted on it.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    fn emit_transition(&self, engine: &str, to: BreakerState) {
+        self.trace.emit(|| TraceEvent::Breaker {
+            at: self.clock.now(),
+            key: engine.to_string(),
+            to,
+        });
     }
 
     /// Adjudicates one flush on `engine`. `Deny` verdicts are counted.
@@ -122,8 +153,10 @@ impl CircuitBreakers {
         let verdict = match entry {
             Entry::Closed { .. } => Admission::Allow,
             Entry::Open { since } => {
-                if since.elapsed() >= self.cfg.cooldown {
+                let elapsed = self.clock.now().saturating_sub(*since);
+                if elapsed >= self.cfg.cooldown.as_nanos().min(u64::MAX as u128) as u64 {
                     *entry = Entry::HalfOpen;
+                    self.emit_transition(engine, BreakerState::HalfOpen);
                     Admission::Probe
                 } else {
                     Admission::Deny
@@ -145,6 +178,7 @@ impl CircuitBreakers {
             Some(entry @ Entry::HalfOpen) => {
                 *entry = Entry::Closed { consecutive_faults: 0 };
                 self.closed.fetch_add(1, Ordering::Relaxed);
+                self.emit_transition(engine, BreakerState::Closed);
             }
             Some(Entry::Closed { consecutive_faults }) => *consecutive_faults = 0,
             _ => {}
@@ -160,14 +194,16 @@ impl CircuitBreakers {
             Entry::Closed { consecutive_faults } => {
                 *consecutive_faults += 1;
                 if *consecutive_faults >= self.cfg.failure_threshold {
-                    *entry = Entry::Open { since: Instant::now() };
+                    *entry = Entry::Open { since: self.clock.now() };
                     self.opened.fetch_add(1, Ordering::Relaxed);
+                    self.emit_transition(engine, BreakerState::Open);
                 }
             }
             Entry::HalfOpen => {
                 // The probe failed: back to open, cooldown restarts.
-                *entry = Entry::Open { since: Instant::now() };
+                *entry = Entry::Open { since: self.clock.now() };
                 self.opened.fetch_add(1, Ordering::Relaxed);
+                self.emit_transition(engine, BreakerState::Open);
             }
             Entry::Open { .. } => {}
         }
@@ -183,8 +219,9 @@ impl CircuitBreakers {
         let entry =
             entries.entry(engine.to_string()).or_insert(Entry::Closed { consecutive_faults: 0 });
         if !matches!(entry, Entry::Open { .. }) {
-            *entry = Entry::Open { since: Instant::now() };
+            *entry = Entry::Open { since: self.clock.now() };
             self.opened.fetch_add(1, Ordering::Relaxed);
+            self.emit_transition(engine, BreakerState::Open);
         }
     }
 
@@ -242,6 +279,17 @@ mod tests {
         })
     }
 
+    /// The same tuning on a shared simulated clock: cooldowns elapse by
+    /// advancing virtual time, not by real sleeping.
+    fn fast_sim() -> (CircuitBreakers, Clock) {
+        let clock = Clock::sim();
+        let b = CircuitBreakers::with_clock(
+            BreakerConfig { failure_threshold: 3, cooldown: Duration::from_millis(5) },
+            clock.clone(),
+        );
+        (b, clock)
+    }
+
     #[test]
     fn stays_closed_below_threshold() {
         let b = fast();
@@ -277,12 +325,12 @@ mod tests {
 
     #[test]
     fn open_close_round_trip_via_half_open_probe() {
-        let b = fast();
+        let (b, clock) = fast_sim();
         for _ in 0..3 {
             b.on_fault("cr");
         }
         assert_eq!(b.admit("cr"), Admission::Deny);
-        std::thread::sleep(Duration::from_millis(6));
+        clock.advance(Duration::from_millis(6));
         // Cooldown elapsed: exactly one probe is admitted.
         assert_eq!(b.admit("cr"), Admission::Probe);
         assert_eq!(b.state("cr"), BreakerState::HalfOpen);
@@ -295,16 +343,52 @@ mod tests {
 
     #[test]
     fn failed_probe_reopens() {
-        let b = fast();
+        let (b, clock) = fast_sim();
         for _ in 0..3 {
             b.on_fault("cr");
         }
-        std::thread::sleep(Duration::from_millis(6));
+        clock.advance(Duration::from_millis(6));
         assert_eq!(b.admit("cr"), Admission::Probe);
         b.on_fault("cr");
         assert_eq!(b.state("cr"), BreakerState::Open);
         assert_eq!(b.opened_total(), 2);
         assert_eq!(b.admit("cr"), Admission::Deny, "cooldown restarted");
+        // The restarted cooldown also elapses virtually.
+        clock.advance(Duration::from_millis(6));
+        assert_eq!(b.admit("cr"), Admission::Probe, "second probe after re-cooldown");
+    }
+
+    #[test]
+    fn transitions_are_emitted_on_the_trace_handle() {
+        use crate::trace::{TraceEvent, TraceSink};
+        use std::sync::{Arc, Mutex};
+        struct Collect(Mutex<Vec<TraceEvent>>);
+        impl TraceSink for Collect {
+            fn record(&self, event: TraceEvent) {
+                self.0.lock().unwrap().push(event);
+            }
+        }
+        let sink = Arc::new(Collect(Mutex::new(Vec::new())));
+        let clock = Clock::sim();
+        let b = CircuitBreakers::with_clock(
+            BreakerConfig { failure_threshold: 2, cooldown: Duration::from_millis(1) },
+            clock.clone(),
+        )
+        .with_trace(TraceHandle::to(sink.clone()));
+        b.on_fault("cr");
+        b.on_fault("cr"); // trips open
+        clock.advance(Duration::from_millis(2));
+        assert_eq!(b.admit("cr"), Admission::Probe); // half-open
+        b.on_success("cr"); // closes
+        let events = sink.0.lock().unwrap();
+        let states: Vec<BreakerState> = events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Breaker { to, .. } => *to,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(states, vec![BreakerState::Open, BreakerState::HalfOpen, BreakerState::Closed]);
     }
 
     #[test]

@@ -39,11 +39,12 @@ use crate::batcher::FlushedBatch;
 use crate::breaker::{Admission, CircuitBreakers};
 use crate::metrics::ServiceMetrics;
 use crate::planner::{CpuEngine, Engine, PlanCache};
+use crate::trace::{TraceEvent, TraceHandle};
 use cpu_solvers::{gep, thomas};
 use device_pool::DevicePool;
-use gpu_sim::Launcher;
+use gpu_sim::{tick_duration, Clock, Launcher};
 use gpu_solvers::{solve_batch_robust, GpuAlgorithm, RobustOptions};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use tridiag_core::residual::l2_residual;
 use tridiag_core::{Real, SolutionBatch, SystemBatch, TridiagError, TridiagonalSystem};
 
@@ -76,6 +77,13 @@ pub struct DispatchConfig {
     pub backoff_base: Duration,
     /// Backoff ceiling.
     pub backoff_max: Duration,
+    /// The clock retry backoffs sleep on and latencies are measured with.
+    /// Under a simulated clock backoffs advance virtual time instead of
+    /// parking, and CPU engine time comes from a deterministic cost model
+    /// instead of the wall — the whole dispatch becomes replayable.
+    pub clock: Clock,
+    /// Decision trace sink (disabled by default).
+    pub trace: TraceHandle,
 }
 
 impl Default for DispatchConfig {
@@ -90,6 +98,8 @@ impl Default for DispatchConfig {
             max_total_attempts: 4,
             backoff_base: Duration::from_micros(50),
             backoff_max: Duration::from_millis(2),
+            clock: Clock::real(),
+            trace: TraceHandle::disabled(),
         }
     }
 }
@@ -162,14 +172,22 @@ pub fn serve_flush<T: Real>(
     let engine = match cfg.pin_engine {
         Some(engine) => engine,
         None if occupancy < cfg.min_gpu_batch => Engine::Cpu(CpuEngine::Thomas),
-        None => plans.plan_for::<T>(launcher, n, cfg.probe_count).engine,
+        None => plans.plan_for_on::<T>(launcher, n, cfg.probe_count, &cfg.clock).engine,
     };
+    cfg.trace.emit(|| TraceEvent::Plan {
+        at: cfg.clock.now(),
+        n: n as u64,
+        occupancy: occupancy as u64,
+        engine: engine.to_string(),
+    });
 
     // Retry ladder: when the planned engine keeps faulting, the dispatcher
     // walks the autotune ranking to the next-best GPU candidate. A pinned
     // engine has no ladder — the pin is an explicit override.
     let fallbacks: Vec<Engine> = match (cfg.pin_engine, engine) {
-        (None, Engine::Gpu(_)) => plans.ranking_for::<T>(launcher, n, cfg.probe_count),
+        (None, Engine::Gpu(_)) => {
+            plans.ranking_for_on::<T>(launcher, n, cfg.probe_count, &cfg.clock)
+        }
         _ => Vec::new(),
     };
 
@@ -206,9 +224,25 @@ pub fn serve_flush<T: Real>(
         outcome.degraded,
     );
 
-    let now = Instant::now();
+    // Charge the engine's time to the service clock: on the real clock
+    // the wall already paid it (no-op); on a simulated clock this is what
+    // turns modeled device/CPU milliseconds into observed latency.
+    cfg.clock.work(Duration::from_secs_f64(outcome.engine_ms.max(0.0) / 1e3));
+    let engine_ns = (outcome.engine_ms.max(0.0) * 1e6).round() as u64;
+    cfg.trace.emit(|| TraceEvent::Served {
+        at: cfg.clock.now(),
+        n: n as u64,
+        occupancy: occupancy as u64,
+        engine: outcome.engine_label.clone(),
+        reason,
+        engine_ns,
+        repairs: outcome.repairs as u64,
+        degraded: outcome.degraded,
+    });
+
+    let now = cfg.clock.now();
     for (i, request) in requests.into_iter().enumerate() {
-        let latency = now.saturating_duration_since(request.submitted_at);
+        let latency = tick_duration(request.submitted_at, now);
         let deadline_missed = request.deadline.is_some_and(|d| now > d);
         if deadline_missed {
             metrics.on_deadline_miss();
@@ -289,7 +323,7 @@ fn execute<T: Real>(
     let batch = SystemBatch::from_systems(systems).expect("flush holds >=1 same-size systems");
     let threshold_scale = cfg.threshold_scale;
     let first = match engine {
-        Engine::Cpu(cpu) => return cpu_execute(systems, &batch, cpu, threshold_scale),
+        Engine::Cpu(cpu) => return cpu_execute(systems, &batch, cpu, threshold_scale, &cfg.clock),
         Engine::Gpu(alg) => alg,
     };
 
@@ -322,7 +356,13 @@ fn execute<T: Real>(
             total_attempts += 1;
             if total_attempts > 1 {
                 retries += 1;
-                std::thread::sleep(backoff_delay(cfg, total_attempts - 1));
+                // Backoff on the service clock: parks for real, advances
+                // virtual time under a simulated clock.
+                cfg.clock.sleep(backoff_delay(cfg, total_attempts - 1));
+                cfg.trace.emit(|| TraceEvent::Retry {
+                    at: cfg.clock.now(),
+                    attempt: total_attempts as u64,
+                });
             }
             // Sanitize exactly one kernel run: the very first attempt.
             let sanitize_this = sanitize && total_attempts == 1;
@@ -348,8 +388,13 @@ fn execute<T: Real>(
                         if errors > 0 {
                             // The kernel is unsound on this traffic: fall
                             // back to the CPU rather than serve its output.
-                            let mut out =
-                                cpu_execute(systems, &batch, CpuEngine::Gep, threshold_scale);
+                            let mut out = cpu_execute(
+                                systems,
+                                &batch,
+                                CpuEngine::Gep,
+                                threshold_scale,
+                                &cfg.clock,
+                            );
                             out.sanitizer_findings = findings;
                             out.retries = retries;
                             out.device_faults = device_faults;
@@ -380,7 +425,9 @@ fn execute<T: Real>(
                 }
                 Err(e) if e.is_device_fault() => {
                     device_faults += 1;
-                    if matches!(e, TridiagError::DeviceLost) {
+                    let lost = matches!(e, TridiagError::DeviceLost);
+                    cfg.trace.emit(|| TraceEvent::Fault { at: cfg.clock.now(), lost });
+                    if lost {
                         // The whole device is gone: no GPU candidate on
                         // *this* device can serve the flush. Trip the
                         // breaker straight open, mark the device lost in
@@ -409,21 +456,37 @@ fn execute<T: Real>(
     // Every GPU avenue is exhausted (or denied): the pivoted CPU safety
     // net serves the flush. This is the graceful-degradation terminal —
     // correct answers, observable cost.
-    let mut out = cpu_execute(systems, &batch, CpuEngine::Gep, threshold_scale);
+    let mut out = cpu_execute(systems, &batch, CpuEngine::Gep, threshold_scale, &cfg.clock);
     out.retries = retries;
     out.device_faults = device_faults;
     out.degraded = true;
     out
 }
 
+/// Deterministic CPU engine-time model for simulated clocks, in integer
+/// nanoseconds: a fixed per-row cost per engine (GEP pays pivot-search
+/// and row-swap overhead on top of the elimination sweep). The constants
+/// are order-of-magnitude calibrations of the real solvers; what matters
+/// for replay is that the value is a pure function of `(engine, n,
+/// count)` — never of the wall.
+pub(crate) fn sim_cpu_ns(cpu: CpuEngine, n: usize, count: usize) -> u64 {
+    let per_row: u64 = match cpu {
+        CpuEngine::Thomas => 25,
+        CpuEngine::Gep => 70,
+    };
+    (n as u64).saturating_mul(count as u64).saturating_mul(per_row)
+}
+
 /// CPU path with the same acceptance rule as `solve_batch_robust`: accept
 /// when `||Ax − d||₂ ≤ scale · ||d||₂ · ε · n`, otherwise re-solve with
-/// partial pivoting.
+/// partial pivoting. Engine time is measured off the wall on a real
+/// clock and modeled by [`sim_cpu_ns`] on a simulated one.
 fn cpu_execute<T: Real>(
     systems: &[TridiagonalSystem<T>],
     batch: &SystemBatch<T>,
     cpu: CpuEngine,
     threshold_scale: f64,
+    clock: &Clock,
 ) -> Outcome<T> {
     let n = batch.n();
     let eps = T::EPSILON.to_f64();
@@ -454,13 +517,18 @@ fn cpu_execute<T: Real>(
         residuals[i] = l2_residual(sys, x).unwrap_or(f64::INFINITY);
     }
 
+    let engine_ms = if clock.is_sim() {
+        sim_cpu_ns(cpu, n, systems.len()) as f64 / 1e6
+    } else {
+        started.elapsed().as_secs_f64() * 1e3
+    };
     Outcome {
         solutions,
         residuals,
         repairs,
         repaired_flags,
         engine_label: Engine::Cpu(cpu).to_string(),
-        engine_ms: started.elapsed().as_secs_f64() * 1e3,
+        engine_ms,
         sanitizer_findings: None,
         retries: 0,
         device_faults: 0,
@@ -864,13 +932,10 @@ mod tests {
         let breakers = CircuitBreakers::default();
         let metrics = ServiceMetrics::new();
         let mut generator = Generator::new(45);
-        // A deadline already in the past: served anyway, flagged as missed.
+        // A deadline of tick 1 on the config's clock is long past by the
+        // time the flush is served: flagged as missed, still answered.
         let system: TridiagonalSystem<f32> = generator.system(Workload::DiagonallyDominant, 64);
-        let (req, ticket) = crate::request::make_request_with_deadline(
-            0,
-            system,
-            Some(Instant::now() - Duration::from_millis(1)),
-        );
+        let (req, ticket) = crate::request::make_request_with_deadline(0, system, Some(1));
         let flush = FlushedBatch { n: 64, requests: vec![req], reason: FlushReason::Deadline };
         serve_flush(DeviceCtx::solo(&launcher), &plans, &breakers, &metrics, &cfg(), flush);
         let resp = ticket.try_take().expect("missed deadlines still get answers");

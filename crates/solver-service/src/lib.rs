@@ -55,13 +55,19 @@ pub mod planner;
 pub mod queue;
 pub mod request;
 pub mod service;
+pub mod trace;
 
 pub use batcher::{BucketTable, FlushReason, FlushedBatch};
 pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreakers};
 pub use dispatch::{serve_flush, DeviceCtx, DispatchConfig};
 pub use error::ServiceError;
 pub use metrics::{DegradationState, DeviceSnapshot, MetricsSnapshot, ServiceMetrics};
-pub use planner::{autotune, autotune_ranked, CpuEngine, Engine, Plan, PlanCache};
+pub use planner::{
+    autotune, autotune_ranked, autotune_ranked_on, CpuEngine, Engine, Plan, PlanCache,
+};
 pub use queue::{BoundedQueue, Pop, PushError};
-pub use request::{make_request, make_request_with_deadline, SolveRequest, SolveResponse, Ticket};
+pub use request::{
+    make_request, make_request_at, make_request_with_deadline, SolveRequest, SolveResponse, Ticket,
+};
 pub use service::{ServiceConfig, SolverService};
+pub use trace::{RejectReason, TraceEvent, TraceHandle, TraceSink};

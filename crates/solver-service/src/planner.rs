@@ -16,7 +16,7 @@
 //! sequential Thomas solve on the same probe batch. Non-power-of-two
 //! sizes, which no GPU kernel accepts, route straight to the CPU.
 
-use gpu_sim::Launcher;
+use gpu_sim::{Clock, Launcher};
 use gpu_solvers::{solve_batch, GpuAlgorithm};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -127,13 +127,27 @@ impl PlanCache {
     /// Returns the plan for size `n` with element type `T`, running the
     /// tournament on first use of the key.
     pub fn plan_for<T: Real>(&self, launcher: &Launcher, n: usize, probe_count: usize) -> Plan {
+        self.plan_for_on::<T>(launcher, n, probe_count, &Clock::real())
+    }
+
+    /// [`PlanCache::plan_for`] with the tournament timed on `clock` — a
+    /// simulated clock scores the CPU baseline with the deterministic cost
+    /// model instead of the wall, so replayed tournaments pick the same
+    /// winner bit-for-bit.
+    pub fn plan_for_on<T: Real>(
+        &self,
+        launcher: &Launcher,
+        n: usize,
+        probe_count: usize,
+        clock: &Clock,
+    ) -> Plan {
         let key: PlanKey = (n, T::BYTES, launcher.device.name);
         let mut plans = self.plans.lock().unwrap_or_else(|p| p.into_inner());
         if let Some((plan, _)) = plans.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return *plan;
         }
-        let (plan, ranking) = autotune_ranked::<T>(launcher, n, probe_count);
+        let (plan, ranking) = autotune_ranked_on::<T>(launcher, n, probe_count, clock);
         self.tunes.fetch_add(1, Ordering::Relaxed);
         plans.insert(key, (plan, ranking));
         plan
@@ -148,12 +162,24 @@ impl PlanCache {
         n: usize,
         probe_count: usize,
     ) -> Vec<Engine> {
+        self.ranking_for_on::<T>(launcher, n, probe_count, &Clock::real())
+    }
+
+    /// [`PlanCache::ranking_for`] timed on `clock` (see
+    /// [`PlanCache::plan_for_on`] for why replay needs this).
+    pub fn ranking_for_on<T: Real>(
+        &self,
+        launcher: &Launcher,
+        n: usize,
+        probe_count: usize,
+        clock: &Clock,
+    ) -> Vec<Engine> {
         let key: PlanKey = (n, T::BYTES, launcher.device.name);
         let mut plans = self.plans.lock().unwrap_or_else(|p| p.into_inner());
         if let Some((_, ranking)) = plans.get(&key) {
             return ranking.clone();
         }
-        let (plan, ranking) = autotune_ranked::<T>(launcher, n, probe_count);
+        let (plan, ranking) = autotune_ranked_on::<T>(launcher, n, probe_count, clock);
         self.tunes.fetch_add(1, Ordering::Relaxed);
         plans.insert(key, (plan, ranking.clone()));
         ranking
@@ -192,12 +218,27 @@ pub fn autotune_ranked<T: Real>(
     n: usize,
     probe_count: usize,
 ) -> (Plan, Vec<Engine>) {
+    autotune_ranked_on::<T>(launcher, n, probe_count, &Clock::real())
+}
+
+/// [`autotune_ranked`] with the CPU baseline timed on `clock`: wall-clock
+/// on a real clock (production behaviour), the deterministic per-row cost
+/// model on a simulated one — a replayed tournament must score every
+/// candidate identically to the captured run, and the wall never repeats.
+/// GPU candidates are scored by the simulator's cost model either way,
+/// which is already deterministic.
+pub fn autotune_ranked_on<T: Real>(
+    launcher: &Launcher,
+    n: usize,
+    probe_count: usize,
+    clock: &Clock,
+) -> (Plan, Vec<Engine>) {
     let probe_count = probe_count.max(1);
     if n < 2 || !n.is_power_of_two() {
         // No GPU kernel accepts this size; measure the CPU so the score is
         // still meaningful.
         let probe = cpu_probe::<T>(n, probe_count);
-        let ms = probe.as_ref().map(|b| time_cpu_thomas(b)).unwrap_or(f64::INFINITY);
+        let ms = probe.as_ref().map(|b| time_cpu_thomas(b, clock)).unwrap_or(f64::INFINITY);
         let plan = Plan { engine: Engine::Cpu(CpuEngine::Thomas), predicted_ms: ms, probe_count };
         return (plan, vec![plan.engine]);
     }
@@ -221,7 +262,7 @@ pub fn autotune_ranked<T: Real>(
         }
         scored.push((Engine::Gpu(alg), report.timing.total_ms()));
     }
-    scored.push((Engine::Cpu(CpuEngine::Thomas), time_cpu_thomas(&probe)));
+    scored.push((Engine::Cpu(CpuEngine::Thomas), time_cpu_thomas(&probe, clock)));
     scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(core::cmp::Ordering::Equal));
 
     let (engine, predicted_ms) = scored[0];
@@ -239,9 +280,15 @@ fn cpu_probe<T: Real>(n: usize, count: usize) -> Option<SystemBatch<T>> {
     .ok()
 }
 
-/// Wall-clock milliseconds for one sequential Thomas pass over `batch`
-/// (median of three runs, to shrug off scheduler noise).
-fn time_cpu_thomas<T: Real>(batch: &SystemBatch<T>) -> f64 {
+/// Milliseconds for one sequential Thomas pass over `batch`: wall-clock
+/// (median of three runs, to shrug off scheduler noise) on a real clock,
+/// or the deterministic per-row model — matching the dispatcher's
+/// simulated CPU engine time — on a simulated one.
+fn time_cpu_thomas<T: Real>(batch: &SystemBatch<T>, clock: &Clock) -> f64 {
+    if clock.is_sim() {
+        return crate::dispatch::sim_cpu_ns(CpuEngine::Thomas, batch.n(), batch.count()) as f64
+            / 1e6;
+    }
     let mut samples = [0.0f64; 3];
     for s in samples.iter_mut() {
         let start = Instant::now();

@@ -11,9 +11,9 @@
 //! earliest linger deadline, whichever of "new request" or "time to flush"
 //! comes first.
 
+use gpu_sim::{Clock, Tick};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
-use std::time::Instant;
 
 /// Outcome of a push attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,12 +88,19 @@ impl<R> BoundedQueue<R> {
         Ok(())
     }
 
-    /// Dequeues one item, waiting until `deadline` (forever when `None`).
+    /// Dequeues one item, waiting until `deadline` on `clock` (forever
+    /// when `None`).
     ///
     /// Once closed, remaining items are still handed out in order;
     /// [`Pop::Drained`] is only returned when closed *and* empty, so no
     /// admitted request is ever dropped by shutdown.
-    pub fn pop_until(&self, deadline: Option<Instant>) -> Pop<R> {
+    ///
+    /// Under a simulated clock the wait parks in short real quanta and
+    /// re-checks virtual time (see [`Clock::park_budget`]) so a deadline
+    /// advanced by another thread is observed promptly; a deadline that
+    /// has already virtually passed returns [`Pop::TimedOut`] without
+    /// parking at all.
+    pub fn pop_until(&self, deadline: Option<Tick>, clock: &Clock) -> Pop<R> {
         let mut s = self.state.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             if let Some(item) = s.items.pop_front() {
@@ -106,15 +113,23 @@ impl<R> BoundedQueue<R> {
                 None => {
                     s = self.nonempty.wait(s).unwrap_or_else(|p| p.into_inner());
                 }
-                Some(d) => {
-                    let now = Instant::now();
-                    if now >= d {
-                        return Pop::TimedOut;
+                Some(d) => match clock.park_budget(d) {
+                    None => return Pop::TimedOut,
+                    Some(budget) => {
+                        let (guard, _timeout) = self
+                            .nonempty
+                            .wait_timeout(s, budget)
+                            .unwrap_or_else(|p| p.into_inner());
+                        s = guard;
+                        // A sim clock that cannot move on its own would
+                        // spin here forever: the batcher is the only
+                        // thread advancing it, so push it to the deadline
+                        // once the real quantum elapsed fruitlessly.
+                        if clock.is_sim() && s.items.is_empty() && !s.closed {
+                            clock.advance_to(d);
+                        }
                     }
-                    let (guard, _timeout) =
-                        self.nonempty.wait_timeout(s, d - now).unwrap_or_else(|p| p.into_inner());
-                    s = guard;
-                }
+                },
             }
         }
     }
@@ -132,7 +147,7 @@ impl<R> BoundedQueue<R> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
 
     #[test]
     fn push_rejects_instead_of_blocking_when_full() {
@@ -147,23 +162,48 @@ mod tests {
     }
 
     #[test]
-    fn pop_honours_the_deadline() {
+    fn pop_honours_the_deadline_on_a_real_clock() {
         let q: BoundedQueue<u32> = BoundedQueue::new(4);
-        let deadline = Instant::now() + Duration::from_millis(10);
-        assert!(matches!(q.pop_until(Some(deadline)), Pop::TimedOut));
-        assert!(Instant::now() >= deadline);
+        let clock = Clock::real();
+        let deadline = clock.tick_after(Duration::from_millis(10));
+        assert!(matches!(q.pop_until(Some(deadline), &clock), Pop::TimedOut));
+        assert!(clock.now() >= deadline);
+    }
+
+    #[test]
+    fn pop_on_a_sim_clock_times_out_in_virtual_time() {
+        // An hour-long virtual deadline: a real-clock wait would hang the
+        // test; the sim clock advances through it in one polling quantum.
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        let clock = Clock::sim();
+        let deadline = clock.tick_after(Duration::from_secs(3600));
+        let wall = Instant::now();
+        assert!(matches!(q.pop_until(Some(deadline), &clock), Pop::TimedOut));
+        assert!(clock.now() >= deadline, "virtual time reached the deadline");
+        assert!(wall.elapsed() < Duration::from_secs(5), "no real hour elapsed");
+    }
+
+    #[test]
+    fn sim_deadline_already_passed_times_out_without_parking() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        let clock = Clock::sim();
+        clock.advance(Duration::from_millis(5));
+        let wall = Instant::now();
+        assert!(matches!(q.pop_until(Some(1_000), &clock), Pop::TimedOut));
+        assert!(wall.elapsed() < Duration::from_millis(50));
     }
 
     #[test]
     fn close_drains_remaining_items_before_reporting_drained() {
         let q = BoundedQueue::new(4);
+        let clock = Clock::real();
         q.push(1).unwrap();
         q.push(2).unwrap();
         q.close();
         assert_eq!(q.push(3), Err(PushError::Closed));
-        assert!(matches!(q.pop_until(None), Pop::Item(1)));
-        assert!(matches!(q.pop_until(None), Pop::Item(2)));
-        assert!(matches!(q.pop_until(None), Pop::Drained));
+        assert!(matches!(q.pop_until(None, &clock), Pop::Item(1)));
+        assert!(matches!(q.pop_until(None, &clock), Pop::Item(2)));
+        assert!(matches!(q.pop_until(None, &clock), Pop::Drained));
     }
 
     #[test]
@@ -182,9 +222,10 @@ mod tests {
             }
             q2.close();
         });
+        let clock = Clock::real();
         let mut got = Vec::new();
         loop {
-            match q.pop_until(None) {
+            match q.pop_until(None, &clock) {
                 Pop::Item(i) => got.push(i),
                 Pop::Drained => break,
                 Pop::TimedOut => unreachable!("no deadline given"),

@@ -8,11 +8,16 @@
 //! shared channel — each request carries its own one-shot slot, so
 //! responses can never be cross-delivered or duplicated.
 
+use gpu_sim::Tick;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use tridiag_core::{Real, TridiagonalSystem};
 
 /// A single queued solve: one system plus completion plumbing.
+///
+/// Timestamps are [`Tick`]s on the owning service's clock (see
+/// [`gpu_sim::Clock`]): portable integers rather than process-local
+/// `Instant`s, so they can ride in decision traces and replay exactly.
 #[derive(Debug)]
 pub struct SolveRequest<T: Real> {
     /// Service-assigned id, unique for the lifetime of the service.
@@ -20,12 +25,12 @@ pub struct SolveRequest<T: Real> {
     /// The system to solve.
     pub system: TridiagonalSystem<T>,
     /// When the request was admitted (start of the latency clock).
-    pub submitted_at: Instant,
-    /// Absolute completion deadline, if the caller set one. The batcher
-    /// flushes a bucket early rather than linger past a member's deadline;
-    /// a missed deadline is *reported* (metrics + response flag), never
-    /// dropped — the answer is still delivered.
-    pub deadline: Option<Instant>,
+    pub submitted_at: Tick,
+    /// Absolute completion deadline on the service clock, if the caller
+    /// set one. The batcher flushes a bucket early rather than linger past
+    /// a member's deadline; a missed deadline is *reported* (metrics +
+    /// response flag), never dropped — the answer is still delivered.
+    pub deadline: Option<Tick>,
     pub(crate) slot: Arc<OneShot<SolveResponse<T>>>,
 }
 
@@ -126,7 +131,8 @@ impl<V> OneShot<V> {
     }
 }
 
-/// Builds a paired request + ticket for `system`.
+/// Builds a paired request + ticket for `system`, submitted at tick 0
+/// with no deadline.
 ///
 /// Normally the service does this inside `submit`; it is public so
 /// embedders (and tests) can drive [`serve_flush`](crate::serve_flush)
@@ -135,20 +141,32 @@ pub fn make_request<T: Real>(
     id: u64,
     system: TridiagonalSystem<T>,
 ) -> (SolveRequest<T>, Ticket<T>) {
-    make_request_with_deadline(id, system, None)
+    make_request_at(id, system, 0, None)
 }
 
-/// [`make_request`] with an absolute completion deadline. The deadline is
-/// advisory: the batcher flushes early to try to meet it, and the response
-/// reports whether it was met — the request is never dropped.
+/// [`make_request`] with an absolute completion deadline (on the service
+/// clock). The deadline is advisory: the batcher flushes early to try to
+/// meet it, and the response reports whether it was met — the request is
+/// never dropped.
 pub fn make_request_with_deadline<T: Real>(
     id: u64,
     system: TridiagonalSystem<T>,
-    deadline: Option<Instant>,
+    deadline: Option<Tick>,
+) -> (SolveRequest<T>, Ticket<T>) {
+    make_request_at(id, system, 0, deadline)
+}
+
+/// Builds a paired request + ticket with an explicit submission tick and
+/// optional deadline — the fully general constructor the service (and the
+/// trace-lab replay harness) use.
+pub fn make_request_at<T: Real>(
+    id: u64,
+    system: TridiagonalSystem<T>,
+    submitted_at: Tick,
+    deadline: Option<Tick>,
 ) -> (SolveRequest<T>, Ticket<T>) {
     let slot = Arc::new(OneShot::new());
-    let request =
-        SolveRequest { id, system, submitted_at: Instant::now(), deadline, slot: slot.clone() };
+    let request = SolveRequest { id, system, submitted_at, deadline, slot: slot.clone() };
     (request, Ticket { id, slot })
 }
 
@@ -187,9 +205,11 @@ mod tests {
     fn deadline_rides_the_request() {
         let (req, _ticket) = make_request(0, sys());
         assert!(req.deadline.is_none(), "plain requests carry no deadline");
-        let deadline = Instant::now() + Duration::from_millis(3);
-        let (req, _ticket) = make_request_with_deadline(1, sys(), Some(deadline));
-        assert_eq!(req.deadline, Some(deadline));
+        let (req, _ticket) = make_request_with_deadline(1, sys(), Some(3_000_000));
+        assert_eq!(req.deadline, Some(3_000_000));
+        let (req, _ticket) = make_request_at(2, sys(), 1_000, Some(5_000));
+        assert_eq!(req.submitted_at, 1_000);
+        assert_eq!(req.deadline, Some(5_000));
     }
 
     #[test]

@@ -33,13 +33,14 @@ use crate::error::ServiceError;
 use crate::metrics::{DeviceSnapshot, MetricsSnapshot, ServiceMetrics};
 use crate::planner::PlanCache;
 use crate::queue::{BoundedQueue, Pop, PushError};
-use crate::request::{make_request_with_deadline, SolveRequest, SolveResponse, Ticket};
+use crate::request::{make_request_at, SolveRequest, SolveResponse, Ticket};
+use crate::trace::{RejectReason, TraceEvent, TraceHandle};
 use device_pool::{DevicePool, PoolConfig, Pop as DevicePop, StealQueues};
-use gpu_sim::Launcher;
+use gpu_sim::{tick_duration, Clock, Launcher, Tick};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use tridiag_core::{Real, TridiagError, TridiagonalSystem};
 
 #[cfg(doc)]
@@ -96,6 +97,23 @@ pub struct ServiceConfig {
     /// an N-device pool with per-device seed-derived fault plans and
     /// shards flushed batches across its healthy devices.
     pub pool: Option<PoolConfig>,
+    /// The clock every time-dependent decision reads: linger deadlines,
+    /// retry backoff, breaker cooldowns, latency measurement. The default
+    /// real clock preserves production behaviour; a [`Clock::sim`] makes
+    /// time virtual — sleeps advance the clock instead of parking — which
+    /// de-flakes timing-sensitive tests and (driven single-threaded, see
+    /// trace-lab) makes the whole service deterministic.
+    pub clock: Clock,
+    /// Decision trace sink. Disabled by default; attach a sink (see
+    /// [`crate::trace`]) to record every admission, flush, plan, retry,
+    /// breaker transition, steal, fault, and served batch.
+    pub trace: TraceHandle,
+    /// When set, a lone batch stuck on one device's queue for longer than
+    /// this (on the service clock) may be stolen by an idle worker even
+    /// though lone jobs are normally owner-only — backup detection for a
+    /// stalled or overloaded device. `None` (the default) keeps the
+    /// conservative lone-job courtesy.
+    pub steal_backup_age: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -119,6 +137,9 @@ impl Default for ServiceConfig {
             client_retry: true,
             launcher: Launcher::gtx280(),
             pool: None,
+            clock: Clock::real(),
+            trace: TraceHandle::disabled(),
+            steal_backup_age: None,
         }
     }
 }
@@ -131,7 +152,9 @@ struct Shared<T: Real> {
     pool: DevicePool,
     queues: StealQueues<FlushedBatch<T>>,
     dispatch_cfg: DispatchConfig,
-    started_at: Instant,
+    clock: Clock,
+    trace: TraceHandle,
+    started_at: Tick,
 }
 
 impl<T: Real> Shared<T> {
@@ -140,6 +163,12 @@ impl<T: Real> Shared<T> {
     /// serves it through the dead-device context, which the dispatch
     /// ladder demotes to the CPU safety net.
     fn route_flush(&self, flush: FlushedBatch<T>) {
+        self.trace.emit(|| TraceEvent::Flush {
+            at: self.clock.now(),
+            n: flush.n as u64,
+            occupancy: flush.requests.len() as u64,
+            reason: flush.reason,
+        });
         let dev = self.pool.route(flush.n).unwrap_or(0);
         self.pool.note_enqueued(dev);
         self.queues.push(dev, flush);
@@ -176,12 +205,21 @@ impl<T: Real> SolverService<T> {
             Some(pool_cfg) => DevicePool::new(pool_cfg),
             None => DevicePool::single(config.launcher.clone()),
         };
-        let queues = StealQueues::new(pool.len());
+        let clock = config.clock.clone();
+        let trace = config.trace.clone();
+        let queues = {
+            let queues = StealQueues::with_clock(pool.len(), clock.clone());
+            match config.steal_backup_age {
+                Some(age) => queues.with_backup_age(age),
+                None => queues,
+            }
+        };
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             metrics: ServiceMetrics::new(),
             plans: PlanCache::new(),
-            breakers: CircuitBreakers::new(config.breaker),
+            breakers: CircuitBreakers::with_clock(config.breaker, clock.clone())
+                .with_trace(trace.clone()),
             pool,
             queues,
             dispatch_cfg: DispatchConfig {
@@ -194,8 +232,12 @@ impl<T: Real> SolverService<T> {
                 max_total_attempts: config.max_total_attempts,
                 backoff_base: config.backoff_base,
                 backoff_max: config.backoff_max,
+                clock: clock.clone(),
+                trace: trace.clone(),
             },
-            started_at: Instant::now(),
+            started_at: clock.now(),
+            clock,
+            trace,
         });
 
         let batcher = {
@@ -238,6 +280,12 @@ impl<T: Real> SolverService<T> {
         }
     }
 
+    /// The clock this service runs on — callers use it to build absolute
+    /// [`Tick`] deadlines for [`SolverService::submit_with_deadline`].
+    pub fn clock(&self) -> &Clock {
+        &self.shared.clock
+    }
+
     /// Suggested back-off before retrying a rejected submission, derived
     /// from the observed drain rate (completions per unit uptime). `None`
     /// until the first completion — there is no rate to derive from.
@@ -246,7 +294,8 @@ impl<T: Real> SolverService<T> {
         if completed == 0 {
             return None;
         }
-        let per_request = self.shared.started_at.elapsed().div_f64(completed as f64);
+        let uptime = tick_duration(self.shared.started_at, self.shared.clock.now());
+        let per_request = uptime.div_f64(completed as f64);
         // One queue slot frees after ~one request drains; clamp to sane
         // bounds so a cold service cannot suggest minutes.
         Some(per_request.clamp(Duration::from_micros(20), Duration::from_millis(50)))
@@ -259,7 +308,9 @@ impl<T: Real> SolverService<T> {
         self.submit_with_deadline(system, None)
     }
 
-    /// [`SolverService::submit`] with an absolute completion deadline.
+    /// [`SolverService::submit`] with an absolute completion deadline —
+    /// a [`Tick`] on the service clock (see [`SolverService::clock`] and
+    /// [`Clock::tick_after`]).
     ///
     /// A deadline already in the past (or sub-slack close) is rejected at
     /// admission with [`ServiceError::DeadlineExceeded`] — retrying the
@@ -270,29 +321,43 @@ impl<T: Real> SolverService<T> {
     pub fn submit_with_deadline(
         &self,
         system: TridiagonalSystem<T>,
-        deadline: Option<Instant>,
+        deadline: Option<Tick>,
     ) -> Result<Ticket<T>, ServiceError> {
         let n = system.n();
+        let now = self.shared.clock.now();
         if n < 2 {
+            self.shared.trace.emit(|| TraceEvent::Reject {
+                at: now,
+                n: n as u64,
+                reason: RejectReason::Invalid,
+            });
             return Err(ServiceError::InvalidRequest(TridiagError::SizeTooSmall { n, min: 2 }));
         }
         if let Some(d) = deadline {
-            let now = Instant::now();
             if d <= now {
-                return Err(ServiceError::DeadlineExceeded {
-                    deadline: d.saturating_duration_since(now),
+                self.shared.trace.emit(|| TraceEvent::Reject {
+                    at: now,
+                    n: n as u64,
+                    reason: RejectReason::DeadlinePast,
                 });
+                return Err(ServiceError::DeadlineExceeded { deadline: tick_duration(now, d) });
             }
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let (request, ticket) = make_request_with_deadline(id, system, deadline);
+        let (request, ticket) = make_request_at(id, system, now, deadline);
         match self.shared.queue.push(request) {
             Ok(()) => {
                 self.shared.metrics.on_submit();
+                self.shared.trace.emit(|| TraceEvent::Admit { at: now, id, n: n as u64 });
                 Ok(ticket)
             }
             Err(PushError::Full) => {
                 self.shared.metrics.on_reject();
+                self.shared.trace.emit(|| TraceEvent::Reject {
+                    at: now,
+                    n: n as u64,
+                    reason: RejectReason::QueueFull,
+                });
                 Err(ServiceError::QueueFull {
                     capacity: self.shared.queue.capacity(),
                     retry_after: self.retry_after_hint(),
@@ -300,6 +365,11 @@ impl<T: Real> SolverService<T> {
             }
             Err(PushError::Closed) => {
                 self.shared.metrics.on_reject();
+                self.shared.trace.emit(|| TraceEvent::Reject {
+                    at: now,
+                    n: n as u64,
+                    reason: RejectReason::ShuttingDown,
+                });
                 Err(ServiceError::ShuttingDown)
             }
         }
@@ -317,7 +387,7 @@ impl<T: Real> SolverService<T> {
         match self.submit(system.clone()) {
             Ok(ticket) => Ok(ticket.wait()),
             Err(ServiceError::QueueFull { retry_after: Some(hint), .. }) if self.client_retry => {
-                std::thread::sleep(hint);
+                self.shared.clock.sleep(hint);
                 Ok(self.submit(system)?.wait())
             }
             Err(e) => Err(e),
@@ -406,9 +476,9 @@ fn batcher_loop<T: Real>(
     let mut table = BucketTable::new(target_batch, max_linger).with_deadline_slack(deadline_slack);
     loop {
         let deadline = table.next_deadline();
-        match shared.queue.pop_until(deadline) {
+        match shared.queue.pop_until(deadline, &shared.clock) {
             Pop::Item(request) => {
-                let now = Instant::now();
+                let now = shared.clock.now();
                 if let Some(flush) = table.insert(request, now) {
                     shared.route_flush(flush);
                 }
@@ -417,7 +487,7 @@ fn batcher_loop<T: Real>(
                 }
             }
             Pop::TimedOut => {
-                for flush in table.flush_expired(Instant::now()) {
+                for flush in table.flush_expired(shared.clock.now()) {
                     shared.route_flush(flush);
                 }
             }
@@ -451,6 +521,11 @@ fn worker_loop<T: Real>(shared: Arc<Shared<T>>, device_id: usize) {
                 shared.pool.note_dequeued(from);
                 if from != device_id {
                     shared.pool.device(device_id).note_steal();
+                    shared.trace.emit(|| TraceEvent::Steal {
+                        at: shared.clock.now(),
+                        from: from as u64,
+                        to: device_id as u64,
+                    });
                 }
                 shared.serve_on(device_id, job);
                 if shared.pool.is_lost(device_id) {
@@ -602,8 +677,8 @@ mod tests {
     fn past_deadlines_are_rejected_at_admission() {
         let service: SolverService<f32> = SolverService::start(quick_config());
         let system = Generator::new(6).system(Workload::DiagonallyDominant, 32);
-        let past = Instant::now() - Duration::from_millis(1);
-        match service.submit_with_deadline(system, Some(past)) {
+        // Tick 0 is the service clock's epoch — long past by now.
+        match service.submit_with_deadline(system, Some(0)) {
             Err(ServiceError::DeadlineExceeded { deadline }) => {
                 assert_eq!(deadline, Duration::ZERO, "past deadlines have zero budget left");
             }
@@ -625,8 +700,8 @@ mod tests {
         };
         let service: SolverService<f32> = SolverService::start(config);
         let system = Generator::new(7).system(Workload::DiagonallyDominant, 32);
-        let deadline = Instant::now() + Duration::from_millis(20);
-        let started = Instant::now();
+        let deadline = service.clock().tick_after(Duration::from_millis(20));
+        let started = std::time::Instant::now();
         let ticket = service.submit_with_deadline(system, Some(deadline)).unwrap();
         let resp = ticket.wait();
         let waited = started.elapsed();
@@ -638,6 +713,33 @@ mod tests {
         let snap = service.shutdown();
         assert_eq!(snap.flushes_deadline, 1, "the deadline triggered the flush");
         assert_eq!(snap.completed, 1);
+    }
+
+    #[test]
+    fn sim_clock_service_answers_without_real_lingering() {
+        // A 60 s linger under the simulated clock: the batcher's wait
+        // advances virtual time to the linger deadline instead of parking
+        // for a real minute — the lone request is answered promptly.
+        let config = ServiceConfig {
+            max_linger: Duration::from_secs(60),
+            target_batch: 1000,
+            clock: Clock::sim(),
+            ..quick_config()
+        };
+        let service: SolverService<f32> = SolverService::start(config);
+        let wall = std::time::Instant::now();
+        let system = Generator::new(9).system(Workload::DiagonallyDominant, 32);
+        let resp = service.submit_wait(system).unwrap();
+        assert!(resp.residual < 1e-3);
+        assert!(wall.elapsed() < Duration::from_secs(10), "virtual linger must not cost real time");
+        assert!(
+            resp.latency >= Duration::from_secs(59),
+            "the virtual linger is visible in the latency: {:?}",
+            resp.latency
+        );
+        let snap = service.shutdown();
+        assert_eq!(snap.completed, 1);
+        assert!(snap.flushes_linger >= 1, "the linger deadline fired virtually");
     }
 
     #[test]

@@ -1,0 +1,498 @@
+//! Binary event codec: LEB128 varints, length-prefixed strings, one tag
+//! byte per event variant. Hand-rolled — the build is offline and the
+//! serde shim has no serializer — and deliberately boring: every field is
+//! an integer, a bool, an enum byte, or a UTF-8 string, written in
+//! declaration order.
+//!
+//! Decoding is total: any byte sequence either decodes or returns a
+//! [`CodecError`] naming the offset and what was expected. Truncated or
+//! corrupt input must never panic (property-tested in
+//! `tests/codec_roundtrip.rs`).
+
+use solver_service::{BreakerState, FlushReason, RejectReason, TraceEvent};
+
+/// Why a byte stream failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended mid-value.
+    Truncated {
+        /// Byte offset the read started at.
+        offset: usize,
+        /// What was being read.
+        wanted: &'static str,
+    },
+    /// A varint ran past 10 bytes (no u64 needs more).
+    VarintTooLong {
+        /// Byte offset the varint started at.
+        offset: usize,
+    },
+    /// An unknown event tag byte.
+    BadTag {
+        /// Byte offset of the tag.
+        offset: usize,
+        /// The offending value.
+        tag: u8,
+    },
+    /// An enum byte outside the variant range.
+    BadEnum {
+        /// Byte offset of the value.
+        offset: usize,
+        /// Which enum was being read.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// A string's bytes were not valid UTF-8.
+    BadUtf8 {
+        /// Byte offset the string started at.
+        offset: usize,
+    },
+}
+
+impl core::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodecError::Truncated { offset, wanted } => {
+                write!(f, "truncated at byte {offset}: expected {wanted}")
+            }
+            CodecError::VarintTooLong { offset } => {
+                write!(f, "varint at byte {offset} exceeds 10 bytes")
+            }
+            CodecError::BadTag { offset, tag } => {
+                write!(f, "unknown event tag {tag} at byte {offset}")
+            }
+            CodecError::BadEnum { offset, what, value } => {
+                write!(f, "invalid {what} value {value} at byte {offset}")
+            }
+            CodecError::BadUtf8 { offset } => {
+                write!(f, "invalid UTF-8 in string at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Cursor over an encoded byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// `true` when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn byte(&mut self, wanted: &'static str) -> Result<u8, CodecError> {
+        let b =
+            *self.buf.get(self.pos).ok_or(CodecError::Truncated { offset: self.pos, wanted })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads one LEB128 varint.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let start = self.pos;
+        let mut value: u64 = 0;
+        for shift in 0..10u32 {
+            let b = self.byte("varint continuation")?;
+            let payload = u64::from(b & 0x7F);
+            // The 10th byte may only carry the top bit of a u64.
+            if shift == 9 && (payload > 1 || b & 0x80 != 0) {
+                return Err(CodecError::VarintTooLong { offset: start });
+            }
+            value |= payload << (7 * shift);
+            if b & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(CodecError::VarintTooLong { offset: start })
+    }
+
+    /// Reads one bool byte (strictly 0 or 1).
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        let offset = self.pos;
+        match self.byte("bool")? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::BadEnum { offset, what: "bool", value: u64::from(other) }),
+        }
+    }
+
+    /// Reads a fixed-width little-endian u64 — the trace-file header and
+    /// trailer use fixed widths so the checksum's own bytes sit at a known
+    /// offset.
+    pub fn u64_le(&mut self) -> Result<u64, CodecError> {
+        let offset = self.pos;
+        let end = self
+            .pos
+            .checked_add(8)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(CodecError::Truncated { offset, wanted: "8-byte LE u64" })?;
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&self.buf[self.pos..end]);
+        self.pos = end;
+        Ok(u64::from_le_bytes(bytes))
+    }
+
+    /// Reads a varint-length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let start = self.pos;
+        let len = self.u64()?;
+        let len = usize::try_from(len)
+            .ok()
+            .filter(|&l| l <= self.remaining())
+            .ok_or(CodecError::Truncated { offset: start, wanted: "string bytes" })?;
+        let bytes = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8 { offset: start })
+    }
+}
+
+/// Appends `v` as a LEB128 varint.
+pub fn put_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a bool as one byte.
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+/// Appends a varint-length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Event tag bytes, in [`TraceEvent`] declaration order.
+mod tag {
+    pub const ADMIT: u8 = 0;
+    pub const REJECT: u8 = 1;
+    pub const FLUSH: u8 = 2;
+    pub const PLAN: u8 = 3;
+    pub const RETRY: u8 = 4;
+    pub const FAULT: u8 = 5;
+    pub const BREAKER: u8 = 6;
+    pub const STEAL: u8 = 7;
+    pub const SERVED: u8 = 8;
+}
+
+fn flush_reason_byte(r: FlushReason) -> u8 {
+    match r {
+        FlushReason::Full => 0,
+        FlushReason::Linger => 1,
+        FlushReason::Deadline => 2,
+        FlushReason::Shutdown => 3,
+    }
+}
+
+fn flush_reason_from(offset: usize, v: u64) -> Result<FlushReason, CodecError> {
+    match v {
+        0 => Ok(FlushReason::Full),
+        1 => Ok(FlushReason::Linger),
+        2 => Ok(FlushReason::Deadline),
+        3 => Ok(FlushReason::Shutdown),
+        other => Err(CodecError::BadEnum { offset, what: "FlushReason", value: other }),
+    }
+}
+
+fn reject_reason_byte(r: RejectReason) -> u8 {
+    match r {
+        RejectReason::QueueFull => 0,
+        RejectReason::ShuttingDown => 1,
+        RejectReason::Invalid => 2,
+        RejectReason::DeadlinePast => 3,
+    }
+}
+
+fn reject_reason_from(offset: usize, v: u64) -> Result<RejectReason, CodecError> {
+    match v {
+        0 => Ok(RejectReason::QueueFull),
+        1 => Ok(RejectReason::ShuttingDown),
+        2 => Ok(RejectReason::Invalid),
+        3 => Ok(RejectReason::DeadlinePast),
+        other => Err(CodecError::BadEnum { offset, what: "RejectReason", value: other }),
+    }
+}
+
+fn breaker_state_byte(s: BreakerState) -> u8 {
+    match s {
+        BreakerState::Closed => 0,
+        BreakerState::Open => 1,
+        BreakerState::HalfOpen => 2,
+    }
+}
+
+fn breaker_state_from(offset: usize, v: u64) -> Result<BreakerState, CodecError> {
+    match v {
+        0 => Ok(BreakerState::Closed),
+        1 => Ok(BreakerState::Open),
+        2 => Ok(BreakerState::HalfOpen),
+        other => Err(CodecError::BadEnum { offset, what: "BreakerState", value: other }),
+    }
+}
+
+/// Appends one event: tag byte, then fields in declaration order.
+pub fn encode_event(event: &TraceEvent, out: &mut Vec<u8>) {
+    match event {
+        TraceEvent::Admit { at, id, n } => {
+            out.push(tag::ADMIT);
+            put_u64(out, *at);
+            put_u64(out, *id);
+            put_u64(out, *n);
+        }
+        TraceEvent::Reject { at, n, reason } => {
+            out.push(tag::REJECT);
+            put_u64(out, *at);
+            put_u64(out, *n);
+            out.push(reject_reason_byte(*reason));
+        }
+        TraceEvent::Flush { at, n, occupancy, reason } => {
+            out.push(tag::FLUSH);
+            put_u64(out, *at);
+            put_u64(out, *n);
+            put_u64(out, *occupancy);
+            out.push(flush_reason_byte(*reason));
+        }
+        TraceEvent::Plan { at, n, occupancy, engine } => {
+            out.push(tag::PLAN);
+            put_u64(out, *at);
+            put_u64(out, *n);
+            put_u64(out, *occupancy);
+            put_str(out, engine);
+        }
+        TraceEvent::Retry { at, attempt } => {
+            out.push(tag::RETRY);
+            put_u64(out, *at);
+            put_u64(out, *attempt);
+        }
+        TraceEvent::Fault { at, lost } => {
+            out.push(tag::FAULT);
+            put_u64(out, *at);
+            put_bool(out, *lost);
+        }
+        TraceEvent::Breaker { at, key, to } => {
+            out.push(tag::BREAKER);
+            put_u64(out, *at);
+            put_str(out, key);
+            out.push(breaker_state_byte(*to));
+        }
+        TraceEvent::Steal { at, from, to } => {
+            out.push(tag::STEAL);
+            put_u64(out, *at);
+            put_u64(out, *from);
+            put_u64(out, *to);
+        }
+        TraceEvent::Served { at, n, occupancy, engine, reason, engine_ns, repairs, degraded } => {
+            out.push(tag::SERVED);
+            put_u64(out, *at);
+            put_u64(out, *n);
+            put_u64(out, *occupancy);
+            put_str(out, engine);
+            out.push(flush_reason_byte(*reason));
+            put_u64(out, *engine_ns);
+            put_u64(out, *repairs);
+            put_bool(out, *degraded);
+        }
+    }
+}
+
+/// Reads one event from `r`.
+pub fn decode_event(r: &mut Reader<'_>) -> Result<TraceEvent, CodecError> {
+    let tag_offset = r.pos();
+    let tag = r.byte("event tag")?;
+    match tag {
+        tag::ADMIT => Ok(TraceEvent::Admit { at: r.u64()?, id: r.u64()?, n: r.u64()? }),
+        tag::REJECT => {
+            let at = r.u64()?;
+            let n = r.u64()?;
+            let offset = r.pos();
+            let reason = reject_reason_from(offset, u64::from(r.byte("RejectReason")?))?;
+            Ok(TraceEvent::Reject { at, n, reason })
+        }
+        tag::FLUSH => {
+            let at = r.u64()?;
+            let n = r.u64()?;
+            let occupancy = r.u64()?;
+            let offset = r.pos();
+            let reason = flush_reason_from(offset, u64::from(r.byte("FlushReason")?))?;
+            Ok(TraceEvent::Flush { at, n, occupancy, reason })
+        }
+        tag::PLAN => Ok(TraceEvent::Plan {
+            at: r.u64()?,
+            n: r.u64()?,
+            occupancy: r.u64()?,
+            engine: r.str()?,
+        }),
+        tag::RETRY => Ok(TraceEvent::Retry { at: r.u64()?, attempt: r.u64()? }),
+        tag::FAULT => Ok(TraceEvent::Fault { at: r.u64()?, lost: r.bool()? }),
+        tag::BREAKER => {
+            let at = r.u64()?;
+            let key = r.str()?;
+            let offset = r.pos();
+            let to = breaker_state_from(offset, u64::from(r.byte("BreakerState")?))?;
+            Ok(TraceEvent::Breaker { at, key, to })
+        }
+        tag::STEAL => Ok(TraceEvent::Steal { at: r.u64()?, from: r.u64()?, to: r.u64()? }),
+        tag::SERVED => {
+            let at = r.u64()?;
+            let n = r.u64()?;
+            let occupancy = r.u64()?;
+            let engine = r.str()?;
+            let offset = r.pos();
+            let reason = flush_reason_from(offset, u64::from(r.byte("FlushReason")?))?;
+            Ok(TraceEvent::Served {
+                at,
+                n,
+                occupancy,
+                engine,
+                reason,
+                engine_ns: r.u64()?,
+                repairs: r.u64()?,
+                degraded: r.bool()?,
+            })
+        }
+        other => Err(CodecError::BadTag { offset: tag_offset, tag: other }),
+    }
+}
+
+/// Encodes a count-prefixed event sequence.
+pub fn encode_events(events: &[TraceEvent], out: &mut Vec<u8>) {
+    put_u64(out, events.len() as u64);
+    for event in events {
+        encode_event(event, out);
+    }
+}
+
+/// Decodes a count-prefixed event sequence.
+pub fn decode_events(r: &mut Reader<'_>) -> Result<Vec<TraceEvent>, CodecError> {
+    let count = r.u64()?;
+    // The smallest event (tag + varint + bool) is 3 bytes, so a count that
+    // cannot possibly fit the remaining input is rejected up front rather
+    // than letting a corrupt prefix drive a giant allocation.
+    let count = usize::try_from(count)
+        .ok()
+        .filter(|&c| c.checked_mul(3).is_some_and(|need| need <= r.remaining()))
+        .ok_or(CodecError::Truncated { offset: r.pos(), wanted: "event sequence" })?;
+    let mut events = Vec::with_capacity(count);
+    for _ in 0..count {
+        events.push(decode_event(r)?);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varints_round_trip_edge_values() {
+        for v in [0u64, 1, 127, 128, 255, 300, u32::MAX as u64, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            put_u64(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.u64().unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected_not_wrapped() {
+        // 11 continuation bytes: no u64 needs that.
+        let buf = [0x80u8; 11];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.u64(), Err(CodecError::VarintTooLong { offset: 0 })));
+        // 10 bytes but the last carries more than u64's top bit.
+        let buf = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x02];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.u64(), Err(CodecError::VarintTooLong { .. })));
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let events = vec![
+            TraceEvent::Admit { at: 1, id: 2, n: 64 },
+            TraceEvent::Reject { at: 3, n: 0, reason: RejectReason::DeadlinePast },
+            TraceEvent::Flush { at: 4, n: 128, occupancy: 8, reason: FlushReason::Linger },
+            TraceEvent::Plan { at: 5, n: 128, occupancy: 8, engine: "cr+pcr@32".into() },
+            TraceEvent::Retry { at: 6, attempt: 2 },
+            TraceEvent::Fault { at: 7, lost: true },
+            TraceEvent::Breaker { at: 8, key: "dev0:cr+pcr@32".into(), to: BreakerState::Open },
+            TraceEvent::Steal { at: 9, from: 1, to: 0 },
+            TraceEvent::Served {
+                at: 10,
+                n: 128,
+                occupancy: 8,
+                engine: "cpu-thomas".into(),
+                reason: FlushReason::Full,
+                engine_ns: u64::MAX,
+                repairs: 3,
+                degraded: true,
+            },
+        ];
+        let mut buf = Vec::new();
+        encode_events(&events, &mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(decode_events(&mut r).unwrap(), events);
+        assert!(r.is_empty(), "decoder must consume exactly what the encoder wrote");
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_errors_cleanly() {
+        let event = TraceEvent::Served {
+            at: 123_456_789,
+            n: 512,
+            occupancy: 64,
+            engine: "pcr".into(),
+            reason: FlushReason::Deadline,
+            engine_ns: 9_999_999,
+            repairs: 1,
+            degraded: false,
+        };
+        let mut buf = Vec::new();
+        encode_event(&event, &mut buf);
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(decode_event(&mut r).is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn bad_tag_and_bad_enum_bytes_are_named() {
+        let mut r = Reader::new(&[200, 0, 0, 0]);
+        assert!(matches!(decode_event(&mut r), Err(CodecError::BadTag { tag: 200, .. })));
+        // Reject event with reason byte 9.
+        let buf = [tag::REJECT, 0, 0, 9];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            decode_event(&mut r),
+            Err(CodecError::BadEnum { what: "RejectReason", value: 9, .. })
+        ));
+    }
+}

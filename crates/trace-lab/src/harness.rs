@@ -1,0 +1,264 @@
+//! The deterministic lab harness: the solver service's decision pipeline
+//! — admission, bucket batching, planning, dispatch, verify-and-repair,
+//! breakers — driven from **one thread** on a **simulated clock**.
+//!
+//! The threaded [`solver_service::SolverService`] under a sim clock is
+//! de-flaked but not reproducible: OS scheduling still reorders events.
+//! This harness removes the last nondeterminism source by being the only
+//! thread: arrivals and linger deadlines are merged in tick order, flushes
+//! are served synchronously, and the clock only moves where the event loop
+//! (or `serve_flush`'s modeled engine time) moves it. The resulting event
+//! stream — values *and* timestamps — is a pure function of the
+//! [`Scenario`], which is what makes bit-identical replay possible (the
+//! invariant DESIGN.md §10 states precisely).
+//!
+//! Tie-break rules, fixed forever (changing any of these invalidates old
+//! traces):
+//! 1. at a given tick, due linger/deadline flushes fire before arrivals;
+//! 2. arrivals are admitted in index order;
+//! 3. a flush triggered by an insert (bucket full) is served immediately,
+//!    before the next arrival is considered;
+//! 4. shutdown drains buckets in ascending size order (the bucket table's
+//!    iteration order).
+
+use crate::record::RecordingSink;
+use crate::scenario::Scenario;
+use gpu_sim::{Clock, FaultConfig, FaultPlan, Launcher, Tick};
+use gpu_solvers::GpuAlgorithm;
+use solver_service::{
+    make_request_at, serve_flush, BreakerConfig, BucketTable, CircuitBreakers, DeviceCtx,
+    DispatchConfig, Engine, FlushedBatch, PlanCache, RejectReason, ServiceMetrics, SolveResponse,
+    Ticket, TraceEvent, TraceHandle,
+};
+use std::sync::Arc;
+use std::time::Duration;
+use tridiag_core::{Generator, Workload};
+
+/// What one harness run measured, alongside the event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Requests admitted and served to completion.
+    pub served: u64,
+    /// Requests shed at admission (queue full).
+    pub rejected: u64,
+    /// Per-served-request virtual latency (submit → fulfilled), ns,
+    /// in submission order.
+    pub latencies_ns: Vec<u64>,
+    /// Responses that escaped the verify bound (must stay 0).
+    pub wrong: u64,
+    /// Systems the verify step re-solved with GEP.
+    pub repairs: u64,
+    /// The virtual tick the run finished at (the simulated makespan).
+    pub final_tick: Tick,
+}
+
+/// One completed harness run: the captured decision stream plus stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutput {
+    /// Every service decision, in emission order.
+    pub events: Vec<TraceEvent>,
+    /// Aggregate measurements.
+    pub stats: RunStats,
+}
+
+/// Residual bound a served f32 answer must beat to count as correct.
+const RESIDUAL_BOUND: f64 = 1e-2;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Emits the Flush event and serves the batch synchronously — the
+/// single-threaded analogue of `route_flush` + a worker pop.
+#[allow(clippy::too_many_arguments)]
+fn serve_one(
+    flush: FlushedBatch<f32>,
+    launcher: &Launcher,
+    plans: &PlanCache,
+    breakers: &CircuitBreakers,
+    metrics: &ServiceMetrics,
+    cfg: &DispatchConfig,
+    trace: &TraceHandle,
+    clock: &Clock,
+) {
+    trace.emit(|| TraceEvent::Flush {
+        at: clock.now(),
+        n: flush.n as u64,
+        occupancy: flush.requests.len() as u64,
+        reason: flush.reason,
+    });
+    serve_flush(DeviceCtx::solo(launcher), plans, breakers, metrics, cfg, flush);
+}
+
+/// Runs `scenario` to completion and returns the decision stream + stats.
+///
+/// Two calls with the same scenario return identical [`RunOutput`]s,
+/// bit for bit — the property the replay gate enforces.
+pub fn run(scenario: &Scenario) -> RunOutput {
+    let clock = Clock::sim();
+    let sink = Arc::new(RecordingSink::new());
+    let trace = TraceHandle::to(sink.clone());
+
+    let fault_cfg = FaultConfig::chaos(
+        scenario.seed,
+        scenario.launch_fault_ppm as f64 / 1e6,
+        scenario.bit_flip_ppm as f64 / 1e6,
+    );
+    let launcher = Launcher::gtx280().with_fault_plan(Arc::new(FaultPlan::new(fault_cfg)));
+    let plans = PlanCache::new();
+    let breakers = CircuitBreakers::with_clock(BreakerConfig::default(), clock.clone())
+        .with_trace(trace.clone());
+    let metrics = ServiceMetrics::new();
+    let cfg = DispatchConfig {
+        min_gpu_batch: scenario.min_gpu_batch.max(1) as usize,
+        pin_engine: (scenario.pin_cr_pcr_m > 0)
+            .then_some(Engine::Gpu(GpuAlgorithm::CrPcr { m: scenario.pin_cr_pcr_m as usize })),
+        // The sanitizer is its own CI gate; lab runs skip its overhead.
+        sanitize_first_flush: false,
+        clock: clock.clone(),
+        trace: trace.clone(),
+        ..DispatchConfig::default()
+    };
+
+    let mut table: BucketTable<f32> = BucketTable::new(
+        scenario.target_batch.max(1) as usize,
+        Duration::from_micros(scenario.max_linger_us),
+    );
+    let mut generator = Generator::new(scenario.seed);
+    let mut size_rng = scenario.seed ^ 0x5A1E_D065;
+    let capacity = scenario.queue_capacity.max(1) as usize;
+
+    // Arrival ticks are a pure function of the scenario; precompute them
+    // in index order.
+    let arrivals: Vec<Tick> = (0..scenario.requests).map(|i| scenario.arrival_tick(i)).collect();
+
+    let mut tickets: Vec<Ticket<f32>> = Vec::new();
+    let mut rejected = 0u64;
+    let mut next_id = 0u64;
+    let mut i = 0usize;
+
+    while i < arrivals.len() || table.pending() > 0 {
+        let next = match (arrivals.get(i).copied(), table.next_deadline()) {
+            (Some(a), Some(d)) => a.min(d),
+            (Some(a), None) => a,
+            (None, Some(d)) => d,
+            (None, None) => break,
+        };
+        clock.advance_to(next);
+
+        // Rule 1: due flushes fire before arrivals at the same tick.
+        for flush in table.flush_expired(clock.now()) {
+            serve_one(flush, &launcher, &plans, &breakers, &metrics, &cfg, &trace, &clock);
+        }
+
+        // Rules 2–3: admit every arrival now due, serving any full-bucket
+        // flush before the next arrival. (Serving moves the clock, which
+        // can make further arrivals due — that's the single server being
+        // busy, and it is equally deterministic.)
+        while i < arrivals.len() && arrivals[i] <= clock.now() {
+            let n = scenario.sizes[(splitmix64(&mut size_rng) as usize) % scenario.sizes.len()]
+                .max(2) as usize;
+            let system = generator.system(Workload::DiagonallyDominant, n);
+            let at = clock.now();
+            if table.pending() >= capacity {
+                rejected += 1;
+                trace.emit(|| TraceEvent::Reject {
+                    at,
+                    n: n as u64,
+                    reason: RejectReason::QueueFull,
+                });
+            } else {
+                let id = next_id;
+                next_id += 1;
+                trace.emit(|| TraceEvent::Admit { at, id, n: n as u64 });
+                let (request, ticket) = make_request_at(id, system, at, None);
+                tickets.push(ticket);
+                if let Some(flush) = table.insert(request, at) {
+                    serve_one(flush, &launcher, &plans, &breakers, &metrics, &cfg, &trace, &clock);
+                }
+            }
+            i += 1;
+        }
+    }
+
+    // Rule 4: shutdown drain, ascending size order.
+    for flush in table.flush_all() {
+        serve_one(flush, &launcher, &plans, &breakers, &metrics, &cfg, &trace, &clock);
+    }
+
+    let mut latencies_ns = Vec::with_capacity(tickets.len());
+    let mut wrong = 0u64;
+    let mut repairs = 0u64;
+    for ticket in tickets {
+        let response: SolveResponse<f32> =
+            ticket.try_take().expect("single-threaded serve fulfills every admitted ticket");
+        latencies_ns.push(response.latency.as_nanos().min(u64::MAX as u128) as u64);
+        if !response.residual.is_finite() || response.residual >= RESIDUAL_BOUND {
+            wrong += 1;
+        }
+        repairs += u64::from(response.repaired);
+    }
+
+    let stats = RunStats {
+        served: latencies_ns.len() as u64,
+        rejected,
+        latencies_ns,
+        wrong,
+        repairs,
+        final_tick: clock.now(),
+    };
+    RunOutput { events: sink.take(), stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn two_runs_of_the_same_scenario_are_bit_identical() {
+        let scenario = Scenario::chaos(120);
+        let a = run(&scenario);
+        let b = run(&scenario);
+        assert_eq!(a.events.len(), b.events.len());
+        assert_eq!(a.events, b.events, "decision streams diverged");
+        assert_eq!(a.stats, b.stats, "stats diverged");
+        assert!(a.stats.served > 0);
+        assert_eq!(a.stats.wrong, 0, "a wrong answer escaped verification");
+    }
+
+    #[test]
+    fn event_timestamps_never_go_backwards() {
+        let out = run(&Scenario::bursty(100));
+        let ticks: Vec<Tick> = out.events.iter().map(TraceEvent::at).collect();
+        assert!(ticks.windows(2).all(|w| w[0] <= w[1]), "trace is not tick-ordered");
+    }
+
+    #[test]
+    fn adversarial_flood_sheds_load_but_loses_nothing() {
+        let out = run(&Scenario::adversarial(300));
+        assert_eq!(out.stats.served + out.stats.rejected, 300);
+        assert_eq!(out.stats.wrong, 0);
+        // The flood must actually stress admission — otherwise the cell
+        // tests nothing.
+        assert!(out.stats.rejected > 0, "adversarial cell never filled the queue");
+    }
+
+    #[test]
+    fn conservation_served_plus_rejected_equals_offered() {
+        for scenario in [Scenario::steady(150), Scenario::diurnal(150), Scenario::bursty(150)] {
+            let out = run(&scenario);
+            assert_eq!(
+                out.stats.served + out.stats.rejected,
+                150,
+                "{} lost requests",
+                scenario.name
+            );
+            assert_eq!(out.stats.wrong, 0, "{}", scenario.name);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! trace-lab: deterministic trace capture, bit-identical replay, and a
+//! replay-driven load lab for the tridiagonal solver service.
+//!
+//! The crate has three layers:
+//!
+//! * **Capture** — [`harness::run`] drives the service's decision pipeline
+//!   (admission → bucket batching → planning → dispatch → verify/repair →
+//!   breakers) from a single thread on a simulated clock, recording every
+//!   decision as a [`solver_service::TraceEvent`]. The resulting stream,
+//!   timestamps included, is a pure function of the [`Scenario`].
+//! * **Replay** — [`replay::capture`] stamps a stream into a
+//!   provenance-carrying [`TraceFile`] (seed, config hash, git rev,
+//!   checksum); [`replay::verify`] re-runs the embedded scenario and
+//!   demands the fresh stream be bit-identical, reporting the first
+//!   [`Divergence`] otherwise.
+//! * **Load lab** — [`loadlab::standard_cells`] is a matrix of open-loop
+//!   workloads (steady, diurnal, bursty, adversarial small-n floods),
+//!   each scored against an [`Slo`]. Deterministic by construction, so
+//!   SLO checks gate CI without benchmark flake.
+//!
+//! The on-disk format and event taxonomy are specified in DESIGN.md §10,
+//! together with the invariants that make bit-identical replay possible —
+//! in particular *why* the threaded service under a sim clock is de-flaked
+//! but not replayable, and this single-threaded harness is.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod file;
+pub mod harness;
+pub mod loadlab;
+pub mod record;
+pub mod replay;
+pub mod scenario;
+
+pub use codec::CodecError;
+pub use file::{TraceError, TraceFile};
+pub use harness::{RunOutput, RunStats};
+pub use loadlab::{LabCell, LabOutcome, Slo};
+pub use record::RecordingSink;
+pub use replay::{capture, verify, Divergence};
+pub use scenario::{Pattern, Scenario};

@@ -1,0 +1,212 @@
+//! The replay-driven load lab: a matrix of open-loop scenarios, each run
+//! under the deterministic harness and scored against an SLO.
+//!
+//! Because the harness clock is virtual, every number here — availability,
+//! latency percentiles, throughput — is a pure function of the scenario,
+//! so the SLO check is a *deterministic gate*, not a flaky benchmark: a
+//! failure is a behaviour change in the service pipeline, never scheduler
+//! noise on the CI host.
+
+use crate::harness::{self, RunStats};
+use crate::scenario::Scenario;
+
+/// The service-level objective one lab cell must meet.
+///
+/// All integer, like [`Scenario`]: availability in parts-per-million,
+/// latency in virtual nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slo {
+    /// Minimum served/offered ratio, parts per million.
+    pub min_availability_ppm: u64,
+    /// Maximum p99 virtual latency (submit → fulfilled), ns.
+    pub max_p99_ns: u64,
+    /// Whether any out-of-bound answer fails the cell (always on in the
+    /// standard matrix).
+    pub require_correct: bool,
+}
+
+/// One cell of the lab matrix: a workload and the bar it must clear.
+#[derive(Debug, Clone)]
+pub struct LabCell {
+    /// The workload.
+    pub scenario: Scenario,
+    /// The bar.
+    pub slo: Slo,
+}
+
+/// What one cell measured, and whether it cleared its SLO.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabOutcome {
+    /// Cell name (the scenario's).
+    pub name: String,
+    /// Requests offered.
+    pub offered: u64,
+    /// Requests served.
+    pub served: u64,
+    /// Requests shed at admission.
+    pub rejected: u64,
+    /// served/offered, parts per million.
+    pub availability_ppm: u64,
+    /// Median virtual latency, ns.
+    pub p50_ns: u64,
+    /// 99th-percentile virtual latency, ns.
+    pub p99_ns: u64,
+    /// Served throughput over the simulated makespan, requests/s.
+    pub throughput_rps: u64,
+    /// Verify-and-repair interventions.
+    pub repairs: u64,
+    /// Answers that escaped the verify bound.
+    pub wrong: u64,
+    /// Simulated makespan, ns.
+    pub makespan_ns: u64,
+    /// Every SLO clause this cell missed (empty = pass).
+    pub failures: Vec<String>,
+}
+
+impl LabOutcome {
+    /// `true` when the cell cleared every SLO clause.
+    pub fn pass(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Nearest-rank percentile over an unsorted latency sample. `pct` is 0–100.
+pub fn percentile_ns(latencies: &[u64], pct: u64) -> u64 {
+    if latencies.is_empty() {
+        return 0;
+    }
+    let mut sorted = latencies.to_vec();
+    sorted.sort_unstable();
+    let rank = (sorted.len() as u64 - 1) * pct / 100;
+    sorted[rank as usize]
+}
+
+fn availability_ppm(served: u64, offered: u64) -> u64 {
+    if offered == 0 {
+        return 1_000_000;
+    }
+    served.saturating_mul(1_000_000) / offered
+}
+
+/// Runs one cell and scores it against its SLO.
+pub fn run_cell(cell: &LabCell) -> LabOutcome {
+    let out = harness::run(&cell.scenario);
+    score(cell, &out.stats)
+}
+
+/// Scores already-collected stats against a cell's SLO (split out so the
+/// replay gate can score a verified run without re-running it).
+pub fn score(cell: &LabCell, stats: &RunStats) -> LabOutcome {
+    let offered = cell.scenario.requests;
+    let availability = availability_ppm(stats.served, offered);
+    let p50 = percentile_ns(&stats.latencies_ns, 50);
+    let p99 = percentile_ns(&stats.latencies_ns, 99);
+    let makespan = stats.final_tick;
+    let throughput = stats.served.saturating_mul(1_000_000_000).checked_div(makespan).unwrap_or(0);
+
+    let mut failures = Vec::new();
+    if availability < cell.slo.min_availability_ppm {
+        failures.push(format!(
+            "availability {availability} ppm < slo {} ppm",
+            cell.slo.min_availability_ppm
+        ));
+    }
+    if p99 > cell.slo.max_p99_ns {
+        failures.push(format!("p99 {p99} ns > slo {} ns", cell.slo.max_p99_ns));
+    }
+    if cell.slo.require_correct && stats.wrong > 0 {
+        failures.push(format!("{} answer(s) escaped the verify bound", stats.wrong));
+    }
+
+    LabOutcome {
+        name: cell.scenario.name.clone(),
+        offered,
+        served: stats.served,
+        rejected: stats.rejected,
+        availability_ppm: availability,
+        p50_ns: p50,
+        p99_ns: p99,
+        throughput_rps: throughput,
+        repairs: stats.repairs,
+        wrong: stats.wrong,
+        makespan_ns: makespan,
+        failures,
+    }
+}
+
+/// The standard lab matrix: one cell per generator pattern. `quick` runs
+/// the CI-sized workloads; the full size is for `repro loadlab` locally.
+///
+/// SLO numbers are deliberately loose bounds on the deterministic
+/// measurements (recorded in EXPERIMENTS.md): they catch regressions like
+/// a broken linger timer (p99 collapse) or an admission leak
+/// (availability), not single-tick drift — that is the replay gate's job.
+pub fn standard_cells(quick: bool) -> Vec<LabCell> {
+    let n: u64 = if quick { 400 } else { 2_000 };
+    vec![
+        LabCell {
+            scenario: Scenario::steady(n),
+            slo: Slo {
+                min_availability_ppm: 990_000,
+                max_p99_ns: 2_000_000,
+                require_correct: true,
+            },
+        },
+        LabCell {
+            scenario: Scenario::diurnal(n),
+            slo: Slo {
+                min_availability_ppm: 990_000,
+                max_p99_ns: 2_000_000,
+                require_correct: true,
+            },
+        },
+        LabCell {
+            scenario: Scenario::bursty(n),
+            slo: Slo {
+                min_availability_ppm: 990_000,
+                max_p99_ns: 5_000_000,
+                require_correct: true,
+            },
+        },
+        LabCell {
+            scenario: Scenario::adversarial(n),
+            // The flood is *designed* to shed load; the SLO asserts the
+            // service stays correct and sheds gracefully rather than
+            // serving everything.
+            slo: Slo {
+                min_availability_ppm: 100_000,
+                max_p99_ns: 20_000_000,
+                require_correct: true,
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let sample: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&sample, 50), 50);
+        assert_eq!(percentile_ns(&sample, 99), 99);
+        assert_eq!(percentile_ns(&sample, 0), 1);
+        assert_eq!(percentile_ns(&sample, 100), 100);
+        assert_eq!(percentile_ns(&[], 99), 0);
+    }
+
+    #[test]
+    fn the_quick_matrix_passes_its_own_slos() {
+        for cell in standard_cells(true) {
+            let outcome = run_cell(&cell);
+            assert!(outcome.pass(), "{} failed its SLO: {:?}", outcome.name, outcome.failures);
+        }
+    }
+
+    #[test]
+    fn lab_outcomes_are_deterministic() {
+        let cell = &standard_cells(true)[0];
+        assert_eq!(run_cell(cell), run_cell(cell));
+    }
+}

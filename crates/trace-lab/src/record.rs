@@ -1,0 +1,63 @@
+//! In-memory trace recorder: the [`TraceSink`] the capture harness and
+//! tests attach to a service's [`solver_service::TraceHandle`].
+
+use solver_service::{TraceEvent, TraceSink};
+use std::sync::Mutex;
+
+/// Records every event, in emission order, into memory.
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl RecordingSink {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes and returns everything recorded so far.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Clones the recorded events without draining them.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn record(&self, event: TraceEvent) {
+        self.events.lock().unwrap_or_else(|p| p.into_inner()).push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solver_service::TraceHandle;
+    use std::sync::Arc;
+
+    #[test]
+    fn records_in_order_and_take_drains() {
+        let sink = Arc::new(RecordingSink::new());
+        let handle = TraceHandle::to(sink.clone());
+        handle.emit(|| TraceEvent::Admit { at: 1, id: 0, n: 64 });
+        handle.emit(|| TraceEvent::Retry { at: 2, attempt: 1 });
+        assert_eq!(sink.len(), 2);
+        let events = sink.take();
+        assert_eq!(events.iter().map(TraceEvent::at).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(sink.is_empty());
+    }
+}

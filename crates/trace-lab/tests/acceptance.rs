@@ -1,0 +1,35 @@
+//! The PR's acceptance bar, verbatim: a 1000-request chaos trace (5%
+//! launch faults, 1% bit flips) must capture and replay **bit-identically
+//! across two runs** — not just equal decisions, equal encoded bytes.
+//!
+//! `repro replay` enforces the same bar at CI time; this test pins it in
+//! the tier-1 suite so a determinism regression fails `cargo test` before
+//! it ever reaches the gate.
+
+use trace_lab::{capture, verify, Scenario, TraceFile};
+
+#[test]
+fn thousand_request_chaos_trace_is_bit_identical_across_runs() {
+    let scenario = Scenario::chaos(1000);
+
+    let (trace_a, stats_a) = capture(&scenario);
+    let (trace_b, stats_b) = capture(&scenario);
+
+    // Bar 1: two independent captures serialize to the same bytes.
+    let bytes = trace_a.to_bytes();
+    assert_eq!(bytes, trace_b.to_bytes(), "two captures of the same scenario diverged");
+    assert_eq!(stats_a, stats_b, "stats diverged between captures");
+
+    // Bar 2: the persisted form decodes and replays against a fresh run
+    // with zero divergence — event for event, tick for tick.
+    let reloaded = TraceFile::from_bytes(&bytes).expect("self-produced trace must load");
+    let replay_stats = verify(&reloaded).unwrap_or_else(|d| panic!("replay diverged: {d}"));
+    assert_eq!(replay_stats, stats_a, "replay stats diverged from capture");
+
+    // The trace must exercise the machinery it claims to: real traffic,
+    // real faults, and not a single wrong answer served.
+    assert_eq!(stats_a.served + stats_a.rejected, 1000, "lost requests");
+    assert!(stats_a.served > 0, "nothing served");
+    assert!(!trace_a.events.is_empty(), "empty decision stream");
+    assert_eq!(stats_a.wrong, 0, "a wrong answer escaped verification");
+}

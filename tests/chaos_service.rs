@@ -18,13 +18,13 @@
 //! * a quiet fault plan (all rates zero) is counter-neutral: byte-identical
 //!   solutions and identical counters to running with no plan at all.
 
-use gpu_sim::{FaultConfig, FaultPlan, Launcher};
+use gpu_sim::{Clock, FaultConfig, FaultPlan, Launcher};
 use gpu_solvers::GpuAlgorithm;
 use proptest::prelude::*;
 use solver_service::{
     make_request, serve_flush, CircuitBreakers, DeviceCtx, DispatchConfig, Engine, FlushReason,
     FlushedBatch, MetricsSnapshot, PlanCache, ServiceConfig, ServiceError, ServiceMetrics,
-    SolverService, Ticket,
+    SolveResponse, SolverService, Ticket,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -41,6 +41,11 @@ fn faulty_launcher(cfg: FaultConfig) -> (Launcher, Arc<FaultPlan>) {
 }
 
 /// Open-loop submit with backpressure retries honoring the drain hint.
+///
+/// The retry pause goes through the *service's* clock: on a sim clock the
+/// hint advances virtual time (so linger deadlines the workers are parked
+/// on expire immediately) and we only yield the real thread so those
+/// workers get scheduled; on a real clock this is the old wall sleep.
 fn submit_retrying<T: tridiag_core::Real>(
     service: &SolverService<T>,
     system: &TridiagonalSystem<T>,
@@ -49,11 +54,39 @@ fn submit_retrying<T: tridiag_core::Real>(
         match service.submit(system.clone()) {
             Ok(ticket) => return ticket,
             Err(ServiceError::QueueFull { retry_after: Some(hint), .. }) => {
-                std::thread::sleep(hint)
+                service.clock().sleep(hint);
+                if service.clock().is_sim() {
+                    std::thread::yield_now();
+                }
             }
             Err(ServiceError::QueueFull { .. }) => std::thread::yield_now(),
             Err(e) => panic!("service refused a valid request: {e}"),
         }
+    }
+}
+
+/// Waits on a ticket while pumping the service's virtual clock.
+///
+/// Under a sim clock nobody advances time on its own, and submission is
+/// asynchronous: a batcher insert can land *after* the submitter returns,
+/// setting a linger deadline in the virtual future. Advancing once up
+/// front would race that insert and deadlock the tail flush, so the waiter
+/// funds time in small steps until its ticket resolves — each step expires
+/// any deadline set so far, and the short real sleep lets the worker
+/// threads actually run. On a real clock this is plain `Ticket::wait`.
+fn wait_pumping<T: tridiag_core::Real>(
+    service: &SolverService<T>,
+    ticket: Ticket<T>,
+) -> SolveResponse<T> {
+    if !service.clock().is_sim() {
+        return ticket.wait();
+    }
+    loop {
+        if let Some(response) = ticket.try_take() {
+            return response;
+        }
+        service.clock().advance(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_micros(200));
     }
 }
 
@@ -77,6 +110,10 @@ fn chaos_stream_no_lost_tickets_no_wrong_answers() {
         max_linger: Duration::from_millis(1),
         launcher,
         pin_engine: Some(Engine::Gpu(GpuAlgorithm::CrPcr { m: 32 })),
+        // Sim clock: linger and backpressure pauses are virtual, so the
+        // test's duration is solver work, not a thousand waits on wall
+        // timers — the de-flaking half of the virtual-clock story.
+        clock: Clock::sim(),
         ..ServiceConfig::default()
     };
     let service: SolverService<f32> = SolverService::start(config);
@@ -96,7 +133,7 @@ fn chaos_stream_no_lost_tickets_no_wrong_answers() {
     let mut seen = 0usize;
     for ticket in tickets {
         let id = ticket.id();
-        let response = ticket.wait();
+        let response = wait_pumping(&service, ticket);
         assert_eq!(response.id, id, "response delivered to the wrong ticket");
         let system = systems.remove(&id).expect("response for unknown id");
         let recomputed = l2_residual(&system, &response.x).expect("finite solution");
@@ -173,6 +210,10 @@ fn breaker_round_trips_open_and_closed_under_a_fault_burst() {
         pin_engine: Some(Engine::Gpu(GpuAlgorithm::CrPcr { m: 32 })),
         max_attempts_per_engine: 4,
         max_total_attempts: 4,
+        // Sim clock: the inter-wave pauses that fund breaker cooldown
+        // become virtual advances instead of wall sleeps, so the breaker's
+        // round trip no longer depends on host timer resolution.
+        clock: Clock::sim(),
         ..ServiceConfig::default()
     });
 
@@ -188,10 +229,10 @@ fn breaker_round_trips_open_and_closed_under_a_fault_burst() {
             })
             .collect();
         for ticket in tickets {
-            let response = ticket.wait();
+            let response = wait_pumping(&service, ticket);
             assert!(response.residual < RESIDUAL_BOUND, "wave {wave}: {}", response.residual);
         }
-        std::thread::sleep(Duration::from_millis(4));
+        service.clock().sleep(Duration::from_millis(4));
     }
 
     let snapshot = service.shutdown();
@@ -321,6 +362,11 @@ fn pool_survives_one_device_dying_mid_stream() {
         max_linger: Duration::from_millis(1),
         pin_engine: Some(Engine::Gpu(GpuAlgorithm::CrPcr { m: 32 })),
         pool: Some(pool_cfg),
+        // Deliberately the *real* clock: this test's pacing is condition-
+        // polled ("has device 2 tripped yet?"), which depends on worker
+        // threads getting real scheduler time — a virtual advance can't
+        // substitute for that, and the test has no deadline-based sleeps
+        // to de-flake.
         ..ServiceConfig::default()
     };
     let service: SolverService<f32> = SolverService::start(config);

@@ -192,11 +192,11 @@ fn injected_device_faults_surface_as_typed_errors() {
 #[test]
 fn past_deadlines_rejected_at_admission_with_a_specific_error() {
     use solver_service::{ServiceConfig, ServiceError, SolverService};
-    use std::time::Instant;
 
     let service: SolverService<f32> = SolverService::start(ServiceConfig::default());
     let system = Generator::new(3).system(Workload::DiagonallyDominant, 64);
-    let err = service.submit_with_deadline(system, Some(Instant::now())).unwrap_err();
+    // Tick 0 is the clock epoch — always in the past by submission time.
+    let err = service.submit_with_deadline(system, Some(0)).unwrap_err();
     assert!(matches!(err, ServiceError::DeadlineExceeded { .. }), "{err:?}");
     assert!(err.to_string().contains("unmeetable"), "{err}");
     drop(service.shutdown());
