@@ -37,6 +37,9 @@ cargo run --offline --release -p bench -- replay --quick
 echo "==> load-lab gate (bench loadlab --quick)"
 cargo run --offline --release -p bench -- loadlab --quick
 
+echo "==> symbolic proof gate (bench prove --quick)"
+cargo run --offline --release -p bench -- prove --quick
+
 # Surface the perf artifacts the gates above just wrote (canonical copies
 # stay under target/repro/; the repo-root copies are gitignored and exist
 # for CI artifact upload).

@@ -11,6 +11,7 @@
 //! cargo run --release -p bench -- replay --quick      # bit-identical replay gate
 //! cargo run --release -p bench -- replay t.trace      # verify a trace file
 //! cargo run --release -p bench -- loadlab --quick     # load-lab SLO gate
+//! cargo run --release -p bench -- prove --quick       # symbolic proof gate
 //! ```
 //!
 //! Every gate shares one flag grammar (`--quick`, `--json`, whitelisted
@@ -52,6 +53,13 @@ fn main() {
     // clock and gates each cell's SLO against checked-in baselines.
     if args.first().map(String::as_str) == Some("loadlab") {
         std::process::exit(bench::loadlab::run(&args[1..]));
+    }
+
+    // The prove gate verifies every production kernel symbolically over
+    // its whole size family: non-zero exit on any Violated verdict, any
+    // undocumented Unproven, or a planted fixture bug the verifier missed.
+    if args.first().map(String::as_str) == Some("prove") {
+        std::process::exit(bench::prove::run(&args[1..]));
     }
 
     let all = figures::all();

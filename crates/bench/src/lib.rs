@@ -15,6 +15,7 @@ pub mod cli;
 pub mod figures;
 pub mod loadlab;
 pub mod pool;
+pub mod prove;
 pub mod replay;
 pub mod report;
 pub mod sanitize;

@@ -14,6 +14,7 @@
 
 use crate::counters::{KernelStats, Phase, StepRecord};
 use crate::device::DeviceConfig;
+use crate::exec::shadow::{ShadowLog, ShadowOp, ShadowSpace, ShadowState};
 use crate::memory::banks::conflict_degree;
 use crate::memory::global::{GlobalArray, GlobalMem};
 use crate::memory::shared::{PendingStore, Shared, SharedMem};
@@ -50,6 +51,8 @@ pub struct BlockCtx<'g, T: Real> {
     recording: bool,
     /// Hazard/race/overflow checker (all blocks when sanitizing is on).
     sanitizer: Option<Box<Sanitizer>>,
+    /// Access capture for the symbolic verifier (shadowed contexts only).
+    shadow: Option<Box<ShadowState>>,
     // Per-step scratch (recording only).
     accesses: Vec<AccessRec>,
     ops: Vec<OpCounts>,
@@ -81,6 +84,7 @@ impl<'g, T: Real> BlockCtx<'g, T> {
             block_dim,
             recording,
             sanitizer: None,
+            shadow: None,
             accesses: Vec::new(),
             ops: vec![OpCounts::default(); block_dim],
             step_shared_loads: 0,
@@ -106,6 +110,25 @@ impl<'g, T: Real> BlockCtx<'g, T> {
         if opts.mode.is_on() {
             ctx.sanitizer = Some(Box::new(Sanitizer::new(opts, block_id)));
         }
+        ctx
+    }
+
+    /// Creates a *shadowed* context for the symbolic verifier: recording
+    /// and sanitizing are off, and every shared/global access is captured
+    /// into a [`ShadowLog`] (read back with [`BlockCtx::finish_shadow`]).
+    /// Invalid-handle and out-of-bounds accesses are recorded and then
+    /// suppressed, mirroring the sanitizer, so buggy fixture kernels can
+    /// be captured end-to-end. `budget` bounds the number of captured
+    /// events; past it the log is flagged truncated.
+    pub fn shadowed(
+        device: &DeviceConfig,
+        global: &'g mut GlobalMem<T>,
+        block_dim: usize,
+        block_id: usize,
+        budget: usize,
+    ) -> Self {
+        let mut ctx = Self::new(device, global, block_dim, false);
+        ctx.shadow = Some(Box::new(ShadowState::new(block_id, block_dim, budget)));
         ctx
     }
 
@@ -151,6 +174,9 @@ impl<'g, T: Real> BlockCtx<'g, T> {
         }
         if let Some(san) = self.sanitizer.as_mut() {
             san.begin_step(phase);
+        }
+        if let Some(shadow) = self.shadow.as_mut() {
+            shadow.begin_step(phase, active.clone());
         }
         if self.recording {
             self.accesses.clear();
@@ -334,6 +360,29 @@ impl<'g, T: Real> BlockCtx<'g, T> {
         let diags = self.sanitizer.take().map(|s| s.into_diagnostics()).unwrap_or_default();
         (self.stats, diags)
     }
+
+    /// Finalizes a shadowed block (see [`BlockCtx::shadowed`]) and returns
+    /// its capture log, annotated with the final arena geometry.
+    ///
+    /// # Panics
+    /// Panics when the context was not created with [`BlockCtx::shadowed`].
+    pub fn finish_shadow(mut self) -> ShadowLog {
+        assert!(self.pending.is_empty(), "finish_shadow() called mid-step");
+        let shadow = self.shadow.take().expect("finish_shadow on a non-shadowed context");
+        let mut shared_lens = Vec::with_capacity(self.shared.num_arrays());
+        let mut shared_base_words = Vec::with_capacity(self.shared.num_arrays());
+        for index in 0..self.shared.num_arrays() as u32 {
+            let arr = Shared::<T> { index, _marker: core::marker::PhantomData };
+            shared_lens.push(self.shared.len_of(arr));
+            shared_base_words.push(self.shared.word_of(arr, 0) as usize);
+        }
+        let global_lens = (0..self.global.num_arrays() as u32)
+            .map(|index| {
+                self.global.len_of(GlobalArray::<T> { index, _marker: core::marker::PhantomData })
+            })
+            .collect();
+        shadow.finish(shared_lens, shared_base_words, T::SHARED_WORDS, global_lens)
+    }
 }
 
 /// Per-thread view inside a superstep.
@@ -365,6 +414,9 @@ impl<T: Real> ThreadCtx<'_, '_, T> {
         if self.block.sanitizer.is_some() && !self.sanitize_shared(arr.index, i, false, loc) {
             return T::ZERO;
         }
+        if self.block.shadow.is_some() && !self.shadow_shared(arr.index, i, ShadowOp::Load, loc) {
+            return T::ZERO;
+        }
         self.record_shared(arr, i, false, loc);
         self.block.shared.read(arr, i)
     }
@@ -384,6 +436,9 @@ impl<T: Real> ThreadCtx<'_, '_, T> {
                     san.note_nonfinite(tid, loc);
                 }
             }
+        }
+        if self.block.shadow.is_some() && !self.shadow_shared(arr.index, i, ShadowOp::Store, loc) {
+            return;
         }
         self.record_shared(arr, i, true, loc);
         self.block.pending.push(PendingStore {
@@ -435,6 +490,43 @@ impl<T: Real> ThreadCtx<'_, '_, T> {
             }
         }
         true
+    }
+
+    /// Records a shared access into the shadow log. Returns `false` when
+    /// the access must be suppressed (invalid handle or out of bounds), so
+    /// the storage layer is never reached with a bad address — the same
+    /// discipline as [`ThreadCtx::sanitize_shared`].
+    fn shadow_shared(
+        &mut self,
+        array: u32,
+        i: usize,
+        op: ShadowOp,
+        loc: &'static Location<'static>,
+    ) -> bool {
+        let tid = self.tid;
+        let block: &mut BlockCtx<'_, T> = self.block;
+        let handle = Shared::<T> { index: array, _marker: core::marker::PhantomData };
+        let ok = (array as usize) < block.shared.num_arrays() && i < block.shared.len_of(handle);
+        let shadow = block.shadow.as_mut().expect("shadow_shared without shadow");
+        shadow.record(tid, loc, ShadowSpace::Shared, op, array, i, ok);
+        ok
+    }
+
+    /// Records a global access into the shadow log; `false` suppresses it.
+    fn shadow_global(
+        &mut self,
+        array: u32,
+        i: usize,
+        op: ShadowOp,
+        loc: &'static Location<'static>,
+    ) -> bool {
+        let tid = self.tid;
+        let block: &mut BlockCtx<'_, T> = self.block;
+        let handle = GlobalArray::<T> { index: array, _marker: core::marker::PhantomData };
+        let ok = (array as usize) < block.global.num_arrays() && i < block.global.len_of(handle);
+        let shadow = block.shadow.as_mut().expect("shadow_global without shadow");
+        shadow.record(tid, loc, ShadowSpace::Global, op, array, i, ok);
+        ok
     }
 
     /// Runs the sanitizer's global-memory checks; `false` suppresses the
@@ -495,9 +587,11 @@ impl<T: Real> ThreadCtx<'_, '_, T> {
     #[inline]
     #[track_caller]
     pub fn load_global(&mut self, arr: GlobalArray<T>, i: usize) -> T {
-        if self.block.sanitizer.is_some()
-            && !self.sanitize_global(arr, i, false, Location::caller())
-        {
+        let loc = Location::caller();
+        if self.block.sanitizer.is_some() && !self.sanitize_global(arr, i, false, loc) {
+            return T::ZERO;
+        }
+        if self.block.shadow.is_some() && !self.shadow_global(arr.index, i, ShadowOp::Load, loc) {
             return T::ZERO;
         }
         if self.block.recording {
@@ -514,9 +608,12 @@ impl<T: Real> ThreadCtx<'_, '_, T> {
     #[inline]
     #[track_caller]
     pub fn load_global_dependent(&mut self, arr: GlobalArray<T>, i: usize) -> T {
-        if self.block.sanitizer.is_some()
-            && !self.sanitize_global(arr, i, false, Location::caller())
-        {
+        let loc = Location::caller();
+        if self.block.sanitizer.is_some() && !self.sanitize_global(arr, i, false, loc) {
+            self.dependent_loads += 1;
+            return T::ZERO;
+        }
+        if self.block.shadow.is_some() && !self.shadow_global(arr.index, i, ShadowOp::Load, loc) {
             self.dependent_loads += 1;
             return T::ZERO;
         }
@@ -543,6 +640,9 @@ impl<T: Real> ThreadCtx<'_, '_, T> {
                     san.note_nonfinite(tid, loc);
                 }
             }
+        }
+        if self.block.shadow.is_some() && !self.shadow_global(arr.index, i, ShadowOp::Store, loc) {
+            return;
         }
         if self.block.recording {
             self.block.step_global_stores += 1;

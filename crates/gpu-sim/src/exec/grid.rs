@@ -34,6 +34,25 @@ pub trait GridKernel<T: Real> {
     fn run_block(&self, block_id: usize, ctx: &mut BlockCtx<'_, T>);
 }
 
+/// References forward the kernel interface, so type-erased kernels
+/// (`&dyn GridKernel<T>`, e.g. from the static verifier's instantiation
+/// glue) can be launched and shadow-captured without knowing the concrete
+/// type.
+impl<T: Real, K: GridKernel<T> + ?Sized> GridKernel<T> for &K {
+    fn block_dim(&self) -> usize {
+        (**self).block_dim()
+    }
+    fn shared_words(&self) -> usize {
+        (**self).shared_words()
+    }
+    fn global_efficiency(&self) -> f64 {
+        (**self).global_efficiency()
+    }
+    fn run_block(&self, block_id: usize, ctx: &mut BlockCtx<'_, T>) {
+        (**self).run_block(block_id, ctx)
+    }
+}
+
 /// Result of a launch: per-block counters plus grid-level simulated timing.
 #[derive(Debug, Clone)]
 pub struct LaunchReport {

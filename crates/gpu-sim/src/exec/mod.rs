@@ -2,3 +2,4 @@
 
 pub mod block;
 pub mod grid;
+pub mod shadow;

@@ -1,0 +1,191 @@
+//! Shadow capture: a recording layer beneath the symbolic verifier.
+//!
+//! A *shadowed* [`BlockCtx`](crate::exec::block::BlockCtx) executes a kernel
+//! block exactly as usual, but logs every shared/global access — thread id,
+//! source location, array, element index, in-bounds flag — into a
+//! [`ShadowLog`], together with the step skeleton (phase, active range) and
+//! the shared/global array geometry. The `kernel-verify` crate replays
+//! captured logs from a handful of concrete launches, fits each access
+//! site to an affine form `a·tid + b·ordinal + c` (plus a per-block offset
+//! for global arrays), and discharges race/OOB/hazard/bank-conflict checks
+//! for the *whole declared size family* instead of the launches that
+//! happened to run.
+//!
+//! The shadow follows the dynamic sanitizer's suppression discipline:
+//! accesses with an invalid handle or out-of-bounds index are **recorded
+//! and then suppressed** (loads read as zero, stores are dropped) so a
+//! deliberately-buggy kernel can be captured end-to-end without corrupting
+//! the arena. An event budget bounds memory: once exceeded, the log is
+//! flagged truncated and the verifier must return `Unproven`, never a
+//! proof from partial evidence.
+
+use crate::counters::Phase;
+use core::ops::Range;
+use core::panic::Location;
+use std::collections::HashMap;
+
+/// Which address space an access touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ShadowSpace {
+    /// Per-block shared memory (`__shared__`).
+    Shared,
+    /// Device global memory.
+    Global,
+}
+
+/// Whether an access was a read or a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ShadowOp {
+    /// A load (shared loads observe the pre-step state).
+    Load,
+    /// A store (shared stores are buffered until the closing barrier).
+    Store,
+}
+
+/// One captured memory access.
+#[derive(Debug, Clone, Copy)]
+pub struct ShadowAccess {
+    /// Thread index within the block.
+    pub tid: u32,
+    /// Index into [`ShadowLog::sites`] — the source location of the access.
+    pub site: u32,
+    /// Address space.
+    pub space: ShadowSpace,
+    /// Load or store.
+    pub op: ShadowOp,
+    /// Array handle index (shared arena or global arena, per `space`).
+    pub array: u32,
+    /// Element index the kernel asked for (pre-suppression).
+    pub index: usize,
+    /// `false` when the handle was invalid or the index out of bounds —
+    /// the access was recorded, then suppressed.
+    pub in_bounds: bool,
+}
+
+/// One barrier-separated superstep's skeleton and accesses.
+#[derive(Debug, Clone)]
+pub struct ShadowStep {
+    /// The step's phase label.
+    pub phase: Phase,
+    /// The contiguous active thread range.
+    pub active: Range<usize>,
+    /// Every access of the step, in execution order (threads run
+    /// sequentially, so a thread's accesses are contiguous and ordered).
+    pub accesses: Vec<ShadowAccess>,
+}
+
+/// The full capture of one block's execution.
+#[derive(Debug, Clone, Default)]
+pub struct ShadowLog {
+    /// Block id the capture ran as.
+    pub block_id: usize,
+    /// Threads in the block.
+    pub block_dim: usize,
+    /// Length (elements) of each shared array, in allocation order.
+    pub shared_lens: Vec<usize>,
+    /// First 32-bit word of each shared array in the arena — the banking
+    /// base address used for analytic conflict degrees.
+    pub shared_base_words: Vec<usize>,
+    /// Words per element (1 for f32, 2 for f64).
+    pub words_per_elem: usize,
+    /// Length (elements) of each global array at capture time.
+    pub global_lens: Vec<usize>,
+    /// The executed steps, in order.
+    pub steps: Vec<ShadowStep>,
+    /// Interned source locations; [`ShadowAccess::site`] indexes here.
+    pub sites: Vec<&'static Location<'static>>,
+    /// Total events captured.
+    pub events: usize,
+    /// `true` when the event budget was exhausted — the log is incomplete
+    /// and must not be used as proof evidence.
+    pub truncated: bool,
+}
+
+impl ShadowLog {
+    /// The source location of site `s`.
+    pub fn site(&self, s: u32) -> &'static Location<'static> {
+        self.sites[s as usize]
+    }
+}
+
+/// Internal capture state attached to a shadowed `BlockCtx`.
+#[derive(Debug)]
+pub(crate) struct ShadowState {
+    log: ShadowLog,
+    /// Location pointer -> site id (locations are `'static`, so the
+    /// address is a stable identity within a process).
+    site_ids: HashMap<usize, u32>,
+    budget: usize,
+}
+
+impl ShadowState {
+    pub(crate) fn new(block_id: usize, block_dim: usize, budget: usize) -> Self {
+        Self {
+            log: ShadowLog { block_id, block_dim, ..ShadowLog::default() },
+            site_ids: HashMap::new(),
+            budget,
+        }
+    }
+
+    /// Starts a new step record.
+    pub(crate) fn begin_step(&mut self, phase: Phase, active: Range<usize>) {
+        self.log.steps.push(ShadowStep { phase, active, accesses: Vec::new() });
+    }
+
+    fn intern(&mut self, loc: &'static Location<'static>) -> u32 {
+        let key = loc as *const _ as usize;
+        if let Some(&id) = self.site_ids.get(&key) {
+            return id;
+        }
+        let id = self.log.sites.len() as u32;
+        self.log.sites.push(loc);
+        self.site_ids.insert(key, id);
+        id
+    }
+
+    /// Records one access. Returns `false` once the budget is exhausted
+    /// (the access still executes; only the log stops growing).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record(
+        &mut self,
+        tid: usize,
+        loc: &'static Location<'static>,
+        space: ShadowSpace,
+        op: ShadowOp,
+        array: u32,
+        index: usize,
+        in_bounds: bool,
+    ) {
+        if self.log.events >= self.budget {
+            self.log.truncated = true;
+            return;
+        }
+        self.log.events += 1;
+        let site = self.intern(loc);
+        let step = self.log.steps.last_mut().expect("shadow access outside a step");
+        step.accesses.push(ShadowAccess {
+            tid: tid as u32,
+            site,
+            space,
+            op,
+            array,
+            index,
+            in_bounds,
+        });
+    }
+
+    /// Finalizes the log with the arena geometry captured at finish time.
+    pub(crate) fn finish(
+        mut self,
+        shared_lens: Vec<usize>,
+        shared_base_words: Vec<usize>,
+        words_per_elem: usize,
+        global_lens: Vec<usize>,
+    ) -> ShadowLog {
+        self.log.shared_lens = shared_lens;
+        self.log.shared_base_words = shared_base_words;
+        self.log.words_per_elem = words_per_elem;
+        self.log.global_lens = global_lens;
+        self.log
+    }
+}

@@ -77,6 +77,7 @@ pub use counters::{KernelStats, Phase, StepRecord};
 pub use device::DeviceConfig;
 pub use exec::block::{BlockCtx, ThreadCtx};
 pub use exec::grid::{GridKernel, LaunchReport, Launcher};
+pub use exec::shadow::{ShadowAccess, ShadowLog, ShadowOp, ShadowSpace, ShadowStep};
 pub use fault::{
     derive_device_seed, FailKind, FaultConfig, FaultPlan, FaultStats, InjectedFault, LaunchDecision,
 };

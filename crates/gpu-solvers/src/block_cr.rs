@@ -276,7 +276,13 @@ impl<T: Real> GridKernel<T> for BlockCrKernel<T> {
             let active = n >> (level + 1);
             ctx.step(Phase::BackwardSubstitution, 0..active, |t| {
                 let i = stride * t.tid() + half - 1;
-                let il = i.saturating_sub(half); // branchless: A of first row is zero
+                // The first reduced row has no left neighbour: its A block
+                // is exactly zero, so read the (already solved) right
+                // neighbour instead — same discarded product, but never a
+                // load of uninitialized shared memory (the scalar CR kernel
+                // uses the identical idiom; `i.saturating_sub(half)` would
+                // read x[0] before any level has written it).
+                let il = if i >= half { i - half } else { i + half };
                 let d_i = load_v2(t, &sh.d, i);
                 let b_i = load_blk(t, &sh.b, i);
                 let a_i = load_blk(t, &sh.a, i);
@@ -316,12 +322,15 @@ pub struct BlockSolveReport<T: Real> {
     pub stats: gpu_sim::KernelStats,
 }
 
-/// Solves a batch of equally-sized block-tridiagonal systems with block CR
-/// on the simulated GPU.
-pub fn solve_block_batch<T: Real>(
-    launcher: &Launcher,
+/// Validates a batch of equally-sized block-tridiagonal systems and
+/// uploads it component-major into `gmem` (each of the 16 arrays holds one
+/// scalar component of one coefficient block, `n * count` elements).
+/// Shared by [`solve_block_batch`] and the static verifier's
+/// instantiation glue.
+pub fn upload_block_systems<T: Real>(
+    gmem: &mut GlobalMem<T>,
     systems: &[BlockTridiagonalSystem<T>],
-) -> Result<BlockSolveReport<T>> {
+) -> Result<BlockSystemHandles<T>> {
     if systems.is_empty() {
         return Err(TridiagError::SizeTooSmall { n: 0, min: 1 });
     }
@@ -339,32 +348,31 @@ pub fn solve_block_batch<T: Real>(
     }
 
     // Flatten component-major.
-    let mut gmem = GlobalMem::new();
-    let flat_blk = |pick: &dyn Fn(&BlockTridiagonalSystem<T>, usize) -> Blk<T>,
+    let flat_blk = |gmem: &mut GlobalMem<T>,
+                    pick: &dyn Fn(&BlockTridiagonalSystem<T>, usize) -> Blk<T>,
                     r: usize,
-                    cix: usize|
-     -> Vec<T> {
+                    cix: usize| {
         let mut v = Vec::with_capacity(n * count);
         for sys in systems {
             for i in 0..n {
                 v.push(pick(sys, i)[r][cix]);
             }
         }
-        v
+        gmem.upload(v)
     };
     let comp = |k: usize| (k / 2, k % 2);
-    let gm = BlockSystemHandles {
+    Ok(BlockSystemHandles {
         a: core::array::from_fn(|k| {
             let (r, c) = comp(k);
-            gmem.upload(flat_blk(&|s, i| s.a[i], r, c))
+            flat_blk(gmem, &|s, i| s.a[i], r, c)
         }),
         b: core::array::from_fn(|k| {
             let (r, c) = comp(k);
-            gmem.upload(flat_blk(&|s, i| s.b[i], r, c))
+            flat_blk(gmem, &|s, i| s.b[i], r, c)
         }),
         c: core::array::from_fn(|k| {
             let (r, c) = comp(k);
-            gmem.upload(flat_blk(&|s, i| s.c[i], r, c))
+            flat_blk(gmem, &|s, i| s.c[i], r, c)
         }),
         d: core::array::from_fn(|k| {
             let mut v = Vec::with_capacity(n * count);
@@ -376,7 +384,19 @@ pub fn solve_block_batch<T: Real>(
             gmem.upload(v)
         }),
         x: core::array::from_fn(|_| gmem.alloc_zeroed(n * count)),
-    };
+    })
+}
+
+/// Solves a batch of equally-sized block-tridiagonal systems with block CR
+/// on the simulated GPU.
+pub fn solve_block_batch<T: Real>(
+    launcher: &Launcher,
+    systems: &[BlockTridiagonalSystem<T>],
+) -> Result<BlockSolveReport<T>> {
+    let mut gmem = GlobalMem::new();
+    let gm = upload_block_systems(&mut gmem, systems)?;
+    let n = systems[0].n();
+    let count = systems.len();
 
     let kernel = BlockCrKernel { n, gm };
     let report = launcher.launch(&kernel, count, &mut gmem)?;

@@ -41,6 +41,7 @@ pub mod rd;
 pub mod refine;
 pub mod robust;
 pub mod solver;
+pub mod verify;
 
 pub use block_cr::{solve_block_batch, BlockCrKernel, BlockSolveReport, BlockSystemHandles};
 pub use coarse::{solve_batch_coarse, ThomasPerThreadKernel};
@@ -61,3 +62,6 @@ pub use rd::{RdKernel, RdMode};
 pub use refine::{solve_batch_refined, RefinedSolveReport};
 pub use robust::{solve_batch_robust, Repair, RepairReason, RobustOptions, RobustSolveReport};
 pub use solver::{solve_batch, GpuAlgorithm, GpuSolveReport, ParseGpuAlgorithmError};
+pub use verify::{
+    block_instance, fixture_instance, solver_instance, verify_family, VerifyInstance, FIXTURE_NAMES,
+};

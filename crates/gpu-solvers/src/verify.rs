@@ -1,0 +1,260 @@
+//! Instantiation glue and size-family declarations for the static kernel
+//! verifier (`kernel-verify`).
+//!
+//! The verifier proves properties of a *launch family*: one solver
+//! algorithm over the declared set of system sizes it may be admitted at.
+//! This module owns the two repo-specific ingredients the verifier needs:
+//!
+//! * [`solver_instance`] / [`block_instance`] / [`fixture_instance`] build
+//!   a concrete, type-erased launch (`GlobalMem` + `Box<dyn GridKernel>` +
+//!   grid dimension) exactly the way [`crate::solve_batch`] would dispatch
+//!   it, so what gets verified is what production runs;
+//! * [`verify_family`] declares, per algorithm, the size family a proof is
+//!   expected to cover — every power of two the device can admit for the
+//!   in-shared-memory kernels, a documented cap of `2^16` for the
+//!   global-memory CR path (capture budget, see DESIGN.md §11), and the
+//!   per-thread Thomas family that is *documented* `Unproven` (its
+//!   interleaved index `i·count + s` is bilinear in `(thread, count)`,
+//!   outside the affine domain the verifier reasons in).
+//!
+//! Periodic solves need no family of their own: `solve_periodic_batch`
+//! reuses `solve_batch` on a Sherman–Morrison doubled batch, so the proofs
+//! of the underlying algorithms cover them.
+
+use crate::block_cr::BlockCrKernel;
+use crate::coarse::ThomasPerThreadKernel;
+use crate::common::SystemHandles;
+use crate::cr::CrKernel;
+use crate::cr_variants::CrEvenOddKernel;
+use crate::fixtures::{MissingBarrierCrKernel, OobPcrKernel, RacyCrStepKernel, UninitRdKernel};
+use crate::global_only::GlobalCrKernel;
+use crate::hybrid::{HybridKernel, InnerSolver};
+use crate::pcr::PcrKernel;
+use crate::rd::RdKernel;
+use crate::solver::GpuAlgorithm;
+use gpu_sim::{DeviceConfig, GlobalMem, GridKernel};
+use tridiag_core::block::BlockTridiagonalSystem;
+use tridiag_core::{Generator, Real, Result, SystemBatch, Workload};
+
+/// A concrete launch the verifier can shadow-capture: uploaded inputs, the
+/// type-erased kernel, and the grid dimension the production dispatch
+/// would launch it with.
+pub struct VerifyInstance<T: Real> {
+    /// Device memory with the launch inputs uploaded.
+    pub gmem: GlobalMem<T>,
+    /// The kernel under verification.
+    pub kernel: Box<dyn GridKernel<T>>,
+    /// Number of blocks of the launch.
+    pub grid_dim: usize,
+}
+
+/// Builds a capture instance for a production solver at size `n` with
+/// `count` systems, mirroring [`crate::solve_batch`]'s kernel dispatch
+/// (including the hybrid degeneration rules). Data is a seeded
+/// diagonally-dominant batch — the verifier runs two seeds and rejects
+/// any kernel whose access *skeleton* depends on the values.
+pub fn solver_instance<T: Real>(
+    alg: GpuAlgorithm,
+    n: usize,
+    count: usize,
+    seed: u64,
+) -> Result<VerifyInstance<T>> {
+    alg.validate(n)?;
+    let batch: SystemBatch<T> =
+        Generator::new(seed).batch(Workload::DiagonallyDominant, n, count)?;
+    if alg == GpuAlgorithm::ThomasPerThread {
+        return Ok(thomas_instance(&batch));
+    }
+    let mut gmem = GlobalMem::new();
+    let gm = SystemHandles::upload(&mut gmem, &batch);
+    let kernel: Box<dyn GridKernel<T>> = match alg {
+        GpuAlgorithm::Cr => Box::new(CrKernel { n, gm }),
+        GpuAlgorithm::Pcr => Box::new(PcrKernel { n, gm }),
+        GpuAlgorithm::Rd(mode) => Box::new(RdKernel { n, gm, mode }),
+        GpuAlgorithm::CrPcr { m } => {
+            if m >= n {
+                Box::new(PcrKernel { n, gm })
+            } else if m <= 2 && n == 2 {
+                Box::new(CrKernel { n, gm })
+            } else {
+                Box::new(HybridKernel { n, m, inner: InnerSolver::Pcr, gm })
+            }
+        }
+        GpuAlgorithm::CrRd { m, mode } => {
+            if m >= n {
+                Box::new(RdKernel { n, gm, mode })
+            } else {
+                Box::new(HybridKernel { n, m, inner: InnerSolver::Rd(mode), gm })
+            }
+        }
+        GpuAlgorithm::CrEvenOdd => Box::new(CrEvenOddKernel { n, gm }),
+        GpuAlgorithm::CrGlobalOnly => Box::new(GlobalCrKernel::new(n, gm)),
+        GpuAlgorithm::ThomasPerThread => unreachable!("dispatched above"),
+    };
+    Ok(VerifyInstance { gmem, kernel, grid_dim: count })
+}
+
+/// The per-thread Thomas launch, with its interleaved layout and
+/// `ceil(count / 64)` grid — kept so the verifier can *observe* (and
+/// report) why the kernel degrades to `Unproven` rather than hard-coding
+/// the answer.
+fn thomas_instance<T: Real>(batch: &SystemBatch<T>) -> VerifyInstance<T> {
+    let n = batch.n();
+    let count = batch.count();
+    let interleave = |data: &[T]| -> Vec<T> {
+        let mut out = vec![T::ZERO; n * count];
+        for s in 0..count {
+            for i in 0..n {
+                out[i * count + s] = data[s * n + i];
+            }
+        }
+        out
+    };
+    let mut gmem = GlobalMem::new();
+    let kernel = ThomasPerThreadKernel {
+        n,
+        count,
+        a: gmem.upload(interleave(&batch.a)),
+        b: gmem.upload(interleave(&batch.b)),
+        c: gmem.upload(interleave(&batch.c)),
+        d: gmem.upload(interleave(&batch.d)),
+        cp: gmem.alloc_zeroed(n * count),
+        dp: gmem.alloc_zeroed(n * count),
+        x: gmem.alloc_zeroed(n * count),
+    };
+    let grid_dim = count.div_ceil(kernel.block_dim());
+    VerifyInstance { gmem, kernel: Box::new(kernel), grid_dim }
+}
+
+/// Builds a capture instance for the block-tridiagonal CR kernel
+/// ([`BlockCrKernel`]) at block-row count `n` with `count` systems,
+/// flattening component-major exactly like [`crate::solve_block_batch`].
+pub fn block_instance<T: Real>(n: usize, count: usize, seed: u64) -> Result<VerifyInstance<T>> {
+    let systems: Vec<BlockTridiagonalSystem<T>> =
+        (0..count as u64).map(|s| BlockTridiagonalSystem::random_dominant(seed ^ s, n)).collect();
+    let mut gmem = GlobalMem::new();
+    let gm = crate::block_cr::upload_block_systems(&mut gmem, &systems)?;
+    Ok(VerifyInstance { gmem, kernel: Box::new(BlockCrKernel { n, gm }), grid_dim: count })
+}
+
+/// The deliberately-buggy fixture kernels, by stable name.
+pub const FIXTURE_NAMES: [&str; 4] = ["missing-barrier-cr", "racy-cr-step", "oob-pcr", "uninit-rd"];
+
+/// Builds a capture instance for one [`crate::fixtures`] kernel. The
+/// fixtures touch no global arrays, so `count` only sets the grid size.
+pub fn fixture_instance<T: Real>(name: &str, n: usize, count: usize) -> Option<VerifyInstance<T>> {
+    let kernel: Box<dyn GridKernel<T>> = match name {
+        "missing-barrier-cr" => Box::new(MissingBarrierCrKernel { n }),
+        "racy-cr-step" => Box::new(RacyCrStepKernel { n }),
+        "oob-pcr" => Box::new(OobPcrKernel { n }),
+        "uninit-rd" => Box::new(UninitRdKernel { n }),
+        _ => return None,
+    };
+    Some(VerifyInstance { gmem: GlobalMem::new(), kernel, grid_dim: count })
+}
+
+/// The declared size family for `alg` with elements of `element_bytes`,
+/// on `device`: every power-of-two `n >= 4` the device can admit (block
+/// dimension and shared footprint both in range), capped at `2^16` for
+/// the global-memory path. [`GpuAlgorithm::ThomasPerThread`] returns its
+/// probe sizes — the verifier inspects it and reports `Unproven`.
+pub fn verify_family(alg: GpuAlgorithm, element_bytes: usize, device: &DeviceConfig) -> Vec<usize> {
+    /// Hard cap for the global-memory family: a capture at `2^16` is
+    /// already ~1M events; beyond it the proof budget, not the device,
+    /// is the binding constraint. Documented in DESIGN.md §11.
+    const GLOBAL_FAMILY_CAP: usize = 1 << 16;
+    let mut family = Vec::new();
+    let mut n = 4usize;
+    loop {
+        if alg.validate(n).is_err() {
+            n *= 2;
+            if n > GLOBAL_FAMILY_CAP {
+                break;
+            }
+            continue;
+        }
+        let admitted = match alg {
+            GpuAlgorithm::CrGlobalOnly => n <= GLOBAL_FAMILY_CAP,
+            GpuAlgorithm::ThomasPerThread => n <= 256,
+            _ => {
+                let block_dim = match alg {
+                    GpuAlgorithm::Pcr | GpuAlgorithm::Rd(_) => n,
+                    _ => n / 2,
+                };
+                alg.fits_shared(n, element_bytes, device)
+                    && block_dim >= 1
+                    && block_dim <= device.max_threads_per_block
+            }
+        };
+        if !admitted {
+            break;
+        }
+        family.push(n);
+        n *= 2;
+        if n > GLOBAL_FAMILY_CAP {
+            break;
+        }
+    }
+    family
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Launcher;
+
+    #[test]
+    fn families_match_device_admission() {
+        let device = DeviceConfig::gtx280();
+        // f32 shared kernels top out at 512 on 16 KB (5 * 512 * 4 = 10 KB,
+        // 5 * 1024 * 4 = 20 KB which exceeds the SM).
+        let f = verify_family(GpuAlgorithm::Cr, 4, &device);
+        assert_eq!(f.first(), Some(&4));
+        assert_eq!(f.last(), Some(&512));
+        // f64 halves the top size.
+        let f = verify_family(GpuAlgorithm::Cr, 8, &device);
+        assert_eq!(f.last(), Some(&256));
+        // PCR needs n threads, same shared footprint.
+        let f = verify_family(GpuAlgorithm::Pcr, 4, &device);
+        assert_eq!(f.last(), Some(&512));
+        // The global path is capped by capture budget, not the device.
+        let f = verify_family(GpuAlgorithm::CrGlobalOnly, 4, &device);
+        assert_eq!(f.last(), Some(&(1 << 16)));
+        // Hybrids exclude sizes below their switch point.
+        let f = verify_family(GpuAlgorithm::CrPcr { m: 32 }, 4, &device);
+        assert!(f.iter().all(|&n| n >= 32));
+    }
+
+    #[test]
+    fn instances_mirror_production_dispatch() {
+        for alg in [
+            GpuAlgorithm::Cr,
+            GpuAlgorithm::Pcr,
+            GpuAlgorithm::CrPcr { m: 16 },
+            GpuAlgorithm::CrGlobalOnly,
+            GpuAlgorithm::ThomasPerThread,
+        ] {
+            let inst = solver_instance::<f32>(alg, 64, 5, 7).unwrap();
+            assert!(inst.grid_dim >= 1, "{alg:?}");
+            assert!(inst.kernel.block_dim() >= 1, "{alg:?}");
+        }
+        // Verify instances actually run (the launcher accepts them).
+        let inst = solver_instance::<f32>(GpuAlgorithm::Cr, 64, 3, 7).unwrap();
+        let mut gmem = inst.gmem;
+        Launcher::gtx280().launch(&&*inst.kernel, inst.grid_dim, &mut gmem).unwrap();
+    }
+
+    #[test]
+    fn fixture_instances_cover_all_names() {
+        for name in FIXTURE_NAMES {
+            assert!(fixture_instance::<f32>(name, 16, 2).is_some(), "{name}");
+        }
+        assert!(fixture_instance::<f32>("nope", 16, 2).is_none());
+    }
+
+    #[test]
+    fn block_instance_builds() {
+        let inst = block_instance::<f32>(32, 3, 11).unwrap();
+        assert_eq!(inst.grid_dim, 3);
+    }
+}

@@ -1,0 +1,274 @@
+//! Affine classification of access sites and analytic bank-conflict
+//! degrees.
+//!
+//! A *site group* is one source location accessing one array in one step.
+//! Its samples are `(tid, ordinal, index)` triples — `ordinal` numbers the
+//! thread's successive accesses through the site (loop iterations). The
+//! fitter classifies the group as:
+//!
+//! * **affine** — `index = α·tid + β·ordinal + γ` for every sample, up to
+//!   a bounded number of *exceptions* (the branchless boundary clamps of
+//!   the CR/PCR kernels, e.g. `(i + half).min(n - 1)`, perturb a handful
+//!   of edge lanes);
+//! * **piecewise affine** — a bounded number of contiguous thread ranges,
+//!   each exactly affine (PCR's window clamps make whole index ranges
+//!   constant at late levels: left clamp, interior, right clamp);
+//! * **non-affine** — anything else. The engine degrades the verdict to
+//!   `Unproven`: a data-dependent index can never yield a proof.
+
+use std::collections::HashMap;
+
+/// The fitted model of one site group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteModel {
+    /// Thread coefficient (elements per thread index).
+    pub alpha: i64,
+    /// Ordinal (loop-trip) coefficient.
+    pub beta: i64,
+    /// Constant term.
+    pub gamma: i64,
+    /// Samples not matching the model (boundary clamps); 0 for piecewise.
+    pub exceptions: usize,
+    /// Contiguous affine pieces (1 = a single global fit).
+    pub pieces: usize,
+}
+
+/// The most frequent value of an iterator, or `None` when empty.
+fn mode<I: IntoIterator<Item = i64>>(values: I) -> Option<i64> {
+    let mut counts: HashMap<i64, usize> = HashMap::new();
+    for v in values {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    counts.into_iter().max_by_key(|&(v, c)| (c, -v)).map(|(v, _)| v)
+}
+
+/// Fits one site group. `samples` must be sorted by `(tid, ordinal)` with
+/// ordinals dense per thread (0, 1, ...). Returns `None` when the group is
+/// not (piecewise-)affine within the given bounds.
+///
+/// The thread coordinate is the *rank* of the tid among the group's
+/// participating threads, not the raw tid: guarded code like the even-odd
+/// CR variant's `if j % 2 == 0 { store(.., j / 2, ..) }` runs only every
+/// second thread with indices affine in the thread's rank (slope 1/2 in
+/// raw tids). For contiguous participants rank and tid coincide up to the
+/// constant term, so the common case is unchanged.
+pub fn fit_site(
+    samples: &[(u32, u32, i64)],
+    max_exceptions: usize,
+    max_pieces: usize,
+) -> Option<SiteModel> {
+    if samples.is_empty() {
+        return None;
+    }
+    // Re-parametrize tids to ranks.
+    let ranks: HashMap<u32, u32> = {
+        let mut tids: Vec<u32> = samples.iter().map(|&(t, _, _)| t).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        tids.into_iter().enumerate().map(|(r, t)| (t, r as u32)).collect()
+    };
+    let remapped: Vec<(u32, u32, i64)> =
+        samples.iter().map(|&(t, j, idx)| (ranks[&t], j, idx)).collect();
+    let samples: &[(u32, u32, i64)] = &remapped;
+    // β: mode of successive in-thread differences.
+    let beta =
+        mode(samples.windows(2).filter(|w| w[0].0 == w[1].0).map(|w| w[1].2 - w[0].2)).unwrap_or(0);
+
+    // First sample of each thread, in tid order.
+    let bases: Vec<(u32, i64)> = {
+        let mut b = Vec::new();
+        for &(tid, j, idx) in samples {
+            if j == 0 {
+                b.push((tid, idx));
+            }
+        }
+        b
+    };
+
+    // α: mode of adjacent-thread slopes that divide evenly.
+    let alpha = mode(bases.windows(2).filter_map(|w| {
+        let dt = (w[1].0 - w[0].0) as i64;
+        let di = w[1].1 - w[0].1;
+        (dt > 0 && di % dt == 0).then_some(di / dt)
+    }))
+    .unwrap_or(0);
+
+    // γ: mode of residuals; exceptions = samples the model misses.
+    let gamma = mode(samples.iter().map(|&(t, j, idx)| idx - alpha * t as i64 - beta * j as i64))?;
+    let exceptions = samples
+        .iter()
+        .filter(|&&(t, j, idx)| idx != alpha * t as i64 + beta * j as i64 + gamma)
+        .count();
+    if exceptions <= max_exceptions {
+        return Some(SiteModel { alpha, beta, gamma, exceptions, pieces: 1 });
+    }
+
+    // Piecewise fallback: contiguous runs of threads, each exactly affine
+    // with the shared β. Greedy segmentation over thread bases.
+    let mut pieces: Vec<SiteModel> = Vec::new();
+    let mut run_start = 0usize;
+    while run_start < bases.len() {
+        let (t0, i0) = bases[run_start];
+        let mut run_alpha: Option<i64> = None;
+        let mut run_end = run_start + 1;
+        while run_end < bases.len() {
+            let (tp, ip) = bases[run_end - 1];
+            let (tn, inx) = bases[run_end];
+            let dt = (tn - tp) as i64;
+            if dt == 0 || (inx - ip) % dt != 0 {
+                break;
+            }
+            let slope = (inx - ip) / dt;
+            match run_alpha {
+                None => run_alpha = Some(slope),
+                Some(a) if a != slope => break,
+                Some(_) => {}
+            }
+            run_end += 1;
+        }
+        let a = run_alpha.unwrap_or(0);
+        let g = i0 - a * t0 as i64;
+        // Validate every sample of the run's threads against (a, β, g).
+        let run_tids: std::collections::HashSet<u32> =
+            bases[run_start..run_end].iter().map(|&(t, _)| t).collect();
+        let exact = samples
+            .iter()
+            .filter(|&&(t, _, _)| run_tids.contains(&t))
+            .all(|&(t, j, idx)| idx == a * t as i64 + beta * j as i64 + g);
+        if !exact {
+            // A run whose loop structure deviates from the global β is not
+            // a clamp artifact — give up on this group.
+            return None;
+        }
+        pieces.push(SiteModel { alpha: a, beta, gamma: g, exceptions: 0, pieces: 1 });
+        run_start = run_end;
+    }
+    if pieces.len() > max_pieces {
+        return None;
+    }
+    // Report the widest piece's coefficients as the group's model.
+    let dominant = pieces
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, _)| {
+            let lo = if i == 0 { 0 } else { pieces[..i].len() };
+            let _ = lo;
+            i
+        })
+        .map(|(_, m)| *m)
+        .unwrap_or(SiteModel { alpha: 0, beta, gamma: 0, exceptions: 0, pieces: 1 });
+    Some(SiteModel { pieces: pieces.len(), exceptions: 0, ..dominant })
+}
+
+/// Analytic worst-case bank-conflict degree of a half-warp of `lanes`
+/// consecutive threads whose word addresses advance by `alpha_words` per
+/// thread, on `banks` word-interleaved banks — the closed form behind the
+/// Figure 9 series (`min(2^(l+1), 16)` rising then falling for CR).
+/// Matches the simulator's hardware model: *distinct words* per bank
+/// serialize, identical words broadcast (so `alpha_words == 0` is 1-way).
+pub fn analytic_bank_degree(alpha_words: i64, lanes: usize, banks: usize) -> u32 {
+    if lanes == 0 || banks == 0 {
+        return 1;
+    }
+    let mut distinct: Vec<std::collections::HashSet<i64>> =
+        (0..banks).map(|_| std::collections::HashSet::new()).collect();
+    for t in 0..lanes as i64 {
+        let word = alpha_words * t;
+        distinct[word.rem_euclid(banks as i64) as usize].insert(word);
+    }
+    distinct.into_iter().map(|s| s.len() as u32).max().unwrap_or(1).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fit(samples: &[(u32, u32, i64)]) -> Option<SiteModel> {
+        fit_site(samples, 8, 6)
+    }
+
+    #[test]
+    fn pure_affine_fits_exactly() {
+        // i = 2*(tid+1) - 1 = 2*tid + 1 (CR level 0).
+        let samples: Vec<_> = (0..256u32).map(|t| (t, 0, 2 * t as i64 + 1)).collect();
+        let m = fit(&samples).unwrap();
+        assert_eq!((m.alpha, m.beta, m.gamma, m.exceptions, m.pieces), (2, 0, 1, 0, 1));
+    }
+
+    #[test]
+    fn loop_ordinal_is_fit_as_beta() {
+        // i = tid + k*threads (the coalesced global load, 2 per thread).
+        let threads = 64i64;
+        let mut samples = Vec::new();
+        for t in 0..64u32 {
+            for k in 0..2u32 {
+                samples.push((t, k, t as i64 + k as i64 * threads));
+            }
+        }
+        let m = fit(&samples).unwrap();
+        assert_eq!((m.alpha, m.beta, m.gamma), (1, 64, 0));
+    }
+
+    #[test]
+    fn boundary_clamp_is_an_exception_not_nonaffine() {
+        // ir = (i + half).min(n - 1): only the last lane clamps.
+        let n = 64i64;
+        let samples: Vec<_> = (0..32u32).map(|t| (t, 0, (2 * t as i64 + 2).min(n - 1))).collect();
+        let m = fit(&samples).unwrap();
+        assert_eq!(m.alpha, 2);
+        assert_eq!(m.exceptions, 1);
+    }
+
+    #[test]
+    fn pcr_window_clamps_fit_piecewise() {
+        // il = if i >= delta { i - delta } else { 0 } at delta = n/2: half
+        // the lanes constant, half affine — two exact pieces.
+        let n = 64i64;
+        let delta = n / 2;
+        let samples: Vec<_> = (0..64u32)
+            .map(|t| {
+                let i = t as i64;
+                (t, 0, if i >= delta { i - delta } else { 0 })
+            })
+            .collect();
+        let m = fit(&samples).unwrap();
+        assert_eq!(m.pieces, 2);
+        assert_eq!(m.exceptions, 0);
+    }
+
+    #[test]
+    fn strided_participants_fit_in_rank_basis() {
+        // Only even tids run: store(.., tid / 2, ..) — slope 1/2 in raw
+        // tids, slope 1 in participant rank.
+        let samples: Vec<_> = (0..32u32).map(|t| (2 * t, 0, t as i64)).collect();
+        let m = fit(&samples).unwrap();
+        assert_eq!((m.alpha, m.beta, m.gamma, m.pieces), (1, 0, 0, 1));
+    }
+
+    #[test]
+    fn data_dependent_permutation_is_rejected() {
+        // A pseudo-random permutation: no affine structure.
+        let samples: Vec<_> = (0..64u32).map(|t| (t, 0, ((t as i64 * 37) % 64) * 7 % 61)).collect();
+        assert!(fit(&samples).is_none());
+    }
+
+    #[test]
+    fn analytic_degrees_reproduce_figure9_series() {
+        // CR at n = 512: forward level l has word stride 2^(l+1) over
+        // min(active, 16) lanes; degrees 2,4,8,16,16,8,4,2.
+        let n = 512usize;
+        let degrees: Vec<u32> = (0..8)
+            .map(|l| {
+                let stride = 1i64 << (l + 1);
+                let active = n >> (l + 1);
+                analytic_bank_degree(stride, active.min(16), 16)
+            })
+            .collect();
+        assert_eq!(degrees, vec![2, 4, 8, 16, 16, 8, 4, 2]);
+        // Unit stride is conflict-free; f64 (2-word) stride is 2-way.
+        assert_eq!(analytic_bank_degree(1, 16, 16), 1);
+        assert_eq!(analytic_bank_degree(2, 16, 16), 2);
+        // A broadcast (all lanes, one word) is serviced in one cycle.
+        assert_eq!(analytic_bank_degree(0, 16, 16), 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Satellite: every deliberately-buggy fixture kernel is pinned to a
+//! static verdict, and the static findings carry the *same source-line
+//! attribution* as the dynamic sanitizer's diagnostics — the two reports
+//! must be diffable site-by-site.
+
+use gpu_sim::{DiagnosticKind, Launcher, SanitizeOptions, Severity};
+use kernel_verify::{verify_fixture, ProofStatus, VerifyOptions};
+
+/// Expected dominant finding kind per fixture.
+const EXPECTED: [(&str, DiagnosticKind); 4] = [
+    ("missing-barrier-cr", DiagnosticKind::ReadWriteHazard),
+    ("racy-cr-step", DiagnosticKind::WriteWriteRace),
+    ("oob-pcr", DiagnosticKind::SharedOutOfBounds),
+    ("uninit-rd", DiagnosticKind::UninitializedRead),
+];
+
+#[test]
+fn every_fixture_is_statically_violated_with_its_kind() {
+    for (name, kind) in EXPECTED {
+        for n in [16usize, 64] {
+            let v = verify_fixture::<f32>(name, n, &VerifyOptions::default());
+            assert_eq!(
+                v.status,
+                ProofStatus::Violated,
+                "{name} n={n} must be VIOLATED, got {} (unproven: {:?})",
+                v.status.name(),
+                v.unproven
+            );
+            assert!(
+                v.findings.iter().any(|f| f.kind == kind),
+                "{name} n={n}: expected a {} finding, got {:?}",
+                kind.name(),
+                v.findings.iter().map(|f| f.kind.name()).collect::<Vec<_>>()
+            );
+            // Attribution points into the fixture source, not the engine.
+            assert!(
+                v.findings.iter().all(|f| f.file.ends_with("fixtures.rs")),
+                "{name} n={n}: findings must attribute to fixtures.rs: {:?}",
+                v.findings.iter().map(|f| f.site()).collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+#[test]
+fn static_findings_attribute_the_same_lines_as_the_dynamic_sanitizer() {
+    for (name, _) in EXPECTED {
+        let n = 32usize;
+        let v = verify_fixture::<f32>(name, n, &VerifyOptions::default());
+        let inst = gpu_solvers::fixture_instance::<f32>(name, n, 4).unwrap();
+        let mut gmem = inst.gmem;
+        let report = Launcher::gtx280()
+            .with_sanitize(SanitizeOptions::record())
+            .launch(&&*inst.kernel, inst.grid_dim, &mut gmem)
+            .unwrap();
+        let dynamic: Vec<_> = report.sanitizer_errors().collect();
+        assert!(!dynamic.is_empty(), "{name}: dynamic sanitizer must also fire");
+        for d in dynamic {
+            assert!(
+                v.findings.iter().any(|f| {
+                    f.kind == d.kind && f.file == d.location.file() && f.line == d.location.line()
+                }),
+                "{name}: dynamic {} at {} has no static counterpart; static: {:?}",
+                d.kind.name(),
+                d.site(),
+                v.findings.iter().map(|f| (f.kind.name(), f.site())).collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+#[test]
+fn fixture_findings_carry_step_phase_and_related_sites() {
+    // The hazard fixture's finding must name both sites: the load and the
+    // buffered store it observed past.
+    let v = verify_fixture::<f32>("missing-barrier-cr", 32, &VerifyOptions::default());
+    let hazard = v
+        .findings
+        .iter()
+        .find(|f| f.kind == DiagnosticKind::ReadWriteHazard)
+        .expect("hazard finding");
+    let (rfile, _rline) = hazard.related.as_ref().expect("hazard names its buffered store");
+    assert!(rfile.ends_with("fixtures.rs"));
+    assert!(!hazard.phase.is_empty());
+    // All fixture findings are error-severity (the proof gate treats any
+    // of them as a hard failure).
+    assert!(v.findings.iter().all(|f| f.kind.severity() == Severity::Error));
+}

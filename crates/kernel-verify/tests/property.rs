@@ -1,0 +1,143 @@
+//! Satellite: agreement between the dynamic sanitizer and the symbolic
+//! verdict over randomized launches.
+//!
+//! Soundness direction ("no static false-negatives on the affine
+//! subset"): any `Error`-severity diagnostic the dynamic sanitizer
+//! reports on a launch must be *predicted* by the static verdict for that
+//! (kernel, n, width) — same kind, same source line — or the verdict must
+//! at least refuse to claim a proof (`Unproven`). A launch whose family
+//! member is `Proven` must therefore sanitize clean. Disagreements dump
+//! both reports.
+
+use gpu_sim::{Launcher, SanitizeOptions};
+use gpu_solvers::{GpuAlgorithm, RdMode, VerifyInstance};
+use kernel_verify::{
+    verify_fixture, verify_launch, verify_solver, ProofStatus, SizeVerdict, VerifyOptions,
+};
+use tridiag_core::Real;
+
+/// Deterministic LCG so the "random" matrix is reproducible.
+struct Lcg(u64);
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[(self.next() as usize) % xs.len()]
+    }
+}
+
+/// Runs one launch under the dynamic sanitizer (record mode, all blocks)
+/// and checks every error diagnostic against the static verdict.
+fn check_agreement<T: Real>(label: &str, verdict: &SizeVerdict, inst: VerifyInstance<T>) -> usize {
+    let mut gmem = inst.gmem;
+    let report = match Launcher::gtx280().with_sanitize(SanitizeOptions::record()).launch(
+        &&*inst.kernel,
+        inst.grid_dim,
+        &mut gmem,
+    ) {
+        Ok(r) => r,
+        Err(_) => return 0, // device-inadmissible launch: nothing to compare
+    };
+    let mut dynamic_errors = 0usize;
+    for d in report.sanitizer_errors() {
+        dynamic_errors += 1;
+        let predicted = match verdict.status {
+            // A proof would have been refuted: the static report must
+            // contain the same (kind, line).
+            ProofStatus::Violated => verdict.findings.iter().any(|f| {
+                f.kind == d.kind && f.file == d.location.file() && f.line == d.location.line()
+            }),
+            // No proof claimed: the dynamic sanitizer stays the authority.
+            ProofStatus::Unproven => true,
+            ProofStatus::Proven => false,
+        };
+        if !predicted {
+            eprintln!("=== static report ({label}) ===\n{}", verdict.to_json());
+            eprintln!(
+                "=== dynamic report ({label}) ===\n{}",
+                gpu_sim::diagnostics_to_json(&report.diagnostics)
+            );
+            panic!(
+                "{label}: dynamic {} at {} not predicted by static verdict {}",
+                d.kind.name(),
+                d.site(),
+                verdict.status.name()
+            );
+        }
+    }
+    dynamic_errors
+}
+
+fn random_solver_matrix<T: Real>(rng: &mut Lcg, rounds: usize) {
+    let algs = [
+        GpuAlgorithm::Cr,
+        GpuAlgorithm::Pcr,
+        GpuAlgorithm::Rd(RdMode::Plain),
+        GpuAlgorithm::Rd(RdMode::Rescaled),
+        GpuAlgorithm::CrPcr { m: 16 },
+        GpuAlgorithm::CrRd { m: 16, mode: RdMode::Plain },
+        GpuAlgorithm::CrEvenOdd,
+        GpuAlgorithm::CrGlobalOnly,
+        GpuAlgorithm::ThomasPerThread,
+    ];
+    let sizes = [8usize, 16, 32, 64, 128, 256];
+    for _ in 0..rounds {
+        let alg = *rng.pick(&algs);
+        let n = *rng.pick(&sizes);
+        let count = 2 + (rng.next() as usize % 6);
+        let seed = rng.next();
+        let inst = match gpu_solvers::solver_instance::<T>(alg, n, count, seed) {
+            Ok(i) => i,
+            Err(_) => continue, // invalid configuration for this algorithm
+        };
+        let verdict = verify_solver::<T>(alg, n, &VerifyOptions::default());
+        let errors = check_agreement(&format!("{alg:?} n={n} {}", T::NAME), &verdict, inst);
+        // Production kernels sanitize clean; a proof plus dynamic errors
+        // would have panicked above, but make the expectation explicit.
+        if verdict.status == ProofStatus::Proven {
+            assert_eq!(errors, 0, "{alg:?} n={n}: proven family member sanitized dirty");
+        }
+    }
+}
+
+#[test]
+fn dynamic_errors_are_predicted_for_random_solver_launches() {
+    let mut rng = Lcg(0x5EED_CAFE);
+    random_solver_matrix::<f32>(&mut rng, 24);
+    random_solver_matrix::<f64>(&mut rng, 12);
+}
+
+#[test]
+fn dynamic_errors_are_predicted_for_fixture_launches() {
+    let mut rng = Lcg(0xF1C7_0BAD);
+    for _ in 0..12 {
+        let name = *rng.pick(&gpu_solvers::FIXTURE_NAMES);
+        let n = *rng.pick(&[16usize, 32, 64]);
+        let count = 2 + (rng.next() as usize % 4);
+        let verdict = verify_fixture::<f32>(name, n, &VerifyOptions::default());
+        let inst = gpu_solvers::fixture_instance::<f32>(name, n, count).unwrap();
+        let errors = check_agreement(&format!("{name} n={n}"), &verdict, inst);
+        assert!(errors > 0, "{name} n={n}: fixture must sanitize dirty");
+        assert_eq!(verdict.status, ProofStatus::Violated, "{name} n={n}");
+    }
+}
+
+#[test]
+fn block_cr_agrees_with_its_dynamic_sanitize() {
+    for n in [8usize, 32, 128] {
+        let verdict = verify_launch::<f32>(
+            "block-cr",
+            n,
+            &|count, seed| {
+                gpu_solvers::block_instance(n, count, seed).map_err(|e| format!("{e:?}"))
+            },
+            &VerifyOptions::default(),
+        );
+        let inst = gpu_solvers::block_instance::<f32>(n, 3, 99).unwrap();
+        let errors = check_agreement(&format!("block-cr n={n}"), &verdict, inst);
+        assert_eq!(verdict.status, ProofStatus::Proven, "{:?}", verdict.unproven);
+        assert_eq!(errors, 0, "block-cr n={n} sanitized dirty");
+    }
+}

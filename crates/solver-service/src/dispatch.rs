@@ -44,6 +44,8 @@ use cpu_solvers::{gep, thomas};
 use device_pool::DevicePool;
 use gpu_sim::{tick_duration, Clock, Launcher};
 use gpu_solvers::{solve_batch_robust, GpuAlgorithm, RobustOptions};
+use kernel_verify::VerifiedCatalog;
+use std::sync::Arc;
 use std::time::Duration;
 use tridiag_core::residual::l2_residual;
 use tridiag_core::{Real, SolutionBatch, SystemBatch, TridiagError, TridiagonalSystem};
@@ -65,6 +67,13 @@ pub struct DispatchConfig {
     /// kernel sanitizer recording (admission-time correctness check on
     /// real traffic; later flushes of the same class run unsanitized).
     pub sanitize_first_flush: bool,
+    /// Static proof catalog consulted by the first-flush decision. A size
+    /// class whose planned kernel the catalog proves race/OOB/barrier-safe
+    /// for its whole family skips the sanitized launch (the skip is
+    /// counted in `MetricsSnapshot::proof_skipped_sanitizes`); `Unproven`
+    /// and `Violated` verdicts keep the dynamic sanitizer in charge.
+    /// `None` (the default) sanitizes every first flush dynamically.
+    pub verified: Option<Arc<VerifiedCatalog>>,
     /// How many times one engine is tried per flush before it is excluded
     /// (first attempt + retries). Transient device faults between attempts
     /// back off exponentially.
@@ -94,6 +103,7 @@ impl Default for DispatchConfig {
             probe_count: 16,
             pin_engine: None,
             sanitize_first_flush: true,
+            verified: None,
             max_attempts_per_engine: 2,
             max_total_attempts: 4,
             backoff_base: Duration::from_micros(50),
@@ -191,11 +201,17 @@ pub fn serve_flush<T: Real>(
         _ => Vec::new(),
     };
 
-    // First GPU flush of this size class? Claim the one-time token and run
-    // it under the sanitizer — the admission correctness check.
-    let sanitize = cfg.sanitize_first_flush
-        && matches!(engine, Engine::Gpu(_))
-        && plans.begin_sanitize::<T>(launcher, n);
+    // First GPU flush of this size class? One decision point: claim the
+    // one-time token and either run the dynamic sanitizer or let a static
+    // proof stand in for it.
+    let sanitize = match sanitize_decision::<T>(cfg, plans, launcher, engine, n) {
+        SanitizeDecision::Dynamic => true,
+        SanitizeDecision::ProofSkipped => {
+            metrics.on_sanitize_skipped_by_proof();
+            false
+        }
+        SanitizeDecision::NotApplicable => false,
+    };
 
     let systems: Vec<TridiagonalSystem<T>> = requests.iter().map(|r| r.system.clone()).collect();
     let outcome = execute(&device, engine, &fallbacks, breakers, &systems, cfg, sanitize);
@@ -259,6 +275,49 @@ pub fn serve_flush<T: Real>(
             deadline_missed,
         });
         metrics.on_complete(latency);
+    }
+}
+
+/// What the admission check does with one flush — the single point of
+/// truth for the first-flush sanitize policy (previously duplicated
+/// between the token claim and the launch-path condition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SanitizeDecision {
+    /// First GPU flush of its size class, no proof on file: run it under
+    /// the dynamic kernel sanitizer.
+    Dynamic,
+    /// First GPU flush of its size class, but the proof catalog proves
+    /// the planned kernel safe for the whole family: skip the sanitized
+    /// launch. The one-time token is still consumed, so the skip is
+    /// counted exactly once per size class.
+    ProofSkipped,
+    /// Not a first GPU flush (CPU engine, sanitizing disabled, or the
+    /// size class was already checked).
+    NotApplicable,
+}
+
+/// Decides the admission-time sanitize for one flush of size `n` planned
+/// on `engine`. Claims the size class's one-time token for *both* the
+/// dynamic and the proof-skipped outcome — a proof replaces the sanitize,
+/// it does not defer it to the next flush.
+fn sanitize_decision<T: Real>(
+    cfg: &DispatchConfig,
+    plans: &PlanCache,
+    launcher: &Launcher,
+    engine: Engine,
+    n: usize,
+) -> SanitizeDecision {
+    let Engine::Gpu(alg) = engine else {
+        return SanitizeDecision::NotApplicable;
+    };
+    if !cfg.sanitize_first_flush || !plans.begin_sanitize::<T>(launcher, n) {
+        return SanitizeDecision::NotApplicable;
+    }
+    match &cfg.verified {
+        Some(catalog) if catalog.is_proven::<T>(&launcher.device, alg, n) => {
+            SanitizeDecision::ProofSkipped
+        }
+        _ => SanitizeDecision::Dynamic,
     }
 }
 
@@ -804,10 +863,123 @@ mod tests {
         assert_eq!(errors, 0);
     }
 
+    #[test]
+    fn proven_size_classes_skip_the_first_flush_sanitize() {
+        let launcher = Launcher::gtx280();
+        let plans = PlanCache::new();
+        let metrics = ServiceMetrics::new();
+        let catalog = Arc::new(VerifiedCatalog::new());
+        let pinned = DispatchConfig {
+            pin_engine: Some(Engine::Gpu(GpuAlgorithm::CrPcr { m: 32 })),
+            verified: Some(Arc::clone(&catalog)),
+            ..cfg()
+        };
+        // Two flushes of n = 64: the first consumes the size class's
+        // one-time token but the proof replaces the sanitized launch; the
+        // second is no longer a first flush, so nothing is counted twice.
+        for seed in [51u64, 52] {
+            let (flush, tickets) = flush_of(64, 8, seed);
+            serve_flush(
+                DeviceCtx::solo(&launcher),
+                &plans,
+                &CircuitBreakers::default(),
+                &metrics,
+                &pinned,
+                flush,
+            );
+            for ticket in tickets {
+                let resp = ticket.try_take().unwrap();
+                assert_eq!(resp.engine, "cr+pcr@32", "proof skip must not reroute the flush");
+                assert!(resp.residual < 1e-2, "{}", resp.residual);
+            }
+        }
+        let snap = metrics.snapshot(0, 0, 0);
+        assert_eq!(snap.proof_skipped_sanitizes, 1, "one skip per size class");
+        assert_eq!(snap.sanitized_flushes, 0, "the proof replaced the dynamic sanitize");
+        assert_eq!(snap.sanitizer_errors, 0);
+        assert!(
+            catalog.is_proven::<f32>(&launcher.device, GpuAlgorithm::CrPcr { m: 32 }, 64),
+            "the skip must be backed by a memoized proof"
+        );
+    }
+
+    #[test]
+    fn unproven_engines_keep_the_dynamic_sanitize() {
+        // The per-thread Thomas kernel is the catalog's documented
+        // `Unproven` boundary: even with the catalog wired in, its first
+        // flush runs under the dynamic sanitizer.
+        let launcher = Launcher::gtx280();
+        let plans = PlanCache::new();
+        let metrics = ServiceMetrics::new();
+        let pinned = DispatchConfig {
+            pin_engine: Some(Engine::Gpu(GpuAlgorithm::ThomasPerThread)),
+            verified: Some(Arc::new(VerifiedCatalog::new())),
+            ..cfg()
+        };
+        let (flush, tickets) = flush_of(64, 8, 53);
+        serve_flush(
+            DeviceCtx::solo(&launcher),
+            &plans,
+            &CircuitBreakers::default(),
+            &metrics,
+            &pinned,
+            flush,
+        );
+        for ticket in tickets {
+            let resp = ticket.try_take().unwrap();
+            assert_eq!(resp.engine, "thomas-per-thread");
+            assert!(resp.residual < 1e-2, "{}", resp.residual);
+        }
+        let snap = metrics.snapshot(0, 0, 0);
+        assert_eq!(snap.sanitized_flushes, 1, "no proof → the dynamic sanitizer stays");
+        assert_eq!(snap.proof_skipped_sanitizes, 0);
+    }
+
+    #[test]
+    fn sanitize_decision_is_the_single_policy_point() {
+        let launcher = Launcher::gtx280();
+        let catalog = Arc::new(VerifiedCatalog::new());
+        let with_catalog = DispatchConfig { verified: Some(Arc::clone(&catalog)), ..cfg() };
+        let cpu = Engine::Cpu(CpuEngine::Thomas);
+        let gpu = Engine::Gpu(GpuAlgorithm::Cr);
+
+        // CPU engines never sanitize, and never burn the token.
+        let plans = PlanCache::new();
+        assert_eq!(
+            sanitize_decision::<f32>(&with_catalog, &plans, &launcher, cpu, 64),
+            SanitizeDecision::NotApplicable
+        );
+        // First GPU flush with a proof on file: skipped...
+        assert_eq!(
+            sanitize_decision::<f32>(&with_catalog, &plans, &launcher, gpu, 64),
+            SanitizeDecision::ProofSkipped
+        );
+        // ...and the token is spent: the second flush is not special.
+        assert_eq!(
+            sanitize_decision::<f32>(&with_catalog, &plans, &launcher, gpu, 64),
+            SanitizeDecision::NotApplicable
+        );
+
+        // Without a catalog the same first flush sanitizes dynamically.
+        let plans = PlanCache::new();
+        assert_eq!(
+            sanitize_decision::<f32>(&cfg(), &plans, &launcher, gpu, 64),
+            SanitizeDecision::Dynamic
+        );
+
+        // Disabled sanitizing wins over everything and leaves the token.
+        let plans = PlanCache::new();
+        let off = DispatchConfig { sanitize_first_flush: false, ..cfg() };
+        assert_eq!(
+            sanitize_decision::<f32>(&off, &plans, &launcher, gpu, 64),
+            SanitizeDecision::NotApplicable
+        );
+        assert!(plans.begin_sanitize::<f32>(&launcher, 64), "token untouched while disabled");
+    }
+
     // ── resilience: retries, breakers, graceful degradation ──────────
 
     use gpu_sim::{FaultConfig, FaultPlan};
-    use std::sync::Arc;
 
     fn faulty_launcher(cfg: FaultConfig) -> (Launcher, Arc<FaultPlan>) {
         let plan = Arc::new(FaultPlan::new(cfg));

@@ -39,6 +39,7 @@ pub struct ServiceMetrics {
     flushes_deadline: AtomicU64,
     flushes_shutdown: AtomicU64,
     sanitized_flushes: AtomicU64,
+    proof_skipped_sanitizes: AtomicU64,
     retries: AtomicU64,
     device_faults: AtomicU64,
     corruptions_caught: AtomicU64,
@@ -75,6 +76,7 @@ impl ServiceMetrics {
             flushes_deadline: AtomicU64::new(0),
             flushes_shutdown: AtomicU64::new(0),
             sanitized_flushes: AtomicU64::new(0),
+            proof_skipped_sanitizes: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             device_faults: AtomicU64::new(0),
             corruptions_caught: AtomicU64::new(0),
@@ -170,6 +172,14 @@ impl ServiceMetrics {
         self.sanitizer_warnings.fetch_add(warnings, Ordering::Relaxed);
     }
 
+    /// One first-flush dynamic sanitize skipped because the static proof
+    /// catalog already proves the planned kernel race/OOB/barrier-safe
+    /// for the whole size family (at most one skip per size class — the
+    /// skip consumes the same one-time token the sanitize would have).
+    pub fn on_sanitize_skipped_by_proof(&self) {
+        self.proof_skipped_sanitizes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// One request completed with end-to-end `latency`.
     pub fn on_complete(&self, latency: Duration) {
         self.completed.fetch_add(1, Ordering::Relaxed);
@@ -198,6 +208,7 @@ impl ServiceMetrics {
             flushes_deadline: self.flushes_deadline.load(Ordering::Relaxed),
             flushes_shutdown: self.flushes_shutdown.load(Ordering::Relaxed),
             sanitized_flushes: self.sanitized_flushes.load(Ordering::Relaxed),
+            proof_skipped_sanitizes: self.proof_skipped_sanitizes.load(Ordering::Relaxed),
             degradation: DegradationState {
                 retries: self.retries.load(Ordering::Relaxed),
                 device_faults: self.device_faults.load(Ordering::Relaxed),
@@ -331,6 +342,10 @@ pub struct MetricsSnapshot {
     /// Flushes that ran under the kernel sanitizer (first GPU flush of
     /// each plan-cache size class).
     pub sanitized_flushes: u64,
+    /// First-flush sanitizes *replaced by a static proof*: size classes
+    /// whose planned kernel the `kernel-verify` proof catalog proves safe
+    /// skip the sanitized launch (at most one per size class).
+    pub proof_skipped_sanitizes: u64,
     /// Error-severity sanitizer diagnostic sites found on serving traffic.
     pub sanitizer_errors: u64,
     /// Warning-severity sanitizer diagnostic sites (bank conflicts,
@@ -382,7 +397,7 @@ impl MetricsSnapshot {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(512);
         s.push('{');
-        let scalars: [(&str, u64); 17] = [
+        let scalars: [(&str, u64); 18] = [
             ("submitted", self.submitted),
             ("completed", self.completed),
             ("rejected", self.rejected),
@@ -392,6 +407,7 @@ impl MetricsSnapshot {
             ("flushes_deadline", self.flushes_deadline),
             ("flushes_shutdown", self.flushes_shutdown),
             ("sanitized_flushes", self.sanitized_flushes),
+            ("proof_skipped_sanitizes", self.proof_skipped_sanitizes),
             ("sanitizer_errors", self.sanitizer_errors),
             ("sanitizer_warnings", self.sanitizer_warnings),
             ("queue_depth", self.queue_depth as u64),
@@ -560,6 +576,7 @@ mod tests {
         for key in [
             "\"submitted\":1",
             "\"completed\":1",
+            "\"proof_skipped_sanitizes\":0",
             "\"dispatch_systems\":{\"pcr\":1}",
             "\"occupancy_systems\":{\"1\":1}",
             "\"engine_ms\":{\"pcr\":0.125}",

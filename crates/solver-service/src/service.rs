@@ -71,6 +71,12 @@ pub struct ServiceConfig {
     /// kernel sanitizer recording; findings land in the metrics and an
     /// error-severity finding demotes that flush to the CPU safety net.
     pub sanitize_first_flush: bool,
+    /// Static proof catalog for first-flush admission: a size class whose
+    /// planned kernel the catalog proves safe skips the sanitized launch
+    /// (counted in `MetricsSnapshot::proof_skipped_sanitizes`). `None`
+    /// (the default) sanitizes every first flush dynamically. Share one
+    /// `Arc` across services to amortize proofs between them.
+    pub verified: Option<Arc<kernel_verify::VerifiedCatalog>>,
     /// How much earlier than a member's completion deadline its bucket
     /// flushes (headroom for dispatch + solve).
     pub deadline_slack: Duration,
@@ -128,6 +134,7 @@ impl Default for ServiceConfig {
             probe_count: 16,
             pin_engine: None,
             sanitize_first_flush: true,
+            verified: None,
             deadline_slack: Duration::from_micros(500),
             breaker: BreakerConfig::default(),
             max_attempts_per_engine: 2,
@@ -228,6 +235,7 @@ impl<T: Real> SolverService<T> {
                 probe_count: config.probe_count,
                 pin_engine: config.pin_engine,
                 sanitize_first_flush: config.sanitize_first_flush,
+                verified: config.verified,
                 max_attempts_per_engine: config.max_attempts_per_engine,
                 max_total_attempts: config.max_total_attempts,
                 backoff_base: config.backoff_base,
@@ -794,6 +802,31 @@ mod tests {
         assert_eq!(snap.devices[0].id, 0);
         assert!(!snap.devices[0].lost);
         assert_eq!(snap.devices[0].steals, 0, "one queue, nothing to steal");
+    }
+
+    #[test]
+    fn proof_catalog_replaces_first_flush_sanitizes_end_to_end() {
+        let config = ServiceConfig {
+            pin_engine: Some(crate::planner::Engine::Gpu(gpu_solvers::GpuAlgorithm::CrPcr {
+                m: 16,
+            })),
+            verified: Some(Arc::new(kernel_verify::VerifiedCatalog::new())),
+            ..quick_config()
+        };
+        let service: SolverService<f32> = SolverService::start(config);
+        let mut generator = Generator::new(24);
+        for _ in 0..8 {
+            let resp =
+                service.submit_wait(generator.system(Workload::DiagonallyDominant, 64)).unwrap();
+            assert!(resp.residual < 1e-2, "{}", resp.residual);
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.completed, 8);
+        assert_eq!(snap.sanitized_flushes, 0, "the proof replaced every first-flush sanitize");
+        assert_eq!(snap.proof_skipped_sanitizes, 1, "one size class, one skip");
+        assert!(snap.degradation.is_quiet(), "a proof skip is not degradation");
+        let json = snap.to_json();
+        assert!(json.contains("\"proof_skipped_sanitizes\":1"), "{json}");
     }
 
     #[test]
