@@ -40,6 +40,9 @@ cargo run --offline --release -p bench -- loadlab --quick
 echo "==> symbolic proof gate (bench prove --quick)"
 cargo run --offline --release -p bench -- prove --quick
 
+echo "==> cluster gate (bench cluster --quick)"
+cargo run --offline --release -p bench -- cluster --quick
+
 # Surface the perf artifacts the gates above just wrote (canonical copies
 # stay under target/repro/; the repo-root copies are gitignored and exist
 # for CI artifact upload).

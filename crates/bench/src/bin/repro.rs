@@ -12,6 +12,7 @@
 //! cargo run --release -p bench -- replay t.trace      # verify a trace file
 //! cargo run --release -p bench -- loadlab --quick     # load-lab SLO gate
 //! cargo run --release -p bench -- prove --quick       # symbolic proof gate
+//! cargo run --release -p bench -- cluster --quick     # multi-node cluster gate
 //! ```
 //!
 //! Every gate shares one flag grammar (`--quick`, `--json`, whitelisted
@@ -60,6 +61,13 @@ fn main() {
     // undocumented Unproven, or a planted fixture bug the verifier missed.
     if args.first().map(String::as_str) == Some("prove") {
         std::process::exit(bench::prove::run(&args[1..]));
+    }
+
+    // The cluster gate drives the multi-node tier: aggregate scaling to
+    // 4 nodes x 8 devices, a sticky node-kill and an asymmetric
+    // partition-heal failover cell, and two-level solves vs CPU GEP.
+    if args.first().map(String::as_str) == Some("cluster") {
+        std::process::exit(bench::cluster::run(&args[1..]));
     }
 
     let all = figures::all();

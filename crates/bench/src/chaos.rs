@@ -225,6 +225,34 @@ fn json_row(cell: &Cell, out: &CellOutcome) -> String {
     )
 }
 
+/// Checks the sweep's worst cell against `baselines/chaos.json`.
+fn baseline_failures(min_availability: f64, max_wrong: u64) -> Vec<String> {
+    let baselines = match crate::cli::baseline_path("chaos.json").map(std::fs::read_to_string) {
+        Some(Ok(text)) => text,
+        Some(Err(e)) => return vec![format!("baselines/chaos.json unreadable: {e}")],
+        None => return vec!["baselines/chaos.json missing".to_string()],
+    };
+    let mut failures = Vec::new();
+    match crate::cli::json_object_with(&baselines, "name", "chaos-sweep") {
+        Some(row) => {
+            if let Some(min) = crate::cli::json_f64(row, "min_availability") {
+                if min_availability < min {
+                    failures.push(format!(
+                        "chaos: worst-cell availability {min_availability:.4} < baseline {min}"
+                    ));
+                }
+            }
+            if let Some(max) = crate::cli::json_u64(row, "max_wrong") {
+                if max_wrong > max {
+                    failures.push(format!("chaos: worst-cell wrong {max_wrong} > baseline {max}"));
+                }
+            }
+        }
+        None => failures.push("baselines/chaos.json lacks a chaos-sweep row".to_string()),
+    }
+    failures
+}
+
 /// Runs the chaos sweep; returns the process exit code.
 pub fn run(args: &[String]) -> i32 {
     let parsed = match crate::cli::parse("chaos", args, &[], 0) {
@@ -257,11 +285,15 @@ pub fn run(args: &[String]) -> i32 {
     );
     let mut failures = 0usize;
     let mut json = Vec::new();
+    let mut worst_availability = 1.0f64;
+    let mut worst_wrong = 0u64;
     for cell in cells(quick) {
         eprintln!("[chaos] {} ...", cell.label);
         let out = drive(seed, &cell, total);
         let ok = out.passes();
         failures += usize::from(!ok);
+        worst_availability = worst_availability.min(out.availability);
+        worst_wrong = worst_wrong.max(out.wrong);
         table.row(vec![
             cell.label.to_string(),
             format!("{:.1}", out.availability * 100.0),
@@ -288,6 +320,21 @@ pub fn run(args: &[String]) -> i32 {
         for line in &json {
             println!("{line}");
         }
+    }
+
+    let bench =
+        format!("{{\"bench\":\"chaos\",\"quick\":{quick},\"rows\":[{}]}}\n", json.join(","));
+    match crate::cli::write_bench("BENCH_chaos.json", &bench) {
+        Ok(path) => eprintln!("[chaos] wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("[chaos] FAIL: writing BENCH_chaos.json: {e}");
+            failures += 1;
+        }
+    }
+
+    for clause in baseline_failures(worst_availability, worst_wrong) {
+        eprintln!("[chaos] FAIL: {clause}");
+        failures += 1;
     }
 
     if failures > 0 {

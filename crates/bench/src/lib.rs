@@ -12,6 +12,7 @@
 
 pub mod chaos;
 pub mod cli;
+pub mod cluster;
 pub mod figures;
 pub mod loadlab;
 pub mod pool;

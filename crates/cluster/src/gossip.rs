@@ -1,0 +1,297 @@
+//! SWIM-style health gossip: each node pings its peers every protocol
+//! period and keeps a **per-observer** view of every peer —
+//! `Alive → Suspect → Dead` on consecutive missed round trips, back to
+//! `Alive` the moment a ping round-trips again.
+//!
+//! The views drive the per-node circuit breakers (key `node{j}`), reusing
+//! the engine-breaker machinery: a peer confirmed `Dead` trips the
+//! observer's breaker for that peer immediately (no point counting up to
+//! the failure threshold against a partitioned node), and a recovered
+//! peer closes it through the breaker's own half-open probe path — so a
+//! heal restores capacity only after the breaker's cooldown, exactly like
+//! a recovered engine.
+//!
+//! Views are per-observer on purpose: under an **asymmetric** partition
+//! (A cannot reach B, everyone else can) only A's view declares B dead —
+//! A re-routes its own traffic while the rest of the cluster keeps using
+//! B. There is no global membership oracle to disagree with.
+//!
+//! Pings ride the same faulty network as data RPCs but are priced, not
+//! waited on: heartbeats overlap data traffic in a real cluster, so the
+//! protocol tick reads the clock without advancing it. Determinism comes
+//! from the network's per-link message schedule and the fixed
+//! observer-major, subject-minor ping order.
+
+use crate::net::Network;
+use gpu_sim::Clock;
+use solver_service::{Admission, CircuitBreakers, TraceEvent, TraceHandle};
+
+/// One observer's opinion of one peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerState {
+    /// Heartbeats are round-tripping.
+    Alive,
+    /// Missed pings past the suspect threshold; still routable by others.
+    Suspect,
+    /// Missed pings past the dead threshold; the observer's breaker for
+    /// this peer is tripped.
+    Dead,
+}
+
+impl PeerState {
+    /// Stable lower-case label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PeerState::Alive => "alive",
+            PeerState::Suspect => "suspect",
+            PeerState::Dead => "dead",
+        }
+    }
+}
+
+/// Gossip protocol knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GossipConfig {
+    /// Consecutive missed round trips that move `Alive → Suspect`.
+    pub suspect_missed: u32,
+    /// Consecutive missed round trips that move `Suspect → Dead`.
+    pub dead_missed: u32,
+    /// Heartbeat payload bytes (each leg).
+    pub ping_bytes: usize,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        Self { suspect_missed: 2, dead_missed: 4, ping_bytes: 64 }
+    }
+}
+
+/// The breaker key an observer files peer `j` under.
+pub fn node_key(j: usize) -> String {
+    format!("node{j}")
+}
+
+/// Per-observer membership views for one cluster.
+#[derive(Debug)]
+pub struct Gossip {
+    cfg: GossipConfig,
+    /// `views[observer][subject]`; the diagonal is always `Alive`.
+    views: Vec<Vec<PeerState>>,
+    /// Consecutive missed round trips, same indexing.
+    missed: Vec<Vec<u32>>,
+}
+
+impl Gossip {
+    /// A gossip state over `nodes` nodes, everyone initially `Alive`.
+    pub fn new(nodes: usize, cfg: GossipConfig) -> Self {
+        Self {
+            cfg,
+            views: vec![vec![PeerState::Alive; nodes]; nodes],
+            missed: vec![vec![0; nodes]; nodes],
+        }
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &GossipConfig {
+        &self.cfg
+    }
+
+    /// `observer`'s current opinion of `subject`.
+    pub fn view(&self, observer: usize, subject: usize) -> PeerState {
+        self.views[observer][subject]
+    }
+
+    /// One protocol round: every up node pings every peer; views and the
+    /// observers' per-peer breakers update from the outcomes. Call once
+    /// per gossip period from the cluster driver.
+    ///
+    /// `breakers[i]` is node `i`'s breaker set (peer keys via
+    /// [`node_key`]). Crashed observers skip their round — and on restart
+    /// resume with the views they crashed with, re-learning liveness
+    /// through the same transitions as everyone else.
+    pub fn tick(
+        &mut self,
+        net: &Network,
+        breakers: &[&CircuitBreakers],
+        clock: &Clock,
+        trace: &TraceHandle,
+    ) {
+        let nodes = self.views.len();
+        let now = clock.now();
+        for observer in 0..nodes {
+            if net.node_down(observer, now) {
+                continue;
+            }
+            for subject in 0..nodes {
+                if subject == observer {
+                    continue;
+                }
+                let delivered = net
+                    .round_trip(observer, subject, self.cfg.ping_bytes, self.cfg.ping_bytes)
+                    .is_some();
+                if delivered {
+                    self.missed[observer][subject] = 0;
+                    self.views[observer][subject] = PeerState::Alive;
+                    // Close the breaker through its own probe path: Deny
+                    // while the cooldown runs, Probe + success once it
+                    // elapses, plain success (count reset) when closed.
+                    let key = node_key(subject);
+                    match breakers[observer].admit(&key) {
+                        Admission::Allow | Admission::Probe => breakers[observer].on_success(&key),
+                        Admission::Deny => {}
+                    }
+                } else {
+                    let miss = self.missed[observer][subject].saturating_add(1);
+                    self.missed[observer][subject] = miss;
+                    let state = self.views[observer][subject];
+                    if state == PeerState::Alive && miss >= self.cfg.suspect_missed {
+                        self.views[observer][subject] = PeerState::Suspect;
+                        trace.emit(|| TraceEvent::GossipSuspect {
+                            at: now,
+                            observer: observer as u64,
+                            subject: subject as u64,
+                        });
+                    }
+                    if self.views[observer][subject] != PeerState::Dead
+                        && miss >= self.cfg.dead_missed
+                    {
+                        self.views[observer][subject] = PeerState::Dead;
+                        trace.emit(|| TraceEvent::GossipDead {
+                            at: now,
+                            observer: observer as u64,
+                            subject: subject as u64,
+                        });
+                        breakers[observer].trip(&node_key(subject));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{CrashWindow, LinkModel, NetFaultConfig};
+    use solver_service::{BreakerConfig, BreakerState};
+    use std::time::Duration;
+
+    fn refs(breakers: &[CircuitBreakers]) -> Vec<&CircuitBreakers> {
+        breakers.iter().collect()
+    }
+
+    fn setup(fault: NetFaultConfig) -> (Gossip, Network, Vec<CircuitBreakers>, Clock) {
+        let clock = Clock::sim();
+        let net = Network::new(3, LinkModel::ten_gbe(), fault, clock.clone());
+        let breakers = (0..3)
+            .map(|_| {
+                CircuitBreakers::with_clock(
+                    BreakerConfig { failure_threshold: 3, cooldown: Duration::from_millis(1) },
+                    clock.clone(),
+                )
+            })
+            .collect();
+        (Gossip::new(3, GossipConfig::default()), net, breakers, clock)
+    }
+
+    #[test]
+    fn quiet_network_stays_all_alive() {
+        let (mut gossip, net, breakers, clock) = setup(NetFaultConfig::quiet(0));
+        for _ in 0..8 {
+            gossip.tick(&net, &refs(&breakers), &clock, &TraceHandle::disabled());
+        }
+        for o in 0..3 {
+            for s in 0..3 {
+                assert_eq!(gossip.view(o, s), PeerState::Alive);
+            }
+            assert_eq!(breakers[o].opened_total(), 0);
+        }
+    }
+
+    #[test]
+    fn crashed_node_walks_alive_suspect_dead_and_trips_breakers() {
+        let fault = NetFaultConfig {
+            crashes: vec![CrashWindow { node: 2, down_from: 0, up_at: None }],
+            ..NetFaultConfig::quiet(0)
+        };
+        let (mut gossip, net, breakers, clock) = setup(fault);
+        let trace = TraceHandle::disabled();
+        gossip.tick(&net, &refs(&breakers), &clock, &trace);
+        assert_eq!(gossip.view(0, 2), PeerState::Alive, "one miss is not suspicion");
+        gossip.tick(&net, &refs(&breakers), &clock, &trace);
+        assert_eq!(gossip.view(0, 2), PeerState::Suspect);
+        gossip.tick(&net, &refs(&breakers), &clock, &trace);
+        gossip.tick(&net, &refs(&breakers), &clock, &trace);
+        assert_eq!(gossip.view(0, 2), PeerState::Dead);
+        assert_eq!(breakers[0].state(&node_key(2)), BreakerState::Open);
+        assert_eq!(breakers[1].state(&node_key(2)), BreakerState::Open);
+        // The healthy pair still trusts each other.
+        assert_eq!(gossip.view(0, 1), PeerState::Alive);
+        assert_eq!(breakers[0].state(&node_key(1)), BreakerState::Closed);
+    }
+
+    #[test]
+    fn asymmetric_partition_is_dead_only_in_the_blinded_view() {
+        use crate::net::BlockedWindow;
+        let fault = NetFaultConfig {
+            blocked: vec![BlockedWindow { src: 0, dst: 2, from: 0, until: None }],
+            ..NetFaultConfig::quiet(0)
+        };
+        let (mut gossip, net, breakers, clock) = setup(fault);
+        let trace = TraceHandle::disabled();
+        for _ in 0..4 {
+            gossip.tick(&net, &refs(&breakers), &clock, &trace);
+        }
+        assert_eq!(gossip.view(0, 2), PeerState::Dead, "0 cannot reach 2");
+        assert_eq!(gossip.view(1, 2), PeerState::Alive, "1 still reaches 2");
+        // Round-trip detection blinds *both* endpoints of the broken
+        // direction (2's pings to 0 deliver but the 0→2 ack leg cannot),
+        // while every third-party view keeps both nodes alive.
+        assert_eq!(gossip.view(2, 0), PeerState::Dead, "2 loses its acks from 0");
+        assert_eq!(gossip.view(1, 0), PeerState::Alive);
+        assert_eq!(gossip.view(2, 1), PeerState::Alive);
+        assert_eq!(breakers[0].state(&node_key(2)), BreakerState::Open);
+        assert_eq!(breakers[1].state(&node_key(2)), BreakerState::Closed);
+    }
+
+    #[test]
+    fn heal_revives_the_peer_and_closes_the_breaker_after_cooldown() {
+        let fault = NetFaultConfig {
+            crashes: vec![CrashWindow { node: 1, down_from: 0, up_at: Some(10_000_000) }],
+            ..NetFaultConfig::quiet(0)
+        };
+        let (mut gossip, net, breakers, clock) = setup(fault);
+        let trace = TraceHandle::disabled();
+        for _ in 0..4 {
+            gossip.tick(&net, &refs(&breakers), &clock, &trace);
+        }
+        assert_eq!(gossip.view(0, 1), PeerState::Dead);
+        // Heal: advance past the crash window *and* the breaker cooldown.
+        clock.advance(Duration::from_millis(11));
+        gossip.tick(&net, &refs(&breakers), &clock, &trace);
+        assert_eq!(gossip.view(0, 1), PeerState::Alive, "round trip revives instantly");
+        assert_eq!(
+            breakers[0].state(&node_key(1)),
+            BreakerState::Closed,
+            "probe path must close the breaker once the cooldown has elapsed"
+        );
+        assert_eq!(breakers[0].closed_total(), 1);
+    }
+
+    #[test]
+    fn asymmetric_partition_of_the_reverse_leg_also_blinds_the_observer() {
+        // Blocking 2→0 kills 0's *round trips* to 2 (the ack leg), so 0
+        // still declares 2 dead even though its own sends deliver.
+        use crate::net::BlockedWindow;
+        let fault = NetFaultConfig {
+            blocked: vec![BlockedWindow { src: 2, dst: 0, from: 0, until: None }],
+            ..NetFaultConfig::quiet(0)
+        };
+        let (mut gossip, net, breakers, clock) = setup(fault);
+        for _ in 0..4 {
+            gossip.tick(&net, &refs(&breakers), &clock, &TraceHandle::disabled());
+        }
+        assert_eq!(gossip.view(0, 2), PeerState::Dead);
+        assert_eq!(gossip.view(1, 2), PeerState::Alive);
+    }
+}

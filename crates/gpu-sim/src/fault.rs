@@ -284,6 +284,25 @@ pub fn derive_device_seed(pool_seed: u64, device_index: u64) -> u64 {
     splitmix64(pool_seed ^ splitmix64(device_index.wrapping_mul(0xA076_1D64_78BD_642F) ^ 0xDE71CE))
 }
 
+/// Derives the pool seed for one node of a multi-node cluster as a **pure
+/// function** of `(cluster_seed, node_index)` — the node-level analogue of
+/// [`derive_device_seed`]. Layered together,
+/// `derive_device_seed(derive_node_seed(cluster, node), device)` makes every
+/// device's fault schedule a pure function of `(cluster seed, node id,
+/// device id)`: a node that crashes and restarts rebuilds the exact same
+/// per-device plans, and no two devices anywhere in the cluster share a
+/// schedule.
+///
+/// The mixing constant differs from the device layer's so that
+/// `derive_node_seed(s, i) != derive_device_seed(s, i)` — node `i`'s pool
+/// seed never collides with device `i`'s plan seed under the same parent.
+#[inline]
+pub fn derive_node_seed(cluster_seed: u64, node_index: u64) -> u64 {
+    splitmix64(
+        cluster_seed ^ splitmix64(node_index.wrapping_mul(0x8CB9_2BA7_2F3D_8DD7) ^ 0xC1A5_7E12),
+    )
+}
+
 impl FaultConfig {
     /// This configuration re-keyed for device `device_index` of a pool
     /// seeded with `pool_seed`: every rate and knob is kept, only the seed

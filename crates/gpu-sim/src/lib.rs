@@ -79,7 +79,8 @@ pub use exec::block::{BlockCtx, ThreadCtx};
 pub use exec::grid::{GridKernel, LaunchReport, Launcher};
 pub use exec::shadow::{ShadowAccess, ShadowLog, ShadowOp, ShadowSpace, ShadowStep};
 pub use fault::{
-    derive_device_seed, FailKind, FaultConfig, FaultPlan, FaultStats, InjectedFault, LaunchDecision,
+    derive_device_seed, derive_node_seed, FailKind, FaultConfig, FaultPlan, FaultStats,
+    InjectedFault, LaunchDecision,
 };
 pub use memory::global::{GlobalArray, GlobalMem};
 pub use memory::shared::{Shared, SharedMem};

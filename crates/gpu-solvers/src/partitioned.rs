@@ -374,10 +374,25 @@ impl<T: Real> InterfaceSystem<T> {
     /// Largest padded interface size the PCR kernel can take on `device`
     /// (one block: `padded` threads, five shared arrays).
     pub fn max_padded_rows(bytes_per_elem: usize, device: &gpu_sim::DeviceConfig) -> usize {
-        let by_threads = device.max_threads_per_block;
-        let by_shared = device.shared_mem_per_sm / (5 * bytes_per_elem);
-        by_threads.min(by_shared).next_power_of_two() / 2 * 2 // round down to pow2
+        let limit = by_threads_and_shared(bytes_per_elem, device);
+        // Round DOWN to a power of two: an interface assembled right at the
+        // cap pads to `next_power_of_two(rows)`, so a non-pow2 cap (e.g.
+        // f64 on 16 KiB shared: 409 rows) must not round up past what the
+        // kernel can actually hold.
+        let up = limit.next_power_of_two();
+        if up > limit {
+            up / 2
+        } else {
+            up
+        }
     }
+}
+
+/// Raw (un-rounded) one-block capacity: threads and five shared arrays.
+fn by_threads_and_shared(bytes_per_elem: usize, device: &gpu_sim::DeviceConfig) -> usize {
+    let by_threads = device.max_threads_per_block;
+    let by_shared = device.shared_mem_per_sm / (5 * bytes_per_elem);
+    by_threads.min(by_shared)
 }
 
 /// Simulated timings of one partitioned solve, phase by phase. Multi-device

@@ -147,6 +147,80 @@ pub enum TraceEvent {
         /// planned one.
         degraded: bool,
     },
+    /// The cluster router picked a node for a size class (consistent hash
+    /// of the plan-cache key, skipping nodes gossip marked dead).
+    RouteNode {
+        /// Decision tick.
+        at: Tick,
+        /// Size class routed.
+        n: u64,
+        /// Node chosen.
+        node: u64,
+    },
+    /// An RPC left a node over the simulated network.
+    RpcSend {
+        /// Decision tick.
+        at: Tick,
+        /// Sending node.
+        src: u64,
+        /// Receiving node.
+        dst: u64,
+        /// Payload size charged to the link model.
+        bytes: u64,
+    },
+    /// An RPC missed its per-link deadline (dropped, partitioned, or the
+    /// latency spike exceeded the budget).
+    RpcTimeout {
+        /// Decision tick (the deadline).
+        at: Tick,
+        /// Sending node.
+        src: u64,
+        /// Receiving node.
+        dst: u64,
+    },
+    /// A timed-out RPC is being retried (after backoff) or hedged.
+    RpcRetry {
+        /// Decision tick (after the backoff).
+        at: Tick,
+        /// Sending node.
+        src: u64,
+        /// Receiving node.
+        dst: u64,
+        /// 1-based attempt index across the retry budget.
+        attempt: u64,
+    },
+    /// Gossip moved a peer to *suspect* in one observer's view (missed
+    /// heartbeats, not yet confirmed dead).
+    GossipSuspect {
+        /// Decision tick.
+        at: Tick,
+        /// Node whose view changed.
+        observer: u64,
+        /// Peer under suspicion.
+        subject: u64,
+    },
+    /// Gossip confirmed a peer *dead* in one observer's view; the
+    /// observer's breaker for that peer trips.
+    GossipDead {
+        /// Decision tick.
+        at: Tick,
+        /// Node whose view changed.
+        observer: u64,
+        /// Peer declared dead.
+        subject: u64,
+    },
+    /// The coordinator solved a cluster interface system (the small
+    /// tridiagonal system coupling the per-node reductions).
+    InterfaceSolve {
+        /// Decision tick.
+        at: Tick,
+        /// Global system size the interface couples.
+        n: u64,
+        /// Interface rows (2 × total chunks).
+        rows: u64,
+        /// Node that ran the interface solve.
+        node: u64,
+    },
 }
 
 impl TraceEvent {
@@ -161,7 +235,14 @@ impl TraceEvent {
             | TraceEvent::Fault { at, .. }
             | TraceEvent::Breaker { at, .. }
             | TraceEvent::Steal { at, .. }
-            | TraceEvent::Served { at, .. } => *at,
+            | TraceEvent::Served { at, .. }
+            | TraceEvent::RouteNode { at, .. }
+            | TraceEvent::RpcSend { at, .. }
+            | TraceEvent::RpcTimeout { at, .. }
+            | TraceEvent::RpcRetry { at, .. }
+            | TraceEvent::GossipSuspect { at, .. }
+            | TraceEvent::GossipDead { at, .. }
+            | TraceEvent::InterfaceSolve { at, .. } => *at,
         }
     }
 
@@ -177,6 +258,13 @@ impl TraceEvent {
             TraceEvent::Breaker { .. } => "breaker",
             TraceEvent::Steal { .. } => "steal",
             TraceEvent::Served { .. } => "served",
+            TraceEvent::RouteNode { .. } => "route-node",
+            TraceEvent::RpcSend { .. } => "rpc-send",
+            TraceEvent::RpcTimeout { .. } => "rpc-timeout",
+            TraceEvent::RpcRetry { .. } => "rpc-retry",
+            TraceEvent::GossipSuspect { .. } => "gossip-suspect",
+            TraceEvent::GossipDead { .. } => "gossip-dead",
+            TraceEvent::InterfaceSolve { .. } => "interface-solve",
         }
     }
 }

@@ -201,6 +201,16 @@ mod tag {
     pub const BREAKER: u8 = 6;
     pub const STEAL: u8 = 7;
     pub const SERVED: u8 = 8;
+    // Cluster events (PR 8). Tags 0..8 predate the cluster tier and are
+    // frozen: pre-cluster traces must keep decoding byte-identically, so
+    // new variants only ever append tags.
+    pub const ROUTE_NODE: u8 = 9;
+    pub const RPC_SEND: u8 = 10;
+    pub const RPC_TIMEOUT: u8 = 11;
+    pub const RPC_RETRY: u8 = 12;
+    pub const GOSSIP_SUSPECT: u8 = 13;
+    pub const GOSSIP_DEAD: u8 = 14;
+    pub const INTERFACE_SOLVE: u8 = 15;
 }
 
 fn flush_reason_byte(r: FlushReason) -> u8 {
@@ -320,6 +330,51 @@ pub fn encode_event(event: &TraceEvent, out: &mut Vec<u8>) {
             put_u64(out, *repairs);
             put_bool(out, *degraded);
         }
+        TraceEvent::RouteNode { at, n, node } => {
+            out.push(tag::ROUTE_NODE);
+            put_u64(out, *at);
+            put_u64(out, *n);
+            put_u64(out, *node);
+        }
+        TraceEvent::RpcSend { at, src, dst, bytes } => {
+            out.push(tag::RPC_SEND);
+            put_u64(out, *at);
+            put_u64(out, *src);
+            put_u64(out, *dst);
+            put_u64(out, *bytes);
+        }
+        TraceEvent::RpcTimeout { at, src, dst } => {
+            out.push(tag::RPC_TIMEOUT);
+            put_u64(out, *at);
+            put_u64(out, *src);
+            put_u64(out, *dst);
+        }
+        TraceEvent::RpcRetry { at, src, dst, attempt } => {
+            out.push(tag::RPC_RETRY);
+            put_u64(out, *at);
+            put_u64(out, *src);
+            put_u64(out, *dst);
+            put_u64(out, *attempt);
+        }
+        TraceEvent::GossipSuspect { at, observer, subject } => {
+            out.push(tag::GOSSIP_SUSPECT);
+            put_u64(out, *at);
+            put_u64(out, *observer);
+            put_u64(out, *subject);
+        }
+        TraceEvent::GossipDead { at, observer, subject } => {
+            out.push(tag::GOSSIP_DEAD);
+            put_u64(out, *at);
+            put_u64(out, *observer);
+            put_u64(out, *subject);
+        }
+        TraceEvent::InterfaceSolve { at, n, rows, node } => {
+            out.push(tag::INTERFACE_SOLVE);
+            put_u64(out, *at);
+            put_u64(out, *n);
+            put_u64(out, *rows);
+            put_u64(out, *node);
+        }
     }
 }
 
@@ -378,6 +433,31 @@ pub fn decode_event(r: &mut Reader<'_>) -> Result<TraceEvent, CodecError> {
                 degraded: r.bool()?,
             })
         }
+        tag::ROUTE_NODE => Ok(TraceEvent::RouteNode { at: r.u64()?, n: r.u64()?, node: r.u64()? }),
+        tag::RPC_SEND => {
+            Ok(TraceEvent::RpcSend { at: r.u64()?, src: r.u64()?, dst: r.u64()?, bytes: r.u64()? })
+        }
+        tag::RPC_TIMEOUT => {
+            Ok(TraceEvent::RpcTimeout { at: r.u64()?, src: r.u64()?, dst: r.u64()? })
+        }
+        tag::RPC_RETRY => Ok(TraceEvent::RpcRetry {
+            at: r.u64()?,
+            src: r.u64()?,
+            dst: r.u64()?,
+            attempt: r.u64()?,
+        }),
+        tag::GOSSIP_SUSPECT => {
+            Ok(TraceEvent::GossipSuspect { at: r.u64()?, observer: r.u64()?, subject: r.u64()? })
+        }
+        tag::GOSSIP_DEAD => {
+            Ok(TraceEvent::GossipDead { at: r.u64()?, observer: r.u64()?, subject: r.u64()? })
+        }
+        tag::INTERFACE_SOLVE => Ok(TraceEvent::InterfaceSolve {
+            at: r.u64()?,
+            n: r.u64()?,
+            rows: r.u64()?,
+            node: r.u64()?,
+        }),
         other => Err(CodecError::BadTag { offset: tag_offset, tag: other }),
     }
 }
@@ -455,6 +535,13 @@ mod tests {
                 repairs: 3,
                 degraded: true,
             },
+            TraceEvent::RouteNode { at: 11, n: 256, node: 3 },
+            TraceEvent::RpcSend { at: 12, src: 0, dst: 3, bytes: 4096 },
+            TraceEvent::RpcTimeout { at: 13, src: 0, dst: 3 },
+            TraceEvent::RpcRetry { at: 14, src: 0, dst: 3, attempt: 2 },
+            TraceEvent::GossipSuspect { at: 15, observer: 1, subject: 3 },
+            TraceEvent::GossipDead { at: 16, observer: 1, subject: 3 },
+            TraceEvent::InterfaceSolve { at: 17, n: 1 << 22, rows: 64, node: 0 },
         ];
         let mut buf = Vec::new();
         encode_events(&events, &mut buf);
@@ -480,6 +567,59 @@ mod tests {
         for cut in 0..buf.len() {
             let mut r = Reader::new(&buf[..cut]);
             assert!(decode_event(&mut r).is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn pre_cluster_encodings_are_frozen() {
+        // Decode-compatibility guard for the cluster taxonomy extension:
+        // every pre-cluster variant (tags 0..=8) must keep the exact byte
+        // encoding it had before tags 9..=15 existed, so traces captured by
+        // earlier builds still replay bit-identically. These byte vectors
+        // are pinned by hand from the frozen format — do not regenerate
+        // them from the encoder.
+        let golden: Vec<(TraceEvent, Vec<u8>)> = vec![
+            (TraceEvent::Admit { at: 1, id: 2, n: 64 }, vec![0, 1, 2, 64]),
+            (
+                TraceEvent::Reject { at: 3, n: 0, reason: RejectReason::DeadlinePast },
+                vec![1, 3, 0, 3],
+            ),
+            (
+                TraceEvent::Flush { at: 4, n: 128, occupancy: 8, reason: FlushReason::Linger },
+                vec![2, 4, 0x80, 0x01, 8, 1],
+            ),
+            (
+                TraceEvent::Plan { at: 5, n: 64, occupancy: 8, engine: "pcr".into() },
+                vec![3, 5, 64, 8, 3, b'p', b'c', b'r'],
+            ),
+            (TraceEvent::Retry { at: 6, attempt: 2 }, vec![4, 6, 2]),
+            (TraceEvent::Fault { at: 7, lost: true }, vec![5, 7, 1]),
+            (
+                TraceEvent::Breaker { at: 8, key: "d".into(), to: BreakerState::Open },
+                vec![6, 8, 1, b'd', 1],
+            ),
+            (TraceEvent::Steal { at: 9, from: 1, to: 0 }, vec![7, 9, 1, 0]),
+            (
+                TraceEvent::Served {
+                    at: 10,
+                    n: 64,
+                    occupancy: 2,
+                    engine: "pcr".into(),
+                    reason: FlushReason::Full,
+                    engine_ns: 5,
+                    repairs: 0,
+                    degraded: false,
+                },
+                vec![8, 10, 64, 2, 3, b'p', b'c', b'r', 0, 5, 0, 0],
+            ),
+        ];
+        for (event, bytes) in &golden {
+            let mut buf = Vec::new();
+            encode_event(event, &mut buf);
+            assert_eq!(&buf, bytes, "encoding drifted for {}", event.kind());
+            let mut r = Reader::new(bytes);
+            assert_eq!(&decode_event(&mut r).unwrap(), event, "decode drifted");
+            assert!(r.is_empty());
         }
     }
 

@@ -362,11 +362,13 @@ fn pool_survives_one_device_dying_mid_stream() {
         max_linger: Duration::from_millis(1),
         pin_engine: Some(Engine::Gpu(GpuAlgorithm::CrPcr { m: 32 })),
         pool: Some(pool_cfg),
-        // Deliberately the *real* clock: this test's pacing is condition-
-        // polled ("has device 2 tripped yet?"), which depends on worker
-        // threads getting real scheduler time — a virtual advance can't
-        // substitute for that, and the test has no deadline-based sleeps
-        // to de-flake.
+        // Sim clock: the pacing loop below still condition-polls ("has
+        // device 2 tripped yet?") with short *real* sleeps so worker
+        // threads get scheduler time, but every linger deadline and
+        // backpressure hint is funded by virtual advances — the test's
+        // duration is solver work, not wall timers, and the flush
+        // schedule replays identically across hosts.
+        clock: Clock::sim(),
         ..ServiceConfig::default()
     };
     let service: SolverService<f32> = SolverService::start(config);
@@ -396,7 +398,10 @@ fn pool_survives_one_device_dying_mid_stream() {
         if service.metrics().devices.iter().any(|d| d.id == DEAD && d.lost) {
             break;
         }
-        std::thread::sleep(Duration::from_millis(2));
+        // Fund any pending linger deadline virtually, then yield real
+        // scheduler time so the parked workers actually serve the flush.
+        service.clock().advance(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_micros(200));
     }
     for i in submitted..TOTAL {
         submit_one(i, &mut tickets, &mut systems);
@@ -406,7 +411,7 @@ fn pool_survives_one_device_dying_mid_stream() {
     // callers except as latency.
     for ticket in tickets {
         let id = ticket.id();
-        let response = ticket.wait();
+        let response = wait_pumping(&service, ticket);
         let system = systems.remove(&id).expect("response for unknown id");
         let recomputed = l2_residual(&system, &response.x).expect("finite solution");
         assert!(
