@@ -13,6 +13,7 @@
 //! cargo run --release -p bench -- loadlab --quick     # load-lab SLO gate
 //! cargo run --release -p bench -- prove --quick       # symbolic proof gate
 //! cargo run --release -p bench -- cluster --quick     # multi-node cluster gate
+//! cargo run --release -p bench -- factor --quick      # factor-cache warm gate
 //! ```
 //!
 //! Every gate shares one flag grammar (`--quick`, `--json`, whitelisted
@@ -68,6 +69,13 @@ fn main() {
     // partition-heal failover cell, and two-level solves vs CPU GEP.
     if args.first().map(String::as_str) == Some("cluster") {
         std::process::exit(bench::cluster::run(&args[1..]));
+    }
+
+    // The factor gate runs the cold-vs-warm factorization-cache sweep:
+    // non-zero exit iff the warm speedup or hit rate drops below the
+    // checked-in floors or any answer escapes verification.
+    if args.first().map(String::as_str) == Some("factor") {
+        std::process::exit(bench::factor::run(&args[1..]));
     }
 
     let all = figures::all();

@@ -13,6 +13,7 @@
 pub mod chaos;
 pub mod cli;
 pub mod cluster;
+pub mod factor;
 pub mod figures;
 pub mod loadlab;
 pub mod pool;

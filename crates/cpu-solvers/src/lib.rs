@@ -18,6 +18,7 @@ pub mod batch_soa;
 pub mod block_thomas;
 pub mod condest;
 pub mod cyclic;
+pub mod factored;
 pub mod gep;
 pub mod mt;
 pub mod partition;
@@ -27,5 +28,6 @@ pub mod thomas;
 pub use batch::{solve_batch_seq, Gep, SystemSolver, Thomas};
 pub use batch_soa::solve_batch_soa;
 pub use condest::{condition_estimate, inverse_norm1_estimate, norm1};
+pub use factored::ThomasFactors;
 pub use mt::{MtSolver, Schedule};
 pub use reference::rd::RdVariant;

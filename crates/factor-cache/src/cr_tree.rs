@@ -1,0 +1,207 @@
+//! Cyclic-reduction reduction tree: the CR elimination multipliers,
+//! precomputed once per matrix.
+//!
+//! Forward CR updates every level's active equations with two multipliers
+//! `k1 = a_i / b_{i-h}` and `k2 = c_i / b_{i+h}` that depend only on
+//! `(a, b, c)` — exactly like the Thomas `wk1`/`wk2` coefficients, the
+//! whole reduction tree can be computed ahead of time. A warm solve then
+//! applies the stored multipliers to `d` level by level (two multiply-subs
+//! per active row), seeds the final 2×2 system, and back-substitutes with
+//! the stored reduced coefficients and reciprocal pivots — no divisions,
+//! `O(5n)` total, mirroring `cpu_solvers::reference::cr` step for step so
+//! the warm answer agrees with a fresh CR solve to rounding.
+
+use cpu_solvers::reference::cr::CrState;
+use tridiag_core::{require_pow2, Real, Result};
+
+/// Precomputed CR reduction tree for one matrix (power-of-two `n`).
+#[derive(Debug, Clone)]
+pub struct CrReductionTree<T: Real> {
+    /// Per-level elimination multipliers, flattened level-major: level `ℓ`
+    /// holds one `(k1, k2)` pair per active row (`k2 = 0` for the
+    /// boundary row with no right neighbour).
+    multipliers: Vec<(T, T)>,
+    /// Start offset of each level in `multipliers`.
+    level_offsets: Vec<usize>,
+    /// Fully reduced coefficients (each position at its deepest level).
+    state: CrState<T>,
+    /// Reciprocal pivots `1 / b_i` of the reduced state.
+    rb: Vec<T>,
+    /// Reciprocal determinant of the final 2×2 system.
+    rdet: T,
+}
+
+impl<T: Real> CrReductionTree<T> {
+    /// Builds the tree by running the reference CR forward reduction on
+    /// `(a, b, c)` with a zero right-hand side, recording the multipliers.
+    ///
+    /// # Errors
+    /// Non-power-of-two sizes (CR's admission rule); a zero pivot or a
+    /// singular final 2×2 block surfaces as a non-finite tree, rejected by
+    /// [`CrReductionTree::is_finite`] consumers.
+    pub fn build(a: &[T], b: &[T], c: &[T]) -> Result<Self> {
+        let n = b.len();
+        require_pow2(n, 2)?;
+        let d = vec![T::ZERO; n];
+        let mut st = CrState::new(a, b, c, &d);
+        let levels = n.trailing_zeros() - 1;
+        let mut multipliers = Vec::new();
+        let mut level_offsets = Vec::with_capacity(levels as usize);
+        for _ in 0..levels {
+            level_offsets.push(multipliers.len());
+            // Record this level's multipliers before applying it: they are
+            // functions of the *previous* level's coefficients.
+            let stride = st.stride();
+            let half = stride / 2;
+            let mut i = stride - 1;
+            while i < n {
+                let k1 = st.a[i] / st.b[i - half];
+                let k2 = if i + half < n { st.c[i] / st.b[i + half] } else { T::ZERO };
+                multipliers.push((k1, k2));
+                i += stride;
+            }
+            st.forward_level();
+        }
+        let i1 = n / 2 - 1;
+        let i2 = n - 1;
+        let det = st.b[i1] * st.b[i2] - st.c[i1] * st.a[i2];
+        let rdet = T::ONE / det;
+        let rb = st.b.iter().map(|&bi| T::ONE / bi).collect();
+        Ok(CrReductionTree { multipliers, level_offsets, state: st, rb, rdet })
+    }
+
+    /// System size.
+    pub fn n(&self) -> usize {
+        self.state.n()
+    }
+
+    /// Heap bytes this tree occupies (cache accounting): the multiplier
+    /// pairs, the four reduced-state arrays and the reciprocal pivots.
+    pub fn bytes(&self) -> usize {
+        (2 * self.multipliers.len() + 5 * self.n()) * T::BYTES
+    }
+
+    /// `true` when every stored coefficient is finite (a zero pivot during
+    /// the build shows up here, not as an error).
+    pub fn is_finite(&self) -> bool {
+        self.rdet.is_finite()
+            && self.multipliers.iter().all(|(k1, k2)| k1.is_finite() && k2.is_finite())
+            && self.rb.iter().all(|v| v.is_finite())
+    }
+
+    /// Solves `A x = d` by applying the stored reduction tree: forward
+    /// `d`-reduction with the cached multipliers, the cached 2×2 seed,
+    /// then the reference backward substitution.
+    pub fn solve_into(&self, d: &[T], x: &mut [T]) {
+        let n = self.n();
+        debug_assert!(d.len() == n && x.len() == n);
+        // x doubles as the d workspace: positions are read exactly once,
+        // at the level that solves them, before being overwritten.
+        x.copy_from_slice(d);
+        let levels = self.level_offsets.len();
+        for level in 0..levels {
+            let stride = 1usize << (level + 1);
+            let half = stride / 2;
+            let mut i = stride - 1;
+            let mut m = self.level_offsets[level];
+            while i < n {
+                let (k1, k2) = self.multipliers[m];
+                let mut v = x[i] - x[i - half] * k1;
+                if i + half < n {
+                    v -= x[i + half] * k2;
+                }
+                x[i] = v;
+                i += stride;
+                m += 1;
+            }
+        }
+        let st = &self.state;
+        let i1 = n / 2 - 1;
+        let i2 = n - 1;
+        let (d1, d2) = (x[i1], x[i2]);
+        x[i1] = (d1 * st.b[i2] - st.c[i1] * d2) * self.rdet;
+        x[i2] = (st.b[i1] * d2 - d1 * st.a[i2]) * self.rdet;
+        for level in (0..levels as u32).rev() {
+            self.backward_level_warm(level, x);
+        }
+    }
+
+    /// Warm backward substitution: the reference recurrence with the
+    /// division replaced by the cached reciprocal pivot.
+    fn backward_level_warm(&self, level: u32, x: &mut [T]) {
+        let st = &self.state;
+        let n = st.n();
+        let stride = 1usize << (level + 1);
+        let half = stride / 2;
+        let mut i = half - 1;
+        while i < n {
+            let right = x[i + half];
+            let v = if i >= half {
+                (x[i] - st.a[i] * x[i - half] - st.c[i] * right) * self.rb[i]
+            } else {
+                (x[i] - st.c[i] * right) * self.rb[i]
+            };
+            x[i] = v;
+            i += stride;
+        }
+    }
+
+    /// Convenience wrapper returning a fresh solution vector.
+    pub fn solve(&self, d: &[T]) -> Vec<T> {
+        let mut x = vec![T::ZERO; self.n()];
+        self.solve_into(d, &mut x);
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tridiag_core::residual::l2_residual;
+    use tridiag_core::{Generator, TridiagonalSystem, Workload};
+
+    #[test]
+    fn warm_cr_matches_fresh_reference_cr() {
+        let mut g = Generator::new(21);
+        for n in [2usize, 4, 16, 64, 256, 1024] {
+            let s: TridiagonalSystem<f64> = g.system(Workload::DiagonallyDominant, n);
+            let tree = CrReductionTree::build(&s.a, &s.b, &s.c).unwrap();
+            assert!(tree.is_finite());
+            let warm = tree.solve(&s.d);
+            assert!(l2_residual(&s, &warm).unwrap() < 1e-9, "n={n}");
+            let mut fresh = vec![0.0; n];
+            cpu_solvers::reference::cr::solve_into(&s.a, &s.b, &s.c, &s.d, &mut fresh).unwrap();
+            for i in 0..n {
+                assert!((warm[i] - fresh[i]).abs() < 1e-9, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_is_reusable_across_rhs() {
+        let mut g = Generator::new(8);
+        let s: TridiagonalSystem<f32> = g.system(Workload::Poisson, 128);
+        let tree = CrReductionTree::build(&s.a, &s.b, &s.c).unwrap();
+        for k in 0..6 {
+            let d: Vec<f32> = (0..128).map(|i| ((i * 31 + k * 11) % 23) as f32 - 11.0).collect();
+            let x = tree.solve(&d);
+            let probe = TridiagonalSystem::new(s.a.clone(), s.b.clone(), s.c.clone(), d).unwrap();
+            assert!(l2_residual(&probe, &x).unwrap() < 1e-2, "rhs {k}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_pow2() {
+        let s = TridiagonalSystem::<f64>::toeplitz(6, -1.0, 4.0, -1.0, 1.0).unwrap();
+        assert!(CrReductionTree::build(&s.a, &s.b, &s.c).is_err());
+    }
+
+    #[test]
+    fn accounting_is_sane() {
+        let mut g = Generator::new(4);
+        let s: TridiagonalSystem<f64> = g.system(Workload::DiagonallyDominant, 64);
+        let tree = CrReductionTree::build(&s.a, &s.b, &s.c).unwrap();
+        assert_eq!(tree.n(), 64);
+        assert!(tree.bytes() > 5 * 64 * 8);
+    }
+}

@@ -42,6 +42,7 @@ pub mod refine;
 pub mod robust;
 pub mod solver;
 pub mod verify;
+pub mod warm;
 
 pub use block_cr::{solve_block_batch, BlockCrKernel, BlockSolveReport, BlockSystemHandles};
 pub use coarse::{solve_batch_coarse, ThomasPerThreadKernel};
@@ -65,3 +66,4 @@ pub use solver::{solve_batch, GpuAlgorithm, GpuSolveReport, ParseGpuAlgorithmErr
 pub use verify::{
     block_instance, fixture_instance, solver_instance, verify_family, VerifyInstance, FIXTURE_NAMES,
 };
+pub use warm::{solve_batch_warm, ThomasWarmKernel, WarmGpuReport};

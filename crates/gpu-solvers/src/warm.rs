@@ -1,0 +1,272 @@
+//! Warm-path batched solve: **back-substitution only**, consuming a
+//! precomputed Thomas factorization.
+//!
+//! The cold per-thread kernel ([`crate::coarse`]) eliminates and
+//! substitutes; this kernel skips elimination entirely. The factor arrays
+//! (`wk1` reciprocal pivots, `wk2` swept super-diagonal, `sub`
+//! sub-diagonal — see [`cpu_solvers::ThomasFactors`]) describe one matrix
+//! shared by *every* system in the batch, so they are uploaded once as
+//! plain length-`n` arrays and read as warp broadcasts; only the
+//! right-hand sides are per-system (interleaved, coalesced).
+//!
+//! Per row that leaves one `d'` multiply-add-multiply and one
+//! back-substitution multiply-subtract — the `5n` warm flops versus the
+//! cold `8n`, with no divisions — and the PCIe bill drops from five
+//! arrays to two (`d` up, `x` down).
+
+use gpu_sim::{
+    BlockCtx, Diagnostic, GlobalArray, GlobalMem, GridKernel, InjectedFault, KernelStats, Launcher,
+    Phase, TimingReport,
+};
+use tridiag_core::{Real, Result, SolutionBatch, TridiagError};
+
+/// Threads per block (matches the coarse kernel: many small blocks keep
+/// the latency-bound chains overlapped).
+const BLOCK_DIM: usize = 64;
+
+/// One-thread-per-system warm Thomas kernel: shared factor arrays,
+/// interleaved right-hand sides.
+#[derive(Debug, Clone, Copy)]
+pub struct ThomasWarmKernel<T> {
+    /// System size.
+    pub n: usize,
+    /// Number of right-hand sides.
+    pub count: usize,
+    /// Sub-diagonal of the factored matrix (length `n`, shared).
+    pub sub: GlobalArray<T>,
+    /// Reciprocal pivots (length `n`, shared).
+    pub wk1: GlobalArray<T>,
+    /// Swept super-diagonal (length `n`, shared).
+    pub wk2: GlobalArray<T>,
+    /// Right-hand sides (interleaved: element `i` of system `s` at
+    /// `i * count + s`).
+    pub d: GlobalArray<T>,
+    /// Solutions (interleaved).
+    pub x: GlobalArray<T>,
+}
+
+impl<T: Real> GridKernel<T> for ThomasWarmKernel<T> {
+    fn block_dim(&self) -> usize {
+        BLOCK_DIM.min(self.count)
+    }
+
+    fn shared_words(&self) -> usize {
+        0
+    }
+
+    fn run_block(&self, block_id: usize, ctx: &mut BlockCtx<'_, T>) {
+        let count = self.count;
+        let n = self.n;
+        let dim = self.block_dim();
+        let systems_here = dim.min(count - block_id * dim);
+        let k = *self;
+        // One superstep, no barriers: each thread owns one RHS column.
+        ctx.step(Phase::Other("thomas warm back-substitution"), 0..systems_here, |t| {
+            let s = block_id * dim + t.tid();
+            let at = |i: usize| i * count + s;
+            // Forward d' sweep straight into x. The factor loads hit the
+            // same address across the warp (broadcast); the recurrence on
+            // the register dp is the dependent chain.
+            let d0 = t.load_global_dependent(k.d, at(0));
+            let w0 = t.load_global(k.wk1, 0);
+            let mut dp = t.mul(d0, w0);
+            t.store_global(k.x, at(0), dp);
+            for i in 1..n {
+                let di = t.load_global_dependent(k.d, at(i));
+                let si = t.load_global(k.sub, i);
+                let wi = t.load_global(k.wk1, i);
+                let p = t.mul(si, dp);
+                let num = t.sub(di, p);
+                dp = t.mul(num, wi);
+                t.store_global(k.x, at(i), dp);
+            }
+            // Backward substitution — the second dependent chain.
+            let mut x_next = dp;
+            for i in (0..n - 1).rev() {
+                let w2 = t.load_global_dependent(k.wk2, i);
+                let xi = t.load_global(k.x, at(i));
+                let p = t.mul(w2, x_next);
+                x_next = t.sub(xi, p);
+                t.store_global(k.x, at(i), x_next);
+            }
+        });
+    }
+}
+
+/// Result of a warm batched solve. Unlike [`crate::solver::GpuSolveReport`]
+/// this carries no `GpuAlgorithm`: the warm kernel is not an autotune
+/// candidate — it is only reachable through a cached factorization.
+#[derive(Debug, Clone)]
+pub struct WarmGpuReport<T: Real> {
+    /// Solutions, one per right-hand side.
+    pub solutions: SolutionBatch<T>,
+    /// Per-block instrumentation of the representative block.
+    pub stats: KernelStats,
+    /// Simulated timing; `transfer_ms` prices only `d` up and `x` down —
+    /// the factors live on-device for the lifetime of the cache entry.
+    pub timing: TimingReport,
+    /// Sanitizer findings (empty unless the launcher's sanitize mode is on).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Faults injected by the launcher's fault plan, if any.
+    pub injected_faults: Vec<InjectedFault>,
+}
+
+/// Solves `count` right-hand sides against one factored matrix on the
+/// simulated GPU. `rhs` holds the systems' `d` vectors, each of length
+/// `factors.n()`.
+///
+/// # Errors
+/// Size-mismatch configuration errors; launch faults surface as
+/// [`TridiagError`] from the launcher exactly as on the cold paths.
+pub fn solve_batch_warm<T: Real>(
+    launcher: &Launcher,
+    factors: &cpu_solvers::ThomasFactors<T>,
+    rhs: &[&[T]],
+) -> Result<WarmGpuReport<T>> {
+    let n = factors.n();
+    let count = rhs.len();
+    if count == 0 {
+        return Err(TridiagError::SizeTooSmall { n: 0, min: 1 });
+    }
+    for d in rhs {
+        if d.len() != n {
+            return Err(TridiagError::DimensionMismatch { what: "rhs", expected: n, got: d.len() });
+        }
+    }
+
+    // Interleave the right-hand sides (element i of system s at i*count+s).
+    let mut d = vec![T::ZERO; n * count];
+    for (s, sys) in rhs.iter().enumerate() {
+        for i in 0..n {
+            d[i * count + s] = sys[i];
+        }
+    }
+
+    let mut gmem = GlobalMem::new();
+    let kernel = ThomasWarmKernel {
+        n,
+        count,
+        sub: gmem.upload(factors.sub.clone()),
+        wk1: gmem.upload(factors.wk1.clone()),
+        wk2: gmem.upload(factors.wk2.clone()),
+        d: gmem.upload(d),
+        x: gmem.alloc_zeroed(n * count),
+    };
+    let blocks = count.div_ceil(kernel.block_dim());
+    let report = launcher.launch(&kernel, blocks, &mut gmem)?;
+
+    // De-interleave the solutions.
+    let xi = gmem.download(kernel.x);
+    let mut x = vec![T::ZERO; n * count];
+    for s in 0..count {
+        for i in 0..n {
+            x[s * n + i] = xi[i * count + s];
+        }
+    }
+    let solutions = SolutionBatch::from_flat(n, count, x)?;
+    // Warm transfers: d up + x down only.
+    let transfer_bytes = (2 * n * count * T::BYTES) as u64;
+    let timing = report.timing.with_transfer(&launcher.cost, transfer_bytes);
+    Ok(WarmGpuReport {
+        solutions,
+        stats: report.stats,
+        timing,
+        diagnostics: report.diagnostics,
+        injected_faults: report.injected_faults,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpu_solvers::ThomasFactors;
+    use tridiag_core::residual::batch_residual;
+    use tridiag_core::{Generator, SystemBatch, TridiagonalSystem, Workload};
+
+    fn shared_matrix_batch(seed: u64, n: usize, count: usize) -> SystemBatch<f32> {
+        let mut g = Generator::new(seed);
+        let base: TridiagonalSystem<f32> = g.system(Workload::DiagonallyDominant, n);
+        let systems: Vec<TridiagonalSystem<f32>> = (0..count)
+            .map(|_| {
+                let fresh: TridiagonalSystem<f32> = g.system(Workload::DiagonallyDominant, n);
+                TridiagonalSystem::new(base.a.clone(), base.b.clone(), base.c.clone(), fresh.d)
+                    .unwrap()
+            })
+            .collect();
+        SystemBatch::from_systems(&systems).unwrap()
+    }
+
+    #[test]
+    fn warm_gpu_matches_residual_tolerance() {
+        let launcher = Launcher::gtx280();
+        let batch = shared_matrix_batch(11, 128, 37);
+        let factors =
+            ThomasFactors::factor(&batch.a[..128], &batch.b[..128], &batch.c[..128]).unwrap();
+        let rhs: Vec<&[f32]> = (0..batch.count()).map(|s| &batch.d[batch.range(s)]).collect();
+        let r = solve_batch_warm(&launcher, &factors, &rhs).unwrap();
+        let res = batch_residual(&batch, &r.solutions).unwrap();
+        assert!(!res.has_overflow());
+        assert!(res.max_l2 < 1e-3, "{}", res.max_l2);
+    }
+
+    #[test]
+    fn warm_gpu_matches_cpu_warm_exactly_in_f64() {
+        let launcher = Launcher::gtx280();
+        let mut g = Generator::new(5);
+        let base: TridiagonalSystem<f64> = g.system(Workload::DiagonallyDominant, 64);
+        let factors = ThomasFactors::factor(&base.a, &base.b, &base.c).unwrap();
+        let rhs: Vec<Vec<f64>> =
+            (0..10).map(|k| (0..64).map(|i| ((i + k) % 9) as f64 - 4.0).collect()).collect();
+        let refs: Vec<&[f64]> = rhs.iter().map(Vec::as_slice).collect();
+        let r = solve_batch_warm(&launcher, &factors, &refs).unwrap();
+        for (s, d) in rhs.iter().enumerate() {
+            assert_eq!(r.solutions.system(s), factors.solve(d), "same arithmetic order");
+        }
+    }
+
+    #[test]
+    fn warm_is_clean_under_sanitizer_enforce() {
+        let launcher = Launcher::gtx280().with_sanitize(gpu_sim::SanitizeOptions::enforce());
+        let batch = shared_matrix_batch(3, 64, 16);
+        let factors =
+            ThomasFactors::factor(&batch.a[..64], &batch.b[..64], &batch.c[..64]).unwrap();
+        let rhs: Vec<&[f32]> = (0..batch.count()).map(|s| &batch.d[batch.range(s)]).collect();
+        let r = solve_batch_warm(&launcher, &factors, &rhs).unwrap();
+        assert!(
+            r.diagnostics.iter().all(|d| d.severity != gpu_sim::Severity::Error),
+            "{:?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn warm_transfer_prices_two_arrays() {
+        let launcher = Launcher::gtx280();
+        let batch = shared_matrix_batch(7, 64, 8);
+        let factors =
+            ThomasFactors::factor(&batch.a[..64], &batch.b[..64], &batch.c[..64]).unwrap();
+        let rhs: Vec<&[f32]> = (0..batch.count()).map(|s| &batch.d[batch.range(s)]).collect();
+        let warm = solve_batch_warm(&launcher, &factors, &rhs).unwrap();
+        let cold = crate::solver::solve_batch(
+            &launcher,
+            crate::solver::GpuAlgorithm::ThomasPerThread,
+            &batch,
+        )
+        .unwrap();
+        assert!(warm.timing.transfer_ms < cold.timing.transfer_ms);
+        // Fewer loads, no divisions: the warm kernel is never slower.
+        assert!(warm.timing.kernel_ms <= cold.timing.kernel_ms);
+    }
+
+    #[test]
+    fn rhs_size_mismatch_is_rejected() {
+        let launcher = Launcher::gtx280();
+        let batch = shared_matrix_batch(7, 64, 2);
+        let factors =
+            ThomasFactors::factor(&batch.a[..64], &batch.b[..64], &batch.c[..64]).unwrap();
+        let short = vec![0.0f32; 32];
+        assert!(solve_batch_warm(&launcher, &factors, &[&short]).is_err());
+        let empty: [&[f32]; 0] = [];
+        assert!(solve_batch_warm(&launcher, &factors, &empty).is_err());
+    }
+}

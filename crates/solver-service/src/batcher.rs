@@ -105,13 +105,20 @@ impl<T: Real> Bucket<T> {
 /// Pure batching state machine: per-size buckets with target/linger flush
 /// and deadline-aware early flushing.
 ///
+/// Buckets are keyed `(n, group)` where `group` is the request's
+/// matrix-key fingerprint (0 for unkeyed requests): requests sharing a
+/// factored matrix coalesce into one flush the warm tier can serve with a
+/// single cached factorization, while unkeyed traffic — everything, when
+/// the factor cache is off — lands in `group` 0 and batches exactly as
+/// before.
+///
 /// All time is in [`Tick`]s from the service clock, and the buckets live
 /// in a `BTreeMap`: when several buckets expire on the same tick they
-/// flush in ascending size order, every run — a `HashMap` here would make
-/// the flush order (and therefore a captured decision trace) depend on
-/// the process's hash seed.
+/// flush in ascending `(size, group)` order, every run — a `HashMap` here
+/// would make the flush order (and therefore a captured decision trace)
+/// depend on the process's hash seed.
 pub struct BucketTable<T: Real> {
-    buckets: BTreeMap<usize, Bucket<T>>,
+    buckets: BTreeMap<(usize, u64), Bucket<T>>,
     target_batch: usize,
     max_linger: Tick,
     deadline_slack: Tick,
@@ -144,11 +151,13 @@ impl<T: Real> BucketTable<T> {
         self.buckets.values().map(|b| b.requests.len()).sum()
     }
 
-    /// Adds `request` to its size-class bucket; returns the batch when the
-    /// bucket reaches the target size.
+    /// Adds `request` to its `(size, matrix-group)` bucket; returns the
+    /// batch when the bucket reaches the target size.
     pub fn insert(&mut self, request: SolveRequest<T>, now: Tick) -> Option<FlushedBatch<T>> {
         let n = request.system.n();
-        let bucket = self.buckets.entry(n).or_insert_with(|| Bucket {
+        let group = request.matrix_key.map_or(0, |k| k.fingerprint());
+        let key = (n, group);
+        let bucket = self.buckets.entry(key).or_insert_with(|| Bucket {
             requests: Vec::new(),
             oldest: now,
             earliest_deadline: None,
@@ -163,7 +172,7 @@ impl<T: Real> BucketTable<T> {
         }
         bucket.requests.push(request);
         if bucket.requests.len() >= self.target_batch {
-            let bucket = self.buckets.remove(&n).expect("bucket just touched");
+            let bucket = self.buckets.remove(&key).expect("bucket just touched");
             return Some(FlushedBatch { n, requests: bucket.requests, reason: FlushReason::Full });
         }
         None
@@ -180,30 +189,29 @@ impl<T: Real> BucketTable<T> {
     /// oldest member has waited `max_linger`, or because a member deadline
     /// (minus slack) would not survive more lingering.
     pub fn flush_expired(&mut self, now: Tick) -> Vec<FlushedBatch<T>> {
-        let expired: Vec<usize> = self
+        let expired: Vec<(usize, u64)> = self
             .buckets
             .iter()
             .filter(|(_, b)| now >= b.flush_at(self.max_linger, self.deadline_slack))
-            .map(|(&n, _)| n)
+            .map(|(&key, _)| key)
             .collect();
         let mut out = Vec::with_capacity(expired.len());
-        for n in expired {
-            let bucket = self.buckets.remove(&n).expect("listed above");
+        for key in expired {
+            let bucket = self.buckets.remove(&key).expect("listed above");
             let reason = bucket.flush_reason(now, self.max_linger);
-            out.push(FlushedBatch { n, requests: bucket.requests, reason });
+            out.push(FlushedBatch { n: key.0, requests: bucket.requests, reason });
         }
         out
     }
 
     /// Flushes everything, regardless of size or age — shutdown drain.
     pub fn flush_all(&mut self) -> Vec<FlushedBatch<T>> {
-        let mut sizes: Vec<usize> = self.buckets.keys().copied().collect();
-        sizes.sort_unstable(); // deterministic drain order
-        sizes
-            .into_iter()
-            .map(|n| {
-                let bucket = self.buckets.remove(&n).expect("listed above");
-                FlushedBatch { n, requests: bucket.requests, reason: FlushReason::Shutdown }
+        let mut keys: Vec<(usize, u64)> = self.buckets.keys().copied().collect();
+        keys.sort_unstable(); // deterministic drain order
+        keys.into_iter()
+            .map(|key| {
+                let bucket = self.buckets.remove(&key).expect("listed above");
+                FlushedBatch { n: key.0, requests: bucket.requests, reason: FlushReason::Shutdown }
             })
             .collect()
     }
@@ -326,6 +334,31 @@ mod tests {
         let flushed = table.flush_expired(ms(4));
         assert_eq!(flushed.len(), 1);
         assert_eq!(flushed[0].reason, FlushReason::Deadline);
+    }
+
+    #[test]
+    fn keyed_requests_bucket_by_matrix_not_just_size() {
+        use tridiag_core::MatrixKey;
+        let mut table = BucketTable::new(2, Duration::from_millis(100));
+        let sys_a = TridiagonalSystem::<f32>::toeplitz(64, -1.0, 4.0, -1.0, 1.0).unwrap();
+        let sys_b = TridiagonalSystem::<f32>::toeplitz(64, -1.0, 5.0, -1.0, 1.0).unwrap();
+        let key_a = MatrixKey::of::<f32>(&sys_a.a, &sys_a.b, &sys_a.c);
+        let key_b = MatrixKey::of::<f32>(&sys_b.a, &sys_b.b, &sys_b.c);
+        assert_ne!(key_a.fingerprint(), key_b.fingerprint());
+        let keyed = |id, sys: &TridiagonalSystem<f32>, key| {
+            crate::request::make_request_keyed(id, sys.clone(), 0, None, Some(key)).0
+        };
+        // Same size class, different matrices: never co-batched.
+        assert!(table.insert(keyed(0, &sys_a, key_a), 0).is_none());
+        assert!(table.insert(keyed(1, &sys_b, key_b), 0).is_none());
+        let flush = table.insert(keyed(2, &sys_a, key_a), 0).expect("matrix-A bucket fills");
+        assert_eq!(flush.requests.len(), 2);
+        assert!(flush.requests.iter().all(|r| r.matrix_key == Some(key_a)));
+        // The matrix-B request still waits, and an unkeyed request lands in
+        // its own group-0 bucket rather than joining either matrix.
+        assert_eq!(table.pending(), 1);
+        assert!(table.insert(req(3, 64), 0).is_none());
+        assert_eq!(table.pending(), 2);
     }
 
     #[test]

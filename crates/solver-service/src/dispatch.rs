@@ -39,16 +39,18 @@ use crate::batcher::FlushedBatch;
 use crate::breaker::{Admission, CircuitBreakers};
 use crate::metrics::ServiceMetrics;
 use crate::planner::{CpuEngine, Engine, PlanCache};
+use crate::request::SolveRequest;
 use crate::trace::{TraceEvent, TraceHandle};
 use cpu_solvers::{gep, thomas};
 use device_pool::DevicePool;
+use factor_cache::{FactorCache, FactorEntry, SharedFactorCache};
 use gpu_sim::{tick_duration, Clock, Launcher};
 use gpu_solvers::{solve_batch_robust, GpuAlgorithm, RobustOptions};
 use kernel_verify::VerifiedCatalog;
 use std::sync::Arc;
 use std::time::Duration;
 use tridiag_core::residual::l2_residual;
-use tridiag_core::{Real, SolutionBatch, SystemBatch, TridiagError, TridiagonalSystem};
+use tridiag_core::{MatrixKey, Real, SolutionBatch, SystemBatch, TridiagError, TridiagonalSystem};
 
 /// Dispatch-time knobs (a copy of the relevant service config).
 #[derive(Debug, Clone)]
@@ -74,6 +76,13 @@ pub struct DispatchConfig {
     /// and `Violated` verdicts keep the dynamic sanitizer in charge.
     /// `None` (the default) sanitizes every first flush dynamically.
     pub verified: Option<Arc<VerifiedCatalog>>,
+    /// Factorization cache for the warm serving tier. When set, a flush
+    /// whose requests all carry the same matrix key is served from the
+    /// cached elimination coefficients — back-substitution only, no
+    /// elimination — with a miss factoring the matrix once and falling
+    /// through to the cold path. `None` (the default) disables the warm
+    /// tier entirely; every existing dispatch decision is unchanged.
+    pub factor_cache: Option<Arc<SharedFactorCache>>,
     /// How many times one engine is tried per flush before it is excluded
     /// (first attempt + retries). Transient device faults between attempts
     /// back off exponentially.
@@ -104,6 +113,7 @@ impl Default for DispatchConfig {
             pin_engine: None,
             sanitize_first_flush: true,
             verified: None,
+            factor_cache: None,
             max_attempts_per_engine: 2,
             max_total_attempts: 4,
             backoff_base: Duration::from_micros(50),
@@ -176,45 +186,94 @@ pub fn serve_flush<T: Real>(
     let occupancy = requests.len();
     debug_assert!(occupancy > 0, "empty flush");
 
-    // Pinned engine wins outright; otherwise sub-critical flushes skip
-    // planning entirely (they go to the CPU, and tuning a size class the
-    // GPU may never see would waste the tournament).
-    let engine = match cfg.pin_engine {
-        Some(engine) => engine,
-        None if occupancy < cfg.min_gpu_batch => Engine::Cpu(CpuEngine::Thomas),
-        None => plans.plan_for_on::<T>(launcher, n, cfg.probe_count, &cfg.clock).engine,
-    };
-    cfg.trace.emit(|| TraceEvent::Plan {
-        at: cfg.clock.now(),
-        n: n as u64,
-        occupancy: occupancy as u64,
-        engine: engine.to_string(),
-    });
-
-    // Retry ladder: when the planned engine keeps faulting, the dispatcher
-    // walks the autotune ranking to the next-best GPU candidate. A pinned
-    // engine has no ladder — the pin is an explicit override.
-    let fallbacks: Vec<Engine> = match (cfg.pin_engine, engine) {
-        (None, Engine::Gpu(_)) => {
-            plans.ranking_for_on::<T>(launcher, n, cfg.probe_count, &cfg.clock)
+    // Warm tier: a keyed flush (every member shares one matrix identity)
+    // checks the factorization cache first. A hit skips planning *and*
+    // elimination — the batch is served by back-substitution alone; a
+    // miss factors the matrix for next time and falls through cold.
+    let mut warm_outcome: Option<Outcome<T>> = None;
+    if let Some(shared) = &cfg.factor_cache {
+        if let Some(key) = shared_matrix_key(&requests) {
+            let cache = shared.of::<T>();
+            match cache.lookup(&key) {
+                Some(entry) => {
+                    cfg.trace.emit(|| TraceEvent::FactorHit {
+                        at: cfg.clock.now(),
+                        key: key.fingerprint(),
+                        n: n as u64,
+                    });
+                    metrics.on_factor_hit();
+                    warm_outcome =
+                        Some(warm_execute(&device, &cache, &key, &entry, &requests, cfg, metrics));
+                    metrics.on_warm_flush();
+                }
+                None => {
+                    cfg.trace.emit(|| TraceEvent::FactorMiss {
+                        at: cfg.clock.now(),
+                        key: key.fingerprint(),
+                        n: n as u64,
+                    });
+                    metrics.on_factor_miss();
+                    let sys = &requests[0].system;
+                    // Unfactorable matrices (zero pivot, non-finite) are
+                    // simply not cached; the cold path's verify/repair
+                    // machinery owns them.
+                    if let Ok((_, evicted)) = cache.factor_and_insert(key, &sys.a, &sys.b, &sys.c) {
+                        metrics.on_factor_evictions(evicted.len() as u64);
+                        for fp in evicted {
+                            cfg.trace
+                                .emit(|| TraceEvent::FactorEvict { at: cfg.clock.now(), key: fp });
+                        }
+                    }
+                }
+            }
         }
-        _ => Vec::new(),
-    };
+    }
 
-    // First GPU flush of this size class? One decision point: claim the
-    // one-time token and either run the dynamic sanitizer or let a static
-    // proof stand in for it.
-    let sanitize = match sanitize_decision::<T>(cfg, plans, launcher, engine, n) {
-        SanitizeDecision::Dynamic => true,
-        SanitizeDecision::ProofSkipped => {
-            metrics.on_sanitize_skipped_by_proof();
-            false
-        }
-        SanitizeDecision::NotApplicable => false,
-    };
+    let outcome = if let Some(outcome) = warm_outcome {
+        outcome
+    } else {
+        // Pinned engine wins outright; otherwise sub-critical flushes skip
+        // planning entirely (they go to the CPU, and tuning a size class
+        // the GPU may never see would waste the tournament).
+        let engine = match cfg.pin_engine {
+            Some(engine) => engine,
+            None if occupancy < cfg.min_gpu_batch => Engine::Cpu(CpuEngine::Thomas),
+            None => plans.plan_for_on::<T>(launcher, n, cfg.probe_count, &cfg.clock).engine,
+        };
+        cfg.trace.emit(|| TraceEvent::Plan {
+            at: cfg.clock.now(),
+            n: n as u64,
+            occupancy: occupancy as u64,
+            engine: engine.to_string(),
+        });
 
-    let systems: Vec<TridiagonalSystem<T>> = requests.iter().map(|r| r.system.clone()).collect();
-    let outcome = execute(&device, engine, &fallbacks, breakers, &systems, cfg, sanitize);
+        // Retry ladder: when the planned engine keeps faulting, the
+        // dispatcher walks the autotune ranking to the next-best GPU
+        // candidate. A pinned engine has no ladder — the pin is an
+        // explicit override.
+        let fallbacks: Vec<Engine> = match (cfg.pin_engine, engine) {
+            (None, Engine::Gpu(_)) => {
+                plans.ranking_for_on::<T>(launcher, n, cfg.probe_count, &cfg.clock)
+            }
+            _ => Vec::new(),
+        };
+
+        // First GPU flush of this size class? One decision point: claim
+        // the one-time token and either run the dynamic sanitizer or let
+        // a static proof stand in for it.
+        let sanitize = match sanitize_decision::<T>(cfg, plans, launcher, engine, n) {
+            SanitizeDecision::Dynamic => true,
+            SanitizeDecision::ProofSkipped => {
+                metrics.on_sanitize_skipped_by_proof();
+                false
+            }
+            SanitizeDecision::NotApplicable => false,
+        };
+
+        let systems: Vec<TridiagonalSystem<T>> =
+            requests.iter().map(|r| r.system.clone()).collect();
+        execute(&device, engine, &fallbacks, breakers, &systems, cfg, sanitize)
+    };
 
     // Per-device accounting: GPU-served flushes accrue simulated busy time
     // on the device that ran them (CPU-demoted flushes cost the device
@@ -534,6 +593,130 @@ pub(crate) fn sim_cpu_ns(cpu: CpuEngine, n: usize, count: usize) -> u64 {
         CpuEngine::Gep => 70,
     };
     (n as u64).saturating_mul(count as u64).saturating_mul(per_row)
+}
+
+/// Simulated-clock cost of a warm CPU back-substitution, in integer
+/// nanoseconds: 16 ns/row against Thomas's 25 — the `5n`-vs-`8n` flop
+/// ratio of substitution-only against eliminate-and-substitute, on the
+/// same calibration scale as [`sim_cpu_ns`].
+pub(crate) fn sim_cpu_warm_ns(n: usize, count: usize) -> u64 {
+    (n as u64).saturating_mul(count as u64).saturating_mul(16)
+}
+
+/// The matrix key shared by *every* request in the flush, or `None` when
+/// any member is unkeyed or keys disagree (the batcher groups by key
+/// fingerprint, so disagreement means a fingerprint collision — rare, and
+/// safely served cold).
+fn shared_matrix_key<T: Real>(requests: &[SolveRequest<T>]) -> Option<MatrixKey> {
+    let first = requests.first()?.matrix_key?;
+    requests.iter().all(|r| r.matrix_key == Some(first)).then_some(first)
+}
+
+/// Serves one keyed flush from a cached factorization: GPU warm kernel
+/// when the batch clears `min_gpu_batch` (falling back to the CPU sweep
+/// on a device fault), CPU sweep otherwise. Every solution passes the
+/// same residual acceptance test as the cold path; a failure — a
+/// corrupted launch, or a stale/poisoned factorization — is repaired
+/// per-system with GEP and **invalidates the cache entry**, so the next
+/// flush refactors from scratch rather than re-trusting bad coefficients.
+fn warm_execute<T: Real>(
+    device: &DeviceCtx<'_>,
+    cache: &FactorCache<T>,
+    key: &MatrixKey,
+    entry: &FactorEntry<T>,
+    requests: &[SolveRequest<T>],
+    cfg: &DispatchConfig,
+    metrics: &ServiceMetrics,
+) -> Outcome<T> {
+    let n = entry.thomas.n();
+    let count = requests.len();
+    let mut device_faults = 0u64;
+    let mut gpu_degraded = false;
+    let started = std::time::Instant::now();
+
+    // GPU attempt: one batched back-substitution launch. Faults fall back
+    // to the CPU sweep below — warm flushes never ride the retry ladder
+    // (there is no elimination to re-run; the substitution is cheap enough
+    // that the CPU fallback is the faster recovery).
+    let mut gpu_result: Option<(SolutionBatch<T>, f64)> = None;
+    if count >= cfg.min_gpu_batch {
+        let rhs: Vec<&[T]> = requests.iter().map(|r| r.system.d.as_slice()).collect();
+        match gpu_solvers::solve_batch_warm(device.launcher, &entry.thomas, &rhs) {
+            Ok(report) => {
+                let ms = report.timing.total_ms();
+                gpu_result = Some((report.solutions, ms));
+            }
+            Err(e) if e.is_device_fault() => {
+                device_faults += 1;
+                gpu_degraded = true;
+                let lost = matches!(e, TridiagError::DeviceLost);
+                cfg.trace.emit(|| TraceEvent::Fault { at: cfg.clock.now(), lost });
+                if lost {
+                    device.mark_lost();
+                }
+            }
+            Err(_) => gpu_degraded = true,
+        }
+    }
+
+    let (mut solutions, engine_ms, engine_label) = match gpu_result {
+        Some((solutions, ms)) => (solutions, ms, "warm-gpu".to_string()),
+        None => {
+            let mut solutions = SolutionBatch::from_flat(n, count, vec![T::ZERO; n * count])
+                .expect("flush holds >=1 same-size systems");
+            for (i, req) in requests.iter().enumerate() {
+                entry.thomas.solve_into(&req.system.d, solutions.system_mut(i));
+            }
+            let ms = if cfg.clock.is_sim() {
+                sim_cpu_warm_ns(n, count) as f64 / 1e6
+            } else {
+                started.elapsed().as_secs_f64() * 1e3
+            };
+            (solutions, ms, "cpu-warm".to_string())
+        }
+    };
+
+    // Same acceptance rule as the cold paths; failures additionally
+    // condemn the cached factorization.
+    let eps = T::EPSILON.to_f64();
+    let mut residuals = vec![0.0f64; count];
+    let mut repaired_flags = vec![false; count];
+    let mut repairs = 0usize;
+    let mut corruptions = 0u64;
+    for (i, req) in requests.iter().enumerate() {
+        let sys = &req.system;
+        let x = solutions.system_mut(i);
+        let d_norm: f64 =
+            sys.d.iter().map(|&v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt().max(1e-30);
+        let threshold = cfg.threshold_scale * d_norm * eps * n as f64;
+        let accepted = x.iter().all(|v| v.is_finite())
+            && l2_residual(sys, x).map(|r| r <= threshold).unwrap_or(false);
+        if !accepted {
+            let _ = gep::solve_into(&sys.a, &sys.b, &sys.c, &sys.d, x);
+            repaired_flags[i] = true;
+            repairs += 1;
+            corruptions += 1;
+        }
+        residuals[i] = l2_residual(sys, x).unwrap_or(f64::INFINITY);
+    }
+    if corruptions > 0 && cache.invalidate(key) {
+        metrics.on_factor_evictions(1);
+        cfg.trace.emit(|| TraceEvent::FactorEvict { at: cfg.clock.now(), key: key.fingerprint() });
+    }
+
+    Outcome {
+        solutions,
+        residuals,
+        repairs,
+        repaired_flags,
+        engine_label,
+        engine_ms,
+        sanitizer_findings: None,
+        retries: 0,
+        device_faults,
+        corruptions,
+        degraded: gpu_degraded,
+    }
 }
 
 /// CPU path with the same acceptance rule as `solve_batch_robust`: accept
@@ -975,6 +1158,123 @@ mod tests {
             SanitizeDecision::NotApplicable
         );
         assert!(plans.begin_sanitize::<f32>(&launcher, 64), "token untouched while disabled");
+    }
+
+    // ── warm tier: factor-cache hits, misses, invalidation ───────────
+
+    /// A keyed flush of `count` RHS against one shared matrix.
+    fn keyed_flush(
+        system: &TridiagonalSystem<f32>,
+        count: usize,
+        seed: u64,
+    ) -> (FlushedBatch<f32>, Vec<crate::request::Ticket<f32>>) {
+        let key = tridiag_core::MatrixKey::of_system(system);
+        let n = system.n();
+        let mut requests = Vec::new();
+        let mut tickets = Vec::new();
+        for i in 0..count {
+            let mut sys = system.clone();
+            sys.d =
+                (0..n).map(|j| ((j as u64 * 13 + i as u64 * 7 + seed) % 19) as f32 - 9.0).collect();
+            let (req, ticket) =
+                crate::request::make_request_keyed(i as u64, sys, 0, None, Some(key));
+            requests.push(req);
+            tickets.push(ticket);
+        }
+        (FlushedBatch { n, requests, reason: FlushReason::Full }, tickets)
+    }
+
+    #[test]
+    fn warm_tier_misses_cold_then_hits_warm() {
+        let launcher = Launcher::gtx280();
+        let plans = PlanCache::new();
+        let metrics = ServiceMetrics::new();
+        let cache = Arc::new(SharedFactorCache::new(8));
+        let warm_cfg = DispatchConfig { factor_cache: Some(Arc::clone(&cache)), ..cfg() };
+        let mut generator = Generator::new(61);
+        let system: TridiagonalSystem<f32> = generator.system(Workload::DiagonallyDominant, 128);
+
+        // First flush: cache miss → factored → served cold.
+        let (flush, tickets) = keyed_flush(&system, 8, 1);
+        serve_flush(
+            DeviceCtx::solo(&launcher),
+            &plans,
+            &CircuitBreakers::default(),
+            &metrics,
+            &warm_cfg,
+            flush,
+        );
+        for ticket in tickets {
+            let resp = ticket.try_take().unwrap();
+            assert!(resp.residual < 1e-2, "{}", resp.residual);
+            assert!(!resp.engine.contains("warm"), "first flush is cold: {}", resp.engine);
+        }
+
+        // Second flush, same matrix: hit → GPU warm back-substitution
+        // (8 ≥ min_gpu_batch), verified answers.
+        let (flush, tickets) = keyed_flush(&system, 8, 2);
+        serve_flush(
+            DeviceCtx::solo(&launcher),
+            &plans,
+            &CircuitBreakers::default(),
+            &metrics,
+            &warm_cfg,
+            flush,
+        );
+        for ticket in tickets {
+            let resp = ticket.try_take().unwrap();
+            assert_eq!(resp.engine, "warm-gpu");
+            assert!(!resp.repaired, "a healthy warm flush needs no repair");
+            assert!(resp.residual < 1e-2, "{}", resp.residual);
+        }
+
+        // Third flush, two RHS: below min_gpu_batch, CPU warm sweep.
+        let (flush, tickets) = keyed_flush(&system, 2, 3);
+        serve_flush(
+            DeviceCtx::solo(&launcher),
+            &plans,
+            &CircuitBreakers::default(),
+            &metrics,
+            &warm_cfg,
+            flush,
+        );
+        for ticket in tickets {
+            let resp = ticket.try_take().unwrap();
+            assert_eq!(resp.engine, "cpu-warm");
+            assert!(resp.residual < 1e-2, "{}", resp.residual);
+        }
+
+        let snap = metrics.snapshot(0, 0, 0);
+        assert_eq!(snap.factor_misses, 1);
+        assert_eq!(snap.factor_hits, 2);
+        assert_eq!(snap.warm_flushes, 2);
+        assert_eq!(snap.factor_evictions, 0);
+        assert!(snap.degradation.is_quiet(), "warm traffic is not degradation");
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn unkeyed_flushes_never_touch_the_cache() {
+        let launcher = Launcher::gtx280();
+        let plans = PlanCache::new();
+        let metrics = ServiceMetrics::new();
+        let cache = Arc::new(SharedFactorCache::new(8));
+        let warm_cfg = DispatchConfig { factor_cache: Some(Arc::clone(&cache)), ..cfg() };
+        let (flush, tickets) = flush_of(64, 8, 62); // make_request: no key
+        serve_flush(
+            DeviceCtx::solo(&launcher),
+            &plans,
+            &CircuitBreakers::default(),
+            &metrics,
+            &warm_cfg,
+            flush,
+        );
+        for ticket in tickets {
+            assert!(ticket.try_take().unwrap().residual < 1e-2);
+        }
+        let snap = metrics.snapshot(0, 0, 0);
+        assert_eq!(snap.factor_hits + snap.factor_misses + snap.warm_flushes, 0);
+        assert!(cache.stats().entries == 0);
     }
 
     // ── resilience: retries, breakers, graceful degradation ──────────

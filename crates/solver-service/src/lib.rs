@@ -31,6 +31,15 @@
 //!    net until a half-open probe succeeds. Every answer is still
 //!    verified; every degradation is visible in
 //!    [`metrics::DegradationState`].
+//! 6. **Warm serving tier** ([`dispatch`] + the `factor-cache` crate):
+//!    with [`ServiceConfig::factor_cache`] set, admitted systems are
+//!    identity-hashed, same-matrix requests coalesce into shared flushes,
+//!    and a flush whose matrix is already factored skips elimination
+//!    entirely — `O(5n)` back-substitution against the cached
+//!    coefficients instead of the cold `O(8n)` solve, GPU-batched when
+//!    the flush is large enough. [`SolverService::solve_many_rhs`] is the
+//!    multi-RHS front door. Warm answers pass the same residual verify as
+//!    cold ones; a failure repairs with GEP and invalidates the entry.
 //!
 //! ```
 //! use solver_service::{ServiceConfig, SolverService};
@@ -67,7 +76,8 @@ pub use planner::{
 };
 pub use queue::{BoundedQueue, Pop, PushError};
 pub use request::{
-    make_request, make_request_at, make_request_with_deadline, SolveRequest, SolveResponse, Ticket,
+    make_request, make_request_at, make_request_keyed, make_request_with_deadline, SolveRequest,
+    SolveResponse, Ticket,
 };
 pub use service::{ServiceConfig, SolverService};
 pub use trace::{RejectReason, TraceEvent, TraceHandle, TraceSink};

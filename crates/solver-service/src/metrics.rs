@@ -47,6 +47,10 @@ pub struct ServiceMetrics {
     deadline_misses: AtomicU64,
     sanitizer_errors: AtomicU64,
     sanitizer_warnings: AtomicU64,
+    factor_hits: AtomicU64,
+    factor_misses: AtomicU64,
+    factor_evictions: AtomicU64,
+    warm_flushes: AtomicU64,
     latency_us: [AtomicU64; LATENCY_BUCKETS],
     /// batch size → systems served in batches of that size.
     occupancy: Mutex<BTreeMap<usize, u64>>,
@@ -84,6 +88,10 @@ impl ServiceMetrics {
             deadline_misses: AtomicU64::new(0),
             sanitizer_errors: AtomicU64::new(0),
             sanitizer_warnings: AtomicU64::new(0),
+            factor_hits: AtomicU64::new(0),
+            factor_misses: AtomicU64::new(0),
+            factor_evictions: AtomicU64::new(0),
+            warm_flushes: AtomicU64::new(0),
             latency_us: core::array::from_fn(|_| AtomicU64::new(0)),
             occupancy: Mutex::new(BTreeMap::new()),
             dispatch: Mutex::new(BTreeMap::new()),
@@ -180,6 +188,27 @@ impl ServiceMetrics {
         self.proof_skipped_sanitizes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One flush found its factorization in the cache (warm dispatch).
+    pub fn on_factor_hit(&self) {
+        self.factor_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One flush carried a matrix key the cache had not factored yet.
+    pub fn on_factor_miss(&self) {
+        self.factor_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `count` cached factorizations evicted (LRU pressure) or
+    /// invalidated (failed warm verify).
+    pub fn on_factor_evictions(&self, count: u64) {
+        self.factor_evictions.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// One flush served entirely by back-substitution (no elimination).
+    pub fn on_warm_flush(&self) {
+        self.warm_flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// One request completed with end-to-end `latency`.
     pub fn on_complete(&self, latency: Duration) {
         self.completed.fetch_add(1, Ordering::Relaxed);
@@ -222,6 +251,10 @@ impl ServiceMetrics {
             },
             sanitizer_errors: self.sanitizer_errors.load(Ordering::Relaxed),
             sanitizer_warnings: self.sanitizer_warnings.load(Ordering::Relaxed),
+            factor_hits: self.factor_hits.load(Ordering::Relaxed),
+            factor_misses: self.factor_misses.load(Ordering::Relaxed),
+            factor_evictions: self.factor_evictions.load(Ordering::Relaxed),
+            warm_flushes: self.warm_flushes.load(Ordering::Relaxed),
             queue_depth,
             plan_tunes,
             plan_hits,
@@ -351,6 +384,17 @@ pub struct MetricsSnapshot {
     /// Warning-severity sanitizer diagnostic sites (bank conflicts,
     /// non-finite origins) found on serving traffic.
     pub sanitizer_warnings: u64,
+    /// Flushes whose factorization came from the cache (warm dispatch).
+    /// Factor counters are *activity*, not degradation: a quiet
+    /// [`DegradationState`] stays quiet however warm the traffic runs.
+    pub factor_hits: u64,
+    /// Flushes that carried a matrix key the cache had not factored yet.
+    pub factor_misses: u64,
+    /// Cached factorizations evicted by LRU pressure or invalidated
+    /// after a failed warm verify.
+    pub factor_evictions: u64,
+    /// Flushes served entirely by back-substitution (no elimination).
+    pub warm_flushes: u64,
     /// Admission queue depth at snapshot time.
     pub queue_depth: usize,
     /// Autotune tournaments run so far.
@@ -397,7 +441,7 @@ impl MetricsSnapshot {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(512);
         s.push('{');
-        let scalars: [(&str, u64); 18] = [
+        let scalars: [(&str, u64); 22] = [
             ("submitted", self.submitted),
             ("completed", self.completed),
             ("rejected", self.rejected),
@@ -410,6 +454,10 @@ impl MetricsSnapshot {
             ("proof_skipped_sanitizes", self.proof_skipped_sanitizes),
             ("sanitizer_errors", self.sanitizer_errors),
             ("sanitizer_warnings", self.sanitizer_warnings),
+            ("factor_hits", self.factor_hits),
+            ("factor_misses", self.factor_misses),
+            ("factor_evictions", self.factor_evictions),
+            ("warm_flushes", self.warm_flushes),
             ("queue_depth", self.queue_depth as u64),
             ("plan_tunes", self.plan_tunes),
             ("plan_hits", self.plan_hits),
@@ -563,6 +611,27 @@ mod tests {
         assert!(json.contains("\"flushes_deadline\":1"), "{json}");
         assert!(json.contains("\"breaker_states\":{}"), "{json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn factor_counters_accumulate_without_disturbing_quiet() {
+        let m = ServiceMetrics::new();
+        m.on_factor_miss();
+        m.on_factor_hit();
+        m.on_factor_hit();
+        m.on_factor_evictions(3);
+        m.on_warm_flush();
+        let snap = m.snapshot(0, 0, 0);
+        assert_eq!(snap.factor_hits, 2);
+        assert_eq!(snap.factor_misses, 1);
+        assert_eq!(snap.factor_evictions, 3);
+        assert_eq!(snap.warm_flushes, 1);
+        // Cache traffic is activity, not degradation: warm serving on a
+        // fault-free run must leave the quiet invariant intact.
+        assert!(snap.degradation.is_quiet());
+        let json = snap.to_json();
+        assert!(json.contains("\"factor_hits\":2"), "{json}");
+        assert!(json.contains("\"warm_flushes\":1"), "{json}");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use gpu_sim::Tick;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
-use tridiag_core::{Real, TridiagonalSystem};
+use tridiag_core::{MatrixKey, Real, TridiagonalSystem};
 
 /// A single queued solve: one system plus completion plumbing.
 ///
@@ -31,6 +31,11 @@ pub struct SolveRequest<T: Real> {
     /// a member's deadline; a missed deadline is *reported* (metrics +
     /// response flag), never dropped — the answer is still delivered.
     pub deadline: Option<Tick>,
+    /// Identity of the request's coefficient matrix, when the factor
+    /// cache is enabled. Requests sharing a key batch together and, once
+    /// the matrix is factored, skip elimination entirely; `None` requests
+    /// ride the classic per-size buckets untouched.
+    pub matrix_key: Option<MatrixKey>,
     pub(crate) slot: Arc<OneShot<SolveResponse<T>>>,
 }
 
@@ -165,8 +170,22 @@ pub fn make_request_at<T: Real>(
     submitted_at: Tick,
     deadline: Option<Tick>,
 ) -> (SolveRequest<T>, Ticket<T>) {
+    make_request_keyed(id, system, submitted_at, deadline, None)
+}
+
+/// [`make_request_at`] with an explicit matrix identity — the constructor
+/// the warm serving tier uses so every request in a multi-RHS submission
+/// carries the key computed once for the shared matrix.
+pub fn make_request_keyed<T: Real>(
+    id: u64,
+    system: TridiagonalSystem<T>,
+    submitted_at: Tick,
+    deadline: Option<Tick>,
+    matrix_key: Option<MatrixKey>,
+) -> (SolveRequest<T>, Ticket<T>) {
     let slot = Arc::new(OneShot::new());
-    let request = SolveRequest { id, system, submitted_at, deadline, slot: slot.clone() };
+    let request =
+        SolveRequest { id, system, submitted_at, deadline, matrix_key, slot: slot.clone() };
     (request, Ticket { id, slot })
 }
 

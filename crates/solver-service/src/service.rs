@@ -33,15 +33,16 @@ use crate::error::ServiceError;
 use crate::metrics::{DeviceSnapshot, MetricsSnapshot, ServiceMetrics};
 use crate::planner::PlanCache;
 use crate::queue::{BoundedQueue, Pop, PushError};
-use crate::request::{make_request_at, SolveRequest, SolveResponse, Ticket};
+use crate::request::{make_request_keyed, SolveRequest, SolveResponse, Ticket};
 use crate::trace::{RejectReason, TraceEvent, TraceHandle};
 use device_pool::{DevicePool, PoolConfig, Pop as DevicePop, StealQueues};
+use factor_cache::SharedFactorCache;
 use gpu_sim::{tick_duration, Clock, Launcher, Tick};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-use tridiag_core::{Real, TridiagError, TridiagonalSystem};
+use tridiag_core::{MatrixKey, Real, TridiagError, TridiagonalSystem};
 
 #[cfg(doc)]
 use crate::batcher::FlushReason;
@@ -77,6 +78,14 @@ pub struct ServiceConfig {
     /// (the default) sanitizes every first flush dynamically. Share one
     /// `Arc` across services to amortize proofs between them.
     pub verified: Option<Arc<kernel_verify::VerifiedCatalog>>,
+    /// Factorization cache for the warm serving tier. When set, every
+    /// admitted system is identity-hashed (structure tag + content hash),
+    /// requests sharing a matrix batch together, and a flush whose matrix
+    /// is already factored skips elimination — back-substitution only.
+    /// `None` (the default) leaves every request unkeyed and the service's
+    /// behaviour byte-identical to the cold-only service. Share one `Arc`
+    /// across services to share factorizations between them.
+    pub factor_cache: Option<Arc<SharedFactorCache>>,
     /// How much earlier than a member's completion deadline its bucket
     /// flushes (headroom for dispatch + solve).
     pub deadline_slack: Duration,
@@ -135,6 +144,7 @@ impl Default for ServiceConfig {
             pin_engine: None,
             sanitize_first_flush: true,
             verified: None,
+            factor_cache: None,
             deadline_slack: Duration::from_micros(500),
             breaker: BreakerConfig::default(),
             max_attempts_per_engine: 2,
@@ -236,6 +246,7 @@ impl<T: Real> SolverService<T> {
                 pin_engine: config.pin_engine,
                 sanitize_first_flush: config.sanitize_first_flush,
                 verified: config.verified,
+                factor_cache: config.factor_cache,
                 max_attempts_per_engine: config.max_attempts_per_engine,
                 max_total_attempts: config.max_total_attempts,
                 backoff_base: config.backoff_base,
@@ -331,6 +342,22 @@ impl<T: Real> SolverService<T> {
         system: TridiagonalSystem<T>,
         deadline: Option<Tick>,
     ) -> Result<Ticket<T>, ServiceError> {
+        // With the factor cache on, every admitted system is identity-
+        // hashed so equal matrices batch together and hit the warm tier.
+        let matrix_key =
+            self.shared.dispatch_cfg.factor_cache.as_ref().map(|_| MatrixKey::of_system(&system));
+        self.submit_keyed(system, deadline, matrix_key)
+    }
+
+    /// The fully general submission: explicit deadline and matrix key.
+    /// [`SolverService::solve_many_rhs`] uses this to hash the shared
+    /// matrix once instead of once per right-hand side.
+    fn submit_keyed(
+        &self,
+        system: TridiagonalSystem<T>,
+        deadline: Option<Tick>,
+        matrix_key: Option<MatrixKey>,
+    ) -> Result<Ticket<T>, ServiceError> {
         let n = system.n();
         let now = self.shared.clock.now();
         if n < 2 {
@@ -352,7 +379,7 @@ impl<T: Real> SolverService<T> {
             }
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let (request, ticket) = make_request_at(id, system, now, deadline);
+        let (request, ticket) = make_request_keyed(id, system, now, deadline, matrix_key);
         match self.shared.queue.push(request) {
             Ok(()) => {
                 self.shared.metrics.on_submit();
@@ -381,6 +408,57 @@ impl<T: Real> SolverService<T> {
                 Err(ServiceError::ShuttingDown)
             }
         }
+    }
+
+    /// Solves one matrix against many right-hand sides: the multi-RHS
+    /// serving tier's front door.
+    ///
+    /// The matrix identity is hashed **once** (not once per RHS), every
+    /// request rides the same key, so the batcher coalesces them into
+    /// shared flushes and — with [`ServiceConfig::factor_cache`] set —
+    /// everything after the first flush is served from the cached
+    /// factorization by back-substitution alone. Without a cache the
+    /// requests still co-batch; they are just served cold.
+    ///
+    /// Submission honours backpressure the same way [`submit_wait`]
+    /// does: a `QueueFull` with a `retry_after` hint gets one bounded
+    /// client-side retry per request before the rejection surfaces.
+    /// Responses come back in `rhs_list` order.
+    ///
+    /// # Errors
+    /// [`ServiceError::InvalidRequest`] for mismatched array lengths or
+    /// undersized systems; admission errors from the underlying submits.
+    ///
+    /// [`submit_wait`]: SolverService::submit_wait
+    pub fn solve_many_rhs(
+        &self,
+        a: &[T],
+        b: &[T],
+        c: &[T],
+        rhs_list: &[Vec<T>],
+    ) -> Result<Vec<SolveResponse<T>>, ServiceError> {
+        let matrix_key =
+            self.shared.dispatch_cfg.factor_cache.as_ref().map(|_| MatrixKey::of::<T>(a, b, c));
+        let mut tickets = Vec::with_capacity(rhs_list.len());
+        for d in rhs_list {
+            let system = TridiagonalSystem::new(a.to_vec(), b.to_vec(), c.to_vec(), d.clone())
+                .map_err(ServiceError::InvalidRequest)?;
+            let ticket = match self.submit_keyed(system, None, matrix_key) {
+                Ok(ticket) => ticket,
+                Err(ServiceError::QueueFull { retry_after: Some(hint), .. })
+                    if self.client_retry =>
+                {
+                    self.shared.clock.sleep(hint);
+                    let system =
+                        TridiagonalSystem::new(a.to_vec(), b.to_vec(), c.to_vec(), d.clone())
+                            .map_err(ServiceError::InvalidRequest)?;
+                    self.submit_keyed(system, None, matrix_key)?
+                }
+                Err(e) => return Err(e),
+            };
+            tickets.push(ticket);
+        }
+        Ok(tickets.into_iter().map(Ticket::wait).collect())
     }
 
     /// Convenience: submit and block for the answer. When the queue is

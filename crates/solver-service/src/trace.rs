@@ -221,6 +221,35 @@ pub enum TraceEvent {
         /// Node that ran the interface solve.
         node: u64,
     },
+    /// A warm flush found its factorization in the cache and skipped
+    /// elimination entirely (back-substitution-only dispatch).
+    FactorHit {
+        /// Decision tick.
+        at: Tick,
+        /// Matrix-key fingerprint (non-zero).
+        key: u64,
+        /// Size class.
+        n: u64,
+    },
+    /// A flush carried a matrix key but the cache had no factorization;
+    /// one was computed, inserted, and the flush fell through to the
+    /// cold path.
+    FactorMiss {
+        /// Decision tick.
+        at: Tick,
+        /// Matrix-key fingerprint (non-zero).
+        key: u64,
+        /// Size class.
+        n: u64,
+    },
+    /// A cached factorization left the cache — LRU pressure from an
+    /// insert, or invalidation after a failed warm verify.
+    FactorEvict {
+        /// Decision tick.
+        at: Tick,
+        /// Fingerprint of the evicted entry's key.
+        key: u64,
+    },
 }
 
 impl TraceEvent {
@@ -242,7 +271,10 @@ impl TraceEvent {
             | TraceEvent::RpcRetry { at, .. }
             | TraceEvent::GossipSuspect { at, .. }
             | TraceEvent::GossipDead { at, .. }
-            | TraceEvent::InterfaceSolve { at, .. } => *at,
+            | TraceEvent::InterfaceSolve { at, .. }
+            | TraceEvent::FactorHit { at, .. }
+            | TraceEvent::FactorMiss { at, .. }
+            | TraceEvent::FactorEvict { at, .. } => *at,
         }
     }
 
@@ -265,6 +297,9 @@ impl TraceEvent {
             TraceEvent::GossipSuspect { .. } => "gossip-suspect",
             TraceEvent::GossipDead { .. } => "gossip-dead",
             TraceEvent::InterfaceSolve { .. } => "interface-solve",
+            TraceEvent::FactorHit { .. } => "factor-hit",
+            TraceEvent::FactorMiss { .. } => "factor-miss",
+            TraceEvent::FactorEvict { .. } => "factor-evict",
         }
     }
 }

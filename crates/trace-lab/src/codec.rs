@@ -211,6 +211,10 @@ mod tag {
     pub const GOSSIP_SUSPECT: u8 = 13;
     pub const GOSSIP_DEAD: u8 = 14;
     pub const INTERFACE_SOLVE: u8 = 15;
+    // Factor-cache events (PR 9) — append-only, like the cluster tags.
+    pub const FACTOR_HIT: u8 = 16;
+    pub const FACTOR_MISS: u8 = 17;
+    pub const FACTOR_EVICT: u8 = 18;
 }
 
 fn flush_reason_byte(r: FlushReason) -> u8 {
@@ -375,6 +379,23 @@ pub fn encode_event(event: &TraceEvent, out: &mut Vec<u8>) {
             put_u64(out, *rows);
             put_u64(out, *node);
         }
+        TraceEvent::FactorHit { at, key, n } => {
+            out.push(tag::FACTOR_HIT);
+            put_u64(out, *at);
+            put_u64(out, *key);
+            put_u64(out, *n);
+        }
+        TraceEvent::FactorMiss { at, key, n } => {
+            out.push(tag::FACTOR_MISS);
+            put_u64(out, *at);
+            put_u64(out, *key);
+            put_u64(out, *n);
+        }
+        TraceEvent::FactorEvict { at, key } => {
+            out.push(tag::FACTOR_EVICT);
+            put_u64(out, *at);
+            put_u64(out, *key);
+        }
     }
 }
 
@@ -458,6 +479,9 @@ pub fn decode_event(r: &mut Reader<'_>) -> Result<TraceEvent, CodecError> {
             rows: r.u64()?,
             node: r.u64()?,
         }),
+        tag::FACTOR_HIT => Ok(TraceEvent::FactorHit { at: r.u64()?, key: r.u64()?, n: r.u64()? }),
+        tag::FACTOR_MISS => Ok(TraceEvent::FactorMiss { at: r.u64()?, key: r.u64()?, n: r.u64()? }),
+        tag::FACTOR_EVICT => Ok(TraceEvent::FactorEvict { at: r.u64()?, key: r.u64()? }),
         other => Err(CodecError::BadTag { offset: tag_offset, tag: other }),
     }
 }
@@ -542,6 +566,9 @@ mod tests {
             TraceEvent::GossipSuspect { at: 15, observer: 1, subject: 3 },
             TraceEvent::GossipDead { at: 16, observer: 1, subject: 3 },
             TraceEvent::InterfaceSolve { at: 17, n: 1 << 22, rows: 64, node: 0 },
+            TraceEvent::FactorHit { at: 18, key: u64::MAX, n: 512 },
+            TraceEvent::FactorMiss { at: 19, key: 1, n: 512 },
+            TraceEvent::FactorEvict { at: 20, key: 0xDEAD_BEEF },
         ];
         let mut buf = Vec::new();
         encode_events(&events, &mut buf);

@@ -23,16 +23,18 @@
 
 use crate::record::RecordingSink;
 use crate::scenario::Scenario;
+use factor_cache::SharedFactorCache;
 use gpu_sim::{Clock, FaultConfig, FaultPlan, Launcher, Tick};
 use gpu_solvers::GpuAlgorithm;
 use solver_service::{
-    make_request_at, serve_flush, BreakerConfig, BucketTable, CircuitBreakers, DeviceCtx,
+    make_request_keyed, serve_flush, BreakerConfig, BucketTable, CircuitBreakers, DeviceCtx,
     DispatchConfig, Engine, FlushedBatch, PlanCache, RejectReason, ServiceMetrics, SolveResponse,
     Ticket, TraceEvent, TraceHandle,
 };
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
-use tridiag_core::{Generator, Workload};
+use tridiag_core::{Generator, MatrixKey, TridiagonalSystem, Workload};
 
 /// What one harness run measured, alongside the event stream.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,6 +115,8 @@ pub fn run(scenario: &Scenario) -> RunOutput {
     let breakers = CircuitBreakers::with_clock(BreakerConfig::default(), clock.clone())
         .with_trace(trace.clone());
     let metrics = ServiceMetrics::new();
+    let factor_cache = (scenario.matrix_pool > 0)
+        .then(|| Arc::new(SharedFactorCache::new(scenario.matrix_pool.max(1) as usize * 8)));
     let cfg = DispatchConfig {
         min_gpu_batch: scenario.min_gpu_batch.max(1) as usize,
         pin_engine: (scenario.pin_cr_pcr_m > 0)
@@ -121,6 +125,7 @@ pub fn run(scenario: &Scenario) -> RunOutput {
         sanitize_first_flush: false,
         clock: clock.clone(),
         trace: trace.clone(),
+        factor_cache: factor_cache.clone(),
         ..DispatchConfig::default()
     };
 
@@ -131,6 +136,11 @@ pub fn run(scenario: &Scenario) -> RunOutput {
     let mut generator = Generator::new(scenario.seed);
     let mut size_rng = scenario.seed ^ 0x5A1E_D065;
     let capacity = scenario.queue_capacity.max(1) as usize;
+
+    // Pooled matrix templates, keyed `(n, slot)`. Populated lazily but
+    // deterministically: template contents are a pure function of
+    // `(seed, n, slot)`, independent of arrival order.
+    let mut pool: BTreeMap<(usize, u64), (TridiagonalSystem<f32>, MatrixKey)> = BTreeMap::new();
 
     // Arrival ticks are a pure function of the scenario; precompute them
     // in index order.
@@ -162,7 +172,26 @@ pub fn run(scenario: &Scenario) -> RunOutput {
         while i < arrivals.len() && arrivals[i] <= clock.now() {
             let n = scenario.sizes[(splitmix64(&mut size_rng) as usize) % scenario.sizes.len()]
                 .max(2) as usize;
-            let system = generator.system(Workload::DiagonallyDominant, n);
+            let (system, matrix_key) = if scenario.matrix_pool > 0 {
+                let slot = splitmix64(&mut size_rng) % scenario.matrix_pool;
+                let (template, key) = pool.entry((n, slot)).or_insert_with(|| {
+                    let mut g = Generator::new(
+                        scenario.seed ^ slot.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ n as u64,
+                    );
+                    let s: TridiagonalSystem<f32> = g.system(Workload::DiagonallyDominant, n);
+                    let key = MatrixKey::of::<f32>(&s.a, &s.b, &s.c);
+                    (s, key)
+                });
+                // Fresh RHS per request, drawn from the sequential
+                // generator so the stream stays a pure function of the
+                // scenario.
+                let d = generator.system::<f32>(Workload::DiagonallyDominant, n).d;
+                let mut system = template.clone();
+                system.d = d;
+                (system, Some(*key))
+            } else {
+                (generator.system(Workload::DiagonallyDominant, n), None)
+            };
             let at = clock.now();
             if table.pending() >= capacity {
                 rejected += 1;
@@ -175,7 +204,7 @@ pub fn run(scenario: &Scenario) -> RunOutput {
                 let id = next_id;
                 next_id += 1;
                 trace.emit(|| TraceEvent::Admit { at, id, n: n as u64 });
-                let (request, ticket) = make_request_at(id, system, at, None);
+                let (request, ticket) = make_request_keyed(id, system, at, None, matrix_key);
                 tickets.push(ticket);
                 if let Some(flush) = table.insert(request, at) {
                     serve_one(flush, &launcher, &plans, &breakers, &metrics, &cfg, &trace, &clock);
@@ -229,6 +258,23 @@ mod tests {
         assert_eq!(a.stats, b.stats, "stats diverged");
         assert!(a.stats.served > 0);
         assert_eq!(a.stats.wrong, 0, "a wrong answer escaped verification");
+    }
+
+    #[test]
+    fn warm_cell_hits_the_factor_cache_and_stays_deterministic() {
+        let scenario = Scenario::warm(150);
+        let a = run(&scenario);
+        let b = run(&scenario);
+        assert_eq!(a.events, b.events, "warm decision streams diverged");
+        assert_eq!(a.stats, b.stats, "warm stats diverged");
+        assert_eq!(a.stats.wrong, 0, "a warm answer escaped verification");
+        let hits = a.events.iter().filter(|e| e.kind() == "factor-hit").count();
+        let misses = a.events.iter().filter(|e| e.kind() == "factor-miss").count();
+        assert!(misses > 0, "warm cell never populated the cache");
+        assert!(
+            hits > misses,
+            "pooled traffic should be mostly warm: {hits} hits / {misses} misses"
+        );
     }
 
     #[test]

@@ -101,6 +101,11 @@ pub struct Scenario {
     /// injection (a GPU-launch phenomenon) only engages on a pinned cell.
     /// Zero = autotune.
     pub pin_cr_pcr_m: u64,
+    /// When nonzero, arrivals reuse a pool of this many distinct matrices
+    /// (the RHS still varies per request) and the harness enables the
+    /// factorization cache, so warm traffic exercises the back-substitution
+    /// tier. Zero = every request carries a fresh matrix, cache off.
+    pub matrix_pool: u64,
 }
 
 impl Scenario {
@@ -121,6 +126,7 @@ impl Scenario {
             queue_capacity: 256,
             min_gpu_batch: 1,
             pin_cr_pcr_m: 0,
+            matrix_pool: 0,
         }
     }
 
@@ -184,6 +190,14 @@ impl Scenario {
         }
     }
 
+    /// The warm-traffic cell: steady arrivals over a small pool of shared
+    /// matrices with the factorization cache on, so most flushes take the
+    /// back-substitution fast path. The stream the warm bit-identical
+    /// replay gate captures.
+    pub fn warm(requests: u64) -> Self {
+        Self { name: "warm".into(), seed: 0xFAC7_2026, matrix_pool: 4, ..Self::steady(requests) }
+    }
+
     /// Mean inter-arrival period in ticks (ns). Never zero.
     pub fn base_period(&self) -> Tick {
         (1_000_000_000 / self.rate_rps.max(1)).max(1)
@@ -238,6 +252,7 @@ impl Scenario {
         put_u64(out, self.queue_capacity);
         put_u64(out, self.min_gpu_batch);
         put_u64(out, self.pin_cr_pcr_m);
+        put_u64(out, self.matrix_pool);
     }
 
     /// Decodes what [`Scenario::encode`] wrote.
@@ -273,6 +288,7 @@ impl Scenario {
             queue_capacity: r.u64()?,
             min_gpu_batch: r.u64()?,
             pin_cr_pcr_m: r.u64()?,
+            matrix_pool: r.u64()?,
         })
     }
 }
@@ -331,6 +347,7 @@ mod tests {
             Scenario::bursty(u64::MAX),
             Scenario::adversarial(42),
             Scenario::chaos(1000),
+            Scenario::warm(1000),
         ] {
             let mut buf = Vec::new();
             scenario.encode(&mut buf);

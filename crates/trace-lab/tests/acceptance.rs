@@ -9,6 +9,31 @@
 use trace_lab::{capture, verify, Scenario, TraceFile};
 
 #[test]
+fn warm_traffic_trace_is_bit_identical_across_runs() {
+    // Warm-tier bar: a pooled-matrix stream with the factorization cache
+    // on must replay bit-identically, and the trace must actually contain
+    // warm traffic (factor hits and misses), with no wrong answers.
+    let scenario = Scenario::warm(400);
+
+    let (trace_a, stats_a) = capture(&scenario);
+    let (trace_b, stats_b) = capture(&scenario);
+
+    let bytes = trace_a.to_bytes();
+    assert_eq!(bytes, trace_b.to_bytes(), "two warm captures diverged");
+    assert_eq!(stats_a, stats_b, "warm stats diverged between captures");
+
+    let reloaded = TraceFile::from_bytes(&bytes).expect("self-produced warm trace must load");
+    let replay_stats = verify(&reloaded).unwrap_or_else(|d| panic!("warm replay diverged: {d}"));
+    assert_eq!(replay_stats, stats_a, "warm replay stats diverged from capture");
+
+    let hits = trace_a.events.iter().filter(|e| e.kind() == "factor-hit").count();
+    let misses = trace_a.events.iter().filter(|e| e.kind() == "factor-miss").count();
+    assert!(misses > 0, "warm trace never populated the cache");
+    assert!(hits > 0, "warm trace never took the back-substitution path");
+    assert_eq!(stats_a.wrong, 0, "a warm answer escaped verification");
+}
+
+#[test]
 fn thousand_request_chaos_trace_is_bit_identical_across_runs() {
     let scenario = Scenario::chaos(1000);
 

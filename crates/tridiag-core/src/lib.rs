@@ -17,6 +17,7 @@ pub mod batch;
 pub mod block;
 pub mod complexity;
 pub mod error;
+pub mod identity;
 pub mod periodic;
 pub mod real;
 pub mod residual;
@@ -27,6 +28,7 @@ pub use batch::{SolutionBatch, SystemBatch};
 pub use block::BlockTridiagonalSystem;
 pub use complexity::{table1, Algorithm, ComplexityRow, ParseAlgorithmError};
 pub use error::{require_pow2, Result, TridiagError};
+pub use identity::{structure_tag, MatrixKey, StructureTag};
 pub use periodic::PeriodicTridiagonalSystem;
 pub use real::Real;
 pub use system::TridiagonalSystem;

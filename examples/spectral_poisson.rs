@@ -1,65 +1,90 @@
 //! Spectral-style Poisson solves — "spectral Poisson solvers" (Hockney's
-//! original cyclic-reduction application) from the paper's introduction.
+//! original cyclic-reduction application) from the paper's introduction —
+//! served through [`SolverService::solve_many_rhs`].
 //!
 //! Solves a batch of 1-D Poisson problems `-u'' = g` with homogeneous
-//! Dirichlet boundaries, discretized with the `[-1, 2, -1]/h^2` stencil.
-//! Each right-hand side is a single Fourier mode, for which the discrete
-//! solution is known in closed form — a sharp end-to-end correctness check
-//! of the whole GPU pipeline.
+//! Dirichlet boundaries, discretized with the `[-1, 2, -1]` stencil
+//! (right-hand sides scaled by `h^2`). Each right-hand side is a single
+//! Fourier mode, for which the discrete solution is known in closed form
+//! — a sharp end-to-end correctness check of the whole serving pipeline.
+//!
+//! This is the multi-RHS tier's canonical workload: **one** Poisson
+//! matrix, many spectral right-hand sides. The service hashes the matrix
+//! once, the first flush factors it (a factor miss), and every later
+//! flush is back-substitution against the cached coefficients. Note the
+//! width/size combination: f64 at n = 512 exceeds the GT200's shared
+//! memory, so the *cold* flush must take a global-memory algorithm — but
+//! the warm kernel uses no shared memory at all, so the cached flushes
+//! dodge that limit entirely.
 //!
 //! ```text
 //! cargo run --release --example spectral_poisson
 //! ```
 
-use gpu_sim::Launcher;
-use gpu_solvers::{solve_batch, GpuAlgorithm};
-use tridiag_core::{SystemBatch, TridiagonalSystem};
+use factor_cache::SharedFactorCache;
+use solver_service::{ServiceConfig, SolverService};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Interior points (power of two for the GPU kernels).
 const N: usize = 512;
-/// Number of Fourier modes solved at once (one system per mode).
+/// Number of Fourier modes solved at once (one RHS per mode).
 const MODES: usize = 64;
+/// Flush size: < MODES so the run shows warm flushes within one call.
+const BATCH: usize = 16;
 
 fn main() {
-    let launcher = Launcher::gtx280();
     let h = 1.0 / (N as f64 + 1.0);
     let pi = std::f64::consts::PI;
 
-    // System k: -u'' = sin((k+1) pi x), discrete eigen-solution
-    // u_j = sin((k+1) pi x_j) / lambda_k with
-    // lambda_k = (4 / h^2) sin^2((k+1) pi h / 2).
-    let systems: Vec<TridiagonalSystem<f64>> = (0..MODES)
-        .map(|k| {
-            let mut a = vec![-1.0 / (h * h); N];
-            let mut c = vec![-1.0 / (h * h); N];
-            a[0] = 0.0;
-            c[N - 1] = 0.0;
-            let b = vec![2.0 / (h * h); N];
-            let d = (1..=N).map(|j| ((k + 1) as f64 * pi * (j as f64 * h)).sin()).collect();
-            TridiagonalSystem { a, b, c, d }
-        })
-        .collect();
-    let batch = SystemBatch::from_systems(&systems).expect("batch");
+    let service: SolverService<f64> = SolverService::start(ServiceConfig {
+        target_batch: BATCH,
+        max_linger: Duration::from_millis(1),
+        queue_capacity: 2 * MODES,
+        // The warm tier: flush 1 factors the Poisson matrix, flushes
+        // 2..4 are served by back-substitution alone.
+        factor_cache: Some(Arc::new(SharedFactorCache::new(4))),
+        ..ServiceConfig::default()
+    });
 
-    // f64 at n = 512 exceeds the GT200's shared memory, so this example
-    // exercises the global-memory fallback path — the case §4 describes.
-    let report = solve_batch(&launcher, GpuAlgorithm::CrGlobalOnly, &batch).expect("solve");
-    println!(
-        "solved {MODES} Poisson systems of {N} unknowns (f64, global-memory path) \
-         in {:.3} ms simulated GPU time",
-        report.timing.kernel_ms
-    );
+    // The one shared matrix: `[-1, 2, -1]` with zeroed Dirichlet corners.
+    let mut a = vec![-1.0f64; N];
+    let mut c = vec![-1.0f64; N];
+    a[0] = 0.0;
+    c[N - 1] = 0.0;
+    let b = vec![2.0f64; N];
+
+    // Mode k: -u'' = sin((k+1) pi x), discrete eigen-solution
+    // u_j = sin((k+1) pi x_j) / lambda_k with
+    // lambda_k = (4 / h^2) sin^2((k+1) pi h / 2). With the unscaled
+    // stencil the right-hand side carries the h^2.
+    let rhs_list: Vec<Vec<f64>> = (0..MODES)
+        .map(|k| (1..=N).map(|j| h * h * ((k + 1) as f64 * pi * (j as f64 * h)).sin()).collect())
+        .collect();
+
+    let responses = service.solve_many_rhs(&a, &b, &c, &rhs_list).expect("modes admitted");
 
     let mut worst = 0.0f64;
-    for k in 0..MODES {
+    for (k, response) in responses.iter().enumerate() {
+        assert!(response.residual.is_finite(), "unverified response escaped the service");
         let lambda = 4.0 / (h * h) * (((k + 1) as f64) * pi * h / 2.0).sin().powi(2);
-        let x = report.solutions.system(k);
         for j in 1..=N {
             let exact = ((k + 1) as f64 * pi * (j as f64 * h)).sin() / lambda;
-            worst = worst.max((x[j - 1] - exact).abs() * lambda); // relative to mode scale
+            worst = worst.max((response.x[j - 1] - exact).abs() * lambda); // relative to mode scale
         }
     }
+    println!("solved {MODES} Poisson modes of {N} unknowns (f64) through the service");
     println!("worst relative error across all modes: {worst:.3e}");
     assert!(worst < 1e-10, "Poisson eigen-solution mismatch: {worst:.3e}");
+
+    let snap = service.shutdown();
+    assert_eq!(snap.completed, MODES as u64, "lost modes");
+    println!(
+        "factor cache: {} miss(es), {} hit(s), {} warm flush(es); engines {:?}",
+        snap.factor_misses, snap.factor_hits, snap.warm_flushes, snap.dispatch_systems
+    );
+    assert!(snap.factor_misses >= 1, "the first flush must factor the matrix");
+    assert!(snap.factor_hits >= 1, "later flushes must hit the cached factorization");
+    assert!(snap.warm_flushes >= 1, "later flushes must be served warm");
     println!("OK: every mode matches the discrete eigen-solution");
 }

@@ -18,19 +18,20 @@
 //! * a quiet fault plan (all rates zero) is counter-neutral: byte-identical
 //!   solutions and identical counters to running with no plan at all.
 
+use factor_cache::SharedFactorCache;
 use gpu_sim::{Clock, FaultConfig, FaultPlan, Launcher};
 use gpu_solvers::GpuAlgorithm;
 use proptest::prelude::*;
 use solver_service::{
-    make_request, serve_flush, CircuitBreakers, DeviceCtx, DispatchConfig, Engine, FlushReason,
-    FlushedBatch, MetricsSnapshot, PlanCache, ServiceConfig, ServiceError, ServiceMetrics,
-    SolveResponse, SolverService, Ticket,
+    make_request, make_request_keyed, serve_flush, CircuitBreakers, DeviceCtx, DispatchConfig,
+    Engine, FlushReason, FlushedBatch, MetricsSnapshot, PlanCache, ServiceConfig, ServiceError,
+    ServiceMetrics, SolveResponse, SolverService, Ticket,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 use tridiag_core::residual::l2_residual;
-use tridiag_core::{Generator, TridiagonalSystem, Workload};
+use tridiag_core::{Generator, MatrixKey, TridiagonalSystem, Workload};
 
 /// The acceptance bound the service property tests hold f32 responses to.
 const RESIDUAL_BOUND: f64 = 1e-2;
@@ -449,6 +450,102 @@ fn pool_survives_one_device_dying_mid_stream() {
         "a survivor's breaker left closed state: {:?}",
         deg.breaker_states
     );
+}
+
+/// The warm-tier chaos cell: a certain bit flip lands on the warm GPU
+/// back-substitution flush. The residual verify must catch it, the GEP
+/// safety net must repair it, and the poisoned cache entry must be
+/// invalidated (visible as a factor eviction) — then the next flush of
+/// the same matrix refactors from scratch. Zero wrong answers throughout.
+#[test]
+fn poisoned_warm_flush_is_repaired_and_the_entry_invalidated() {
+    let (launcher, plan) = faulty_launcher(FaultConfig {
+        seed: 0xFAC7,
+        bit_flip_rate: 1.0,
+        flips_per_event: 4,
+        ..FaultConfig::default()
+    });
+    let plans = PlanCache::new();
+    let metrics = ServiceMetrics::new();
+    let breakers = CircuitBreakers::default();
+    let cache = Arc::new(SharedFactorCache::new(4));
+    let cfg = DispatchConfig {
+        min_gpu_batch: 1,
+        pin_engine: Some(Engine::Gpu(GpuAlgorithm::CrPcr { m: 16 })),
+        sanitize_first_flush: false,
+        factor_cache: Some(Arc::clone(&cache)),
+        ..DispatchConfig::default()
+    };
+    let mut generator = Generator::new(0xFAC7);
+    let system: TridiagonalSystem<f32> = generator.system(Workload::DiagonallyDominant, 64);
+    let key = MatrixKey::of_system(&system);
+
+    let serve = |seed: u64| -> Vec<String> {
+        let mut requests = Vec::new();
+        let mut tickets = Vec::new();
+        for i in 0..4u64 {
+            let mut sys = system.clone();
+            for (j, v) in sys.d.iter_mut().enumerate() {
+                *v = ((j as u64 * 31 + i * 7 + seed) % 17) as f32 - 8.0;
+            }
+            let (req, ticket) = make_request_keyed(i, sys, 0, None, Some(key));
+            requests.push(req);
+            tickets.push(ticket);
+        }
+        serve_flush(
+            DeviceCtx::solo(&launcher),
+            &plans,
+            &breakers,
+            &metrics,
+            &cfg,
+            FlushedBatch { n: 64, requests, reason: FlushReason::Full },
+        );
+        tickets
+            .into_iter()
+            .map(|t| {
+                let r = t.try_take().expect("synchronous serve");
+                assert!(
+                    r.residual < RESIDUAL_BOUND,
+                    "wrong answer escaped: {} on {}",
+                    r.residual,
+                    r.engine
+                );
+                r.engine
+            })
+            .collect()
+    };
+
+    // Flush 1: miss → factored → served cold (the flip on the cold launch
+    // is the cold robust path's business).
+    let engines = serve(1);
+    assert!(engines.iter().all(|e| !e.contains("warm")), "first flush must be cold: {engines:?}");
+    assert_eq!(cache.stats().entries, 1);
+
+    // Flush 2: hit → warm GPU back-substitution, output poisoned by the
+    // certain flip. Verify catches it, GEP repairs, the entry dies.
+    let engines = serve(2);
+    assert!(engines.iter().all(|e| e == "warm-gpu"), "second flush must be warm: {engines:?}");
+    let snap = metrics.snapshot(0, plans.tunes(), plans.hits());
+    assert_eq!(snap.factor_hits, 1);
+    assert_eq!(snap.factor_misses, 1);
+    assert_eq!(snap.warm_flushes, 1);
+    assert!(plan.stats().bit_flips >= 2, "flip rate 1.0 injected nothing: {:?}", plan.stats());
+    assert!(
+        snap.degradation.corruptions_caught >= 1,
+        "poisoned warm output never caught: {:?}",
+        snap.degradation
+    );
+    assert!(snap.repaired >= 1, "corruption caught but nothing repaired");
+    assert!(snap.factor_evictions >= 1, "poisoned entry never invalidated");
+    assert_eq!(cache.stats().entries, 0, "poisoned entry still resident");
+
+    // Flush 3: the entry is gone, so the same matrix misses and refactors
+    // from scratch — the invalidation round-trips.
+    let engines = serve(3);
+    assert!(engines.iter().all(|e| !e.contains("warm")), "post-eviction flush must refactor");
+    let snap = metrics.snapshot(0, plans.tunes(), plans.hits());
+    assert_eq!(snap.factor_misses, 2);
+    assert_eq!(cache.stats().entries, 1, "refactorization must repopulate the cache");
 }
 
 proptest! {
