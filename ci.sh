@@ -46,6 +46,9 @@ cargo run --offline --release -p bench -- cluster --quick
 echo "==> factor gate (bench factor --quick)"
 cargo run --offline --release -p bench -- factor --quick
 
+echo "==> certify gate (bench certify --quick)"
+cargo run --offline --release -p bench -- certify --quick
+
 # Surface the perf artifacts the gates above just wrote (canonical copies
 # stay under target/repro/; the repo-root copies are gitignored and exist
 # for CI artifact upload).

@@ -14,6 +14,7 @@
 //! cargo run --release -p bench -- prove --quick       # symbolic proof gate
 //! cargo run --release -p bench -- cluster --quick     # multi-node cluster gate
 //! cargo run --release -p bench -- factor --quick      # factor-cache warm gate
+//! cargo run --release -p bench -- certify --quick     # certification gate
 //! ```
 //!
 //! Every gate shares one flag grammar (`--quick`, `--json`, whitelisted
@@ -76,6 +77,14 @@ fn main() {
     // checked-in floors or any answer escapes verification.
     if args.first().map(String::as_str) == Some("factor") {
         std::process::exit(bench::factor::run(&args[1..]));
+    }
+
+    // The certify gate runs the verify-everything vs certified sampled
+    // verification sweep: non-zero exit iff coverage of the dominant pool
+    // or the verify-skip speedup drops below the checked-in floors or any
+    // answer escapes the acceptance bound.
+    if args.first().map(String::as_str) == Some("certify") {
+        std::process::exit(bench::certify::run(&args[1..]));
     }
 
     let all = figures::all();

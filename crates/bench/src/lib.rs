@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+pub mod certify;
 pub mod chaos;
 pub mod cli;
 pub mod cluster;

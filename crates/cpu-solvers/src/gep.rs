@@ -14,6 +14,25 @@ use tridiag_core::{Real, Result, TridiagError};
 /// [`TridiagError::ZeroPivot`] only when the matrix is exactly singular
 /// (both candidate pivots zero).
 pub fn solve_into<T: Real>(a: &[T], b: &[T], c: &[T], d: &[T], x: &mut [T]) -> Result<()> {
+    solve_into_counting(a, b, c, d, x).map(|_| ())
+}
+
+/// [`solve_into`] that additionally reports how many row interchanges
+/// partial pivoting performed.
+///
+/// A return of `Ok(0)` means the elimination was pivot-free — exactly the
+/// ground truth the `numeric-verify` certificates claim, which is why the
+/// adversarial certification proptest keys off this count.
+///
+/// # Errors
+/// Same as [`solve_into`].
+pub fn solve_into_counting<T: Real>(
+    a: &[T],
+    b: &[T],
+    c: &[T],
+    d: &[T],
+    x: &mut [T],
+) -> Result<usize> {
     let n = b.len();
     debug_assert!(a.len() == n && c.len() == n && d.len() == n && x.len() == n);
     if n == 0 {
@@ -28,6 +47,7 @@ pub fn solve_into<T: Real>(a: &[T], b: &[T], c: &[T], d: &[T], x: &mut [T]) -> R
     let mut du2: Vec<T> = vec![T::ZERO; n.saturating_sub(2)];
     x.copy_from_slice(d);
 
+    let mut interchanges = 0usize;
     for i in 0..n.saturating_sub(1) {
         if dg[i].abs() >= dl[i].abs() {
             // No interchange.
@@ -43,6 +63,7 @@ pub fn solve_into<T: Real>(a: &[T], b: &[T], c: &[T], d: &[T], x: &mut [T]) -> R
             }
         } else {
             // Interchange rows i and i+1. dl[i] != 0 here.
+            interchanges += 1;
             let fact = dg[i] / dl[i];
             dg[i] = dl[i];
             let temp = dg[i + 1];
@@ -71,7 +92,7 @@ pub fn solve_into<T: Real>(a: &[T], b: &[T], c: &[T], d: &[T], x: &mut [T]) -> R
     for i in (0..n.saturating_sub(2)).rev() {
         x[i] = (x[i] - du[i] * x[i + 1] - du2[i] * x[i + 2]) / dg[i];
     }
-    Ok(())
+    Ok(interchanges)
 }
 
 /// Convenience wrapper returning a fresh solution vector.
@@ -166,6 +187,27 @@ mod tests {
         }
         // GEP should essentially never be much worse than plain GE.
         assert!(worse <= TRIALS / 10, "GEP clearly worse in {worse}/{TRIALS} trials");
+    }
+
+    #[test]
+    fn interchange_count_separates_dominant_from_pivoting_inputs() {
+        let mut g = Generator::new(77);
+        let s: TridiagonalSystem<f64> = g.system(Workload::DiagonallyDominant, 64);
+        let mut x = vec![0.0; 64];
+        let swaps = solve_into_counting(&s.a, &s.b, &s.c, &s.d, &mut x).unwrap();
+        assert_eq!(swaps, 0, "dominant matrix must be pivot-free");
+
+        // b[0] = 0 forces an interchange at the very first step.
+        let s = TridiagonalSystem::new(
+            vec![0.0f64, 1.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![2.0, 3.0],
+        )
+        .unwrap();
+        let mut x = vec![0.0; 2];
+        let swaps = solve_into_counting(&s.a, &s.b, &s.c, &s.d, &mut x).unwrap();
+        assert!(swaps > 0, "degenerate diagonal must pivot");
     }
 
     #[test]

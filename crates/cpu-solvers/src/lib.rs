@@ -12,6 +12,7 @@
 //!   GPU kernels' algebra independently of the simulator.
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub mod batch;
 pub mod batch_soa;
@@ -22,6 +23,7 @@ pub mod factored;
 pub mod gep;
 pub mod mt;
 pub mod partition;
+pub mod pivot_bounds;
 pub mod reference;
 pub mod thomas;
 
@@ -30,4 +32,5 @@ pub use batch_soa::solve_batch_soa;
 pub use condest::{condition_estimate, inverse_norm1_estimate, norm1};
 pub use factored::ThomasFactors;
 pub use mt::{MtSolver, Schedule};
+pub use pivot_bounds::{positive_pivot_floor, thomas_pivot_floor};
 pub use reference::rd::RdVariant;

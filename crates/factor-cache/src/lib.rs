@@ -33,7 +33,7 @@ use cpu_solvers::ThomasFactors;
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
-use tridiag_core::{MatrixKey, Real, Result};
+use tridiag_core::{MatrixKey, NumericCertificate, Real, Result};
 
 /// Default entry capacity: generous for real traffic (a few live
 /// operator matrices), small enough that a key-churning adversary stays
@@ -50,6 +50,10 @@ pub struct FactorEntry<T: Real> {
     pub thomas: Arc<ThomasFactors<T>>,
     /// CR reduction tree (power-of-two sizes only).
     pub cr_tree: Option<Arc<CrReductionTree<T>>>,
+    /// Numerical-safety certificate of the factored matrix, making the
+    /// warm tier certificate-aware: a warm flush may only skip its
+    /// residual verify when the entry's own certificate agrees.
+    pub certificate: NumericCertificate,
 }
 
 impl<T: Real> FactorEntry<T> {
@@ -157,6 +161,23 @@ impl<T: Real> FactorCache<T> {
         b: &[T],
         c: &[T],
     ) -> Result<(FactorEntry<T>, Vec<u64>)> {
+        self.factor_and_insert_with_certificate(key, a, b, c, NumericCertificate::Uncertified)
+    }
+
+    /// [`Self::factor_and_insert`] carrying the matrix's
+    /// [`NumericCertificate`] into the cached entry, so later warm hits
+    /// know whether the verify-skip fast path is licensed.
+    ///
+    /// # Errors
+    /// Same as [`Self::factor_and_insert`].
+    pub fn factor_and_insert_with_certificate(
+        &self,
+        key: MatrixKey,
+        a: &[T],
+        b: &[T],
+        c: &[T],
+        certificate: NumericCertificate,
+    ) -> Result<(FactorEntry<T>, Vec<u64>)> {
         let thomas = ThomasFactors::factor(a, b, c)?;
         if !thomas.is_finite() {
             return Err(tridiag_core::TridiagError::InvalidConfig {
@@ -168,7 +189,7 @@ impl<T: Real> FactorCache<T> {
         } else {
             None
         };
-        let entry = FactorEntry { key, thomas: Arc::new(thomas), cr_tree };
+        let entry = FactorEntry { key, thomas: Arc::new(thomas), cr_tree, certificate };
 
         let mut inner = self.lock();
         inner.access += 1;
@@ -401,6 +422,21 @@ mod tests {
             log
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn certificates_ride_along_with_entries() {
+        let cache: FactorCache<f64> = FactorCache::new(4);
+        let (key, s) = keyed(11, 32);
+        let cert = NumericCertificate::StrictlyDominant { margin: 1.5 };
+        let (entry, _) =
+            cache.factor_and_insert_with_certificate(key, &s.a, &s.b, &s.c, cert).unwrap();
+        assert_eq!(entry.certificate, cert);
+        assert_eq!(cache.lookup(&key).unwrap().certificate, cert);
+        // The plain insert defaults to Uncertified.
+        let (k2, s2) = keyed(12, 32);
+        let (plain, _) = cache.factor_and_insert(k2, &s2.a, &s2.b, &s2.c).unwrap();
+        assert_eq!(plain.certificate, NumericCertificate::Uncertified);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod coarse;
 pub mod common;
 pub mod cr;
 pub mod cr_variants;
+pub mod dominance;
 pub mod fixtures;
 pub mod global_only;
 pub mod hybrid;
@@ -49,6 +50,7 @@ pub use coarse::{solve_batch_coarse, ThomasPerThreadKernel};
 pub use common::SystemHandles;
 pub use cr::CrKernel;
 pub use cr_variants::{CrEvenOddKernel, CrStrideOneKernel};
+pub use dominance::{cr_level_ratio_bound, levels_until_ratio};
 pub use global_only::GlobalCrKernel;
 pub use hybrid::{HybridKernel, InnerSolver};
 pub use partitioned::{

@@ -55,11 +55,33 @@ pub struct RobustOptions {
     /// Accept a GPU solution when `||Ax - d||_2 <= threshold_scale *
     /// ||d||_2 * eps_of_T * n` (a normwise backward-error style bound).
     pub threshold_scale: f64,
+    /// Skip the O(n) residual computation entirely and accept any finite
+    /// solution. Only sound when a `NumericCertificate` guarantees
+    /// pivot-free stability for every system in the batch; the NaN/Inf
+    /// check is always retained (it is O(n) reads with no matrix access
+    /// and catches exponent-corrupting faults instantly).
+    pub skip_residual_verify: bool,
 }
 
 impl Default for RobustOptions {
     fn default() -> Self {
-        Self { threshold_scale: 100.0 }
+        Self { threshold_scale: 100.0, skip_residual_verify: false }
+    }
+}
+
+impl RobustOptions {
+    /// Condition-informed acceptance threshold: widens `base` by one
+    /// decade per decade of 1-norm condition number above 1, so that
+    /// sampled verifies of certified-but-worse-conditioned matrices are
+    /// not spuriously flagged as corrupt. Monotone in `kappa1`; `base` is
+    /// returned unchanged for `kappa1 <= 1` or non-finite estimates.
+    pub fn scaled_by_condition(base: f64, kappa1: f64) -> Self {
+        let scale = if kappa1.is_finite() && kappa1 > 1.0 {
+            base * (1.0 + kappa1.log10().max(0.0))
+        } else {
+            base
+        };
+        Self { threshold_scale: scale, skip_residual_verify: false }
     }
 }
 
@@ -86,6 +108,8 @@ pub fn solve_batch_robust<T: Real>(
         let x = gpu.solutions.system(s);
         let reason = if x.iter().any(|v| !v.is_finite()) {
             Some(RepairReason::NonFinite)
+        } else if options.skip_residual_verify {
+            None
         } else {
             let r = l2_residual(&sys, x)?;
             (r > threshold).then_some(RepairReason::LargeResidual)
@@ -212,6 +236,53 @@ mod tests {
     }
 
     #[test]
+    fn skip_mode_still_catches_non_finite_solutions() {
+        // Residual verify off: RD's overflow (NaN/Inf) must still be
+        // repaired — the finiteness guard never turns off.
+        let launcher = Launcher::gtx280();
+        let batch: SystemBatch<f32> =
+            Generator::new(2).batch(Workload::DiagonallyDominant, 512, 8).unwrap();
+        let r = solve_batch_robust(
+            &launcher,
+            GpuAlgorithm::Rd(RdMode::Plain),
+            &batch,
+            RobustOptions { skip_residual_verify: true, ..Default::default() },
+        )
+        .unwrap();
+        assert!(!r.repaired.is_empty());
+        assert!(r.repaired.iter().all(|rep| rep.reason == RepairReason::NonFinite));
+    }
+
+    #[test]
+    fn skip_mode_never_pays_for_residual_repairs() {
+        // Even a threshold that would repair everything is ignored when
+        // the residual verify is skipped on finite solutions.
+        let launcher = Launcher::gtx280();
+        let batch: SystemBatch<f32> =
+            Generator::new(5).batch(Workload::DiagonallyDominant, 128, 8).unwrap();
+        let r = solve_batch_robust(
+            &launcher,
+            GpuAlgorithm::Pcr,
+            &batch,
+            RobustOptions { threshold_scale: 0.0, skip_residual_verify: true },
+        )
+        .unwrap();
+        assert!(r.repaired.is_empty(), "{:?}", r.repaired);
+    }
+
+    #[test]
+    fn condition_scaling_is_monotone_and_bounded_below_by_base() {
+        let base = 100.0;
+        let s1 = RobustOptions::scaled_by_condition(base, 1.0).threshold_scale;
+        let s2 = RobustOptions::scaled_by_condition(base, 1e3).threshold_scale;
+        let s3 = RobustOptions::scaled_by_condition(base, 1e6).threshold_scale;
+        assert_eq!(s1, base);
+        assert!(s2 > s1 && s3 > s2, "{s1} {s2} {s3}");
+        assert_eq!(RobustOptions::scaled_by_condition(base, f64::NAN).threshold_scale, base);
+        assert!(!RobustOptions::scaled_by_condition(base, 1e9).skip_residual_verify);
+    }
+
+    #[test]
     fn tighter_threshold_repairs_more() {
         let launcher = Launcher::gtx280();
         let batch: SystemBatch<f32> =
@@ -220,14 +291,14 @@ mod tests {
             &launcher,
             GpuAlgorithm::Pcr,
             &batch,
-            RobustOptions { threshold_scale: 1e9 },
+            RobustOptions { threshold_scale: 1e9, ..Default::default() },
         )
         .unwrap();
         let tight = solve_batch_robust(
             &launcher,
             GpuAlgorithm::Pcr,
             &batch,
-            RobustOptions { threshold_scale: 1.0 },
+            RobustOptions { threshold_scale: 1.0, ..Default::default() },
         )
         .unwrap();
         assert!(tight.repaired.len() >= loose.repaired.len());

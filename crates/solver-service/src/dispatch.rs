@@ -47,10 +47,14 @@ use factor_cache::{FactorCache, FactorEntry, SharedFactorCache};
 use gpu_sim::{tick_duration, Clock, Launcher};
 use gpu_solvers::{solve_batch_robust, GpuAlgorithm, RobustOptions};
 use kernel_verify::VerifiedCatalog;
+use numeric_verify::{CertifiedCatalog, VerifyDecision};
 use std::sync::Arc;
 use std::time::Duration;
 use tridiag_core::residual::l2_residual;
-use tridiag_core::{MatrixKey, Real, SolutionBatch, SystemBatch, TridiagError, TridiagonalSystem};
+use tridiag_core::{
+    MatrixKey, NumericCertificate, Real, SolutionBatch, SystemBatch, TridiagError,
+    TridiagonalSystem,
+};
 
 /// Dispatch-time knobs (a copy of the relevant service config).
 #[derive(Debug, Clone)]
@@ -83,6 +87,14 @@ pub struct DispatchConfig {
     /// through to the cold path. `None` (the default) disables the warm
     /// tier entirely; every existing dispatch decision is unchanged.
     pub factor_cache: Option<Arc<SharedFactorCache>>,
+    /// Numerical-safety certificate catalog. When set, a keyed flush is
+    /// statically analyzed once per matrix identity; certified matrices
+    /// downgrade the per-answer residual verify to deterministic 1-in-K
+    /// *sampled* verification (skipped answers keep the NaN/Inf guard and
+    /// report the certificate's a-priori forward-error bound), and a
+    /// corruption caught on any verified flush revokes the certificate.
+    /// `None` (the default) keeps full verification everywhere.
+    pub certified: Option<Arc<CertifiedCatalog>>,
     /// How many times one engine is tried per flush before it is excluded
     /// (first attempt + retries). Transient device faults between attempts
     /// back off exponentially.
@@ -114,6 +126,7 @@ impl Default for DispatchConfig {
             sanitize_first_flush: true,
             verified: None,
             factor_cache: None,
+            certified: None,
             max_attempts_per_engine: 2,
             max_total_attempts: 4,
             backoff_base: Duration::from_micros(50),
@@ -186,13 +199,71 @@ pub fn serve_flush<T: Real>(
     let occupancy = requests.len();
     debug_assert!(occupancy > 0, "empty flush");
 
+    // Certification: a keyed flush consults the certificate catalog
+    // first. The matrix is statically analyzed exactly once per key;
+    // thereafter the catalog's deterministic 1-in-K policy decides how
+    // much verification this flush pays. Unkeyed flushes (and any flush
+    // without a catalog) keep full verification.
+    let matrix_key = (cfg.factor_cache.is_some() || cfg.certified.is_some())
+        .then(|| shared_matrix_key(&requests))
+        .flatten();
+    let mut policy = VerifyPolicy::full(cfg.threshold_scale);
+    let mut certificate = NumericCertificate::Uncertified;
+    if let (Some(catalog), Some(key)) = (&cfg.certified, matrix_key) {
+        let obs = catalog.observe(key, &requests[0].system);
+        if obs.newly_analyzed {
+            metrics.on_condest_calls(obs.condest_calls);
+            if obs.certificate.is_certified() {
+                metrics.on_cert_issued();
+            }
+            cfg.trace.emit(|| TraceEvent::CertIssued {
+                at: cfg.clock.now(),
+                key: key.fingerprint(),
+                cert: obs.certificate.name().to_string(),
+            });
+        }
+        certificate = obs.certificate;
+        match obs.decision {
+            VerifyDecision::Full => {}
+            VerifyDecision::Sampled => {
+                metrics.on_cert_sampled_verify();
+                policy = VerifyPolicy {
+                    decision: VerifyDecision::Sampled,
+                    // Condition-informed acceptance (the condest wiring):
+                    // a certified-but-worse-conditioned matrix widens its
+                    // sampled-verify threshold instead of tripping false
+                    // corruption alarms.
+                    threshold_scale: RobustOptions::scaled_by_condition(
+                        cfg.threshold_scale,
+                        obs.kappa1,
+                    )
+                    .threshold_scale,
+                    forward_error_bound: obs.forward_error_bound,
+                };
+            }
+            VerifyDecision::Skip => {
+                metrics.on_cert_skipped_verify();
+                cfg.trace.emit(|| TraceEvent::CertSkipVerify {
+                    at: cfg.clock.now(),
+                    key: key.fingerprint(),
+                    n: n as u64,
+                });
+                policy = VerifyPolicy {
+                    decision: VerifyDecision::Skip,
+                    threshold_scale: cfg.threshold_scale,
+                    forward_error_bound: obs.forward_error_bound,
+                };
+            }
+        }
+    }
+
     // Warm tier: a keyed flush (every member shares one matrix identity)
     // checks the factorization cache first. A hit skips planning *and*
     // elimination — the batch is served by back-substitution alone; a
     // miss factors the matrix for next time and falls through cold.
     let mut warm_outcome: Option<Outcome<T>> = None;
     if let Some(shared) = &cfg.factor_cache {
-        if let Some(key) = shared_matrix_key(&requests) {
+        if let Some(key) = matrix_key {
             let cache = shared.of::<T>();
             match cache.lookup(&key) {
                 Some(entry) => {
@@ -202,8 +273,9 @@ pub fn serve_flush<T: Real>(
                         n: n as u64,
                     });
                     metrics.on_factor_hit();
-                    warm_outcome =
-                        Some(warm_execute(&device, &cache, &key, &entry, &requests, cfg, metrics));
+                    warm_outcome = Some(warm_execute(
+                        &device, &cache, &key, &entry, &requests, cfg, metrics, &policy,
+                    ));
                     metrics.on_warm_flush();
                 }
                 None => {
@@ -216,8 +288,15 @@ pub fn serve_flush<T: Real>(
                     let sys = &requests[0].system;
                     // Unfactorable matrices (zero pivot, non-finite) are
                     // simply not cached; the cold path's verify/repair
-                    // machinery owns them.
-                    if let Ok((_, evicted)) = cache.factor_and_insert(key, &sys.a, &sys.b, &sys.c) {
+                    // machinery owns them. The entry carries the matrix's
+                    // certificate so warm hits stay certificate-aware.
+                    if let Ok((_, evicted)) = cache.factor_and_insert_with_certificate(
+                        key,
+                        &sys.a,
+                        &sys.b,
+                        &sys.c,
+                        certificate,
+                    ) {
                         metrics.on_factor_evictions(evicted.len() as u64);
                         for fp in evicted {
                             cfg.trace
@@ -272,8 +351,23 @@ pub fn serve_flush<T: Real>(
 
         let systems: Vec<TridiagonalSystem<T>> =
             requests.iter().map(|r| r.system.clone()).collect();
-        execute(&device, engine, &fallbacks, breakers, &systems, cfg, sanitize)
+        execute(&device, engine, &fallbacks, breakers, &systems, cfg, sanitize, &policy)
     };
+
+    // A corruption caught while serving a certified key revokes its
+    // certificate: sampled verification did its job, and the key returns
+    // to full per-answer verification for the life of the process.
+    if outcome.corruptions > 0 && certificate.is_certified() {
+        if let (Some(catalog), Some(key)) = (&cfg.certified, matrix_key) {
+            if catalog.revoke(&key) {
+                metrics.on_cert_revoked();
+                cfg.trace.emit(|| TraceEvent::CertRevoked {
+                    at: cfg.clock.now(),
+                    key: key.fingerprint(),
+                });
+            }
+        }
+    }
 
     // Per-device accounting: GPU-served flushes accrue simulated busy time
     // on the device that ran them (CPU-demoted flushes cost the device
@@ -380,6 +474,34 @@ fn sanitize_decision<T: Real>(
     }
 }
 
+/// How much verification one flush pays, resolved once per flush from the
+/// certified catalog (defaulting to full verification for unkeyed or
+/// uncertified traffic).
+#[derive(Debug, Clone, Copy)]
+struct VerifyPolicy {
+    decision: VerifyDecision,
+    /// Acceptance scale for verified flushes (condition-informed on
+    /// `Sampled` flushes of certified keys).
+    threshold_scale: f64,
+    /// The certificate's a-priori forward-error bound, reported in place
+    /// of a measured residual on `Skip` flushes.
+    forward_error_bound: f64,
+}
+
+impl VerifyPolicy {
+    fn full(threshold_scale: f64) -> Self {
+        VerifyPolicy {
+            decision: VerifyDecision::Full,
+            threshold_scale,
+            forward_error_bound: f64::INFINITY,
+        }
+    }
+
+    fn skips(&self) -> bool {
+        self.decision == VerifyDecision::Skip
+    }
+}
+
 struct Outcome<T: Real> {
     solutions: SolutionBatch<T>,
     residuals: Vec<f64>,
@@ -428,6 +550,7 @@ fn backoff_delay(cfg: &DispatchConfig, attempt: usize) -> Duration {
 ///   walk `fallbacks` (the autotune ranking) to the next-best GPU
 ///   candidate; device loss or attempt exhaustion lands on the CPU GEP
 ///   safety net. The flush is **never** dropped.
+#[allow(clippy::too_many_arguments)] // internal dispatch plumbing; grouping would add a one-use struct
 fn execute<T: Real>(
     device: &DeviceCtx<'_>,
     engine: Engine,
@@ -436,12 +559,17 @@ fn execute<T: Real>(
     systems: &[TridiagonalSystem<T>],
     cfg: &DispatchConfig,
     sanitize: bool,
+    policy: &VerifyPolicy,
 ) -> Outcome<T> {
     let launcher = device.launcher;
     let batch = SystemBatch::from_systems(systems).expect("flush holds >=1 same-size systems");
-    let threshold_scale = cfg.threshold_scale;
+    let threshold_scale = policy.threshold_scale;
+    // Degraded paths (sanitizer demotion, the GEP safety net) always pay
+    // full verification regardless of certificates — a degraded flush has
+    // already shown evidence that static assumptions may not hold.
+    let full_policy = VerifyPolicy::full(cfg.threshold_scale);
     let first = match engine {
-        Engine::Cpu(cpu) => return cpu_execute(systems, &batch, cpu, threshold_scale, &cfg.clock),
+        Engine::Cpu(cpu) => return cpu_execute(systems, &batch, cpu, policy, &cfg.clock),
         Engine::Gpu(alg) => alg,
     };
 
@@ -492,7 +620,7 @@ fn execute<T: Real>(
             } else {
                 launcher
             };
-            let options = RobustOptions { threshold_scale };
+            let options = RobustOptions { threshold_scale, skip_residual_verify: policy.skips() };
             match solve_batch_robust(attempt_launcher, *alg, &batch, options) {
                 Ok(report) => {
                     breakers.on_success(&key);
@@ -510,7 +638,7 @@ fn execute<T: Real>(
                                 systems,
                                 &batch,
                                 CpuEngine::Gep,
-                                threshold_scale,
+                                &full_policy,
                                 &cfg.clock,
                             );
                             out.sanitizer_findings = findings;
@@ -524,7 +652,18 @@ fn execute<T: Real>(
                     for repair in &report.repaired {
                         repaired_flags[repair.system] = true;
                     }
-                    let residuals = residuals_of(systems, &report.gpu.solutions);
+                    // Skipped flushes report the certificate's a-priori
+                    // bound instead of paying the O(n) residual read-back
+                    // (repaired systems report their measured residual).
+                    let residuals = if policy.skips() {
+                        let mut rs = vec![policy.forward_error_bound; systems.len()];
+                        for repair in &report.repaired {
+                            rs[repair.system] = repair.final_residual;
+                        }
+                        rs
+                    } else {
+                        residuals_of(systems, &report.gpu.solutions)
+                    };
                     let engine_ms = report.gpu.timing.total_ms();
                     let corruptions = report.gpu.corruption_count() as u64;
                     return Outcome {
@@ -574,7 +713,7 @@ fn execute<T: Real>(
     // Every GPU avenue is exhausted (or denied): the pivoted CPU safety
     // net serves the flush. This is the graceful-degradation terminal —
     // correct answers, observable cost.
-    let mut out = cpu_execute(systems, &batch, CpuEngine::Gep, threshold_scale, &cfg.clock);
+    let mut out = cpu_execute(systems, &batch, CpuEngine::Gep, &full_policy, &cfg.clock);
     out.retries = retries;
     out.device_faults = device_faults;
     out.degraded = true;
@@ -594,6 +733,14 @@ pub(crate) fn sim_cpu_ns(cpu: CpuEngine, n: usize, count: usize) -> u64 {
     };
     (n as u64).saturating_mul(count as u64).saturating_mul(per_row)
 }
+
+/// Simulated-clock share of the per-row engine cost that pays for the
+/// per-answer residual verify (`||Ax − d||` read-back + reduction). A
+/// certificate-backed `Skip` flush subtracts this discount from the
+/// engine constants above, which are calibrated *with* verification
+/// included — existing baselines are untouched, and the certified fast
+/// path's measured win is exactly the verify it no longer performs.
+pub(crate) const SIM_VERIFY_NS_PER_ROW: u64 = 7;
 
 /// Simulated-clock cost of a warm CPU back-substitution, in integer
 /// nanoseconds: 16 ns/row against Thomas's 25 — the `5n`-vs-`8n` flop
@@ -615,10 +762,15 @@ fn shared_matrix_key<T: Real>(requests: &[SolveRequest<T>]) -> Option<MatrixKey>
 /// Serves one keyed flush from a cached factorization: GPU warm kernel
 /// when the batch clears `min_gpu_batch` (falling back to the CPU sweep
 /// on a device fault), CPU sweep otherwise. Every solution passes the
-/// same residual acceptance test as the cold path; a failure — a
-/// corrupted launch, or a stale/poisoned factorization — is repaired
-/// per-system with GEP and **invalidates the cache entry**, so the next
-/// flush refactors from scratch rather than re-trusting bad coefficients.
+/// same residual acceptance test as the cold path — unless the key holds
+/// a live [`NumericCertificate`] and the catalog's sampled-verification
+/// policy says `Skip`, in which case only the NaN/Inf guard runs and the
+/// reported residual is the certificate's a-priori forward-error bound.
+/// A failure — a corrupted launch, or a stale/poisoned factorization —
+/// is repaired per-system with GEP and **invalidates the cache entry**,
+/// so the next flush refactors from scratch rather than re-trusting bad
+/// coefficients.
+#[allow(clippy::too_many_arguments)] // internal dispatch plumbing; grouping would add a one-use struct
 fn warm_execute<T: Real>(
     device: &DeviceCtx<'_>,
     cache: &FactorCache<T>,
@@ -627,6 +779,7 @@ fn warm_execute<T: Real>(
     requests: &[SolveRequest<T>],
     cfg: &DispatchConfig,
     metrics: &ServiceMetrics,
+    policy: &VerifyPolicy,
 ) -> Outcome<T> {
     let n = entry.thomas.n();
     let count = requests.len();
@@ -667,8 +820,14 @@ fn warm_execute<T: Real>(
             for (i, req) in requests.iter().enumerate() {
                 entry.thomas.solve_into(&req.system.d, solutions.system_mut(i));
             }
+            let skip = policy.skips() && entry.certificate.is_certified();
             let ms = if cfg.clock.is_sim() {
-                sim_cpu_warm_ns(n, count) as f64 / 1e6
+                let discount = if skip {
+                    (n as u64).saturating_mul(count as u64).saturating_mul(SIM_VERIFY_NS_PER_ROW)
+                } else {
+                    0
+                };
+                sim_cpu_warm_ns(n, count).saturating_sub(discount) as f64 / 1e6
             } else {
                 started.elapsed().as_secs_f64() * 1e3
             };
@@ -676,8 +835,10 @@ fn warm_execute<T: Real>(
         }
     };
 
-    // Same acceptance rule as the cold paths; failures additionally
-    // condemn the cached factorization.
+    // Same acceptance rule as the cold paths — unless a certificate
+    // licenses skipping the residual read; the NaN/Inf guard is never
+    // skipped. Failures additionally condemn the cached factorization.
+    let skip_verify = policy.skips() && entry.certificate.is_certified();
     let eps = T::EPSILON.to_f64();
     let mut residuals = vec![0.0f64; count];
     let mut repaired_flags = vec![false; count];
@@ -686,18 +847,26 @@ fn warm_execute<T: Real>(
     for (i, req) in requests.iter().enumerate() {
         let sys = &req.system;
         let x = solutions.system_mut(i);
-        let d_norm: f64 =
-            sys.d.iter().map(|&v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt().max(1e-30);
-        let threshold = cfg.threshold_scale * d_norm * eps * n as f64;
-        let accepted = x.iter().all(|v| v.is_finite())
-            && l2_residual(sys, x).map(|r| r <= threshold).unwrap_or(false);
+        let finite = x.iter().all(|v| v.is_finite());
+        let accepted = if skip_verify {
+            finite
+        } else {
+            let d_norm: f64 =
+                sys.d.iter().map(|&v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt().max(1e-30);
+            let threshold = policy.threshold_scale * d_norm * eps * n as f64;
+            finite && l2_residual(sys, x).map(|r| r <= threshold).unwrap_or(false)
+        };
         if !accepted {
             let _ = gep::solve_into(&sys.a, &sys.b, &sys.c, &sys.d, x);
             repaired_flags[i] = true;
             repairs += 1;
             corruptions += 1;
         }
-        residuals[i] = l2_residual(sys, x).unwrap_or(f64::INFINITY);
+        residuals[i] = if skip_verify && !repaired_flags[i] {
+            policy.forward_error_bound
+        } else {
+            l2_residual(sys, x).unwrap_or(f64::INFINITY)
+        };
     }
     if corruptions > 0 && cache.invalidate(key) {
         metrics.on_factor_evictions(1);
@@ -721,17 +890,21 @@ fn warm_execute<T: Real>(
 
 /// CPU path with the same acceptance rule as `solve_batch_robust`: accept
 /// when `||Ax − d||₂ ≤ scale · ||d||₂ · ε · n`, otherwise re-solve with
-/// partial pivoting. Engine time is measured off the wall on a real
-/// clock and modeled by [`sim_cpu_ns`] on a simulated one.
+/// partial pivoting. A `Skip` policy drops the residual read (NaN/Inf
+/// guard only) and reports the certificate's forward-error bound. Engine
+/// time is measured off the wall on a real clock and modeled by
+/// [`sim_cpu_ns`] (minus the [`SIM_VERIFY_NS_PER_ROW`] discount when
+/// skipping) on a simulated one.
 fn cpu_execute<T: Real>(
     systems: &[TridiagonalSystem<T>],
     batch: &SystemBatch<T>,
     cpu: CpuEngine,
-    threshold_scale: f64,
+    policy: &VerifyPolicy,
     clock: &Clock,
 ) -> Outcome<T> {
     let n = batch.n();
     let eps = T::EPSILON.to_f64();
+    let skip_verify = policy.skips();
     let mut solutions = SolutionBatch::zeros_like(batch);
     let mut residuals = vec![0.0f64; systems.len()];
     let mut repaired_flags = vec![false; systems.len()];
@@ -744,23 +917,36 @@ fn cpu_execute<T: Real>(
             CpuEngine::Thomas => thomas::solve_into(&sys.a, &sys.b, &sys.c, &sys.d, x).is_ok(),
             CpuEngine::Gep => gep::solve_into(&sys.a, &sys.b, &sys.c, &sys.d, x).is_ok(),
         };
-        let d_norm: f64 =
-            sys.d.iter().map(|&v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt().max(1e-30);
-        let threshold = threshold_scale * d_norm * eps * n as f64;
-        let accepted = primary_ok
-            && x.iter().all(|v| v.is_finite())
-            && l2_residual(sys, x).map(|r| r <= threshold).unwrap_or(false);
+        let finite = x.iter().all(|v| v.is_finite());
+        let accepted = if skip_verify {
+            primary_ok && finite
+        } else {
+            let d_norm: f64 =
+                sys.d.iter().map(|&v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt().max(1e-30);
+            let threshold = policy.threshold_scale * d_norm * eps * n as f64;
+            primary_ok && finite && l2_residual(sys, x).map(|r| r <= threshold).unwrap_or(false)
+        };
         if !accepted && cpu != CpuEngine::Gep {
             // Same repair path as the GPU robust wrapper.
             let _ = gep::solve_into(&sys.a, &sys.b, &sys.c, &sys.d, x);
             repaired_flags[i] = true;
             repairs += 1;
         }
-        residuals[i] = l2_residual(sys, x).unwrap_or(f64::INFINITY);
+        residuals[i] = if skip_verify && accepted {
+            policy.forward_error_bound
+        } else {
+            l2_residual(sys, x).unwrap_or(f64::INFINITY)
+        };
     }
 
     let engine_ms = if clock.is_sim() {
-        sim_cpu_ns(cpu, n, systems.len()) as f64 / 1e6
+        let base = sim_cpu_ns(cpu, n, systems.len());
+        let discount = if skip_verify {
+            (n as u64).saturating_mul(systems.len() as u64).saturating_mul(SIM_VERIFY_NS_PER_ROW)
+        } else {
+            0
+        };
+        base.saturating_sub(discount) as f64 / 1e6
     } else {
         started.elapsed().as_secs_f64() * 1e3
     };
@@ -941,6 +1127,7 @@ mod tests {
             &systems,
             &cfg(),
             false,
+            &VerifyPolicy::full(100.0),
         );
         assert!(out.repairs > 0);
         assert!(out.residuals.iter().all(|&r| r.is_finite() && r < 1e-2));
@@ -1040,6 +1227,7 @@ mod tests {
             &systems,
             &cfg(),
             true,
+            &VerifyPolicy::full(100.0),
         );
         assert_eq!(out.engine_label, "cr");
         let (errors, _warnings) = out.sanitizer_findings.expect("sanitized flush reports findings");
@@ -1277,6 +1465,182 @@ mod tests {
         assert!(cache.stats().entries == 0);
     }
 
+    // ── certification: sampled verification, skip, revocation ────────
+
+    use numeric_verify::CertifiedCatalog;
+
+    #[test]
+    fn certified_key_downgrades_to_sampled_verification() {
+        let launcher = Launcher::gtx280();
+        let plans = PlanCache::new();
+        let metrics = ServiceMetrics::new();
+        let catalog = Arc::new(CertifiedCatalog::with_sample_period(4));
+        let cert_cfg = DispatchConfig {
+            certified: Some(Arc::clone(&catalog)),
+            pin_engine: Some(Engine::Cpu(CpuEngine::Thomas)),
+            ..cfg()
+        };
+        let mut generator = Generator::new(71);
+        let system: TridiagonalSystem<f32> = generator.system(Workload::DiagonallyDominant, 128);
+
+        // Five flushes of the same certified matrix: verify pattern is
+        // Sampled, Skip, Skip, Skip, Sampled.
+        for round in 0..5 {
+            let (flush, tickets) = keyed_flush(&system, 8, round);
+            serve_flush(
+                DeviceCtx::solo(&launcher),
+                &plans,
+                &CircuitBreakers::default(),
+                &metrics,
+                &cert_cfg,
+                flush,
+            );
+            for ticket in tickets {
+                let resp = ticket.try_take().unwrap();
+                assert!(!resp.repaired, "certified dominant traffic needs no repair");
+                assert!(
+                    resp.residual.is_finite() && resp.residual < 1e-2,
+                    "round {round}: {}",
+                    resp.residual
+                );
+            }
+        }
+
+        let snap = metrics.snapshot(0, 0, 0);
+        assert_eq!(snap.condest_calls, 1, "analysis is once-per-key");
+        assert_eq!(snap.certs_issued, 1);
+        assert_eq!(snap.cert_sampled_verifies, 2);
+        assert_eq!(snap.cert_skipped_verifies, 3);
+        assert_eq!(snap.certs_revoked, 0);
+        assert!(snap.degradation.is_quiet(), "certification is not degradation");
+        let stats = catalog.stats();
+        assert_eq!((stats.analyzed, stats.certified, stats.revoked), (1, 1, 0));
+    }
+
+    #[test]
+    fn uncertified_key_keeps_full_verification() {
+        let launcher = Launcher::gtx280();
+        let plans = PlanCache::new();
+        let metrics = ServiceMetrics::new();
+        let catalog = Arc::new(CertifiedCatalog::new());
+        let cert_cfg = DispatchConfig {
+            certified: Some(Arc::clone(&catalog)),
+            pin_engine: Some(Engine::Cpu(CpuEngine::Thomas)),
+            ..cfg()
+        };
+        // Not dominant (|a|+|c| > |b|), not SPD (an LDLᵀ pivot goes
+        // negative), not an M-matrix (positive off-diagonals): no
+        // certificate class fits.
+        let n = 64;
+        let mut a = vec![1.0f32; n];
+        let mut c = vec![1.0f32; n];
+        a[0] = 0.0;
+        c[n - 1] = 0.0;
+        let system = TridiagonalSystem::<f32>::new(a, vec![0.5; n], c, vec![1.0; n]).unwrap();
+        for round in 0..4 {
+            let (flush, tickets) = keyed_flush(&system, 8, round);
+            serve_flush(
+                DeviceCtx::solo(&launcher),
+                &plans,
+                &CircuitBreakers::default(),
+                &metrics,
+                &cert_cfg,
+                flush,
+            );
+            for ticket in tickets {
+                let resp = ticket.try_take().unwrap();
+                assert!(resp.residual.is_finite() && resp.residual < 1e-2, "{}", resp.residual);
+            }
+        }
+        let snap = metrics.snapshot(0, 0, 0);
+        // The class scan rejects before the condition estimator runs, so
+        // no condest call is spent on this key.
+        assert_eq!(snap.condest_calls, 0);
+        assert_eq!(snap.certs_issued, 0);
+        assert_eq!(snap.cert_sampled_verifies + snap.cert_skipped_verifies, 0);
+        let stats = catalog.stats();
+        assert_eq!((stats.analyzed, stats.certified), (1, 0));
+    }
+
+    #[test]
+    fn corruption_on_sampled_warm_flush_revokes_the_certificate() {
+        // Every warm GPU launch flips bits; with K = 1 every certified
+        // flush is sampled, so the very first warm corruption is caught,
+        // repaired, and the certificate revoked.
+        let (launcher, _plan) = faulty_launcher(FaultConfig {
+            seed: 0xCE27,
+            bit_flip_rate: 1.0,
+            flips_per_event: 4,
+            ..FaultConfig::default()
+        });
+        let plans = PlanCache::new();
+        let metrics = ServiceMetrics::new();
+        let cache = Arc::new(SharedFactorCache::new(4));
+        let catalog = Arc::new(CertifiedCatalog::with_sample_period(1));
+        let cert_cfg = DispatchConfig {
+            factor_cache: Some(Arc::clone(&cache)),
+            certified: Some(Arc::clone(&catalog)),
+            pin_engine: Some(Engine::Cpu(CpuEngine::Thomas)),
+            ..cfg()
+        };
+        let mut generator = Generator::new(72);
+        let system: TridiagonalSystem<f32> = generator.system(Workload::DiagonallyDominant, 64);
+        let key = tridiag_core::MatrixKey::of_system(&system);
+
+        // Flush 1: factor miss, served cold on the (fault-immune) CPU.
+        let (flush, _t1) = keyed_flush(&system, 8, 1);
+        serve_flush(
+            DeviceCtx::solo(&launcher),
+            &plans,
+            &CircuitBreakers::default(),
+            &metrics,
+            &cert_cfg,
+            flush,
+        );
+        assert!(catalog.certificate(&key).unwrap().is_certified());
+
+        // Flush 2: warm GPU back-substitution, bit-flipped. The sampled
+        // verify catches it, GEP repairs every answer, and the
+        // certificate dies with the poisoned cache entry.
+        let (flush, tickets) = keyed_flush(&system, 8, 2);
+        serve_flush(
+            DeviceCtx::solo(&launcher),
+            &plans,
+            &CircuitBreakers::default(),
+            &metrics,
+            &cert_cfg,
+            flush,
+        );
+        for ticket in tickets {
+            let resp = ticket.try_take().unwrap();
+            assert!(resp.residual < 1e-2, "repaired answers stay right: {}", resp.residual);
+        }
+        let snap = metrics.snapshot(0, 0, 0);
+        assert_eq!(snap.certs_revoked, 1);
+        assert!(snap.degradation.corruptions_caught > 0);
+        assert_eq!(
+            catalog.certificate(&key),
+            Some(tridiag_core::NumericCertificate::Uncertified),
+            "revoked keys read as uncertified"
+        );
+
+        // Flush 3: back to full verification — no further sampling
+        // counters move for this key.
+        let sampled_before = snap.cert_sampled_verifies;
+        let (flush, _t3) = keyed_flush(&system, 8, 3);
+        serve_flush(
+            DeviceCtx::solo(&launcher),
+            &plans,
+            &CircuitBreakers::default(),
+            &metrics,
+            &cert_cfg,
+            flush,
+        );
+        let snap = metrics.snapshot(0, 0, 0);
+        assert_eq!(snap.cert_sampled_verifies, sampled_before);
+        assert_eq!(snap.cert_skipped_verifies, 0, "K = 1 never skips");
+    }
+
     // ── resilience: retries, breakers, graceful degradation ──────────
 
     use gpu_sim::{FaultConfig, FaultPlan};
@@ -1360,6 +1724,7 @@ mod tests {
             &systems,
             &cfg(),
             false,
+            &VerifyPolicy::full(100.0),
         );
         assert_eq!(out.engine_label, "cpu-gep");
         assert!(out.degraded);

@@ -51,6 +51,11 @@ pub struct ServiceMetrics {
     factor_misses: AtomicU64,
     factor_evictions: AtomicU64,
     warm_flushes: AtomicU64,
+    condest_calls: AtomicU64,
+    certs_issued: AtomicU64,
+    cert_skipped_verifies: AtomicU64,
+    cert_sampled_verifies: AtomicU64,
+    certs_revoked: AtomicU64,
     latency_us: [AtomicU64; LATENCY_BUCKETS],
     /// batch size → systems served in batches of that size.
     occupancy: Mutex<BTreeMap<usize, u64>>,
@@ -92,6 +97,11 @@ impl ServiceMetrics {
             factor_misses: AtomicU64::new(0),
             factor_evictions: AtomicU64::new(0),
             warm_flushes: AtomicU64::new(0),
+            condest_calls: AtomicU64::new(0),
+            certs_issued: AtomicU64::new(0),
+            cert_skipped_verifies: AtomicU64::new(0),
+            cert_sampled_verifies: AtomicU64::new(0),
+            certs_revoked: AtomicU64::new(0),
             latency_us: core::array::from_fn(|_| AtomicU64::new(0)),
             occupancy: Mutex::new(BTreeMap::new()),
             dispatch: Mutex::new(BTreeMap::new()),
@@ -209,6 +219,33 @@ impl ServiceMetrics {
         self.warm_flushes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// `count` Hager condition-estimator invocations spent by the static
+    /// analyzer (at most one per matrix key — analysis is memoized).
+    pub fn on_condest_calls(&self, count: u64) {
+        self.condest_calls.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// One matrix key earned a live numeric certificate.
+    pub fn on_cert_issued(&self) {
+        self.certs_issued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One certified flush skipped the per-answer residual verify
+    /// (NaN/Inf guard only).
+    pub fn on_cert_skipped_verify(&self) {
+        self.cert_skipped_verifies.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One certified flush paid the deterministic 1-in-K sampled verify.
+    pub fn on_cert_sampled_verify(&self) {
+        self.cert_sampled_verifies.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One certificate permanently revoked after a caught corruption.
+    pub fn on_cert_revoked(&self) {
+        self.certs_revoked.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// One request completed with end-to-end `latency`.
     pub fn on_complete(&self, latency: Duration) {
         self.completed.fetch_add(1, Ordering::Relaxed);
@@ -255,6 +292,11 @@ impl ServiceMetrics {
             factor_misses: self.factor_misses.load(Ordering::Relaxed),
             factor_evictions: self.factor_evictions.load(Ordering::Relaxed),
             warm_flushes: self.warm_flushes.load(Ordering::Relaxed),
+            condest_calls: self.condest_calls.load(Ordering::Relaxed),
+            certs_issued: self.certs_issued.load(Ordering::Relaxed),
+            cert_skipped_verifies: self.cert_skipped_verifies.load(Ordering::Relaxed),
+            cert_sampled_verifies: self.cert_sampled_verifies.load(Ordering::Relaxed),
+            certs_revoked: self.certs_revoked.load(Ordering::Relaxed),
             queue_depth,
             plan_tunes,
             plan_hits,
@@ -395,6 +437,18 @@ pub struct MetricsSnapshot {
     pub factor_evictions: u64,
     /// Flushes served entirely by back-substitution (no elimination).
     pub warm_flushes: u64,
+    /// Hager condition-estimator invocations by the static analyzer (at
+    /// most one per matrix key). Certification counters, like the factor
+    /// counters above, are *activity*, not degradation.
+    pub condest_calls: u64,
+    /// Matrix keys holding a live numeric certificate.
+    pub certs_issued: u64,
+    /// Certified flushes that skipped the per-answer residual verify.
+    pub cert_skipped_verifies: u64,
+    /// Certified flushes that paid the deterministic 1-in-K sample.
+    pub cert_sampled_verifies: u64,
+    /// Certificates permanently revoked after a caught corruption.
+    pub certs_revoked: u64,
     /// Admission queue depth at snapshot time.
     pub queue_depth: usize,
     /// Autotune tournaments run so far.
@@ -441,7 +495,7 @@ impl MetricsSnapshot {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(512);
         s.push('{');
-        let scalars: [(&str, u64); 22] = [
+        let scalars: [(&str, u64); 27] = [
             ("submitted", self.submitted),
             ("completed", self.completed),
             ("rejected", self.rejected),
@@ -458,6 +512,11 @@ impl MetricsSnapshot {
             ("factor_misses", self.factor_misses),
             ("factor_evictions", self.factor_evictions),
             ("warm_flushes", self.warm_flushes),
+            ("condest_calls", self.condest_calls),
+            ("certs_issued", self.certs_issued),
+            ("cert_skipped_verifies", self.cert_skipped_verifies),
+            ("cert_sampled_verifies", self.cert_sampled_verifies),
+            ("certs_revoked", self.certs_revoked),
             ("queue_depth", self.queue_depth as u64),
             ("plan_tunes", self.plan_tunes),
             ("plan_hits", self.plan_hits),
@@ -632,6 +691,29 @@ mod tests {
         let json = snap.to_json();
         assert!(json.contains("\"factor_hits\":2"), "{json}");
         assert!(json.contains("\"warm_flushes\":1"), "{json}");
+    }
+
+    #[test]
+    fn certification_counters_accumulate_without_disturbing_quiet() {
+        let m = ServiceMetrics::new();
+        m.on_condest_calls(1);
+        m.on_cert_issued();
+        m.on_cert_sampled_verify();
+        m.on_cert_skipped_verify();
+        m.on_cert_skipped_verify();
+        m.on_cert_revoked();
+        let snap = m.snapshot(0, 0, 0);
+        assert_eq!(snap.condest_calls, 1);
+        assert_eq!(snap.certs_issued, 1);
+        assert_eq!(snap.cert_sampled_verifies, 1);
+        assert_eq!(snap.cert_skipped_verifies, 2);
+        assert_eq!(snap.certs_revoked, 1);
+        // Certification traffic is activity, not degradation.
+        assert!(snap.degradation.is_quiet());
+        let json = snap.to_json();
+        assert!(json.contains("\"condest_calls\":1"), "{json}");
+        assert!(json.contains("\"cert_skipped_verifies\":2"), "{json}");
+        assert!(json.contains("\"certs_revoked\":1"), "{json}");
     }
 
     #[test]

@@ -86,6 +86,17 @@ pub struct ServiceConfig {
     /// behaviour byte-identical to the cold-only service. Share one `Arc`
     /// across services to share factorizations between them.
     pub factor_cache: Option<Arc<SharedFactorCache>>,
+    /// Certified catalog for verify-skipping dispatch. When set, every
+    /// admitted system is identity-hashed (like
+    /// [`factor_cache`](Self::factor_cache)) and each matrix key is
+    /// statically analyzed exactly once; keys earning a
+    /// [`numeric_verify::NumericCertificate`] downgrade the per-answer
+    /// residual verify to deterministic 1-in-K sampling (the NaN/Inf
+    /// guard always runs), and a corruption caught on a sampled flush
+    /// revokes the certificate permanently. `None` (the default) keeps
+    /// full verification on every answer. Share one `Arc` across
+    /// services to share analysis verdicts between them.
+    pub certified: Option<Arc<numeric_verify::CertifiedCatalog>>,
     /// How much earlier than a member's completion deadline its bucket
     /// flushes (headroom for dispatch + solve).
     pub deadline_slack: Duration,
@@ -145,6 +156,7 @@ impl Default for ServiceConfig {
             sanitize_first_flush: true,
             verified: None,
             factor_cache: None,
+            certified: None,
             deadline_slack: Duration::from_micros(500),
             breaker: BreakerConfig::default(),
             max_attempts_per_engine: 2,
@@ -247,6 +259,7 @@ impl<T: Real> SolverService<T> {
                 sanitize_first_flush: config.sanitize_first_flush,
                 verified: config.verified,
                 factor_cache: config.factor_cache,
+                certified: config.certified,
                 max_attempts_per_engine: config.max_attempts_per_engine,
                 max_total_attempts: config.max_total_attempts,
                 backoff_base: config.backoff_base,
@@ -342,10 +355,12 @@ impl<T: Real> SolverService<T> {
         system: TridiagonalSystem<T>,
         deadline: Option<Tick>,
     ) -> Result<Ticket<T>, ServiceError> {
-        // With the factor cache on, every admitted system is identity-
-        // hashed so equal matrices batch together and hit the warm tier.
-        let matrix_key =
-            self.shared.dispatch_cfg.factor_cache.as_ref().map(|_| MatrixKey::of_system(&system));
+        // With the factor cache or certified catalog on, every admitted
+        // system is identity-hashed so equal matrices batch together and
+        // hit the warm tier / share one analysis verdict.
+        let cfg = &self.shared.dispatch_cfg;
+        let matrix_key = (cfg.factor_cache.is_some() || cfg.certified.is_some())
+            .then(|| MatrixKey::of_system(&system));
         self.submit_keyed(system, deadline, matrix_key)
     }
 
@@ -437,8 +452,9 @@ impl<T: Real> SolverService<T> {
         c: &[T],
         rhs_list: &[Vec<T>],
     ) -> Result<Vec<SolveResponse<T>>, ServiceError> {
-        let matrix_key =
-            self.shared.dispatch_cfg.factor_cache.as_ref().map(|_| MatrixKey::of::<T>(a, b, c));
+        let dispatch_cfg = &self.shared.dispatch_cfg;
+        let matrix_key = (dispatch_cfg.factor_cache.is_some() || dispatch_cfg.certified.is_some())
+            .then(|| MatrixKey::of::<T>(a, b, c));
         let mut tickets = Vec::with_capacity(rhs_list.len());
         for d in rhs_list {
             let system = TridiagonalSystem::new(a.to_vec(), b.to_vec(), c.to_vec(), d.clone())

@@ -250,6 +250,37 @@ pub enum TraceEvent {
         /// Fingerprint of the evicted entry's key.
         key: u64,
     },
+    /// A matrix key was analyzed (exactly once) and the verdict recorded
+    /// in the certified catalog — emitted for certified *and* uncertified
+    /// outcomes, so replay shows every analysis.
+    CertIssued {
+        /// Decision tick.
+        at: Tick,
+        /// Matrix-key fingerprint (non-zero).
+        key: u64,
+        /// Certificate name (`strictly-dominant`, `spd`, `m-matrix`, or
+        /// `uncertified`).
+        cert: String,
+    },
+    /// A certified flush skipped the per-answer residual verify (NaN/Inf
+    /// guard only), per the catalog's 1-in-K sampling policy.
+    CertSkipVerify {
+        /// Decision tick.
+        at: Tick,
+        /// Matrix-key fingerprint (non-zero).
+        key: u64,
+        /// Size class.
+        n: u64,
+    },
+    /// A verified flush of a certified key caught a corruption; the
+    /// certificate is permanently revoked and the key returns to full
+    /// verification.
+    CertRevoked {
+        /// Decision tick.
+        at: Tick,
+        /// Matrix-key fingerprint (non-zero).
+        key: u64,
+    },
 }
 
 impl TraceEvent {
@@ -274,7 +305,10 @@ impl TraceEvent {
             | TraceEvent::InterfaceSolve { at, .. }
             | TraceEvent::FactorHit { at, .. }
             | TraceEvent::FactorMiss { at, .. }
-            | TraceEvent::FactorEvict { at, .. } => *at,
+            | TraceEvent::FactorEvict { at, .. }
+            | TraceEvent::CertIssued { at, .. }
+            | TraceEvent::CertSkipVerify { at, .. }
+            | TraceEvent::CertRevoked { at, .. } => *at,
         }
     }
 
@@ -300,6 +334,9 @@ impl TraceEvent {
             TraceEvent::FactorHit { .. } => "factor-hit",
             TraceEvent::FactorMiss { .. } => "factor-miss",
             TraceEvent::FactorEvict { .. } => "factor-evict",
+            TraceEvent::CertIssued { .. } => "cert-issued",
+            TraceEvent::CertSkipVerify { .. } => "cert-skip-verify",
+            TraceEvent::CertRevoked { .. } => "cert-revoked",
         }
     }
 }

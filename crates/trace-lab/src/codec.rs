@@ -215,6 +215,10 @@ mod tag {
     pub const FACTOR_HIT: u8 = 16;
     pub const FACTOR_MISS: u8 = 17;
     pub const FACTOR_EVICT: u8 = 18;
+    // Certification events (PR 10) — append-only.
+    pub const CERT_ISSUED: u8 = 19;
+    pub const CERT_SKIP_VERIFY: u8 = 20;
+    pub const CERT_REVOKED: u8 = 21;
 }
 
 fn flush_reason_byte(r: FlushReason) -> u8 {
@@ -396,6 +400,23 @@ pub fn encode_event(event: &TraceEvent, out: &mut Vec<u8>) {
             put_u64(out, *at);
             put_u64(out, *key);
         }
+        TraceEvent::CertIssued { at, key, cert } => {
+            out.push(tag::CERT_ISSUED);
+            put_u64(out, *at);
+            put_u64(out, *key);
+            put_str(out, cert);
+        }
+        TraceEvent::CertSkipVerify { at, key, n } => {
+            out.push(tag::CERT_SKIP_VERIFY);
+            put_u64(out, *at);
+            put_u64(out, *key);
+            put_u64(out, *n);
+        }
+        TraceEvent::CertRevoked { at, key } => {
+            out.push(tag::CERT_REVOKED);
+            put_u64(out, *at);
+            put_u64(out, *key);
+        }
     }
 }
 
@@ -482,6 +503,13 @@ pub fn decode_event(r: &mut Reader<'_>) -> Result<TraceEvent, CodecError> {
         tag::FACTOR_HIT => Ok(TraceEvent::FactorHit { at: r.u64()?, key: r.u64()?, n: r.u64()? }),
         tag::FACTOR_MISS => Ok(TraceEvent::FactorMiss { at: r.u64()?, key: r.u64()?, n: r.u64()? }),
         tag::FACTOR_EVICT => Ok(TraceEvent::FactorEvict { at: r.u64()?, key: r.u64()? }),
+        tag::CERT_ISSUED => {
+            Ok(TraceEvent::CertIssued { at: r.u64()?, key: r.u64()?, cert: r.str()? })
+        }
+        tag::CERT_SKIP_VERIFY => {
+            Ok(TraceEvent::CertSkipVerify { at: r.u64()?, key: r.u64()?, n: r.u64()? })
+        }
+        tag::CERT_REVOKED => Ok(TraceEvent::CertRevoked { at: r.u64()?, key: r.u64()? }),
         other => Err(CodecError::BadTag { offset: tag_offset, tag: other }),
     }
 }
@@ -569,6 +597,9 @@ mod tests {
             TraceEvent::FactorHit { at: 18, key: u64::MAX, n: 512 },
             TraceEvent::FactorMiss { at: 19, key: 1, n: 512 },
             TraceEvent::FactorEvict { at: 20, key: 0xDEAD_BEEF },
+            TraceEvent::CertIssued { at: 21, key: 7, cert: "strictly-dominant".into() },
+            TraceEvent::CertSkipVerify { at: 22, key: 7, n: 256 },
+            TraceEvent::CertRevoked { at: 23, key: 7 },
         ];
         let mut buf = Vec::new();
         encode_events(&events, &mut buf);

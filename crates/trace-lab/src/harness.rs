@@ -26,6 +26,7 @@ use crate::scenario::Scenario;
 use factor_cache::SharedFactorCache;
 use gpu_sim::{Clock, FaultConfig, FaultPlan, Launcher, Tick};
 use gpu_solvers::GpuAlgorithm;
+use numeric_verify::CertifiedCatalog;
 use solver_service::{
     make_request_keyed, serve_flush, BreakerConfig, BucketTable, CircuitBreakers, DeviceCtx,
     DispatchConfig, Engine, FlushedBatch, PlanCache, RejectReason, ServiceMetrics, SolveResponse,
@@ -117,6 +118,8 @@ pub fn run(scenario: &Scenario) -> RunOutput {
     let metrics = ServiceMetrics::new();
     let factor_cache = (scenario.matrix_pool > 0)
         .then(|| Arc::new(SharedFactorCache::new(scenario.matrix_pool.max(1) as usize * 8)));
+    let certified = (scenario.certify > 0)
+        .then(|| Arc::new(CertifiedCatalog::with_sample_period(scenario.certify as usize)));
     let cfg = DispatchConfig {
         min_gpu_batch: scenario.min_gpu_batch.max(1) as usize,
         pin_engine: (scenario.pin_cr_pcr_m > 0)
@@ -126,6 +129,7 @@ pub fn run(scenario: &Scenario) -> RunOutput {
         clock: clock.clone(),
         trace: trace.clone(),
         factor_cache: factor_cache.clone(),
+        certified: certified.clone(),
         ..DispatchConfig::default()
     };
 
@@ -274,6 +278,25 @@ mod tests {
         assert!(
             hits > misses,
             "pooled traffic should be mostly warm: {hits} hits / {misses} misses"
+        );
+    }
+
+    #[test]
+    fn certified_cell_skips_verification_and_stays_deterministic() {
+        let scenario = Scenario::certified(150);
+        let a = run(&scenario);
+        let b = run(&scenario);
+        assert_eq!(a.events, b.events, "certified decision streams diverged");
+        assert_eq!(a.stats, b.stats, "certified stats diverged");
+        assert_eq!(a.stats.wrong, 0, "a certified answer escaped its bound");
+        let issued = a.events.iter().filter(|e| e.kind() == "cert-issued").count();
+        let skips = a.events.iter().filter(|e| e.kind() == "cert-skip-verify").count();
+        assert!(issued > 0, "certified cell never analyzed a matrix");
+        assert!(skips > 0, "certified cell never skipped a verify");
+        assert_eq!(
+            a.events.iter().filter(|e| e.kind() == "cert-revoked").count(),
+            0,
+            "fault-free certified traffic must not revoke"
         );
     }
 

@@ -106,6 +106,11 @@ pub struct Scenario {
     /// factorization cache, so warm traffic exercises the back-substitution
     /// tier. Zero = every request carries a fresh matrix, cache off.
     pub matrix_pool: u64,
+    /// When nonzero, the harness enables the certified catalog with this
+    /// 1-in-K sampling period: certified matrices skip the per-answer
+    /// residual verify on all but every K-th flush. Zero = full
+    /// verification on every answer (catalog off).
+    pub certify: u64,
 }
 
 impl Scenario {
@@ -127,6 +132,7 @@ impl Scenario {
             min_gpu_batch: 1,
             pin_cr_pcr_m: 0,
             matrix_pool: 0,
+            certify: 0,
         }
     }
 
@@ -198,6 +204,14 @@ impl Scenario {
         Self { name: "warm".into(), seed: 0xFAC7_2026, matrix_pool: 4, ..Self::steady(requests) }
     }
 
+    /// The certification cell: warm traffic with the certified catalog on
+    /// at the default 1-in-8 sampling period, so certified matrices skip
+    /// the per-answer residual verify on most flushes. The stream the
+    /// certified bit-identical replay gate captures.
+    pub fn certified(requests: u64) -> Self {
+        Self { name: "certified".into(), seed: 0xCE27_2026, certify: 8, ..Self::warm(requests) }
+    }
+
     /// Mean inter-arrival period in ticks (ns). Never zero.
     pub fn base_period(&self) -> Tick {
         (1_000_000_000 / self.rate_rps.max(1)).max(1)
@@ -253,6 +267,7 @@ impl Scenario {
         put_u64(out, self.min_gpu_batch);
         put_u64(out, self.pin_cr_pcr_m);
         put_u64(out, self.matrix_pool);
+        put_u64(out, self.certify);
     }
 
     /// Decodes what [`Scenario::encode`] wrote.
@@ -289,6 +304,7 @@ impl Scenario {
             min_gpu_batch: r.u64()?,
             pin_cr_pcr_m: r.u64()?,
             matrix_pool: r.u64()?,
+            certify: r.u64()?,
         })
     }
 }
@@ -348,6 +364,7 @@ mod tests {
             Scenario::adversarial(42),
             Scenario::chaos(1000),
             Scenario::warm(1000),
+            Scenario::certified(1000),
         ] {
             let mut buf = Vec::new();
             scenario.encode(&mut buf);

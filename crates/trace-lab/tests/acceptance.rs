@@ -34,6 +34,35 @@ fn warm_traffic_trace_is_bit_identical_across_runs() {
 }
 
 #[test]
+fn certified_traffic_trace_is_bit_identical_across_runs() {
+    // Certification bar: a pooled-matrix stream with the certified
+    // catalog on must replay bit-identically — the 1-in-K sampling is a
+    // deterministic function of per-key flush counters, so the skip
+    // pattern (and every CertIssued/CertSkipVerify event) must land on
+    // exactly the same ticks every run. Zero wrong answers even though
+    // most flushes skip the residual verify.
+    let scenario = Scenario::certified(400);
+
+    let (trace_a, stats_a) = capture(&scenario);
+    let (trace_b, stats_b) = capture(&scenario);
+
+    let bytes = trace_a.to_bytes();
+    assert_eq!(bytes, trace_b.to_bytes(), "two certified captures diverged");
+    assert_eq!(stats_a, stats_b, "certified stats diverged between captures");
+
+    let reloaded = TraceFile::from_bytes(&bytes).expect("self-produced certified trace must load");
+    let replay_stats =
+        verify(&reloaded).unwrap_or_else(|d| panic!("certified replay diverged: {d}"));
+    assert_eq!(replay_stats, stats_a, "certified replay stats diverged from capture");
+
+    let issued = trace_a.events.iter().filter(|e| e.kind() == "cert-issued").count();
+    let skips = trace_a.events.iter().filter(|e| e.kind() == "cert-skip-verify").count();
+    assert!(issued > 0, "certified trace never analyzed a matrix");
+    assert!(skips > 0, "certified trace never skipped a verify");
+    assert_eq!(stats_a.wrong, 0, "a certified answer escaped its bound");
+}
+
+#[test]
 fn thousand_request_chaos_trace_is_bit_identical_across_runs() {
     let scenario = Scenario::chaos(1000);
 

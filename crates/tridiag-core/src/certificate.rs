@@ -1,0 +1,98 @@
+//! Numerical-safety certificates: the machine-checkable verdicts issued by
+//! the `numeric-verify` static analyzer.
+//!
+//! The lattice has three certified classes plus a bottom:
+//!
+//! * [`NumericCertificate::StrictlyDominant`] — every row satisfies
+//!   `|b_i| > |a_i| + |c_i|` with margin beyond floating-point slack. By
+//!   the classic pivot-growth lemma, pivot-free Thomas elimination and
+//!   each cyclic-reduction level preserve the property (Heller 1976: the
+//!   dominance ratio *squares* per CR level), so no pivoting is ever
+//!   needed and elimination is backward-stable.
+//! * [`NumericCertificate::Spd`] — symmetric positive definite: the
+//!   LDLᵀ pivots are all strictly positive, which bounds element growth
+//!   without pivoting.
+//! * [`NumericCertificate::MMatrix`] — nonsingular M-matrix (positive
+//!   diagonal, non-positive off-diagonals, positive Thomas pivots):
+//!   elimination preserves the sign pattern, again pivot-free.
+//! * [`NumericCertificate::Uncertified`] — no static guarantee; traffic
+//!   keeps the full per-answer residual verify.
+//!
+//! The type lives in `tridiag-core` (not `numeric-verify`) so that
+//! `factor-cache` entries can carry their certificate without a
+//! dependency cycle through the analyzer crate.
+
+/// A static numerical-safety verdict for one matrix (keyed by
+/// [`crate::MatrixKey`]).
+///
+/// Certified variants license the serving tier to *skip* the per-answer
+/// residual verify and downgrade to sampled verification; `Uncertified`
+/// keeps the full verify + GEP-repair safety net.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NumericCertificate {
+    /// Strict row diagonal dominance with the given worst-row margin
+    /// `min_i (|b_i| − |a_i| − |c_i|)`, already proven to exceed the
+    /// floating-point slack of the scan itself.
+    StrictlyDominant {
+        /// Worst-row dominance gap, computed in `f64`.
+        margin: f64,
+    },
+    /// Symmetric positive definite (all LDLᵀ pivots strictly positive).
+    Spd,
+    /// Nonsingular M-matrix (positive diagonal, non-positive
+    /// off-diagonals, strictly positive Thomas pivots).
+    MMatrix,
+    /// No static safety guarantee — full residual verify stays on.
+    Uncertified,
+}
+
+impl NumericCertificate {
+    /// `true` for any variant that licenses skipping the hot-path
+    /// residual verify.
+    pub fn is_certified(&self) -> bool {
+        !matches!(self, NumericCertificate::Uncertified)
+    }
+
+    /// Stable short name, used in trace events and JSON metrics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NumericCertificate::StrictlyDominant { .. } => "strictly-dominant",
+            NumericCertificate::Spd => "spd",
+            NumericCertificate::MMatrix => "m-matrix",
+            NumericCertificate::Uncertified => "uncertified",
+        }
+    }
+}
+
+impl core::fmt::Display for NumericCertificate {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NumericCertificate::StrictlyDominant { margin } => {
+                write!(f, "strictly-dominant(margin={margin:.3e})")
+            }
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn certified_predicate_matches_the_lattice() {
+        assert!(NumericCertificate::StrictlyDominant { margin: 0.5 }.is_certified());
+        assert!(NumericCertificate::Spd.is_certified());
+        assert!(NumericCertificate::MMatrix.is_certified());
+        assert!(!NumericCertificate::Uncertified.is_certified());
+    }
+
+    #[test]
+    fn names_are_stable_and_display_carries_the_margin() {
+        assert_eq!(NumericCertificate::Spd.name(), "spd");
+        assert_eq!(NumericCertificate::Uncertified.name(), "uncertified");
+        let s = NumericCertificate::StrictlyDominant { margin: 2.0 }.to_string();
+        assert!(s.starts_with("strictly-dominant"), "{s}");
+        assert!(s.contains("2.0"), "{s}");
+    }
+}

@@ -12,9 +12,11 @@
 //! * [`Real`] — `f32`/`f64` abstraction (the paper uses `f32`).
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub mod batch;
 pub mod block;
+pub mod certificate;
 pub mod complexity;
 pub mod error;
 pub mod identity;
@@ -26,6 +28,7 @@ pub mod workload;
 
 pub use batch::{SolutionBatch, SystemBatch};
 pub use block::BlockTridiagonalSystem;
+pub use certificate::NumericCertificate;
 pub use complexity::{table1, Algorithm, ComplexityRow, ParseAlgorithmError};
 pub use error::{require_pow2, Result, TridiagError};
 pub use identity::{structure_tag, MatrixKey, StructureTag};

@@ -1,0 +1,172 @@
+//! Adversarial soundness properties for the static certification analyzer.
+//!
+//! The whole value of a `NumericCertificate` is that it lets the service
+//! *skip* the per-solution residual verify, so an unsound certificate is a
+//! wrong answer served silently. These properties attack the analyzer from
+//! both sides, over both precisions and sizes up to 4096.
+//!
+//! A note on "GEP pivots": partial pivoting may *choose* to interchange on
+//! a perfectly safe row-dominant matrix (a large sub-diagonal under a
+//! modest updated diagonal — the no-interchange theorem belongs to column
+//! dominance), so the sound formalization is about *necessity*, not the
+//! heuristic's row swaps:
+//!
+//! * **Certified ⇒ pivoting is never necessary.** The pivot-free Thomas
+//!   recurrence must complete with every pivot finite and nonzero (the
+//!   machine-checked floor exists), the pivot-free solve must succeed, and
+//!   its relative residual must sit below the certificate's a-priori
+//!   forward-error bound `κ₁·ε·n`. GEP — the safety net the certificate
+//!   retires — must agree to within the same bound.
+//! * **Needs-pivoting ⇒ never certified.** On any matrix where the
+//!   pivot-free recurrence breaks down (no floor) or GEP outright fails,
+//!   the analyzer must return `Uncertified` — including the adversarial
+//!   "almost dominant" family built to sit right at the dominance
+//!   boundary.
+
+use cpu_solvers::{gep, pivot_bounds::thomas_pivot_floor, thomas};
+use proptest::prelude::*;
+use tridiag_core::residual::relative_l2_residual;
+use tridiag_core::{Generator, Real, TridiagonalSystem, Workload};
+
+/// Sizes the properties sweep (power-of-two and odd, small and large).
+const SIZES: [usize; 5] = [8, 33, 257, 1024, 4096];
+
+/// Builds an "almost dominant" adversarial system: every row dominant by a
+/// comfortable margin except one, whose diagonal is shrunk so the row sits
+/// `break_by` *below* the dominance line. With a large `break_by` the
+/// pivot-free recurrence can lose the floor entirely; with a tiny one it
+/// probes the analyzer's slack handling.
+fn almost_dominant<T: Real>(
+    n: usize,
+    weak_row: usize,
+    break_by: f64,
+    seed: u64,
+) -> TridiagonalSystem<T> {
+    let mut gen = Generator::new(seed);
+    let mut sys: TridiagonalSystem<T> = gen.system(Workload::DiagonallyDominant, n);
+    let i = weak_row.min(n - 1);
+    let off = sys.a[i].to_f64().abs() + sys.c[i].to_f64().abs();
+    let sign = if sys.b[i].to_f64() < 0.0 { -1.0 } else { 1.0 };
+    // Clamp at zero: a magnitude of `off − break_by` gone *negative* would
+    // make the row dominant again (with flipped sign), not weaker.
+    sys.b[i] = T::from_f64(sign * (off - break_by).max(0.0));
+    sys
+}
+
+/// The two soundness checks, shared by every generation strategy below.
+fn assert_sound<T: Real>(sys: &TridiagonalSystem<T>, label: &str) -> Result<(), TestCaseError> {
+    let analysis = numeric_verify::analyze(sys);
+    if !analysis.certificate.is_certified() {
+        return Ok(()); // Uncertified is always sound.
+    }
+    let cert = analysis.certificate.name();
+    prop_assert!(
+        analysis.forward_error_bound.is_finite(),
+        "{label} certified '{cert}' with an infinite error bound"
+    );
+    // Certified ⇒ the pivot-free recurrence never needs a pivot: the
+    // machine-checked floor exists (every pivot finite and nonzero).
+    let floor = thomas_pivot_floor(&sys.a, &sys.b, &sys.c);
+    prop_assert!(
+        floor.is_some_and(|f| f > 0.0),
+        "{label} certificate '{cert}' issued but the pivot-free recurrence has no floor"
+    );
+    // Certified ⇒ the pivot-free Thomas solve lands inside the bound.
+    let mut x = vec![T::ZERO; sys.n()];
+    let solved = thomas::solve_into(&sys.a, &sys.b, &sys.c, &sys.d, &mut x);
+    prop_assert!(solved.is_ok(), "{label} certified '{cert}' but Thomas failed: {solved:?}");
+    let rel = relative_l2_residual(sys, &x).expect("residual on certified system");
+    prop_assert!(
+        rel <= analysis.forward_error_bound,
+        "{label} certified residual {rel} escaped the bound {}",
+        analysis.forward_error_bound
+    );
+    // Certified ⇒ the GEP safety net the certificate retires agrees.
+    let mut xg = vec![T::ZERO; sys.n()];
+    let gep_result = gep::solve_into_counting(&sys.a, &sys.b, &sys.c, &sys.d, &mut xg);
+    prop_assert!(gep_result.is_ok(), "{label} certified '{cert}' but GEP failed: {gep_result:?}");
+    let rel_gep = relative_l2_residual(sys, &xg).expect("GEP residual on certified system");
+    prop_assert!(
+        rel_gep <= analysis.forward_error_bound,
+        "{label} certified but GEP residual {rel_gep} escaped the bound {}",
+        analysis.forward_error_bound
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generator family, both precisions: a certificate is only ever
+    /// issued when pivot-free elimination is safe and lands in the bound.
+    #[test]
+    fn certificates_are_sound_on_generator_families(
+        seed in 0u64..1_000_000,
+        n in prop::sample::select(SIZES.to_vec()),
+        workload in prop::sample::select(Workload::ALL.to_vec()),
+    ) {
+        let sys32: TridiagonalSystem<f32> = Generator::new(seed).system(workload, n);
+        assert_sound(&sys32, "f32")?;
+        let sys64: TridiagonalSystem<f64> = Generator::new(seed).system(workload, n);
+        assert_sound(&sys64, "f64")?;
+    }
+
+    /// The adversarial family: one row pushed to (or past) the dominance
+    /// boundary. Whatever the break, the certificate must stay sound; a
+    /// clearly broken row must never scan as strictly dominant; and a
+    /// matrix whose pivot-free recurrence loses its floor (pivoting
+    /// *necessary*) must never be certified at all.
+    #[test]
+    fn no_certificate_survives_a_broken_dominance_row(
+        seed in 0u64..1_000_000,
+        n in prop::sample::select(SIZES.to_vec()),
+        weak_row in 0usize..4096,
+        break_by in prop::sample::select(vec![0.0, 1e-9, 1e-3, 0.5, 2.0, 10.0]),
+    ) {
+        let sys32: TridiagonalSystem<f32> = almost_dominant(n, weak_row, break_by, seed);
+        assert_sound(&sys32, "f32-adversarial")?;
+        let sys64: TridiagonalSystem<f64> = almost_dominant(n, weak_row, break_by, seed);
+        assert_sound(&sys64, "f64-adversarial")?;
+
+        let analysis = numeric_verify::analyze(&sys64);
+        // A row sitting measurably below the dominance line must never
+        // pass the strict-dominance scan (whatever the slack does near
+        // the boundary, 1e-3 is far outside it for O(1) rows).
+        if break_by >= 1e-3 {
+            prop_assert!(
+                analysis.certificate.name() != "strictly-dominant",
+                "row broken by {break_by} still scanned as strictly dominant"
+            );
+        }
+        // Direct necessity claim: if the pivot-free recurrence breaks
+        // down or the safety net itself fails, no certificate.
+        let floor = thomas_pivot_floor(&sys64.a, &sys64.b, &sys64.c);
+        let mut xg = vec![0.0f64; sys64.n()];
+        let gep_ok = gep::solve_into_counting(&sys64.a, &sys64.b, &sys64.c, &sys64.d, &mut xg);
+        if floor.is_none() || gep_ok.is_err() {
+            prop_assert!(
+                !analysis.certificate.is_certified(),
+                "certificate '{}' issued for a matrix that needs pivoting",
+                analysis.certificate.name()
+            );
+        }
+    }
+}
+
+/// Deterministic spot checks at the largest size for both precisions, so
+/// the 4096-row contract is exercised even if proptest happens not to draw
+/// it: the dominant family certifies, and the certificate is sound.
+#[test]
+fn dominant_4096_certifies_and_is_sound_in_both_precisions() {
+    let sys32: TridiagonalSystem<f32> =
+        Generator::new(0xCE27).system(Workload::DiagonallyDominant, 4096);
+    let analysis = numeric_verify::analyze(&sys32);
+    assert!(analysis.certificate.is_certified(), "dominant f32/4096 must certify");
+    assert_sound(&sys32, "f32/4096").expect("sound at 4096");
+
+    let sys64: TridiagonalSystem<f64> =
+        Generator::new(0xCE27).system(Workload::DiagonallyDominant, 4096);
+    let analysis = numeric_verify::analyze(&sys64);
+    assert!(analysis.certificate.is_certified(), "dominant f64/4096 must certify");
+    assert_sound(&sys64, "f64/4096").expect("sound at 4096");
+}

@@ -21,11 +21,12 @@
 use factor_cache::SharedFactorCache;
 use gpu_sim::{Clock, FaultConfig, FaultPlan, Launcher};
 use gpu_solvers::GpuAlgorithm;
+use numeric_verify::CertifiedCatalog;
 use proptest::prelude::*;
 use solver_service::{
-    make_request, make_request_keyed, serve_flush, CircuitBreakers, DeviceCtx, DispatchConfig,
-    Engine, FlushReason, FlushedBatch, MetricsSnapshot, PlanCache, ServiceConfig, ServiceError,
-    ServiceMetrics, SolveResponse, SolverService, Ticket,
+    make_request, make_request_keyed, serve_flush, CircuitBreakers, CpuEngine, DeviceCtx,
+    DispatchConfig, Engine, FlushReason, FlushedBatch, MetricsSnapshot, PlanCache, ServiceConfig,
+    ServiceError, ServiceMetrics, SolveResponse, SolverService, Ticket,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -546,6 +547,123 @@ fn poisoned_warm_flush_is_repaired_and_the_entry_invalidated() {
     let snap = metrics.snapshot(0, plans.tunes(), plans.hits());
     assert_eq!(snap.factor_misses, 2);
     assert_eq!(cache.stats().entries, 1, "refactorization must repopulate the cache");
+}
+
+/// The certified-tier chaos cell: a certified matrix rides the sampled
+/// verification fast path (1-in-K residual checks) while a certain bit
+/// flip poisons every warm GPU flush. The contract: the corruption is
+/// caught — by a sampled verify or the always-on NaN guard — within K
+/// flushes of the first skip, the certificate is revoked, and from then
+/// on that key pays full verification forever (no re-certification, no
+/// further skips).
+#[test]
+fn certified_bit_flip_is_caught_within_the_sampling_window_and_revokes() {
+    const K: usize = 4;
+    let (launcher, plan) = faulty_launcher(FaultConfig {
+        seed: 0xCE27,
+        bit_flip_rate: 1.0,
+        flips_per_event: 4,
+        ..FaultConfig::default()
+    });
+    let plans = PlanCache::new();
+    let metrics = ServiceMetrics::new();
+    let breakers = CircuitBreakers::default();
+    let cache = Arc::new(SharedFactorCache::new(4));
+    let catalog = Arc::new(CertifiedCatalog::with_sample_period(K));
+    // Cold flushes are pinned to the (fault-immune) CPU so the only
+    // poisoned path is the warm GPU back-substitution the certificate is
+    // gating; min_gpu_batch: 1 keeps warm flushes on the device.
+    let cfg = DispatchConfig {
+        min_gpu_batch: 1,
+        pin_engine: Some(Engine::Cpu(CpuEngine::Thomas)),
+        sanitize_first_flush: false,
+        factor_cache: Some(Arc::clone(&cache)),
+        certified: Some(Arc::clone(&catalog)),
+        ..DispatchConfig::default()
+    };
+    let mut generator = Generator::new(0xCE27);
+    let system: TridiagonalSystem<f32> = generator.system(Workload::DiagonallyDominant, 64);
+    let key = MatrixKey::of_system(&system);
+
+    let serve = |seed: u64| {
+        let mut requests = Vec::new();
+        let mut tickets = Vec::new();
+        for i in 0..4u64 {
+            let mut sys = system.clone();
+            for (j, v) in sys.d.iter_mut().enumerate() {
+                *v = ((j as u64 * 31 + i * 7 + seed) % 17) as f32 - 8.0;
+            }
+            let (req, ticket) = make_request_keyed(i, sys, 0, None, Some(key));
+            requests.push(req);
+            tickets.push(ticket);
+        }
+        serve_flush(
+            DeviceCtx::solo(&launcher),
+            &plans,
+            &breakers,
+            &metrics,
+            &cfg,
+            FlushedBatch { n: 64, requests, reason: FlushReason::Full },
+        );
+        for t in tickets {
+            let r = t.try_take().expect("synchronous serve");
+            assert!(
+                r.residual < RESIDUAL_BOUND,
+                "reported residual escaped the bound: {} on {}",
+                r.residual,
+                r.engine
+            );
+        }
+    };
+
+    // Flush 1: cold miss — the analyzer certifies the dominant matrix and
+    // the first flush is always sampled (full residual check).
+    serve(1);
+    let snap = metrics.snapshot(0, plans.tunes(), plans.hits());
+    assert_eq!(snap.certs_issued, 1, "dominant matrix must certify: {snap:?}");
+    assert_eq!(snap.cert_sampled_verifies, 1, "first certified flush must be sampled");
+    assert_eq!(snap.certs_revoked, 0, "fault-free cold flush must not revoke");
+    assert_eq!(cache.stats().entries, 1);
+
+    // Warm flushes now ride the skip window with every GPU launch
+    // poisoned. Count how many it takes until the corruption is caught
+    // and the certificate revoked — the contract caps that at K.
+    let mut warm_flushes = 0usize;
+    while metrics.snapshot(0, plans.tunes(), plans.hits()).certs_revoked == 0 {
+        warm_flushes += 1;
+        assert!(
+            warm_flushes <= K,
+            "bit flip survived the whole sampling window (K = {K}) without revocation"
+        );
+        serve(1 + warm_flushes as u64);
+    }
+    let snap = metrics.snapshot(0, plans.tunes(), plans.hits());
+    assert!(plan.stats().bit_flips >= 1, "flip rate 1.0 injected nothing: {:?}", plan.stats());
+    assert_eq!(snap.certs_revoked, 1, "exactly one revocation for the poisoned key");
+    assert!(
+        snap.degradation.corruptions_caught >= 1,
+        "revoked without a caught corruption: {:?}",
+        snap.degradation
+    );
+    assert!(snap.repaired >= 1, "corruption caught but the answers never repaired");
+    let skips_at_revocation = snap.cert_skipped_verifies;
+    let sampled_at_revocation = snap.cert_sampled_verifies;
+
+    // Post-revocation the key pays full verification forever: another
+    // 2K flushes move neither the skip nor the sample counter, no second
+    // certificate is ever issued, revocation stays idempotent — and every
+    // answer keeps clearing the residual bound under the same fault rate.
+    for round in 0..(2 * K as u64) {
+        serve(100 + round);
+    }
+    let snap = metrics.snapshot(0, plans.tunes(), plans.hits());
+    assert_eq!(snap.cert_skipped_verifies, skips_at_revocation, "a revoked key skipped a verify");
+    assert_eq!(
+        snap.cert_sampled_verifies, sampled_at_revocation,
+        "a revoked key was sampled instead of fully verified"
+    );
+    assert_eq!(snap.certs_issued, 1, "a revoked key was re-certified");
+    assert_eq!(snap.certs_revoked, 1, "revocation must be idempotent");
 }
 
 proptest! {
